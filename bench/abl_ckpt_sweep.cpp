@@ -1,0 +1,72 @@
+// Ablation A1: static checkpoint-interval sweep vs. the dynamic controller.
+//
+// Motivates paper Section 4: no single static chi is right — the optimum
+// depends on the model (state size, rollback behaviour) and differs across
+// objects of one model — while the dynamic controller lands near the best
+// static value without being told it, and adapts per object.
+#include "bench_common.hpp"
+
+#include "otw/apps/phold.hpp"
+#include "otw/apps/raid.hpp"
+
+namespace {
+
+using namespace otw;
+
+void sweep(const char* name, const tw::Model& model, tw::LpId lps) {
+  std::printf("\n%s:\n", name);
+  bench::print_run_header();
+
+  double best_static = 1e300;
+  std::uint32_t best_chi = 0;
+  for (std::uint32_t chi : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    tw::KernelConfig kc = bench::base_kernel(lps);
+    kc.end_time = tw::VirtualTime{300'000};
+    kc.runtime.checkpoint_interval = chi;
+    const tw::RunResult r = bench::run_now(model, kc);
+    bench::print_run_row("chi=" + std::to_string(chi), chi, r);
+    if (r.execution_time_sec() < best_static) {
+      best_static = r.execution_time_sec();
+      best_chi = chi;
+    }
+  }
+
+  tw::KernelConfig kc = bench::base_kernel(lps);
+  kc.end_time = tw::VirtualTime{300'000};
+  kc.runtime.dynamic_checkpointing = true;
+  const tw::RunResult r = bench::run_now(model, kc);
+  bench::print_run_row("dynamic", 0, r);
+  std::uint64_t chi_sum = 0;
+  std::uint32_t chi_min = UINT32_MAX, chi_max = 0;
+  for (const auto& obj : r.stats.objects) {
+    chi_sum += obj.final_checkpoint_interval;
+    chi_min = std::min(chi_min, obj.final_checkpoint_interval);
+    chi_max = std::max(chi_max, obj.final_checkpoint_interval);
+  }
+  std::printf(
+      "  -> best static: chi=%u (%.3fs); dynamic: %.3fs (%.1f%% of best "
+      "static), per-object chi in [%u, %u], mean %.1f\n",
+      best_chi, best_static, r.execution_time_sec(),
+      r.execution_time_sec() / best_static * 100.0, chi_min, chi_max,
+      static_cast<double>(chi_sum) / static_cast<double>(r.stats.objects.size()));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ablation A1",
+                      "static chi sweep vs dynamic checkpoint control");
+
+  apps::phold::PholdConfig phold;
+  phold.num_objects = 16;
+  phold.num_lps = 4;
+  phold.population_per_object = 4;
+  phold.remote_probability = 0.2;  // moderate rollback pressure
+  phold.event_grain_ns = 3'000;
+  sweep("PHOLD (16 objects, 4 LPs)", apps::phold::build_model(phold), 4);
+
+  apps::raid::RaidConfig raid;
+  raid.requests_per_source = 400;
+  sweep("RAID (20 sources, 4 forks, 8 disks)", apps::raid::build_model(raid), 4);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Ablation A3: intrusiveness of the control process (paper Section 3:
+// "control should not be adapted at a high frequency, or the overhead for
+// tuning the simulator will outweigh the benefits").
+//
+// Sweeps the checkpoint controller's invocation period P with an inflated
+// control cost so the trade-off is visible: very small P pays overhead per
+// event; very large P adapts too slowly to help.
+#include "bench_common.hpp"
+
+#include "otw/apps/raid.hpp"
+
+int main() {
+  using namespace otw;
+  bench::print_banner("Ablation A3", "control period P vs intrusiveness (RAID)");
+
+  apps::raid::RaidConfig app;
+  app.requests_per_source = 400;
+  const tw::Model model = apps::raid::build_model(app);
+
+  platform::CostModel costs = bench::now_testbed_costs();
+  costs.control_invocation_ns = 50'000;  // deliberately expensive control
+
+  bench::print_run_header();
+  for (std::uint64_t period : {1u, 8u, 32u, 128u, 512u, 4'096u, 32'768u}) {
+    tw::KernelConfig kc = bench::base_kernel(app.num_lps);
+    kc.runtime.dynamic_checkpointing = true;
+    kc.runtime.checkpoint_control.control_period_events = period;
+    const tw::RunResult r = bench::run_now(model, kc, costs);
+    bench::print_run_row("P=" + std::to_string(period),
+                         static_cast<double>(period), r);
+  }
+  std::printf("\n  expectation: a sweet spot at moderate P; P=1 pays the "
+              "control cost every event, huge P barely adapts\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Ablation A4: GVT-period sensitivity. Frequent GVT keeps history queues
+// short (cheap fossil collection, low memory) but spends network and CPU on
+// token rounds; rare GVT does the opposite.
+#include "bench_common.hpp"
+
+#include "otw/apps/phold.hpp"
+
+int main() {
+  using namespace otw;
+  bench::print_banner("Ablation A4", "GVT period sensitivity (PHOLD)");
+
+  apps::phold::PholdConfig app;
+  app.num_objects = 16;
+  app.num_lps = 4;
+  app.population_per_object = 4;
+  app.event_grain_ns = 3'000;
+  const tw::Model model = apps::phold::build_model(app);
+
+  bench::print_run_header();
+  for (std::uint64_t period : {32u, 128u, 512u, 2'048u, 8'192u}) {
+    tw::KernelConfig kc = bench::base_kernel(app.num_lps);
+    kc.end_time = tw::VirtualTime{2'000'000};
+    kc.gvt_period_events = period;
+    kc.gvt_min_interval_ns = 200'000;  // let the period dominate
+    const tw::RunResult r = bench::run_now(model, kc);
+    bench::print_run_row("G=" + std::to_string(period),
+                         static_cast<double>(period), r);
+    std::printf("   gvt epochs=%llu token rounds=%llu\n",
+                static_cast<unsigned long long>(r.stats.lp_totals().gvt_epochs),
+                static_cast<unsigned long long>(r.stats.lp_totals().gvt_rounds));
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation A6: bounded-time-window optimism (Palaniswamy & Wilsey, the
+// paper's refs [20]/[23]) — the fourth on-line configurable facet in this
+// library.
+//
+// Sweep of static windows on a rollback-heavy PHOLD: tiny windows serialize
+// the simulation behind GVT (few rollbacks, little parallelism), huge
+// windows are unbounded Time Warp (maximal optimism, maximal wasted work);
+// the adaptive controller should land in the useful band on its own.
+#include "bench_common.hpp"
+
+#include "otw/apps/phold.hpp"
+
+int main() {
+  using namespace otw;
+  bench::print_banner("Ablation A6",
+                      "bounded optimism window: static sweep vs adaptive (PHOLD)");
+
+  apps::phold::PholdConfig app;
+  app.num_objects = 16;
+  app.num_lps = 4;
+  app.population_per_object = 4;
+  app.remote_probability = 0.5;  // heavy rollback pressure
+  app.event_grain_ns = 3'000;
+  const tw::Model model = apps::phold::build_model(app);
+
+  bench::print_run_header();
+  double best_static = 1e300;
+  for (std::uint64_t window :
+       {200u, 1'000u, 5'000u, 25'000u, 125'000u, 1'000'000u}) {
+    tw::KernelConfig kc = bench::base_kernel(app.num_lps);
+    kc.end_time = tw::VirtualTime{200'000};
+    kc.optimism.mode = tw::KernelConfig::Optimism::Mode::Static;
+    kc.optimism.window = window;
+    const tw::RunResult r = bench::run_now(model, kc);
+    bench::print_run_row("W=" + std::to_string(window),
+                         static_cast<double>(window), r);
+    best_static = std::min(best_static, r.execution_time_sec());
+  }
+
+  tw::KernelConfig kc = bench::base_kernel(app.num_lps);
+  kc.end_time = tw::VirtualTime{200'000};
+  kc.optimism.mode = tw::KernelConfig::Optimism::Mode::Adaptive;
+  kc.optimism.window = 1'000;
+  // This workload tolerates more optimism than the conservative default.
+  kc.optimism.control.target_rollback_fraction = 0.3;
+  const tw::RunResult r = bench::run_now(model, kc);
+  bench::print_run_row("adaptive", 0, r);
+  std::printf("\n  -> best static: %.3fs; adaptive: %.3fs (%.1f%% of best)\n",
+              best_static, r.execution_time_sec(),
+              r.execution_time_sec() / best_static * 100.0);
+
+  tw::KernelConfig unbounded = bench::base_kernel(app.num_lps);
+  unbounded.end_time = tw::VirtualTime{200'000};
+  const tw::RunResult u = bench::run_now(model, unbounded);
+  bench::print_run_row("unbounded", 0, u);
+  return 0;
+}

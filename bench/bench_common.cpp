@@ -1,0 +1,3 @@
+// Intentionally empty: bench_common is header-only; this TU exists so every
+// bench target shares one compilation entry in the build graph.
+#include "bench_common.hpp"

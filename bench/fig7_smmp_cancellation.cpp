@@ -1,0 +1,37 @@
+// Figure 7: SMMP execution time vs. number of test vectors for the
+// cancellation strategies AC, LC, DC, PS64, PA10 (paper Section 8).
+//
+// Paper observations to reproduce (shape, not absolute seconds):
+//  * every SMMP object favours lazy cancellation;
+//  * LC beats AC by roughly 15%;
+//  * DC / PS64 / PA10 track LC, with PS64 marginally best (it stops paying
+//    for monitoring once the strategy is frozen).
+#include "bench_common.hpp"
+
+#include "otw/apps/smmp.hpp"
+
+int main() {
+  using namespace otw;
+  bench::print_banner("Figure 7",
+                      "SMMP execution time vs #test vectors (16 processors, 4 LPs)");
+  bench::print_run_header();
+
+  for (std::uint32_t vectors : {2'000u, 5'000u, 10'000u}) {
+    apps::smmp::SmmpConfig app;  // paper defaults: 16 cpus, 4 LPs, 100 objects
+    app.requests_per_processor = vectors / app.num_processors;
+    const tw::Model model = apps::smmp::build_model(app);
+
+    double ac_time = 0.0, lc_time = 0.0;
+    for (const auto& variant : bench::fig7_variants()) {
+      tw::KernelConfig kc = bench::base_kernel(app.num_lps);
+      kc.runtime.cancellation = variant.config;
+      const tw::RunResult r = bench::run_now(model, kc);
+      bench::print_run_row(variant.label, vectors, r);
+      if (variant.label == "AC") ac_time = r.execution_time_sec();
+      if (variant.label == "LC") lc_time = r.execution_time_sec();
+    }
+    std::printf("  -> LC speedup over AC: %.1f%% (paper: ~15%%)\n\n",
+                (ac_time - lc_time) / ac_time * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Wall-clock micro-benchmarks of the kernel hot paths (google-benchmark).
+// These measure the HOST cost of the library itself — event routing, queue
+// surgery, rollback, state saving — as opposed to the modeled testbed times
+// reported by the figure benches.
+#include <benchmark/benchmark.h>
+
+#include "otw/apps/phold.hpp"
+#include "otw/tw/kernel.hpp"
+#include "otw/tw/queues.hpp"
+#include "otw/util/rng.hpp"
+
+namespace {
+
+using namespace otw;
+
+void BM_RngNextBelow(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_below(1'000));
+  }
+}
+BENCHMARK(BM_RngNextBelow);
+
+void BM_DeriveSendSeq(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tw::derive_send_seq(tw::VirtualTime{i++}, 3, 7, 11, 2));
+  }
+}
+BENCHMARK(BM_DeriveSendSeq);
+
+tw::Event make_event(std::uint64_t t, std::uint64_t n) {
+  tw::Event e;
+  e.recv_time = tw::VirtualTime{t};
+  e.sender = 1;
+  e.receiver = 0;
+  e.seq = n;
+  e.instance = n;
+  return e;
+}
+
+void BM_InputQueueInsertAdvance(benchmark::State& state) {
+  const auto depth = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    tw::InputQueue q;
+    util::Xoshiro256 rng(7);
+    state.ResumeTiming();
+    for (std::uint64_t i = 0; i < depth; ++i) {
+      q.insert(make_event(rng.next_below(1'000'000), n++));
+    }
+    while (q.peek_next() != nullptr) {
+      benchmark::DoNotOptimize(q.advance());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_InputQueueInsertAdvance)->Arg(64)->Arg(1'024)->Arg(16'384);
+
+void BM_StateSaveRestore(benchmark::State& state) {
+  struct Big {
+    std::uint64_t words[128];
+  };
+  tw::PodState<Big> current;
+  for (auto _ : state) {
+    auto clone = current.clone();
+    benchmark::DoNotOptimize(clone->digest());
+  }
+}
+BENCHMARK(BM_StateSaveRestore);
+
+/// Host throughput of the whole Time Warp stack on the simulated platform:
+/// how many committed events per wall second the library executes.
+void BM_PholdEndToEnd(benchmark::State& state) {
+  apps::phold::PholdConfig app;
+  app.num_objects = 16;
+  app.num_lps = 4;
+  app.population_per_object = 4;
+  app.event_grain_ns = 1'000;
+  const tw::Model model = apps::phold::build_model(app);
+  tw::KernelConfig kc;
+  kc.num_lps = 4;
+  kc.end_time = tw::VirtualTime{200'000};
+  platform::SimulatedNowConfig now;  // default costs
+  std::uint64_t committed = 0;
+  for (auto _ : state) {
+    const tw::RunResult r = tw::run_simulated_now(model, kc, now);
+    committed = r.stats.total_committed();
+    benchmark::DoNotOptimize(committed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(committed));
+  state.counters["committed_events"] = static_cast<double>(committed);
+}
+BENCHMARK(BM_PholdEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_SequentialEndToEnd(benchmark::State& state) {
+  apps::phold::PholdConfig app;
+  app.num_objects = 16;
+  app.num_lps = 4;
+  app.population_per_object = 4;
+  app.event_grain_ns = 1'000;
+  const tw::Model model = apps::phold::build_model(app);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const tw::SequentialResult r =
+        tw::run_sequential(model, tw::VirtualTime{200'000});
+    events = r.events_processed;
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SequentialEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Gate-level digital logic simulation — the paper's motivating domain (the
+// authors' dynamic-cancellation observations come from "digital systems
+// models written in the hardware description language VHDL", paper §5).
+//
+// The model is a synchronous sequential circuit: a ring of D flip-flops
+// clocked at a fixed period drives a random combinational network of 2-input
+// gates whose outputs feed back into the flip-flop inputs. Gates only emit
+// when their output VALUE changes (glitch suppression), which is precisely
+// why logic simulation is the classic lazy-cancellation winner: after a
+// rollback, re-evaluation usually regenerates the identical transitions.
+//
+// Objects: one per gate and one per flip-flop; flip-flops self-schedule
+// their clock ticks. Everything an object needs to re-derive its committed
+// behaviour lives in its PodState (input values, latched bit, a signature
+// accumulator used by the cross-kernel digest checks).
+#pragma once
+
+#include <cstdint>
+
+#include "otw/tw/kernel.hpp"
+
+namespace otw::apps::logic {
+
+enum class GateOp : std::uint8_t { And, Or, Xor, Nand, Nor, Xnor };
+
+struct LogicConfig {
+  /// Combinational 2-input gates.
+  std::uint32_t num_gates = 96;
+  /// D flip-flops (the state ring).
+  std::uint32_t num_dffs = 32;
+  tw::LpId num_lps = 4;
+  /// Virtual ticks between clock edges.
+  std::uint64_t clock_period = 100;
+  /// Clock edges simulated (the workload is otherwise infinite).
+  std::uint32_t num_cycles = 200;
+  /// Gate propagation delays are 1..max_gate_delay ticks (per-gate, fixed).
+  std::uint64_t max_gate_delay = 5;
+  /// Fanout per net is 1..max_fanout.
+  std::uint32_t max_fanout = 3;
+  /// Fraction of XOR/XNOR gates. Parity gates propagate every input flip
+  /// (high activity: reordered inputs change the transition stream, so
+  /// aggressive cancellation wins); AND/OR-family gates absorb most flips
+  /// (signals settle, regenerations match, lazy cancellation wins). The
+  /// knob reproduces the paper's observation that the optimal strategy is
+  /// application-dependent.
+  double xor_fraction = 0.33;
+  /// Modeled host computation per event, nanoseconds.
+  std::uint64_t event_grain_ns = 1'500;
+  std::uint64_t seed = 7;
+
+  [[nodiscard]] std::uint32_t total_objects() const noexcept {
+    return num_gates + num_dffs;
+  }
+  [[nodiscard]] tw::VirtualTime end_time() const noexcept {
+    return tw::VirtualTime{clock_period * (num_cycles + 1)};
+  }
+};
+
+/// Builds the circuit model. The netlist is derived deterministically from
+/// the seed; the same config always yields the same circuit.
+tw::Model build_model(const LogicConfig& config);
+
+}  // namespace otw::apps::logic

@@ -1,0 +1,292 @@
+#include "otw/apps/logic.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "otw/util/rng.hpp"
+
+namespace otw::apps::logic {
+
+namespace {
+
+enum MsgKind : std::uint16_t { kData = 0, kClock = 1 };
+
+struct NetMsg {
+  std::uint32_t source = 0;
+  std::uint16_t pin = 0;
+  std::uint8_t value = 0;
+  std::uint8_t kind = kData;
+};
+static_assert(std::has_unique_object_representations_v<NetMsg>);
+
+struct Fanout {
+  std::uint32_t target;
+  std::uint16_t pin;
+};
+
+struct GateInfo {
+  GateOp op = GateOp::And;
+  std::uint64_t delay = 1;
+  std::vector<Fanout> fanout;
+};
+
+struct DffInfo {
+  std::uint8_t initial = 0;
+  std::vector<Fanout> fanout;
+};
+
+/// The immutable circuit: generated once per build_model call, shared by all
+/// object factories (and identical across kernels for the same config).
+struct Netlist {
+  LogicConfig config;
+  std::vector<GateInfo> gates;
+  std::vector<DffInfo> dffs;
+
+  [[nodiscard]] tw::LpId lp_of(std::uint32_t object) const {
+    if (object < config.num_gates) {
+      return static_cast<tw::LpId>(std::uint64_t{object} * config.num_lps /
+                                   config.num_gates);
+    }
+    const std::uint32_t d = object - config.num_gates;
+    return static_cast<tw::LpId>(std::uint64_t{d} * config.num_lps /
+                                 config.num_dffs);
+  }
+};
+
+std::uint8_t evaluate(GateOp op, std::uint8_t a, std::uint8_t b) {
+  switch (op) {
+    case GateOp::And: return a & b;
+    case GateOp::Or: return a | b;
+    case GateOp::Xor: return a ^ b;
+    case GateOp::Nand: return (a & b) ^ 1;
+    case GateOp::Nor: return (a | b) ^ 1;
+    case GateOp::Xnor: return (a ^ b) ^ 1;
+  }
+  return 0;
+}
+
+std::shared_ptr<const Netlist> generate(const LogicConfig& config) {
+  auto netlist = std::make_shared<Netlist>();
+  netlist->config = config;
+  netlist->gates.resize(config.num_gates);
+  netlist->dffs.resize(config.num_dffs);
+  util::Xoshiro256 rng(config.seed, 0xC1DC);
+
+  // Fanout budget per source net (gates + dffs).
+  std::vector<std::uint32_t> budget(config.total_objects(), config.max_fanout);
+
+  // Each gate g draws from flip-flop outputs and LOWER-numbered gates, so
+  // the combinational network is a DAG by construction.
+  auto pick_source = [&](std::uint32_t gate_limit) -> std::uint32_t {
+    const std::uint32_t pool = gate_limit + config.num_dffs;
+    std::uint32_t candidate = static_cast<std::uint32_t>(rng.next_below(pool));
+    for (std::uint32_t probe = 0; probe < pool; ++probe) {
+      const std::uint32_t index = (candidate + probe) % pool;
+      // Pool order: gates [0, gate_limit), then dffs.
+      const std::uint32_t object =
+          index < gate_limit ? index : config.num_gates + (index - gate_limit);
+      if (budget[object] > 0) {
+        --budget[object];
+        return object;
+      }
+    }
+    // Everything saturated: overflow the first flip-flop (keeps the circuit
+    // connected; only reachable with tiny max_fanout).
+    return config.num_gates;
+  };
+
+  for (std::uint32_t g = 0; g < config.num_gates; ++g) {
+    GateInfo& gate = netlist->gates[g];
+    if (rng.next_bernoulli(config.xor_fraction)) {
+      gate.op = rng.next_bernoulli(0.5) ? GateOp::Xor : GateOp::Xnor;
+    } else {
+      const GateOp absorbing[] = {GateOp::And, GateOp::Or, GateOp::Nand,
+                                  GateOp::Nor};
+      gate.op = absorbing[rng.next_below(4)];
+    }
+    gate.delay = 1 + rng.next_below(config.max_gate_delay);
+    for (std::uint16_t pin = 0; pin < 2; ++pin) {
+      const std::uint32_t source = pick_source(g);
+      if (source < config.num_gates) {
+        netlist->gates[source].fanout.push_back(Fanout{g, pin});
+      } else {
+        netlist->dffs[source - config.num_gates].fanout.push_back(
+            Fanout{g, pin});
+      }
+    }
+  }
+  // Flip-flop D inputs tap late gates (the feedback path).
+  for (std::uint32_t d = 0; d < config.num_dffs; ++d) {
+    netlist->dffs[d].initial = static_cast<std::uint8_t>(rng.next_below(2));
+    const std::uint32_t half = config.num_gates / 2;
+    const std::uint32_t source =
+        half + static_cast<std::uint32_t>(rng.next_below(config.num_gates - half));
+    netlist->gates[source].fanout.push_back(
+        Fanout{config.num_gates + d, /*pin=*/0});
+  }
+  return netlist;
+}
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a * 0x9E3779B97F4A7C15ULL + b;
+  return util::splitmix64(s);
+}
+
+struct GateState {
+  std::uint64_t events = 0;
+  std::uint64_t signature = 0;
+  std::uint8_t in[2] = {0, 0};
+  std::uint8_t out = 0;
+  std::uint8_t pad[5] = {};
+};
+static_assert(std::has_unique_object_representations_v<GateState>);
+
+class Gate final : public tw::SimulationObject {
+ public:
+  Gate(std::shared_ptr<const Netlist> netlist, std::uint32_t index)
+      : netlist_(std::move(netlist)), index_(index) {}
+
+  std::unique_ptr<tw::ObjectState> initial_state() const override {
+    GateState state;
+    const GateInfo& info = netlist_->gates[index_];
+    state.out = evaluate(info.op, 0, 0);
+    return std::make_unique<tw::PodState<GateState>>(state);
+  }
+
+  void process_event(tw::ObjectContext& ctx, const tw::Event& event) override {
+    ctx.charge(netlist_->config.event_grain_ns);
+    auto& state = ctx.state_as<GateState>();
+    const auto msg = event.payload.as<NetMsg>();
+    OTW_ASSERT(msg.kind == kData && msg.pin < 2);
+    state.in[msg.pin] = msg.value;
+    ++state.events;
+    state.signature = mix(state.signature, (std::uint64_t{msg.source} << 8) |
+                                               msg.value);
+
+    const GateInfo& info = netlist_->gates[index_];
+    const std::uint8_t next = evaluate(info.op, state.in[0], state.in[1]);
+    if (next == state.out) {
+      return;  // glitch suppressed: no transition, no traffic
+    }
+    state.out = next;
+    emit(ctx, info.fanout, next, info.delay);
+  }
+
+  [[nodiscard]] const char* kind() const noexcept override { return "gate"; }
+
+ private:
+  void emit(tw::ObjectContext& ctx, const std::vector<Fanout>& fanout,
+            std::uint8_t value, std::uint64_t delay) {
+    for (const Fanout& f : fanout) {
+      NetMsg msg;
+      msg.source = index_;
+      msg.pin = f.pin;
+      msg.value = value;
+      ctx.send_pod(f.target, delay, msg);
+    }
+  }
+
+  std::shared_ptr<const Netlist> netlist_;
+  std::uint32_t index_;
+};
+
+struct DffState {
+  std::uint64_t cycles = 0;
+  std::uint64_t signature = 0;
+  std::uint8_t d = 0;
+  std::uint8_t q = 0;
+  std::uint8_t pad[6] = {};
+};
+static_assert(std::has_unique_object_representations_v<DffState>);
+
+class Dff final : public tw::SimulationObject {
+ public:
+  Dff(std::shared_ptr<const Netlist> netlist, std::uint32_t index)
+      : netlist_(std::move(netlist)), index_(index) {}
+
+  std::unique_ptr<tw::ObjectState> initial_state() const override {
+    DffState state;
+    state.d = netlist_->dffs[index_].initial;
+    state.q = 0;
+    return std::make_unique<tw::PodState<DffState>>(state);
+  }
+
+  void initialize(tw::ObjectContext& ctx) override {
+    schedule_clock(ctx);
+  }
+
+  void process_event(tw::ObjectContext& ctx, const tw::Event& event) override {
+    ctx.charge(netlist_->config.event_grain_ns);
+    auto& state = ctx.state_as<DffState>();
+    const auto msg = event.payload.as<NetMsg>();
+    if (msg.kind == kData) {
+      state.d = msg.value;
+      state.signature = mix(state.signature, (std::uint64_t{msg.source} << 8) |
+                                                 msg.value);
+      return;
+    }
+    // Clock edge: latch D; emit Q on change (and once at start-up so the
+    // network sees the initial values). Flip-flop 0 is a toggle (a clock
+    // divider): it guarantees the circuit oscillates even when the random
+    // feedback map has a fixed point.
+    const std::uint8_t next =
+        index_ == 0 ? static_cast<std::uint8_t>(state.q ^ 1) : state.d;
+    if (next != state.q || state.cycles == 0) {
+      state.q = next;
+      for (const Fanout& f : netlist_->dffs[index_].fanout) {
+        NetMsg out;
+        out.source = netlist_->config.num_gates + index_;
+        out.pin = f.pin;
+        out.value = next;
+        ctx.send_pod(f.target, 1, out);
+      }
+    }
+    state.signature = mix(state.signature, 0x1000 | next);
+    if (++state.cycles < netlist_->config.num_cycles) {
+      schedule_clock(ctx);
+    }
+  }
+
+  [[nodiscard]] const char* kind() const noexcept override { return "dff"; }
+
+ private:
+  void schedule_clock(tw::ObjectContext& ctx) {
+    NetMsg tick;
+    tick.source = netlist_->config.num_gates + index_;
+    tick.kind = kClock;
+    ctx.send_pod(netlist_->config.num_gates + index_,
+                 netlist_->config.clock_period, tick);
+  }
+
+  std::shared_ptr<const Netlist> netlist_;
+  std::uint32_t index_;
+};
+
+}  // namespace
+
+tw::Model build_model(const LogicConfig& config) {
+  OTW_REQUIRE(config.num_gates >= 2);
+  OTW_REQUIRE(config.num_dffs >= 1);
+  OTW_REQUIRE(config.num_lps >= 1);
+  OTW_REQUIRE(config.num_gates >= config.num_lps &&
+              config.num_dffs >= config.num_lps);
+  OTW_REQUIRE(config.clock_period >= 2);
+  OTW_REQUIRE(config.max_gate_delay >= 1 &&
+              config.max_gate_delay < config.clock_period);
+  OTW_REQUIRE(config.max_fanout >= 1);
+  OTW_REQUIRE(config.xor_fraction >= 0.0 && config.xor_fraction <= 1.0);
+
+  const std::shared_ptr<const Netlist> netlist = generate(config);
+  tw::Model model;
+  for (std::uint32_t g = 0; g < config.num_gates; ++g) {
+    model.add(netlist->lp_of(g),
+              [netlist, g] { return std::make_unique<Gate>(netlist, g); });
+  }
+  for (std::uint32_t d = 0; d < config.num_dffs; ++d) {
+    model.add(netlist->lp_of(config.num_gates + d),
+              [netlist, d] { return std::make_unique<Dff>(netlist, d); });
+  }
+  return model;
+}
+
+}  // namespace otw::apps::logic

@@ -1,0 +1,49 @@
+// PHOLD: the standard synthetic Time Warp workload (Fujimoto).
+//
+// A fixed population of messages circulates among objects: processing one
+// message schedules exactly one successor at a random destination after a
+// random delay. remote_probability controls how much traffic crosses LP
+// boundaries (the rollback pressure knob). Used by the test suite and the
+// ablation benches; the paper's figures use SMMP and RAID.
+#pragma once
+
+#include <cstdint>
+
+#include "otw/tw/kernel.hpp"
+
+namespace otw::apps::phold {
+
+struct PholdConfig {
+  std::uint32_t num_objects = 16;
+  tw::LpId num_lps = 4;
+  /// Initial events seeded per object (total population = objects * this).
+  std::uint32_t population_per_object = 4;
+  /// Probability a successor is sent to an object on another LP.
+  double remote_probability = 0.5;
+  /// Mean of the exponential successor delay, in virtual ticks.
+  std::uint64_t mean_delay = 100;
+  /// Modeled computation per event, nanoseconds.
+  std::uint64_t event_grain_ns = 5'000;
+  std::uint64_t seed = 1;
+
+  /// When > 0, the workload alternates between two behavioural phases every
+  /// phase_length virtual ticks: an order-INdependent phase (successor
+  /// destination/delay derived from the token alone — rollback regenerations
+  /// are identical, favouring lazy cancellation) and an order-DEPENDENT
+  /// phase (successor drawn from the object's RNG stream — regenerations
+  /// differ after reordering, favouring aggressive cancellation). Exercises
+  /// the paper's claim that the optimal configuration changes over the
+  /// lifetime of one simulation.
+  std::uint64_t phase_length = 0;
+
+  /// Objects are placed round-robin: object i on LP (i % num_lps).
+  [[nodiscard]] tw::LpId lp_of(std::uint32_t object) const noexcept {
+    return object % num_lps;
+  }
+};
+
+/// Builds the PHOLD model; run it with an end_time (the workload is
+/// otherwise infinite).
+tw::Model build_model(const PholdConfig& config);
+
+}  // namespace otw::apps::phold

@@ -1,0 +1,136 @@
+#include "otw/apps/phold.hpp"
+
+#include "otw/util/rng.hpp"
+
+namespace otw::apps::phold {
+
+namespace {
+
+struct PholdToken {
+  std::uint64_t hop = 0;
+  std::uint64_t trace = 0;  ///< running hash of the token's path
+};
+static_assert(std::has_unique_object_representations_v<PholdToken>,
+              "payload must be padding-free for bitwise comparison");
+
+struct PholdState {
+  util::Xoshiro256 rng;
+  std::uint64_t events_handled = 0;
+  std::uint64_t checksum = 0;
+  /// Padding inflates the state so checkpointing has a realistic cost.
+  std::uint64_t pad[20] = {};
+};
+static_assert(std::has_unique_object_representations_v<PholdState>,
+              "state must be padding-free for cross-kernel digests");
+
+class PholdObject final : public tw::SimulationObject {
+ public:
+  PholdObject(const PholdConfig& config, std::uint32_t index)
+      : config_(config), index_(index) {}
+
+  [[nodiscard]] std::unique_ptr<tw::ObjectState> initial_state() const override {
+    PholdState state;
+    state.rng = util::Xoshiro256(config_.seed, index_);
+    return std::make_unique<tw::PodState<PholdState>>(state);
+  }
+
+  void initialize(tw::ObjectContext& ctx) override {
+    auto& state = ctx.state_as<PholdState>();
+    for (std::uint32_t i = 0; i < config_.population_per_object; ++i) {
+      forward(ctx, state, PholdToken{0, config_.seed ^ index_ ^ i});
+    }
+  }
+
+  void process_event(tw::ObjectContext& ctx, const tw::Event& event) override {
+    ctx.charge(config_.event_grain_ns);
+    auto& state = ctx.state_as<PholdState>();
+    auto token = event.payload.as<PholdToken>();
+
+    ++state.events_handled;
+    state.checksum = mix(state.checksum ^ token.trace ^ event.recv_time.ticks());
+
+    ++token.hop;
+    token.trace = mix(token.trace ^ (static_cast<std::uint64_t>(index_) << 32) ^
+                      token.hop);
+    forward(ctx, state, token);
+  }
+
+  [[nodiscard]] const char* kind() const noexcept override { return "phold"; }
+
+ private:
+  static std::uint64_t mix(std::uint64_t x) noexcept {
+    std::uint64_t s = x;
+    return util::splitmix64(s);
+  }
+
+  void forward(tw::ObjectContext& ctx, PholdState& state, const PholdToken& token) {
+    if (config_.phase_length > 0 &&
+        (ctx.now().ticks() / config_.phase_length) % 2 == 0) {
+      // Order-independent phase: the successor is a pure function of the
+      // token, so a rollback regenerates the identical message (lazy
+      // cancellation scores hits here).
+      std::uint64_t h = token.trace ^ (std::uint64_t{token.hop} << 17) ^
+                        config_.seed ^ index_;
+      const std::uint64_t draw = util::splitmix64(h);
+      std::uint32_t dest =
+          static_cast<std::uint32_t>(draw % (config_.num_objects - 1));
+      dest += dest >= index_;  // skip self
+      const auto delay =
+          1 + static_cast<tw::VirtualTime::rep>((draw >> 32) %
+                                                (2 * config_.mean_delay));
+      ctx.send_pod(dest, delay, token);
+      return;
+    }
+    const std::uint32_t dest = pick_destination(state);
+    const auto delay = 1 + static_cast<tw::VirtualTime::rep>(
+                               state.rng.next_exponential(
+                                   static_cast<double>(config_.mean_delay)));
+    ctx.send_pod(dest, delay, token);
+  }
+
+  [[nodiscard]] std::uint32_t pick_destination(PholdState& state) const {
+    const tw::LpId my_lp = config_.lp_of(index_);
+    // Round-robin placement: objects on my LP are those congruent to my_lp.
+    const std::uint32_t on_my_lp =
+        (config_.num_objects + config_.num_lps - 1 - my_lp) / config_.num_lps;
+    const bool have_local_peer = on_my_lp > 1;
+    bool remote = config_.num_lps > 1 &&
+                  state.rng.next_bernoulli(config_.remote_probability);
+    if (!have_local_peer) {
+      remote = true;  // no same-LP peer exists
+    }
+    for (;;) {
+      const auto candidate = static_cast<std::uint32_t>(
+          state.rng.next_below(config_.num_objects));
+      if (candidate == index_) {
+        continue;
+      }
+      const bool candidate_remote = config_.lp_of(candidate) != my_lp;
+      if (candidate_remote == remote) {
+        return candidate;
+      }
+    }
+  }
+
+  PholdConfig config_;
+  std::uint32_t index_;
+};
+
+}  // namespace
+
+tw::Model build_model(const PholdConfig& config) {
+  OTW_REQUIRE(config.num_objects >= 2);
+  OTW_REQUIRE(config.num_lps >= 1);
+  OTW_REQUIRE(config.num_objects >= config.num_lps);
+  OTW_REQUIRE(config.population_per_object >= 1);
+  OTW_REQUIRE(config.remote_probability >= 0.0 && config.remote_probability <= 1.0);
+
+  tw::Model model;
+  for (std::uint32_t i = 0; i < config.num_objects; ++i) {
+    model.add(config.lp_of(i),
+              [config, i] { return std::make_unique<PholdObject>(config, i); });
+  }
+  return model;
+}
+
+}  // namespace otw::apps::phold

@@ -1,0 +1,447 @@
+#include "otw/apps/raid.hpp"
+
+#include "otw/util/rng.hpp"
+
+namespace otw::apps::raid {
+
+namespace {
+
+enum MsgType : std::uint32_t {
+  kTick = 0,      // source -> source (issue pacing)
+  kIoRequest = 1, // source -> fork
+  kDiskOp = 2,    // fork -> disk
+  kDiskDone = 3,  // disk -> fork
+  kIoDone = 4,    // fork -> source
+};
+
+enum OpKind : std::uint32_t { kRead = 0, kWrite = 1, kParityWrite = 2 };
+
+struct RaidMsg {
+  std::uint64_t issued_at = 0;
+  std::uint32_t req_index = 0;
+  std::uint32_t stripe = 0;
+  std::uint32_t cylinder = 0;
+  std::uint16_t type = kTick;
+  std::uint16_t source = 0;
+  std::uint16_t units = 0;
+  std::uint16_t start_unit = 0;
+  std::uint16_t op_kind = kRead;
+  std::uint16_t disk = 0;
+  std::uint16_t sectors = 0;
+  std::uint16_t slot = 0;
+  std::uint16_t is_write = 0;
+  std::uint16_t pad = 0;
+};
+static_assert(sizeof(RaidMsg) <= tw::kMaxPayloadBytes);
+static_assert(std::has_unique_object_representations_v<RaidMsg>);
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a * 0x9E3779B97F4A7C15ULL + b;
+  return util::splitmix64(s);
+}
+
+/// Object-id layout: sources [0,S), forks [S,S+F), disks [S+F,S+F+D).
+struct Layout {
+  explicit Layout(const RaidConfig& cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] std::uint32_t sources_per_lp() const {
+    return cfg_.num_sources / cfg_.num_lps;
+  }
+  [[nodiscard]] std::uint32_t forks_per_lp() const {
+    return cfg_.num_forks / cfg_.num_lps;
+  }
+  [[nodiscard]] std::uint32_t disks_per_lp() const {
+    return cfg_.num_disks / cfg_.num_lps;
+  }
+
+  [[nodiscard]] tw::ObjectId source_id(std::uint32_t s) const { return s; }
+  [[nodiscard]] tw::ObjectId fork_id(std::uint32_t f) const {
+    return cfg_.num_sources + f;
+  }
+  [[nodiscard]] tw::ObjectId disk_id(std::uint32_t d) const {
+    return cfg_.num_sources + cfg_.num_forks + d;
+  }
+
+  [[nodiscard]] tw::LpId lp_of_source(std::uint32_t s) const {
+    return s / sources_per_lp();
+  }
+  [[nodiscard]] tw::LpId lp_of_fork(std::uint32_t f) const {
+    return f / forks_per_lp();
+  }
+  [[nodiscard]] tw::LpId lp_of_disk(std::uint32_t d) const {
+    return d / disks_per_lp();
+  }
+
+  /// Each source uses a fork on its own LP (the paper's partitioning keeps
+  /// source->fork traffic intra-LP; fork->disk traffic crosses LPs).
+  [[nodiscard]] std::uint32_t fork_of_source(std::uint32_t s) const {
+    const tw::LpId lp = lp_of_source(s);
+    return lp * forks_per_lp() + s % forks_per_lp();
+  }
+
+  [[nodiscard]] std::uint32_t parity_disk(std::uint32_t row) const {
+    return parity_disk_of(row, cfg_.num_disks);
+  }
+  [[nodiscard]] std::uint32_t data_disk(std::uint32_t row, std::uint32_t unit) const {
+    return data_disk_of(row, unit, cfg_.num_disks);
+  }
+  [[nodiscard]] std::uint32_t cylinder_of(std::uint32_t row) const {
+    return (row * cfg_.stripe_unit_sectors / cfg_.sectors_per_track) %
+           cfg_.cylinders;
+  }
+
+  RaidConfig cfg_;
+};
+
+// ---------------------------------------------------------------- Source --
+
+struct SourceState {
+  util::Xoshiro256 rng;
+  std::uint32_t issued = 0;
+  std::uint32_t completed = 0;
+  std::uint64_t latency_sum = 0;
+  std::uint64_t checksum = 0;
+};
+static_assert(std::has_unique_object_representations_v<SourceState>);
+
+class Source final : public tw::SimulationObject {
+ public:
+  Source(const RaidConfig& cfg, std::uint32_t s) : layout_(cfg), s_(s) {}
+
+  [[nodiscard]] std::unique_ptr<tw::ObjectState> initial_state() const override {
+    SourceState state;
+    state.rng = util::Xoshiro256(layout_.cfg_.seed, 0x500 + s_);
+    return std::make_unique<tw::PodState<SourceState>>(state);
+  }
+
+  void initialize(tw::ObjectContext& ctx) override {
+    auto& state = ctx.state_as<SourceState>();
+    const std::uint32_t window =
+        std::min(layout_.cfg_.window_per_source, layout_.cfg_.requests_per_source);
+    for (std::uint32_t w = 0; w < window; ++w) {
+      schedule_tick(ctx, state);
+    }
+  }
+
+  void process_event(tw::ObjectContext& ctx, const tw::Event& event) override {
+    ctx.charge(layout_.cfg_.event_grain_ns);
+    auto& state = ctx.state_as<SourceState>();
+    const auto msg = event.payload.as<RaidMsg>();
+    switch (msg.type) {
+      case kTick:
+        issue(ctx, state);
+        break;
+      case kIoDone:
+        ++state.completed;
+        state.latency_sum += ctx.now().ticks() - msg.issued_at;
+        state.checksum = mix(state.checksum, msg.req_index ^ ctx.now().ticks());
+        if (state.issued < layout_.cfg_.requests_per_source) {
+          schedule_tick(ctx, state);
+        }
+        break;
+      default:
+        OTW_REQUIRE_MSG(false, "unexpected message at source");
+    }
+  }
+
+  [[nodiscard]] const char* kind() const noexcept override { return "source"; }
+
+ private:
+  void schedule_tick(tw::ObjectContext& ctx, SourceState& state) {
+    const auto think = 1 + static_cast<tw::VirtualTime::rep>(
+                               state.rng.next_exponential(
+                                   static_cast<double>(layout_.cfg_.mean_think)));
+    RaidMsg tick;
+    tick.type = kTick;
+    tick.source = s_;
+    ctx.send_pod(layout_.source_id(s_), think, tick);
+  }
+
+  void issue(tw::ObjectContext& ctx, SourceState& state) {
+    if (state.issued >= layout_.cfg_.requests_per_source) {
+      return;  // a tick scheduled before the budget ran out
+    }
+    RaidMsg req;
+    req.type = kIoRequest;
+    req.source = s_;
+    req.req_index = state.issued++;
+    const std::uint32_t drawn = 1 + static_cast<std::uint32_t>(
+        state.rng.next_below(layout_.cfg_.max_units_per_request));
+    // A request stays within one stripe row (units <= data disks).
+    req.units = static_cast<std::uint16_t>(
+        std::min(drawn, layout_.cfg_.num_disks - 1));
+    req.stripe = static_cast<std::uint32_t>(state.rng.next_below(
+        std::uint64_t{layout_.cfg_.cylinders} * layout_.cfg_.sectors_per_track /
+        layout_.cfg_.stripe_unit_sectors));
+    req.start_unit = static_cast<std::uint32_t>(
+        state.rng.next_below(layout_.cfg_.num_disks - req.units));
+    req.is_write = state.rng.next_bernoulli(layout_.cfg_.write_fraction) ? 1 : 0;
+    req.issued_at = ctx.now().ticks() + 1;
+    ctx.send_pod(layout_.fork_id(layout_.fork_of_source(s_)), 1, req);
+  }
+
+  Layout layout_;
+  std::uint32_t s_;
+};
+
+// ------------------------------------------------------------------ Fork --
+
+constexpr std::uint32_t kForkSlots = 64;
+
+struct ForkState {
+  std::uint64_t busy_until = 0;
+  std::uint32_t remaining[kForkSlots] = {};
+  std::uint32_t slot_source[kForkSlots] = {};
+  std::uint32_t slot_req[kForkSlots] = {};
+  std::uint64_t slot_issued[kForkSlots] = {};
+  std::uint64_t checksum = 0;
+  std::uint64_t completed = 0;
+};
+static_assert(std::has_unique_object_representations_v<ForkState>);
+
+class Fork final : public tw::SimulationObject {
+ public:
+  Fork(const RaidConfig& cfg, std::uint32_t f) : layout_(cfg), f_(f) {}
+
+  [[nodiscard]] std::unique_ptr<tw::ObjectState> initial_state() const override {
+    return std::make_unique<tw::PodState<ForkState>>();
+  }
+
+  void process_event(tw::ObjectContext& ctx, const tw::Event& event) override {
+    ctx.charge(layout_.cfg_.event_grain_ns);
+    auto& state = ctx.state_as<ForkState>();
+    const auto msg = event.payload.as<RaidMsg>();
+    switch (msg.type) {
+      case kIoRequest:
+        dispatch(ctx, state, msg);
+        break;
+      case kDiskDone:
+        complete_op(ctx, state, msg);
+        break;
+      default:
+        OTW_REQUIRE_MSG(false, "unexpected message at fork");
+    }
+  }
+
+  [[nodiscard]] const char* kind() const noexcept override { return "fork"; }
+
+ private:
+  void dispatch(tw::ObjectContext& ctx, ForkState& state, const RaidMsg& req) {
+    std::uint32_t slot = kForkSlots;
+    for (std::uint32_t i = 0; i < kForkSlots; ++i) {
+      if (state.remaining[i] == 0) {
+        slot = i;
+        break;
+      }
+    }
+    OTW_REQUIRE_MSG(slot != kForkSlots, "fork outstanding-request table full");
+
+    state.slot_source[slot] = req.source;
+    state.slot_req[slot] = req.req_index;
+    state.slot_issued[slot] = req.issued_at;
+
+    // Expand the request into per-disk operations (RAID-5): reads touch the
+    // data units; writes also rewrite the row's parity unit.
+    std::uint32_t ops = 0;
+    for (std::uint32_t u = 0; u < req.units; ++u) {
+      forward_op(ctx, state, req, slot,
+                 layout_.data_disk(req.stripe, req.start_unit + u),
+                 req.is_write != 0 ? kWrite : kRead);
+      ++ops;
+    }
+    if (req.is_write != 0) {
+      forward_op(ctx, state, req, slot, layout_.parity_disk(req.stripe),
+                 kParityWrite);
+      ++ops;
+    }
+    state.remaining[slot] = ops;
+    state.checksum = mix(state.checksum, req.stripe ^ (std::uint64_t{ops} << 32));
+  }
+
+  void forward_op(tw::ObjectContext& ctx, ForkState& state, const RaidMsg& req,
+                  std::uint32_t slot, std::uint32_t disk, std::uint32_t kind) {
+    const std::uint64_t now = ctx.now().ticks();
+    std::uint64_t dispatch_at = now + layout_.cfg_.ctrl_overhead;
+    if (layout_.cfg_.serialize_fork) {
+      // The controller pushes operations through one dispatch engine; this
+      // busy-until chain is what makes fork output order-dependent.
+      dispatch_at = std::max(now, state.busy_until) + layout_.cfg_.ctrl_overhead;
+      state.busy_until = dispatch_at;
+    }
+    RaidMsg op;
+    op.type = kDiskOp;
+    op.source = req.source;
+    op.req_index = req.req_index;
+    op.stripe = req.stripe;
+    op.op_kind = kind;
+    op.disk = disk;
+    op.cylinder = layout_.cylinder_of(req.stripe);
+    op.sectors = layout_.cfg_.stripe_unit_sectors;
+    op.slot = slot;
+    op.issued_at = req.issued_at;
+    ctx.send_pod(layout_.disk_id(disk), dispatch_at - now, op);
+  }
+
+  void complete_op(tw::ObjectContext& ctx, ForkState& state, const RaidMsg& done) {
+    OTW_REQUIRE(done.slot < kForkSlots);
+    if (layout_.cfg_.serialize_fork) {
+      // Completion handling occupies the same dispatch engine: a reordered
+      // completion shifts every later dispatch time. This is what makes a
+      // fork's regenerated output differ after a rollback — the paper's
+      // "fork objects favour aggressive cancellation" behaviour.
+      state.busy_until = std::max(ctx.now().ticks(), state.busy_until) +
+                         layout_.cfg_.ctrl_overhead;
+    }
+    // Optimistic execution can deliver a completion whose dispatch has been
+    // rolled back and re-issued under a different slot. The pending
+    // anti-message will undo this processing, so the only requirement is to
+    // handle it deterministically — ignore it. (A committed completion
+    // always matches: annihilations resolve before GVT passes it.)
+    if (state.remaining[done.slot] == 0 ||
+        state.slot_source[done.slot] != done.source ||
+        state.slot_req[done.slot] != done.req_index) {
+      return;
+    }
+    state.checksum = mix(state.checksum, done.disk ^ ctx.now().ticks());
+    if (--state.remaining[done.slot] == 0) {
+      ++state.completed;
+      RaidMsg io_done;
+      io_done.type = kIoDone;
+      io_done.source = state.slot_source[done.slot];
+      io_done.req_index = state.slot_req[done.slot];
+      io_done.issued_at = state.slot_issued[done.slot];
+      // Completions leave through the same (serialized) dispatch engine, so
+      // their send time also depends on the controller's recent history.
+      const std::uint64_t delay =
+          layout_.cfg_.serialize_fork
+              ? state.busy_until - std::min(state.busy_until, ctx.now().ticks()) + 1
+              : 1;
+      ctx.send_pod(layout_.source_id(io_done.source), delay, io_done);
+    }
+  }
+
+  Layout layout_;
+  [[maybe_unused]] std::uint32_t f_;
+};
+
+// ------------------------------------------------------------------ Disk --
+
+struct DiskState {
+  std::uint64_t busy_until = 0;  ///< used only when serialize_disks
+  std::uint32_t head_cylinder = 0;
+  std::uint32_t ops = 0;
+  std::uint64_t busy_ticks = 0;
+  std::uint64_t checksum = 0;
+};
+static_assert(std::has_unique_object_representations_v<DiskState>);
+
+class Disk final : public tw::SimulationObject {
+ public:
+  Disk(const RaidConfig& cfg, std::uint32_t d) : layout_(cfg), d_(d) {}
+
+  [[nodiscard]] std::unique_ptr<tw::ObjectState> initial_state() const override {
+    return std::make_unique<tw::PodState<DiskState>>();
+  }
+
+  void process_event(tw::ObjectContext& ctx, const tw::Event& event) override {
+    ctx.charge(layout_.cfg_.event_grain_ns);
+    auto& state = ctx.state_as<DiskState>();
+    auto op = event.payload.as<RaidMsg>();
+    OTW_ASSERT(op.type == kDiskOp && op.disk == d_);
+
+    // Seek distance: from a fixed park position by default (deterministic in
+    // the request: regenerations after a rollback are identical, which is
+    // why disks favour lazy cancellation).
+    const std::uint32_t from =
+        layout_.cfg_.serialize_disks ? state.head_cylinder
+                                     : layout_.cfg_.cylinders / 2;
+    const std::uint32_t dist =
+        op.cylinder > from ? op.cylinder - from : from - op.cylinder;
+    const std::uint64_t seek =
+        layout_.cfg_.seek_base + std::uint64_t{dist} * layout_.cfg_.seek_per_cylinder;
+    const std::uint64_t rotation =
+        layout_.cfg_.rotation_max == 0
+            ? 0
+            : mix(op.stripe, (std::uint64_t{op.disk} << 32) | op.op_kind) %
+                  layout_.cfg_.rotation_max;
+    const std::uint64_t transfer =
+        std::uint64_t{op.sectors} * layout_.cfg_.transfer_per_sector;
+    std::uint64_t service = seek + rotation + transfer;
+
+    const std::uint64_t now = ctx.now().ticks();
+    std::uint64_t done_at = now + std::max<std::uint64_t>(service, 1);
+    if (layout_.cfg_.serialize_disks) {
+      done_at = std::max(now, state.busy_until) + std::max<std::uint64_t>(service, 1);
+      state.busy_until = done_at;
+      state.head_cylinder = op.cylinder;
+    }
+
+    ++state.ops;
+    state.busy_ticks += service;
+    state.checksum = mix(state.checksum, op.cylinder ^ (std::uint64_t{op.slot} << 32));
+
+    op.type = kDiskDone;
+    const std::uint32_t fork =
+        layout_.fork_of_source(op.source);
+    ctx.send_pod(layout_.fork_id(fork), done_at - now, op);
+  }
+
+  [[nodiscard]] const char* kind() const noexcept override { return "disk"; }
+
+ private:
+  Layout layout_;
+  std::uint32_t d_;
+};
+
+}  // namespace
+
+// RAID-5 left-symmetric: parity rotates backwards with the stripe row; data
+// unit u of row r lives on the disks following the parity disk.
+std::uint32_t parity_disk_of(std::uint32_t row, std::uint32_t num_disks) noexcept {
+  return (num_disks - 1) - (row % num_disks);
+}
+
+std::uint32_t data_disk_of(std::uint32_t row, std::uint32_t unit,
+                           std::uint32_t num_disks) noexcept {
+  return (parity_disk_of(row, num_disks) + 1 + unit) % num_disks;
+}
+
+tw::Model build_model(const RaidConfig& config) {
+  OTW_REQUIRE(config.num_lps >= 1);
+  OTW_REQUIRE_MSG(config.num_sources % config.num_lps == 0,
+                  "sources must divide evenly across LPs");
+  OTW_REQUIRE_MSG(config.num_forks % config.num_lps == 0,
+                  "forks must divide evenly across LPs");
+  OTW_REQUIRE_MSG(config.num_disks % config.num_lps == 0,
+                  "disks must divide evenly across LPs");
+  OTW_REQUIRE(config.num_disks >= 2);
+  OTW_REQUIRE(config.max_units_per_request >= 1);
+  OTW_REQUIRE(config.write_fraction >= 0.0 && config.write_fraction <= 1.0);
+  const Layout layout(config);
+  const std::uint32_t sources_per_fork =
+      config.num_sources / config.num_forks;
+  OTW_REQUIRE_MSG(sources_per_fork * config.window_per_source <= kForkSlots,
+                  "fork slot table too small for this window");
+
+  tw::Model model;
+  for (std::uint32_t s = 0; s < config.num_sources; ++s) {
+    model.add(layout.lp_of_source(s),
+              [config, s] { return std::make_unique<Source>(config, s); });
+  }
+  for (std::uint32_t f = 0; f < config.num_forks; ++f) {
+    model.add(layout.lp_of_fork(f),
+              [config, f] { return std::make_unique<Fork>(config, f); });
+  }
+  for (std::uint32_t d = 0; d < config.num_disks; ++d) {
+    model.add(layout.lp_of_disk(d),
+              [config, d] { return std::make_unique<Disk>(config, d); });
+  }
+  OTW_ASSERT(model.objects.size() == config.total_objects());
+  return model;
+}
+
+std::uint64_t expected_completed_requests(const RaidConfig& config) {
+  return std::uint64_t{config.num_sources} * config.requests_per_source;
+}
+
+}  // namespace otw::apps::raid

@@ -1,0 +1,313 @@
+#include "otw/apps/smmp.hpp"
+
+#include "otw/util/rng.hpp"
+
+namespace otw::apps::smmp {
+
+namespace {
+
+enum MsgType : std::uint32_t {
+  kRequest = 0,      // source -> cache
+  kResponse = 1,     // cache -> source
+  kMemRequest = 2,   // cache -> bus -> bank
+  kMemResponse = 3,  // bank -> cache
+  kTick = 4,         // source -> source (trace pacing)
+};
+
+struct MemMsg {
+  std::uint32_t type = kRequest;
+  std::uint32_t processor = 0;
+  std::uint32_t req_index = 0;
+  std::uint32_t address = 0;
+  std::uint64_t issued_at = 0;  ///< virtual time the source issued the request
+};
+static_assert(std::has_unique_object_representations_v<MemMsg>);
+
+/// Stateless mix so decisions depend on the request, not on draw order:
+/// a rollback replays identical hit/miss outcomes and identical routing,
+/// which is what makes every SMMP object favour lazy cancellation.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) noexcept {
+  std::uint64_t s = a * 0x9E3779B97F4A7C15ULL + b * 0xC2B2AE3D27D4EB4FULL + c;
+  return util::splitmix64(s);
+}
+
+/// Object-id layout: sources [0,P), caches [P,2P), banks [2P,2P+B),
+/// buses [2P+B, 2P+B+L).
+struct Layout {
+  explicit Layout(const SmmpConfig& cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] std::uint32_t sources_per_lp() const {
+    return cfg_.num_processors / cfg_.num_lps;
+  }
+  [[nodiscard]] std::uint32_t banks_per_lp() const {
+    return cfg_.memory_banks / cfg_.num_lps;
+  }
+
+  [[nodiscard]] tw::ObjectId source_id(std::uint32_t p) const { return p; }
+  [[nodiscard]] tw::ObjectId cache_id(std::uint32_t p) const {
+    return cfg_.num_processors + p;
+  }
+  [[nodiscard]] tw::ObjectId bank_id(std::uint32_t b) const {
+    return 2 * cfg_.num_processors + b;
+  }
+  [[nodiscard]] tw::ObjectId bus_id(tw::LpId lp) const {
+    return 2 * cfg_.num_processors + cfg_.memory_banks + lp;
+  }
+
+  [[nodiscard]] tw::LpId lp_of_processor(std::uint32_t p) const {
+    return p / sources_per_lp();
+  }
+  [[nodiscard]] tw::LpId lp_of_bank(std::uint32_t b) const {
+    return b / banks_per_lp();
+  }
+
+  /// Address generation with locality: with probability local_bank_fraction
+  /// the bank is on the processor's own LP.
+  [[nodiscard]] std::uint32_t make_address(std::uint32_t p, std::uint32_t req,
+                                           std::uint64_t seed) const {
+    const std::uint64_t h = mix(seed, (std::uint64_t{p} << 32) | req, 0x51);
+    const bool local =
+        static_cast<double>(h >> 11) * 0x1.0p-53 < cfg_.local_bank_fraction;
+    const std::uint64_t h2 = mix(seed, (std::uint64_t{p} << 32) | req, 0x52);
+    std::uint32_t bank = 0;
+    if (local) {
+      const tw::LpId lp = lp_of_processor(p);
+      bank = lp * banks_per_lp() +
+             static_cast<std::uint32_t>(h2 % banks_per_lp());
+    } else {
+      bank = static_cast<std::uint32_t>(h2 % cfg_.memory_banks);
+    }
+    // Fold a page number above the bank bits: address % banks == bank.
+    const auto page = static_cast<std::uint32_t>((h2 >> 32) & 0xFFFF);
+    return bank + cfg_.memory_banks * page;
+  }
+
+  [[nodiscard]] bool is_hit(std::uint32_t p, std::uint32_t req,
+                            std::uint32_t address, std::uint64_t seed) const {
+    const std::uint64_t h =
+        mix(seed ^ address, (std::uint64_t{p} << 32) | req, 0x53);
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < cfg_.cache_hit_ratio;
+  }
+
+  SmmpConfig cfg_;
+};
+
+struct SourceState {
+  std::uint32_t issued = 0;
+  std::uint32_t completed = 0;
+  std::uint64_t latency_sum = 0;
+  std::uint64_t checksum = 0;
+};
+static_assert(std::has_unique_object_representations_v<SourceState>);
+
+/// Open-loop "test vector" player: the paper's request tokens carry their
+/// creation times, i.e. the trace is issued on a timer, not gated on
+/// responses (consistent with memory accepting any number of pending
+/// requests). Responses are consumed for latency accounting only.
+class Source final : public tw::SimulationObject {
+ public:
+  Source(const SmmpConfig& cfg, std::uint32_t p) : layout_(cfg), p_(p) {}
+
+  [[nodiscard]] std::unique_ptr<tw::ObjectState> initial_state() const override {
+    return std::make_unique<tw::PodState<SourceState>>();
+  }
+
+  void initialize(tw::ObjectContext& ctx) override {
+    if (layout_.cfg_.requests_per_processor > 0) {
+      schedule_tick(ctx, 0);
+    }
+  }
+
+  void process_event(tw::ObjectContext& ctx, const tw::Event& event) override {
+    ctx.charge(layout_.cfg_.event_grain_ns);
+    auto& state = ctx.state_as<SourceState>();
+    const auto msg = event.payload.as<MemMsg>();
+    switch (msg.type) {
+      case kTick: {
+        MemMsg req;
+        req.type = kRequest;
+        req.processor = p_;
+        req.req_index = state.issued;
+        req.address = layout_.make_address(p_, state.issued, layout_.cfg_.seed);
+        req.issued_at = ctx.now().ticks() + 1;
+        ++state.issued;
+        ctx.send_pod(layout_.cache_id(p_), 1, req);
+        if (state.issued < layout_.cfg_.requests_per_processor) {
+          schedule_tick(ctx, state.issued);
+        }
+        break;
+      }
+      case kResponse:
+        ++state.completed;
+        state.latency_sum += ctx.now().ticks() - msg.issued_at;
+        state.checksum = mix(state.checksum, msg.address, ctx.now().ticks());
+        break;
+      default:
+        OTW_REQUIRE_MSG(false, "unexpected message at source");
+    }
+  }
+
+  [[nodiscard]] const char* kind() const noexcept override { return "source"; }
+
+ private:
+  void schedule_tick(tw::ObjectContext& ctx, std::uint32_t index) {
+    // Deterministic jittered cadence around think_time (stateless draw so
+    // re-execution is identical).
+    const std::uint64_t jitter =
+        mix(layout_.cfg_.seed, (std::uint64_t{p_} << 32) | index, 0x71) %
+        (layout_.cfg_.think_time + 1);
+    MemMsg tick;
+    tick.type = kTick;
+    tick.processor = p_;
+    tick.req_index = index;
+    ctx.send_pod(layout_.source_id(p_),
+                 1 + layout_.cfg_.think_time / 2 + jitter, tick);
+  }
+
+  Layout layout_;
+  std::uint32_t p_;
+};
+
+struct CounterState {
+  std::uint64_t handled = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t checksum = 0;
+};
+static_assert(std::has_unique_object_representations_v<CounterState>);
+
+class Cache final : public tw::SimulationObject {
+ public:
+  Cache(const SmmpConfig& cfg, std::uint32_t p) : layout_(cfg), p_(p) {}
+
+  [[nodiscard]] std::unique_ptr<tw::ObjectState> initial_state() const override {
+    return std::make_unique<tw::PodState<CounterState>>();
+  }
+
+  void process_event(tw::ObjectContext& ctx, const tw::Event& event) override {
+    ctx.charge(layout_.cfg_.event_grain_ns);
+    auto& state = ctx.state_as<CounterState>();
+    auto msg = event.payload.as<MemMsg>();
+    ++state.handled;
+    state.checksum = mix(state.checksum, msg.address, msg.type);
+
+    switch (msg.type) {
+      case kRequest:
+        if (layout_.is_hit(msg.processor, msg.req_index, msg.address,
+                           layout_.cfg_.seed)) {
+          ++state.hits;
+          msg.type = kResponse;
+          ctx.send_pod(layout_.source_id(p_), layout_.cfg_.cache_time, msg);
+        } else {
+          msg.type = kMemRequest;
+          ctx.send_pod(layout_.bus_id(layout_.lp_of_processor(p_)),
+                       layout_.cfg_.cache_time, msg);
+        }
+        break;
+      case kMemResponse:
+        msg.type = kResponse;
+        ctx.send_pod(layout_.source_id(p_), layout_.cfg_.link_delay, msg);
+        break;
+      default:
+        OTW_REQUIRE_MSG(false, "unexpected message at cache");
+    }
+  }
+
+  [[nodiscard]] const char* kind() const noexcept override { return "cache"; }
+
+ private:
+  Layout layout_;
+  std::uint32_t p_;
+};
+
+class Bus final : public tw::SimulationObject {
+ public:
+  explicit Bus(const SmmpConfig& cfg) : layout_(cfg) {}
+
+  [[nodiscard]] std::unique_ptr<tw::ObjectState> initial_state() const override {
+    return std::make_unique<tw::PodState<CounterState>>();
+  }
+
+  void process_event(tw::ObjectContext& ctx, const tw::Event& event) override {
+    ctx.charge(layout_.cfg_.event_grain_ns);
+    auto& state = ctx.state_as<CounterState>();
+    const auto msg = event.payload.as<MemMsg>();
+    OTW_ASSERT(msg.type == kMemRequest);
+    ++state.handled;
+    state.checksum = mix(state.checksum, msg.address, 0xB5);
+    const std::uint32_t bank = msg.address % layout_.cfg_.memory_banks;
+    ctx.send_pod(layout_.bank_id(bank), layout_.cfg_.link_delay, msg);
+  }
+
+  [[nodiscard]] const char* kind() const noexcept override { return "bus"; }
+
+ private:
+  Layout layout_;
+};
+
+class Bank final : public tw::SimulationObject {
+ public:
+  explicit Bank(const SmmpConfig& cfg) : layout_(cfg) {}
+
+  [[nodiscard]] std::unique_ptr<tw::ObjectState> initial_state() const override {
+    return std::make_unique<tw::PodState<CounterState>>();
+  }
+
+  void process_event(tw::ObjectContext& ctx, const tw::Event& event) override {
+    ctx.charge(layout_.cfg_.event_grain_ns);
+    auto& state = ctx.state_as<CounterState>();
+    auto msg = event.payload.as<MemMsg>();
+    OTW_ASSERT(msg.type == kMemRequest);
+    ++state.handled;
+    state.checksum = mix(state.checksum, msg.address, 0xE7);
+    // Memory is deliberately not serialized (multiple pending requests are
+    // allowed, as in the paper's model): service time is per-request.
+    msg.type = kMemResponse;
+    ctx.send_pod(layout_.cache_id(msg.processor), layout_.cfg_.memory_time, msg);
+  }
+
+  [[nodiscard]] const char* kind() const noexcept override { return "bank"; }
+
+ private:
+  Layout layout_;
+};
+
+}  // namespace
+
+tw::Model build_model(const SmmpConfig& config) {
+  OTW_REQUIRE(config.num_lps >= 1);
+  OTW_REQUIRE(config.num_processors >= 1);
+  OTW_REQUIRE_MSG(config.num_processors % config.num_lps == 0,
+                  "processors must divide evenly across LPs");
+  OTW_REQUIRE_MSG(config.memory_banks % config.num_lps == 0,
+                  "banks must divide evenly across LPs");
+  OTW_REQUIRE(config.cache_hit_ratio >= 0.0 && config.cache_hit_ratio <= 1.0);
+  OTW_REQUIRE(config.cache_time >= 1 && config.memory_time >= 1 &&
+              config.link_delay >= 1);
+
+  const Layout layout(config);
+  tw::Model model;
+  // Model::add assigns ids sequentially; the Layout id scheme must match.
+  for (std::uint32_t p = 0; p < config.num_processors; ++p) {
+    model.add(layout.lp_of_processor(p),
+              [config, p] { return std::make_unique<Source>(config, p); });
+  }
+  for (std::uint32_t p = 0; p < config.num_processors; ++p) {
+    model.add(layout.lp_of_processor(p),
+              [config, p] { return std::make_unique<Cache>(config, p); });
+  }
+  for (std::uint32_t b = 0; b < config.memory_banks; ++b) {
+    model.add(layout.lp_of_bank(b),
+              [config] { return std::make_unique<Bank>(config); });
+  }
+  for (tw::LpId lp = 0; lp < config.num_lps; ++lp) {
+    model.add(lp, [config] { return std::make_unique<Bus>(config); });
+  }
+  OTW_ASSERT(model.objects.size() == config.total_objects());
+  return model;
+}
+
+std::uint64_t expected_completed_requests(const SmmpConfig& config) {
+  return std::uint64_t{config.num_processors} * config.requests_per_processor;
+}
+
+}  // namespace otw::apps::smmp

@@ -1,0 +1,148 @@
+#include "otw/core/cancellation_controller.hpp"
+
+#include "otw/util/assert.hpp"
+
+namespace otw::core {
+
+const char* to_string(CancellationMode mode) noexcept {
+  return mode == CancellationMode::Aggressive ? "aggressive" : "lazy";
+}
+
+const char* to_string(CancellationPolicy policy) noexcept {
+  switch (policy) {
+    case CancellationPolicy::StaticAggressive: return "AC";
+    case CancellationPolicy::StaticLazy: return "LC";
+    case CancellationPolicy::Dynamic: return "DC";
+    case CancellationPolicy::SingleThreshold: return "ST";
+    case CancellationPolicy::PermanentAfter: return "PS";
+    case CancellationPolicy::MissStreakToAggressive: return "PA";
+  }
+  return "?";
+}
+
+CancellationControlConfig CancellationControlConfig::aggressive() {
+  CancellationControlConfig c;
+  c.policy = CancellationPolicy::StaticAggressive;
+  return c;
+}
+
+CancellationControlConfig CancellationControlConfig::lazy() {
+  CancellationControlConfig c;
+  c.policy = CancellationPolicy::StaticLazy;
+  return c;
+}
+
+CancellationControlConfig CancellationControlConfig::dynamic(std::size_t filter_depth,
+                                                             double a2l, double l2a) {
+  CancellationControlConfig c;
+  c.policy = CancellationPolicy::Dynamic;
+  c.filter_depth = filter_depth;
+  c.a2l_threshold = a2l;
+  c.l2a_threshold = l2a;
+  return c;
+}
+
+CancellationControlConfig CancellationControlConfig::st(double threshold) {
+  CancellationControlConfig c;
+  c.policy = CancellationPolicy::SingleThreshold;
+  c.single_threshold = threshold;
+  return c;
+}
+
+CancellationControlConfig CancellationControlConfig::ps(std::size_t n) {
+  CancellationControlConfig c;
+  c.policy = CancellationPolicy::PermanentAfter;
+  c.filter_depth = n;
+  c.permanent_after = n;
+  return c;
+}
+
+CancellationControlConfig CancellationControlConfig::pa(std::size_t n) {
+  CancellationControlConfig c;
+  c.policy = CancellationPolicy::MissStreakToAggressive;
+  c.miss_streak_limit = n;
+  return c;
+}
+
+namespace {
+
+double effective_lower(const CancellationControlConfig& config) {
+  return config.policy == CancellationPolicy::SingleThreshold
+             ? config.single_threshold
+             : config.l2a_threshold;
+}
+
+double effective_upper(const CancellationControlConfig& config) {
+  return config.policy == CancellationPolicy::SingleThreshold
+             ? config.single_threshold
+             : config.a2l_threshold;
+}
+
+}  // namespace
+
+CancellationController::CancellationController(const CancellationControlConfig& config)
+    : config_(config),
+      window_(config.filter_depth),
+      threshold_(effective_lower(config), effective_upper(config),
+                 HysteresisThreshold::Level::Low) {
+  OTW_REQUIRE(config.filter_depth >= 1);
+  OTW_REQUIRE(config.l2a_threshold <= config.a2l_threshold);
+  OTW_REQUIRE(config.control_period_comparisons >= 1);
+  switch (config_.policy) {
+    case CancellationPolicy::StaticAggressive:
+      mode_ = CancellationMode::Aggressive;
+      freeze();
+      break;
+    case CancellationPolicy::StaticLazy:
+      mode_ = CancellationMode::Lazy;
+      freeze();
+      break;
+    default:
+      // The paper: "The simulation starts with aggressive-cancellation."
+      mode_ = CancellationMode::Aggressive;
+      break;
+  }
+}
+
+void CancellationController::record_comparison(bool hit) {
+  if (!monitoring_) {
+    return;
+  }
+  window_.push(hit);
+  ++comparisons_;
+  miss_streak_ = hit ? 0 : miss_streak_ + 1;
+
+  if (config_.policy == CancellationPolicy::MissStreakToAggressive &&
+      miss_streak_ >= config_.miss_streak_limit) {
+    set_mode(CancellationMode::Aggressive);
+    freeze();
+    return;
+  }
+
+  if (++comparisons_since_decision_ >= config_.control_period_comparisons) {
+    comparisons_since_decision_ = 0;
+    apply_decision();
+  }
+
+  if (config_.policy == CancellationPolicy::PermanentAfter &&
+      comparisons_ >= config_.permanent_after) {
+    // Decide once more from the final HR, then stop paying for monitoring.
+    apply_decision();
+    freeze();
+  }
+}
+
+void CancellationController::apply_decision() {
+  const auto level = threshold_.update(hit_ratio());
+  set_mode(level == HysteresisThreshold::Level::High ? CancellationMode::Lazy
+                                                     : CancellationMode::Aggressive);
+}
+
+void CancellationController::set_mode(CancellationMode next) noexcept {
+  if (next != mode_) {
+    mode_ = next;
+    ++switches_;
+  }
+}
+
+}  // namespace otw::core

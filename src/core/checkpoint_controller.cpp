@@ -1,0 +1,75 @@
+#include "otw/core/checkpoint_controller.hpp"
+
+#include <algorithm>
+
+namespace otw::core {
+
+CheckpointIntervalController::CheckpointIntervalController(
+    const CheckpointControlConfig& config)
+    : config_(config), interval_(config.initial_interval) {
+  OTW_REQUIRE(config.min_interval >= 1);
+  OTW_REQUIRE(config.min_interval <= config.max_interval);
+  OTW_REQUIRE(config.initial_interval >= config.min_interval &&
+              config.initial_interval <= config.max_interval);
+  OTW_REQUIRE(config.control_period_events >= 1);
+  OTW_REQUIRE(config.significance >= 0.0);
+}
+
+bool CheckpointIntervalController::on_event_processed() {
+  if (++events_in_period_ < config_.control_period_events) {
+    return false;
+  }
+  apply_transfer();
+  return true;
+}
+
+void CheckpointIntervalController::apply_transfer() {
+  double cost = static_cast<double>(state_save_cost_ns_ + coast_forward_cost_ns_);
+  if (config_.normalize_per_event && events_in_period_ > 0) {
+    cost /= static_cast<double>(events_in_period_);
+  }
+
+  const bool have_previous = last_cost_ >= 0.0;
+  const bool rose_significantly =
+      have_previous && cost > last_cost_ * (1.0 + config_.significance);
+
+  switch (config_.heuristic) {
+    case CheckpointControlConfig::Heuristic::PaperSimple:
+      // "if Ec is not observed to have increased significantly, the
+      //  check-pointing period is incremented; otherwise, it is decremented."
+      step_interval(rose_significantly ? -1 : +1);
+      break;
+    case CheckpointControlConfig::Heuristic::HillClimb:
+      if (rose_significantly) {
+        direction_ = -direction_;
+      }
+      step_interval(direction_);
+      break;
+  }
+
+  last_cost_ = cost;
+  state_save_cost_ns_ = 0;
+  coast_forward_cost_ns_ = 0;
+  events_in_period_ = 0;
+  ++invocations_;
+}
+
+void CheckpointIntervalController::step_interval(int direction) noexcept {
+  if (direction > 0) {
+    interval_ = std::min(interval_ + 1, config_.max_interval);
+  } else {
+    interval_ = std::max(interval_ - 1, config_.min_interval);
+  }
+}
+
+void CheckpointIntervalController::reset() {
+  interval_ = config_.initial_interval;
+  state_save_cost_ns_ = 0;
+  coast_forward_cost_ns_ = 0;
+  events_in_period_ = 0;
+  invocations_ = 0;
+  last_cost_ = -1.0;
+  direction_ = +1;
+}
+
+}  // namespace otw::core

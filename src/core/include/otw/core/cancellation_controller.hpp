@@ -1,0 +1,122 @@
+// Dynamic cancellation-strategy controller (paper Section 5).
+//
+// Control tuple: <HR, I, Aggressive, A, P>.
+//   HR - Hit Ratio: (#lazy hits + #lazy-aggressive hits) / Filter Depth,
+//        computed over a sliding window of the last Filter Depth output
+//        message comparisons. A comparison is a "hit" when the message
+//        regenerated after a rollback is identical to the prematurely sent
+//        one (so cancelling it would have been wasted work).
+//   I  - the selected cancellation mode, Aggressive or Lazy.
+//   A  - a dead-zone thresholding heuristic: switch Aggressive->Lazy when HR
+//        rises above the A2L threshold, Lazy->Aggressive when it falls below
+//        the L2A threshold; hold inside the dead zone.
+//   P  - comparisons between control invocations.
+//
+// Variants evaluated in the paper's Figures 6 and 7:
+//   Dynamic (DC)             - as above.
+//   SingleThreshold (ST_v)   - A2L == L2A == v (no dead zone).
+//   PermanentAfter (PS_n)    - dynamic until n comparisons have been made,
+//                              then the current mode is frozen and monitoring
+//                              stops (saving the passive-comparison cost).
+//   MissStreakToAggressive (PA_n) - dynamic, but n successive misses freeze
+//                              the mode permanently at Aggressive.
+//   StaticAggressive / StaticLazy - no monitoring at all (the AC / LC
+//                              baselines).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "otw/core/threshold.hpp"
+#include "otw/util/sliding_window.hpp"
+
+namespace otw::core {
+
+enum class CancellationMode : std::uint8_t { Aggressive, Lazy };
+
+enum class CancellationPolicy : std::uint8_t {
+  StaticAggressive,
+  StaticLazy,
+  Dynamic,
+  SingleThreshold,
+  PermanentAfter,
+  MissStreakToAggressive,
+};
+
+[[nodiscard]] const char* to_string(CancellationMode mode) noexcept;
+[[nodiscard]] const char* to_string(CancellationPolicy policy) noexcept;
+
+struct CancellationControlConfig {
+  CancellationPolicy policy = CancellationPolicy::Dynamic;
+  /// Filter Depth: size of the comparison window (and the HR denominator).
+  std::size_t filter_depth = 16;
+  /// Switch Aggressive -> Lazy when HR rises above this.
+  double a2l_threshold = 0.45;
+  /// Switch Lazy -> Aggressive when HR falls below this.
+  double l2a_threshold = 0.2;
+  /// Threshold used when policy == SingleThreshold (A2L == L2A == this).
+  double single_threshold = 0.4;
+  /// PS_n: comparisons after which the mode is frozen.
+  std::size_t permanent_after = 32;
+  /// PA_n: successive misses that freeze the mode at Aggressive.
+  std::size_t miss_streak_limit = 10;
+  /// P: comparisons between control invocations (decisions).
+  std::uint64_t control_period_comparisons = 4;
+
+  /// Convenience factories matching the paper's experiment labels
+  /// (AC, LC, DC, ST_v, PS_n, PA_n).
+  static CancellationControlConfig aggressive();
+  static CancellationControlConfig lazy();
+  static CancellationControlConfig dynamic(std::size_t filter_depth = 16,
+                                           double a2l = 0.45, double l2a = 0.2);
+  static CancellationControlConfig st(double threshold = 0.4);
+  static CancellationControlConfig ps(std::size_t n);
+  static CancellationControlConfig pa(std::size_t n = 10);
+};
+
+class CancellationController {
+ public:
+  explicit CancellationController(const CancellationControlConfig& config);
+
+  /// Records one output-message comparison (true = hit). Ignored once the
+  /// controller is frozen. Mode changes only happen on control-period
+  /// boundaries.
+  void record_comparison(bool hit);
+
+  /// The currently selected cancellation strategy I.
+  [[nodiscard]] CancellationMode mode() const noexcept { return mode_; }
+
+  /// False once the strategy is frozen (static policies, PS after n
+  /// comparisons, PA after a miss streak). The kernel uses this to skip the
+  /// passive-comparison bookkeeping entirely.
+  [[nodiscard]] bool monitoring() const noexcept { return monitoring_; }
+
+  /// Hit Ratio over the window. The paper's formula divides by Filter Depth;
+  /// we divide by the samples actually present (identical once the window is
+  /// full) so a lightly-rolled-back object is not biased toward Aggressive
+  /// merely for lack of rollbacks early in the run.
+  [[nodiscard]] double hit_ratio() const noexcept { return window_.ratio(); }
+
+  [[nodiscard]] std::uint64_t comparisons() const noexcept { return comparisons_; }
+  [[nodiscard]] std::uint64_t switches() const noexcept { return switches_; }
+  [[nodiscard]] const CancellationControlConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void apply_decision();
+  void freeze() noexcept { monitoring_ = false; }
+  void set_mode(CancellationMode next) noexcept;
+
+  CancellationControlConfig config_;
+  util::BoolWindow window_;
+  HysteresisThreshold threshold_;
+  CancellationMode mode_ = CancellationMode::Aggressive;
+  bool monitoring_ = true;
+  std::uint64_t comparisons_ = 0;
+  std::uint64_t comparisons_since_decision_ = 0;
+  std::uint64_t switches_ = 0;
+  std::size_t miss_streak_ = 0;
+};
+
+}  // namespace otw::core

@@ -1,0 +1,82 @@
+// Dynamic checkpoint-interval controller (paper Section 4).
+//
+// Control tuple: <Ec, chi, chi0, A, P>.
+//   Ec  - cost index: state-saving cost + coast-forward cost accumulated
+//         since the previous control invocation,
+//   chi - the periodic checkpoint interval under configuration,
+//   A   - transfer function; the paper's heuristic: if Ec has not increased
+//         significantly, increment chi, otherwise decrement it,
+//   P   - events processed between control invocations.
+//
+// Under the single-minimum assumption (checkpointing cost falls and
+// coast-forward cost rises monotonically with chi), the heuristic hovers in
+// the neighbourhood of the optimal interval. A direction-tracking hill-climb
+// variant (after Fleischmann & Wilsey, PADS'95) is provided for the ablation
+// study.
+#pragma once
+
+#include <cstdint>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::core {
+
+struct CheckpointControlConfig {
+  /// chi0: initial checkpoint interval (events between state saves).
+  std::uint32_t initial_interval = 1;
+  std::uint32_t min_interval = 1;
+  std::uint32_t max_interval = 64;
+  /// P: processed events between control invocations.
+  std::uint64_t control_period_events = 128;
+  /// Relative growth of normalized Ec considered "significant". Keep this
+  /// small: if it exceeds the cost curve's per-step slope near the optimum,
+  /// the increment bias walks the interval away without ever reversing.
+  double significance = 0.01;
+  /// Transfer-function variant.
+  enum class Heuristic {
+    PaperSimple,  ///< increment unless Ec rose significantly, else decrement
+    HillClimb,    ///< keep moving while improving, reverse on significant rise
+  } heuristic = Heuristic::PaperSimple;
+  /// Normalize Ec by events processed in the period (recommended: the raw
+  /// sum scales with load, not with the quality of chi).
+  bool normalize_per_event = true;
+};
+
+class CheckpointIntervalController {
+ public:
+  explicit CheckpointIntervalController(const CheckpointControlConfig& config);
+
+  /// Accounting fed by the kernel as it runs.
+  void record_state_save(std::uint64_t cost_ns) noexcept {
+    state_save_cost_ns_ += cost_ns;
+  }
+  void record_coast_forward(std::uint64_t cost_ns) noexcept {
+    coast_forward_cost_ns_ += cost_ns;
+  }
+
+  /// Called once per processed event; every P events the transfer function
+  /// runs. Returns true when the interval was (re)evaluated.
+  bool on_event_processed();
+
+  [[nodiscard]] std::uint32_t interval() const noexcept { return interval_; }
+  [[nodiscard]] std::uint64_t invocations() const noexcept { return invocations_; }
+  /// Last evaluated cost index (normalized if configured); for tests/stats.
+  [[nodiscard]] double last_cost_index() const noexcept { return last_cost_; }
+
+  void reset();
+
+ private:
+  void apply_transfer();
+  void step_interval(int direction) noexcept;
+
+  CheckpointControlConfig config_;
+  std::uint32_t interval_;
+  std::uint64_t state_save_cost_ns_ = 0;
+  std::uint64_t coast_forward_cost_ns_ = 0;
+  std::uint64_t events_in_period_ = 0;
+  std::uint64_t invocations_ = 0;
+  double last_cost_ = -1.0;  // < 0 means "no previous observation"
+  int direction_ = +1;       // used by the HillClimb heuristic
+};
+
+}  // namespace otw::core

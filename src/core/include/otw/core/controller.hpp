@@ -1,0 +1,83 @@
+// The paper's on-line configuration model (Section 3).
+//
+// A configuration control system is the tuple <O, I, S, T, P>:
+//   O - the sampled output (an observation of the running simulator),
+//   I - the current state of the parameter under configuration,
+//   S - the initial configuration,
+//   T - a transfer function from O (and I) to the next configuration I',
+//   P - the configuration period: how many samples pass between control
+//       invocations. Control is intrusive (it competes for the CPU cycles of
+//       the simulation itself), so P keeps the adaptation infrequent.
+//
+// FeedbackController realizes the tuple generically; the three concrete
+// controllers (checkpoint interval, cancellation strategy, aggregation
+// window) are built on it or follow the same shape where their sampling is
+// richer than a single value.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::core {
+
+/// Generic realization of the <O, I, S, T, P> control tuple.
+///
+/// Output:   the sampled observation type O.
+/// Param:    the configured parameter type I.
+/// Transfer: callable Param(const Output&, const Param&) — the function T.
+template <typename Output, typename Param, typename Transfer>
+class FeedbackController {
+ public:
+  /// @param initial  S, the initial configuration.
+  /// @param period   P, samples between control invocations (>= 1).
+  /// @param transfer T, maps (last sampled output, current I) to the next I.
+  FeedbackController(Param initial, std::uint64_t period, Transfer transfer)
+      : param_(initial),
+        initial_(std::move(initial)),
+        period_(period),
+        transfer_(std::move(transfer)) {
+    OTW_REQUIRE(period_ >= 1);
+  }
+
+  /// Feeds one observation. Every `period()` samples the transfer function
+  /// runs and the new parameter value is returned; otherwise nullopt.
+  std::optional<Param> sample(const Output& output) {
+    if (++samples_since_tick_ < period_) {
+      return std::nullopt;
+    }
+    samples_since_tick_ = 0;
+    param_ = transfer_(output, param_);
+    ++invocations_;
+    return param_;
+  }
+
+  /// Current value of the configured parameter I.
+  [[nodiscard]] const Param& param() const noexcept { return param_; }
+
+  /// Restores the initial configuration S and clears the sample counter.
+  void reset() {
+    param_ = initial_;
+    samples_since_tick_ = 0;
+    invocations_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t period() const noexcept { return period_; }
+  [[nodiscard]] std::uint64_t invocations() const noexcept { return invocations_; }
+
+ private:
+  Param param_;
+  Param initial_;
+  std::uint64_t period_;
+  Transfer transfer_;
+  std::uint64_t samples_since_tick_ = 0;
+  std::uint64_t invocations_ = 0;
+};
+
+template <typename Output, typename Param, typename Transfer>
+FeedbackController(Param, std::uint64_t, Transfer)
+    -> FeedbackController<Output, Param, Transfer>;
+
+}  // namespace otw::core

@@ -1,0 +1,69 @@
+// Adaptive bounded time windows (Palaniswamy & Wilsey, GLSVLSI'93; folded
+// into "Parameterized Time Warp", JPDC'96 — the paper's refs [20] and [23]).
+//
+// A fourth on-line configuration facet beyond the paper's three: an LP may
+// only process events with receive time <= GVT + W. A small window throttles
+// optimism (few rollbacks, poor parallelism); a large window is unbounded
+// Time Warp. The controller adapts W from the observed rollback fraction:
+//
+//   control tuple <R, W, W0, A, P>:
+//     R  - fraction of processed events undone by rollbacks in the period
+//     W  - the optimism window (virtual-time ticks)
+//     A  - multiplicative-increase / multiplicative-decrease around a target
+//          rollback fraction (TCP-flavoured: stable under noisy feedback)
+//     P  - processed events between control invocations
+#pragma once
+
+#include <cstdint>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::core {
+
+struct OptimismControlConfig {
+  /// W0, in virtual-time ticks.
+  std::uint64_t initial_window = 1u << 16;
+  std::uint64_t min_window = 1;
+  std::uint64_t max_window = std::uint64_t{1} << 40;
+  /// Adapt toward this fraction of rolled-back work.
+  double target_rollback_fraction = 0.15;
+  /// Multiplicative step per control invocation.
+  double grow_factor = 1.3;
+  double shrink_factor = 0.7;
+  /// P: processed events between invocations.
+  std::uint64_t control_period_events = 256;
+};
+
+class OptimismWindowController {
+ public:
+  explicit OptimismWindowController(const OptimismControlConfig& config);
+
+  /// Fed by the LP as it runs.
+  void record_processed(std::uint64_t events) noexcept { processed_ += events; }
+  void record_rolled_back(std::uint64_t events) noexcept {
+    rolled_back_ += events;
+  }
+
+  /// Invoke after record_processed; applies the transfer function every P
+  /// processed events. Returns true when the window was re-evaluated.
+  bool maybe_adapt();
+
+  [[nodiscard]] std::uint64_t window() const noexcept { return window_; }
+  [[nodiscard]] double last_rollback_fraction() const noexcept {
+    return last_fraction_;
+  }
+  [[nodiscard]] std::uint64_t invocations() const noexcept { return invocations_; }
+
+  void reset();
+
+ private:
+  OptimismControlConfig config_;
+  std::uint64_t window_;
+  std::uint64_t processed_ = 0;
+  std::uint64_t rolled_back_ = 0;
+  std::uint64_t processed_at_last_tick_ = 0;
+  double last_fraction_ = 0.0;
+  std::uint64_t invocations_ = 0;
+};
+
+}  // namespace otw::core

@@ -1,0 +1,78 @@
+// Non-linear thresholding filter with a dead zone (paper Figure 3).
+//
+// The filter output is binary. It flips to HIGH only when the input rises
+// above the upper threshold and to LOW only when it falls below the lower
+// threshold; anywhere in the dead zone between the thresholds the previous
+// output is held. The hysteresis damps thrashing between the two
+// cancellation strategies. Setting both thresholds equal removes the dead
+// zone (the paper's ST variant).
+#pragma once
+
+#include "otw/util/assert.hpp"
+
+namespace otw::core {
+
+class HysteresisThreshold {
+ public:
+  enum class Level { Low, High };
+
+  /// @param lower   input must fall strictly below this to produce Low.
+  /// @param upper   input must rise strictly above this to produce High.
+  /// @param initial starting output level.
+  HysteresisThreshold(double lower, double upper, Level initial)
+      : lower_(lower), upper_(upper), level_(initial) {
+    OTW_REQUIRE(lower <= upper);
+  }
+
+  /// Feeds one input value and returns the (possibly held) output level.
+  Level update(double input) noexcept {
+    if (input > upper_) {
+      level_ = Level::High;
+    } else if (input < lower_) {
+      level_ = Level::Low;
+    }
+    // Inside [lower_, upper_]: dead zone, hold the previous level.
+    return level_;
+  }
+
+  [[nodiscard]] Level level() const noexcept { return level_; }
+  [[nodiscard]] double lower() const noexcept { return lower_; }
+  [[nodiscard]] double upper() const noexcept { return upper_; }
+  [[nodiscard]] bool has_dead_zone() const noexcept { return lower_ < upper_; }
+
+ private:
+  double lower_;
+  double upper_;
+  Level level_;
+};
+
+/// Exponentially weighted moving average, the simplest smoothing filter used
+/// to damp spurious samples before they reach a transfer function.
+class EwmaFilter {
+ public:
+  /// @param alpha weight of the newest sample, in (0, 1].
+  explicit EwmaFilter(double alpha) : alpha_(alpha) {
+    OTW_REQUIRE(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  double update(double sample) noexcept {
+    if (!primed_) {
+      value_ = sample;
+      primed_ = true;
+    } else {
+      value_ += alpha_ * (sample - value_);
+    }
+    return value_;
+  }
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] bool primed() const noexcept { return primed_; }
+  void reset() noexcept { primed_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace otw::core

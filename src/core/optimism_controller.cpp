@@ -1,0 +1,53 @@
+#include "otw/core/optimism_controller.hpp"
+
+#include <algorithm>
+
+namespace otw::core {
+
+OptimismWindowController::OptimismWindowController(
+    const OptimismControlConfig& config)
+    : config_(config), window_(config.initial_window) {
+  OTW_REQUIRE(config.min_window >= 1);
+  OTW_REQUIRE(config.min_window <= config.max_window);
+  OTW_REQUIRE(config.initial_window >= config.min_window &&
+              config.initial_window <= config.max_window);
+  OTW_REQUIRE(config.target_rollback_fraction > 0.0 &&
+              config.target_rollback_fraction < 1.0);
+  OTW_REQUIRE(config.grow_factor > 1.0);
+  OTW_REQUIRE(config.shrink_factor > 0.0 && config.shrink_factor < 1.0);
+  OTW_REQUIRE(config.control_period_events >= 1);
+}
+
+bool OptimismWindowController::maybe_adapt() {
+  if (processed_ - processed_at_last_tick_ < config_.control_period_events) {
+    return false;
+  }
+  const double period_events =
+      static_cast<double>(processed_ - processed_at_last_tick_);
+  last_fraction_ = static_cast<double>(rolled_back_) / period_events;
+
+  // Too much undone work: the LPs ran too far ahead — tighten. Otherwise
+  // optimism is cheap here — widen and harvest more parallelism.
+  const double factor = last_fraction_ > config_.target_rollback_fraction
+                            ? config_.shrink_factor
+                            : config_.grow_factor;
+  const auto next = static_cast<std::uint64_t>(
+      std::max(1.0, static_cast<double>(window_) * factor));
+  window_ = std::clamp(next, config_.min_window, config_.max_window);
+
+  processed_at_last_tick_ = processed_;
+  rolled_back_ = 0;
+  ++invocations_;
+  return true;
+}
+
+void OptimismWindowController::reset() {
+  window_ = config_.initial_window;
+  processed_ = 0;
+  rolled_back_ = 0;
+  processed_at_last_tick_ = 0;
+  last_fraction_ = 0.0;
+  invocations_ = 0;
+}
+
+}  // namespace otw::core

@@ -1,0 +1,76 @@
+// Cost model for the simulated network-of-workstations (NOW) testbed.
+//
+// The paper's experiments ran on SPARC 4/5 workstations on shared 10 Mbit
+// Ethernet. Absolute 1998 timings are irrelevant to the published curves;
+// what shapes them are the *ratios* between event granularity, state-saving
+// cost and the (large) fixed per-message network overhead. The defaults
+// below keep those ratios: a physical message costs on the order of 100x an
+// event grain, exactly the regime where message aggregation pays off and
+// rollback-induced communication dominates.
+//
+// All values are nanoseconds of modeled workstation time.
+#pragma once
+
+#include <cstdint>
+
+namespace otw::platform {
+
+struct CostModel {
+  /// Kernel bookkeeping per processed event (scheduling, queue insertion).
+  std::uint64_t event_overhead_ns = 2'000;
+  /// Fixed part of saving one checkpoint.
+  std::uint64_t state_save_base_ns = 1'000;
+  /// Per-byte part of saving one checkpoint (bytes actually stored).
+  std::uint64_t state_save_per_byte_ns = 10;
+  /// Per-byte cost of SCANNING the state for changes (incremental
+  /// checkpointing's diff pass; cheaper than storing).
+  std::uint64_t state_diff_scan_per_byte_ns = 1;
+  /// Restoring a checkpoint during rollback.
+  std::uint64_t state_restore_ns = 2'000;
+  /// Fixed administrative cost of one rollback (queue surgery).
+  std::uint64_t rollback_fixed_ns = 4'000;
+  /// Sender-side fixed cost of one physical message (protocol stack; the
+  /// dominant term on 10 Mb Ethernet and the reason DyMA works).
+  std::uint64_t msg_send_overhead_ns = 150'000;
+  /// Receiver-side fixed cost of one physical message.
+  std::uint64_t msg_recv_overhead_ns = 75'000;
+  /// Serialization cost per payload byte (10 Mbit/s ~ 0.8 us/byte).
+  std::uint64_t msg_per_byte_ns = 800;
+  /// Wire propagation / switching latency added to every physical message.
+  std::uint64_t wire_latency_ns = 200'000;
+  /// Cost of one feedback-control invocation (control is intrusive).
+  std::uint64_t control_invocation_ns = 500;
+  /// Cost of one output-message comparison (lazy regeneration check or the
+  /// passive comparison that maintains HR under aggressive cancellation).
+  /// This is the monitoring overhead the PS/PA variants avoid by freezing.
+  std::uint64_t comparison_cost_ns = 300;
+  /// Cost of one fruitless poll of the network by an idle LP.
+  std::uint64_t idle_poll_ns = 1'000;
+
+  /// Full sender-side cost of a physical message of `bytes` payload bytes.
+  [[nodiscard]] std::uint64_t send_cost_ns(std::uint64_t bytes) const noexcept {
+    return msg_send_overhead_ns + bytes * msg_per_byte_ns;
+  }
+
+  /// A LAN-free configuration for functional tests: zero comm costs so the
+  /// simulated engine degenerates to a fair round-robin interleaving.
+  static CostModel free() noexcept {
+    CostModel m;
+    m.event_overhead_ns = 1;  // keep time advancing so the engine rotates LPs
+    m.state_save_base_ns = 0;
+    m.state_save_per_byte_ns = 0;
+    m.state_diff_scan_per_byte_ns = 0;
+    m.state_restore_ns = 0;
+    m.rollback_fixed_ns = 0;
+    m.msg_send_overhead_ns = 0;
+    m.msg_recv_overhead_ns = 0;
+    m.msg_per_byte_ns = 0;
+    m.wire_latency_ns = 0;
+    m.control_invocation_ns = 0;
+    m.comparison_cost_ns = 0;
+    m.idle_poll_ns = 1;
+    return m;
+  }
+};
+
+}  // namespace otw::platform

@@ -1,0 +1,108 @@
+// Execution-platform abstraction.
+//
+// A logical process (LP) of the Time Warp kernel is written as a
+// *step-based, non-blocking* state machine (LpRunner). An Engine owns the
+// LPs, drives their step() functions, transports messages between them and
+// supplies each LP with a wall clock. Two engines are provided:
+//
+//   SimulatedNowEngine - deterministic direct-execution simulation of a
+//       network of workstations: each LP has a modeled clock advanced by
+//       LpContext::charge(); the engine always steps the LP with the
+//       smallest modeled clock, and message arrival times follow the
+//       CostModel. Reported execution time = makespan of the modeled
+//       machine. This is the substrate for all paper figures.
+//
+//   ThreadedEngine - one std::thread per LP with mutex-protected mailboxes
+//       and real wall clocks; validates the kernel under true concurrency.
+//
+// Both transports are non-overtaking per (source, destination) pair, which
+// the kernel relies on (an anti-message never arrives before the positive
+// message it cancels).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace otw::platform {
+
+using LpId = std::uint32_t;
+
+/// Base class of anything an LP sends to another LP. The engine only needs
+/// the wire size (for transmission cost); the kernel downcasts on receipt.
+class EngineMessage {
+ public:
+  virtual ~EngineMessage() = default;
+  /// Payload bytes charged by the cost model for this message.
+  [[nodiscard]] virtual std::uint64_t wire_bytes() const noexcept = 0;
+};
+
+/// What an LP reports after one step() call.
+enum class StepStatus : std::uint8_t {
+  Active,  ///< did useful work or has more pending; step again soon
+  Idle,    ///< nothing to do until a new message arrives
+  Done,    ///< simulation finished for this LP; never step again
+};
+
+/// Per-step services the engine hands to the LP.
+class LpContext {
+ public:
+  virtual ~LpContext() = default;
+
+  /// This LP's identity.
+  [[nodiscard]] virtual LpId self() const noexcept = 0;
+  /// Number of LPs in the simulation.
+  [[nodiscard]] virtual LpId num_lps() const noexcept = 0;
+
+  /// Current wall-clock of this LP in nanoseconds (modeled or real).
+  [[nodiscard]] virtual std::uint64_t now_ns() const noexcept = 0;
+
+  /// Accounts `ns` nanoseconds of CPU work to this LP. On the simulated
+  /// engine this advances the modeled clock; on the threaded engine it is
+  /// a calibrated spin (or a no-op when cost charging is disabled).
+  virtual void charge(std::uint64_t ns) noexcept = 0;
+
+  /// Ships a message to `dst` (self-sends are allowed). Sender-side send
+  /// cost is charged automatically per the cost model.
+  virtual void send(LpId dst, std::unique_ptr<EngineMessage> msg) = 0;
+
+  /// Retrieves the next deliverable message, or nullptr. Receiver-side
+  /// receive cost is charged automatically per the cost model.
+  virtual std::unique_ptr<EngineMessage> poll() = 0;
+
+  /// Asks to be stepped again no later than `abs_ns` even if Idle is
+  /// returned and no message arrives (e.g. an aggregation window expiring).
+  /// Valid for the current step only. Engines that poll continuously
+  /// (threads) may ignore it.
+  virtual void request_wakeup(std::uint64_t abs_ns) noexcept {
+    static_cast<void>(abs_ns);
+  }
+
+  /// The platform's cost model (for kernel-level cost charging).
+  [[nodiscard]] virtual const struct CostModel& costs() const noexcept = 0;
+};
+
+/// A logical process as seen by the engine.
+class LpRunner {
+ public:
+  virtual ~LpRunner() = default;
+  /// Performs a bounded amount of work. Must not block.
+  virtual StepStatus step(LpContext& ctx) = 0;
+};
+
+/// Result of driving a set of LPs to completion.
+struct EngineRunResult {
+  /// Modeled makespan (simulated engine) or elapsed wall time (threaded),
+  /// in nanoseconds.
+  std::uint64_t execution_time_ns = 0;
+  /// Per-LP busy time in nanoseconds (charged work).
+  std::vector<std::uint64_t> lp_busy_ns;
+  /// Total physical messages transported between LPs.
+  std::uint64_t physical_messages = 0;
+  /// Total wire bytes transported between LPs.
+  std::uint64_t wire_bytes = 0;
+  /// Total engine step() invocations.
+  std::uint64_t steps = 0;
+};
+
+}  // namespace otw::platform

@@ -1,0 +1,57 @@
+// Deterministic direct-execution simulation of a network of workstations.
+//
+// Every LP owns a modeled wall clock. The engine always steps the LP with
+// the globally smallest clock, so a message sent at modeled time t (arriving
+// at t + send cost + wire latency) can never be delivered into another LP's
+// past: the sender held the minimum clock when it sent. Idle LPs are parked
+// and woken at the arrival time of their next message. The result is a
+// deterministic, causally consistent interleaving whose makespan plays the
+// role of the paper's measured execution time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "otw/platform/cost_model.hpp"
+#include "otw/platform/engine.hpp"
+
+namespace otw::platform {
+
+struct SimulatedNowConfig {
+  CostModel costs;
+  /// Safety valve: abort the run after this many step() invocations.
+  std::uint64_t max_steps = 2'000'000'000;
+};
+
+class SimulatedNowEngine {
+ public:
+  explicit SimulatedNowEngine(SimulatedNowConfig config) : config_(config) {}
+
+  /// Drives all LPs until each reports Done. Throws std::runtime_error on
+  /// deadlock (all LPs idle with no message in flight) or step overrun —
+  /// either indicates a kernel bug, not a user error.
+  EngineRunResult run(const std::vector<LpRunner*>& lps);
+
+  [[nodiscard]] const SimulatedNowConfig& config() const noexcept { return config_; }
+
+ private:
+  struct InFlight {
+    std::uint64_t arrival_ns;
+    std::uint64_t sequence;  // tie-break: preserves global send order
+    std::unique_ptr<EngineMessage> message;
+  };
+  struct InFlightLater {
+    bool operator()(const InFlight& a, const InFlight& b) const noexcept {
+      if (a.arrival_ns != b.arrival_ns) return a.arrival_ns > b.arrival_ns;
+      return a.sequence > b.sequence;
+    }
+  };
+  struct LpState;
+  class Context;
+
+  SimulatedNowConfig config_;
+};
+
+}  // namespace otw::platform

@@ -1,0 +1,41 @@
+// Real-concurrency engine: one std::thread per LP, mutex-protected
+// mailboxes, wall clocks. Used to validate the kernel under genuine
+// preemption and message races; the simulated-NOW engine is the measurement
+// substrate. charge() optionally spins to model work granularity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "otw/platform/cost_model.hpp"
+#include "otw/platform/engine.hpp"
+
+namespace otw::platform {
+
+struct ThreadedConfig {
+  CostModel costs;
+  /// When true, charge(ns) busy-spins for ns of wall time (scaled by
+  /// spin_scale); when false it only accumulates accounting.
+  bool spin_on_charge = false;
+  /// Wall-nanoseconds actually spun per charged nanosecond.
+  double spin_scale = 1.0;
+  /// Sleep between polls when an LP reports Idle, microseconds.
+  std::uint32_t idle_sleep_us = 50;
+};
+
+class ThreadedEngine {
+ public:
+  explicit ThreadedEngine(ThreadedConfig config) : config_(config) {}
+
+  /// Runs each LP on its own thread until all report Done. Exceptions thrown
+  /// by any LP are captured and rethrown (first one wins) after all threads
+  /// have been joined.
+  EngineRunResult run(const std::vector<LpRunner*>& lps);
+
+  [[nodiscard]] const ThreadedConfig& config() const noexcept { return config_; }
+
+ private:
+  ThreadedConfig config_;
+};
+
+}  // namespace otw::platform

@@ -1,0 +1,167 @@
+#include "otw/platform/threaded.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::platform {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+struct Mailbox {
+  std::mutex mutex;
+  std::deque<std::unique_ptr<EngineMessage>> queue;
+
+  void push(std::unique_ptr<EngineMessage> msg) {
+    const std::scoped_lock lock(mutex);
+    queue.push_back(std::move(msg));
+  }
+
+  std::unique_ptr<EngineMessage> pop() {
+    const std::scoped_lock lock(mutex);
+    if (queue.empty()) {
+      return nullptr;
+    }
+    auto msg = std::move(queue.front());
+    queue.pop_front();
+    return msg;
+  }
+};
+
+struct Shared {
+  std::vector<Mailbox> mailboxes;
+  std::atomic<std::uint64_t> physical_messages{0};
+  std::atomic<std::uint64_t> wire_bytes{0};
+  std::atomic<std::uint64_t> steps{0};
+  SteadyClock::time_point start;
+
+  explicit Shared(std::size_t n) : mailboxes(n) {}
+};
+
+class ThreadContext final : public LpContext {
+ public:
+  ThreadContext(LpId self, LpId num_lps, const ThreadedConfig& config, Shared& shared)
+      : self_(self), num_lps_(num_lps), config_(config), shared_(shared) {}
+
+  [[nodiscard]] LpId self() const noexcept override { return self_; }
+  [[nodiscard]] LpId num_lps() const noexcept override { return num_lps_; }
+
+  [[nodiscard]] std::uint64_t now_ns() const noexcept override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now() -
+                                                             shared_.start)
+            .count());
+  }
+
+  void charge(std::uint64_t ns) noexcept override {
+    busy_ns_ += ns;
+    if (config_.spin_on_charge && ns > 0) {
+      const auto target =
+          SteadyClock::now() +
+          std::chrono::nanoseconds(static_cast<std::uint64_t>(
+              static_cast<double>(ns) * config_.spin_scale));
+      while (SteadyClock::now() < target) {
+        // busy wait: models the CPU cost of the charged work
+      }
+    }
+  }
+
+  void send(LpId dst, std::unique_ptr<EngineMessage> msg) override {
+    OTW_REQUIRE(dst < num_lps_);
+    OTW_REQUIRE(msg != nullptr);
+    const std::uint64_t bytes = msg->wire_bytes();
+    charge(config_.costs.send_cost_ns(bytes));
+    shared_.mailboxes[dst].push(std::move(msg));
+    shared_.physical_messages.fetch_add(1, std::memory_order_relaxed);
+    shared_.wire_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  std::unique_ptr<EngineMessage> poll() override {
+    auto msg = shared_.mailboxes[self_].pop();
+    if (msg != nullptr) {
+      charge(config_.costs.msg_recv_overhead_ns);
+    }
+    return msg;
+  }
+
+  [[nodiscard]] const CostModel& costs() const noexcept override {
+    return config_.costs;
+  }
+
+  [[nodiscard]] std::uint64_t busy_ns() const noexcept { return busy_ns_; }
+
+ private:
+  LpId self_;
+  LpId num_lps_;
+  const ThreadedConfig& config_;
+  Shared& shared_;
+  std::uint64_t busy_ns_ = 0;
+};
+
+}  // namespace
+
+EngineRunResult ThreadedEngine::run(const std::vector<LpRunner*>& lps) {
+  OTW_REQUIRE(!lps.empty());
+  for (auto* lp : lps) {
+    OTW_REQUIRE(lp != nullptr);
+  }
+
+  const auto n = static_cast<LpId>(lps.size());
+  Shared shared(n);
+  shared.start = SteadyClock::now();
+
+  std::vector<std::uint64_t> busy(n, 0);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(n);
+    for (LpId i = 0; i < n; ++i) {
+      threads.emplace_back([&, i] {
+        ThreadContext ctx(i, n, config_, shared);
+        try {
+          StepStatus status = StepStatus::Active;
+          while (status != StepStatus::Done) {
+            status = lps[i]->step(ctx);
+            shared.steps.fetch_add(1, std::memory_order_relaxed);
+            if (status == StepStatus::Idle) {
+              std::this_thread::sleep_for(
+                  std::chrono::microseconds(config_.idle_sleep_us));
+            }
+          }
+        } catch (...) {
+          const std::scoped_lock lock(error_mutex);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+        busy[i] = ctx.busy_ns();
+      });
+    }
+  }  // jthreads join here
+
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+
+  EngineRunResult result;
+  result.execution_time_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now() -
+                                                           shared.start)
+          .count());
+  result.lp_busy_ns = std::move(busy);
+  result.physical_messages = shared.physical_messages.load();
+  result.wire_bytes = shared.wire_bytes.load();
+  result.steps = shared.steps.load();
+  return result;
+}
+
+}  // namespace otw::platform

@@ -1,0 +1,146 @@
+#include "otw/tw/checkpoint_store.hpp"
+
+#include <cstring>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::tw {
+
+// ------------------------------------------------------------------ Copy --
+
+SaveReceipt CopyCheckpointStore::save(const Position& pos,
+                                      const ObjectState& current) {
+  queue_.save(pos, current.clone());
+  return SaveReceipt{0, current.byte_size()};
+}
+
+RestorePoint CopyCheckpointStore::restore_before(const Position& target) {
+  queue_.drop_from(target);
+  const StateQueue::Entry* keeper = queue_.latest_before(target);
+  OTW_REQUIRE_MSG(keeper != nullptr, "no checkpoint to roll back to");
+  return RestorePoint{keeper->pos, keeper->state->clone()};
+}
+
+// ----------------------------------------------------------- Incremental --
+
+IncrementalCheckpointStore::IncrementalCheckpointStore(
+    std::uint32_t full_snapshot_interval)
+    : full_snapshot_interval_(full_snapshot_interval) {
+  OTW_REQUIRE(full_snapshot_interval >= 1);
+}
+
+SaveReceipt IncrementalCheckpointStore::save(const Position& pos,
+                                             const ObjectState& current) {
+  OTW_REQUIRE_MSG(entries_.empty() || entries_.back().pos < pos,
+                  "checkpoint positions must be strictly increasing");
+  const std::byte* raw = current.raw_bytes();
+  OTW_REQUIRE_MSG(raw != nullptr,
+                  "incremental checkpointing needs a flat state "
+                  "(ObjectState::raw_bytes)");
+  const std::size_t size = current.byte_size();
+
+  if (shadow_ == nullptr || saves_since_full_ >= full_snapshot_interval_) {
+    // Full snapshot.
+    entries_.push_back(Entry{pos, current.clone(), {}});
+    shadow_ = current.clone();
+    saves_since_full_ = 1;
+    return SaveReceipt{0, size};
+  }
+
+  OTW_REQUIRE_MSG(shadow_->byte_size() == size,
+                  "incremental checkpointing needs a fixed-size state");
+  std::byte* base = shadow_->mutable_raw_bytes();
+  Entry entry;
+  entry.pos = pos;
+  for (std::size_t i = 0; i < size; ++i) {
+    if (base[i] != raw[i]) {
+      entry.changes.push_back(Change{static_cast<std::uint32_t>(i), raw[i]});
+      base[i] = raw[i];  // the shadow always mirrors the last saved state
+    }
+  }
+  const std::uint64_t stored = entry.changes.size() * sizeof(Change);
+  stored_delta_bytes_ += stored;
+  entries_.push_back(std::move(entry));
+  ++saves_since_full_;
+  return SaveReceipt{size, stored};
+}
+
+std::unique_ptr<ObjectState> IncrementalCheckpointStore::reconstruct(
+    std::size_t index) const {
+  // Walk back to the nearest full snapshot, then roll the deltas forward.
+  std::size_t base = index;
+  while (entries_[base].snapshot == nullptr) {
+    OTW_ASSERT(base > 0);
+    --base;
+  }
+  std::unique_ptr<ObjectState> state = entries_[base].snapshot->clone();
+  std::byte* bytes = state->mutable_raw_bytes();
+  OTW_ASSERT(bytes != nullptr);
+  for (std::size_t i = base + 1; i <= index; ++i) {
+    for (const Change& change : entries_[i].changes) {
+      bytes[change.offset] = change.value;
+    }
+  }
+  return state;
+}
+
+RestorePoint IncrementalCheckpointStore::restore_before(const Position& target) {
+  while (!entries_.empty() && !(entries_.back().pos < target)) {
+    stored_delta_bytes_ -= entries_.back().changes.size() * sizeof(Change);
+    entries_.pop_back();
+  }
+  OTW_REQUIRE_MSG(!entries_.empty(), "no checkpoint to roll back to");
+
+  std::unique_ptr<ObjectState> state = reconstruct(entries_.size() - 1);
+  // The shadow must mirror the last SAVED state so the next delta is
+  // computed against the right base; the truncated chain itself stays sound
+  // (its prefix is intact), so only the snapshot cadence is recomputed.
+  shadow_ = state->clone();
+  std::size_t base = entries_.size() - 1;
+  while (entries_[base].snapshot == nullptr) {
+    --base;
+  }
+  saves_since_full_ = static_cast<std::uint32_t>(entries_.size() - base);
+  return RestorePoint{entries_.back().pos, std::move(state)};
+}
+
+Position IncrementalCheckpointStore::fossil_collect(VirtualTime gvt) {
+  OTW_REQUIRE(!entries_.empty());
+  std::size_t keeper = 0;
+  bool found = false;
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    if (entries_[i].pos.recv_time() < gvt) {
+      keeper = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    keeper = 0;
+  }
+  // Retain back to the snapshot the keeper reconstructs from.
+  std::size_t floor = keeper;
+  while (entries_[floor].snapshot == nullptr) {
+    OTW_ASSERT(floor > 0);
+    --floor;
+  }
+  for (std::size_t i = 0; i < floor; ++i) {
+    stored_delta_bytes_ -= entries_[i].changes.size() * sizeof(Change);
+  }
+  entries_.erase(entries_.begin(),
+                 entries_.begin() + static_cast<std::ptrdiff_t>(floor));
+  return entries_[keeper - floor].pos;
+}
+
+std::unique_ptr<CheckpointStore> make_checkpoint_store(
+    StateSaving mode, std::uint32_t full_snapshot_interval) {
+  switch (mode) {
+    case StateSaving::Copy:
+      return std::make_unique<CopyCheckpointStore>();
+    case StateSaving::Incremental:
+      return std::make_unique<IncrementalCheckpointStore>(full_snapshot_interval);
+  }
+  return nullptr;
+}
+
+}  // namespace otw::tw

@@ -1,0 +1,96 @@
+#include "otw/tw/gvt.hpp"
+
+namespace otw::tw {
+
+GvtAgent::GvtAgent(LpId self, LpId num_lps, std::uint64_t period_events)
+    : self_(self), num_lps_(num_lps), period_events_(period_events) {
+  OTW_REQUIRE(num_lps >= 1);
+  OTW_REQUIRE(self < num_lps);
+  OTW_REQUIRE(period_events >= 1);
+}
+
+std::uint8_t GvtAgent::on_send(VirtualTime recv_time) noexcept {
+  ++sent_[color_];
+  min_red_send_ = min(min_red_send_, recv_time);
+  return color_;
+}
+
+void GvtAgent::flip_to_red(std::uint8_t white) noexcept {
+  OTW_ASSERT(color_ == white);
+  color_ = static_cast<std::uint8_t>(1 - white);
+  // The send/receive counters are cumulative across epochs: a red message
+  // can reach an LP before that LP has flipped, and a per-flip reset would
+  // lose its receive count and leave the next cut's balance permanently
+  // positive. The previous cut on this color closed with a zero global
+  // balance, so the cumulative balance of the new cut starts from zero
+  // without any reset. Only the red send-time minimum restarts at the cut.
+  min_red_send_ = VirtualTime::infinity();
+}
+
+GvtAgent::Outcome GvtAgent::start_epoch(VirtualTime local_min) {
+  OTW_REQUIRE_MSG(self_ == 0, "only the initiator starts GVT epochs");
+  OTW_REQUIRE(!epoch_active_);
+  epoch_active_ = true;
+  events_since_epoch_ = 0;
+
+  const std::uint8_t white = color_;
+  flip_to_red(white);
+
+  if (num_lps_ == 1) {
+    // No ring: no remote messages can exist, GVT is the local minimum.
+    epoch_active_ = false;
+    ++epochs_;
+    return Outcome{std::nullopt, local_min};
+  }
+
+  GvtTokenMessage token;
+  token.white_color = white;
+  token.round = 1;
+  token.count = white_balance(white);
+  token.min_lvt = local_min;
+  token.min_red_send = min_red_send_;
+  ++rounds_;
+  return Outcome{token, std::nullopt};
+}
+
+GvtAgent::Outcome GvtAgent::on_token(const GvtTokenMessage& token,
+                                     VirtualTime local_min) {
+  const std::uint8_t white = token.white_color;
+  ++rounds_;
+
+  if (self_ == 0) {
+    // Token completed a round.
+    OTW_REQUIRE(epoch_active_);
+    if (token.count == 0) {
+      epoch_active_ = false;
+      ++epochs_;
+      // Fold in the initiator's own contribution as of NOW: red messages it
+      // sent after launching this round are in no other sample, and taking
+      // the min with extra lower bounds can only make the estimate safer.
+      const VirtualTime gvt =
+          min(min(token.min_lvt, local_min),
+              min(token.min_red_send, min_red_send_));
+      return Outcome{std::nullopt, gvt};
+    }
+    // Some white messages are still in flight: go around again with fresh
+    // count and min_lvt (min_red_send keeps accumulating since the flip).
+    GvtTokenMessage next;
+    next.white_color = white;
+    next.round = token.round + 1;
+    next.count = white_balance(white);
+    next.min_lvt = local_min;
+    next.min_red_send = min_red_send_;
+    return Outcome{next, std::nullopt};
+  }
+
+  if (color_ == white) {
+    flip_to_red(white);
+  }
+  GvtTokenMessage next = token;
+  next.count += white_balance(white);
+  next.min_lvt = min(next.min_lvt, local_min);
+  next.min_red_send = min(next.min_red_send, min_red_send_);
+  return Outcome{next, std::nullopt};
+}
+
+}  // namespace otw::tw

@@ -1,0 +1,155 @@
+// Events, anti-messages and the total orders the kernel relies on.
+//
+// Three distinct identities per message, kept deliberately separate:
+//
+//  * ordering key (recv_time, sender, seq): `seq` is derived by hashing the
+//    ordering key of the event whose processing generated the message with
+//    the send's index within that event (derive_send_seq). Re-execution after
+//    a rollback therefore regenerates identical keys by construction, and
+//    the committed event order is identical across the sequential kernel and
+//    any Time Warp execution — a per-sender counter would shift whenever a
+//    straggler inserted new sends before re-execution.
+//
+//  * instance id: a per-sender counter that is NOT rolled back, so every
+//    physically sent message instance is unique. Anti-messages match their
+//    positive message by (sender, instance) — unambiguous even when a
+//    rollback reuses a seq for a different message.
+//
+//  * content (receiver, recv_time, payload): what lazy cancellation compares
+//    to decide whether a regenerated message is a "hit" (identical to the
+//    prematurely sent one, so it need not be cancelled/resent).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+
+#include "otw/util/pod_buffer.hpp"
+#include "otw/tw/virtual_time.hpp"
+
+namespace otw::tw {
+
+using ObjectId = std::uint32_t;
+using LpId = std::uint32_t;
+
+/// Maximum event payload size in bytes. Payloads must be trivially copyable
+/// (bitwise equality is what lazy cancellation compares).
+inline constexpr std::size_t kMaxPayloadBytes = 48;
+using Payload = util::PodBuffer<kMaxPayloadBytes>;
+
+/// Ordering key of an event at its receiver; also identifies "the position
+/// in the execution" for checkpoints and rollback targets.
+struct EventKey {
+  VirtualTime recv_time{};
+  ObjectId sender = 0;
+  std::uint64_t seq = 0;
+
+  friend constexpr auto operator<=>(const EventKey&, const EventKey&) noexcept = default;
+
+  /// A key ordered before every real event (initial-state position).
+  static constexpr EventKey before_all() noexcept { return EventKey{}; }
+};
+
+/// A point in an object's execution order: the ordering key plus the
+/// instance id. Two *live* events can transiently share an EventKey (a
+/// lazy-missed premature message and its content-differing regeneration
+/// share cause and send index, hence seq and receive time), so everything
+/// that anchors to "a place in the execution" — checkpoints, output causes,
+/// rollback targets — must use the full Position.
+struct Position {
+  EventKey key{};
+  std::uint64_t instance = 0;
+
+  friend constexpr auto operator<=>(const Position&, const Position&) noexcept =
+      default;
+
+  static constexpr Position before_all() noexcept { return Position{}; }
+  static constexpr Position after_all() noexcept {
+    return Position{EventKey{VirtualTime::infinity(), UINT32_MAX, UINT64_MAX},
+                    UINT64_MAX};
+  }
+
+  [[nodiscard]] constexpr VirtualTime recv_time() const noexcept {
+    return key.recv_time;
+  }
+};
+
+/// Ordering-key seq for the `index`-th message sent while processing the
+/// event with key `cause` at object `sender`. Pure function of its inputs:
+/// the Time Warp kernels and the sequential kernel all use it, which is what
+/// makes their committed tie-break orders identical. (A 64-bit collision
+/// between two same-time messages of one sender would merely make their
+/// relative order fall back to the instance tie-break.)
+[[nodiscard]] constexpr std::uint64_t derive_send_seq(VirtualTime cause_recv,
+                                                      ObjectId cause_sender,
+                                                      std::uint64_t cause_seq,
+                                                      ObjectId sender,
+                                                      std::uint32_t index) noexcept {
+  std::uint64_t h = cause_recv.ticks() * 0x9E3779B97F4A7C15ULL;
+  h ^= (static_cast<std::uint64_t>(cause_sender) << 32) ^ sender;
+  h *= 0xC2B2AE3D27D4EB4FULL;
+  h ^= cause_seq + 0x165667B19E3779F9ULL + (h << 6) + (h >> 2);
+  h *= 0x2545F4914F6CDD1DULL;
+  h ^= index;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  return h;
+}
+
+struct Event {
+  VirtualTime recv_time{};
+  VirtualTime send_time{};
+  ObjectId sender = 0;
+  ObjectId receiver = 0;
+  /// Ordering tie-break, from derive_send_seq (identical on re-execution).
+  std::uint64_t seq = 0;
+  /// Never-rolled-back per-sender instance id (anti-message matching).
+  std::uint64_t instance = 0;
+  /// True for anti-messages.
+  bool negative = false;
+  /// GVT color: parity of the sender's Mattern epoch at send time.
+  std::uint8_t color = 0;
+  Payload payload{};
+
+  [[nodiscard]] EventKey key() const noexcept {
+    return EventKey{recv_time, sender, seq};
+  }
+
+  [[nodiscard]] Position position() const noexcept {
+    return Position{key(), instance};
+  }
+
+  /// The anti-message cancelling this (positive) event.
+  [[nodiscard]] Event make_anti() const noexcept {
+    Event anti = *this;
+    anti.negative = true;
+    anti.payload = Payload{};
+    return anti;
+  }
+
+  /// Anti-message matching: same origin instance.
+  [[nodiscard]] bool matches_instance(const Event& other) const noexcept {
+    return sender == other.sender && instance == other.instance;
+  }
+
+  /// Lazy-cancellation content equality (what a "hit" means).
+  [[nodiscard]] bool same_content(const Event& other) const noexcept {
+    return receiver == other.receiver && recv_time == other.recv_time &&
+           payload == other.payload;
+  }
+};
+
+/// Receiver-queue order: ordering key, then instance for a stable total
+/// order between transient duplicates (an old instance awaiting its
+/// anti-message and its regenerated replacement).
+struct InputOrder {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    return a.position() < b.position();
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const EventKey& key);
+std::ostream& operator<<(std::ostream& os, const Event& event);
+
+}  // namespace otw::tw

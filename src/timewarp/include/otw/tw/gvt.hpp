@@ -1,0 +1,92 @@
+// Mattern-style GVT estimation (token ring, two colors).
+//
+// An epoch is one GVT computation. The initiator (LP 0) flips to the new
+// color ("red") and launches a token around the LP ring. Each LP, at its
+// first visit of the epoch, flips too; every visit accumulates into the
+// token:
+//   count       += (white messages it sent) - (white messages it received)
+//   min_lvt      = min(min_lvt, its minimum unprocessed event time)
+//   min_red_send = min(min_red_send, the minimum receive-time of any message
+//                      it has sent since flipping)
+// When the token returns with count == 0, every pre-cut (white) message has
+// been delivered, and GVT = min(min_lvt, min_red_send) of that final round
+// is a valid lower bound on any future rollback. Otherwise the initiator
+// relaunches the token for another round with fresh count/min_lvt.
+//
+// GvtAgent is a pure state machine: the logical process performs all the
+// message I/O, so the algorithm is directly unit-testable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "otw/tw/messages.hpp"
+#include "otw/util/assert.hpp"
+
+namespace otw::tw {
+
+class GvtAgent {
+ public:
+  /// @param self           this LP's id; LP 0 is the initiator
+  /// @param num_lps        ring size
+  /// @param period_events  locally processed events between epochs
+  GvtAgent(LpId self, LpId num_lps, std::uint64_t period_events);
+
+  /// Sender-side bookkeeping for one remote application message. Returns
+  /// the color to stamp on the message.
+  std::uint8_t on_send(VirtualTime recv_time) noexcept;
+
+  /// Receiver-side bookkeeping for one remote application message.
+  void on_receive(std::uint8_t color) noexcept { ++received_[color & 1]; }
+
+  /// Local progress notification (one processed event).
+  void on_event_processed() noexcept { ++events_since_epoch_; }
+
+  /// Initiator: should a new epoch start now?
+  [[nodiscard]] bool should_start(bool idle) const noexcept {
+    return self_ == 0 && !epoch_active_ &&
+           (idle || events_since_epoch_ >= period_events_);
+  }
+
+  struct Outcome {
+    /// Token to forward to next_lp(), if any.
+    std::optional<GvtTokenMessage> forward;
+    /// Completed GVT value (initiator only), if the epoch finished.
+    std::optional<VirtualTime> gvt;
+  };
+
+  /// Initiator: begins an epoch. local_min is this LP's minimum unprocessed
+  /// event time. With a single LP the epoch completes immediately.
+  Outcome start_epoch(VirtualTime local_min);
+
+  /// Any LP: handles an arriving token.
+  Outcome on_token(const GvtTokenMessage& token, VirtualTime local_min);
+
+  [[nodiscard]] std::uint8_t current_color() const noexcept { return color_; }
+  [[nodiscard]] bool epoch_active() const noexcept { return epoch_active_; }
+  [[nodiscard]] LpId next_lp() const noexcept { return (self_ + 1) % num_lps_; }
+  [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+
+ private:
+  void flip_to_red(std::uint8_t white) noexcept;
+  [[nodiscard]] std::int64_t white_balance(std::uint8_t white) const noexcept {
+    return sent_[white] - received_[white];
+  }
+
+  LpId self_;
+  LpId num_lps_;
+  std::uint64_t period_events_;
+
+  std::uint8_t color_ = 0;
+  std::int64_t sent_[2] = {0, 0};
+  std::int64_t received_[2] = {0, 0};
+  VirtualTime min_red_send_ = VirtualTime::infinity();
+
+  bool epoch_active_ = false;  // meaningful on the initiator only
+  std::uint64_t events_since_epoch_ = 0;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace otw::tw

@@ -1,0 +1,80 @@
+// Public entry points: describe a model once, run it on any kernel.
+//
+//   Model model = smmp::build_model(cfg);
+//   KernelConfig kc; kc.num_lps = 4; ...
+//   RunResult tw  = run_simulated_now(model, kc);        // deterministic NOW
+//   RunResult th  = run_threaded(model, kc);             // real threads
+//   SequentialResult seq = run_sequential(model, kc.end_time);  // ground truth
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "otw/platform/simulated_now.hpp"
+#include "otw/platform/threaded.hpp"
+#include "otw/tw/lp.hpp"
+#include "otw/tw/stats.hpp"
+
+namespace otw::tw {
+
+/// A simulation model: object factories plus their LP placement. Factories
+/// (not live objects) so the same Model can be run repeatedly and on
+/// different kernels.
+struct Model {
+  struct ObjectSpec {
+    LpId lp = 0;
+    std::function<std::unique_ptr<SimulationObject>()> factory;
+  };
+
+  std::vector<ObjectSpec> objects;  ///< index == ObjectId
+
+  ObjectId add(LpId lp, std::function<std::unique_ptr<SimulationObject>()> factory) {
+    objects.push_back(ObjectSpec{lp, std::move(factory)});
+    return static_cast<ObjectId>(objects.size() - 1);
+  }
+
+  [[nodiscard]] LpId required_lps() const noexcept;
+};
+
+struct RunResult {
+  KernelStats stats;
+  /// Controller trajectories (empty unless KernelConfig::telemetry.enabled).
+  Telemetry telemetry;
+  /// Final committed state digest per object (cross-kernel comparison).
+  std::vector<std::uint64_t> digests;
+  /// Modeled makespan (simulated NOW) or elapsed wall time (threaded), ns.
+  std::uint64_t execution_time_ns = 0;
+  /// Host wall time spent producing the result, ns.
+  std::uint64_t wall_time_ns = 0;
+  std::uint64_t physical_messages = 0;
+  std::uint64_t wire_bytes = 0;
+
+  [[nodiscard]] double execution_time_sec() const noexcept {
+    return static_cast<double>(execution_time_ns) / 1e9;
+  }
+  /// Committed events per second of (modeled or wall) execution time.
+  [[nodiscard]] double committed_events_per_sec() const noexcept;
+};
+
+/// Runs the model on the deterministic simulated network-of-workstations.
+RunResult run_simulated_now(const Model& model, const KernelConfig& config,
+                            const platform::SimulatedNowConfig& now_config = {});
+
+/// Runs the model on real threads (one per LP).
+RunResult run_threaded(const Model& model, const KernelConfig& config,
+                       const platform::ThreadedConfig& threaded_config = {});
+
+/// Ground-truth sequential execution of the same model.
+struct SequentialResult {
+  std::vector<std::uint64_t> digests;
+  std::vector<std::uint64_t> events_per_object;
+  std::uint64_t events_processed = 0;
+  VirtualTime final_time = VirtualTime::zero();
+  std::uint64_t wall_time_ns = 0;
+};
+
+SequentialResult run_sequential(const Model& model,
+                                VirtualTime end_time = VirtualTime::infinity());
+
+}  // namespace otw::tw

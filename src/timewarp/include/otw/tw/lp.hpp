@@ -1,0 +1,127 @@
+// A logical process: a group of simulation objects sharing one scheduler,
+// one aggregation channel and one GVT agent, driven step-wise by a platform
+// engine. Implements the LpServices the per-object runtimes call back into.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "otw/comm/aggregation.hpp"
+#include "otw/core/optimism_controller.hpp"
+#include "otw/platform/engine.hpp"
+#include "otw/tw/gvt.hpp"
+#include "otw/tw/object_runtime.hpp"
+#include "otw/tw/stats.hpp"
+
+namespace otw::tw {
+
+struct KernelConfig {
+  LpId num_lps = 1;
+  /// Events with receive time beyond this are never processed.
+  VirtualTime end_time = VirtualTime::infinity();
+  /// Events one LP processes per step() (between network polls).
+  std::uint32_t batch_size = 8;
+  /// Locally processed events between GVT epochs.
+  std::uint64_t gvt_period_events = 512;
+  /// Minimum platform time between GVT epochs. Keeps an idle initiator from
+  /// flooding the network with back-to-back token rounds (GVT is control
+  /// traffic competing with useful work, cf. paper Section 3).
+  std::uint64_t gvt_min_interval_ns = 500'000;
+  /// Per-object checkpointing and cancellation configuration.
+  ObjectRuntimeConfig runtime;
+  /// DyMA policy for the outgoing communication path.
+  comm::AggregationConfig aggregation;
+
+  /// Controller-trajectory recording (off by default). Applied to every
+  /// object and LP; read back from RunResult::telemetry.
+  TelemetryConfig telemetry;
+
+  /// Bounded-time-window optimism throttling (Palaniswamy & Wilsey): an LP
+  /// only processes events with receive time <= GVT + window.
+  struct Optimism {
+    enum class Mode : std::uint8_t { Unbounded, Static, Adaptive };
+    Mode mode = Mode::Unbounded;
+    /// Static window / adaptive initial window, in virtual-time ticks.
+    std::uint64_t window = 1u << 16;
+    core::OptimismControlConfig control;
+  } optimism;
+};
+
+class LogicalProcess final : public platform::LpRunner, public LpServices {
+ public:
+  /// @param object_to_lp global ObjectId -> LpId map (shared by all LPs)
+  /// @param objects      (global id, object) pairs owned by this LP
+  LogicalProcess(LpId id, const KernelConfig& config,
+                 std::vector<LpId> object_to_lp,
+                 std::vector<std::pair<ObjectId, std::unique_ptr<SimulationObject>>>
+                     objects);
+
+  // --- platform::LpRunner ---
+  platform::StepStatus step(platform::LpContext& ctx) override;
+
+  // --- LpServices (called by ObjectRuntime) ---
+  void route(Event&& event) override;
+  void note_rollback(std::size_t undone) noexcept override;
+  [[nodiscard]] std::uint64_t wall_now_ns() const noexcept override;
+  void wall_charge(std::uint64_t ns) noexcept override;
+  [[nodiscard]] const platform::CostModel& costs() const noexcept override;
+  [[nodiscard]] VirtualTime end_time() const noexcept override {
+    return config_.end_time;
+  }
+
+  // --- results / introspection ---
+  [[nodiscard]] VirtualTime gvt() const noexcept { return gvt_value_; }
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] const LpStats& lp_stats() const noexcept { return stats_; }
+  [[nodiscard]] LpStats snapshot_lp_stats() const;
+  [[nodiscard]] const std::vector<std::unique_ptr<ObjectRuntime>>& runtimes()
+      const noexcept {
+    return runtimes_;
+  }
+  [[nodiscard]] const GvtAgent& gvt_agent() const noexcept { return gvt_; }
+  [[nodiscard]] const comm::AggregationChannel<Event>& channel() const noexcept {
+    return channel_;
+  }
+  [[nodiscard]] const std::vector<LpSample>& trace() const noexcept {
+    return trace_;
+  }
+
+ private:
+  void drain_one(std::unique_ptr<platform::EngineMessage> msg);
+  bool drain();  ///< returns true if any message was handled
+  void deliver_local_pending();
+  void handle_token(const GvtTokenMessage& token);
+  void complete_epoch(VirtualTime gvt);
+  void apply_gvt(VirtualTime gvt);
+  [[nodiscard]] VirtualTime local_min() const noexcept;
+  [[nodiscard]] ObjectRuntime& local_object(ObjectId id);
+  void ship_batch(LpId dst, std::vector<Event>&& events);
+  [[nodiscard]] ObjectRuntime* pick_lowest() noexcept;
+  /// Highest receive time currently processable (end_time and, when bounded,
+  /// GVT + optimism window).
+  [[nodiscard]] VirtualTime processing_bound() const noexcept;
+
+  LpId id_;
+  KernelConfig config_;
+  std::vector<LpId> object_to_lp_;
+  std::vector<std::unique_ptr<ObjectRuntime>> runtimes_;
+  /// Global ObjectId -> index into runtimes_, or SIZE_MAX for remote objects.
+  std::vector<std::size_t> local_index_;
+  std::vector<Event> local_inbox_;  ///< deferred same-LP deliveries
+  comm::AggregationChannel<Event> channel_;
+  GvtAgent gvt_;
+  std::optional<core::OptimismWindowController> optimism_;
+  std::uint64_t optimism_rolled_back_ = 0;
+  VirtualTime gvt_value_ = VirtualTime::zero();
+  std::uint64_t last_epoch_start_ns_ = 0;
+  bool epoch_ever_started_ = false;
+  bool initialized_ = false;
+  bool done_ = false;
+  platform::LpContext* ctx_ = nullptr;  ///< valid only inside step()
+  std::uint64_t events_since_sample_ = 0;
+  std::uint64_t events_processed_total_ = 0;
+  std::vector<LpSample> trace_;
+  LpStats stats_;
+};
+
+}  // namespace otw::tw

@@ -1,0 +1,70 @@
+// Physical message types exchanged between LPs through the platform.
+//
+// EventBatch carries one aggregate of application events (one event when
+// aggregation is off). GvtToken and GvtAnnounce are control messages for
+// Mattern's GVT algorithm; they bypass the aggregation layer.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "otw/platform/engine.hpp"
+#include "otw/tw/event.hpp"
+
+namespace otw::tw {
+
+/// Approximate wire size of one event: fixed header + payload bytes.
+[[nodiscard]] inline std::uint64_t event_wire_bytes(const Event& e) noexcept {
+  return 44 + e.payload.size();
+}
+
+class EventBatchMessage final : public platform::EngineMessage {
+ public:
+  explicit EventBatchMessage(std::vector<Event> events)
+      : events_(std::move(events)) {}
+
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept override {
+    std::uint64_t bytes = 16;  // physical-message header
+    for (const Event& e : events_) {
+      bytes += event_wire_bytes(e);
+    }
+    return bytes;
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
+  [[nodiscard]] std::vector<Event>& events() noexcept { return events_; }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Mattern GVT token, circulated around the LP ring.
+class GvtTokenMessage final : public platform::EngineMessage {
+ public:
+  /// Epoch parity this cut is collecting ("white" color being drained).
+  std::uint8_t white_color = 0;
+  /// Round number within the epoch (diagnostics only).
+  std::uint32_t round = 0;
+  /// Sum over visited LPs of (white sent - white received); 0 on return to
+  /// the initiator means the cut is consistent.
+  std::int64_t count = 0;
+  /// Min over visited LPs of their minimum unprocessed event time.
+  VirtualTime min_lvt = VirtualTime::infinity();
+  /// Min receive-time of any red (post-cut) message sent so far.
+  VirtualTime min_red_send = VirtualTime::infinity();
+
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept override { return 40; }
+};
+
+/// New GVT broadcast by the initiator at the end of an epoch.
+class GvtAnnounceMessage final : public platform::EngineMessage {
+ public:
+  explicit GvtAnnounceMessage(VirtualTime gvt) : gvt_(gvt) {}
+  [[nodiscard]] VirtualTime gvt() const noexcept { return gvt_; }
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept override { return 24; }
+
+ private:
+  VirtualTime gvt_;
+};
+
+}  // namespace otw::tw

@@ -1,0 +1,149 @@
+// The three history queues of a Time Warp simulation object (paper Fig. 1):
+// input queue, output queue and state queue.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "otw/tw/event.hpp"
+#include "otw/tw/object.hpp"
+#include "otw/util/assert.hpp"
+
+namespace otw::tw {
+
+/// Input queue: all positive events at/after the last fossil-collected
+/// checkpoint, totally ordered by InputOrder, with a boundary iterator
+/// separating the processed prefix from unprocessed events. Anti-messages
+/// are never stored; they annihilate on arrival.
+class InputQueue {
+ public:
+  InputQueue() : next_(events_.end()) {}
+
+  // The boundary iterator must be maintained across copies; forbid them.
+  InputQueue(const InputQueue&) = delete;
+  InputQueue& operator=(const InputQueue&) = delete;
+
+  /// Inserts a positive event. Returns true when the event is a straggler:
+  /// it orders before an already-processed event, so the caller must roll
+  /// the object back to before the event's key.
+  bool insert(const Event& event);
+
+  /// The next unprocessed event, or nullptr.
+  [[nodiscard]] const Event* peek_next() const noexcept {
+    return next_ == events_.end() ? nullptr : &*next_;
+  }
+
+  /// Marks the next unprocessed event as processed and returns it. The
+  /// reference stays valid until the event is erased (annihilation/fossil).
+  const Event& advance();
+
+  /// Moves the processed/unprocessed boundary back so the first unprocessed
+  /// event is the first one ordered after `checkpoint` (rollback restore).
+  void rewind_to_after(const Position& checkpoint);
+
+  /// Number of processed events ordered after `pos` (the rollback length).
+  [[nodiscard]] std::size_t processed_after(const Position& pos) const;
+
+  enum class MatchStatus : std::uint8_t { NotFound, Unprocessed, Processed };
+
+  /// Looks for the positive event matching an anti-message (same sender and
+  /// instance; InputOrder locates it by key+instance).
+  [[nodiscard]] MatchStatus find_match(const Event& anti) const;
+
+  /// Erases the positive event matching `anti`. If it was processed, the
+  /// caller must have rolled back past it first (so it is unprocessed now).
+  void erase_match(const Event& anti);
+
+  /// Drops processed events ordered before `pos` (all history before the
+  /// checkpoint kept by fossil collection). Returns how many were dropped —
+  /// these events are committed.
+  std::size_t fossil_collect_before(const Position& pos);
+
+  /// Receive time of the next unprocessed event (infinity if none): this
+  /// object's contribution to GVT.
+  [[nodiscard]] VirtualTime next_unprocessed_time() const noexcept {
+    return next_ == events_.end() ? VirtualTime::infinity() : next_->recv_time;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t processed_count() const;
+
+ private:
+  using Set = std::multiset<Event, InputOrder>;
+
+  [[nodiscard]] bool is_processed(Set::const_iterator it) const;
+
+  Set events_;
+  Set::iterator next_;  // first unprocessed event
+};
+
+/// One remembered output message: the event as sent plus the position of
+/// the event whose processing generated it.
+struct OutputEntry {
+  Position cause;
+  Event event;
+};
+
+/// Output queue: every message sent and not yet cancelled or fossil
+/// collected, in increasing cause order. Rollback extracts the suffix of
+/// entries caused by re-executed events; those are cancelled per the
+/// cancellation strategy.
+class OutputQueue {
+ public:
+  void record(const Position& cause, const Event& event);
+
+  /// Removes and returns all entries with cause > `target` — or cause >=
+  /// `target` when `inclusive` (an annihilated event's own outputs must be
+  /// cancelled too: nothing will ever re-execute it). Order preserved.
+  std::vector<OutputEntry> extract_after(const Position& target,
+                                         bool inclusive = false);
+
+  /// Drops entries sent at virtual times < gvt (no rollback can reach them).
+  void fossil_collect_before(VirtualTime gvt);
+
+  [[nodiscard]] std::size_t size() const noexcept { return sent_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return sent_.empty(); }
+  [[nodiscard]] const std::deque<OutputEntry>& entries() const noexcept {
+    return sent_;
+  }
+
+ private:
+  std::deque<OutputEntry> sent_;  // increasing cause order
+};
+
+/// State queue: periodic checkpoints. Each entry snapshots the object state
+/// *after* processing the event identified by `key`.
+class StateQueue {
+ public:
+  struct Entry {
+    Position pos;
+    std::unique_ptr<ObjectState> state;
+  };
+
+  /// Appends a checkpoint; positions must be strictly increasing.
+  void save(const Position& pos, std::unique_ptr<ObjectState> state);
+
+  /// Latest checkpoint ordered before `target` — the rollback restore point.
+  /// Never nullptr while fossil collection keeps its guarantee.
+  [[nodiscard]] const Entry* latest_before(const Position& target) const;
+
+  /// Drops checkpoints at/after `target` (invalidated by rollback).
+  void drop_from(const Position& target);
+
+  /// Keeps the latest checkpoint taken strictly before `gvt` (plus all later
+  /// ones) and drops everything older. Returns the kept checkpoint's
+  /// position: the input queue may drop processed events before it.
+  Position fossil_collect(VirtualTime gvt);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] const Entry& back() const { return entries_.back(); }
+
+ private:
+  std::deque<Entry> entries_;  // increasing key order
+};
+
+}  // namespace otw::tw

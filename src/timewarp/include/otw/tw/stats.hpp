@@ -1,0 +1,72 @@
+// Kernel instrumentation: per-object and per-LP counters plus roll-ups.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "otw/core/cancellation_controller.hpp"
+#include "otw/tw/virtual_time.hpp"
+#include "otw/util/stats.hpp"
+
+namespace otw::tw {
+
+struct ObjectStats {
+  std::uint64_t events_processed = 0;   ///< process_event calls, incl. re-execution
+  std::uint64_t events_committed = 0;   ///< events finally below GVT
+  std::uint64_t events_rolled_back = 0; ///< processed events undone by rollbacks
+  std::uint64_t rollbacks = 0;
+  std::uint64_t coast_forward_events = 0;
+  std::uint64_t states_saved = 0;
+  std::uint64_t state_restores = 0;
+  std::uint64_t messages_sent = 0;      ///< positive messages (first sends + re-sends)
+  std::uint64_t anti_messages_sent = 0;
+  std::uint64_t anti_messages_received = 0;
+  std::uint64_t stragglers = 0;
+  std::uint64_t lazy_hits = 0;          ///< identical regeneration under lazy
+  std::uint64_t lazy_misses = 0;        ///< lazy entries cancelled after all
+  std::uint64_t passive_hits = 0;       ///< "lazy aggressive hits" (paper S5)
+  std::uint64_t passive_misses = 0;
+  std::uint64_t cancellation_switches = 0;
+  std::uint64_t checkpoint_control_ticks = 0;
+  std::uint32_t final_checkpoint_interval = 1;
+  core::CancellationMode final_mode = core::CancellationMode::Aggressive;
+  double final_hit_ratio = 0.0;
+  util::Log2Histogram rollback_length;
+
+  void merge(const ObjectStats& other);
+};
+
+struct LpStats {
+  std::uint64_t gvt_epochs = 0;
+  std::uint64_t gvt_rounds = 0;        ///< token passes handled
+  std::uint64_t events_sent_remote = 0;
+  std::uint64_t events_sent_local = 0;
+  std::uint64_t aggregates_sent = 0;
+  std::uint64_t messages_aggregated = 0;
+  util::RunningStat aggregate_size;
+  util::RunningStat aggregation_window_us;
+  std::uint64_t steps = 0;
+  std::uint64_t idle_polls = 0;
+
+  void merge(const LpStats& other);
+};
+
+struct KernelStats {
+  std::vector<ObjectStats> objects;  ///< indexed by ObjectId
+  std::vector<LpStats> lps;          ///< indexed by LpId
+  VirtualTime final_gvt = VirtualTime::zero();
+
+  [[nodiscard]] ObjectStats object_totals() const;
+  [[nodiscard]] LpStats lp_totals() const;
+  [[nodiscard]] std::uint64_t total_committed() const;
+  [[nodiscard]] std::uint64_t total_rollbacks() const;
+
+  /// Multi-line human-readable summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const KernelStats& stats);
+
+}  // namespace otw::tw

@@ -1,0 +1,67 @@
+// Telemetry: time series of the on-line controllers' decisions.
+//
+// The paper's motivation is that the optimal configuration *changes over the
+// lifetime of the simulation*; these traces make the controllers' tracking
+// of those phases observable. Sampling is by locally processed events (the
+// same clock the controllers tick on) and is off by default — recording is
+// itself intrusive.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "otw/core/cancellation_controller.hpp"
+#include "otw/tw/virtual_time.hpp"
+
+namespace otw::tw {
+
+struct TelemetryConfig {
+  bool enabled = false;
+  /// Locally processed events between samples (per object / per LP).
+  std::uint64_t sample_period_events = 256;
+};
+
+/// One sample of a simulation object's controller state.
+struct ObjectSample {
+  std::uint64_t events_processed = 0;  ///< sample clock
+  VirtualTime lvt{};
+  std::uint32_t checkpoint_interval = 1;
+  double hit_ratio = 0.0;
+  core::CancellationMode mode = core::CancellationMode::Aggressive;
+  std::uint64_t rollbacks = 0;  ///< cumulative
+};
+
+/// One sample of an LP's kernel state.
+struct LpSample {
+  std::uint64_t events_processed = 0;  ///< sample clock
+  VirtualTime gvt{};
+  double aggregation_window_us = 0.0;
+  std::uint64_t optimism_window = 0;  ///< 0 = unbounded
+  std::uint64_t events_in_transit_estimate = 0;
+};
+
+struct ObjectTrace {
+  std::uint32_t object = 0;
+  std::vector<ObjectSample> samples;
+};
+
+struct LpTrace {
+  std::uint32_t lp = 0;
+  std::vector<LpSample> samples;
+};
+
+struct Telemetry {
+  std::vector<ObjectTrace> objects;  ///< one per object, indexed by ObjectId
+  std::vector<LpTrace> lps;          ///< one per LP
+
+  [[nodiscard]] bool empty() const noexcept {
+    return objects.empty() && lps.empty();
+  }
+
+  /// Writes all traces as CSV: kind,id,events,lvt,chi,hr,mode,rollbacks /
+  /// kind,id,events,gvt,window_us,optimism.
+  void write_csv(std::ostream& os) const;
+};
+
+}  // namespace otw::tw

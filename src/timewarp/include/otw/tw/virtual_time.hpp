@@ -1,0 +1,59 @@
+// Virtual time (Jefferson 1985): the simulation's logical clock.
+//
+// A strong integer type so virtual times cannot be mixed up with wall-clock
+// nanoseconds or event counts. Ticks are dimensionless; applications choose
+// their own scale (SMMP uses nanoseconds of modeled hardware, RAID uses
+// microseconds of disk mechanics).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+namespace otw::tw {
+
+class VirtualTime {
+ public:
+  using rep = std::uint64_t;
+
+  constexpr VirtualTime() noexcept = default;
+  constexpr explicit VirtualTime(rep ticks) noexcept : ticks_(ticks) {}
+
+  /// The beginning of simulated time.
+  static constexpr VirtualTime zero() noexcept { return VirtualTime{0}; }
+  /// Positive infinity: later than every reachable event time.
+  static constexpr VirtualTime infinity() noexcept {
+    return VirtualTime{std::numeric_limits<rep>::max()};
+  }
+
+  [[nodiscard]] constexpr rep ticks() const noexcept { return ticks_; }
+  [[nodiscard]] constexpr bool is_infinity() const noexcept {
+    return ticks_ == std::numeric_limits<rep>::max();
+  }
+
+  friend constexpr auto operator<=>(VirtualTime, VirtualTime) noexcept = default;
+
+  friend constexpr VirtualTime operator+(VirtualTime t, rep delta) noexcept {
+    return VirtualTime{t.ticks_ + delta};
+  }
+
+  constexpr VirtualTime& operator+=(rep delta) noexcept {
+    ticks_ += delta;
+    return *this;
+  }
+
+  friend constexpr VirtualTime min(VirtualTime a, VirtualTime b) noexcept {
+    return a < b ? a : b;
+  }
+  friend constexpr VirtualTime max(VirtualTime a, VirtualTime b) noexcept {
+    return a < b ? b : a;
+  }
+
+ private:
+  rep ticks_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, VirtualTime t);
+
+}  // namespace otw::tw

@@ -1,0 +1,132 @@
+#include "otw/tw/kernel.hpp"
+
+#include <chrono>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::tw {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(WallClock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - start)
+          .count());
+}
+
+/// Instantiates the LPs for one run of the model.
+struct Assembly {
+  std::vector<std::unique_ptr<LogicalProcess>> lps;
+  std::vector<platform::LpRunner*> runners;
+};
+
+Assembly assemble(const Model& model, const KernelConfig& config) {
+  OTW_REQUIRE_MSG(!model.objects.empty(), "model has no objects");
+  OTW_REQUIRE_MSG(config.num_lps >= model.required_lps(),
+                  "config.num_lps is smaller than the model's LP placement");
+
+  std::vector<LpId> object_to_lp;
+  object_to_lp.reserve(model.objects.size());
+  for (const auto& spec : model.objects) {
+    object_to_lp.push_back(spec.lp);
+  }
+
+  Assembly assembly;
+  for (LpId lp = 0; lp < config.num_lps; ++lp) {
+    std::vector<std::pair<ObjectId, std::unique_ptr<SimulationObject>>> local;
+    for (ObjectId id = 0; id < model.objects.size(); ++id) {
+      if (model.objects[id].lp == lp) {
+        OTW_REQUIRE(model.objects[id].factory != nullptr);
+        local.emplace_back(id, model.objects[id].factory());
+      }
+    }
+    assembly.lps.push_back(std::make_unique<LogicalProcess>(
+        lp, config, object_to_lp, std::move(local)));
+  }
+  assembly.runners.reserve(assembly.lps.size());
+  for (const auto& lp : assembly.lps) {
+    assembly.runners.push_back(lp.get());
+  }
+  return assembly;
+}
+
+RunResult collect(const Model& model, Assembly& assembly,
+                  const platform::EngineRunResult& engine_result,
+                  std::uint64_t wall_ns) {
+  RunResult result;
+  result.execution_time_ns = engine_result.execution_time_ns;
+  result.wall_time_ns = wall_ns;
+  result.physical_messages = engine_result.physical_messages;
+  result.wire_bytes = engine_result.wire_bytes;
+
+  result.stats.objects.resize(model.objects.size());
+  result.digests.resize(model.objects.size(), 0);
+  result.telemetry.objects.resize(model.objects.size());
+  for (const auto& lp : assembly.lps) {
+    OTW_REQUIRE_MSG(lp->done(), "engine returned before all LPs finished");
+    result.stats.lps.push_back(lp->snapshot_lp_stats());
+    result.stats.final_gvt = lp->gvt();
+    if (!lp->trace().empty()) {
+      LpTrace trace;
+      trace.lp = static_cast<std::uint32_t>(result.telemetry.lps.size());
+      trace.samples = lp->trace();
+      result.telemetry.lps.push_back(std::move(trace));
+    }
+    for (const auto& runtime : lp->runtimes()) {
+      result.stats.objects[runtime->self()] = runtime->snapshot_stats();
+      result.digests[runtime->self()] = runtime->state_digest();
+      result.telemetry.objects[runtime->self()] =
+          ObjectTrace{runtime->self(), runtime->trace()};
+    }
+  }
+  if (result.telemetry.lps.empty()) {
+    bool any = false;
+    for (const auto& trace : result.telemetry.objects) {
+      any = any || !trace.samples.empty();
+    }
+    if (!any) {
+      result.telemetry.objects.clear();
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+LpId Model::required_lps() const noexcept {
+  LpId highest = 0;
+  for (const auto& spec : objects) {
+    highest = std::max(highest, spec.lp);
+  }
+  return highest + 1;
+}
+
+double RunResult::committed_events_per_sec() const noexcept {
+  if (execution_time_ns == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(stats.total_committed()) /
+         (static_cast<double>(execution_time_ns) / 1e9);
+}
+
+RunResult run_simulated_now(const Model& model, const KernelConfig& config,
+                            const platform::SimulatedNowConfig& now_config) {
+  const auto start = WallClock::now();
+  Assembly assembly = assemble(model, config);
+  platform::SimulatedNowEngine engine(now_config);
+  const platform::EngineRunResult engine_result = engine.run(assembly.runners);
+  return collect(model, assembly, engine_result, elapsed_ns(start));
+}
+
+RunResult run_threaded(const Model& model, const KernelConfig& config,
+                       const platform::ThreadedConfig& threaded_config) {
+  const auto start = WallClock::now();
+  Assembly assembly = assemble(model, config);
+  platform::ThreadedEngine engine(threaded_config);
+  const platform::EngineRunResult engine_result = engine.run(assembly.runners);
+  return collect(model, assembly, engine_result, elapsed_ns(start));
+}
+
+}  // namespace otw::tw

@@ -1,0 +1,334 @@
+#include "otw/tw/lp.hpp"
+
+#include <algorithm>
+
+namespace otw::tw {
+
+LogicalProcess::LogicalProcess(
+    LpId id, const KernelConfig& config, std::vector<LpId> object_to_lp,
+    std::vector<std::pair<ObjectId, std::unique_ptr<SimulationObject>>> objects)
+    : id_(id),
+      config_(config),
+      object_to_lp_(std::move(object_to_lp)),
+      local_index_(object_to_lp_.size(), SIZE_MAX),
+      channel_(id, config.num_lps, config.aggregation),
+      gvt_(id, config.num_lps, config.gvt_period_events) {
+  OTW_REQUIRE(id < config.num_lps);
+  if (config_.optimism.mode == KernelConfig::Optimism::Mode::Adaptive) {
+    auto control = config_.optimism.control;
+    control.initial_window = config_.optimism.window;
+    control.min_window = std::min(control.min_window, control.initial_window);
+    control.max_window = std::max(control.max_window, control.initial_window);
+    optimism_.emplace(control);
+  }
+  runtimes_.reserve(objects.size());
+  for (auto& [object_id, object] : objects) {
+    OTW_REQUIRE(object_id < object_to_lp_.size());
+    OTW_REQUIRE_MSG(object_to_lp_[object_id] == id_,
+                    "object assigned to a different LP");
+    local_index_[object_id] = runtimes_.size();
+    ObjectRuntimeConfig runtime_config = config_.runtime;
+    runtime_config.telemetry = config_.telemetry;
+    runtimes_.push_back(std::make_unique<ObjectRuntime>(
+        object_id, std::move(object), *this, runtime_config));
+  }
+}
+
+std::uint64_t LogicalProcess::wall_now_ns() const noexcept {
+  OTW_ASSERT(ctx_ != nullptr);
+  return ctx_->now_ns();
+}
+
+void LogicalProcess::wall_charge(std::uint64_t ns) noexcept {
+  OTW_ASSERT(ctx_ != nullptr);
+  ctx_->charge(ns);
+}
+
+const platform::CostModel& LogicalProcess::costs() const noexcept {
+  OTW_ASSERT(ctx_ != nullptr);
+  return ctx_->costs();
+}
+
+void LogicalProcess::note_rollback(std::size_t undone) noexcept {
+  optimism_rolled_back_ += undone;
+}
+
+VirtualTime LogicalProcess::processing_bound() const noexcept {
+  VirtualTime bound = config_.end_time;
+  std::uint64_t window = 0;
+  switch (config_.optimism.mode) {
+    case KernelConfig::Optimism::Mode::Unbounded:
+      return bound;
+    case KernelConfig::Optimism::Mode::Static:
+      window = config_.optimism.window;
+      break;
+    case KernelConfig::Optimism::Mode::Adaptive:
+      window = optimism_->window();
+      break;
+  }
+  if (gvt_value_.is_infinity()) {
+    return bound;
+  }
+  const std::uint64_t ticks = gvt_value_.ticks();
+  const VirtualTime horizon{ticks > UINT64_MAX - window - 1 ? UINT64_MAX - 1
+                                                            : ticks + window};
+  return min(bound, horizon);
+}
+
+ObjectRuntime& LogicalProcess::local_object(ObjectId id) {
+  OTW_REQUIRE(id < local_index_.size() && local_index_[id] != SIZE_MAX);
+  return *runtimes_[local_index_[id]];
+}
+
+void LogicalProcess::route(Event&& event) {
+  const LpId dst = object_to_lp_[event.receiver];
+  if (dst == id_) {
+    ++stats_.events_sent_local;
+    // Deferred: delivering immediately could re-enter an object that is in
+    // the middle of processing an event (cascaded rollback to self).
+    local_inbox_.push_back(std::move(event));
+    return;
+  }
+  ++stats_.events_sent_remote;
+  event.color = gvt_.on_send(event.recv_time);
+  channel_.enqueue(dst, std::move(event), ctx_->now_ns(),
+                   [this](LpId to, std::vector<Event>&& batch) {
+                     ship_batch(to, std::move(batch));
+                   });
+}
+
+void LogicalProcess::ship_batch(LpId dst, std::vector<Event>&& events) {
+  ctx_->send(dst, std::make_unique<EventBatchMessage>(std::move(events)));
+}
+
+void LogicalProcess::deliver_local_pending() {
+  // receive() may append more entries while we iterate; index-based loop.
+  for (std::size_t i = 0; i < local_inbox_.size(); ++i) {
+    const Event event = std::move(local_inbox_[i]);
+    local_object(event.receiver).receive(event);
+  }
+  local_inbox_.clear();
+}
+
+VirtualTime LogicalProcess::local_min() const noexcept {
+  VirtualTime lowest = VirtualTime::infinity();
+  for (const auto& runtime : runtimes_) {
+    lowest = min(lowest, runtime->gvt_contribution(config_.end_time));
+  }
+  return lowest;
+}
+
+ObjectRuntime* LogicalProcess::pick_lowest() noexcept {
+  ObjectRuntime* best = nullptr;
+  VirtualTime best_time = VirtualTime::infinity();
+  for (const auto& runtime : runtimes_) {
+    const VirtualTime t = runtime->next_event_time();
+    if (t < best_time) {
+      best_time = t;
+      best = runtime.get();
+    }
+  }
+  return best_time <= processing_bound() ? best : nullptr;
+}
+
+void LogicalProcess::handle_token(const GvtTokenMessage& token) {
+  const GvtAgent::Outcome outcome = gvt_.on_token(token, local_min());
+  if (outcome.forward) {
+    ctx_->send(gvt_.next_lp(),
+               std::make_unique<GvtTokenMessage>(*outcome.forward));
+  }
+  if (outcome.gvt) {
+    complete_epoch(*outcome.gvt);
+  }
+}
+
+void LogicalProcess::complete_epoch(VirtualTime gvt) {
+  ++stats_.gvt_epochs;
+  for (LpId lp = 0; lp < config_.num_lps; ++lp) {
+    if (lp != id_) {
+      ctx_->send(lp, std::make_unique<GvtAnnounceMessage>(gvt));
+    }
+  }
+  apply_gvt(gvt);
+}
+
+void LogicalProcess::apply_gvt(VirtualTime gvt) {
+  OTW_REQUIRE_MSG(gvt >= gvt_value_, "GVT went backwards");
+  gvt_value_ = gvt;
+  for (const auto& runtime : runtimes_) {
+    runtime->fossil_collect(gvt);
+  }
+  if (gvt.is_infinity()) {
+    for (const auto& runtime : runtimes_) {
+      runtime->finalize();
+    }
+    done_ = true;
+  }
+}
+
+void LogicalProcess::drain_one(std::unique_ptr<platform::EngineMessage> msg) {
+  if (auto* batch = dynamic_cast<EventBatchMessage*>(msg.get())) {
+    for (Event& event : batch->events()) {
+      // Both polarities count for GVT: anti-messages are messages too.
+      gvt_.on_receive(event.color);
+      local_object(event.receiver).receive(event);
+      deliver_local_pending();
+    }
+    return;
+  }
+  if (auto* token = dynamic_cast<GvtTokenMessage*>(msg.get())) {
+    handle_token(*token);
+    return;
+  }
+  if (auto* announce = dynamic_cast<GvtAnnounceMessage*>(msg.get())) {
+    apply_gvt(announce->gvt());
+    return;
+  }
+  OTW_REQUIRE_MSG(false, "unknown physical message type");
+}
+
+bool LogicalProcess::drain() {
+  bool any = false;
+  while (auto msg = ctx_->poll()) {
+    any = true;
+    drain_one(std::move(msg));
+  }
+  return any;
+}
+
+platform::StepStatus LogicalProcess::step(platform::LpContext& ctx) {
+  ctx_ = &ctx;
+  struct CtxReset {
+    platform::LpContext** slot;
+    ~CtxReset() { *slot = nullptr; }
+  } reset{&ctx_};
+
+  ++stats_.steps;
+
+  if (!initialized_) {
+    for (const auto& runtime : runtimes_) {
+      runtime->initialize();
+    }
+    deliver_local_pending();
+    initialized_ = true;
+  }
+  if (done_) {
+    return platform::StepStatus::Done;
+  }
+
+  const bool received = drain();
+  if (done_) {
+    return platform::StepStatus::Done;
+  }
+
+  // Process a batch of lowest-timestamp-first events (bounded, when
+  // configured, by the optimism window above GVT).
+  std::uint32_t processed = 0;
+  while (processed < config_.batch_size) {
+    ObjectRuntime* lowest = pick_lowest();
+    if (lowest == nullptr) {
+      break;
+    }
+    if (!lowest->process_next()) {
+      break;
+    }
+    gvt_.on_event_processed();
+    deliver_local_pending();
+    ++processed;
+  }
+  events_processed_total_ += processed;
+  if (config_.telemetry.enabled && processed > 0) {
+    events_since_sample_ += processed;
+    if (events_since_sample_ >= config_.telemetry.sample_period_events) {
+      events_since_sample_ = 0;
+      LpSample sample;
+      sample.events_processed = events_processed_total_;
+      sample.gvt = gvt_value_;
+      sample.aggregation_window_us = channel_.window_us();
+      sample.optimism_window =
+          config_.optimism.mode == KernelConfig::Optimism::Mode::Unbounded
+              ? 0
+              : (optimism_ ? optimism_->window() : config_.optimism.window);
+      trace_.push_back(sample);
+    }
+  }
+  if (optimism_) {
+    optimism_->record_processed(processed);
+    optimism_->record_rolled_back(optimism_rolled_back_);
+    optimism_rolled_back_ = 0;
+    if (optimism_->maybe_adapt()) {
+      ctx.charge(ctx.costs().control_invocation_ns);
+    }
+  }
+
+  if (processed == 0) {
+    // Nothing runnable: resolve lazy/passive entries that can no longer be
+    // regenerated (may emit anti-messages).
+    for (const auto& runtime : runtimes_) {
+      runtime->idle_flush();
+    }
+    deliver_local_pending();
+  }
+
+  // Flush aggregates whose window has expired.
+  channel_.pump(ctx.now_ns(), [this](LpId to, std::vector<Event>&& batch) {
+    ship_batch(to, std::move(batch));
+  });
+
+  const bool idle_now = processed == 0 && !received && !channel_.has_pending();
+
+  if (gvt_.should_start(idle_now)) {
+    const std::uint64_t earliest =
+        epoch_ever_started_ ? last_epoch_start_ns_ + config_.gvt_min_interval_ns
+                            : 0;
+    if (ctx.now_ns() < earliest) {
+      // Too soon: wait out the rate limit (parked if idle, since no message
+      // may ever arrive to wake us for the termination-detecting epoch).
+      ctx.request_wakeup(earliest);
+    } else {
+      last_epoch_start_ns_ = ctx.now_ns();
+      epoch_ever_started_ = true;
+      const GvtAgent::Outcome outcome = gvt_.start_epoch(local_min());
+      if (outcome.forward) {
+        ctx_->send(gvt_.next_lp(),
+                   std::make_unique<GvtTokenMessage>(*outcome.forward));
+      }
+      if (outcome.gvt) {
+        complete_epoch(*outcome.gvt);
+      }
+      if (done_) {
+        return platform::StepStatus::Done;
+      }
+      return platform::StepStatus::Active;
+    }
+  }
+
+  if (idle_now) {
+    ++stats_.idle_polls;
+    ctx.charge(ctx.costs().idle_poll_ns);
+    return platform::StepStatus::Idle;
+  }
+  if (processed == 0) {
+    ctx.charge(ctx.costs().idle_poll_ns);
+    if (!received && channel_.has_pending()) {
+      // Nothing to do until an aggregate window expires (or a message
+      // lands): tell the engine when to come back instead of busy-polling.
+      ctx.request_wakeup(channel_.next_deadline_ns());
+      return platform::StepStatus::Idle;
+    }
+  }
+  return platform::StepStatus::Active;
+}
+
+LpStats LogicalProcess::snapshot_lp_stats() const {
+  LpStats s = stats_;
+  s.gvt_rounds = gvt_.rounds();
+  const comm::AggregationStats& agg = channel_.stats();
+  s.aggregates_sent = agg.aggregates_sent;
+  s.messages_aggregated = agg.messages_enqueued;
+  s.aggregate_size = agg.aggregate_size;
+  s.aggregation_window_us = agg.window_us;
+  return s;
+}
+
+}  // namespace otw::tw

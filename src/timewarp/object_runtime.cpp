@@ -1,0 +1,349 @@
+#include "otw/tw/object_runtime.hpp"
+
+#include <algorithm>
+
+namespace otw::tw {
+
+ObjectRuntime::ObjectRuntime(ObjectId id, std::unique_ptr<SimulationObject> object,
+                             LpServices& lp, const ObjectRuntimeConfig& config)
+    : id_(id),
+      object_(std::move(object)),
+      lp_(lp),
+      config_(config),
+      states_(make_checkpoint_store(config.state_saving,
+                                    config.full_snapshot_interval)),
+      ckpt_(config.checkpoint_control),
+      cancel_(config.cancellation) {
+  OTW_REQUIRE(object_ != nullptr);
+  OTW_REQUIRE(config.checkpoint_interval >= 1);
+}
+
+void ObjectRuntime::initialize() {
+  current_state_ = object_->initial_state();
+  OTW_REQUIRE(current_state_ != nullptr);
+  lvt_ = VirtualTime::zero();
+  current_pos_ = Position::before_all();
+  sends_this_event_ = 0;
+  // Initial sends are recorded with cause == before_all(), which no rollback
+  // target can ever invalidate.
+  processing_ = true;
+  object_->initialize(*this);
+  processing_ = false;
+  save_state(Position::before_all());
+  events_since_save_ = 0;
+}
+
+bool ObjectRuntime::process_next() {
+  const Event* next = input_.peek_next();
+  if (next == nullptr || next->recv_time > lp_.end_time()) {
+    return false;
+  }
+  const Position pos = next->position();
+  flush_resolved_before(pos);
+  execute(*next);
+  input_.advance();
+  maybe_checkpoint(pos);
+  if (config_.dynamic_checkpointing && ckpt_.on_event_processed()) {
+    lp_.wall_charge(lp_.costs().control_invocation_ns);
+    ++stats_.checkpoint_control_ticks;
+  }
+  if (config_.telemetry.enabled &&
+      ++events_since_sample_ >= config_.telemetry.sample_period_events) {
+    events_since_sample_ = 0;
+    trace_.push_back(ObjectSample{stats_.events_processed, lvt_,
+                                  checkpoint_interval(), cancel_.hit_ratio(),
+                                  cancel_.mode(), stats_.rollbacks});
+  }
+  return true;
+}
+
+void ObjectRuntime::execute(const Event& event) {
+  processing_ = true;
+  current_pos_ = event.position();
+  sends_this_event_ = 0;
+  lvt_ = event.recv_time;
+  lp_.wall_charge(lp_.costs().event_overhead_ns);
+  object_->process_event(*this, event);
+  processing_ = false;
+  ++stats_.events_processed;
+}
+
+void ObjectRuntime::send(ObjectId dest, VirtualTime::rep delay, const Payload& payload) {
+  OTW_REQUIRE_MSG(processing_, "send() is only valid while processing an event");
+  OTW_REQUIRE_MSG(delay >= 1,
+                  "zero-delay messages would make the committed order depend on "
+                  "the execution interleaving");
+  Event event;
+  event.sender = id_;
+  event.receiver = dest;
+  event.send_time = lvt_;
+  event.recv_time = lvt_ + delay;
+  event.seq = derive_send_seq(current_pos_.key.recv_time, current_pos_.key.sender,
+                              current_pos_.key.seq, id_, sends_this_event_++);
+  event.instance = instance_seq_++;
+  event.payload = payload;
+  emit(std::move(event));
+}
+
+void ObjectRuntime::emit(Event&& event) {
+  if (suppress_sends_) {
+    // Coast-forward: this exact message was already sent and is still
+    // correct; re-execution only rebuilds the state.
+    return;
+  }
+
+  // Lazy-cancellation regeneration check: identical to a prematurely sent
+  // message (same receiver, receive time, seq and payload)? Then that
+  // message stands; nothing is transmitted.
+  if (!lazy_pending_.empty()) {
+    lp_.wall_charge(lp_.costs().comparison_cost_ns);
+    const auto match = std::find_if(
+        lazy_pending_.begin(), lazy_pending_.end(), [&](const OutputEntry& entry) {
+          return entry.event.seq == event.seq && entry.event.same_content(event);
+        });
+    if (match != lazy_pending_.end()) {
+      // Keep the ORIGINAL instance: a future rollback must cancel the
+      // physical message that is actually at the receiver.
+      output_.record(current_pos_, match->event);
+      lazy_pending_.erase(match);
+      ++stats_.lazy_hits;
+      cancel_.record_comparison(true);
+      return;
+    }
+  }
+
+  // Passive comparison under aggressive cancellation: the original was
+  // already cancelled, so the new message is sent regardless; the outcome
+  // only feeds the Hit Ratio. Skipped entirely once the controller froze
+  // (that skip is the PS/PA variants' performance edge).
+  if (!passive_.empty() && cancel_.monitoring()) {
+    lp_.wall_charge(lp_.costs().comparison_cost_ns);
+    const auto match = std::find_if(
+        passive_.begin(), passive_.end(), [&](const OutputEntry& entry) {
+          return entry.event.seq == event.seq &&
+                 entry.event.receiver == event.receiver &&
+                 entry.event.recv_time == event.recv_time;
+        });
+    if (match != passive_.end()) {
+      const bool hit = match->event.payload == event.payload;
+      hit ? ++stats_.passive_hits : ++stats_.passive_misses;
+      cancel_.record_comparison(hit);
+      passive_.erase(match);
+    }
+  }
+
+  output_.record(current_pos_, event);
+  ++stats_.messages_sent;
+  lp_.route(std::move(event));
+}
+
+void ObjectRuntime::send_anti(const Event& original) {
+  ++stats_.anti_messages_sent;
+  lp_.route(original.make_anti());
+}
+
+void ObjectRuntime::receive(const Event& event) {
+  OTW_REQUIRE_MSG(event.receiver == id_, "event routed to the wrong object");
+  if (event.negative) {
+    ++stats_.anti_messages_received;
+    const auto status = input_.find_match(event);
+    OTW_REQUIRE_MSG(status != InputQueue::MatchStatus::NotFound,
+                    "anti-message arrived before its positive message");
+    if (status == InputQueue::MatchStatus::Processed) {
+      rollback(event.position(), /*cancel_at_target=*/true);
+      // The annihilated event itself was processed and is now undone (the
+      // rollback only counted the events after it).
+      ++stats_.events_rolled_back;
+    }
+    input_.erase_match(event);
+    // Comparison entries caused by the annihilated event can never be
+    // regenerated (it is gone): cancel the physical messages, but record no
+    // hit/miss — this is cascaded cancellation, not failed speculation.
+    purge_entries_caused_by(event.position());
+  } else {
+    if (input_.insert(event)) {
+      ++stats_.stragglers;
+      rollback(event.position());
+    }
+  }
+}
+
+void ObjectRuntime::rollback(const Position& target, bool cancel_at_target) {
+  OTW_REQUIRE_MSG(target.recv_time() >= gvt_bound_,
+                  "rollback below GVT: the GVT algorithm is unsound");
+  ++stats_.rollbacks;
+  const std::size_t undone = input_.processed_after(target);
+  stats_.events_rolled_back += undone;
+  stats_.rollback_length.add(undone);
+  lp_.note_rollback(undone);
+
+  // Restore the latest checkpoint before the target.
+  RestorePoint keeper = states_->restore_before(target);
+  current_state_ = std::move(keeper.state);
+  lvt_ = keeper.pos.recv_time();
+  input_.rewind_to_after(keeper.pos);
+  events_since_save_ = 0;
+  ++stats_.state_restores;
+  lp_.wall_charge(lp_.costs().rollback_fixed_ns + lp_.costs().state_restore_ns);
+
+  // Outputs caused by re-executed events are no longer trustworthy.
+  std::vector<OutputEntry> invalid = output_.extract_after(target, cancel_at_target);
+  if (cancel_at_target) {
+    // Outputs of the annihilated event itself: the event will never
+    // re-execute, so there is nothing to compare against — cancel them
+    // unconditionally and record no hit/miss (they would otherwise poison
+    // the Hit Ratio with guaranteed misses).
+    auto split = invalid.begin();
+    while (split != invalid.end() && split->cause == target) {
+      send_anti(split->event);
+      ++split;
+    }
+    invalid.erase(invalid.begin(), split);
+  }
+  cancel_invalid_outputs(std::move(invalid));
+
+  coast_forward(target);
+}
+
+void ObjectRuntime::coast_forward(const Position& target) {
+  const std::uint64_t start_ns = lp_.wall_now_ns();
+  suppress_sends_ = true;
+  while (const Event* next = input_.peek_next()) {
+    if (!(next->position() < target)) {
+      break;
+    }
+    execute(*next);
+    input_.advance();
+    ++stats_.coast_forward_events;
+  }
+  suppress_sends_ = false;
+  if (config_.dynamic_checkpointing) {
+    ckpt_.record_coast_forward(lp_.wall_now_ns() - start_ns);
+  }
+}
+
+void ObjectRuntime::cancel_invalid_outputs(std::vector<OutputEntry>&& invalid) {
+  if (invalid.empty()) {
+    return;
+  }
+  if (cancel_.mode() == core::CancellationMode::Lazy) {
+    // Park them: forward re-execution decides hit (keep) or miss (cancel).
+    // Entries from an earlier, shallower rollback may already be pending;
+    // keep the list sorted by cause.
+    lazy_pending_.insert(lazy_pending_.end(),
+                         std::make_move_iterator(invalid.begin()),
+                         std::make_move_iterator(invalid.end()));
+    std::sort(lazy_pending_.begin(), lazy_pending_.end(),
+              [](const OutputEntry& a, const OutputEntry& b) {
+                return a.cause < b.cause ||
+                       (a.cause == b.cause && a.event.instance < b.event.instance);
+              });
+  } else {
+    for (OutputEntry& entry : invalid) {
+      send_anti(entry.event);
+      if (cancel_.monitoring() && passive_.size() < config_.passive_compare_cap) {
+        passive_.push_back(std::move(entry));
+      }
+    }
+  }
+}
+
+void ObjectRuntime::purge_entries_caused_by(const Position& cause) {
+  std::erase_if(lazy_pending_, [&](const OutputEntry& entry) {
+    if (entry.cause != cause) {
+      return false;
+    }
+    send_anti(entry.event);  // the premature message is physically out there
+    return true;
+  });
+  std::erase_if(passive_, [&](const OutputEntry& entry) {
+    return entry.cause == cause;  // original was already cancelled
+  });
+}
+
+void ObjectRuntime::flush_resolved_before(const Position& pos) {
+  // Lazy entries whose generating position has been passed without an
+  // identical regeneration: the premature message was wrong after all.
+  while (!lazy_pending_.empty() && lazy_pending_.front().cause < pos) {
+    send_anti(lazy_pending_.front().event);
+    ++stats_.lazy_misses;
+    cancel_.record_comparison(false);
+    lazy_pending_.erase(lazy_pending_.begin());
+  }
+  // Passive entries past their position: recorded as misses (no anti; the
+  // original was already cancelled aggressively).
+  while (!passive_.empty() && passive_.front().cause < pos) {
+    ++stats_.passive_misses;
+    cancel_.record_comparison(false);
+    passive_.erase(passive_.begin());
+  }
+}
+
+void ObjectRuntime::idle_flush() {
+  flush_resolved_before(input_.peek_next() == nullptr
+                            ? Position::after_all()
+                            : input_.peek_next()->position());
+}
+
+VirtualTime ObjectRuntime::gvt_contribution(VirtualTime end_time) const noexcept {
+  VirtualTime lowest = next_event_time();
+  if (lowest > end_time) {
+    // Events beyond the simulation horizon will never run.
+    lowest = VirtualTime::infinity();
+  }
+  // Lazy-pending entries are future anti-messages the GVT algorithm cannot
+  // see in any queue: a miss will send an anti-message timestamped at the
+  // entry's receive time. Without this term, GVT can overtake a doomed
+  // premature message, the receiver commits it, and the late anti-message
+  // finds nothing to annihilate.
+  for (const OutputEntry& entry : lazy_pending_) {
+    lowest = min(lowest, entry.event.recv_time);
+  }
+  return lowest;
+}
+
+void ObjectRuntime::fossil_collect(VirtualTime gvt) {
+  gvt_bound_ = gvt;
+  const Position keeper = states_->fossil_collect(gvt);
+  stats_.events_committed += input_.fossil_collect_before(keeper);
+  output_.fossil_collect_before(gvt);
+}
+
+void ObjectRuntime::finalize() {
+  OTW_ASSERT(lazy_pending_.empty());
+  stats_.events_committed += input_.processed_count();
+  processing_ = true;  // allow finalize() to read state via the context
+  object_->finalize(*this);
+  processing_ = false;
+}
+
+void ObjectRuntime::maybe_checkpoint(const Position& pos) {
+  if (++events_since_save_ >= checkpoint_interval()) {
+    save_state(pos);
+    events_since_save_ = 0;
+  }
+}
+
+void ObjectRuntime::save_state(const Position& pos) {
+  const SaveReceipt receipt = states_->save(pos, *current_state_);
+  const std::uint64_t cost =
+      lp_.costs().state_save_base_ns +
+      lp_.costs().state_diff_scan_per_byte_ns * receipt.scanned_bytes +
+      lp_.costs().state_save_per_byte_ns * receipt.stored_bytes;
+  lp_.wall_charge(cost);
+  ++stats_.states_saved;
+  if (config_.dynamic_checkpointing) {
+    ckpt_.record_state_save(cost);
+  }
+}
+
+ObjectStats ObjectRuntime::snapshot_stats() const {
+  ObjectStats s = stats_;
+  s.final_checkpoint_interval = checkpoint_interval();
+  s.final_mode = cancel_.mode();
+  s.final_hit_ratio = cancel_.hit_ratio();
+  s.cancellation_switches = cancel_.switches();
+  return s;
+}
+
+}  // namespace otw::tw

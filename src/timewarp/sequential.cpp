@@ -1,0 +1,137 @@
+// Sequential reference kernel: one central event list, no rollback. The
+// event order (recv_time, receiver, sender, seq) matches the committed order
+// of any Time Warp execution of the same model because application message
+// delays are >= 1 tick (enforced by ObjectContext::send), making same-time
+// cross-object interactions impossible.
+#include "otw/tw/kernel.hpp"
+
+#include <chrono>
+#include <set>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::tw {
+
+namespace {
+
+struct SeqOrder {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.recv_time != b.recv_time) return a.recv_time < b.recv_time;
+    if (a.receiver != b.receiver) return a.receiver < b.receiver;
+    if (a.sender != b.sender) return a.sender < b.sender;
+    return a.seq < b.seq;
+  }
+};
+
+class SequentialContext final : public ObjectContext {
+ public:
+  explicit SequentialContext(ObjectId num_objects) : states_(num_objects) {}
+
+  void set_state(ObjectId id, std::unique_ptr<ObjectState> state) {
+    states_[id] = std::move(state);
+  }
+
+  /// Enters object `id` processing the event with key `cause` (before_all()
+  /// for initialize()).
+  void begin(ObjectId id, VirtualTime now, const EventKey& cause) {
+    current_ = id;
+    now_ = now;
+    cause_ = cause;
+    sends_this_event_ = 0;
+  }
+
+  [[nodiscard]] ObjectId self() const noexcept override { return current_; }
+  [[nodiscard]] VirtualTime now() const noexcept override { return now_; }
+  [[nodiscard]] ObjectState& state() noexcept override {
+    return *states_[current_];
+  }
+
+  void send(ObjectId dest, VirtualTime::rep delay, const Payload& payload) override {
+    OTW_REQUIRE(dest < states_.size());
+    OTW_REQUIRE_MSG(delay >= 1, "zero-delay messages are not allowed");
+    Event event;
+    event.sender = current_;
+    event.receiver = dest;
+    event.send_time = now_;
+    event.recv_time = now_ + delay;
+    // Same derivation as the Time Warp kernels: identical tie-break keys.
+    event.seq = derive_send_seq(cause_.recv_time, cause_.sender, cause_.seq,
+                                current_, sends_this_event_++);
+    event.payload = payload;
+    pending_.insert(std::move(event));
+  }
+
+  void charge(std::uint64_t) noexcept override {}
+
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+  [[nodiscard]] const Event& lowest() const { return *pending_.begin(); }
+  void pop() { pending_.erase(pending_.begin()); }
+
+  [[nodiscard]] std::uint64_t state_digest(ObjectId id) const {
+    return states_[id]->digest();
+  }
+
+ private:
+  std::vector<std::unique_ptr<ObjectState>> states_;
+  std::multiset<Event, SeqOrder> pending_;
+  ObjectId current_ = 0;
+  VirtualTime now_ = VirtualTime::zero();
+  EventKey cause_{};
+  std::uint32_t sends_this_event_ = 0;
+};
+
+}  // namespace
+
+SequentialResult run_sequential(const Model& model, VirtualTime end_time) {
+  OTW_REQUIRE_MSG(!model.objects.empty(), "model has no objects");
+  const auto start = std::chrono::steady_clock::now();
+
+  const auto n = static_cast<ObjectId>(model.objects.size());
+  std::vector<std::unique_ptr<SimulationObject>> objects;
+  objects.reserve(n);
+  SequentialContext ctx(n);
+
+  for (ObjectId id = 0; id < n; ++id) {
+    OTW_REQUIRE(model.objects[id].factory != nullptr);
+    objects.push_back(model.objects[id].factory());
+    ctx.set_state(id, objects.back()->initial_state());
+  }
+
+  SequentialResult result;
+  result.events_per_object.assign(n, 0);
+
+  for (ObjectId id = 0; id < n; ++id) {
+    ctx.begin(id, VirtualTime::zero(), EventKey::before_all());
+    objects[id]->initialize(ctx);
+  }
+
+  while (!ctx.empty()) {
+    const Event event = ctx.lowest();
+    if (event.recv_time > end_time) {
+      break;
+    }
+    ctx.pop();
+    ctx.begin(event.receiver, event.recv_time, event.key());
+    objects[event.receiver]->process_event(ctx, event);
+    ++result.events_processed;
+    ++result.events_per_object[event.receiver];
+    result.final_time = event.recv_time;
+  }
+
+  for (ObjectId id = 0; id < n; ++id) {
+    ctx.begin(id, result.final_time, EventKey::before_all());
+    objects[id]->finalize(ctx);
+  }
+
+  result.digests.reserve(n);
+  for (ObjectId id = 0; id < n; ++id) {
+    result.digests.push_back(ctx.state_digest(id));
+  }
+  result.wall_time_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return result;
+}
+
+}  // namespace otw::tw

@@ -1,0 +1,27 @@
+#include "otw/tw/telemetry.hpp"
+
+#include <ostream>
+
+#include "otw/tw/stats.hpp"
+
+namespace otw::tw {
+
+void Telemetry::write_csv(std::ostream& os) const {
+  os << "kind,id,events,time,chi,hit_ratio,mode,rollbacks,window_us,optimism\n";
+  for (const ObjectTrace& trace : objects) {
+    for (const ObjectSample& s : trace.samples) {
+      os << "object," << trace.object << ',' << s.events_processed << ','
+         << s.lvt << ',' << s.checkpoint_interval << ',' << s.hit_ratio << ','
+         << core::to_string(s.mode) << ',' << s.rollbacks << ",,\n";
+    }
+  }
+  for (const LpTrace& trace : lps) {
+    for (const LpSample& s : trace.samples) {
+      os << "lp," << trace.lp << ',' << s.events_processed << ',' << s.gvt
+         << ",,,,," << s.aggregation_window_us << ',' << s.optimism_window
+         << '\n';
+    }
+  }
+}
+
+}  // namespace otw::tw

@@ -1,0 +1,49 @@
+// Lightweight contract checking for the simulator.
+//
+// OTW_ASSERT   - internal invariant; aborts in debug builds, compiled out in
+//                NDEBUG builds (hot paths).
+// OTW_REQUIRE  - precondition on public API input; always checked, throws
+//                otw::ContractViolation so callers (and tests) can observe it.
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace otw {
+
+/// Thrown when a public-API precondition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  std::string what = std::string("requirement failed: ") + expr + " at " + file + ":" +
+                     std::to_string(line);
+  if (!msg.empty()) {
+    what += " (" + msg + ")";
+  }
+  throw ContractViolation(what);
+}
+}  // namespace detail
+
+}  // namespace otw
+
+#define OTW_ASSERT(expr) assert(expr)
+
+#define OTW_REQUIRE(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::otw::detail::require_failed(#expr, __FILE__, __LINE__, {});        \
+    }                                                                      \
+  } while (false)
+
+#define OTW_REQUIRE_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::otw::detail::require_failed(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,64 @@
+// Fixed-capacity inline buffer for trivially-copyable event payloads.
+//
+// Lazy cancellation decides hits by comparing a regenerated output message
+// against the prematurely sent one, so payload equality must be cheap and
+// exact. Restricting payloads to trivially-copyable types makes equality a
+// byte comparison, copies memcpy-fast, and events free of heap traffic.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::util {
+
+template <std::size_t Capacity>
+class PodBuffer {
+ public:
+  static constexpr std::size_t capacity = Capacity;
+
+  PodBuffer() noexcept = default;
+
+  template <typename T>
+  static PodBuffer from(const T& value) noexcept {
+    static_assert(std::is_trivially_copyable_v<T>, "payload must be a POD type");
+    static_assert(sizeof(T) <= Capacity, "payload does not fit in event buffer");
+    PodBuffer buf;
+    std::memcpy(buf.bytes_.data(), &value, sizeof(T));
+    buf.size_ = sizeof(T);
+    return buf;
+  }
+
+  template <typename T>
+  [[nodiscard]] T as() const noexcept {
+    static_assert(std::is_trivially_copyable_v<T>, "payload must be a POD type");
+    static_assert(sizeof(T) <= Capacity, "payload does not fit in event buffer");
+    OTW_ASSERT(size_ == sizeof(T));
+    T value;
+    std::memcpy(&value, bytes_.data(), sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  [[nodiscard]] bool holds() const noexcept {
+    return size_ == sizeof(T);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] const std::byte* data() const noexcept { return bytes_.data(); }
+
+  friend bool operator==(const PodBuffer& a, const PodBuffer& b) noexcept {
+    return a.size_ == b.size_ &&
+           std::memcmp(a.bytes_.data(), b.bytes_.data(), a.size_) == 0;
+  }
+
+ private:
+  alignas(std::max_align_t) std::array<std::byte, Capacity> bytes_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace otw::util

@@ -1,0 +1,101 @@
+// Deterministic, per-object random number generation.
+//
+// Simulation objects each own an Xoshiro256** stream seeded via SplitMix64
+// from (global seed, object id), so results are reproducible regardless of
+// how objects are partitioned into LPs or how LPs interleave. The engine
+// state is trivially copyable, so it can live inside checkpointed object
+// state and roll back with it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::util {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** PRNG (Blackman & Vigna). Trivially copyable so it can be
+/// embedded in rollback-checkpointed state.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr Xoshiro256() noexcept : Xoshiro256(0xD0E5D0E5D0E5D0E5ULL) {}
+
+  constexpr explicit Xoshiro256(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = splitmix64(sm);
+    }
+  }
+
+  /// Seeds a stream that is decorrelated across (seed, stream) pairs.
+  constexpr Xoshiro256(std::uint64_t seed, std::uint64_t stream) noexcept {
+    std::uint64_t sm = seed ^ (0x9E3779B97F4A7C15ULL * (stream + 1));
+    for (auto& word : state_) {
+      word = splitmix64(sm);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound); bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    OTW_ASSERT(lo <= hi);
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool next_bernoulli(double p) noexcept { return next_double() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean) noexcept;
+
+  friend constexpr bool operator==(const Xoshiro256&, const Xoshiro256&) = default;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+static_assert(std::is_trivially_copyable_v<Xoshiro256>,
+              "RNG must be embeddable in checkpointed state");
+
+}  // namespace otw::util

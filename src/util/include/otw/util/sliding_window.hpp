@@ -1,0 +1,108 @@
+// Fixed-capacity sliding windows.
+//
+// BoolWindow backs the cancellation controller's Hit Ratio filter: it keeps
+// the outcome of the last `depth` output-message comparisons (the paper's
+// "Filter Depth") and reports the fraction of hits in O(1).
+// ValueWindow keeps the last N doubles for moving-average filtering.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::util {
+
+/// Ring of the most recent `capacity` boolean samples with an O(1) popcount.
+class BoolWindow {
+ public:
+  explicit BoolWindow(std::size_t capacity) : slots_(capacity, false) {
+    OTW_REQUIRE(capacity > 0);
+  }
+
+  void push(bool value) noexcept {
+    if (size_ == slots_.size()) {
+      if (slots_[head_]) {
+        --ones_;
+      }
+    } else {
+      ++size_;
+    }
+    slots_[head_] = value;
+    if (value) {
+      ++ones_;
+    }
+    head_ = (head_ + 1) % slots_.size();
+  }
+
+  void clear() noexcept {
+    size_ = 0;
+    ones_ = 0;
+    head_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool full() const noexcept { return size_ == slots_.size(); }
+  [[nodiscard]] std::size_t ones() const noexcept { return ones_; }
+
+  /// Fraction of true samples among those present; 0 when empty.
+  [[nodiscard]] double ratio() const noexcept {
+    return size_ == 0 ? 0.0
+                      : static_cast<double>(ones_) / static_cast<double>(size_);
+  }
+
+  /// Fraction of true samples over the full capacity (the paper divides by
+  /// Filter Depth, not by the number of samples seen so far).
+  [[nodiscard]] double ratio_over_capacity() const noexcept {
+    return static_cast<double>(ones_) / static_cast<double>(slots_.size());
+  }
+
+ private:
+  std::vector<bool> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t ones_ = 0;
+};
+
+/// Ring of the most recent `capacity` doubles with an O(1) running sum.
+class ValueWindow {
+ public:
+  explicit ValueWindow(std::size_t capacity) : slots_(capacity, 0.0) {
+    OTW_REQUIRE(capacity > 0);
+  }
+
+  void push(double value) noexcept {
+    if (size_ == slots_.size()) {
+      sum_ -= slots_[head_];
+    } else {
+      ++size_;
+    }
+    slots_[head_] = value;
+    sum_ += value;
+    head_ = (head_ + 1) % slots_.size();
+  }
+
+  void clear() noexcept {
+    size_ = 0;
+    sum_ = 0.0;
+    head_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool full() const noexcept { return size_ == slots_.size(); }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return size_ == 0 ? 0.0 : sum_ / static_cast<double>(size_);
+  }
+
+ private:
+  std::vector<double> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace otw::util

@@ -1,0 +1,33 @@
+#include "otw/util/rng.hpp"
+
+#include <cmath>
+
+namespace otw::util {
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) noexcept {
+  OTW_ASSERT(bound > 0);
+  // Lemire's method: multiply into a 128-bit product; reject the small
+  // biased region of the low word.
+  __extension__ typedef unsigned __int128 u128;
+  std::uint64_t x = (*this)();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::next_exponential(double mean) noexcept {
+  OTW_ASSERT(mean > 0.0);
+  // Avoid log(0) by nudging u into (0, 1].
+  double u = 1.0 - next_double();
+  return -mean * std::log(u);
+}
+
+}  // namespace otw::util

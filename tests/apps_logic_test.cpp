@@ -1,0 +1,121 @@
+#include "otw/apps/logic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace otw::apps::logic {
+namespace {
+
+using tw::VirtualTime;
+
+LogicConfig small() {
+  LogicConfig cfg;
+  cfg.num_gates = 24;
+  cfg.num_dffs = 8;
+  cfg.num_lps = 4;
+  cfg.clock_period = 50;
+  cfg.num_cycles = 40;
+  cfg.event_grain_ns = 100;
+  cfg.xor_fraction = 0.6;  // parity-heavy: the circuit never settles
+  cfg.seed = 71;
+  return cfg;
+}
+
+TEST(Logic, ModelShape) {
+  const auto cfg = small();
+  const tw::Model model = build_model(cfg);
+  EXPECT_EQ(model.objects.size(), cfg.total_objects());
+  EXPECT_EQ(model.required_lps(), cfg.num_lps);
+}
+
+TEST(Logic, CircuitIsActive) {
+  // The clocked ring must actually drive the network: a meaningful multiple
+  // of the bare clock-tick count (dffs * cycles) must be processed.
+  const auto cfg = small();
+  const auto seq = tw::run_sequential(build_model(cfg));
+  const std::uint64_t clock_events =
+      std::uint64_t{cfg.num_dffs} * cfg.num_cycles;
+  EXPECT_GT(seq.events_processed, clock_events * 3 / 2);
+}
+
+TEST(Logic, DeterministicNetlistAndRun) {
+  const auto cfg = small();
+  const auto a = tw::run_sequential(build_model(cfg));
+  const auto b = tw::run_sequential(build_model(cfg));
+  EXPECT_EQ(a.digests, b.digests);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+TEST(Logic, SeedChangesTheCircuit) {
+  auto cfg = small();
+  const auto a = tw::run_sequential(build_model(cfg));
+  cfg.seed = 72;
+  const auto b = tw::run_sequential(build_model(cfg));
+  EXPECT_NE(a.digests, b.digests);
+}
+
+TEST(Logic, WorkloadTerminatesOnItsOwn) {
+  // No end_time: the flip-flops stop clocking after num_cycles.
+  const auto cfg = small();
+  const auto seq = tw::run_sequential(build_model(cfg));
+  EXPECT_LE(seq.final_time, cfg.end_time());
+}
+
+TEST(Logic, TimeWarpMatchesSequential) {
+  const auto cfg = small();
+  const tw::Model model = build_model(cfg);
+  const auto seq = tw::run_sequential(model);
+
+  tw::KernelConfig kc;
+  kc.num_lps = cfg.num_lps;
+  kc.batch_size = 32;
+  kc.gvt_period_events = 64;
+  kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
+  platform::SimulatedNowConfig now;
+  now.costs = platform::CostModel::free();
+  now.costs.wire_latency_ns = 15'000;
+
+  const auto run = tw::run_simulated_now(model, kc, now);
+  EXPECT_EQ(run.digests, seq.digests);
+  EXPECT_EQ(run.stats.total_committed(), seq.events_processed);
+}
+
+TEST(Logic, GlitchSuppressionYieldsLazyHitsUnderShallowRollbacks) {
+  // The classic result that motivated lazy cancellation: glitch-suppressing
+  // gates mostly regenerate identical transitions after a rollback.
+  auto cfg = small();
+  cfg.num_cycles = 120;
+  const tw::Model model = build_model(cfg);
+
+  tw::KernelConfig kc;
+  kc.num_lps = cfg.num_lps;
+  kc.batch_size = 48;
+  kc.gvt_period_events = 128;
+  kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
+  platform::SimulatedNowConfig now;
+  now.costs = platform::CostModel::free();
+  now.costs.wire_latency_ns = 25'000;
+
+  const auto run = tw::run_simulated_now(model, kc, now);
+  ASSERT_GT(run.stats.total_rollbacks(), 0u);
+  const auto totals = run.stats.object_totals();
+  const std::uint64_t hits = totals.lazy_hits + totals.passive_hits;
+  const std::uint64_t comparisons =
+      hits + totals.lazy_misses + totals.passive_misses;
+  if (comparisons > 20) {
+    EXPECT_GT(static_cast<double>(hits) / static_cast<double>(comparisons), 0.6);
+  }
+  const auto seq = tw::run_sequential(model);
+  EXPECT_EQ(run.digests, seq.digests);
+}
+
+TEST(Logic, RejectsBadConfigs) {
+  auto cfg = small();
+  cfg.max_gate_delay = cfg.clock_period;  // transitions outlive the cycle
+  EXPECT_THROW(build_model(cfg), ContractViolation);
+  cfg = small();
+  cfg.num_dffs = 0;
+  EXPECT_THROW(build_model(cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace otw::apps::logic

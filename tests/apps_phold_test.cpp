@@ -1,0 +1,99 @@
+#include "otw/apps/phold.hpp"
+
+#include <gtest/gtest.h>
+
+namespace otw::apps::phold {
+namespace {
+
+using tw::VirtualTime;
+
+PholdConfig base() {
+  PholdConfig cfg;
+  cfg.num_objects = 8;
+  cfg.num_lps = 2;
+  cfg.population_per_object = 2;
+  cfg.event_grain_ns = 100;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Phold, ModelShape) {
+  const auto cfg = base();
+  const tw::Model model = build_model(cfg);
+  EXPECT_EQ(model.objects.size(), cfg.num_objects);
+  EXPECT_EQ(model.required_lps(), cfg.num_lps);
+  for (std::uint32_t i = 0; i < cfg.num_objects; ++i) {
+    EXPECT_EQ(model.objects[i].lp, cfg.lp_of(i));
+  }
+}
+
+TEST(Phold, PopulationIsConserved) {
+  // Every processed event schedules exactly one successor: the pending
+  // population stays constant, so the event count over a horizon is
+  // proportional to population * horizon / mean_delay.
+  const auto cfg = base();
+  const tw::Model model = build_model(cfg);
+  const auto seq = tw::run_sequential(model, VirtualTime{10'000});
+  const double expected = 8.0 * 2.0 * 10'000 / 100.0;  // population * T / delay
+  EXPECT_GT(seq.events_processed, expected * 0.7);
+  EXPECT_LT(seq.events_processed, expected * 1.3);
+}
+
+TEST(Phold, SeedChangesResults) {
+  auto cfg = base();
+  const auto a = tw::run_sequential(build_model(cfg), VirtualTime{2'000});
+  cfg.seed = 6;
+  const auto b = tw::run_sequential(build_model(cfg), VirtualTime{2'000});
+  EXPECT_NE(a.digests, b.digests);
+}
+
+TEST(Phold, SameSeedSameResults) {
+  const auto cfg = base();
+  const auto a = tw::run_sequential(build_model(cfg), VirtualTime{2'000});
+  const auto b = tw::run_sequential(build_model(cfg), VirtualTime{2'000});
+  EXPECT_EQ(a.digests, b.digests);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+TEST(Phold, RemoteProbabilityShapesTraffic) {
+  auto cfg = base();
+  cfg.num_objects = 16;
+  cfg.num_lps = 4;
+
+  tw::KernelConfig kc;
+  kc.num_lps = 4;
+  kc.end_time = VirtualTime{3'000};
+  platform::SimulatedNowConfig now;
+  now.costs = platform::CostModel::free();
+
+  cfg.remote_probability = 0.1;
+  const auto local_heavy = tw::run_simulated_now(build_model(cfg), kc, now);
+  cfg.remote_probability = 0.9;
+  const auto remote_heavy = tw::run_simulated_now(build_model(cfg), kc, now);
+
+  EXPECT_GT(remote_heavy.stats.lp_totals().events_sent_remote,
+            2 * local_heavy.stats.lp_totals().events_sent_remote);
+}
+
+TEST(Phold, SingleLpAllowed) {
+  auto cfg = base();
+  cfg.num_lps = 1;
+  cfg.remote_probability = 0.5;  // ignored: no remote peers exist
+  const auto seq = tw::run_sequential(build_model(cfg), VirtualTime{1'000});
+  EXPECT_GT(seq.events_processed, 0u);
+}
+
+TEST(Phold, RejectsBadConfigs) {
+  auto cfg = base();
+  cfg.num_objects = 1;
+  EXPECT_THROW(build_model(cfg), ContractViolation);
+  cfg = base();
+  cfg.remote_probability = 1.5;
+  EXPECT_THROW(build_model(cfg), ContractViolation);
+  cfg = base();
+  cfg.population_per_object = 0;
+  EXPECT_THROW(build_model(cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace otw::apps::phold

@@ -1,0 +1,173 @@
+#include "otw/apps/raid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace otw::apps::raid {
+namespace {
+
+using tw::VirtualTime;
+
+RaidConfig small() {
+  RaidConfig cfg;
+  cfg.num_sources = 8;
+  cfg.num_forks = 4;
+  cfg.num_disks = 8;
+  cfg.num_lps = 4;
+  cfg.requests_per_source = 40;
+  cfg.event_grain_ns = 100;
+  cfg.seed = 31;
+  return cfg;
+}
+
+TEST(Raid, PaperConfigurationShape) {
+  RaidConfig cfg;  // defaults = paper configuration
+  EXPECT_EQ(cfg.num_sources, 20u);
+  EXPECT_EQ(cfg.num_forks, 4u);
+  EXPECT_EQ(cfg.num_disks, 8u);
+  EXPECT_EQ(cfg.total_objects(), 32u);
+  const tw::Model model = build_model(cfg);
+  EXPECT_EQ(model.objects.size(), 32u);
+  EXPECT_EQ(model.required_lps(), 4u);
+}
+
+TEST(Raid, ParityRotatesAcrossAllDisks) {
+  std::set<std::uint32_t> parity_disks;
+  for (std::uint32_t row = 0; row < 8; ++row) {
+    const auto p = parity_disk_of(row, 8);
+    ASSERT_LT(p, 8u);
+    parity_disks.insert(p);
+  }
+  EXPECT_EQ(parity_disks.size(), 8u);  // every disk carries parity somewhere
+  EXPECT_EQ(parity_disk_of(0, 8), 7u);
+  EXPECT_EQ(parity_disk_of(7, 8), 0u);
+  EXPECT_EQ(parity_disk_of(8, 8), 7u);  // period = num_disks
+}
+
+TEST(Raid, DataUnitsAvoidTheParityDisk) {
+  constexpr std::uint32_t kDisks = 8;
+  for (std::uint32_t row = 0; row < 16; ++row) {
+    std::set<std::uint32_t> used;
+    for (std::uint32_t unit = 0; unit < kDisks - 1; ++unit) {
+      const auto d = data_disk_of(row, unit, kDisks);
+      ASSERT_LT(d, kDisks);
+      EXPECT_NE(d, parity_disk_of(row, kDisks)) << "row " << row;
+      used.insert(d);
+    }
+    EXPECT_EQ(used.size(), kDisks - 1);  // units cover all non-parity disks
+  }
+}
+
+TEST(Raid, WorkloadTerminatesWithBoundedEventCount) {
+  const auto cfg = small();
+  const auto seq = tw::run_sequential(build_model(cfg));
+  const std::uint64_t requests = expected_completed_requests(cfg);
+  // Per request: tick + io-req + per-op (disk + done) + io-done >= 5 events;
+  // at most (max_units+1) ops: tick + req + 2*(units+parity) + done.
+  EXPECT_GE(seq.events_processed, 5 * requests);
+  EXPECT_LE(seq.events_processed,
+            (3 + 2 * (cfg.max_units_per_request + 1)) * requests);
+}
+
+TEST(Raid, TimeWarpMatchesSequential) {
+  const auto cfg = small();
+  const tw::Model model = build_model(cfg);
+  const auto seq = tw::run_sequential(model);
+
+  tw::KernelConfig kc;
+  kc.num_lps = cfg.num_lps;
+  kc.batch_size = 24;
+  kc.gvt_period_events = 64;
+  kc.runtime.checkpoint_interval = 4;
+  platform::SimulatedNowConfig now;
+  now.costs = platform::CostModel::free();
+  now.costs.wire_latency_ns = 10'000;
+
+  const auto run = tw::run_simulated_now(model, kc, now);
+  EXPECT_EQ(run.digests, seq.digests);
+  EXPECT_EQ(run.stats.total_committed(), seq.events_processed);
+}
+
+TEST(Raid, MixedCancellationPreferencesAcrossKinds) {
+  // The paper's Figure 6 property: object kinds of one model prefer
+  // different strategies. Disk completions are deterministic per operation
+  // (high hit ratio); source issue pacing is completion-coupled
+  // (order-dependent, low hit ratio).
+  auto cfg = small();
+  cfg.requests_per_source = 120;
+  const tw::Model model = build_model(cfg);
+
+  tw::KernelConfig kc;
+  kc.num_lps = cfg.num_lps;
+  kc.batch_size = 48;
+  kc.gvt_period_events = 128;
+  kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
+  platform::SimulatedNowConfig now;
+  now.costs = platform::CostModel::free();
+  now.costs.wire_latency_ns = 25'000;
+
+  const auto run = tw::run_simulated_now(model, kc, now);
+  ASSERT_GT(run.stats.object_totals().rollbacks, 0u);
+
+  auto kind_hit_ratio = [&](std::uint32_t first, std::uint32_t count) {
+    std::uint64_t hits = 0, comparisons = 0;
+    for (std::uint32_t i = first; i < first + count; ++i) {
+      const auto& s = run.stats.objects[i];
+      hits += s.lazy_hits + s.passive_hits;
+      comparisons += s.lazy_hits + s.passive_hits + s.lazy_misses +
+                     s.passive_misses;
+    }
+    return comparisons == 0 ? -1.0
+                            : static_cast<double>(hits) /
+                                  static_cast<double>(comparisons);
+  };
+
+  const double source_hr = kind_hit_ratio(0, cfg.num_sources);
+  const double disk_hr =
+      kind_hit_ratio(cfg.num_sources + cfg.num_forks, cfg.num_disks);
+  ASSERT_GE(disk_hr, 0.0) << "disks saw no comparisons";
+  EXPECT_GT(disk_hr, 0.6);
+  if (source_hr >= 0.0) {
+    EXPECT_GT(disk_hr, source_hr);
+    EXPECT_LT(source_hr, 0.45);  // sources stay below the A2L threshold
+  }
+}
+
+TEST(Raid, SerializedDisksStillMatchSequential) {
+  auto cfg = small();
+  cfg.serialize_disks = true;
+  const tw::Model model = build_model(cfg);
+  const auto seq = tw::run_sequential(model);
+
+  tw::KernelConfig kc;
+  kc.num_lps = cfg.num_lps;
+  kc.batch_size = 16;
+  platform::SimulatedNowConfig now;
+  now.costs = platform::CostModel::free();
+  now.costs.wire_latency_ns = 5'000;
+  const auto run = tw::run_simulated_now(model, kc, now);
+  EXPECT_EQ(run.digests, seq.digests);
+}
+
+TEST(Raid, WriteFractionAddsParityTraffic) {
+  auto cfg = small();
+  cfg.write_fraction = 0.0;
+  const auto reads_only = tw::run_sequential(build_model(cfg));
+  cfg.write_fraction = 1.0;
+  const auto writes_only = tw::run_sequential(build_model(cfg));
+  // Writes add one parity op (2 events) per request.
+  EXPECT_GT(writes_only.events_processed, reads_only.events_processed);
+}
+
+TEST(Raid, RejectsBadConfigs) {
+  auto cfg = small();
+  cfg.num_sources = 7;
+  EXPECT_THROW(build_model(cfg), ContractViolation);
+  cfg = small();
+  cfg.window_per_source = 100;  // would overflow the fork slot table
+  EXPECT_THROW(build_model(cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace otw::apps::raid

@@ -1,0 +1,124 @@
+#include "otw/apps/smmp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace otw::apps::smmp {
+namespace {
+
+using tw::VirtualTime;
+
+SmmpConfig small() {
+  SmmpConfig cfg;
+  cfg.num_processors = 4;
+  cfg.num_lps = 2;
+  cfg.memory_banks = 8;
+  cfg.requests_per_processor = 50;
+  cfg.event_grain_ns = 100;
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST(Smmp, PaperConfigurationHas100Objects) {
+  SmmpConfig cfg;  // defaults = paper configuration
+  EXPECT_EQ(cfg.num_processors, 16u);
+  EXPECT_EQ(cfg.num_lps, 4u);
+  EXPECT_EQ(cfg.total_objects(), 100u);
+  const tw::Model model = build_model(cfg);
+  EXPECT_EQ(model.objects.size(), 100u);
+  EXPECT_EQ(model.required_lps(), 4u);
+}
+
+TEST(Smmp, ObjectsArePartitionedWithTheirProcessors) {
+  const auto cfg = small();
+  const tw::Model model = build_model(cfg);
+  // Sources [0,P) and caches [P,2P) of processor p share p's LP.
+  for (std::uint32_t p = 0; p < cfg.num_processors; ++p) {
+    EXPECT_EQ(model.objects[p].lp, model.objects[cfg.num_processors + p].lp);
+  }
+}
+
+TEST(Smmp, WorkloadTerminatesAndServesEveryRequest) {
+  const auto cfg = small();
+  const auto seq = tw::run_sequential(build_model(cfg));
+  const std::uint64_t requests = expected_completed_requests(cfg);
+  // Per request: tick + cache + source response = 3 events on a hit; a miss
+  // adds bus, bank and the second cache hop: 6 events. All requests complete.
+  EXPECT_GE(seq.events_processed, 3 * requests);
+  EXPECT_LE(seq.events_processed, 6 * requests);
+}
+
+TEST(Smmp, HitRatioShapesEventCount) {
+  auto cfg = small();
+  cfg.cache_hit_ratio = 1.0;
+  const auto all_hits = tw::run_sequential(build_model(cfg));
+  EXPECT_EQ(all_hits.events_processed, 3 * expected_completed_requests(cfg));
+
+  cfg.cache_hit_ratio = 0.0;
+  const auto all_misses = tw::run_sequential(build_model(cfg));
+  EXPECT_EQ(all_misses.events_processed, 6 * expected_completed_requests(cfg));
+}
+
+TEST(Smmp, TimeWarpMatchesSequential) {
+  const auto cfg = small();
+  const tw::Model model = build_model(cfg);
+  const auto seq = tw::run_sequential(model);
+
+  tw::KernelConfig kc;
+  kc.num_lps = cfg.num_lps;
+  kc.batch_size = 16;
+  kc.gvt_period_events = 64;
+  platform::SimulatedNowConfig now;
+  now.costs = platform::CostModel::free();
+  now.costs.wire_latency_ns = 5'000;
+
+  const auto tw_run = tw::run_simulated_now(model, kc, now);
+  EXPECT_EQ(tw_run.digests, seq.digests);
+  EXPECT_EQ(tw_run.stats.total_committed(), seq.events_processed);
+}
+
+TEST(Smmp, AllObjectKindsFavourLazyCancellation) {
+  // The paper's Figure 7 observation: every SMMP object regenerates
+  // identical messages after a rollback, so hit ratios are high everywhere.
+  auto cfg = small();
+  cfg.num_processors = 8;
+  cfg.num_lps = 4;
+  cfg.memory_banks = 16;
+  cfg.requests_per_processor = 150;
+  cfg.local_bank_fraction = 0.3;  // cross-LP traffic provokes rollbacks
+  const tw::Model model = build_model(cfg);
+
+  tw::KernelConfig kc;
+  kc.num_lps = cfg.num_lps;
+  kc.batch_size = 48;
+  kc.gvt_period_events = 96;
+  kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
+  platform::SimulatedNowConfig now;
+  now.costs = platform::CostModel::free();
+  now.costs.wire_latency_ns = 20'000;
+
+  const auto run = tw::run_simulated_now(model, kc, now);
+  const auto totals = run.stats.object_totals();
+  ASSERT_GT(totals.rollbacks, 0u) << "no rollbacks: the test has no power";
+
+  std::uint64_t hits = totals.lazy_hits + totals.passive_hits;
+  std::uint64_t comparisons =
+      hits + totals.lazy_misses + totals.passive_misses;
+  ASSERT_GT(comparisons, 0u);
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(comparisons), 0.9);
+
+  // Validation against ground truth still holds under all this churn.
+  const auto seq = tw::run_sequential(model);
+  EXPECT_EQ(run.digests, seq.digests);
+}
+
+TEST(Smmp, RejectsUnevenPartitions) {
+  auto cfg = small();
+  cfg.num_processors = 5;  // not divisible by 2 LPs
+  EXPECT_THROW(build_model(cfg), ContractViolation);
+  cfg = small();
+  cfg.memory_banks = 7;
+  EXPECT_THROW(build_model(cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace otw::apps::smmp

@@ -1,0 +1,187 @@
+#include "otw/comm/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace otw::comm {
+namespace {
+
+struct Shipment {
+  platform::LpId dst;
+  std::vector<int> items;
+};
+
+struct Capture {
+  std::vector<Shipment> shipments;
+  auto fn() {
+    return [this](platform::LpId dst, std::vector<int>&& items) {
+      shipments.push_back(Shipment{dst, std::move(items)});
+    };
+  }
+};
+
+AggregationConfig config(AggregationPolicy policy, double window_us = 32.0,
+                         std::size_t max_batch = 128) {
+  AggregationConfig c;
+  c.policy = policy;
+  c.window_us = window_us;
+  c.max_batch = max_batch;
+  return c;
+}
+
+constexpr std::uint64_t us(double x) {
+  return static_cast<std::uint64_t>(x * 1000.0);
+}
+
+TEST(Aggregation, NonePolicyShipsImmediately) {
+  AggregationChannel<int> ch(0, 3, config(AggregationPolicy::None));
+  Capture cap;
+  ch.enqueue(1, 7, us(0), cap.fn());
+  ch.enqueue(2, 8, us(0), cap.fn());
+  ASSERT_EQ(cap.shipments.size(), 2u);
+  EXPECT_EQ(cap.shipments[0].items, std::vector<int>{7});
+  EXPECT_EQ(cap.shipments[1].dst, 2u);
+  EXPECT_FALSE(ch.has_pending());
+}
+
+TEST(Aggregation, FixedWindowHoldsUntilAge) {
+  AggregationChannel<int> ch(0, 2, config(AggregationPolicy::Fixed, 32.0));
+  Capture cap;
+  ch.enqueue(1, 1, us(0), cap.fn());
+  ch.enqueue(1, 2, us(10), cap.fn());
+  EXPECT_TRUE(cap.shipments.empty());
+  EXPECT_TRUE(ch.has_pending());
+  // Window expires: the enqueue itself triggers the flush.
+  ch.enqueue(1, 3, us(33), cap.fn());
+  ASSERT_EQ(cap.shipments.size(), 1u);
+  EXPECT_EQ(cap.shipments[0].items, (std::vector<int>{1, 2, 3}));
+  EXPECT_FALSE(ch.has_pending());
+}
+
+TEST(Aggregation, PumpFlushesAgedAggregatesWithoutTraffic) {
+  AggregationChannel<int> ch(0, 2, config(AggregationPolicy::Fixed, 32.0));
+  Capture cap;
+  ch.enqueue(1, 1, us(0), cap.fn());
+  ch.pump(us(10), cap.fn());
+  EXPECT_TRUE(cap.shipments.empty());
+  ch.pump(us(32), cap.fn());
+  ASSERT_EQ(cap.shipments.size(), 1u);
+  EXPECT_EQ(cap.shipments[0].items, std::vector<int>{1});
+}
+
+TEST(Aggregation, MaxBatchForcesFlush) {
+  AggregationChannel<int> ch(0, 2,
+                             config(AggregationPolicy::Fixed, 1e6, /*batch=*/3));
+  Capture cap;
+  ch.enqueue(1, 1, us(0), cap.fn());
+  ch.enqueue(1, 2, us(0), cap.fn());
+  EXPECT_TRUE(cap.shipments.empty());
+  ch.enqueue(1, 3, us(0), cap.fn());
+  ASSERT_EQ(cap.shipments.size(), 1u);
+  EXPECT_EQ(cap.shipments[0].items.size(), 3u);
+}
+
+TEST(Aggregation, SeparateBuffersPerDestination) {
+  AggregationChannel<int> ch(0, 3, config(AggregationPolicy::Fixed, 32.0));
+  Capture cap;
+  ch.enqueue(1, 11, us(0), cap.fn());
+  ch.enqueue(2, 22, us(5), cap.fn());
+  ch.pump(us(33), cap.fn());  // only dst 1 is due
+  ASSERT_EQ(cap.shipments.size(), 1u);
+  EXPECT_EQ(cap.shipments[0].dst, 1u);
+  ch.pump(us(38), cap.fn());
+  ASSERT_EQ(cap.shipments.size(), 2u);
+  EXPECT_EQ(cap.shipments[1].dst, 2u);
+}
+
+TEST(Aggregation, FlushAllShipsEverythingNow) {
+  AggregationChannel<int> ch(0, 3, config(AggregationPolicy::Fixed, 1e6));
+  Capture cap;
+  ch.enqueue(1, 1, us(0), cap.fn());
+  ch.enqueue(2, 2, us(0), cap.fn());
+  ch.flush_all(us(1), cap.fn());
+  EXPECT_EQ(cap.shipments.size(), 2u);
+  EXPECT_FALSE(ch.has_pending());
+}
+
+TEST(Aggregation, NextDeadlineTracksOldestAggregate) {
+  AggregationChannel<int> ch(0, 3, config(AggregationPolicy::Fixed, 32.0));
+  Capture cap;
+  EXPECT_EQ(ch.next_deadline_ns(), UINT64_MAX);
+  ch.enqueue(1, 1, us(10), cap.fn());
+  ch.enqueue(2, 2, us(20), cap.fn());
+  EXPECT_EQ(ch.next_deadline_ns(), us(10) + us(32));
+}
+
+TEST(Aggregation, OrderPreservedWithinDestination) {
+  AggregationChannel<int> ch(0, 2, config(AggregationPolicy::Fixed, 8.0));
+  Capture cap;
+  for (int i = 0; i < 10; ++i) {
+    ch.enqueue(1, i, us(i), cap.fn());
+  }
+  ch.flush_all(us(100), cap.fn());
+  std::vector<int> all;
+  for (const auto& s : cap.shipments) {
+    all.insert(all.end(), s.items.begin(), s.items.end());
+  }
+  EXPECT_EQ(all, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(Aggregation, NoMessageLost) {
+  AggregationChannel<int> ch(0, 4, config(AggregationPolicy::Adaptive, 16.0));
+  Capture cap;
+  std::uint64_t now = 0;
+  int sent = 0;
+  for (int round = 0; round < 500; ++round) {
+    now += 3'000 + (round % 7) * 1'000;
+    const auto dst = static_cast<platform::LpId>(1 + round % 3);
+    ch.enqueue(dst, sent++, now, cap.fn());
+    ch.pump(now, cap.fn());
+  }
+  ch.flush_all(now + us(1000), cap.fn());
+  std::size_t delivered = 0;
+  for (const auto& s : cap.shipments) {
+    delivered += s.items.size();
+  }
+  EXPECT_EQ(delivered, static_cast<std::size_t>(sent));
+  EXPECT_EQ(ch.stats().messages_enqueued, static_cast<std::uint64_t>(sent));
+  EXPECT_EQ(ch.stats().aggregates_sent, cap.shipments.size());
+}
+
+TEST(Aggregation, AdaptivePolicyMovesWindow) {
+  AggregationConfig cfg = config(AggregationPolicy::Adaptive, 4.0);
+  cfg.saaw.age_penalty = 2.0e-6;
+  AggregationChannel<int> ch(0, 2, cfg);
+  Capture cap;
+  // High arrival rate: the rate tracker should enlarge the window well past
+  // the initial 4us.
+  std::uint64_t now = 0;
+  for (int i = 0; i < 300; ++i) {
+    now += 500;  // one message every 0.5us: lambda = 2/us -> W* = 500k (clamped)
+    ch.enqueue(1, i, now, cap.fn());
+    ch.pump(now, cap.fn());
+  }
+  EXPECT_GT(ch.window_us(), 4.0);
+}
+
+TEST(Aggregation, RejectsSelfDestination) {
+  AggregationChannel<int> ch(0, 2, config(AggregationPolicy::None));
+  Capture cap;
+  EXPECT_THROW(ch.enqueue(0, 1, 0, cap.fn()), ContractViolation);
+}
+
+TEST(Aggregation, StatsTrackSizesAndAges) {
+  AggregationChannel<int> ch(0, 2, config(AggregationPolicy::Fixed, 10.0));
+  Capture cap;
+  ch.enqueue(1, 1, us(0), cap.fn());
+  ch.enqueue(1, 2, us(1), cap.fn());
+  ch.pump(us(10), cap.fn());
+  const AggregationStats& stats = ch.stats();
+  EXPECT_EQ(stats.aggregates_sent, 1u);
+  EXPECT_DOUBLE_EQ(stats.aggregate_size.mean(), 2.0);
+  EXPECT_NEAR(stats.aggregate_age_us.mean(), 10.0, 0.001);
+}
+
+}  // namespace
+}  // namespace otw::comm

@@ -1,0 +1,173 @@
+#include "otw/core/aggregation_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "otw/util/assert.hpp"
+#include "otw/util/rng.hpp"
+
+namespace otw::core {
+namespace {
+
+AggregationControlConfig config_with(double initial, SaawVariant variant) {
+  AggregationControlConfig c;
+  c.initial_window_us = initial;
+  c.variant = variant;
+  return c;
+}
+
+TEST(AggregationController, StartsAtInitialWindow) {
+  AggregationWindowController ctl(config_with(32.0, SaawVariant::RateTracking));
+  EXPECT_DOUBLE_EQ(ctl.window_us(), 32.0);
+}
+
+TEST(AggregationController, RateTrackingAdaptsOnEveryAggregate) {
+  AggregationWindowController ctl(config_with(32.0, SaawVariant::RateTracking));
+  ctl.on_aggregate_sent(4, 30.0, 30.0);
+  EXPECT_EQ(ctl.adaptations(), 1u);
+  ctl.on_aggregate_sent(4, 30.0, 30.0);
+  EXPECT_EQ(ctl.adaptations(), 2u);
+}
+
+TEST(AggregationController, RateEstimateUsesElapsedNotAge) {
+  AggregationWindowController ctl(config_with(4.0, SaawVariant::RateTracking));
+  // One message per 500us elapsed: lambda ~ 0.002 regardless of tiny age.
+  ctl.on_aggregate_sent(1, 1.0, 500.0);
+  EXPECT_NEAR(ctl.rate_estimate(), 0.002, 1e-6);
+}
+
+TEST(AggregationController, RateTrackingGrowsWindowUnderBursts) {
+  auto cfg = config_with(16.0, SaawVariant::RateTracking);
+  AggregationWindowController ctl(cfg);
+  // Steady slow arrivals.
+  for (int i = 0; i < 50; ++i) {
+    ctl.on_aggregate_sent(1, 16.0, 1000.0);
+  }
+  const double slow_window = ctl.window_us();
+  // Burst: ten times the rate.
+  for (int i = 0; i < 50; ++i) {
+    ctl.on_aggregate_sent(10, 16.0, 100.0);
+  }
+  EXPECT_GT(ctl.window_us(), slow_window * 5);
+}
+
+TEST(AggregationController, WindowStaysWithinBounds) {
+  for (auto variant : {SaawVariant::RateTracking, SaawVariant::ScoreHillClimb,
+                       SaawVariant::PaperLiteral}) {
+    auto cfg = config_with(8.0, variant);
+    cfg.min_window_us = 2.0;
+    cfg.max_window_us = 64.0;
+    AggregationWindowController ctl(cfg);
+    for (int i = 0; i < 200; ++i) {
+      ctl.on_aggregate_sent(static_cast<std::size_t>(1 + i % 40), 1.0, 2.0);
+    }
+    EXPECT_LE(ctl.window_us(), 64.0);
+    EXPECT_GE(ctl.window_us(), 2.0);
+  }
+}
+
+TEST(AggregationController, RejectsBadConfig) {
+  auto bad = config_with(8.0, SaawVariant::RateTracking);
+  bad.min_window_us = 16.0;  // initial below min
+  EXPECT_THROW(AggregationWindowController{bad}, ContractViolation);
+  auto flat = config_with(8.0, SaawVariant::ScoreHillClimb);
+  flat.step_factor = 1.0;
+  EXPECT_THROW(AggregationWindowController{flat}, ContractViolation);
+  auto nogain = config_with(8.0, SaawVariant::RateTracking);
+  nogain.tracking_gain = 0.0;
+  EXPECT_THROW(AggregationWindowController{nogain}, ContractViolation);
+}
+
+TEST(AggregationController, ResetRestoresInitialWindow) {
+  AggregationWindowController ctl(config_with(32.0, SaawVariant::RateTracking));
+  ctl.on_aggregate_sent(20, 10.0, 10.0);
+  ctl.on_aggregate_sent(20, 10.0, 10.0);
+  ctl.reset();
+  EXPECT_DOUBLE_EQ(ctl.window_us(), 32.0);
+  EXPECT_EQ(ctl.adaptations(), 0u);
+  EXPECT_DOUBLE_EQ(ctl.rate_estimate(), 0.0);
+}
+
+TEST(AggregationController, PaperLiteralFollowsRateSign) {
+  auto cfg = config_with(32.0, SaawVariant::PaperLiteral);
+  AggregationWindowController ctl(cfg);
+  ctl.on_aggregate_sent(4, 32.0);  // prime: rate ~0.125
+  // Higher rate -> grow.
+  double w = ctl.on_aggregate_sent(16, 32.0);
+  EXPECT_GT(w, 32.0);
+  // Lower rate -> shrink.
+  const double before = w;
+  w = ctl.on_aggregate_sent(2, 32.0);
+  EXPECT_LT(w, before);
+}
+
+TEST(AggregationController, HillClimbBouncesOffClamp) {
+  auto cfg = config_with(2.0, SaawVariant::ScoreHillClimb);
+  cfg.min_window_us = 2.0;
+  cfg.max_window_us = 1000.0;
+  AggregationWindowController ctl(cfg);
+  // Constant observations: the score never improves; without the bounce the
+  // controller would sit on the clamp forever.
+  ctl.on_aggregate_sent(1, 2.0);
+  ctl.on_aggregate_sent(1, 2.0);
+  double max_seen = ctl.window_us();
+  for (int i = 0; i < 20; ++i) {
+    ctl.on_aggregate_sent(1, 2.0);
+    max_seen = std::max(max_seen, ctl.window_us());
+  }
+  EXPECT_GT(max_seen, 2.0);
+}
+
+// Convergence property of the default SAAW transfer: from any initial
+// window, under a steady Poisson-ish arrival process, the window must reach
+// the neighbourhood of the analytic optimum W* = lambda * benefit /
+// (2 * penalty) — the property that lets SAAW match FAW's best static window
+// in Figures 8-9 without knowing it in advance.
+class SaawConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(SaawConvergence, ReachesAnalyticOptimumFromAnyStart) {
+  AggregationControlConfig cfg;
+  cfg.initial_window_us = GetParam();
+  cfg.min_window_us = 1.0;
+  cfg.max_window_us = 100'000.0;
+  cfg.benefit_per_message = 1.0;
+  cfg.age_penalty = 2.0e-6;
+  cfg.variant = SaawVariant::RateTracking;
+  AggregationWindowController ctl(cfg);
+
+  const double lambda = 0.002;  // messages per us
+  const double optimum = lambda * cfg.benefit_per_message / (2 * cfg.age_penalty);
+  ASSERT_NEAR(optimum, 500.0, 1e-9);
+
+  util::Xoshiro256 rng(99);
+  auto simulate_aggregate = [&] {
+    // The first arrival opens the aggregate; the flush happens one window
+    // later. Arrivals within the window ~ Poisson(lambda * W).
+    const double window = ctl.window_us();
+    const double gap = rng.next_exponential(1.0 / lambda);
+    std::size_t count = 1;
+    const double expected = lambda * window;
+    for (int i = 0; i < 64; ++i) {
+      if (rng.next_double() < expected / 64.0) ++count;
+    }
+    ctl.on_aggregate_sent(count, window, gap + window);
+  };
+
+  for (int i = 0; i < 400; ++i) {
+    simulate_aggregate();
+  }
+  double sum = 0;
+  for (int i = 0; i < 200; ++i) {
+    simulate_aggregate();
+    sum += ctl.window_us();
+  }
+  const double avg = sum / 200.0;
+  EXPECT_GT(avg, optimum / 2.5) << "start=" << GetParam();
+  EXPECT_LT(avg, optimum * 2.5) << "start=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(InitialWindows, SaawConvergence,
+                         ::testing::Values(1.0, 8.0, 64.0, 500.0, 4'000.0,
+                                           20'000.0));
+
+}  // namespace
+}  // namespace otw::core

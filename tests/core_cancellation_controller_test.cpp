@@ -1,0 +1,169 @@
+#include "otw/core/cancellation_controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace otw::core {
+namespace {
+
+void feed(CancellationController& ctl, int hits, int misses) {
+  for (int i = 0; i < hits; ++i) ctl.record_comparison(true);
+  for (int i = 0; i < misses; ++i) ctl.record_comparison(false);
+}
+
+TEST(CancellationController, StaticPoliciesNeverMonitor) {
+  CancellationController ac(CancellationControlConfig::aggressive());
+  EXPECT_EQ(ac.mode(), CancellationMode::Aggressive);
+  EXPECT_FALSE(ac.monitoring());
+  ac.record_comparison(true);
+  EXPECT_EQ(ac.comparisons(), 0u);
+
+  CancellationController lc(CancellationControlConfig::lazy());
+  EXPECT_EQ(lc.mode(), CancellationMode::Lazy);
+  EXPECT_FALSE(lc.monitoring());
+}
+
+TEST(CancellationController, StartsAggressive) {
+  CancellationController dc(CancellationControlConfig::dynamic());
+  EXPECT_EQ(dc.mode(), CancellationMode::Aggressive);
+  EXPECT_TRUE(dc.monitoring());
+}
+
+TEST(CancellationController, SwitchesToLazyWhenHRCrossesA2L) {
+  auto cfg = CancellationControlConfig::dynamic(16, 0.45, 0.2);
+  cfg.control_period_comparisons = 1;
+  CancellationController dc(cfg);
+  // 8 hits out of 16 capacity -> HR = 0.5 > 0.45.
+  feed(dc, 8, 0);
+  EXPECT_EQ(dc.mode(), CancellationMode::Lazy);
+  EXPECT_EQ(dc.switches(), 1u);
+}
+
+TEST(CancellationController, HoldsInsideDeadZone) {
+  auto cfg = CancellationControlConfig::dynamic(10, 0.45, 0.2);
+  cfg.control_period_comparisons = 1;
+  CancellationController dc(cfg);
+  feed(dc, 5, 0);  // HR 0.5: lazy
+  EXPECT_EQ(dc.mode(), CancellationMode::Lazy);
+  feed(dc, 0, 2);  // window: 5 hits/10 -> then decay toward dead zone
+  // HR now 5/10 = 0.5 ... window shifts: entries: 5 hits + 2 misses = 7 of 10
+  EXPECT_EQ(dc.mode(), CancellationMode::Lazy);  // 0.5 then 0.5: still lazy
+  feed(dc, 0, 2);                                // 5 hits, 4 misses (HR 0.5)
+  EXPECT_EQ(dc.mode(), CancellationMode::Lazy);
+  feed(dc, 0, 3);  // window full: hits evicted, HR falls: 0.4 -> 0.3 -> ...
+  // HR after: window holds last 10 = [4 hits? ...] it must still be >= L2A
+  // to hold; eventually more misses push it below 0.2:
+  feed(dc, 0, 8);
+  EXPECT_EQ(dc.mode(), CancellationMode::Aggressive);
+  EXPECT_EQ(dc.switches(), 2u);
+}
+
+TEST(CancellationController, HitRatioUsesSamplesPresent) {
+  CancellationController dc(CancellationControlConfig::dynamic(20));
+  feed(dc, 5, 5);
+  EXPECT_DOUBLE_EQ(dc.hit_ratio(), 0.5);  // 5 of 10 seen, not 5 of 20
+  feed(dc, 0, 10);  // window fills: denominator becomes the filter depth
+  EXPECT_DOUBLE_EQ(dc.hit_ratio(), 0.25);
+}
+
+TEST(CancellationController, ControlPeriodDefersSwitching) {
+  auto cfg = CancellationControlConfig::dynamic(8, 0.45, 0.2);
+  cfg.control_period_comparisons = 8;
+  CancellationController dc(cfg);
+  feed(dc, 7, 0);  // HR would be 0.875, but no decision yet
+  EXPECT_EQ(dc.mode(), CancellationMode::Aggressive);
+  feed(dc, 1, 0);  // 8th comparison: decision fires
+  EXPECT_EQ(dc.mode(), CancellationMode::Lazy);
+}
+
+TEST(CancellationController, SingleThresholdSwitchesBothWaysAtOneValue) {
+  auto cfg = CancellationControlConfig::st(0.4);
+  cfg.control_period_comparisons = 1;
+  cfg.filter_depth = 10;
+  CancellationController st(cfg);
+  feed(st, 5, 0);  // HR 0.5 > 0.4
+  EXPECT_EQ(st.mode(), CancellationMode::Lazy);
+  feed(st, 0, 10);  // HR 0 < 0.4
+  EXPECT_EQ(st.mode(), CancellationMode::Aggressive);
+}
+
+TEST(CancellationController, PsFreezesAfterNComparisons) {
+  auto cfg = CancellationControlConfig::ps(32);
+  cfg.control_period_comparisons = 4;
+  CancellationController ps(cfg);
+  EXPECT_EQ(ps.config().filter_depth, 32u);
+  feed(ps, 31, 0);
+  EXPECT_TRUE(ps.monitoring());
+  feed(ps, 1, 0);  // 32nd comparison: HR = 1.0 -> lazy, then frozen
+  EXPECT_FALSE(ps.monitoring());
+  EXPECT_EQ(ps.mode(), CancellationMode::Lazy);
+  // Further comparisons are ignored.
+  feed(ps, 0, 100);
+  EXPECT_EQ(ps.mode(), CancellationMode::Lazy);
+  EXPECT_EQ(ps.comparisons(), 32u);
+}
+
+TEST(CancellationController, PsCanFreezeAggressive) {
+  auto cfg = CancellationControlConfig::ps(16);
+  cfg.control_period_comparisons = 4;
+  CancellationController ps(cfg);
+  feed(ps, 0, 16);  // all misses: HR 0 -> aggressive, frozen
+  EXPECT_FALSE(ps.monitoring());
+  EXPECT_EQ(ps.mode(), CancellationMode::Aggressive);
+}
+
+TEST(CancellationController, PaFreezesAggressiveOnMissStreak) {
+  auto cfg = CancellationControlConfig::pa(10);
+  cfg.control_period_comparisons = 1;
+  CancellationController pa(cfg);
+  // Push it to lazy first.
+  feed(pa, 12, 0);
+  EXPECT_EQ(pa.mode(), CancellationMode::Lazy);
+  // 9 misses: not yet.
+  feed(pa, 0, 9);
+  EXPECT_TRUE(pa.monitoring());
+  // A hit resets the streak.
+  feed(pa, 1, 0);
+  feed(pa, 0, 9);
+  EXPECT_TRUE(pa.monitoring());
+  // 10 successive misses: permanently aggressive.
+  feed(pa, 0, 1);
+  EXPECT_FALSE(pa.monitoring());
+  EXPECT_EQ(pa.mode(), CancellationMode::Aggressive);
+}
+
+TEST(CancellationController, PaWithoutStreakBehavesLikeDynamic) {
+  auto cfg = CancellationControlConfig::pa(10);
+  cfg.control_period_comparisons = 1;
+  CancellationController pa(cfg);
+  for (int i = 0; i < 100; ++i) {
+    pa.record_comparison(true);
+    if (i % 3 == 0) pa.record_comparison(false);  // streaks never reach 10
+  }
+  EXPECT_TRUE(pa.monitoring());
+  EXPECT_EQ(pa.mode(), CancellationMode::Lazy);
+}
+
+TEST(CancellationController, ThrashingIsDampedByDeadZone) {
+  // HR oscillating inside [0.2, 0.45] must not cause switches.
+  auto cfg = CancellationControlConfig::dynamic(10, 0.45, 0.2);
+  cfg.control_period_comparisons = 1;
+  CancellationController dc(cfg);
+  feed(dc, 5, 0);  // -> lazy (0.5)
+  const auto switches_before = dc.switches();
+  // Alternate hit/miss: HR wobbles around 0.4-0.5, inside/above dead zone.
+  for (int i = 0; i < 200; ++i) {
+    dc.record_comparison(i % 2 == 0);
+  }
+  EXPECT_EQ(dc.switches(), switches_before);
+  EXPECT_EQ(dc.mode(), CancellationMode::Lazy);
+}
+
+TEST(CancellationController, ToStringLabels) {
+  EXPECT_STREQ(to_string(CancellationMode::Aggressive), "aggressive");
+  EXPECT_STREQ(to_string(CancellationMode::Lazy), "lazy");
+  EXPECT_STREQ(to_string(CancellationPolicy::Dynamic), "DC");
+  EXPECT_STREQ(to_string(CancellationPolicy::PermanentAfter), "PS");
+}
+
+}  // namespace
+}  // namespace otw::core

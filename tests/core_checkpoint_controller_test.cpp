@@ -1,0 +1,152 @@
+#include "otw/core/checkpoint_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::core {
+namespace {
+
+CheckpointControlConfig config_with(std::uint32_t initial, std::uint32_t max,
+                                    std::uint64_t period) {
+  CheckpointControlConfig c;
+  c.initial_interval = initial;
+  c.max_interval = max;
+  c.control_period_events = period;
+  return c;
+}
+
+TEST(CheckpointController, StartsAtInitialInterval) {
+  CheckpointIntervalController ctl(config_with(3, 16, 8));
+  EXPECT_EQ(ctl.interval(), 3u);
+}
+
+TEST(CheckpointController, TicksOnlyEveryPeriod) {
+  CheckpointIntervalController ctl(config_with(1, 16, 4));
+  EXPECT_FALSE(ctl.on_event_processed());
+  EXPECT_FALSE(ctl.on_event_processed());
+  EXPECT_FALSE(ctl.on_event_processed());
+  EXPECT_TRUE(ctl.on_event_processed());
+  EXPECT_EQ(ctl.invocations(), 1u);
+}
+
+TEST(CheckpointController, FirstTickIncrements) {
+  // No previous observation: "not observed to have increased" -> increment.
+  CheckpointIntervalController ctl(config_with(1, 16, 1));
+  ctl.record_state_save(100);
+  ctl.on_event_processed();
+  EXPECT_EQ(ctl.interval(), 2u);
+}
+
+TEST(CheckpointController, DecrementsOnSignificantCostRise) {
+  CheckpointIntervalController ctl(config_with(4, 16, 1));
+  ctl.record_state_save(100);
+  ctl.on_event_processed();  // -> 5, cost 100
+  EXPECT_EQ(ctl.interval(), 5u);
+  ctl.record_state_save(100);
+  ctl.record_coast_forward(500);  // cost jumps to 600
+  ctl.on_event_processed();
+  EXPECT_EQ(ctl.interval(), 4u);
+}
+
+TEST(CheckpointController, InsignificantRiseStillIncrements) {
+  auto cfg = config_with(4, 16, 1);
+  cfg.significance = 0.10;
+  CheckpointIntervalController ctl(cfg);
+  ctl.record_state_save(1000);
+  ctl.on_event_processed();  // -> 5
+  ctl.record_state_save(1050);  // +5% < 10% significance
+  ctl.on_event_processed();
+  EXPECT_EQ(ctl.interval(), 6u);
+}
+
+TEST(CheckpointController, RespectsBounds) {
+  CheckpointIntervalController ctl(config_with(1, 3, 1));
+  for (int i = 0; i < 10; ++i) {
+    ctl.on_event_processed();  // zero cost: always increments
+  }
+  EXPECT_EQ(ctl.interval(), 3u);
+
+  CheckpointIntervalController down(config_with(2, 16, 1));
+  down.record_state_save(10);
+  down.on_event_processed();  // -> 3
+  for (int i = 0; i < 10; ++i) {
+    down.record_state_save(10'000'000 * (i + 2));  // ever-rising cost
+    down.on_event_processed();
+  }
+  EXPECT_GE(down.interval(), 1u);
+}
+
+TEST(CheckpointController, NormalizationDividesByEvents) {
+  auto cfg = config_with(1, 64, 10);
+  cfg.normalize_per_event = true;
+  CheckpointIntervalController ctl(cfg);
+  for (int i = 0; i < 10; ++i) {
+    ctl.record_state_save(50);
+    ctl.on_event_processed();
+  }
+  EXPECT_DOUBLE_EQ(ctl.last_cost_index(), 50.0);  // 500 ns over 10 events
+}
+
+TEST(CheckpointController, ResetRestoresEverything) {
+  CheckpointIntervalController ctl(config_with(2, 16, 1));
+  ctl.record_state_save(10);
+  ctl.on_event_processed();
+  ctl.reset();
+  EXPECT_EQ(ctl.interval(), 2u);
+  EXPECT_EQ(ctl.invocations(), 0u);
+  EXPECT_LT(ctl.last_cost_index(), 0.0);
+}
+
+TEST(CheckpointController, RejectsBadConfig) {
+  auto bad = config_with(0, 16, 1);
+  EXPECT_THROW(CheckpointIntervalController{bad}, ContractViolation);
+  auto inverted = config_with(8, 4, 1);
+  EXPECT_THROW(CheckpointIntervalController{inverted}, ContractViolation);
+}
+
+// Convergence property: with a synthetic convex cost model (state-saving
+// cost ~ 1/chi, coast-forward cost ~ chi), both heuristics must settle near
+// the minimum of the combined cost.
+class CheckpointConvergence
+    : public ::testing::TestWithParam<CheckpointControlConfig::Heuristic> {};
+
+TEST_P(CheckpointConvergence, SettlesNearOptimum) {
+  CheckpointControlConfig cfg;
+  cfg.initial_interval = 1;
+  cfg.max_interval = 64;
+  cfg.control_period_events = 1;
+  cfg.heuristic = GetParam();
+  CheckpointIntervalController ctl(cfg);
+
+  // Cost model per control period at interval chi:
+  //   save cost  = 6400 / chi   (fewer saves at larger chi)
+  //   coast cost = 100 * chi    (longer coast-forward at larger chi)
+  // Optimum: chi* = sqrt(64) = 8.
+  auto feed = [&ctl] {
+    const double chi = ctl.interval();
+    ctl.record_state_save(static_cast<std::uint64_t>(6400.0 / chi));
+    ctl.record_coast_forward(static_cast<std::uint64_t>(100.0 * chi));
+    ctl.on_event_processed();
+  };
+  for (int i = 0; i < 300; ++i) {
+    feed();
+  }
+  // Sample the trajectory after convergence.
+  double sum = 0;
+  for (int i = 0; i < 50; ++i) {
+    feed();
+    sum += ctl.interval();
+  }
+  EXPECT_NEAR(sum / 50.0, 8.0, 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Heuristics, CheckpointConvergence,
+    ::testing::Values(CheckpointControlConfig::Heuristic::PaperSimple,
+                      CheckpointControlConfig::Heuristic::HillClimb));
+
+}  // namespace
+}  // namespace otw::core

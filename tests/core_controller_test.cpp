@@ -1,0 +1,84 @@
+#include "otw/core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace otw::core {
+namespace {
+
+TEST(FeedbackController, HoldsInitialUntilPeriodElapses) {
+  FeedbackController<double, int, int (*)(const double&, const int&)> ctl(
+      10, 3, [](const double&, const int& current) { return current + 1; });
+  EXPECT_EQ(ctl.param(), 10);
+  EXPECT_FALSE(ctl.sample(0.0).has_value());
+  EXPECT_FALSE(ctl.sample(0.0).has_value());
+  const auto updated = ctl.sample(0.0);
+  ASSERT_TRUE(updated.has_value());
+  EXPECT_EQ(*updated, 11);
+  EXPECT_EQ(ctl.param(), 11);
+}
+
+TEST(FeedbackController, TransferSeesLatestOutput) {
+  double seen = -1.0;
+  auto transfer = [&seen](const double& o, const int& current) {
+    seen = o;
+    return current;
+  };
+  FeedbackController<double, int, decltype(transfer)> ctl(0, 2, transfer);
+  ctl.sample(1.0);
+  ctl.sample(2.0);
+  EXPECT_DOUBLE_EQ(seen, 2.0);
+}
+
+TEST(FeedbackController, PeriodOneFiresEverySample) {
+  int calls = 0;
+  auto transfer = [&calls](const int&, const int& current) {
+    ++calls;
+    return current;
+  };
+  FeedbackController<int, int, decltype(transfer)> ctl(0, 1, transfer);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ctl.sample(i).has_value());
+  }
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(ctl.invocations(), 5u);
+}
+
+TEST(FeedbackController, ResetRestoresInitialConfiguration) {
+  auto transfer = [](const int&, const int& current) { return current * 2; };
+  FeedbackController<int, int, decltype(transfer)> ctl(3, 1, transfer);
+  ctl.sample(0);
+  ctl.sample(0);
+  EXPECT_EQ(ctl.param(), 12);
+  ctl.reset();
+  EXPECT_EQ(ctl.param(), 3);
+  EXPECT_EQ(ctl.invocations(), 0u);
+}
+
+TEST(FeedbackController, RejectsZeroPeriod) {
+  auto transfer = [](const int&, const int& current) { return current; };
+  using Ctl = FeedbackController<int, int, decltype(transfer)>;
+  EXPECT_THROW(Ctl(0, 0, transfer), ContractViolation);
+}
+
+TEST(FeedbackController, ConvergesOnConvexCost) {
+  // Hill-climb a parameter toward the minimum of (x - 7)^2 to show the
+  // <O,I,S,T,P> shape supports the paper's optimization pattern.
+  auto cost = [](int x) { return (x - 7) * (x - 7); };
+  int direction = +1;
+  double last = -1.0;
+  auto transfer = [&](const double& observed, const int& current) {
+    if (last >= 0.0 && observed > last) {
+      direction = -direction;
+    }
+    last = observed;
+    return current + direction;
+  };
+  FeedbackController<double, int, decltype(transfer)> ctl(0, 1, transfer);
+  for (int i = 0; i < 100; ++i) {
+    ctl.sample(cost(ctl.param()));
+  }
+  EXPECT_NEAR(ctl.param(), 7, 2);
+}
+
+}  // namespace
+}  // namespace otw::core

@@ -1,0 +1,116 @@
+#include "otw/core/optimism_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::core {
+namespace {
+
+OptimismControlConfig config_with(std::uint64_t initial, std::uint64_t period) {
+  OptimismControlConfig c;
+  c.initial_window = initial;
+  c.control_period_events = period;
+  return c;
+}
+
+TEST(OptimismController, StartsAtInitialWindow) {
+  OptimismWindowController ctl(config_with(1'000, 64));
+  EXPECT_EQ(ctl.window(), 1'000u);
+}
+
+TEST(OptimismController, AdaptsOnlyAfterPeriod) {
+  OptimismWindowController ctl(config_with(1'000, 64));
+  ctl.record_processed(63);
+  EXPECT_FALSE(ctl.maybe_adapt());
+  ctl.record_processed(1);
+  EXPECT_TRUE(ctl.maybe_adapt());
+  EXPECT_EQ(ctl.invocations(), 1u);
+}
+
+TEST(OptimismController, GrowsWhenRollbacksAreRare) {
+  OptimismWindowController ctl(config_with(1'000, 100));
+  ctl.record_processed(100);
+  ctl.record_rolled_back(5);  // 5% < 15% target
+  ctl.maybe_adapt();
+  EXPECT_GT(ctl.window(), 1'000u);
+  EXPECT_DOUBLE_EQ(ctl.last_rollback_fraction(), 0.05);
+}
+
+TEST(OptimismController, ShrinksWhenRollbacksAreHeavy) {
+  OptimismWindowController ctl(config_with(1'000, 100));
+  ctl.record_processed(100);
+  ctl.record_rolled_back(40);  // 40% > 15% target
+  ctl.maybe_adapt();
+  EXPECT_LT(ctl.window(), 1'000u);
+}
+
+TEST(OptimismController, RespectsBounds) {
+  auto cfg = config_with(16, 10);
+  cfg.min_window = 8;
+  cfg.max_window = 64;
+  OptimismWindowController ctl(cfg);
+  for (int i = 0; i < 30; ++i) {  // rollback-free: grows
+    ctl.record_processed(10);
+    ctl.maybe_adapt();
+  }
+  EXPECT_EQ(ctl.window(), 64u);
+  for (int i = 0; i < 30; ++i) {  // all rolled back: shrinks
+    ctl.record_processed(10);
+    ctl.record_rolled_back(10);
+    ctl.maybe_adapt();
+  }
+  EXPECT_EQ(ctl.window(), 8u);
+}
+
+TEST(OptimismController, RollbackCounterResetsEachPeriod) {
+  OptimismWindowController ctl(config_with(1'000, 10));
+  ctl.record_processed(10);
+  ctl.record_rolled_back(8);
+  ctl.maybe_adapt();
+  EXPECT_DOUBLE_EQ(ctl.last_rollback_fraction(), 0.8);
+  ctl.record_processed(10);
+  ctl.maybe_adapt();
+  EXPECT_DOUBLE_EQ(ctl.last_rollback_fraction(), 0.0);
+}
+
+TEST(OptimismController, EquilibratesAroundTarget) {
+  // Synthetic plant: rollback fraction grows with the window. The controller
+  // must hover where the fraction crosses its target.
+  auto cfg = config_with(1u << 12, 100);
+  cfg.target_rollback_fraction = 0.2;
+  OptimismWindowController ctl(cfg);
+  auto fraction_for = [](std::uint64_t window) {
+    return std::min(0.9, static_cast<double>(window) / (1 << 16));
+  };  // crosses 0.2 at window ~13k
+  for (int i = 0; i < 200; ++i) {
+    ctl.record_processed(100);
+    ctl.record_rolled_back(
+        static_cast<std::uint64_t>(100 * fraction_for(ctl.window())));
+    ctl.maybe_adapt();
+  }
+  EXPECT_GT(ctl.window(), 4'000u);
+  EXPECT_LT(ctl.window(), 40'000u);
+}
+
+TEST(OptimismController, ResetRestoresInitialState) {
+  OptimismWindowController ctl(config_with(1'000, 10));
+  ctl.record_processed(10);
+  ctl.record_rolled_back(9);
+  ctl.maybe_adapt();
+  ctl.reset();
+  EXPECT_EQ(ctl.window(), 1'000u);
+  EXPECT_EQ(ctl.invocations(), 0u);
+}
+
+TEST(OptimismController, RejectsBadConfig) {
+  auto bad = config_with(4, 10);
+  bad.min_window = 8;  // initial below min
+  EXPECT_THROW(OptimismWindowController{bad}, ContractViolation);
+  auto badf = config_with(16, 10);
+  badf.target_rollback_fraction = 1.5;
+  EXPECT_THROW(OptimismWindowController{badf}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace otw::core

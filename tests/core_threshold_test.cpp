@@ -1,0 +1,108 @@
+#include "otw/core/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::core {
+namespace {
+
+using Level = HysteresisThreshold::Level;
+
+TEST(HysteresisThreshold, StartsAtInitialLevel) {
+  HysteresisThreshold low(0.2, 0.4, Level::Low);
+  EXPECT_EQ(low.level(), Level::Low);
+  HysteresisThreshold high(0.2, 0.4, Level::High);
+  EXPECT_EQ(high.level(), Level::High);
+}
+
+TEST(HysteresisThreshold, SwitchesHighAboveUpper) {
+  HysteresisThreshold t(0.2, 0.4, Level::Low);
+  EXPECT_EQ(t.update(0.41), Level::High);
+}
+
+TEST(HysteresisThreshold, SwitchesLowBelowLower) {
+  HysteresisThreshold t(0.2, 0.4, Level::High);
+  EXPECT_EQ(t.update(0.19), Level::Low);
+}
+
+TEST(HysteresisThreshold, DeadZoneHoldsPreviousLevel) {
+  HysteresisThreshold t(0.2, 0.4, Level::Low);
+  EXPECT_EQ(t.update(0.3), Level::Low);   // inside: hold
+  EXPECT_EQ(t.update(0.5), Level::High);  // above: switch
+  EXPECT_EQ(t.update(0.3), Level::High);  // inside: hold the new level
+  EXPECT_EQ(t.update(0.21), Level::High);
+  EXPECT_EQ(t.update(0.1), Level::Low);
+}
+
+TEST(HysteresisThreshold, BoundaryValuesAreDeadZone) {
+  // The zone is inclusive: switching needs strict crossing.
+  HysteresisThreshold t(0.2, 0.4, Level::Low);
+  EXPECT_EQ(t.update(0.4), Level::Low);
+  EXPECT_EQ(t.update(0.2), Level::Low);
+  t.update(0.9);
+  EXPECT_EQ(t.update(0.4), Level::High);
+  EXPECT_EQ(t.update(0.2), Level::High);
+}
+
+TEST(HysteresisThreshold, SingleThresholdEliminatesDeadZone) {
+  HysteresisThreshold t(0.4, 0.4, Level::Low);
+  EXPECT_FALSE(t.has_dead_zone());
+  EXPECT_EQ(t.update(0.5), Level::High);
+  EXPECT_EQ(t.update(0.3), Level::Low);
+  EXPECT_EQ(t.update(0.4), Level::Low);  // exactly at: hold
+}
+
+TEST(HysteresisThreshold, OneSwitchPerCrossing) {
+  HysteresisThreshold t(0.2, 0.4, Level::Low);
+  int switches = 0;
+  Level prev = t.level();
+  // Noisy signal oscillating inside the dead zone after one crossing.
+  const double signal[] = {0.1, 0.5, 0.35, 0.25, 0.39, 0.3, 0.21, 0.38};
+  for (double x : signal) {
+    const Level now = t.update(x);
+    switches += now != prev;
+    prev = now;
+  }
+  EXPECT_EQ(switches, 1);  // only the 0.1 -> 0.5 crossing
+}
+
+TEST(HysteresisThreshold, RejectsInvertedThresholds) {
+  EXPECT_THROW(HysteresisThreshold(0.5, 0.4, Level::Low), ContractViolation);
+}
+
+TEST(EwmaFilter, FirstSamplePrimes) {
+  EwmaFilter f(0.5);
+  EXPECT_FALSE(f.primed());
+  EXPECT_DOUBLE_EQ(f.update(10.0), 10.0);
+  EXPECT_TRUE(f.primed());
+}
+
+TEST(EwmaFilter, SmoothsTowardSignal) {
+  EwmaFilter f(0.5);
+  f.update(0.0);
+  EXPECT_DOUBLE_EQ(f.update(8.0), 4.0);
+  EXPECT_DOUBLE_EQ(f.update(8.0), 6.0);
+}
+
+TEST(EwmaFilter, AlphaOneTracksExactly) {
+  EwmaFilter f(1.0);
+  f.update(1.0);
+  EXPECT_DOUBLE_EQ(f.update(42.0), 42.0);
+}
+
+TEST(EwmaFilter, ResetUnprimes) {
+  EwmaFilter f(0.5);
+  f.update(5.0);
+  f.reset();
+  EXPECT_FALSE(f.primed());
+  EXPECT_DOUBLE_EQ(f.update(3.0), 3.0);
+}
+
+TEST(EwmaFilter, RejectsBadAlpha) {
+  EXPECT_THROW(EwmaFilter(0.0), ContractViolation);
+  EXPECT_THROW(EwmaFilter(1.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace otw::core

@@ -1,0 +1,200 @@
+#include "otw/tw/checkpoint_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "otw/apps/phold.hpp"
+#include "otw/tw/kernel.hpp"
+
+namespace otw::tw {
+namespace {
+
+struct Blob {
+  std::array<std::uint8_t, 64> bytes{};
+};
+static_assert(std::has_unique_object_representations_v<Blob>);
+
+Position pos(std::uint64_t recv, std::uint64_t instance = 0) {
+  return Position{EventKey{VirtualTime{recv}, 0, recv}, instance};
+}
+
+PodState<Blob> state_with(std::initializer_list<std::pair<int, int>> edits) {
+  PodState<Blob> s;
+  for (auto [offset, value] : edits) {
+    s.value().bytes[static_cast<std::size_t>(offset)] =
+        static_cast<std::uint8_t>(value);
+  }
+  return s;
+}
+
+std::uint8_t byte_at(const ObjectState& s, int offset) {
+  return static_cast<const PodState<Blob>&>(s).value().bytes[
+      static_cast<std::size_t>(offset)];
+}
+
+// Identical behavioural contract for both stores.
+class CheckpointStoreContract
+    : public ::testing::TestWithParam<StateSaving> {
+ protected:
+  std::unique_ptr<CheckpointStore> make() {
+    return make_checkpoint_store(GetParam(), /*full_snapshot_interval=*/4);
+  }
+};
+
+TEST_P(CheckpointStoreContract, RestoresLatestBeforeTarget) {
+  auto store = make();
+  store->save(pos(10), state_with({{0, 1}}));
+  store->save(pos(20), state_with({{0, 2}}));
+  store->save(pos(30), state_with({{0, 3}}));
+  const RestorePoint rp = store->restore_before(pos(25));
+  EXPECT_EQ(rp.pos, pos(20));
+  EXPECT_EQ(byte_at(*rp.state, 0), 2);
+  EXPECT_EQ(store->entries(), 2u);  // the entry at 30 was dropped
+}
+
+TEST_P(CheckpointStoreContract, RestoreAtExactPositionGoesEarlier) {
+  auto store = make();
+  store->save(pos(10), state_with({{0, 1}}));
+  store->save(pos(20), state_with({{0, 2}}));
+  const RestorePoint rp = store->restore_before(pos(20));
+  EXPECT_EQ(rp.pos, pos(10));
+  EXPECT_EQ(byte_at(*rp.state, 0), 1);
+}
+
+TEST_P(CheckpointStoreContract, RestoreWithNothingLeftIsAContractViolation) {
+  auto store = make();
+  store->save(pos(10), state_with({}));
+  EXPECT_THROW(store->restore_before(pos(5)), ContractViolation);
+}
+
+TEST_P(CheckpointStoreContract, SavesRequireIncreasingPositions) {
+  auto store = make();
+  store->save(pos(10), state_with({}));
+  EXPECT_THROW(store->save(pos(10), state_with({})), ContractViolation);
+}
+
+TEST_P(CheckpointStoreContract, FossilKeepsRestoreFloor) {
+  auto store = make();
+  for (std::uint64_t t = 10; t <= 90; t += 10) {
+    store->save(pos(t), state_with({{0, static_cast<int>(t)}}));
+  }
+  const Position keeper = store->fossil_collect(VirtualTime{55});
+  EXPECT_EQ(keeper, pos(50));
+  // Everything at/after the keeper must still be restorable.
+  const RestorePoint rp = store->restore_before(pos(75));
+  EXPECT_EQ(rp.pos, pos(70));
+  EXPECT_EQ(byte_at(*rp.state, 0), 70);
+}
+
+TEST_P(CheckpointStoreContract, LongEditSequenceRoundTrips) {
+  auto store = make();
+  PodState<Blob> current;
+  for (std::uint64_t t = 1; t <= 40; ++t) {
+    current.value().bytes[t % 64] = static_cast<std::uint8_t>(t);
+    current.value().bytes[(3 * t) % 64] = static_cast<std::uint8_t>(t + 1);
+    store->save(pos(t), current);
+  }
+  for (std::uint64_t target : {5u, 17u, 33u, 40u}) {
+    auto fresh = make_checkpoint_store(GetParam(), 4);
+    PodState<Blob> replay;
+    for (std::uint64_t t = 1; t <= 40; ++t) {
+      replay.value().bytes[t % 64] = static_cast<std::uint8_t>(t);
+      replay.value().bytes[(3 * t) % 64] = static_cast<std::uint8_t>(t + 1);
+      fresh->save(pos(t), replay);
+      if (t == target) {
+        break;
+      }
+    }
+    const RestorePoint rp = store->restore_before(pos(target + 1));
+    EXPECT_EQ(rp.pos, pos(target));
+    EXPECT_EQ(rp.state->digest(), replay.digest()) << "target " << target;
+    // Resume from the restored state (a rollback rewound `current` too) and
+    // rebuild the tail so the next iteration sees the full history again.
+    current.value() = static_cast<const PodState<Blob>&>(*rp.state).value();
+    for (std::uint64_t t = target + 1; t <= 40; ++t) {
+      current.value().bytes[t % 64] = static_cast<std::uint8_t>(t);
+      current.value().bytes[(3 * t) % 64] = static_cast<std::uint8_t>(t + 1);
+      store->save(pos(t), current);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, CheckpointStoreContract,
+                         ::testing::Values(StateSaving::Copy,
+                                           StateSaving::Incremental),
+                         [](const auto& info) {
+                           return info.param == StateSaving::Copy
+                                      ? std::string("Copy")
+                                      : std::string("Incremental");
+                         });
+
+TEST(IncrementalStore, DeltaSavesAreCheapForSparseEdits) {
+  IncrementalCheckpointStore store(/*full_snapshot_interval=*/16);
+  PodState<Blob> current;
+  const SaveReceipt full = store.save(pos(1), current);
+  EXPECT_EQ(full.stored_bytes, sizeof(Blob));
+  EXPECT_EQ(full.scanned_bytes, 0u);
+
+  current.value().bytes[7] = 1;  // one byte changed
+  const SaveReceipt delta = store.save(pos(2), current);
+  EXPECT_EQ(delta.scanned_bytes, sizeof(Blob));
+  EXPECT_LT(delta.stored_bytes, sizeof(Blob) / 4);
+}
+
+TEST(IncrementalStore, FullSnapshotCadence) {
+  IncrementalCheckpointStore store(/*full_snapshot_interval=*/3);
+  PodState<Blob> current;
+  std::uint64_t full_saves = 0;
+  for (std::uint64_t t = 1; t <= 9; ++t) {
+    current.value().bytes[0] = static_cast<std::uint8_t>(t);
+    full_saves += store.save(pos(t), current).scanned_bytes == 0;
+  }
+  EXPECT_EQ(full_saves, 3u);  // t = 1, 4, 7
+}
+
+TEST(IncrementalStore, RequiresFlatState) {
+  struct Opaque final : ObjectState {
+    std::unique_ptr<ObjectState> clone() const override {
+      return std::make_unique<Opaque>();
+    }
+    std::size_t byte_size() const noexcept override { return 8; }
+    std::uint64_t digest() const noexcept override { return 0; }
+  };
+  IncrementalCheckpointStore store(4);
+  EXPECT_THROW(store.save(pos(1), Opaque{}), ContractViolation);
+}
+
+TEST(IncrementalStore, KernelEquivalenceUnderIncrementalSaving) {
+  // End-to-end: a rollback-heavy run with incremental checkpoints must
+  // commit exactly the sequential results.
+  apps::phold::PholdConfig app;
+  app.num_objects = 12;
+  app.num_lps = 4;
+  app.population_per_object = 3;
+  app.remote_probability = 0.6;
+  app.seed = 61;
+  const Model model = apps::phold::build_model(app);
+  const VirtualTime end{4'000};
+  const SequentialResult seq = run_sequential(model, end);
+
+  KernelConfig kc;
+  kc.num_lps = 4;
+  kc.end_time = end;
+  kc.batch_size = 32;
+  kc.gvt_period_events = 64;
+  kc.runtime.state_saving = StateSaving::Incremental;
+  kc.runtime.checkpoint_interval = 3;
+  kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
+  platform::SimulatedNowConfig now;
+  now.costs = platform::CostModel::free();
+  now.costs.wire_latency_ns = 15'000;
+
+  const RunResult r = run_simulated_now(model, kc, now);
+  EXPECT_GT(r.stats.total_rollbacks(), 0u);
+  EXPECT_EQ(r.digests, seq.digests);
+  EXPECT_EQ(r.stats.total_committed(), seq.events_processed);
+}
+
+}  // namespace
+}  // namespace otw::tw

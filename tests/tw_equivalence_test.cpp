@@ -1,0 +1,122 @@
+// The central correctness property of the whole system (DESIGN.md invariant
+// 1): for EVERY configuration of the on-line optimizations — cancellation
+// policy x checkpointing x aggregation x partitioning — the Time Warp
+// kernels commit exactly the results of the sequential kernel. The
+// optimizations may only change performance, never outcomes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "otw/apps/phold.hpp"
+#include "otw/tw/kernel.hpp"
+
+namespace otw::tw {
+namespace {
+
+struct Combo {
+  const char* name;
+  core::CancellationControlConfig cancellation;
+  std::uint32_t checkpoint_interval;
+  bool dynamic_checkpointing;
+  comm::AggregationPolicy aggregation;
+  LpId num_lps;
+  std::uint32_t batch_size;
+};
+
+std::ostream& operator<<(std::ostream& os, const Combo& c) { return os << c.name; }
+
+Combo combo(const char* name, core::CancellationControlConfig cancel,
+            std::uint32_t chi, bool dynamic, comm::AggregationPolicy agg,
+            LpId lps = 4, std::uint32_t batch = 16) {
+  return Combo{name, cancel, chi, dynamic, agg, lps, batch};
+}
+
+class Equivalence : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(Equivalence, TimeWarpCommitsSequentialResults) {
+  const Combo& c = GetParam();
+
+  apps::phold::PholdConfig app;
+  app.num_objects = 12;
+  app.num_lps = c.num_lps;
+  app.population_per_object = 3;
+  app.remote_probability = 0.6;
+  app.mean_delay = 80;
+  app.event_grain_ns = 300;
+  app.seed = 17;
+  const Model model = apps::phold::build_model(app);
+  const VirtualTime end{4'000};
+
+  KernelConfig kc;
+  kc.num_lps = c.num_lps;
+  kc.end_time = end;
+  kc.batch_size = c.batch_size;
+  kc.gvt_period_events = 48;
+  kc.runtime.cancellation = c.cancellation;
+  kc.runtime.checkpoint_interval = c.checkpoint_interval;
+  kc.runtime.dynamic_checkpointing = c.dynamic_checkpointing;
+  kc.aggregation.policy = c.aggregation;
+  kc.aggregation.window_us = 100.0;
+
+  platform::SimulatedNowConfig now;
+  now.costs = platform::CostModel::free();
+  now.costs.wire_latency_ns = 3'000;
+  now.costs.msg_send_overhead_ns = 2'000;
+
+  const SequentialResult seq = run_sequential(model, end);
+  ASSERT_GT(seq.events_processed, 200u);
+
+  const RunResult tw = run_simulated_now(model, kc, now);
+  EXPECT_EQ(tw.stats.total_committed(), seq.events_processed);
+  ASSERT_EQ(tw.digests.size(), seq.digests.size());
+  for (std::size_t i = 0; i < seq.digests.size(); ++i) {
+    EXPECT_EQ(tw.digests[i], seq.digests[i]) << "object " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, Equivalence,
+    ::testing::Values(
+        combo("AC_chi1_none", core::CancellationControlConfig::aggressive(), 1,
+              false, comm::AggregationPolicy::None),
+        combo("LC_chi1_none", core::CancellationControlConfig::lazy(), 1, false,
+              comm::AggregationPolicy::None),
+        combo("DC_chi1_none", core::CancellationControlConfig::dynamic(), 1,
+              false, comm::AggregationPolicy::None),
+        combo("ST_chi1_none", core::CancellationControlConfig::st(0.4), 1,
+              false, comm::AggregationPolicy::None),
+        combo("PS32_chi1_none", core::CancellationControlConfig::ps(32), 1,
+              false, comm::AggregationPolicy::None),
+        combo("PA10_chi1_none", core::CancellationControlConfig::pa(10), 1,
+              false, comm::AggregationPolicy::None),
+        combo("AC_chi4_none", core::CancellationControlConfig::aggressive(), 4,
+              false, comm::AggregationPolicy::None),
+        combo("LC_chi8_none", core::CancellationControlConfig::lazy(), 8, false,
+              comm::AggregationPolicy::None),
+        combo("DC_dyn_none", core::CancellationControlConfig::dynamic(), 1,
+              true, comm::AggregationPolicy::None),
+        combo("AC_chi1_faw", core::CancellationControlConfig::aggressive(), 1,
+              false, comm::AggregationPolicy::Fixed),
+        combo("LC_chi4_faw", core::CancellationControlConfig::lazy(), 4, false,
+              comm::AggregationPolicy::Fixed),
+        combo("DC_dyn_faw", core::CancellationControlConfig::dynamic(), 1, true,
+              comm::AggregationPolicy::Fixed),
+        combo("AC_chi1_saaw", core::CancellationControlConfig::aggressive(), 1,
+              false, comm::AggregationPolicy::Adaptive),
+        combo("LC_chi4_saaw", core::CancellationControlConfig::lazy(), 4, false,
+              comm::AggregationPolicy::Adaptive),
+        combo("DC_dyn_saaw", core::CancellationControlConfig::dynamic(), 4,
+              true, comm::AggregationPolicy::Adaptive),
+        combo("DC_dyn_saaw_2lp", core::CancellationControlConfig::dynamic(), 4,
+              true, comm::AggregationPolicy::Adaptive, 2),
+        combo("LC_chi4_faw_6lp", core::CancellationControlConfig::lazy(), 4,
+              false, comm::AggregationPolicy::Fixed, 6),
+        combo("DC_chi2_none_batch64",
+              core::CancellationControlConfig::dynamic(), 2, false,
+              comm::AggregationPolicy::None, 4, 64)),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace otw::tw

@@ -1,0 +1,79 @@
+#include "otw/tw/event.hpp"
+
+#include <gtest/gtest.h>
+
+namespace otw::tw {
+namespace {
+
+Event make_event(std::uint64_t recv, ObjectId sender, std::uint64_t seq,
+                 std::uint64_t instance = 0) {
+  Event e;
+  e.recv_time = VirtualTime{recv};
+  e.send_time = VirtualTime{recv > 0 ? recv - 1 : 0};
+  e.sender = sender;
+  e.receiver = 9;
+  e.seq = seq;
+  e.instance = instance;
+  return e;
+}
+
+TEST(EventKey, LexicographicOrder) {
+  EXPECT_LT(EventKey({VirtualTime{1}, 5, 9}), EventKey({VirtualTime{2}, 0, 0}));
+  EXPECT_LT(EventKey({VirtualTime{1}, 2, 9}), EventKey({VirtualTime{1}, 3, 0}));
+  EXPECT_LT(EventKey({VirtualTime{1}, 2, 3}), EventKey({VirtualTime{1}, 2, 4}));
+  EXPECT_EQ(EventKey({VirtualTime{1}, 2, 3}), EventKey({VirtualTime{1}, 2, 3}));
+}
+
+TEST(EventKey, BeforeAllPrecedesRealEvents) {
+  EXPECT_LT(EventKey::before_all(), make_event(1, 0, 0).key());
+}
+
+TEST(Event, KeyProjection) {
+  const Event e = make_event(7, 3, 11);
+  EXPECT_EQ(e.key(), (EventKey{VirtualTime{7}, 3, 11}));
+}
+
+TEST(Event, MakeAntiFlipsSignAndDropsPayload) {
+  Event e = make_event(7, 3, 11, 99);
+  e.payload = Payload::from(std::uint64_t{123});
+  const Event anti = e.make_anti();
+  EXPECT_TRUE(anti.negative);
+  EXPECT_TRUE(anti.payload.empty());
+  EXPECT_EQ(anti.key(), e.key());
+  EXPECT_TRUE(anti.matches_instance(e));
+}
+
+TEST(Event, InstanceMatching) {
+  const Event a = make_event(7, 3, 11, 1);
+  const Event b = make_event(7, 3, 11, 2);  // reused seq, new instance
+  EXPECT_FALSE(a.matches_instance(b));
+}
+
+TEST(Event, ContentEqualityIgnoresInstance) {
+  Event a = make_event(7, 3, 11, 1);
+  Event b = make_event(7, 3, 11, 2);
+  a.payload = b.payload = Payload::from(std::uint64_t{5});
+  EXPECT_TRUE(a.same_content(b));
+  b.payload = Payload::from(std::uint64_t{6});
+  EXPECT_FALSE(a.same_content(b));
+}
+
+TEST(Event, ContentEqualityChecksReceiverAndTime) {
+  Event a = make_event(7, 3, 11);
+  Event b = a;
+  b.receiver = 10;
+  EXPECT_FALSE(a.same_content(b));
+  b = a;
+  b.recv_time = VirtualTime{8};
+  EXPECT_FALSE(a.same_content(b));
+}
+
+TEST(InputOrder, OrdersByKeyThenInstance) {
+  const InputOrder less;
+  EXPECT_TRUE(less(make_event(1, 0, 0), make_event(2, 0, 0)));
+  EXPECT_TRUE(less(make_event(1, 0, 0, 1), make_event(1, 0, 0, 2)));
+  EXPECT_FALSE(less(make_event(1, 0, 0, 2), make_event(1, 0, 0, 1)));
+}
+
+}  // namespace
+}  // namespace otw::tw

@@ -1,0 +1,172 @@
+#include "otw/tw/gvt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace otw::tw {
+namespace {
+
+VirtualTime vt(std::uint64_t t) { return VirtualTime{t}; }
+
+TEST(GvtAgent, SingleLpComputesLocallyAndImmediately) {
+  GvtAgent agent(0, 1, 10);
+  const auto outcome = agent.start_epoch(vt(42));
+  ASSERT_TRUE(outcome.gvt.has_value());
+  EXPECT_EQ(*outcome.gvt, vt(42));
+  EXPECT_FALSE(outcome.forward.has_value());
+  EXPECT_FALSE(agent.epoch_active());
+  EXPECT_EQ(agent.epochs(), 1u);
+}
+
+TEST(GvtAgent, ShouldStartRespectsPeriodAndIdle) {
+  GvtAgent agent(0, 2, 3);
+  EXPECT_FALSE(agent.should_start(false));
+  EXPECT_TRUE(agent.should_start(true));  // idle: start immediately
+  agent.on_event_processed();
+  agent.on_event_processed();
+  EXPECT_FALSE(agent.should_start(false));
+  agent.on_event_processed();
+  EXPECT_TRUE(agent.should_start(false));
+}
+
+TEST(GvtAgent, NonInitiatorNeverStarts) {
+  GvtAgent agent(1, 2, 1);
+  agent.on_event_processed();
+  EXPECT_FALSE(agent.should_start(true));
+  EXPECT_THROW(agent.start_epoch(vt(0)), ContractViolation);
+}
+
+TEST(GvtAgent, TwoLpQuietRingCompletesInOneRound) {
+  GvtAgent a(0, 2, 10);
+  GvtAgent b(1, 2, 10);
+  auto started = a.start_epoch(vt(100));
+  ASSERT_TRUE(started.forward.has_value());
+  auto at_b = b.on_token(*started.forward, vt(50));
+  ASSERT_TRUE(at_b.forward.has_value());
+  auto done = a.on_token(*at_b.forward, vt(100));
+  ASSERT_TRUE(done.gvt.has_value());
+  EXPECT_EQ(*done.gvt, vt(50));
+}
+
+TEST(GvtAgent, InFlightWhiteMessageForcesSecondRound) {
+  GvtAgent a(0, 2, 10);
+  GvtAgent b(1, 2, 10);
+  // a sends one (white) message to b before the cut; it is still in flight.
+  a.on_send(vt(30));
+  auto started = a.start_epoch(vt(100));
+  auto at_b = b.on_token(*started.forward, vt(200));
+  // Round 1 returns count=+1: no GVT yet.
+  auto round1 = a.on_token(*at_b.forward, vt(100));
+  ASSERT_FALSE(round1.gvt.has_value());
+  ASSERT_TRUE(round1.forward.has_value());
+  // The message lands (b receives white while already red).
+  b.on_receive(started.forward->white_color);
+  // Its processing exposes a new local min at 30.
+  auto at_b2 = b.on_token(*round1.forward, vt(30));
+  auto done = a.on_token(*at_b2.forward, vt(100));
+  ASSERT_TRUE(done.gvt.has_value());
+  EXPECT_EQ(*done.gvt, vt(30));
+}
+
+TEST(GvtAgent, RedMessageBoundsGvt) {
+  GvtAgent a(0, 2, 10);
+  GvtAgent b(1, 2, 10);
+  auto started = a.start_epoch(vt(100));
+  // a is red now; it sends a message with a small receive time.
+  a.on_send(vt(10));
+  auto at_b = b.on_token(*started.forward, vt(200));
+  auto done = a.on_token(*at_b.forward, vt(100));
+  ASSERT_TRUE(done.gvt.has_value());
+  EXPECT_EQ(*done.gvt, vt(10));  // bounded by the red send
+}
+
+TEST(GvtAgent, MinRedResetsAtNextEpoch) {
+  GvtAgent a(0, 2, 10);
+  GvtAgent b(1, 2, 10);
+  // Epoch 1 with a red send at 10.
+  auto started = a.start_epoch(vt(100));
+  a.on_send(vt(10));
+  auto at_b = b.on_token(*started.forward, vt(200));
+  b.on_receive(a.current_color());  // deliver the red message
+  auto done = a.on_token(*at_b.forward, vt(100));
+  ASSERT_TRUE(done.gvt.has_value());
+
+  // Epoch 2: the old red send must not bound the new GVT.
+  auto started2 = a.start_epoch(vt(100));
+  ASSERT_TRUE(started2.forward.has_value());
+  auto at_b2 = b.on_token(*started2.forward, vt(200));
+  auto done2 = a.on_token(*at_b2.forward, vt(100));
+  ASSERT_TRUE(done2.gvt.has_value());
+  EXPECT_EQ(*done2.gvt, vt(100));
+}
+
+TEST(GvtAgent, TerminationDetectedAsInfinity) {
+  GvtAgent a(0, 3, 10);
+  GvtAgent b(1, 3, 10);
+  GvtAgent c(2, 3, 10);
+  auto started = a.start_epoch(VirtualTime::infinity());
+  auto at_b = b.on_token(*started.forward, VirtualTime::infinity());
+  auto at_c = c.on_token(*at_b.forward, VirtualTime::infinity());
+  auto done = a.on_token(*at_c.forward, VirtualTime::infinity());
+  ASSERT_TRUE(done.gvt.has_value());
+  EXPECT_TRUE(done.gvt->is_infinity());
+}
+
+TEST(GvtAgent, CumulativeCountersSurviveEarlyRedReceive) {
+  // A red message reaches an LP before that LP flips: the receive count must
+  // not be lost, or the *next* epoch's balance never reaches zero.
+  GvtAgent a(0, 2, 10);
+  GvtAgent b(1, 2, 10);
+
+  // Epoch 1.
+  auto started = a.start_epoch(vt(100));
+  const std::uint8_t red = a.current_color();
+  a.on_send(vt(60));   // red send (post-flip)
+  b.on_receive(red);   // b receives it BEFORE seeing the token
+  auto at_b = b.on_token(*started.forward, vt(200));
+  auto done1 = a.on_token(*at_b.forward, vt(100));
+  ASSERT_TRUE(done1.gvt.has_value());
+
+  // Epoch 2: the red of epoch 1 is the white being drained now; the send
+  // and early receive must balance to zero so the epoch completes in one
+  // round.
+  auto started2 = a.start_epoch(vt(300));
+  auto at_b2 = b.on_token(*started2.forward, vt(300));
+  EXPECT_EQ(at_b2.forward->count, 0);
+  auto done2 = a.on_token(*at_b2.forward, vt(300));
+  ASSERT_TRUE(done2.gvt.has_value());
+  EXPECT_EQ(*done2.gvt, vt(300));
+}
+
+TEST(GvtAgent, FullRingWithTrafficConverges) {
+  // Property: with random traffic, the token eventually completes and the
+  // resulting GVT is <= every live receive time.
+  constexpr LpId kN = 4;
+  std::vector<GvtAgent> agents;
+  for (LpId i = 0; i < kN; ++i) {
+    agents.emplace_back(i, kN, 100);
+  }
+  // Pre-cut traffic: all delivered except one message at time 77.
+  agents[1].on_send(vt(500));
+  agents[2].on_receive(0);
+  agents[3].on_send(vt(77));  // in flight across the cut
+
+  auto outcome = agents[0].start_epoch(vt(1000));
+  LpId holder = 1;
+  int passes = 0;
+  while (!outcome.gvt.has_value()) {
+    ASSERT_TRUE(outcome.forward.has_value());
+    ASSERT_LT(passes, 100);
+    if (passes == 5) {
+      // Deliver the in-flight white message midway through round 2.
+      agents[0].on_receive(0);
+    }
+    outcome = agents[holder].on_token(*outcome.forward, vt(1000));
+    holder = (holder + 1) % kN;
+    ++passes;
+  }
+  EXPECT_LE(*outcome.gvt, vt(1000));
+  EXPECT_GT(passes, 4);  // needed more than one round
+}
+
+}  // namespace
+}  // namespace otw::tw

@@ -1,0 +1,194 @@
+// End-to-end kernel tests on small PHOLD workloads: termination, statistics
+// invariants, aggregation effects, GVT behaviour.
+#include "otw/tw/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "otw/apps/phold.hpp"
+
+namespace otw::tw {
+namespace {
+
+apps::phold::PholdConfig small_phold(std::uint32_t objects = 12, LpId lps = 4) {
+  apps::phold::PholdConfig cfg;
+  cfg.num_objects = objects;
+  cfg.num_lps = lps;
+  cfg.population_per_object = 3;
+  cfg.remote_probability = 0.5;
+  cfg.mean_delay = 100;
+  cfg.event_grain_ns = 500;
+  cfg.seed = 11;
+  return cfg;
+}
+
+KernelConfig kernel_config(LpId lps, VirtualTime end) {
+  KernelConfig kc;
+  kc.num_lps = lps;
+  kc.end_time = end;
+  kc.gvt_period_events = 64;
+  return kc;
+}
+
+platform::SimulatedNowConfig fast_now() {
+  platform::SimulatedNowConfig cfg;
+  cfg.costs = platform::CostModel::free();
+  cfg.costs.wire_latency_ns = 2'000;
+  cfg.costs.msg_send_overhead_ns = 1'000;
+  return cfg;
+}
+
+TEST(Kernel, PholdTerminatesAndMatchesSequential) {
+  const auto app = small_phold();
+  const Model model = apps::phold::build_model(app);
+  const KernelConfig kc = kernel_config(app.num_lps, VirtualTime{3'000});
+
+  const SequentialResult seq = run_sequential(model, kc.end_time);
+  ASSERT_GT(seq.events_processed, 100u);
+
+  const RunResult tw = run_simulated_now(model, kc, fast_now());
+  EXPECT_TRUE(tw.stats.final_gvt.is_infinity());
+  EXPECT_EQ(tw.stats.total_committed(), seq.events_processed);
+  EXPECT_EQ(tw.digests, seq.digests);
+}
+
+TEST(Kernel, RollbacksHappenAndAreInvisible) {
+  // Large batches + latency make LPs run ahead: stragglers are guaranteed.
+  const auto app = small_phold(12, 4);
+  const Model model = apps::phold::build_model(app);
+  KernelConfig kc = kernel_config(app.num_lps, VirtualTime{6'000});
+  kc.batch_size = 32;
+
+  const RunResult tw = run_simulated_now(model, kc, fast_now());
+  const ObjectStats totals = tw.stats.object_totals();
+  EXPECT_GT(totals.rollbacks, 0u) << "config failed to provoke rollbacks";
+  EXPECT_GT(totals.events_rolled_back, 0u);
+
+  const SequentialResult seq = run_sequential(model, kc.end_time);
+  EXPECT_EQ(tw.digests, seq.digests);
+  EXPECT_EQ(tw.stats.total_committed(), seq.events_processed);
+}
+
+TEST(Kernel, StatisticsInvariants) {
+  const auto app = small_phold();
+  const Model model = apps::phold::build_model(app);
+  KernelConfig kc = kernel_config(app.num_lps, VirtualTime{5'000});
+  kc.batch_size = 16;
+  const RunResult tw = run_simulated_now(model, kc, fast_now());
+  const ObjectStats obj = tw.stats.object_totals();
+  const LpStats lp = tw.stats.lp_totals();
+
+  // Every anti-message sent is eventually received and annihilated.
+  EXPECT_EQ(obj.anti_messages_sent, obj.anti_messages_received);
+  // Processing = committed + undone + coast-forward re-execution.
+  EXPECT_EQ(obj.events_processed,
+            obj.events_committed + obj.events_rolled_back +
+                obj.coast_forward_events);
+  // Rollbacks were triggered by stragglers or by anti-messages on processed
+  // events; both are bounded by total rollbacks.
+  EXPECT_GE(obj.rollbacks, obj.stragglers);
+  // All remote events were shipped in aggregates (policy None: 1 per batch).
+  EXPECT_EQ(lp.events_sent_remote, lp.messages_aggregated);
+  EXPECT_GT(lp.gvt_epochs, 0u);
+}
+
+TEST(Kernel, AggregationReducesPhysicalMessages) {
+  const auto app = small_phold(16, 4);
+  const Model model = apps::phold::build_model(app);
+  KernelConfig none = kernel_config(app.num_lps, VirtualTime{4'000});
+  none.aggregation.policy = comm::AggregationPolicy::None;
+
+  KernelConfig faw = none;
+  faw.aggregation.policy = comm::AggregationPolicy::Fixed;
+  faw.aggregation.window_us = 200.0;
+
+  const RunResult r_none = run_simulated_now(model, none, fast_now());
+  const RunResult r_faw = run_simulated_now(model, faw, fast_now());
+
+  EXPECT_LT(r_faw.physical_messages, r_none.physical_messages);
+  // Aggregation must not change committed results.
+  EXPECT_EQ(r_faw.digests, r_none.digests);
+  EXPECT_GT(r_faw.stats.lp_totals().aggregate_size.mean(), 1.0);
+}
+
+TEST(Kernel, SingleLpDegeneratesToSequentialBehaviour) {
+  auto app = small_phold(8, 1);
+  app.remote_probability = 0.0;
+  const Model model = apps::phold::build_model(app);
+  const KernelConfig kc = kernel_config(1, VirtualTime{4'000});
+  const RunResult tw = run_simulated_now(model, kc, fast_now());
+  EXPECT_EQ(tw.stats.total_rollbacks(), 0u);
+  EXPECT_EQ(tw.physical_messages, 0u);
+
+  const SequentialResult seq = run_sequential(model, kc.end_time);
+  EXPECT_EQ(tw.digests, seq.digests);
+}
+
+TEST(Kernel, ThreadedEngineMatchesSequential) {
+  const auto app = small_phold(8, 2);
+  const Model model = apps::phold::build_model(app);
+  KernelConfig kc = kernel_config(2, VirtualTime{2'500});
+  platform::ThreadedConfig tc;
+  tc.idle_sleep_us = 1;
+  const RunResult tw = run_threaded(model, kc, tc);
+  const SequentialResult seq = run_sequential(model, kc.end_time);
+  EXPECT_EQ(tw.digests, seq.digests);
+  EXPECT_EQ(tw.stats.total_committed(), seq.events_processed);
+}
+
+TEST(Kernel, SimulatedRunsAreDeterministic) {
+  const auto app = small_phold();
+  const Model model = apps::phold::build_model(app);
+  KernelConfig kc = kernel_config(app.num_lps, VirtualTime{3'000});
+  kc.batch_size = 16;
+  const RunResult a = run_simulated_now(model, kc, fast_now());
+  const RunResult b = run_simulated_now(model, kc, fast_now());
+  EXPECT_EQ(a.execution_time_ns, b.execution_time_ns);
+  EXPECT_EQ(a.physical_messages, b.physical_messages);
+  EXPECT_EQ(a.stats.total_rollbacks(), b.stats.total_rollbacks());
+  EXPECT_EQ(a.digests, b.digests);
+}
+
+TEST(Kernel, GvtPeriodTradesTokenTrafficForMemory) {
+  const auto app = small_phold();
+  const Model model = apps::phold::build_model(app);
+  KernelConfig frequent = kernel_config(app.num_lps, VirtualTime{3'000});
+  frequent.gvt_period_events = 16;
+  KernelConfig rare = frequent;
+  rare.gvt_period_events = 2'048;
+  const RunResult r_freq = run_simulated_now(model, frequent, fast_now());
+  const RunResult r_rare = run_simulated_now(model, rare, fast_now());
+  EXPECT_GT(r_freq.stats.lp_totals().gvt_epochs,
+            r_rare.stats.lp_totals().gvt_epochs);
+  EXPECT_EQ(r_freq.digests, r_rare.digests);
+}
+
+TEST(Kernel, RejectsBadModels) {
+  const Model empty;
+  EXPECT_THROW(run_sequential(empty), ContractViolation);
+  Model misplaced;
+  misplaced.add(3, [] {
+    return std::unique_ptr<SimulationObject>(nullptr);
+  });
+  KernelConfig kc;
+  kc.num_lps = 2;  // object placed on LP 3
+  EXPECT_THROW(run_simulated_now(misplaced, kc), ContractViolation);
+}
+
+TEST(Kernel, ExecutionTimeScalesWithCostModel) {
+  const auto app = small_phold(8, 2);
+  const Model model = apps::phold::build_model(app);
+  const KernelConfig kc = kernel_config(2, VirtualTime{2'000});
+
+  platform::SimulatedNowConfig cheap = fast_now();
+  platform::SimulatedNowConfig expensive = fast_now();
+  expensive.costs.msg_send_overhead_ns = 200'000;
+  expensive.costs.wire_latency_ns = 200'000;
+
+  const RunResult r_cheap = run_simulated_now(model, kc, cheap);
+  const RunResult r_exp = run_simulated_now(model, kc, expensive);
+  EXPECT_GT(r_exp.execution_time_ns, r_cheap.execution_time_ns);
+  EXPECT_EQ(r_cheap.digests, r_exp.digests);
+}
+
+}  // namespace
+}  // namespace otw::tw

@@ -1,0 +1,83 @@
+#include "otw/tw/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace otw::tw {
+namespace {
+
+Event event_with_payload(std::size_t payload_bytes) {
+  Event e;
+  if (payload_bytes == 8) {
+    e.payload = Payload::from(std::uint64_t{1});
+  } else if (payload_bytes == 16) {
+    struct Two {
+      std::uint64_t a, b;
+    };
+    e.payload = Payload::from(Two{1, 2});
+  }
+  return e;
+}
+
+TEST(Messages, EventWireBytesGrowWithPayload) {
+  EXPECT_LT(event_wire_bytes(event_with_payload(0)),
+            event_wire_bytes(event_with_payload(8)));
+  EXPECT_LT(event_wire_bytes(event_with_payload(8)),
+            event_wire_bytes(event_with_payload(16)));
+}
+
+TEST(Messages, BatchWireBytesSumEvents) {
+  std::vector<Event> events(3, event_with_payload(8));
+  const EventBatchMessage batch{std::move(events)};
+  EXPECT_EQ(batch.wire_bytes(),
+            16 + 3 * event_wire_bytes(event_with_payload(8)));
+  EXPECT_EQ(batch.events().size(), 3u);
+}
+
+TEST(Messages, ControlMessagesHaveFixedSize) {
+  GvtTokenMessage token;
+  EXPECT_GT(token.wire_bytes(), 0u);
+  const GvtAnnounceMessage announce(VirtualTime{7});
+  EXPECT_GT(announce.wire_bytes(), 0u);
+  EXPECT_EQ(announce.gvt(), VirtualTime{7});
+}
+
+// derive_send_seq is the ordering tie-break shared by all kernels; its
+// collision behaviour bounds how often the instance fallback kicks in.
+TEST(DeriveSendSeq, NoCollisionsOverRealisticDraws) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t t = 0; t < 100; ++t) {
+    for (ObjectId sender = 0; sender < 10; ++sender) {
+      for (std::uint32_t index = 0; index < 10; ++index) {
+        seen.insert(derive_send_seq(VirtualTime{t * 977}, sender, t * 31 + index,
+                                    sender + 5, index));
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u * 10u * 10u);
+}
+
+TEST(DeriveSendSeq, PureFunctionOfInputs) {
+  const auto a = derive_send_seq(VirtualTime{5}, 1, 2, 3, 4);
+  const auto b = derive_send_seq(VirtualTime{5}, 1, 2, 3, 4);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, derive_send_seq(VirtualTime{6}, 1, 2, 3, 4));
+  EXPECT_NE(a, derive_send_seq(VirtualTime{5}, 2, 2, 3, 4));
+  EXPECT_NE(a, derive_send_seq(VirtualTime{5}, 1, 3, 3, 4));
+  EXPECT_NE(a, derive_send_seq(VirtualTime{5}, 1, 2, 4, 4));
+  EXPECT_NE(a, derive_send_seq(VirtualTime{5}, 1, 2, 3, 5));
+}
+
+TEST(DeriveSendSeq, BitsAreWellMixed) {
+  // Low and high output bits must both vary with small input deltas.
+  std::map<std::uint64_t, int> low_bits;
+  for (std::uint32_t i = 0; i < 1'000; ++i) {
+    ++low_bits[derive_send_seq(VirtualTime{1}, 0, 0, 0, i) & 0xFF];
+  }
+  EXPECT_GT(low_bits.size(), 200u);  // of 256 possible values
+}
+
+}  // namespace
+}  // namespace otw::tw

@@ -1,0 +1,101 @@
+// Kernel-level tests of bounded-time-window optimism throttling.
+#include <gtest/gtest.h>
+
+#include "otw/apps/phold.hpp"
+#include "otw/tw/kernel.hpp"
+
+namespace otw::tw {
+namespace {
+
+apps::phold::PholdConfig hot_phold() {
+  apps::phold::PholdConfig cfg;
+  cfg.num_objects = 12;
+  cfg.num_lps = 4;
+  cfg.population_per_object = 3;
+  cfg.remote_probability = 0.7;
+  cfg.mean_delay = 60;
+  cfg.event_grain_ns = 400;
+  cfg.seed = 29;
+  return cfg;
+}
+
+KernelConfig bounded_config(KernelConfig::Optimism::Mode mode,
+                            std::uint64_t window) {
+  KernelConfig kc;
+  kc.num_lps = 4;
+  kc.end_time = VirtualTime{5'000};
+  kc.batch_size = 32;  // aggressive optimism: lots of rollback pressure
+  kc.gvt_period_events = 64;
+  kc.gvt_min_interval_ns = 100'000;
+  kc.optimism.mode = mode;
+  kc.optimism.window = window;
+  return kc;
+}
+
+platform::SimulatedNowConfig now_config() {
+  platform::SimulatedNowConfig now;
+  now.costs = platform::CostModel::free();
+  now.costs.wire_latency_ns = 20'000;
+  now.costs.msg_send_overhead_ns = 2'000;
+  return now;
+}
+
+TEST(Optimism, StaticWindowReducesRollbacks) {
+  const Model model = apps::phold::build_model(hot_phold());
+
+  const RunResult unbounded = run_simulated_now(
+      model, bounded_config(KernelConfig::Optimism::Mode::Unbounded, 0),
+      now_config());
+  ASSERT_GT(unbounded.stats.total_rollbacks(), 50u)
+      << "workload fails to provoke enough rollbacks to test throttling";
+
+  const RunResult bounded = run_simulated_now(
+      model, bounded_config(KernelConfig::Optimism::Mode::Static, 100),
+      now_config());
+  EXPECT_LT(bounded.stats.total_rollbacks(),
+            unbounded.stats.total_rollbacks() / 2);
+
+  // The other side of the trade-off: throttling costs GVT synchronization.
+  EXPECT_GT(bounded.stats.lp_totals().gvt_epochs,
+            unbounded.stats.lp_totals().gvt_epochs);
+}
+
+TEST(Optimism, ResultsAreWindowInvariant) {
+  const Model model = apps::phold::build_model(hot_phold());
+  const SequentialResult seq = run_sequential(model, VirtualTime{5'000});
+
+  for (std::uint64_t window : {50u, 300u, 2'000u, 1'000'000u}) {
+    const RunResult r = run_simulated_now(
+        model, bounded_config(KernelConfig::Optimism::Mode::Static, window),
+        now_config());
+    EXPECT_EQ(r.digests, seq.digests) << "window " << window;
+    EXPECT_EQ(r.stats.total_committed(), seq.events_processed)
+        << "window " << window;
+  }
+}
+
+TEST(Optimism, AdaptiveMatchesSequentialAndAdapts) {
+  const Model model = apps::phold::build_model(hot_phold());
+  const SequentialResult seq = run_sequential(model, VirtualTime{5'000});
+
+  KernelConfig kc = bounded_config(KernelConfig::Optimism::Mode::Adaptive, 200);
+  kc.optimism.control.control_period_events = 64;
+  const RunResult r = run_simulated_now(model, kc, now_config());
+  EXPECT_EQ(r.digests, seq.digests);
+  EXPECT_EQ(r.stats.total_committed(), seq.events_processed);
+}
+
+TEST(Optimism, TinyWindowStillTerminates) {
+  // Degenerate throttle: events trickle out one GVT advance at a time.
+  auto app = hot_phold();
+  app.num_objects = 8;
+  const Model model = apps::phold::build_model(app);
+  KernelConfig kc = bounded_config(KernelConfig::Optimism::Mode::Static, 1);
+  kc.end_time = VirtualTime{500};
+  const RunResult r = run_simulated_now(model, kc, now_config());
+  const SequentialResult seq = run_sequential(model, kc.end_time);
+  EXPECT_EQ(r.digests, seq.digests);
+}
+
+}  // namespace
+}  // namespace otw::tw

@@ -1,0 +1,165 @@
+// Dedicated tests of the sequential reference kernel (it is the ground
+// truth for everything else, so it gets its own scrutiny).
+#include <gtest/gtest.h>
+
+#include "otw/tw/kernel.hpp"
+
+namespace otw::tw {
+namespace {
+
+struct RecorderState {
+  std::uint64_t count = 0;
+  std::uint64_t order_digest = 0;
+  std::uint64_t last_time = 0;
+};
+static_assert(std::has_unique_object_representations_v<RecorderState>);
+
+/// Records the order of everything it sees; optionally replies.
+class Recorder final : public SimulationObject {
+ public:
+  explicit Recorder(bool replies) : replies_(replies) {}
+
+  std::unique_ptr<ObjectState> initial_state() const override {
+    return std::make_unique<PodState<RecorderState>>();
+  }
+
+  void process_event(ObjectContext& ctx, const Event& event) override {
+    auto& s = ctx.state_as<RecorderState>();
+    ++s.count;
+    s.order_digest = s.order_digest * 1099511628211ULL ^
+                     event.payload.as<std::uint64_t>() ^
+                     event.recv_time.ticks();
+    // Time must never run backwards in a sequential execution.
+    EXPECT_GE(event.recv_time.ticks(), s.last_time);
+    s.last_time = event.recv_time.ticks();
+    if (replies_ && event.payload.as<std::uint64_t>() < 100) {
+      ctx.send_pod(event.sender, 5, event.payload.as<std::uint64_t>() + 1);
+    }
+  }
+
+ private:
+  bool replies_;
+};
+
+/// Seeds the exchange at initialize() time.
+class Kicker final : public SimulationObject {
+ public:
+  explicit Kicker(ObjectId peer) : peer_(peer) {}
+  std::unique_ptr<ObjectState> initial_state() const override {
+    return std::make_unique<PodState<RecorderState>>();
+  }
+  void initialize(ObjectContext& ctx) override {
+    ctx.send_pod(peer_, 1, std::uint64_t{0});
+  }
+  void process_event(ObjectContext& ctx, const Event& event) override {
+    auto& s = ctx.state_as<RecorderState>();
+    ++s.count;
+    if (event.payload.as<std::uint64_t>() < 100) {
+      ctx.send_pod(peer_, 5, event.payload.as<std::uint64_t>() + 1);
+    }
+  }
+
+ private:
+  ObjectId peer_;
+};
+
+Model ping_pong() {
+  Model model;
+  model.add(0, [] { return std::make_unique<Kicker>(1); });
+  model.add(0, [] { return std::make_unique<Recorder>(true); });
+  return model;
+}
+
+TEST(Sequential, RunsExchangeToCompletion) {
+  const SequentialResult r = run_sequential(ping_pong());
+  // 101 payload values (0..100), alternating receivers.
+  EXPECT_EQ(r.events_processed, 101u);
+  EXPECT_EQ(r.events_per_object[0] + r.events_per_object[1], 101u);
+}
+
+TEST(Sequential, EndTimeCutsTheRun) {
+  const SequentialResult full = run_sequential(ping_pong());
+  const SequentialResult cut = run_sequential(ping_pong(), VirtualTime{50});
+  EXPECT_LT(cut.events_processed, full.events_processed);
+  EXPECT_LE(cut.final_time, VirtualTime{50});
+}
+
+TEST(Sequential, DigestsAreReproducible) {
+  const SequentialResult a = run_sequential(ping_pong());
+  const SequentialResult b = run_sequential(ping_pong());
+  EXPECT_EQ(a.digests, b.digests);
+}
+
+TEST(Sequential, EmptyScheduleTerminatesImmediately) {
+  Model model;
+  model.add(0, [] { return std::make_unique<Recorder>(false); });
+  const SequentialResult r = run_sequential(model);
+  EXPECT_EQ(r.events_processed, 0u);
+  EXPECT_EQ(r.final_time, VirtualTime::zero());
+}
+
+/// Same-time events from different senders must arrive in (sender, seq)
+/// order at the receiver — the tie-break contract shared with Time Warp.
+class Burst final : public SimulationObject {
+ public:
+  Burst(ObjectId dest, std::uint64_t tag) : dest_(dest), tag_(tag) {}
+  std::unique_ptr<ObjectState> initial_state() const override {
+    return std::make_unique<PodState<RecorderState>>();
+  }
+  void initialize(ObjectContext& ctx) override {
+    ctx.send_pod(dest_, 10, tag_);      // all arrive at t=10
+    ctx.send_pod(dest_, 10, tag_ + 1);  // second send of the same sender
+  }
+  void process_event(ObjectContext&, const Event&) override {}
+
+ private:
+  ObjectId dest_;
+  std::uint64_t tag_;
+};
+
+TEST(Sequential, SameTimeTieBreakIsDeterministic) {
+  auto build = [] {
+    Model model;
+    model.add(0, [] { return std::make_unique<Recorder>(false); });
+    model.add(0, [] { return std::make_unique<Burst>(0, 100); });
+    model.add(0, [] { return std::make_unique<Burst>(0, 200); });
+    return model;
+  };
+  const SequentialResult a = run_sequential(build());
+  const SequentialResult b = run_sequential(build());
+  EXPECT_EQ(a.digests[0], b.digests[0]);
+  EXPECT_EQ(a.events_per_object[0], 4u);
+}
+
+TEST(Sequential, ZeroDelayRejected) {
+  struct Bad final : SimulationObject {
+    std::unique_ptr<ObjectState> initial_state() const override {
+      return std::make_unique<PodState<RecorderState>>();
+    }
+    void initialize(ObjectContext& ctx) override {
+      ctx.send_pod(0, 0, std::uint64_t{1});
+    }
+    void process_event(ObjectContext&, const Event&) override {}
+  };
+  Model model;
+  model.add(0, [] { return std::make_unique<Bad>(); });
+  EXPECT_THROW(run_sequential(model), ContractViolation);
+}
+
+TEST(Sequential, SendToUnknownObjectRejected) {
+  struct Bad final : SimulationObject {
+    std::unique_ptr<ObjectState> initial_state() const override {
+      return std::make_unique<PodState<RecorderState>>();
+    }
+    void initialize(ObjectContext& ctx) override {
+      ctx.send_pod(99, 5, std::uint64_t{1});
+    }
+    void process_event(ObjectContext&, const Event&) override {}
+  };
+  Model model;
+  model.add(0, [] { return std::make_unique<Bad>(); });
+  EXPECT_THROW(run_sequential(model), ContractViolation);
+}
+
+}  // namespace
+}  // namespace otw::tw

@@ -1,0 +1,78 @@
+// Interleaving stress: sweep the knobs that change the execution schedule
+// (aggregation window, wire latency, batch size) under the most adaptive
+// configuration (DC + dynamic checkpointing + SAAW) and require committed
+// results identical to the sequential kernel every time. Any divergence is a
+// kernel bug that only shows under particular schedules.
+#include <gtest/gtest.h>
+
+#include "otw/apps/phold.hpp"
+#include "otw/tw/kernel.hpp"
+
+namespace otw::tw {
+namespace {
+
+struct Schedule {
+  double window_us;
+  std::uint64_t latency_ns;
+  std::uint32_t batch;
+  LpId lps;
+};
+
+std::string schedule_name(const ::testing::TestParamInfo<Schedule>& info) {
+  std::ostringstream os;
+  os << "w" << static_cast<int>(info.param.window_us) << "_l"
+     << info.param.latency_ns / 1000 << "us_b" << info.param.batch << "_lp"
+     << info.param.lps;
+  return os.str();
+}
+
+class ScheduleStress : public ::testing::TestWithParam<Schedule> {};
+
+TEST_P(ScheduleStress, CommittedResultsAreScheduleInvariant) {
+  const Schedule& s = GetParam();
+
+  apps::phold::PholdConfig app;
+  app.num_objects = 12;
+  app.num_lps = s.lps;
+  app.population_per_object = 3;
+  app.remote_probability = 0.7;
+  app.mean_delay = 60;
+  app.event_grain_ns = 400;
+  app.seed = 23;
+  const Model model = apps::phold::build_model(app);
+  const VirtualTime end{5'000};
+
+  KernelConfig kc;
+  kc.num_lps = s.lps;
+  kc.end_time = end;
+  kc.batch_size = s.batch;
+  kc.gvt_period_events = 40;
+  kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
+  kc.runtime.dynamic_checkpointing = true;
+  kc.aggregation.policy = comm::AggregationPolicy::Adaptive;
+  kc.aggregation.window_us = s.window_us;
+
+  platform::SimulatedNowConfig now;
+  now.costs = platform::CostModel::free();
+  now.costs.wire_latency_ns = s.latency_ns;
+  now.costs.msg_send_overhead_ns = 500;
+  now.costs.idle_poll_ns = 200;
+
+  const SequentialResult seq = run_sequential(model, end);
+  const RunResult tw = run_simulated_now(model, kc, now);
+  EXPECT_EQ(tw.stats.total_committed(), seq.events_processed);
+  EXPECT_EQ(tw.digests, seq.digests);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, ScheduleStress,
+    ::testing::Values(Schedule{1, 0, 8, 2}, Schedule{1, 3'000, 16, 2},
+                      Schedule{3, 50'000, 8, 2}, Schedule{10, 3'000, 32, 2},
+                      Schedule{30, 0, 64, 2}, Schedule{100, 3'000, 8, 2},
+                      Schedule{100, 50'000, 32, 2}, Schedule{300, 3'000, 16, 4},
+                      Schedule{1'000, 50'000, 8, 4}, Schedule{1'000, 0, 64, 4},
+                      Schedule{10, 50'000, 128, 3}, Schedule{300, 100'000, 48, 6}),
+    schedule_name);
+
+}  // namespace
+}  // namespace otw::tw

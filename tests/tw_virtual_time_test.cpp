@@ -1,0 +1,46 @@
+#include "otw/tw/virtual_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace otw::tw {
+namespace {
+
+TEST(VirtualTime, DefaultIsZero) {
+  EXPECT_EQ(VirtualTime{}, VirtualTime::zero());
+  EXPECT_EQ(VirtualTime::zero().ticks(), 0u);
+}
+
+TEST(VirtualTime, Ordering) {
+  EXPECT_LT(VirtualTime{1}, VirtualTime{2});
+  EXPECT_LE(VirtualTime{2}, VirtualTime{2});
+  EXPECT_GT(VirtualTime::infinity(), VirtualTime{~0ULL - 1});
+}
+
+TEST(VirtualTime, InfinityIsSticky) {
+  EXPECT_TRUE(VirtualTime::infinity().is_infinity());
+  EXPECT_FALSE(VirtualTime{5}.is_infinity());
+}
+
+TEST(VirtualTime, Arithmetic) {
+  VirtualTime t{10};
+  EXPECT_EQ((t + 5).ticks(), 15u);
+  t += 7;
+  EXPECT_EQ(t.ticks(), 17u);
+}
+
+TEST(VirtualTime, MinMax) {
+  EXPECT_EQ(min(VirtualTime{3}, VirtualTime{9}), VirtualTime{3});
+  EXPECT_EQ(max(VirtualTime{3}, VirtualTime{9}), VirtualTime{9});
+  EXPECT_EQ(min(VirtualTime::infinity(), VirtualTime{9}), VirtualTime{9});
+}
+
+TEST(VirtualTime, StreamOutput) {
+  std::ostringstream os;
+  os << VirtualTime{42} << " " << VirtualTime::infinity();
+  EXPECT_EQ(os.str(), "42 inf");
+}
+
+}  // namespace
+}  // namespace otw::tw

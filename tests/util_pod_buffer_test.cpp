@@ -1,0 +1,64 @@
+#include "otw/util/pod_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace otw::util {
+namespace {
+
+struct Small {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+struct Other {
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+};
+
+using Buf = PodBuffer<48>;
+
+TEST(PodBuffer, RoundTrip) {
+  const Small value{3, 9};
+  const Buf buf = Buf::from(value);
+  const Small back = buf.as<Small>();
+  EXPECT_EQ(back.a, 3u);
+  EXPECT_EQ(back.b, 9u);
+}
+
+TEST(PodBuffer, DefaultIsEmpty) {
+  Buf buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(PodBuffer, EqualityByContent) {
+  EXPECT_EQ(Buf::from(Small{1, 2}), Buf::from(Small{1, 2}));
+  EXPECT_FALSE(Buf::from(Small{1, 2}) == Buf::from(Small{1, 3}));
+}
+
+TEST(PodBuffer, DifferentSizesNeverEqual) {
+  EXPECT_FALSE(Buf::from(Small{0, 0}) == Buf::from(Other{0, 0}));
+}
+
+TEST(PodBuffer, EmptyBuffersEqual) {
+  EXPECT_EQ(Buf{}, Buf{});
+  EXPECT_FALSE(Buf{} == Buf::from(Small{0, 0}));
+}
+
+TEST(PodBuffer, HoldsChecksSize) {
+  const Buf buf = Buf::from(Small{1, 2});
+  EXPECT_TRUE(buf.holds<Small>());
+  EXPECT_FALSE(buf.holds<Other>());
+  EXPECT_EQ(buf.size(), sizeof(Small));
+}
+
+TEST(PodBuffer, CopyIsIndependent) {
+  Buf a = Buf::from(Small{1, 2});
+  Buf b = a;
+  a = Buf::from(Small{7, 8});
+  EXPECT_EQ(b.as<Small>().a, 1u);
+  EXPECT_EQ(a.as<Small>().a, 7u);
+}
+
+}  // namespace
+}  // namespace otw::util

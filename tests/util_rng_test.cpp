@@ -1,0 +1,154 @@
+#include "otw/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace otw::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t s = 42;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a() == b();
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256, StreamsAreDecorrelated) {
+  Xoshiro256 a(7, 0), b(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a() == b();
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256, CopyPreservesSequence) {
+  Xoshiro256 a(123);
+  a();
+  a();
+  Xoshiro256 b = a;  // trivially copyable: checkpoint semantics
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(2);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 2'000; ++i) {
+      ASSERT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBelowCoversAllValues) {
+  Xoshiro256 rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    seen.insert(rng.next_below(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(4);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100'000;
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.next_below(kBuckets)];
+  }
+  for (const auto& [bucket, count] : counts) {
+    EXPECT_NEAR(count, kSamples / kBuckets, kSamples / kBuckets * 0.1)
+        << "bucket " << bucket;
+  }
+}
+
+TEST(Xoshiro256, NextRangeInclusive) {
+  Xoshiro256 rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.next_range(3, 5);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, BernoulliExtremes) {
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 1'000; ++i) {
+    ASSERT_FALSE(rng.next_bernoulli(0.0));
+    ASSERT_TRUE(rng.next_bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro256, BernoulliFrequency) {
+  Xoshiro256 rng(7);
+  int hits = 0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    hits += rng.next_bernoulli(0.3);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, ExponentialMeanIsRight) {
+  Xoshiro256 rng(8);
+  double sum = 0.0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.next_exponential(50.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kSamples, 50.0, 1.0);
+}
+
+TEST(Xoshiro256, EqualityReflectsState) {
+  Xoshiro256 a(9), b(9);
+  EXPECT_EQ(a, b);
+  a();
+  EXPECT_NE(a, b);
+  b();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace otw::util

@@ -1,0 +1,98 @@
+#include "otw/util/sliding_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::util {
+namespace {
+
+TEST(BoolWindow, EmptyRatioIsZero) {
+  BoolWindow w(4);
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_DOUBLE_EQ(w.ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(w.ratio_over_capacity(), 0.0);
+}
+
+TEST(BoolWindow, CountsOnes) {
+  BoolWindow w(4);
+  w.push(true);
+  w.push(false);
+  w.push(true);
+  EXPECT_EQ(w.ones(), 2u);
+  EXPECT_DOUBLE_EQ(w.ratio(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(w.ratio_over_capacity(), 0.5);
+}
+
+TEST(BoolWindow, EvictsOldestWhenFull) {
+  BoolWindow w(3);
+  w.push(true);
+  w.push(true);
+  w.push(true);
+  EXPECT_TRUE(w.full());
+  EXPECT_EQ(w.ones(), 3u);
+  w.push(false);  // evicts the first true
+  EXPECT_EQ(w.ones(), 2u);
+  w.push(false);
+  w.push(false);
+  EXPECT_EQ(w.ones(), 0u);
+}
+
+TEST(BoolWindow, SlidingMatchesBruteForce) {
+  BoolWindow w(8);
+  std::vector<bool> history;
+  for (int i = 0; i < 200; ++i) {
+    const bool v = (i * 7 + i / 3) % 5 < 2;
+    w.push(v);
+    history.push_back(v);
+    std::size_t ones = 0;
+    const std::size_t window_start = history.size() > 8 ? history.size() - 8 : 0;
+    for (std::size_t j = window_start; j < history.size(); ++j) {
+      ones += history[j];
+    }
+    ASSERT_EQ(w.ones(), ones) << "at step " << i;
+  }
+}
+
+TEST(BoolWindow, ClearResets) {
+  BoolWindow w(4);
+  w.push(true);
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_EQ(w.ones(), 0u);
+}
+
+TEST(BoolWindow, RejectsZeroCapacity) {
+  EXPECT_THROW(BoolWindow(0), ContractViolation);
+}
+
+TEST(ValueWindow, MeanOverWindow) {
+  ValueWindow w(3);
+  w.push(1.0);
+  w.push(2.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 1.5);
+  w.push(3.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.push(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+}
+
+TEST(ValueWindow, SumTracksEviction) {
+  ValueWindow w(2);
+  w.push(5.0);
+  w.push(7.0);
+  w.push(9.0);
+  EXPECT_DOUBLE_EQ(w.sum(), 16.0);
+}
+
+TEST(ValueWindow, ClearResets) {
+  ValueWindow w(2);
+  w.push(5.0);
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_DOUBLE_EQ(w.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace otw::util
