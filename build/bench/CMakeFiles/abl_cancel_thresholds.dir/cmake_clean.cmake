@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cancel_thresholds.dir/abl_cancel_thresholds.cpp.o"
+  "CMakeFiles/abl_cancel_thresholds.dir/abl_cancel_thresholds.cpp.o.d"
+  "CMakeFiles/abl_cancel_thresholds.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_cancel_thresholds.dir/bench_common.cpp.o.d"
+  "abl_cancel_thresholds"
+  "abl_cancel_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cancel_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ckpt_sweep.dir/abl_ckpt_sweep.cpp.o"
+  "CMakeFiles/abl_ckpt_sweep.dir/abl_ckpt_sweep.cpp.o.d"
+  "CMakeFiles/abl_ckpt_sweep.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_ckpt_sweep.dir/bench_common.cpp.o.d"
+  "abl_ckpt_sweep"
+  "abl_ckpt_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ckpt_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_control_period.dir/abl_control_period.cpp.o"
+  "CMakeFiles/abl_control_period.dir/abl_control_period.cpp.o.d"
+  "CMakeFiles/abl_control_period.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_control_period.dir/bench_common.cpp.o.d"
+  "abl_control_period"
+  "abl_control_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_control_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_gvt_period.cpp" "bench/CMakeFiles/abl_gvt_period.dir/abl_gvt_period.cpp.o" "gcc" "bench/CMakeFiles/abl_gvt_period.dir/abl_gvt_period.cpp.o.d"
+  "/root/repo/bench/bench_common.cpp" "bench/CMakeFiles/abl_gvt_period.dir/bench_common.cpp.o" "gcc" "bench/CMakeFiles/abl_gvt_period.dir/bench_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timewarp/CMakeFiles/otw_timewarp.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/phold/CMakeFiles/otw_app_phold.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/smmp/CMakeFiles/otw_app_smmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/raid/CMakeFiles/otw_app_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/logic/CMakeFiles/otw_app_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/otw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/otw_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/otw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gvt_period.dir/abl_gvt_period.cpp.o"
+  "CMakeFiles/abl_gvt_period.dir/abl_gvt_period.cpp.o.d"
+  "CMakeFiles/abl_gvt_period.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_gvt_period.dir/bench_common.cpp.o.d"
+  "abl_gvt_period"
+  "abl_gvt_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gvt_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_logic_cancellation.dir/abl_logic_cancellation.cpp.o"
+  "CMakeFiles/abl_logic_cancellation.dir/abl_logic_cancellation.cpp.o.d"
+  "CMakeFiles/abl_logic_cancellation.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_logic_cancellation.dir/bench_common.cpp.o.d"
+  "abl_logic_cancellation"
+  "abl_logic_cancellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_logic_cancellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_optimism_window.dir/abl_optimism_window.cpp.o"
+  "CMakeFiles/abl_optimism_window.dir/abl_optimism_window.cpp.o.d"
+  "CMakeFiles/abl_optimism_window.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_optimism_window.dir/bench_common.cpp.o.d"
+  "abl_optimism_window"
+  "abl_optimism_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_optimism_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

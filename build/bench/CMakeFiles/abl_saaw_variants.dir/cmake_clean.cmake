@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_saaw_variants.dir/abl_saaw_variants.cpp.o"
+  "CMakeFiles/abl_saaw_variants.dir/abl_saaw_variants.cpp.o.d"
+  "CMakeFiles/abl_saaw_variants.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_saaw_variants.dir/bench_common.cpp.o.d"
+  "abl_saaw_variants"
+  "abl_saaw_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_saaw_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

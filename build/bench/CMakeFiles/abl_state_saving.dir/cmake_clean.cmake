@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_state_saving.dir/abl_state_saving.cpp.o"
+  "CMakeFiles/abl_state_saving.dir/abl_state_saving.cpp.o.d"
+  "CMakeFiles/abl_state_saving.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_state_saving.dir/bench_common.cpp.o.d"
+  "abl_state_saving"
+  "abl_state_saving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_state_saving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

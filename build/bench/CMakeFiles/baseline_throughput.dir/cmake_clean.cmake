@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_throughput.dir/baseline_throughput.cpp.o"
+  "CMakeFiles/baseline_throughput.dir/baseline_throughput.cpp.o.d"
+  "CMakeFiles/baseline_throughput.dir/bench_common.cpp.o"
+  "CMakeFiles/baseline_throughput.dir/bench_common.cpp.o.d"
+  "baseline_throughput"
+  "baseline_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

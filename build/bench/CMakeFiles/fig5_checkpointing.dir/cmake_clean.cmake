@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_checkpointing.dir/bench_common.cpp.o"
+  "CMakeFiles/fig5_checkpointing.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig5_checkpointing.dir/fig5_checkpointing.cpp.o"
+  "CMakeFiles/fig5_checkpointing.dir/fig5_checkpointing.cpp.o.d"
+  "fig5_checkpointing"
+  "fig5_checkpointing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

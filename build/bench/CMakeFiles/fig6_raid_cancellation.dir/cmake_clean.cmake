@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_raid_cancellation.dir/bench_common.cpp.o"
+  "CMakeFiles/fig6_raid_cancellation.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig6_raid_cancellation.dir/fig6_raid_cancellation.cpp.o"
+  "CMakeFiles/fig6_raid_cancellation.dir/fig6_raid_cancellation.cpp.o.d"
+  "fig6_raid_cancellation"
+  "fig6_raid_cancellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_raid_cancellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

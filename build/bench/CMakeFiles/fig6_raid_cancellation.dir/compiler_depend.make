@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_raid_cancellation.
+# This may be replaced when dependencies are built.

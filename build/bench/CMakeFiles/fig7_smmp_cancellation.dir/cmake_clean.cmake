@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_smmp_cancellation.dir/bench_common.cpp.o"
+  "CMakeFiles/fig7_smmp_cancellation.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig7_smmp_cancellation.dir/fig7_smmp_cancellation.cpp.o"
+  "CMakeFiles/fig7_smmp_cancellation.dir/fig7_smmp_cancellation.cpp.o.d"
+  "fig7_smmp_cancellation"
+  "fig7_smmp_cancellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_smmp_cancellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

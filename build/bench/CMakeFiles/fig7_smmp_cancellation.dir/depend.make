@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_smmp_cancellation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dyma_smmp.dir/bench_common.cpp.o"
+  "CMakeFiles/fig8_dyma_smmp.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig8_dyma_smmp.dir/fig8_dyma_smmp.cpp.o"
+  "CMakeFiles/fig8_dyma_smmp.dir/fig8_dyma_smmp.cpp.o.d"
+  "fig8_dyma_smmp"
+  "fig8_dyma_smmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dyma_smmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_dyma_raid.dir/bench_common.cpp.o"
+  "CMakeFiles/fig9_dyma_raid.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig9_dyma_raid.dir/fig9_dyma_raid.cpp.o"
+  "CMakeFiles/fig9_dyma_raid.dir/fig9_dyma_raid.cpp.o.d"
+  "fig9_dyma_raid"
+  "fig9_dyma_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dyma_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_showcase.dir/adaptive_showcase.cpp.o"
+  "CMakeFiles/adaptive_showcase.dir/adaptive_showcase.cpp.o.d"
+  "adaptive_showcase"
+  "adaptive_showcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_showcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

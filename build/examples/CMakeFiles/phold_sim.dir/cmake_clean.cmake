@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phold_sim.dir/phold_sim.cpp.o"
+  "CMakeFiles/phold_sim.dir/phold_sim.cpp.o.d"
+  "phold_sim"
+  "phold_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phold_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

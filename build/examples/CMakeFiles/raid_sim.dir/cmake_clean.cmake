@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_sim.dir/raid_sim.cpp.o"
+  "CMakeFiles/raid_sim.dir/raid_sim.cpp.o.d"
+  "raid_sim"
+  "raid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smmp_sim.dir/smmp_sim.cpp.o"
+  "CMakeFiles/smmp_sim.dir/smmp_sim.cpp.o.d"
+  "smmp_sim"
+  "smmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smmp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/logic/logic.cpp" "src/apps/logic/CMakeFiles/otw_app_logic.dir/logic.cpp.o" "gcc" "src/apps/logic/CMakeFiles/otw_app_logic.dir/logic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timewarp/CMakeFiles/otw_timewarp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/otw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/otw_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/otw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

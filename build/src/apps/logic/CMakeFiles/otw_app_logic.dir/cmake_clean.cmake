@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otw_app_logic.dir/logic.cpp.o"
+  "CMakeFiles/otw_app_logic.dir/logic.cpp.o.d"
+  "libotw_app_logic.a"
+  "libotw_app_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otw_app_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otw_app_phold.dir/phold.cpp.o"
+  "CMakeFiles/otw_app_phold.dir/phold.cpp.o.d"
+  "libotw_app_phold.a"
+  "libotw_app_phold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otw_app_phold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

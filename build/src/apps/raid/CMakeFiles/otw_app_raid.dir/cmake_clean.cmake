@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otw_app_raid.dir/raid.cpp.o"
+  "CMakeFiles/otw_app_raid.dir/raid.cpp.o.d"
+  "libotw_app_raid.a"
+  "libotw_app_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otw_app_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otw_app_smmp.dir/smmp.cpp.o"
+  "CMakeFiles/otw_app_smmp.dir/smmp.cpp.o.d"
+  "libotw_app_smmp.a"
+  "libotw_app_smmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otw_app_smmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libotw_app_smmp.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for otw_app_smmp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation_controller.cpp" "src/core/CMakeFiles/otw_core.dir/aggregation_controller.cpp.o" "gcc" "src/core/CMakeFiles/otw_core.dir/aggregation_controller.cpp.o.d"
+  "/root/repo/src/core/cancellation_controller.cpp" "src/core/CMakeFiles/otw_core.dir/cancellation_controller.cpp.o" "gcc" "src/core/CMakeFiles/otw_core.dir/cancellation_controller.cpp.o.d"
+  "/root/repo/src/core/checkpoint_controller.cpp" "src/core/CMakeFiles/otw_core.dir/checkpoint_controller.cpp.o" "gcc" "src/core/CMakeFiles/otw_core.dir/checkpoint_controller.cpp.o.d"
+  "/root/repo/src/core/optimism_controller.cpp" "src/core/CMakeFiles/otw_core.dir/optimism_controller.cpp.o" "gcc" "src/core/CMakeFiles/otw_core.dir/optimism_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/otw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otw_core.dir/aggregation_controller.cpp.o"
+  "CMakeFiles/otw_core.dir/aggregation_controller.cpp.o.d"
+  "CMakeFiles/otw_core.dir/cancellation_controller.cpp.o"
+  "CMakeFiles/otw_core.dir/cancellation_controller.cpp.o.d"
+  "CMakeFiles/otw_core.dir/checkpoint_controller.cpp.o"
+  "CMakeFiles/otw_core.dir/checkpoint_controller.cpp.o.d"
+  "CMakeFiles/otw_core.dir/optimism_controller.cpp.o"
+  "CMakeFiles/otw_core.dir/optimism_controller.cpp.o.d"
+  "libotw_core.a"
+  "libotw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otw_platform.dir/simulated_now.cpp.o"
+  "CMakeFiles/otw_platform.dir/simulated_now.cpp.o.d"
+  "CMakeFiles/otw_platform.dir/threaded.cpp.o"
+  "CMakeFiles/otw_platform.dir/threaded.cpp.o.d"
+  "libotw_platform.a"
+  "libotw_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otw_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timewarp/checkpoint_store.cpp" "src/timewarp/CMakeFiles/otw_timewarp.dir/checkpoint_store.cpp.o" "gcc" "src/timewarp/CMakeFiles/otw_timewarp.dir/checkpoint_store.cpp.o.d"
+  "/root/repo/src/timewarp/gvt.cpp" "src/timewarp/CMakeFiles/otw_timewarp.dir/gvt.cpp.o" "gcc" "src/timewarp/CMakeFiles/otw_timewarp.dir/gvt.cpp.o.d"
+  "/root/repo/src/timewarp/kernel.cpp" "src/timewarp/CMakeFiles/otw_timewarp.dir/kernel.cpp.o" "gcc" "src/timewarp/CMakeFiles/otw_timewarp.dir/kernel.cpp.o.d"
+  "/root/repo/src/timewarp/lp.cpp" "src/timewarp/CMakeFiles/otw_timewarp.dir/lp.cpp.o" "gcc" "src/timewarp/CMakeFiles/otw_timewarp.dir/lp.cpp.o.d"
+  "/root/repo/src/timewarp/object_runtime.cpp" "src/timewarp/CMakeFiles/otw_timewarp.dir/object_runtime.cpp.o" "gcc" "src/timewarp/CMakeFiles/otw_timewarp.dir/object_runtime.cpp.o.d"
+  "/root/repo/src/timewarp/queues.cpp" "src/timewarp/CMakeFiles/otw_timewarp.dir/queues.cpp.o" "gcc" "src/timewarp/CMakeFiles/otw_timewarp.dir/queues.cpp.o.d"
+  "/root/repo/src/timewarp/sequential.cpp" "src/timewarp/CMakeFiles/otw_timewarp.dir/sequential.cpp.o" "gcc" "src/timewarp/CMakeFiles/otw_timewarp.dir/sequential.cpp.o.d"
+  "/root/repo/src/timewarp/stats.cpp" "src/timewarp/CMakeFiles/otw_timewarp.dir/stats.cpp.o" "gcc" "src/timewarp/CMakeFiles/otw_timewarp.dir/stats.cpp.o.d"
+  "/root/repo/src/timewarp/telemetry.cpp" "src/timewarp/CMakeFiles/otw_timewarp.dir/telemetry.cpp.o" "gcc" "src/timewarp/CMakeFiles/otw_timewarp.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/otw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/otw_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/otw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otw_timewarp.dir/checkpoint_store.cpp.o"
+  "CMakeFiles/otw_timewarp.dir/checkpoint_store.cpp.o.d"
+  "CMakeFiles/otw_timewarp.dir/gvt.cpp.o"
+  "CMakeFiles/otw_timewarp.dir/gvt.cpp.o.d"
+  "CMakeFiles/otw_timewarp.dir/kernel.cpp.o"
+  "CMakeFiles/otw_timewarp.dir/kernel.cpp.o.d"
+  "CMakeFiles/otw_timewarp.dir/lp.cpp.o"
+  "CMakeFiles/otw_timewarp.dir/lp.cpp.o.d"
+  "CMakeFiles/otw_timewarp.dir/object_runtime.cpp.o"
+  "CMakeFiles/otw_timewarp.dir/object_runtime.cpp.o.d"
+  "CMakeFiles/otw_timewarp.dir/queues.cpp.o"
+  "CMakeFiles/otw_timewarp.dir/queues.cpp.o.d"
+  "CMakeFiles/otw_timewarp.dir/sequential.cpp.o"
+  "CMakeFiles/otw_timewarp.dir/sequential.cpp.o.d"
+  "CMakeFiles/otw_timewarp.dir/stats.cpp.o"
+  "CMakeFiles/otw_timewarp.dir/stats.cpp.o.d"
+  "CMakeFiles/otw_timewarp.dir/telemetry.cpp.o"
+  "CMakeFiles/otw_timewarp.dir/telemetry.cpp.o.d"
+  "libotw_timewarp.a"
+  "libotw_timewarp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otw_timewarp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

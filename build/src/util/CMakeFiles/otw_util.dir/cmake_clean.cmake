@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otw_util.dir/rng.cpp.o"
+  "CMakeFiles/otw_util.dir/rng.cpp.o.d"
+  "CMakeFiles/otw_util.dir/stats.cpp.o"
+  "CMakeFiles/otw_util.dir/stats.cpp.o.d"
+  "libotw_util.a"
+  "libotw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tw_checkpoint_store_test.cpp" "tests/CMakeFiles/timewarp_test.dir/tw_checkpoint_store_test.cpp.o" "gcc" "tests/CMakeFiles/timewarp_test.dir/tw_checkpoint_store_test.cpp.o.d"
+  "/root/repo/tests/tw_equivalence_test.cpp" "tests/CMakeFiles/timewarp_test.dir/tw_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/timewarp_test.dir/tw_equivalence_test.cpp.o.d"
+  "/root/repo/tests/tw_event_test.cpp" "tests/CMakeFiles/timewarp_test.dir/tw_event_test.cpp.o" "gcc" "tests/CMakeFiles/timewarp_test.dir/tw_event_test.cpp.o.d"
+  "/root/repo/tests/tw_gvt_test.cpp" "tests/CMakeFiles/timewarp_test.dir/tw_gvt_test.cpp.o" "gcc" "tests/CMakeFiles/timewarp_test.dir/tw_gvt_test.cpp.o.d"
+  "/root/repo/tests/tw_kernel_test.cpp" "tests/CMakeFiles/timewarp_test.dir/tw_kernel_test.cpp.o" "gcc" "tests/CMakeFiles/timewarp_test.dir/tw_kernel_test.cpp.o.d"
+  "/root/repo/tests/tw_messages_test.cpp" "tests/CMakeFiles/timewarp_test.dir/tw_messages_test.cpp.o" "gcc" "tests/CMakeFiles/timewarp_test.dir/tw_messages_test.cpp.o.d"
+  "/root/repo/tests/tw_object_runtime_test.cpp" "tests/CMakeFiles/timewarp_test.dir/tw_object_runtime_test.cpp.o" "gcc" "tests/CMakeFiles/timewarp_test.dir/tw_object_runtime_test.cpp.o.d"
+  "/root/repo/tests/tw_optimism_test.cpp" "tests/CMakeFiles/timewarp_test.dir/tw_optimism_test.cpp.o" "gcc" "tests/CMakeFiles/timewarp_test.dir/tw_optimism_test.cpp.o.d"
+  "/root/repo/tests/tw_queues_test.cpp" "tests/CMakeFiles/timewarp_test.dir/tw_queues_test.cpp.o" "gcc" "tests/CMakeFiles/timewarp_test.dir/tw_queues_test.cpp.o.d"
+  "/root/repo/tests/tw_sequential_test.cpp" "tests/CMakeFiles/timewarp_test.dir/tw_sequential_test.cpp.o" "gcc" "tests/CMakeFiles/timewarp_test.dir/tw_sequential_test.cpp.o.d"
+  "/root/repo/tests/tw_stats_test.cpp" "tests/CMakeFiles/timewarp_test.dir/tw_stats_test.cpp.o" "gcc" "tests/CMakeFiles/timewarp_test.dir/tw_stats_test.cpp.o.d"
+  "/root/repo/tests/tw_stress_test.cpp" "tests/CMakeFiles/timewarp_test.dir/tw_stress_test.cpp.o" "gcc" "tests/CMakeFiles/timewarp_test.dir/tw_stress_test.cpp.o.d"
+  "/root/repo/tests/tw_telemetry_test.cpp" "tests/CMakeFiles/timewarp_test.dir/tw_telemetry_test.cpp.o" "gcc" "tests/CMakeFiles/timewarp_test.dir/tw_telemetry_test.cpp.o.d"
+  "/root/repo/tests/tw_threaded_stress_test.cpp" "tests/CMakeFiles/timewarp_test.dir/tw_threaded_stress_test.cpp.o" "gcc" "tests/CMakeFiles/timewarp_test.dir/tw_threaded_stress_test.cpp.o.d"
+  "/root/repo/tests/tw_virtual_time_test.cpp" "tests/CMakeFiles/timewarp_test.dir/tw_virtual_time_test.cpp.o" "gcc" "tests/CMakeFiles/timewarp_test.dir/tw_virtual_time_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timewarp/CMakeFiles/otw_timewarp.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/phold/CMakeFiles/otw_app_phold.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/smmp/CMakeFiles/otw_app_smmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/raid/CMakeFiles/otw_app_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/logic/CMakeFiles/otw_app_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/otw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/otw_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/otw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
