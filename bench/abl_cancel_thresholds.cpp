@@ -14,6 +14,7 @@ int main() {
   apps::raid::RaidConfig app;
   app.requests_per_source = 400;
   const tw::Model model = apps::raid::build_model(app);
+  bench::BenchReport report("abl_cancel_thresholds");
 
   std::printf("\nfilter depth sweep (A2L=0.45, L2A=0.2):\n");
   bench::print_run_header();
@@ -21,9 +22,8 @@ int main() {
     tw::KernelConfig kc = bench::base_kernel(app.num_lps);
     kc.runtime.cancellation =
         core::CancellationControlConfig::dynamic(depth, 0.45, 0.2);
-    const tw::RunResult r = bench::run_now(model, kc);
-    bench::print_run_row("FD=" + std::to_string(depth),
-                         static_cast<double>(depth), r);
+    const tw::RunResult r = report.run("FD=" + std::to_string(depth),
+                                       static_cast<double>(depth), model, kc);
     std::printf("   switches=%llu\n",
                 static_cast<unsigned long long>(
                     r.stats.object_totals().cancellation_switches));
@@ -39,10 +39,9 @@ int main() {
     tw::KernelConfig kc = bench::base_kernel(app.num_lps);
     kc.runtime.cancellation =
         core::CancellationControlConfig::dynamic(16, p.a2l, p.l2a);
-    const tw::RunResult r = bench::run_now(model, kc);
     char label[32];
     std::snprintf(label, sizeof label, "%.2f/%.2f", p.a2l, p.l2a);
-    bench::print_run_row(label, 0, r);
+    const tw::RunResult r = report.run(label, 0, model, kc);
     std::printf("   switches=%llu\n",
                 static_cast<unsigned long long>(
                     r.stats.object_totals().cancellation_switches));

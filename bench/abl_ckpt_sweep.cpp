@@ -13,7 +13,8 @@ namespace {
 
 using namespace otw;
 
-void sweep(const char* name, const tw::Model& model, tw::LpId lps) {
+void sweep(bench::BenchReport& report, const char* name, const tw::Model& model,
+           tw::LpId lps) {
   std::printf("\n%s:\n", name);
   bench::print_run_header();
 
@@ -23,8 +24,8 @@ void sweep(const char* name, const tw::Model& model, tw::LpId lps) {
     tw::KernelConfig kc = bench::base_kernel(lps);
     kc.end_time = tw::VirtualTime{300'000};
     kc.runtime.checkpoint_interval = chi;
-    const tw::RunResult r = bench::run_now(model, kc);
-    bench::print_run_row("chi=" + std::to_string(chi), chi, r);
+    const tw::RunResult r =
+        report.run("chi=" + std::to_string(chi), chi, model, kc);
     if (r.execution_time_sec() < best_static) {
       best_static = r.execution_time_sec();
       best_chi = chi;
@@ -34,8 +35,7 @@ void sweep(const char* name, const tw::Model& model, tw::LpId lps) {
   tw::KernelConfig kc = bench::base_kernel(lps);
   kc.end_time = tw::VirtualTime{300'000};
   kc.runtime.dynamic_checkpointing = true;
-  const tw::RunResult r = bench::run_now(model, kc);
-  bench::print_run_row("dynamic", 0, r);
+  const tw::RunResult r = report.run("dynamic", 0, model, kc);
   std::uint64_t chi_sum = 0;
   std::uint32_t chi_min = UINT32_MAX, chi_max = 0;
   for (const auto& obj : r.stats.objects) {
@@ -56,6 +56,7 @@ void sweep(const char* name, const tw::Model& model, tw::LpId lps) {
 int main() {
   bench::print_banner("Ablation A1",
                       "static chi sweep vs dynamic checkpoint control");
+  bench::BenchReport report("abl_ckpt_sweep");
 
   apps::phold::PholdConfig phold;
   phold.num_objects = 16;
@@ -63,10 +64,11 @@ int main() {
   phold.population_per_object = 4;
   phold.remote_probability = 0.2;  // moderate rollback pressure
   phold.event_grain_ns = 3'000;
-  sweep("PHOLD (16 objects, 4 LPs)", apps::phold::build_model(phold), 4);
+  sweep(report, "PHOLD (16 objects, 4 LPs)", apps::phold::build_model(phold), 4);
 
   apps::raid::RaidConfig raid;
   raid.requests_per_source = 400;
-  sweep("RAID (20 sources, 4 forks, 8 disks)", apps::raid::build_model(raid), 4);
+  sweep(report, "RAID (20 sources, 4 forks, 8 disks)",
+        apps::raid::build_model(raid), 4);
   return 0;
 }

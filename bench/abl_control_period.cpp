@@ -21,13 +21,13 @@ int main() {
   costs.control_invocation_ns = 50'000;  // deliberately expensive control
 
   bench::print_run_header();
+  bench::BenchReport report("abl_control_period");
   for (std::uint64_t period : {1u, 8u, 32u, 128u, 512u, 4'096u, 32'768u}) {
     tw::KernelConfig kc = bench::base_kernel(app.num_lps);
     kc.runtime.dynamic_checkpointing = true;
     kc.runtime.checkpoint_control.control_period_events = period;
-    const tw::RunResult r = bench::run_now(model, kc, costs);
-    bench::print_run_row("P=" + std::to_string(period),
-                         static_cast<double>(period), r);
+    report.run("P=" + std::to_string(period), static_cast<double>(period),
+               model, kc, costs);
   }
   std::printf("\n  expectation: a sweet spot at moderate P; P=1 pays the "
               "control cost every event, huge P barely adapts\n");

@@ -17,14 +17,14 @@ int main() {
   const tw::Model model = apps::phold::build_model(app);
 
   bench::print_run_header();
+  bench::BenchReport report("abl_gvt_period");
   for (std::uint64_t period : {32u, 128u, 512u, 2'048u, 8'192u}) {
     tw::KernelConfig kc = bench::base_kernel(app.num_lps);
     kc.end_time = tw::VirtualTime{2'000'000};
     kc.gvt_period_events = period;
     kc.gvt_min_interval_ns = 200'000;  // let the period dominate
-    const tw::RunResult r = bench::run_now(model, kc);
-    bench::print_run_row("G=" + std::to_string(period),
-                         static_cast<double>(period), r);
+    const tw::RunResult r = report.run("G=" + std::to_string(period),
+                                       static_cast<double>(period), model, kc);
     std::printf("   gvt epochs=%llu token rounds=%llu\n",
                 static_cast<unsigned long long>(r.stats.lp_totals().gvt_epochs),
                 static_cast<unsigned long long>(r.stats.lp_totals().gvt_rounds));

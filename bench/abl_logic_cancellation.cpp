@@ -11,6 +11,7 @@ int main() {
   using namespace otw;
   bench::print_banner("Ablation A7",
                       "cancellation on gate-level logic simulation");
+  bench::BenchReport report("abl_logic_cancellation");
 
   for (const double xor_fraction : {0.05, 0.6}) {
     apps::logic::LogicConfig app;
@@ -30,8 +31,7 @@ int main() {
     for (const auto& variant : bench::fig6_variants()) {
       tw::KernelConfig kc = bench::base_kernel(app.num_lps);
       kc.runtime.cancellation = variant.config;
-      const tw::RunResult r = bench::run_now(model, kc);
-      bench::print_run_row(variant.label, 0, r);
+      const tw::RunResult r = report.run(variant.label, xor_fraction, model, kc);
       if (variant.label == "AC") ac = r.execution_time_sec();
       if (variant.label == "LC") lc = r.execution_time_sec();
       if (variant.label == "DC") dc = r.execution_time_sec();

@@ -24,6 +24,7 @@ int main() {
   const tw::Model model = apps::phold::build_model(app);
 
   bench::print_run_header();
+  bench::BenchReport report("abl_optimism_window");
   double best_static = 1e300;
   for (std::uint64_t window :
        {200u, 1'000u, 5'000u, 25'000u, 125'000u, 1'000'000u}) {
@@ -31,9 +32,8 @@ int main() {
     kc.end_time = tw::VirtualTime{200'000};
     kc.optimism.mode = tw::KernelConfig::Optimism::Mode::Static;
     kc.optimism.window = window;
-    const tw::RunResult r = bench::run_now(model, kc);
-    bench::print_run_row("W=" + std::to_string(window),
-                         static_cast<double>(window), r);
+    const tw::RunResult r = report.run("W=" + std::to_string(window),
+                                       static_cast<double>(window), model, kc);
     best_static = std::min(best_static, r.execution_time_sec());
   }
 
@@ -43,15 +43,13 @@ int main() {
   kc.optimism.window = 1'000;
   // This workload tolerates more optimism than the conservative default.
   kc.optimism.control.target_rollback_fraction = 0.3;
-  const tw::RunResult r = bench::run_now(model, kc);
-  bench::print_run_row("adaptive", 0, r);
+  const tw::RunResult r = report.run("adaptive", 0, model, kc);
   std::printf("\n  -> best static: %.3fs; adaptive: %.3fs (%.1f%% of best)\n",
               best_static, r.execution_time_sec(),
               r.execution_time_sec() / best_static * 100.0);
 
   tw::KernelConfig unbounded = bench::base_kernel(app.num_lps);
   unbounded.end_time = tw::VirtualTime{200'000};
-  const tw::RunResult u = bench::run_now(model, unbounded);
-  bench::print_run_row("unbounded", 0, u);
+  report.run("unbounded", 0, model, unbounded);
   return 0;
 }

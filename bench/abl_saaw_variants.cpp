@@ -18,6 +18,7 @@ int main() {
   apps::raid::RaidConfig app;
   app.requests_per_source = 300;
   const tw::Model model = apps::raid::build_model(app);
+  bench::BenchReport report("abl_saaw_variants");
 
   const std::pair<const char*, core::SaawVariant> variants[] = {
       {"rate", core::SaawVariant::RateTracking},
@@ -37,8 +38,7 @@ int main() {
           static_cast<double>(bench::now_testbed_costs().msg_send_overhead_ns) /
           1000.0;
       kc.aggregation.saaw.age_penalty = 2.5e-4;
-      const tw::RunResult r = bench::run_now(model, kc);
-      bench::print_run_row(name, initial, r);
+      const tw::RunResult r = report.run(name, initial, model, kc);
       std::printf("   mean adapted window: %.1f us\n",
                   r.stats.lp_totals().aggregation_window_us.mean());
     }

@@ -42,13 +42,13 @@ int main() {
   costs.state_diff_scan_per_byte_ns = 2;
 
   bench::print_run_header();
+  bench::BenchReport report("abl_state_saving");
   for (const Config& c : configs) {
     tw::KernelConfig kc = bench::base_kernel(app.num_lps);
     kc.runtime.state_saving = c.mode;
     kc.runtime.checkpoint_interval = c.chi;
     kc.runtime.dynamic_checkpointing = c.dynamic;
-    const tw::RunResult r = bench::run_now(model, kc, costs);
-    bench::print_run_row(c.label, 0, r);
+    report.run(c.label, 0, model, kc, costs);
   }
   std::printf("\n  expectation: incremental saving removes most of the "
               "chi=1 copy penalty (cheap deltas, minimal coast-forward); the "

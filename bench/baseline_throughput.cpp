@@ -15,20 +15,19 @@ int main() {
   using namespace otw;
   bench::print_banner("Baseline", "all-static committed-event throughput");
   bench::print_run_header();
+  bench::BenchReport report("baseline_throughput");
 
   apps::smmp::SmmpConfig smmp;
   smmp.requests_per_processor = 500;
   tw::KernelConfig kc = bench::base_kernel(smmp.num_lps);
   kc.runtime.cancellation = core::CancellationControlConfig::aggressive();
-  const tw::RunResult s = bench::run_now(apps::smmp::build_model(smmp), kc);
-  bench::print_run_row("SMMP", 0, s);
+  const tw::RunResult s = report.run("SMMP", 0, apps::smmp::build_model(smmp), kc);
 
   apps::raid::RaidConfig raid;
   raid.requests_per_source = 500;
   kc = bench::base_kernel(raid.num_lps);
   kc.runtime.cancellation = core::CancellationControlConfig::aggressive();
-  const tw::RunResult r = bench::run_now(apps::raid::build_model(raid), kc);
-  bench::print_run_row("RAID", 0, r);
+  const tw::RunResult r = report.run("RAID", 0, apps::raid::build_model(raid), kc);
 
   std::printf("\n  paper: SMMP 11,300 ev/s, RAID 10,917 ev/s (ratio 1.04)\n");
   std::printf("  ours : SMMP %.0f ev/s, RAID %.0f ev/s (ratio %.2f)\n",

@@ -1,3 +1,164 @@
-// Intentionally empty: bench_common is header-only; this TU exists so every
-// bench target shares one compilation entry in the build graph.
 #include "bench_common.hpp"
+
+#include <cinttypes>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "otw/obs/export.hpp"
+
+namespace otw::bench {
+
+namespace {
+
+std::string json_str(const std::string& s) {
+  return "\"" + obs::json_escape(s) + "\"";
+}
+
+std::string json_num(double v) {
+  char buf[64];
+  // Integral values print without an exponent so downstream tools can parse
+  // counters as integers.
+  if (v == static_cast<double>(static_cast<long long>(v)) && v < 9e15 &&
+      v > -9e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+std::string json_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+const char* optimism_mode_name(tw::KernelConfig::Optimism::Mode mode) {
+  switch (mode) {
+    case tw::KernelConfig::Optimism::Mode::Unbounded: return "unbounded";
+    case tw::KernelConfig::Optimism::Mode::Static: return "static";
+    case tw::KernelConfig::Optimism::Mode::Adaptive: return "adaptive";
+  }
+  return "?";
+}
+
+std::string config_json(const tw::KernelConfig& kc) {
+  std::string out = "{";
+  out += "\"num_lps\":" + json_u64(kc.num_lps);
+  out += ",\"batch_size\":" + json_u64(kc.batch_size);
+  out += ",\"gvt_period_events\":" + json_u64(kc.gvt_period_events);
+  out += ",\"checkpoint_interval\":" + json_u64(kc.runtime.checkpoint_interval);
+  out += std::string(",\"dynamic_checkpointing\":") +
+         (kc.runtime.dynamic_checkpointing ? "true" : "false");
+  out += ",\"state_saving\":" +
+         json_str(kc.runtime.state_saving == tw::StateSaving::Copy
+                      ? "copy"
+                      : "incremental");
+  out += ",\"cancellation_policy\":" +
+         json_str(core::to_string(kc.runtime.cancellation.policy));
+  out += ",\"aggregation_policy\":" +
+         json_str(comm::to_string(kc.aggregation.policy));
+  out += ",\"aggregation_window_us\":" + json_num(kc.aggregation.window_us);
+  out += ",\"optimism_mode\":" + json_str(optimism_mode_name(kc.optimism.mode));
+  out += ",\"optimism_window\":" + json_u64(kc.optimism.window);
+  out += "}";
+  return out;
+}
+
+std::string results_json(const tw::RunResult& r) {
+  std::string out = "{";
+  out += "\"execution_time_ns\":" + json_u64(r.execution_time_ns);
+  out += ",\"wall_time_ns\":" + json_u64(r.wall_time_ns);
+  out += ",\"committed\":" + json_u64(r.stats.total_committed());
+  out += ",\"events_processed\":" +
+         json_u64(r.stats.object_totals().events_processed);
+  out += ",\"rollbacks\":" + json_u64(r.stats.total_rollbacks());
+  out += ",\"physical_messages\":" + json_u64(r.physical_messages);
+  out += ",\"wire_bytes\":" + json_u64(r.wire_bytes);
+  out += ",\"committed_events_per_sec\":" + json_num(r.committed_events_per_sec());
+  out += ",\"final_gvt\":" + (r.stats.final_gvt.is_infinity()
+                                  ? std::string("null")
+                                  : json_u64(r.stats.final_gvt.ticks()));
+  out += "}";
+  return out;
+}
+
+std::string phases_json(const std::vector<obs::PhaseTotals>& lp_phases) {
+  // Sum across LPs: a per-run breakdown, not a per-LP one.
+  obs::PhaseTotals total;
+  for (const obs::PhaseTotals& t : lp_phases) {
+    total.merge(t);
+  }
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    if (total.ns[i] == 0 && total.count[i] == 0) {
+      continue;
+    }
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += json_str(obs::to_string(static_cast<obs::Phase>(i)));
+    out += ":{\"ns\":" + json_u64(total.ns[i]) +
+           ",\"count\":" + json_u64(total.count[i]) + "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+BenchReport::~BenchReport() {
+  if (!written_) {
+    write();
+  }
+}
+
+tw::RunResult BenchReport::run(const std::string& label, double x,
+                               const tw::Model& model, tw::KernelConfig kc,
+                               const platform::CostModel& costs) {
+  // Profiling adds accounting only (no modeled charge), so the reported
+  // makespan is identical with it on or off.
+  kc.observability.profiling = true;
+  const tw::RunResult result = run_now(model, kc, costs);
+  print_run_row(label, x, result);
+  record(label, x, kc, result);
+  return result;
+}
+
+void BenchReport::record(const std::string& label, double x,
+                         const tw::KernelConfig& kc,
+                         const tw::RunResult& result) {
+  std::string row = "    {\"label\":" + json_str(label);
+  row += ",\"x\":" + json_num(x);
+  row += ",\"config\":" + config_json(kc);
+  row += ",\"results\":" + results_json(result);
+  row += ",\"phases\":" + phases_json(result.lp_phases);
+  row += "}";
+  rows_.push_back(std::move(row));
+}
+
+void BenchReport::write() {
+  written_ = true;
+  std::error_code ec;
+  std::filesystem::create_directories("bench/results", ec);
+  const std::string path = "bench/results/" + name_ + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "BenchReport: cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  os << "{\n  \"bench\": " << json_str(name_) << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    os << rows_[i] << (i + 1 < rows_.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::printf("  [bench json: %s]\n", path.c_str());
+}
+
+}  // namespace otw::bench

@@ -54,6 +54,39 @@ inline tw::RunResult run_now(const tw::Model& model, const tw::KernelConfig& kc,
   return tw::run_simulated_now(model, kc, now);
 }
 
+/// Machine-readable per-run results. Every bench funnels its runs through one
+/// BenchReport, which prints the usual table rows AND accumulates a JSON
+/// document written to bench/results/<name>.json (schema: {bench, runs:[
+/// {label, x, config, results, phases}]}). Runs execute with phase profiling
+/// enabled, so each JSON row carries the per-phase time breakdown.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+  ~BenchReport();  // writes the JSON file if write() was not called
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  /// Runs the configuration on the simulated-NOW platform (with phase
+  /// profiling switched on), prints the standard table row and records the
+  /// JSON entry. `x` is the swept parameter (0 when the bench has none).
+  tw::RunResult run(const std::string& label, double x, const tw::Model& model,
+                    tw::KernelConfig kc,
+                    const platform::CostModel& costs = now_testbed_costs());
+
+  /// Records an externally produced result (benches with custom run paths).
+  void record(const std::string& label, double x, const tw::KernelConfig& kc,
+              const tw::RunResult& result);
+
+  /// Writes bench/results/<name>.json (directories created as needed).
+  void write();
+
+ private:
+  std::string name_;
+  std::vector<std::string> rows_;  ///< pre-rendered JSON run objects
+  bool written_ = false;
+};
+
 /// Named cancellation variants as used in the paper's Figures 6 and 7.
 struct CancellationVariant {
   std::string label;

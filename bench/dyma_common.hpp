@@ -24,25 +24,24 @@ inline const std::vector<double>& aggregate_ages() {
   return ages;
 }
 
-inline void run_dyma(const char* figure, const char* title,
-                     const tw::Model& model, tw::LpId lps) {
+inline void run_dyma(const char* figure, const char* bench_name,
+                     const char* title, const tw::Model& model, tw::LpId lps) {
   print_banner(figure, title);
+  BenchReport report(bench_name);
 
   tw::KernelConfig kc = base_kernel(lps);
 
   // Unaggregated kernel: the flat reference line of the paper's plots.
   kc.aggregation.policy = comm::AggregationPolicy::None;
-  const tw::RunResult unagg = run_now(model, kc);
   print_run_header();
-  print_run_row("unagg", 0, unagg);
+  const tw::RunResult unagg = report.run("unagg", 0, model, kc);
 
   double best_faw = 1e300, best_faw_age = 0;
   std::printf("\nFAW (fixed aggregation window):\n");
   for (double age : aggregate_ages()) {
     kc.aggregation.policy = comm::AggregationPolicy::Fixed;
     kc.aggregation.window_us = age;
-    const tw::RunResult r = run_now(model, kc);
-    print_run_row("FAW", age, r);
+    const tw::RunResult r = report.run("FAW", age, model, kc);
     if (r.execution_time_sec() < best_faw) {
       best_faw = r.execution_time_sec();
       best_faw_age = age;
@@ -60,8 +59,7 @@ inline void run_dyma(const char* figure, const char* title,
   for (double age : aggregate_ages()) {
     kc.aggregation.policy = comm::AggregationPolicy::Adaptive;
     kc.aggregation.window_us = age;
-    const tw::RunResult r = run_now(model, kc);
-    print_run_row("SAAW", age, r);
+    const tw::RunResult r = report.run("SAAW", age, model, kc);
     std::printf("   mean adapted window: %.1f us\n",
                 r.stats.lp_totals().aggregation_window_us.mean());
     worst_saaw = std::max(worst_saaw, r.execution_time_sec());

@@ -34,7 +34,8 @@ std::vector<Config> configs() {
   };
 }
 
-void run_model(const char* name, const tw::Model& model, tw::LpId lps) {
+void run_model(bench::BenchReport& report, const char* name,
+               const tw::Model& model, tw::LpId lps) {
   std::printf("\n%s:\n", name);
   bench::print_run_header();
   double baseline = 0.0;
@@ -43,8 +44,7 @@ void run_model(const char* name, const tw::Model& model, tw::LpId lps) {
     kc.runtime.checkpoint_interval = 1;  // the classic save-every-event default
     kc.runtime.dynamic_checkpointing = c.dynamic_checkpointing;
     kc.runtime.cancellation = c.cancellation;
-    const tw::RunResult r = bench::run_now(model, kc);
-    bench::print_run_row(c.label, 0, r);
+    const tw::RunResult r = report.run(c.label, 0, model, kc);
     const double throughput = r.committed_events_per_sec();
     if (baseline == 0.0) {
       baseline = throughput;
@@ -69,15 +69,16 @@ void run_model(const char* name, const tw::Model& model, tw::LpId lps) {
 int main() {
   bench::print_banner("Figure 5",
                       "dynamic check-pointing, normalized performance");
+  bench::BenchReport report("fig5_checkpointing");
 
   apps::smmp::SmmpConfig smmp;  // paper defaults
   smmp.requests_per_processor = 500;
-  run_model("SMMP (16 processors, 4 LPs, 100 objects)",
+  run_model(report, "SMMP (16 processors, 4 LPs, 100 objects)",
             apps::smmp::build_model(smmp), smmp.num_lps);
 
   apps::raid::RaidConfig raid;  // paper defaults
   raid.requests_per_source = 500;
-  run_model("RAID (20 sources, 4 forks, 8 disks, 4 LPs)",
+  run_model(report, "RAID (20 sources, 4 forks, 8 disks, 4 LPs)",
             apps::raid::build_model(raid), raid.num_lps);
 
   std::printf("\npaper: dynamic check-pointing improved performance by up to ~30%%\n");

@@ -18,6 +18,7 @@ int main() {
       "Figure 6",
       "RAID execution time vs #requests (20 sources, 4 forks, 8 disks, 4 LPs)");
   bench::print_run_header();
+  bench::BenchReport report("fig6_raid_cancellation");
 
   for (std::uint32_t requests : {250u, 500u, 750u, 1'000u}) {
     apps::raid::RaidConfig app;  // paper defaults: 20/4/8, 4 LPs
@@ -28,8 +29,7 @@ int main() {
     for (const auto& variant : bench::fig6_variants()) {
       tw::KernelConfig kc = bench::base_kernel(app.num_lps);
       kc.runtime.cancellation = variant.config;
-      const tw::RunResult r = bench::run_now(model, kc);
-      bench::print_run_row(variant.label, requests, r);
+      const tw::RunResult r = report.run(variant.label, requests, model, kc);
       if (variant.label == "AC") ac_time = r.execution_time_sec();
       if (variant.label == "LC") lc_time = r.execution_time_sec();
       if (variant.label == "DC") dc_time = r.execution_time_sec();

@@ -15,6 +15,7 @@ int main() {
   bench::print_banner("Figure 7",
                       "SMMP execution time vs #test vectors (16 processors, 4 LPs)");
   bench::print_run_header();
+  bench::BenchReport report("fig7_smmp_cancellation");
 
   for (std::uint32_t vectors : {2'000u, 5'000u, 10'000u}) {
     apps::smmp::SmmpConfig app;  // paper defaults: 16 cpus, 4 LPs, 100 objects
@@ -25,8 +26,7 @@ int main() {
     for (const auto& variant : bench::fig7_variants()) {
       tw::KernelConfig kc = bench::base_kernel(app.num_lps);
       kc.runtime.cancellation = variant.config;
-      const tw::RunResult r = bench::run_now(model, kc);
-      bench::print_run_row(variant.label, vectors, r);
+      const tw::RunResult r = report.run(variant.label, vectors, model, kc);
       if (variant.label == "AC") ac_time = r.execution_time_sec();
       if (variant.label == "LC") lc_time = r.execution_time_sec();
     }

@@ -13,7 +13,8 @@ int main() {
   // knob (the paper does not specify it); a low value reproduces the
   // comm-bound regime the 10 Mb Ethernet testbed was in.
   app.local_bank_fraction = 0.1;
-  bench::run_dyma("Figure 8", "DyMA on SMMP (NOW): exec time vs aggregate age",
+  bench::run_dyma("Figure 8", "fig8_dyma_smmp",
+                  "DyMA on SMMP (NOW): exec time vs aggregate age",
                   apps::smmp::build_model(app), app.num_lps);
   return 0;
 }

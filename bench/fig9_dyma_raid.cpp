@@ -9,7 +9,8 @@ int main() {
   using namespace otw;
   apps::raid::RaidConfig app;  // paper defaults: 20 sources, 4 forks, 8 disks
   app.requests_per_source = 300;
-  bench::run_dyma("Figure 9", "DyMA on RAID (NOW): exec time vs aggregate age",
+  bench::run_dyma("Figure 9", "fig9_dyma_raid",
+                  "DyMA on RAID (NOW): exec time vs aggregate age",
                   apps::raid::build_model(app), app.num_lps);
   return 0;
 }

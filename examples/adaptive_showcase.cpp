@@ -1,20 +1,23 @@
 // Adaptive showcase: watch the on-line controllers track a workload whose
 // character changes mid-run (the paper's core motivation).
 //
-//   $ ./build/examples/adaptive_showcase [phases] [csv_path]
+//   $ ./build/examples/adaptive_showcase [phases] [csv_path] [trace_path]
 //
 // Runs the phase-shifting PHOLD workload — alternating between an
 // order-independent regime (rollback regenerations identical: lazy
 // cancellation wins) and an order-dependent regime (regenerations differ:
 // aggressive wins) — under full dynamic control, then prints a timeline of
 // what the cancellation controllers chose and writes all controller
-// trajectories as CSV.
+// trajectories as CSV, plus a Chrome trace_event JSON of the whole run
+// (open trace_path in https://ui.perfetto.dev or chrome://tracing) and a
+// metrics snapshot next to it.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
 #include "otw/apps/phold.hpp"
 #include "otw/tw/kernel.hpp"
+#include "otw/tw/observability.hpp"
 
 int main(int argc, char** argv) {
   using namespace otw;
@@ -22,6 +25,7 @@ int main(int argc, char** argv) {
   const std::uint32_t phases =
       argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
   const char* csv_path = argc > 2 ? argv[2] : "telemetry.csv";
+  const char* trace_path = argc > 3 ? argv[3] : "showcase.trace.json";
 
   apps::phold::PholdConfig app;
   app.num_objects = 16;
@@ -44,6 +48,8 @@ int main(int argc, char** argv) {
   kc.aggregation.window_us = 32.0;
   kc.telemetry.enabled = true;
   kc.telemetry.sample_period_events = 32;
+  kc.observability.tracing = true;
+  kc.observability.profiling = true;
 
   platform::SimulatedNowConfig now;
   now.costs = platform::CostModel::free();
@@ -89,6 +95,34 @@ int main(int argc, char** argv) {
   std::ofstream csv(csv_path);
   r.telemetry.write_csv(csv);
   std::printf("controller trajectories written to %s\n", csv_path);
+
+  std::ofstream trace(trace_path);
+  tw::write_chrome_trace(trace, r);
+  std::printf("kernel trace written to %s (%llu records; load in "
+              "https://ui.perfetto.dev)\n",
+              trace_path,
+              static_cast<unsigned long long>(r.trace.total_records()));
+
+  const std::string metrics_path = std::string(trace_path) + ".metrics.jsonl";
+  std::ofstream metrics(metrics_path);
+  tw::write_metrics_jsonl(metrics, r);
+  std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+
+  // Phase breakdown (summed over LPs, modeled ns).
+  obs::PhaseTotals totals;
+  for (const obs::PhaseTotals& t : r.lp_phases) {
+    totals.merge(t);
+  }
+  std::printf("\nphase breakdown (modeled time):\n");
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    if (totals.ns[i] == 0) {
+      continue;
+    }
+    std::printf("  %-18s %10.3f ms  (x%llu)\n",
+                obs::to_string(static_cast<obs::Phase>(i)),
+                static_cast<double>(totals.ns[i]) / 1e6,
+                static_cast<unsigned long long>(totals.count[i]));
+  }
 
   const tw::SequentialResult seq = tw::run_sequential(model, kc.end_time);
   const bool ok = seq.digests == r.digests;

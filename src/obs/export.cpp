@@ -1,0 +1,300 @@
+#include "otw/obs/export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+
+namespace otw::obs {
+
+std::uint64_t arg_bits(double value) noexcept {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double arg_from_bits(std::uint64_t bits) noexcept {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// JSON number formatting: integral values print without a fraction (keeps
+/// counters exact), everything else with enough digits to round-trip.
+std::string format_number(double value) {
+  char buf[64];
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+  } else {
+    // JSON has no Infinity/NaN.
+    std::snprintf(buf, sizeof(buf), "%s", "null");
+  }
+  return buf;
+}
+
+std::string ts_us(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  return buf;
+}
+
+/// One trace_event line. `extra` is spliced verbatim after the common fields
+/// (callers pass pre-rendered `"args":{...}` etc.).
+void emit_event(std::ostream& os, bool& first, const char* ph, std::uint32_t lp,
+                std::uint64_t ts_ns, const char* name, const std::string& extra) {
+  os << (first ? "\n " : ",\n ") << "{\"ph\":\"" << ph
+     << "\",\"pid\":0,\"tid\":" << lp << ",\"ts\":" << ts_us(ts_ns);
+  if (name != nullptr) {
+    os << ",\"name\":\"" << name << '"';
+  }
+  if (!extra.empty()) {
+    os << ',' << extra;
+  }
+  os << '}';
+  first = false;
+}
+
+std::string args1(const char* key, const std::string& value) {
+  return std::string("\"args\":{\"") + key + "\":" + value + "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const RunTrace& trace) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+
+  for (const LpTraceLog& log : trace.lps) {
+    // Track naming: one thread per LP under a single process.
+    emit_event(os, first, "M", log.lp, 0, "thread_name",
+               "\"args\":{\"name\":\"LP " + std::to_string(log.lp) + "\"}");
+
+    std::uint64_t open_rollbacks = 0;
+    std::uint64_t last_ts = 0;
+    for (const TraceRecord& r : log.records) {
+      last_ts = r.wall_ns;
+      const std::string actor = std::to_string(r.actor);
+      switch (r.kind) {
+        case TraceKind::EventProcessed:
+          emit_event(os, first, "i", log.lp, r.wall_ns, "event",
+                     "\"s\":\"t\",\"args\":{\"object\":" + actor +
+                         ",\"vt\":" + std::to_string(r.vt) + "}");
+          break;
+        case TraceKind::EventsCommitted:
+          emit_event(os, first, "i", log.lp, r.wall_ns, "commit",
+                     "\"s\":\"t\",\"args\":{\"object\":" + actor +
+                         ",\"count\":" + std::to_string(r.arg0) + "}");
+          break;
+        case TraceKind::RollbackBegin:
+          ++open_rollbacks;
+          emit_event(os, first, "B", log.lp, r.wall_ns, "rollback",
+                     "\"args\":{\"object\":" + actor +
+                         ",\"target_vt\":" + std::to_string(r.vt) + "}");
+          break;
+        case TraceKind::RollbackEnd:
+          if (open_rollbacks == 0) {
+            // The matching Begin was overwritten by ring overflow: degrade to
+            // an instant so the file still pairs up.
+            emit_event(os, first, "i", log.lp, r.wall_ns, "rollback_end",
+                       "\"s\":\"t\"," + args1("undone", std::to_string(r.arg0)));
+            break;
+          }
+          --open_rollbacks;
+          emit_event(os, first, "E", log.lp, r.wall_ns, nullptr,
+                     args1("undone", std::to_string(r.arg0)));
+          break;
+        case TraceKind::StateSave:
+          emit_event(os, first, "i", log.lp, r.wall_ns, "checkpoint",
+                     "\"s\":\"t\",\"args\":{\"object\":" + actor +
+                         ",\"vt\":" + std::to_string(r.vt) +
+                         ",\"bytes\":" + std::to_string(r.arg0) + "}");
+          break;
+        case TraceKind::StateRestore:
+          emit_event(os, first, "i", log.lp, r.wall_ns, "restore",
+                     "\"s\":\"t\",\"args\":{\"object\":" + actor +
+                         ",\"vt\":" + std::to_string(r.vt) + "}");
+          break;
+        case TraceKind::CoastForward:
+          emit_event(os, first, "X", log.lp, r.wall_ns, "coast_forward",
+                     "\"dur\":" + ts_us(r.arg1) +
+                         ",\"args\":{\"object\":" + actor +
+                         ",\"events\":" + std::to_string(r.arg0) + "}");
+          break;
+        case TraceKind::AntiSent:
+          emit_event(os, first, "i", log.lp, r.wall_ns, "anti_sent",
+                     "\"s\":\"t\",\"args\":{\"object\":" + actor +
+                         ",\"vt\":" + std::to_string(r.vt) + "}");
+          break;
+        case TraceKind::AntiReceived:
+          emit_event(os, first, "i", log.lp, r.wall_ns, "anti_received",
+                     "\"s\":\"t\",\"args\":{\"object\":" + actor +
+                         ",\"vt\":" + std::to_string(r.vt) + "}");
+          break;
+        case TraceKind::GvtEpoch:
+          emit_event(os, first, "i", log.lp, r.wall_ns, "gvt",
+                     "\"s\":\"p\"," + args1("gvt", std::to_string(r.vt)));
+          break;
+        case TraceKind::AggregateFlush:
+          emit_event(os, first, "i", log.lp, r.wall_ns, "aggregate_flush",
+                     "\"s\":\"t\",\"args\":{\"batch\":" + std::to_string(r.arg0) +
+                         ",\"window_us\":" + format_number(arg_from_bits(r.arg1)) +
+                         "}");
+          break;
+        case TraceKind::CheckpointDecision:
+          emit_event(os, first, "i", log.lp, r.wall_ns, "chi_decision",
+                     "\"s\":\"t\",\"args\":{\"object\":" + actor +
+                         ",\"chi\":" + std::to_string(r.arg0) +
+                         ",\"cost_index\":" + format_number(arg_from_bits(r.arg1)) +
+                         "}");
+          break;
+        case TraceKind::CancellationSwitch:
+          emit_event(os, first, "i", log.lp, r.wall_ns, "cancellation_switch",
+                     "\"s\":\"t\",\"args\":{\"object\":" + actor +
+                         ",\"mode\":\"" + (r.arg0 != 0 ? "lazy" : "aggressive") +
+                         "\",\"hit_ratio\":" + format_number(arg_from_bits(r.arg1)) +
+                         "}");
+          break;
+        case TraceKind::OptimismDecision:
+          emit_event(os, first, "i", log.lp, r.wall_ns, "optimism_decision",
+                     "\"s\":\"t\",\"args\":{\"window\":" + std::to_string(r.arg0) +
+                         ",\"rollback_fraction\":" +
+                         format_number(arg_from_bits(r.arg1)) + "}");
+          break;
+        case TraceKind::TelemetrySample:
+          emit_event(os, first, "i", log.lp, r.wall_ns, "sample",
+                     "\"s\":\"t\",\"args\":{\"object\":" + actor +
+                         ",\"vt\":" + std::to_string(r.vt) + "}");
+          break;
+      }
+    }
+    // Ring overflow may have swallowed RollbackEnd records: close any scope
+    // still open so every B has an E.
+    for (; open_rollbacks > 0; --open_rollbacks) {
+      emit_event(os, first, "E", log.lp, last_ts, nullptr, "");
+    }
+    if (log.dropped > 0) {
+      emit_event(os, first, "i", log.lp, last_ts, "trace_overflow",
+                 "\"s\":\"p\"," + args1("dropped", std::to_string(log.dropped)));
+    }
+  }
+
+  os << "\n]}\n";
+}
+
+namespace {
+
+std::string render_labels_json(const Metric& m) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : m.labels) {
+    out += first ? "\"" : ",\"";
+    out += json_escape(key) + "\":\"" + json_escape(value) + '"';
+    first = false;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+void write_metrics_jsonl(std::ostream& os, const MetricsSnapshot& snapshot) {
+  for (const Metric& m : snapshot.metrics) {
+    os << "{\"name\":\"" << json_escape(m.name) << "\",\"type\":\""
+       << (m.type == Metric::Type::Counter ? "counter" : "gauge")
+       << "\",\"labels\":" << render_labels_json(m)
+       << ",\"value\":" << format_number(m.value) << "}\n";
+  }
+}
+
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot) {
+  // The exposition format requires all samples of a family to sit together
+  // under one TYPE header; group by name in order of first appearance.
+  std::vector<const Metric*> ordered;
+  ordered.reserve(snapshot.metrics.size());
+  std::vector<std::string> names;
+  for (const Metric& m : snapshot.metrics) {
+    bool seen = false;
+    for (const std::string& n : names) {
+      seen = seen || n == m.name;
+    }
+    if (!seen) {
+      names.push_back(m.name);
+    }
+  }
+  for (const std::string& name : names) {
+    bool headed = false;
+    for (const Metric& m : snapshot.metrics) {
+      if (m.name != name) {
+        continue;
+      }
+      if (!headed) {
+        os << "# TYPE " << m.name << ' '
+           << (m.type == Metric::Type::Counter ? "counter" : "gauge") << '\n';
+        headed = true;
+      }
+      os << m.name;
+      if (!m.labels.empty()) {
+        os << '{';
+        bool first = true;
+        for (const auto& [key, value] : m.labels) {
+          if (!first) {
+            os << ',';
+          }
+          os << key << "=\"" << json_escape(value) << '"';
+          first = false;
+        }
+        os << '}';
+      }
+      os << ' ' << format_number(m.value) << '\n';
+    }
+  }
+}
+
+void add_phase_metrics(MetricsSnapshot& snapshot,
+                       const std::vector<PhaseTotals>& per_lp) {
+  for (std::size_t lp = 0; lp < per_lp.size(); ++lp) {
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      Metric& ns = snapshot.add("otw_phase_ns",
+                                static_cast<double>(per_lp[lp].ns[p]));
+      ns.labels = {{"lp", std::to_string(lp)},
+                   {"phase", to_string(static_cast<Phase>(p))}};
+      Metric& count = snapshot.add("otw_phase_count",
+                                   static_cast<double>(per_lp[lp].count[p]));
+      count.labels = {{"lp", std::to_string(lp)},
+                      {"phase", to_string(static_cast<Phase>(p))}};
+    }
+  }
+}
+
+}  // namespace otw::obs

@@ -1,0 +1,68 @@
+// Exporters (otw::obs): turn collected traces and metrics into standard
+// formats a human can actually open.
+//
+//   write_chrome_trace  - Chrome trace_event JSON ("JSON Object Format"),
+//                         loadable in Perfetto (ui.perfetto.dev) and
+//                         chrome://tracing. One track per LP; rollbacks and
+//                         coast-forwards are duration slices, everything
+//                         else (GVT epochs, checkpoints, anti-messages,
+//                         controller decisions) instant events with args.
+//   write_metrics_jsonl - one JSON object per line per metric; trivially
+//                         machine-parseable run snapshots.
+//   write_prometheus    - Prometheus text exposition format (# TYPE + sample
+//                         lines), for scraping or textfile collection.
+//
+// The metrics model is deliberately generic (name + labels + value): the
+// Time Warp layer builds a MetricsSnapshot from its KernelStats without obs
+// needing to know any kernel types.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "otw/obs/phase_profiler.hpp"
+#include "otw/obs/trace.hpp"
+
+namespace otw::obs {
+
+/// One sample of one metric: `name{labels...} value`.
+struct Metric {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+  enum class Type : std::uint8_t { Counter, Gauge } type = Type::Counter;
+};
+
+struct MetricsSnapshot {
+  std::vector<Metric> metrics;
+
+  Metric& add(std::string name, double value,
+              Metric::Type type = Metric::Type::Counter) {
+    metrics.push_back(Metric{std::move(name), {}, value, type});
+    return metrics.back();
+  }
+};
+
+/// Escapes a string for inclusion in a JSON string literal (no quotes added).
+[[nodiscard]] std::string json_escape(const std::string& raw);
+
+/// Writes the run trace as Chrome trace_event JSON. Unmatched duration
+/// events (possible after ring overflow) are repaired so the file always
+/// parses. `wall_offset_ns` shifts all timestamps (rarely needed).
+void write_chrome_trace(std::ostream& os, const RunTrace& trace);
+
+/// Writes one JSON object per metric, one per line.
+void write_metrics_jsonl(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// Writes the Prometheus text exposition format.
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// Folds per-LP phase totals into `snapshot` as otw_phase_ns/otw_phase_count
+/// metrics labelled by phase and lp.
+void add_phase_metrics(MetricsSnapshot& snapshot,
+                       const std::vector<PhaseTotals>& per_lp);
+
+}  // namespace otw::obs

@@ -1,0 +1,119 @@
+// Per-LP observability front end (otw::obs): one Recorder owns the LP's
+// trace ring and phase profiler and is the single sink every kernel layer
+// (object runtime, LP, controllers, comm) writes through.
+//
+// Cost discipline:
+//   * default-constructed Recorder: tracing() and profiling() are false and
+//     every call is a branch on a bool/pointer — nothing is recorded;
+//   * OTW_OBS_TRACING=0 (CMake -DOTW_OBS_TRACING=OFF): record() compiles to
+//     an empty inline function and the ring is never allocated;
+//   * enabled: record() is a bounds-free store into a preallocated ring.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "otw/obs/phase_profiler.hpp"
+#include "otw/obs/trace.hpp"
+
+#ifndef OTW_OBS_TRACING
+#define OTW_OBS_TRACING 1
+#endif
+
+namespace otw::obs {
+
+struct ObsConfig {
+  /// Record typed kernel events into the per-LP trace ring.
+  bool tracing = false;
+  /// Accumulate per-phase time (modeled or wall ns, per the platform clock).
+  bool profiling = false;
+  /// Trace-ring capacity in records, per LP (overwrite-oldest on overflow).
+  std::size_t ring_capacity = 1u << 16;
+};
+
+class Recorder {
+ public:
+  Recorder() = default;
+
+  /// (Re)arms the recorder for one run. Allocates the ring up front so the
+  /// recording path never allocates.
+  void configure(const ObsConfig& config, std::uint32_t lp) {
+    lp_ = lp;
+    profiling_ = config.profiling;
+#if OTW_OBS_TRACING
+    ring_ = config.tracing ? std::make_unique<TraceRing>(config.ring_capacity)
+                           : nullptr;
+#endif
+  }
+
+  [[nodiscard]] bool tracing() const noexcept {
+#if OTW_OBS_TRACING
+    return ring_ != nullptr;
+#else
+    return false;
+#endif
+  }
+  [[nodiscard]] bool profiling() const noexcept { return profiling_; }
+  [[nodiscard]] std::uint32_t lp() const noexcept { return lp_; }
+
+  void record(TraceKind kind, std::uint64_t wall_ns, std::uint32_t actor,
+              std::uint64_t vt = 0, std::uint64_t arg0 = 0,
+              std::uint64_t arg1 = 0) noexcept {
+#if OTW_OBS_TRACING
+    if (ring_) {
+      ring_->push(TraceRecord{wall_ns, vt, arg0, arg1, actor, kind});
+    }
+#else
+    static_cast<void>(kind);
+    static_cast<void>(wall_ns);
+    static_cast<void>(actor);
+    static_cast<void>(vt);
+    static_cast<void>(arg0);
+    static_cast<void>(arg1);
+#endif
+  }
+
+  // --- phase profiling (no-ops unless profiling is enabled) ---
+  void phase_begin(Phase phase, std::uint64_t now_ns) {
+    if (profiling_) {
+      profiler_.begin(phase, now_ns);
+    }
+  }
+  void phase_end(std::uint64_t now_ns) {
+    if (profiling_) {
+      profiler_.end(now_ns);
+    }
+  }
+  void phase_add(Phase phase, std::uint64_t ns) {
+    if (profiling_) {
+      profiler_.add(phase, ns);
+    }
+  }
+
+  [[nodiscard]] const PhaseTotals& phase_totals() const noexcept {
+    return profiler_.totals();
+  }
+
+  /// Drains the ring into a RunResult-ready log (empty when not tracing).
+  [[nodiscard]] LpTraceLog drain_trace() const {
+    LpTraceLog log;
+    log.lp = lp_;
+#if OTW_OBS_TRACING
+    if (ring_) {
+      log.dropped = ring_->dropped();
+      log.records = ring_->drain();
+    }
+#endif
+    return log;
+  }
+
+ private:
+  std::uint32_t lp_ = 0;
+  bool profiling_ = false;
+  PhaseProfiler profiler_;
+#if OTW_OBS_TRACING
+  std::unique_ptr<TraceRing> ring_;
+#endif
+};
+
+}  // namespace otw::obs

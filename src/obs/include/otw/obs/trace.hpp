@@ -1,0 +1,152 @@
+// Low-overhead kernel trace ring (otw::obs).
+//
+// The paper's whole argument is that the optimal Time Warp configuration
+// changes during a run; this ring makes the *when* and *why* observable.
+// Each logical process owns one fixed-capacity ring of POD records. The hot
+// path is a store plus two index updates — no allocation, no locking (an LP
+// is single-threaded on every engine), and the whole recording path compiles
+// to an empty inline function when OTW_OBS_TRACING is 0 (CMake option).
+//
+// Records are typed: event processed/committed, rollback begin/end, state
+// save/restore, coast-forward, anti-message traffic, GVT epochs, aggregation
+// flushes, and every on-line controller decision with the sample values that
+// triggered it. Drained rings are exported as Chrome trace_event JSON (see
+// export.hpp) and load directly in Perfetto / chrome://tracing.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace otw::obs {
+
+enum class TraceKind : std::uint8_t {
+  EventProcessed,    ///< vt = recv time; arg0 = 1 if re-execution after rollback
+  EventsCommitted,   ///< arg0 = events committed by this fossil collection
+  RollbackBegin,     ///< vt = rollback target recv time
+  RollbackEnd,       ///< arg0 = processed events undone
+  StateSave,         ///< vt = checkpoint position; arg0 = stored bytes
+  StateRestore,      ///< vt = restored position
+  CoastForward,      ///< arg0 = events re-executed; arg1 = duration ns
+  AntiSent,          ///< vt = cancelled message's recv time
+  AntiReceived,      ///< vt = annihilated message's recv time
+  GvtEpoch,          ///< vt = new GVT (per LP, at announce/completion)
+  AggregateFlush,    ///< arg0 = batch size; arg1 = window_us bits (double)
+  CheckpointDecision,///< chi step: arg0 = new interval; arg1 = cost index bits
+  CancellationSwitch,///< A<->L: arg0 = new mode (0=aggr,1=lazy); arg1 = HR bits
+  OptimismDecision,  ///< W step: arg0 = new window; arg1 = rollback frac bits
+  TelemetrySample,   ///< periodic controller-state sample (telemetry fold)
+};
+
+[[nodiscard]] constexpr const char* to_string(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::EventProcessed: return "event";
+    case TraceKind::EventsCommitted: return "commit";
+    case TraceKind::RollbackBegin: return "rollback";
+    case TraceKind::RollbackEnd: return "rollback_end";
+    case TraceKind::StateSave: return "checkpoint";
+    case TraceKind::StateRestore: return "restore";
+    case TraceKind::CoastForward: return "coast_forward";
+    case TraceKind::AntiSent: return "anti_sent";
+    case TraceKind::AntiReceived: return "anti_received";
+    case TraceKind::GvtEpoch: return "gvt";
+    case TraceKind::AggregateFlush: return "aggregate_flush";
+    case TraceKind::CheckpointDecision: return "chi_decision";
+    case TraceKind::CancellationSwitch: return "cancellation_switch";
+    case TraceKind::OptimismDecision: return "optimism_decision";
+    case TraceKind::TelemetrySample: return "sample";
+  }
+  return "?";
+}
+
+/// One trace record. Interpretation of vt/arg0/arg1 is per TraceKind (see the
+/// enum comments); doubles travel as bit patterns via arg_bits()/from_bits().
+struct TraceRecord {
+  std::uint64_t wall_ns = 0;  ///< platform clock (modeled or real ns)
+  std::uint64_t vt = 0;       ///< virtual-time ticks
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  std::uint32_t actor = 0;    ///< ObjectId (or LpId for LP-scoped kinds)
+  TraceKind kind{};
+};
+static_assert(std::is_trivially_copyable_v<TraceRecord>);
+
+[[nodiscard]] std::uint64_t arg_bits(double value) noexcept;
+[[nodiscard]] double arg_from_bits(std::uint64_t bits) noexcept;
+
+/// Fixed-capacity overwrite-oldest ring. Capacity is allocated once at
+/// construction; push() never allocates. When full, the oldest record is
+/// overwritten and `dropped()` counts the loss.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity) : buffer_(capacity ? capacity : 1) {}
+
+  void push(const TraceRecord& record) noexcept {
+    buffer_[head_] = record;
+    head_ = head_ + 1 == buffer_.size() ? 0 : head_ + 1;
+    if (size_ < buffer_.size()) {
+      ++size_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buffer_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Records overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Copies the surviving records oldest-first.
+  [[nodiscard]] std::vector<TraceRecord> drain() const {
+    std::vector<TraceRecord> out;
+    out.reserve(size_);
+    // Oldest record sits at head_ when the ring has wrapped, at 0 otherwise.
+    const std::size_t start = size_ == buffer_.size() ? head_ : 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      std::size_t idx = start + i;
+      if (idx >= buffer_.size()) {
+        idx -= buffer_.size();
+      }
+      out.push_back(buffer_[idx]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<TraceRecord> buffer_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// One LP's drained trace, as collected into a RunResult.
+struct LpTraceLog {
+  std::uint32_t lp = 0;
+  std::uint64_t dropped = 0;
+  std::vector<TraceRecord> records;  ///< oldest-first, wall_ns monotone per LP
+};
+
+/// All trace rings of one run.
+struct RunTrace {
+  std::vector<LpTraceLog> lps;
+
+  [[nodiscard]] bool empty() const noexcept {
+    for (const LpTraceLog& log : lps) {
+      if (!log.records.empty()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t total_records() const noexcept {
+    std::size_t n = 0;
+    for (const LpTraceLog& log : lps) {
+      n += log.records.size();
+    }
+    return n;
+  }
+};
+
+}  // namespace otw::obs

@@ -11,6 +11,8 @@
 #include <memory>
 #include <vector>
 
+#include "otw/obs/phase_profiler.hpp"
+#include "otw/obs/trace.hpp"
 #include "otw/platform/simulated_now.hpp"
 #include "otw/platform/threaded.hpp"
 #include "otw/tw/lp.hpp"
@@ -49,6 +51,12 @@ struct RunResult {
   std::uint64_t wall_time_ns = 0;
   std::uint64_t physical_messages = 0;
   std::uint64_t wire_bytes = 0;
+  /// Kernel trace (empty unless KernelConfig::observability.tracing).
+  /// Export with otw/tw/observability.hpp (Chrome trace, JSONL, Prometheus).
+  obs::RunTrace trace;
+  /// Per-LP phase breakdown (empty unless observability.profiling); index
+  /// matches LpId. Times are modeled ns (simulated NOW) or wall ns (threaded).
+  std::vector<obs::PhaseTotals> lp_phases;
 
   [[nodiscard]] double execution_time_sec() const noexcept {
     return static_cast<double>(execution_time_ns) / 1e9;

@@ -8,6 +8,7 @@
 
 #include "otw/comm/aggregation.hpp"
 #include "otw/core/optimism_controller.hpp"
+#include "otw/obs/recorder.hpp"
 #include "otw/platform/engine.hpp"
 #include "otw/tw/gvt.hpp"
 #include "otw/tw/object_runtime.hpp"
@@ -33,8 +34,14 @@ struct KernelConfig {
   comm::AggregationConfig aggregation;
 
   /// Controller-trajectory recording (off by default). Applied to every
-  /// object and LP; read back from RunResult::telemetry.
+  /// object and LP; read back from RunResult::telemetry. Samples also land
+  /// in the kernel trace when observability.tracing is on (one sink).
   TelemetryConfig telemetry;
+
+  /// Kernel tracing and phase profiling (otw::obs; off by default). Traces
+  /// are read back from RunResult::trace / RunResult::lp_phases and exported
+  /// via otw/tw/observability.hpp.
+  obs::ObsConfig observability;
 
   /// Bounded-time-window optimism throttling (Palaniswamy & Wilsey): an LP
   /// only processes events with receive time <= GVT + window.
@@ -68,6 +75,7 @@ class LogicalProcess final : public platform::LpRunner, public LpServices {
   [[nodiscard]] VirtualTime end_time() const noexcept override {
     return config_.end_time;
   }
+  [[nodiscard]] obs::Recorder& recorder() noexcept override { return recorder_; }
 
   // --- results / introspection ---
   [[nodiscard]] VirtualTime gvt() const noexcept { return gvt_value_; }
@@ -103,6 +111,7 @@ class LogicalProcess final : public platform::LpRunner, public LpServices {
 
   LpId id_;
   KernelConfig config_;
+  obs::Recorder recorder_;
   std::vector<LpId> object_to_lp_;
   std::vector<std::unique_ptr<ObjectRuntime>> runtimes_;
   /// Global ObjectId -> index into runtimes_, or SIZE_MAX for remote objects.

@@ -8,6 +8,7 @@
 
 #include "otw/core/cancellation_controller.hpp"
 #include "otw/core/checkpoint_controller.hpp"
+#include "otw/obs/recorder.hpp"
 #include "otw/platform/cost_model.hpp"
 #include "otw/tw/event.hpp"
 #include "otw/tw/object.hpp"
@@ -39,6 +40,13 @@ class LpServices {
   /// LP-level optimism-window controller). Default: ignored.
   virtual void note_rollback(std::size_t undone) noexcept {
     static_cast<void>(undone);
+  }
+
+  /// The LP's observability sink (trace ring + phase profiler). The default
+  /// is a shared disabled recorder, so test stubs record nothing.
+  [[nodiscard]] virtual obs::Recorder& recorder() noexcept {
+    static obs::Recorder disabled;
+    return disabled;
   }
 };
 
@@ -146,10 +154,14 @@ class ObjectRuntime final : public ObjectContext {
   void save_state(const Position& pos);
   void emit(Event&& event);
   void send_anti(const Event& original);
+  /// Feeds one comparison outcome to the cancellation controller and traces
+  /// the A<->L switch (with the triggering Hit Ratio) if one resulted.
+  void note_comparison(bool hit);
 
   ObjectId id_;
   std::unique_ptr<SimulationObject> object_;
   LpServices& lp_;
+  obs::Recorder& rec_;
   ObjectRuntimeConfig config_;
 
   std::unique_ptr<ObjectState> current_state_;

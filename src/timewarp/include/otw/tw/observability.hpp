@@ -1,0 +1,27 @@
+// Kernel-aware exporters over otw::obs: turn a RunResult into a metrics
+// snapshot, a Chrome trace_event JSON file (load in Perfetto or
+// chrome://tracing), a JSON-lines metrics dump, or a Prometheus text page.
+#pragma once
+
+#include <iosfwd>
+
+#include "otw/obs/export.hpp"
+#include "otw/tw/kernel.hpp"
+
+namespace otw::tw {
+
+/// Flattens a RunResult into a generic metrics snapshot: run-level gauges
+/// (execution time, final GVT, throughput), object-total counters, per-LP
+/// counters and — when profiling was on — per-LP phase breakdowns.
+[[nodiscard]] obs::MetricsSnapshot build_metrics(const RunResult& result);
+
+/// Writes RunResult::trace as Chrome trace_event JSON (one track per LP).
+void write_chrome_trace(std::ostream& os, const RunResult& result);
+
+/// Writes build_metrics(result) as JSON lines, one metric object per line.
+void write_metrics_jsonl(std::ostream& os, const RunResult& result);
+
+/// Writes build_metrics(result) in Prometheus text exposition format.
+void write_prometheus(std::ostream& os, const RunResult& result);
+
+}  // namespace otw::tw

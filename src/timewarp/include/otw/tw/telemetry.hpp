@@ -59,8 +59,24 @@ struct Telemetry {
     return objects.empty() && lps.empty();
   }
 
-  /// Writes all traces as CSV: kind,id,events,lvt,chi,hr,mode,rollbacks /
-  /// kind,id,events,gvt,window_us,optimism.
+  /// Writes all traces as one CSV table with a fixed 10-column header:
+  ///
+  ///   kind,id,events,time,chi,hit_ratio,mode,rollbacks,window_us,optimism
+  ///
+  /// Every row has exactly 10 fields; columns that do not apply to a row's
+  /// kind are left empty. Two row kinds share the table:
+  ///
+  ///   kind=object  id=ObjectId  events=sample clock  time=LVT ticks
+  ///                chi=checkpoint interval  hit_ratio=HR in [0,1]
+  ///                mode=Aggressive|Lazy  rollbacks=cumulative count
+  ///                window_us,optimism empty
+  ///   kind=lp      id=LpId      events=sample clock  time=GVT ticks
+  ///                chi,hit_ratio,mode,rollbacks empty
+  ///                window_us=aggregation window  optimism=window ticks
+  ///                (0 = unbounded)
+  ///
+  /// `time` prints VirtualTime via operator<< ("inf" when infinite). The
+  /// schema is asserted by a parse-back test in tw_telemetry_test.cpp.
   void write_csv(std::ostream& os) const;
 };
 

@@ -68,6 +68,13 @@ RunResult collect(const Model& model, Assembly& assembly,
     OTW_REQUIRE_MSG(lp->done(), "engine returned before all LPs finished");
     result.stats.lps.push_back(lp->snapshot_lp_stats());
     result.stats.final_gvt = lp->gvt();
+    obs::Recorder& recorder = lp->recorder();
+    if (recorder.tracing()) {
+      result.trace.lps.push_back(recorder.drain_trace());
+    }
+    if (recorder.profiling()) {
+      result.lp_phases.push_back(recorder.phase_totals());
+    }
     if (!lp->trace().empty()) {
       LpTrace trace;
       trace.lp = static_cast<std::uint32_t>(result.telemetry.lps.size());

@@ -14,6 +14,7 @@ LogicalProcess::LogicalProcess(
       channel_(id, config.num_lps, config.aggregation),
       gvt_(id, config.num_lps, config.gvt_period_events) {
   OTW_REQUIRE(id < config.num_lps);
+  recorder_.configure(config_.observability, id_);
   if (config_.optimism.mode == KernelConfig::Optimism::Mode::Adaptive) {
     auto control = config_.optimism.control;
     control.initial_window = config_.optimism.window;
@@ -98,6 +99,11 @@ void LogicalProcess::route(Event&& event) {
 }
 
 void LogicalProcess::ship_batch(LpId dst, std::vector<Event>&& events) {
+  if (recorder_.tracing()) {
+    recorder_.record(obs::TraceKind::AggregateFlush, ctx_->now_ns(), id_,
+                     gvt_value_.ticks(), events.size(),
+                     obs::arg_bits(channel_.window_us()));
+  }
   ctx_->send(dst, std::make_unique<EventBatchMessage>(std::move(events)));
 }
 
@@ -132,6 +138,9 @@ ObjectRuntime* LogicalProcess::pick_lowest() noexcept {
 }
 
 void LogicalProcess::handle_token(const GvtTokenMessage& token) {
+  if (recorder_.profiling()) {
+    recorder_.phase_begin(obs::Phase::Gvt, ctx_->now_ns());
+  }
   const GvtAgent::Outcome outcome = gvt_.on_token(token, local_min());
   if (outcome.forward) {
     ctx_->send(gvt_.next_lp(),
@@ -139,6 +148,9 @@ void LogicalProcess::handle_token(const GvtTokenMessage& token) {
   }
   if (outcome.gvt) {
     complete_epoch(*outcome.gvt);
+  }
+  if (recorder_.profiling()) {
+    recorder_.phase_end(ctx_->now_ns());
   }
 }
 
@@ -155,6 +167,10 @@ void LogicalProcess::complete_epoch(VirtualTime gvt) {
 void LogicalProcess::apply_gvt(VirtualTime gvt) {
   OTW_REQUIRE_MSG(gvt >= gvt_value_, "GVT went backwards");
   gvt_value_ = gvt;
+  if (recorder_.tracing()) {
+    recorder_.record(obs::TraceKind::GvtEpoch, ctx_->now_ns(), id_,
+                     gvt.is_infinity() ? UINT64_MAX : gvt.ticks());
+  }
   for (const auto& runtime : runtimes_) {
     runtime->fossil_collect(gvt);
   }
@@ -188,10 +204,19 @@ void LogicalProcess::drain_one(std::unique_ptr<platform::EngineMessage> msg) {
 }
 
 bool LogicalProcess::drain() {
+  // Comm phase: self-time attribution means nested Rollback/Gvt scopes
+  // opened while handling a message are subtracted back out.
+  const bool profile = recorder_.profiling();
+  if (profile) {
+    recorder_.phase_begin(obs::Phase::Comm, ctx_->now_ns());
+  }
   bool any = false;
   while (auto msg = ctx_->poll()) {
     any = true;
     drain_one(std::move(msg));
+  }
+  if (profile) {
+    recorder_.phase_end(ctx_->now_ns());
   }
   return any;
 }
@@ -250,6 +275,10 @@ platform::StepStatus LogicalProcess::step(platform::LpContext& ctx) {
               ? 0
               : (optimism_ ? optimism_->window() : config_.optimism.window);
       trace_.push_back(sample);
+      if (recorder_.tracing()) {
+        recorder_.record(obs::TraceKind::TelemetrySample, ctx.now_ns(), id_,
+                         gvt_value_.ticks(), events_processed_total_);
+      }
     }
   }
   if (optimism_) {
@@ -258,6 +287,12 @@ platform::StepStatus LogicalProcess::step(platform::LpContext& ctx) {
     optimism_rolled_back_ = 0;
     if (optimism_->maybe_adapt()) {
       ctx.charge(ctx.costs().control_invocation_ns);
+      recorder_.phase_add(obs::Phase::Control, ctx.costs().control_invocation_ns);
+      if (recorder_.tracing()) {
+        recorder_.record(obs::TraceKind::OptimismDecision, ctx.now_ns(), id_,
+                         gvt_value_.ticks(), optimism_->window(),
+                         obs::arg_bits(optimism_->last_rollback_fraction()));
+      }
     }
   }
 
@@ -271,9 +306,15 @@ platform::StepStatus LogicalProcess::step(platform::LpContext& ctx) {
   }
 
   // Flush aggregates whose window has expired.
+  if (recorder_.profiling()) {
+    recorder_.phase_begin(obs::Phase::Comm, ctx.now_ns());
+  }
   channel_.pump(ctx.now_ns(), [this](LpId to, std::vector<Event>&& batch) {
     ship_batch(to, std::move(batch));
   });
+  if (recorder_.profiling()) {
+    recorder_.phase_end(ctx.now_ns());
+  }
 
   const bool idle_now = processed == 0 && !received && !channel_.has_pending();
 
@@ -288,6 +329,9 @@ platform::StepStatus LogicalProcess::step(platform::LpContext& ctx) {
     } else {
       last_epoch_start_ns_ = ctx.now_ns();
       epoch_ever_started_ = true;
+      if (recorder_.profiling()) {
+        recorder_.phase_begin(obs::Phase::Gvt, ctx.now_ns());
+      }
       const GvtAgent::Outcome outcome = gvt_.start_epoch(local_min());
       if (outcome.forward) {
         ctx_->send(gvt_.next_lp(),
@@ -295,6 +339,9 @@ platform::StepStatus LogicalProcess::step(platform::LpContext& ctx) {
       }
       if (outcome.gvt) {
         complete_epoch(*outcome.gvt);
+      }
+      if (recorder_.profiling()) {
+        recorder_.phase_end(ctx.now_ns());
       }
       if (done_) {
         return platform::StepStatus::Done;
@@ -306,10 +353,12 @@ platform::StepStatus LogicalProcess::step(platform::LpContext& ctx) {
   if (idle_now) {
     ++stats_.idle_polls;
     ctx.charge(ctx.costs().idle_poll_ns);
+    recorder_.phase_add(obs::Phase::Idle, ctx.costs().idle_poll_ns);
     return platform::StepStatus::Idle;
   }
   if (processed == 0) {
     ctx.charge(ctx.costs().idle_poll_ns);
+    recorder_.phase_add(obs::Phase::Idle, ctx.costs().idle_poll_ns);
     if (!received && channel_.has_pending()) {
       // Nothing to do until an aggregate window expires (or a message
       // lands): tell the engine when to come back instead of busy-polling.

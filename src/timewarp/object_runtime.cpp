@@ -9,6 +9,7 @@ ObjectRuntime::ObjectRuntime(ObjectId id, std::unique_ptr<SimulationObject> obje
     : id_(id),
       object_(std::move(object)),
       lp_(lp),
+      rec_(lp.recorder()),
       config_(config),
       states_(make_checkpoint_store(config.state_saving,
                                     config.full_snapshot_interval)),
@@ -46,6 +47,12 @@ bool ObjectRuntime::process_next() {
   if (config_.dynamic_checkpointing && ckpt_.on_event_processed()) {
     lp_.wall_charge(lp_.costs().control_invocation_ns);
     ++stats_.checkpoint_control_ticks;
+    rec_.phase_add(obs::Phase::Control, lp_.costs().control_invocation_ns);
+    if (rec_.tracing()) {
+      rec_.record(obs::TraceKind::CheckpointDecision, lp_.wall_now_ns(), id_,
+                  lvt_.ticks(), ckpt_.interval(),
+                  obs::arg_bits(ckpt_.last_cost_index()));
+    }
   }
   if (config_.telemetry.enabled &&
       ++events_since_sample_ >= config_.telemetry.sample_period_events) {
@@ -53,6 +60,10 @@ bool ObjectRuntime::process_next() {
     trace_.push_back(ObjectSample{stats_.events_processed, lvt_,
                                   checkpoint_interval(), cancel_.hit_ratio(),
                                   cancel_.mode(), stats_.rollbacks});
+    if (rec_.tracing()) {
+      rec_.record(obs::TraceKind::TelemetrySample, lp_.wall_now_ns(), id_,
+                  lvt_.ticks());
+    }
   }
   return true;
 }
@@ -62,10 +73,25 @@ void ObjectRuntime::execute(const Event& event) {
   current_pos_ = event.position();
   sends_this_event_ = 0;
   lvt_ = event.recv_time;
+  // Coast-forward re-execution is accounted to the CoastForward phase by the
+  // enclosing scope; only first-class executions open an EventProcessing one.
+  const bool observe = !suppress_sends_;
+  if (observe) {
+    if (rec_.profiling()) {
+      rec_.phase_begin(obs::Phase::EventProcessing, lp_.wall_now_ns());
+    }
+    if (rec_.tracing()) {
+      rec_.record(obs::TraceKind::EventProcessed, lp_.wall_now_ns(), id_,
+                  event.recv_time.ticks());
+    }
+  }
   lp_.wall_charge(lp_.costs().event_overhead_ns);
   object_->process_event(*this, event);
   processing_ = false;
   ++stats_.events_processed;
+  if (observe && rec_.profiling()) {
+    rec_.phase_end(lp_.wall_now_ns());
+  }
 }
 
 void ObjectRuntime::send(ObjectId dest, VirtualTime::rep delay, const Payload& payload) {
@@ -107,7 +133,7 @@ void ObjectRuntime::emit(Event&& event) {
       output_.record(current_pos_, match->event);
       lazy_pending_.erase(match);
       ++stats_.lazy_hits;
-      cancel_.record_comparison(true);
+      note_comparison(true);
       return;
     }
   }
@@ -127,7 +153,7 @@ void ObjectRuntime::emit(Event&& event) {
     if (match != passive_.end()) {
       const bool hit = match->event.payload == event.payload;
       hit ? ++stats_.passive_hits : ++stats_.passive_misses;
-      cancel_.record_comparison(hit);
+      note_comparison(hit);
       passive_.erase(match);
     }
   }
@@ -139,13 +165,32 @@ void ObjectRuntime::emit(Event&& event) {
 
 void ObjectRuntime::send_anti(const Event& original) {
   ++stats_.anti_messages_sent;
+  if (rec_.tracing()) {
+    rec_.record(obs::TraceKind::AntiSent, lp_.wall_now_ns(), id_,
+                original.recv_time.ticks());
+  }
   lp_.route(original.make_anti());
+}
+
+void ObjectRuntime::note_comparison(bool hit) {
+  const core::CancellationMode before = cancel_.mode();
+  cancel_.record_comparison(hit);
+  const core::CancellationMode after = cancel_.mode();
+  if (after != before && rec_.tracing()) {
+    rec_.record(obs::TraceKind::CancellationSwitch, lp_.wall_now_ns(), id_,
+                lvt_.ticks(), after == core::CancellationMode::Lazy ? 1 : 0,
+                obs::arg_bits(cancel_.hit_ratio()));
+  }
 }
 
 void ObjectRuntime::receive(const Event& event) {
   OTW_REQUIRE_MSG(event.receiver == id_, "event routed to the wrong object");
   if (event.negative) {
     ++stats_.anti_messages_received;
+    if (rec_.tracing()) {
+      rec_.record(obs::TraceKind::AntiReceived, lp_.wall_now_ns(), id_,
+                  event.recv_time.ticks());
+    }
     const auto status = input_.find_match(event);
     OTW_REQUIRE_MSG(status != InputQueue::MatchStatus::NotFound,
                     "anti-message arrived before its positive message");
@@ -176,6 +221,13 @@ void ObjectRuntime::rollback(const Position& target, bool cancel_at_target) {
   stats_.events_rolled_back += undone;
   stats_.rollback_length.add(undone);
   lp_.note_rollback(undone);
+  if (rec_.profiling()) {
+    rec_.phase_begin(obs::Phase::Rollback, lp_.wall_now_ns());
+  }
+  if (rec_.tracing()) {
+    rec_.record(obs::TraceKind::RollbackBegin, lp_.wall_now_ns(), id_,
+                target.recv_time().ticks());
+  }
 
   // Restore the latest checkpoint before the target.
   RestorePoint keeper = states_->restore_before(target);
@@ -185,6 +237,10 @@ void ObjectRuntime::rollback(const Position& target, bool cancel_at_target) {
   events_since_save_ = 0;
   ++stats_.state_restores;
   lp_.wall_charge(lp_.costs().rollback_fixed_ns + lp_.costs().state_restore_ns);
+  if (rec_.tracing()) {
+    rec_.record(obs::TraceKind::StateRestore, lp_.wall_now_ns(), id_,
+                keeper.pos.recv_time().ticks());
+  }
 
   // Outputs caused by re-executed events are no longer trustworthy.
   std::vector<OutputEntry> invalid = output_.extract_after(target, cancel_at_target);
@@ -203,10 +259,21 @@ void ObjectRuntime::rollback(const Position& target, bool cancel_at_target) {
   cancel_invalid_outputs(std::move(invalid));
 
   coast_forward(target);
+  if (rec_.tracing()) {
+    rec_.record(obs::TraceKind::RollbackEnd, lp_.wall_now_ns(), id_,
+                target.recv_time().ticks(), undone);
+  }
+  if (rec_.profiling()) {
+    rec_.phase_end(lp_.wall_now_ns());
+  }
 }
 
 void ObjectRuntime::coast_forward(const Position& target) {
   const std::uint64_t start_ns = lp_.wall_now_ns();
+  const std::uint64_t events_before = stats_.coast_forward_events;
+  if (rec_.profiling()) {
+    rec_.phase_begin(obs::Phase::CoastForward, start_ns);
+  }
   suppress_sends_ = true;
   while (const Event* next = input_.peek_next()) {
     if (!(next->position() < target)) {
@@ -217,8 +284,17 @@ void ObjectRuntime::coast_forward(const Position& target) {
     ++stats_.coast_forward_events;
   }
   suppress_sends_ = false;
+  const std::uint64_t end_ns = lp_.wall_now_ns();
+  if (rec_.profiling()) {
+    rec_.phase_end(end_ns);
+  }
+  if (rec_.tracing()) {
+    rec_.record(obs::TraceKind::CoastForward, start_ns, id_,
+                target.recv_time().ticks(),
+                stats_.coast_forward_events - events_before, end_ns - start_ns);
+  }
   if (config_.dynamic_checkpointing) {
-    ckpt_.record_coast_forward(lp_.wall_now_ns() - start_ns);
+    ckpt_.record_coast_forward(end_ns - start_ns);
   }
 }
 
@@ -267,14 +343,14 @@ void ObjectRuntime::flush_resolved_before(const Position& pos) {
   while (!lazy_pending_.empty() && lazy_pending_.front().cause < pos) {
     send_anti(lazy_pending_.front().event);
     ++stats_.lazy_misses;
-    cancel_.record_comparison(false);
+    note_comparison(false);
     lazy_pending_.erase(lazy_pending_.begin());
   }
   // Passive entries past their position: recorded as misses (no anti; the
   // original was already cancelled aggressively).
   while (!passive_.empty() && passive_.front().cause < pos) {
     ++stats_.passive_misses;
-    cancel_.record_comparison(false);
+    note_comparison(false);
     passive_.erase(passive_.begin());
   }
 }
@@ -305,8 +381,13 @@ VirtualTime ObjectRuntime::gvt_contribution(VirtualTime end_time) const noexcept
 void ObjectRuntime::fossil_collect(VirtualTime gvt) {
   gvt_bound_ = gvt;
   const Position keeper = states_->fossil_collect(gvt);
-  stats_.events_committed += input_.fossil_collect_before(keeper);
+  const std::size_t committed = input_.fossil_collect_before(keeper);
+  stats_.events_committed += committed;
   output_.fossil_collect_before(gvt);
+  if (committed > 0 && rec_.tracing()) {
+    rec_.record(obs::TraceKind::EventsCommitted, lp_.wall_now_ns(), id_,
+                gvt.ticks(), committed);
+  }
 }
 
 void ObjectRuntime::finalize() {
@@ -325,6 +406,9 @@ void ObjectRuntime::maybe_checkpoint(const Position& pos) {
 }
 
 void ObjectRuntime::save_state(const Position& pos) {
+  if (rec_.profiling()) {
+    rec_.phase_begin(obs::Phase::StateSaving, lp_.wall_now_ns());
+  }
   const SaveReceipt receipt = states_->save(pos, *current_state_);
   const std::uint64_t cost =
       lp_.costs().state_save_base_ns +
@@ -332,6 +416,13 @@ void ObjectRuntime::save_state(const Position& pos) {
       lp_.costs().state_save_per_byte_ns * receipt.stored_bytes;
   lp_.wall_charge(cost);
   ++stats_.states_saved;
+  if (rec_.tracing()) {
+    rec_.record(obs::TraceKind::StateSave, lp_.wall_now_ns(), id_,
+                pos.recv_time().ticks(), receipt.stored_bytes);
+  }
+  if (rec_.profiling()) {
+    rec_.phase_end(lp_.wall_now_ns());
+  }
   if (config_.dynamic_checkpointing) {
     ckpt_.record_state_save(cost);
   }

@@ -1,0 +1,105 @@
+#include "otw/tw/observability.hpp"
+
+#include <string>
+
+namespace otw::tw {
+
+namespace {
+
+void add_object_totals(obs::MetricsSnapshot& snapshot, const ObjectStats& t) {
+  using obs::Metric;
+  snapshot.add("otw_events_processed_total", static_cast<double>(t.events_processed),
+               Metric::Type::Counter);
+  snapshot.add("otw_events_committed_total", static_cast<double>(t.events_committed),
+               Metric::Type::Counter);
+  snapshot.add("otw_events_rolled_back_total",
+               static_cast<double>(t.events_rolled_back), Metric::Type::Counter);
+  snapshot.add("otw_rollbacks_total", static_cast<double>(t.rollbacks),
+               Metric::Type::Counter);
+  snapshot.add("otw_coast_forward_events_total",
+               static_cast<double>(t.coast_forward_events), Metric::Type::Counter);
+  snapshot.add("otw_states_saved_total", static_cast<double>(t.states_saved),
+               Metric::Type::Counter);
+  snapshot.add("otw_state_restores_total", static_cast<double>(t.state_restores),
+               Metric::Type::Counter);
+  snapshot.add("otw_messages_sent_total", static_cast<double>(t.messages_sent),
+               Metric::Type::Counter);
+  snapshot.add("otw_anti_messages_sent_total",
+               static_cast<double>(t.anti_messages_sent), Metric::Type::Counter);
+  snapshot.add("otw_anti_messages_received_total",
+               static_cast<double>(t.anti_messages_received), Metric::Type::Counter);
+  snapshot.add("otw_stragglers_total", static_cast<double>(t.stragglers),
+               Metric::Type::Counter);
+  snapshot.add("otw_cancellation_switches_total",
+               static_cast<double>(t.cancellation_switches), Metric::Type::Counter);
+}
+
+}  // namespace
+
+obs::MetricsSnapshot build_metrics(const RunResult& result) {
+  using obs::Metric;
+  obs::MetricsSnapshot snapshot;
+
+  snapshot.add("otw_execution_time_ns", static_cast<double>(result.execution_time_ns),
+               Metric::Type::Gauge);
+  snapshot.add("otw_wall_time_ns", static_cast<double>(result.wall_time_ns),
+               Metric::Type::Gauge);
+  snapshot.add("otw_final_gvt_ticks",
+               result.stats.final_gvt.is_infinity()
+                   ? static_cast<double>(UINT64_MAX)
+                   : static_cast<double>(result.stats.final_gvt.ticks()),
+               Metric::Type::Gauge);
+  snapshot.add("otw_physical_messages_total",
+               static_cast<double>(result.physical_messages), Metric::Type::Counter);
+  snapshot.add("otw_wire_bytes_total", static_cast<double>(result.wire_bytes),
+               Metric::Type::Counter);
+  snapshot.add("otw_committed_events_per_sec", result.committed_events_per_sec(),
+               Metric::Type::Gauge);
+
+  add_object_totals(snapshot, result.stats.object_totals());
+
+  for (std::size_t lp = 0; lp < result.stats.lps.size(); ++lp) {
+    const LpStats& s = result.stats.lps[lp];
+    const std::pair<std::string, std::string> label{"lp", std::to_string(lp)};
+    auto add = [&](const char* name, double value, Metric::Type type) {
+      Metric metric;
+      metric.name = name;
+      metric.labels.push_back(label);
+      metric.value = value;
+      metric.type = type;
+      snapshot.metrics.push_back(std::move(metric));
+    };
+    add("otw_lp_gvt_epochs_total", static_cast<double>(s.gvt_epochs),
+        Metric::Type::Counter);
+    add("otw_lp_gvt_rounds_total", static_cast<double>(s.gvt_rounds),
+        Metric::Type::Counter);
+    add("otw_lp_events_sent_remote_total", static_cast<double>(s.events_sent_remote),
+        Metric::Type::Counter);
+    add("otw_lp_events_sent_local_total", static_cast<double>(s.events_sent_local),
+        Metric::Type::Counter);
+    add("otw_lp_aggregates_sent_total", static_cast<double>(s.aggregates_sent),
+        Metric::Type::Counter);
+    add("otw_lp_messages_aggregated_total",
+        static_cast<double>(s.messages_aggregated), Metric::Type::Counter);
+    add("otw_lp_steps_total", static_cast<double>(s.steps), Metric::Type::Counter);
+    add("otw_lp_idle_polls_total", static_cast<double>(s.idle_polls),
+        Metric::Type::Counter);
+  }
+
+  obs::add_phase_metrics(snapshot, result.lp_phases);
+  return snapshot;
+}
+
+void write_chrome_trace(std::ostream& os, const RunResult& result) {
+  obs::write_chrome_trace(os, result.trace);
+}
+
+void write_metrics_jsonl(std::ostream& os, const RunResult& result) {
+  obs::write_metrics_jsonl(os, build_metrics(result));
+}
+
+void write_prometheus(std::ostream& os, const RunResult& result) {
+  obs::write_prometheus(os, build_metrics(result));
+}
+
+}  // namespace otw::tw

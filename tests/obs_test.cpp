@@ -1,0 +1,565 @@
+// Unit tests for the otw::obs layer in isolation: trace-ring wraparound and
+// overflow accounting, phase-profiler nesting (self-time attribution), and
+// exporter well-formedness — the Chrome trace JSON is parsed back with a
+// minimal recursive-descent JSON parser, not just grepped.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "otw/obs/export.hpp"
+#include "otw/obs/phase_profiler.hpp"
+#include "otw/obs/recorder.hpp"
+#include "otw/obs/trace.hpp"
+
+namespace otw::obs {
+namespace {
+
+// --- a minimal JSON value + recursive-descent parser (tests only) ----------
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!value(out)) {
+      return false;
+    }
+    skip_ws();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  bool value(JsonValue& out) {
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out.kind = JsonValue::Kind::String; return string(out.string);
+      case 't': out.kind = JsonValue::Kind::Bool; out.boolean = true;
+                return literal("true");
+      case 'f': out.kind = JsonValue::Kind::Bool; out.boolean = false;
+                return literal("false");
+      case 'n': out.kind = JsonValue::Kind::Null; return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return false;
+    }
+    out.kind = JsonValue::Kind::Number;
+    out.number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        switch (text_[pos_]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) {
+              return false;
+            }
+            out += '?';  // tests don't need the decoded code point
+            pos_ += 4;
+            break;
+          }
+          default: return false;
+        }
+        ++pos_;
+      } else {
+        out += text_[pos_++];
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      skip_ws();
+      if (!value(element)) {
+        return false;
+      }
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || !string(key)) {
+        return false;
+      }
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      JsonValue val;
+      if (!value(val)) {
+        return false;
+      }
+      out.object[key] = std::move(val);
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TraceRecord rec(TraceKind kind, std::uint64_t wall_ns, std::uint32_t actor,
+                std::uint64_t vt = 0, std::uint64_t arg0 = 0,
+                std::uint64_t arg1 = 0) {
+  return TraceRecord{wall_ns, vt, arg0, arg1, actor, kind};
+}
+
+// --- TraceRing --------------------------------------------------------------
+
+TEST(TraceRing, FillsWithoutDropsUpToCapacity) {
+  TraceRing ring(4);
+  EXPECT_TRUE(ring.empty());
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ring.push(rec(TraceKind::EventProcessed, i, 0));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const std::vector<TraceRecord> out = ring.drain();
+  ASSERT_EQ(out.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i].wall_ns, i);
+  }
+}
+
+TEST(TraceRing, OverwritesOldestAndCountsDrops) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ring.push(rec(TraceKind::EventProcessed, i, 0));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 2u);  // records 0 and 1 were overwritten
+  const std::vector<TraceRecord> out = ring.drain();
+  ASSERT_EQ(out.size(), 4u);
+  // Oldest-first: 2, 3, 4, 5.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i].wall_ns, i + 2);
+  }
+}
+
+TEST(TraceRing, WrapsManyTimesAndStaysConsistent) {
+  TraceRing ring(3);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ring.push(rec(TraceKind::GvtEpoch, i, 1, i));
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dropped(), 97u);
+  const std::vector<TraceRecord> out = ring.drain();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].wall_ns, 97u);
+  EXPECT_EQ(out[1].wall_ns, 98u);
+  EXPECT_EQ(out[2].wall_ns, 99u);
+}
+
+TEST(TraceRing, ZeroCapacityIsClampedToOne) {
+  TraceRing ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.push(rec(TraceKind::EventProcessed, 7, 0));
+  EXPECT_EQ(ring.drain().at(0).wall_ns, 7u);
+}
+
+TEST(TraceRing, DoubleArgsRoundTripThroughBits) {
+  for (const double v : {0.0, 1.0, -3.25, 0.4499999, 1e300}) {
+    EXPECT_EQ(arg_from_bits(arg_bits(v)), v);
+  }
+}
+
+// --- PhaseProfiler ----------------------------------------------------------
+
+TEST(PhaseProfiler, AttributesSelfTimeUnderNesting) {
+  PhaseProfiler p;
+  // Rollback [0, 30] containing a coast-forward [10, 20]: rollback self-time
+  // is 20, coast-forward 10, and the totals partition the outer span.
+  p.begin(Phase::Rollback, 0);
+  p.begin(Phase::CoastForward, 10);
+  p.end(20);
+  p.end(30);
+  EXPECT_EQ(p.totals().ns[static_cast<std::size_t>(Phase::Rollback)], 20u);
+  EXPECT_EQ(p.totals().ns[static_cast<std::size_t>(Phase::CoastForward)], 10u);
+  EXPECT_EQ(p.totals().total_ns(), 30u);
+  EXPECT_EQ(p.open_scopes(), 0u);
+}
+
+TEST(PhaseProfiler, AddFeedsTheEnclosingScope) {
+  PhaseProfiler p;
+  p.begin(Phase::EventProcessing, 0);
+  p.add(Phase::Control, 4);  // leaf charge inside the scope
+  p.end(10);
+  EXPECT_EQ(p.totals().ns[static_cast<std::size_t>(Phase::Control)], 4u);
+  EXPECT_EQ(p.totals().ns[static_cast<std::size_t>(Phase::EventProcessing)], 6u);
+  EXPECT_EQ(p.totals().total_ns(), 10u);
+}
+
+TEST(PhaseProfiler, DeepNestingPartitionsTheOuterSpan) {
+  PhaseProfiler p;
+  p.begin(Phase::Rollback, 0);        // [0, 100]
+  p.begin(Phase::StateSaving, 5);     // [5, 15]
+  p.end(15);
+  p.begin(Phase::CoastForward, 20);   // [20, 90]
+  p.begin(Phase::EventProcessing, 30);  // [30, 80]
+  p.end(80);
+  p.end(90);
+  p.end(100);
+  const PhaseTotals& t = p.totals();
+  EXPECT_EQ(t.ns[static_cast<std::size_t>(Phase::StateSaving)], 10u);
+  EXPECT_EQ(t.ns[static_cast<std::size_t>(Phase::EventProcessing)], 50u);
+  EXPECT_EQ(t.ns[static_cast<std::size_t>(Phase::CoastForward)], 20u);
+  EXPECT_EQ(t.ns[static_cast<std::size_t>(Phase::Rollback)], 20u);
+  EXPECT_EQ(t.total_ns(), 100u);
+}
+
+TEST(PhaseProfiler, UnbalancedEndIsIgnored) {
+  PhaseProfiler p;
+  p.end(50);  // no matching begin
+  EXPECT_EQ(p.totals().total_ns(), 0u);
+}
+
+TEST(PhaseProfiler, CountsEntries) {
+  PhaseProfiler p;
+  for (int i = 0; i < 3; ++i) {
+    p.begin(Phase::Gvt, 0);
+    p.end(1);
+  }
+  p.add(Phase::Idle, 5);
+  EXPECT_EQ(p.totals().count[static_cast<std::size_t>(Phase::Gvt)], 3u);
+  EXPECT_EQ(p.totals().count[static_cast<std::size_t>(Phase::Idle)], 1u);
+}
+
+// --- Recorder ---------------------------------------------------------------
+
+TEST(Recorder, DisabledByDefault) {
+  Recorder recorder;
+  EXPECT_FALSE(recorder.tracing());
+  EXPECT_FALSE(recorder.profiling());
+  recorder.record(TraceKind::EventProcessed, 1, 2);  // must be a safe no-op
+  recorder.phase_begin(Phase::Gvt, 0);
+  recorder.phase_end(10);
+  EXPECT_TRUE(recorder.drain_trace().records.empty());
+  EXPECT_EQ(recorder.phase_totals().total_ns(), 0u);
+}
+
+TEST(Recorder, ConfiguredRecorderCapturesRecords) {
+  Recorder recorder;
+  ObsConfig config;
+  config.tracing = true;
+  config.profiling = true;
+  config.ring_capacity = 8;
+  recorder.configure(config, 3);
+#if OTW_OBS_TRACING
+  ASSERT_TRUE(recorder.tracing());
+  recorder.record(TraceKind::RollbackBegin, 100, 7, 42);
+  recorder.record(TraceKind::RollbackEnd, 120, 7, 42, 5);
+  const LpTraceLog log = recorder.drain_trace();
+  EXPECT_EQ(log.lp, 3u);
+  ASSERT_EQ(log.records.size(), 2u);
+  EXPECT_EQ(log.records[0].kind, TraceKind::RollbackBegin);
+  EXPECT_EQ(log.records[1].arg0, 5u);
+#else
+  EXPECT_FALSE(recorder.tracing());
+#endif
+  recorder.phase_begin(Phase::Comm, 0);
+  recorder.phase_end(25);
+  EXPECT_EQ(recorder.phase_totals().ns[static_cast<std::size_t>(Phase::Comm)],
+            25u);
+}
+
+// --- Chrome trace exporter --------------------------------------------------
+
+RunTrace sample_trace() {
+  RunTrace trace;
+  LpTraceLog lp0;
+  lp0.lp = 0;
+  lp0.records = {
+      rec(TraceKind::EventProcessed, 1'000, 4, 500),
+      rec(TraceKind::StateSave, 1'500, 4, 500, 64),
+      rec(TraceKind::RollbackBegin, 2'000, 4, 300),
+      rec(TraceKind::StateRestore, 2'100, 4, 250),
+      rec(TraceKind::CoastForward, 2'200, 4, 300, 3, 600),
+      rec(TraceKind::RollbackEnd, 2'900, 4, 300, 7),
+      rec(TraceKind::GvtEpoch, 3'000, 0, 280),
+      rec(TraceKind::CancellationSwitch, 3'500, 4, 310, 1, arg_bits(0.61)),
+      rec(TraceKind::CheckpointDecision, 3'600, 4, 320, 4, arg_bits(1.75)),
+      rec(TraceKind::OptimismDecision, 3'700, 0, 320, 4'096, arg_bits(0.12)),
+      rec(TraceKind::AggregateFlush, 3'800, 0, 0, 12, arg_bits(32.0)),
+      rec(TraceKind::AntiSent, 3'900, 4, 333),
+      rec(TraceKind::TelemetrySample, 4'000, 4, 340),
+  };
+  LpTraceLog lp1;
+  lp1.lp = 1;
+  lp1.dropped = 5;  // pretend the ring overflowed
+  lp1.records = {
+      // Orphan end (its begin was overwritten) and an unterminated begin.
+      rec(TraceKind::RollbackEnd, 1'000, 9, 100, 2),
+      rec(TraceKind::EventProcessed, 1'200, 9, 110),
+      rec(TraceKind::RollbackBegin, 1'400, 9, 90),
+  };
+  trace.lps = {lp0, lp1};
+  return trace;
+}
+
+TEST(ChromeTrace, ParsesBackAsWellFormedJson) {
+  std::ostringstream os;
+  write_chrome_trace(os, sample_trace());
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(os.str()).parse(root)) << os.str();
+  ASSERT_EQ(root.kind, JsonValue::Kind::Object);
+
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::Array);
+  ASSERT_FALSE(events->array.empty());
+
+  // Every event must carry the mandatory trace_event fields with the right
+  // types, and all B/E pairs must balance per track so Perfetto can nest.
+  std::map<double, int> depth;
+  int durations = 0, instants = 0;
+  for (const JsonValue& e : events->array) {
+    ASSERT_EQ(e.kind, JsonValue::Kind::Object);
+    const JsonValue* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_EQ(ph->kind, JsonValue::Kind::String);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    if (ph->string == "M") {
+      continue;  // metadata has no ts
+    }
+    const JsonValue* ts = e.find("ts");
+    ASSERT_NE(ts, nullptr);
+    EXPECT_EQ(ts->kind, JsonValue::Kind::Number);
+    const double tid = e.find("tid")->number;
+    if (ph->string == "B") {
+      ++depth[tid];
+      ++durations;
+    } else if (ph->string == "E") {
+      --depth[tid];
+      EXPECT_GE(depth[tid], 0) << "E before B on tid " << tid;
+    } else if (ph->string == "i") {
+      ++instants;
+    } else if (ph->string == "X") {
+      ASSERT_NE(e.find("dur"), nullptr);
+    }
+  }
+  for (const auto& [tid, d] : depth) {
+    EXPECT_EQ(d, 0) << "unbalanced B/E on tid " << tid;
+  }
+  EXPECT_GT(durations, 0);
+  EXPECT_GT(instants, 0);
+}
+
+TEST(ChromeTrace, CarriesTheKernelEventNames) {
+  std::ostringstream os;
+  write_chrome_trace(os, sample_trace());
+  const std::string json = os.str();
+  for (const char* name :
+       {"rollback", "checkpoint", "gvt", "cancellation_switch", "chi_decision",
+        "optimism_decision", "coast_forward", "aggregate_flush",
+        "trace_overflow"}) {
+    EXPECT_NE(json.find("\"" + std::string(name) + "\""), std::string::npos)
+        << "missing event name: " << name;
+  }
+  // Controller decisions carry their triggering sample values as args.
+  EXPECT_NE(json.find("hit_ratio"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyTraceIsStillValidJson) {
+  std::ostringstream os;
+  write_chrome_trace(os, RunTrace{});
+  JsonValue root;
+  EXPECT_TRUE(JsonParser(os.str()).parse(root)) << os.str();
+}
+
+// --- metrics exporters ------------------------------------------------------
+
+MetricsSnapshot sample_metrics() {
+  MetricsSnapshot snapshot;
+  snapshot.add("otw_events_committed_total", 12'345);
+  snapshot.add("otw_committed_events_per_sec", 9'876.5, Metric::Type::Gauge);
+  Metric labelled;
+  labelled.name = "otw_lp_steps_total";
+  labelled.labels = {{"lp", "0"}, {"note", "quote\"and\\slash"}};
+  labelled.value = 42;
+  snapshot.metrics.push_back(labelled);
+  std::vector<PhaseTotals> phases(2);
+  phases[0].ns[0] = 100;
+  phases[0].count[0] = 3;
+  phases[1].ns[2] = 50;
+  phases[1].count[2] = 1;
+  add_phase_metrics(snapshot, phases);
+  return snapshot;
+}
+
+TEST(MetricsExport, JsonlLinesAllParse) {
+  std::ostringstream os;
+  write_metrics_jsonl(os, sample_metrics());
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  bool saw_labelled = false;
+  while (std::getline(is, line)) {
+    ++lines;
+    JsonValue v;
+    ASSERT_TRUE(JsonParser(line).parse(v)) << line;
+    ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+    ASSERT_NE(v.find("name"), nullptr);
+    ASSERT_NE(v.find("value"), nullptr);
+    ASSERT_NE(v.find("type"), nullptr);
+    if (v.find("name")->string == "otw_lp_steps_total") {
+      saw_labelled = true;
+      const JsonValue* labels = v.find("labels");
+      ASSERT_NE(labels, nullptr);
+      EXPECT_EQ(labels->find("lp")->string, "0");
+    }
+  }
+  EXPECT_EQ(lines, sample_metrics().metrics.size());
+  EXPECT_TRUE(saw_labelled);
+}
+
+TEST(MetricsExport, PrometheusGroupsFamiliesUnderOneTypeHeader) {
+  std::ostringstream os;
+  write_prometheus(os, sample_metrics());
+  const std::string text = os.str();
+
+  // Each family may declare # TYPE at most once (exposition-format rule),
+  // even though otw_phase_ns / otw_phase_count samples interleave per LP.
+  std::istringstream is(text);
+  std::string line;
+  std::map<std::string, int> type_headers;
+  while (std::getline(is, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      type_headers[rest.substr(0, rest.find(' '))]++;
+    }
+  }
+  ASSERT_FALSE(type_headers.empty());
+  for (const auto& [family, n] : type_headers) {
+    EXPECT_EQ(n, 1) << "duplicate # TYPE for " << family;
+  }
+  EXPECT_EQ(type_headers["otw_phase_ns"], 1);
+  EXPECT_EQ(type_headers["otw_phase_count"], 1);
+  EXPECT_NE(text.find("otw_phase_ns{lp=\"0\",phase=\"event_processing\"} 100"),
+            std::string::npos)
+      << text;
+  // Label values are escaped per the exposition format.
+  EXPECT_NE(text.find("quote\\\"and\\\\slash"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace otw::obs

@@ -122,6 +122,92 @@ TEST(Telemetry, CsvContainsBothTraceKinds) {
   EXPECT_NE(csv.find("\nlp,"), std::string::npos);
 }
 
+// Splits one CSV line into fields, keeping empties.
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+TEST(Telemetry, CsvRoundTripsThroughTheDocumentedSchema) {
+  // Parse the CSV back and check every row against the 10-column schema
+  // documented in telemetry.hpp — and that the parsed samples reproduce the
+  // in-memory telemetry exactly.
+  const Model model = apps::phold::build_model(phased_phold());
+  const RunResult r =
+      run_simulated_now(model, telemetry_config(), telemetry_now());
+  std::ostringstream os;
+  r.telemetry.write_csv(os);
+
+  std::istringstream is(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line,
+            "kind,id,events,time,chi,hit_ratio,mode,rollbacks,window_us,"
+            "optimism");
+
+  std::size_t object_rows = 0, lp_rows = 0;
+  while (std::getline(is, line)) {
+    const std::vector<std::string> f = split_csv(line);
+    ASSERT_EQ(f.size(), 10u) << "row: " << line;
+    if (f[0] == "object") {
+      const auto id = static_cast<std::uint32_t>(std::stoul(f[1]));
+      ASSERT_LT(id, r.telemetry.objects.size());
+      const ObjectTrace& trace = r.telemetry.objects[id];
+      ++object_rows;
+      const ObjectSample* match = nullptr;
+      for (const ObjectSample& s : trace.samples) {
+        if (std::to_string(s.events_processed) == f[2] &&
+            std::to_string(s.lvt.ticks()) == f[3] &&
+            std::to_string(s.rollbacks) == f[7]) {
+          match = &s;
+          break;
+        }
+      }
+      ASSERT_NE(match, nullptr) << "no in-memory sample matches row: " << line;
+      EXPECT_EQ(std::stoul(f[4]), match->checkpoint_interval);
+      EXPECT_EQ(f[6], core::to_string(match->mode));
+      EXPECT_TRUE(f[8].empty() && f[9].empty()) << line;
+    } else {
+      ASSERT_EQ(f[0], "lp") << line;
+      ++lp_rows;
+      const auto id = static_cast<std::uint32_t>(std::stoul(f[1]));
+      bool found = false;
+      for (const LpTrace& trace : r.telemetry.lps) {
+        if (trace.lp != id) continue;
+        for (const LpSample& s : trace.samples) {
+          found = found || (std::to_string(s.events_processed) == f[2] &&
+                            std::to_string(s.optimism_window) == f[9]);
+        }
+      }
+      EXPECT_TRUE(found) << "no in-memory sample matches row: " << line;
+      EXPECT_TRUE(f[4].empty() && f[5].empty() && f[6].empty() && f[7].empty())
+          << line;
+    }
+  }
+
+  std::size_t expected_object_rows = 0, expected_lp_rows = 0;
+  for (const ObjectTrace& t : r.telemetry.objects) {
+    expected_object_rows += t.samples.size();
+  }
+  for (const LpTrace& t : r.telemetry.lps) {
+    expected_lp_rows += t.samples.size();
+  }
+  EXPECT_EQ(object_rows, expected_object_rows);
+  EXPECT_EQ(lp_rows, expected_lp_rows);
+  EXPECT_GT(object_rows, 0u);
+  EXPECT_GT(lp_rows, 0u);
+}
+
 TEST(Telemetry, PhasedModelStillMatchesAcrossKernels) {
   auto app = phased_phold();
   app.num_objects = 8;
