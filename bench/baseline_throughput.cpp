@@ -6,10 +6,48 @@
 // Our numbers come from the calibrated simulated-NOW platform, so the right
 // comparison is order-of-magnitude and the SMMP:RAID ratio (~1.04 in the
 // paper).
+#include <fstream>
+
 #include "bench_common.hpp"
 
 #include "otw/apps/raid.hpp"
 #include "otw/apps/smmp.hpp"
+
+namespace {
+
+// Headline numbers for quick regression eyeballing and the CI artifact:
+// throughput, rollback rate and the per-phase self-time breakdown per model.
+void append_baseline_entry(std::ostream& os, const char* label,
+                           const otw::tw::RunResult& r) {
+  using namespace otw;
+  const auto& totals = r.stats.object_totals();
+  const double rate =
+      totals.events_processed > 0
+          ? static_cast<double>(r.stats.total_rollbacks()) /
+                static_cast<double>(totals.events_processed)
+          : 0.0;
+  os << "    \"" << label << "\": {\n";
+  os << "      \"committed_events_per_sec\": " << r.committed_events_per_sec()
+     << ",\n";
+  os << "      \"rollback_rate\": " << rate << ",\n";
+  obs::PhaseTotals phases;
+  for (const obs::PhaseTotals& t : r.lp_phases) {
+    phases.merge(t);
+  }
+  os << "      \"phase_self_ns\": {";
+  bool first = true;
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    if (phases.ns[i] == 0) {
+      continue;
+    }
+    os << (first ? "" : ", ") << "\""
+       << obs::to_string(static_cast<obs::Phase>(i)) << "\": " << phases.ns[i];
+    first = false;
+  }
+  os << "}\n    }";
+}
+
+}  // namespace
 
 int main() {
   using namespace otw;
@@ -33,5 +71,15 @@ int main() {
   std::printf("  ours : SMMP %.0f ev/s, RAID %.0f ev/s (ratio %.2f)\n",
               s.committed_events_per_sec(), r.committed_events_per_sec(),
               s.committed_events_per_sec() / r.committed_events_per_sec());
+
+  std::ofstream baseline("BENCH_baseline.json");
+  if (baseline) {
+    baseline << "{\n  \"bench\": \"baseline_throughput\",\n  \"models\": {\n";
+    append_baseline_entry(baseline, "SMMP", s);
+    baseline << ",\n";
+    append_baseline_entry(baseline, "RAID", r);
+    baseline << "\n  }\n}\n";
+    std::printf("  [baseline json: BENCH_baseline.json]\n");
+  }
   return 0;
 }

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "otw/obs/analysis.hpp"
 #include "otw/obs/export.hpp"
 
 namespace otw::bench {
@@ -121,9 +123,11 @@ BenchReport::~BenchReport() {
 tw::RunResult BenchReport::run(const std::string& label, double x,
                                const tw::Model& model, tw::KernelConfig kc,
                                const platform::CostModel& costs) {
-  // Profiling adds accounting only (no modeled charge), so the reported
-  // makespan is identical with it on or off.
+  // Profiling and tracing add accounting only (no modeled charge), so the
+  // reported makespan is identical with them on or off. The trace feeds the
+  // per-run "analysis" block in the JSON output.
   kc.observability.profiling = true;
+  kc.observability.tracing = true;
   const tw::RunResult result = run_now(model, kc, costs);
   print_run_row(label, x, result);
   record(label, x, kc, result);
@@ -138,6 +142,11 @@ void BenchReport::record(const std::string& label, double x,
   row += ",\"config\":" + config_json(kc);
   row += ",\"results\":" + results_json(result);
   row += ",\"phases\":" + phases_json(result.lp_phases);
+  if (!result.trace.empty()) {
+    std::ostringstream analysis;
+    obs::write_analysis_json(analysis, obs::analyze(result.trace));
+    row += ",\"analysis\":" + analysis.str();
+  }
   row += "}";
   rows_.push_back(std::move(row));
 }

@@ -10,12 +10,16 @@
 // what the cancellation controllers chose and writes all controller
 // trajectories as CSV, plus a Chrome trace_event JSON of the whole run
 // (open trace_path in https://ui.perfetto.dev or chrome://tracing) and a
-// metrics snapshot next to it.
+// metrics snapshot next to it. A post-mortem trace analysis (rollback
+// cascades, controller convergence, per-epoch commit efficiency) is printed
+// and written as markdown to <trace_path>.report.md.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 
 #include "otw/apps/phold.hpp"
+#include "otw/obs/analysis.hpp"
 #include "otw/tw/kernel.hpp"
 #include "otw/tw/observability.hpp"
 
@@ -123,6 +127,17 @@ int main(int argc, char** argv) {
                 static_cast<double>(totals.ns[i]) / 1e6,
                 static_cast<unsigned long long>(totals.count[i]));
   }
+
+  // Post-mortem analysis of the same trace: who started the rollback
+  // cascades, how quickly each controller settled, and how much optimistic
+  // work each GVT epoch actually kept.
+  const obs::AnalysisReport analysis = obs::analyze(r.trace);
+  std::printf("\n");
+  obs::write_analysis_markdown(std::cout, analysis);
+  const std::string report_path = std::string(trace_path) + ".report.md";
+  std::ofstream report(report_path);
+  obs::write_analysis_markdown(report, analysis);
+  std::printf("\nanalysis report written to %s\n", report_path.c_str());
 
   const tw::SequentialResult seq = tw::run_sequential(model, kc.end_time);
   const bool ok = seq.digests == r.digests;

@@ -1,0 +1,655 @@
+#include "otw/obs/analysis.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace otw::obs {
+namespace {
+
+// --- cascade reconstruction -------------------------------------------------
+
+struct RollbackScope {
+  std::size_t lp = 0;
+  std::uint32_t actor = 0;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t target_vt = 0;
+  RollbackCause cause;
+  std::uint64_t undone = 0;
+  bool closed = false;
+};
+
+/// Identity of a traced message: (sender, receiver, recv_time, send_time).
+/// The same identity can recur when an event is re-executed and re-cancelled,
+/// so each key holds a FIFO of occurrences consumed in wall order.
+using AntiKey = std::array<std::uint64_t, 4>;
+
+struct AntiOccurrence {
+  std::uint64_t wall_ns = 0;
+  std::size_t rollback = SIZE_MAX;  ///< owning RollbackScope (SIZE_MAX: none)
+};
+
+struct AntiFifo {
+  std::vector<AntiOccurrence> entries;
+  std::size_t next = 0;
+};
+
+struct CascadeAccumulator {
+  Cascade cascade;
+  std::set<std::uint32_t> objects;
+};
+
+CascadeReport build_cascades(const RunTrace& trace,
+                             const AnalysisConfig& config) {
+  CascadeReport report;
+
+  // Pass 1: per-LP stream scan. Collect rollback scopes and attribute each
+  // AntiSent to the rollback that emitted it: the actor's open scope
+  // (aggressive cancellation and annihilation purges emit inside the
+  // rollback), or the scope that just closed at this same wall instant
+  // (lazy-miss flushes right after coast-forward). Antis emitted outside any
+  // scope (idle-time lazy resolution) stay unowned — a downstream rollback
+  // they cause roots its own cascade.
+  std::vector<RollbackScope> rollbacks;
+  std::map<AntiKey, AntiFifo> antis;
+  for (std::size_t lp = 0; lp < trace.lps.size(); ++lp) {
+    struct ActorState {
+      std::size_t open = SIZE_MAX;
+      std::size_t last_closed = SIZE_MAX;
+    };
+    std::map<std::uint32_t, ActorState> actors;
+    for (const TraceRecord& r : trace.lps[lp].records) {
+      switch (r.kind) {
+        case TraceKind::RollbackBegin: {
+          RollbackScope scope;
+          scope.lp = lp;
+          scope.actor = r.actor;
+          scope.begin_ns = r.wall_ns;
+          scope.end_ns = r.wall_ns;
+          scope.target_vt = r.vt;
+          scope.cause = unpack_rollback_cause(r);
+          rollbacks.push_back(scope);
+          actors[r.actor].open = rollbacks.size() - 1;
+          break;
+        }
+        case TraceKind::RollbackEnd: {
+          ActorState& st = actors[r.actor];
+          if (st.open != SIZE_MAX) {
+            RollbackScope& scope = rollbacks[st.open];
+            scope.end_ns = r.wall_ns;
+            scope.undone = r.arg0;
+            scope.closed = true;
+            st.last_closed = st.open;
+            st.open = SIZE_MAX;
+          }
+          break;
+        }
+        case TraceKind::AntiSent: {
+          const AntiSentInfo info = unpack_anti_sent(r);
+          const ActorState& st = actors.count(r.actor)
+                                     ? actors.at(r.actor)
+                                     : ActorState{};
+          std::size_t owner = st.open;
+          if (owner == SIZE_MAX && st.last_closed != SIZE_MAX &&
+              rollbacks[st.last_closed].end_ns == r.wall_ns) {
+            owner = st.last_closed;
+          }
+          const AntiKey key{r.actor, info.receiver, r.vt, info.send_time};
+          antis[key].entries.push_back(AntiOccurrence{r.wall_ns, owner});
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  report.total_rollbacks = rollbacks.size();
+  if (rollbacks.empty()) {
+    report.depth_histogram.assign(config.histogram_buckets + 1, 0);
+    report.width_histogram.assign(config.histogram_buckets + 1, 0);
+    return report;
+  }
+
+  // Pass 2: chain rollbacks in global wall order. A straggler-caused
+  // rollback roots a new cascade; an anti-caused rollback joins the cascade
+  // of the rollback that sent the matching anti-message.
+  std::vector<std::size_t> order(rollbacks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&rollbacks](std::size_t a, std::size_t b) {
+                     return rollbacks[a].begin_ns < rollbacks[b].begin_ns;
+                   });
+
+  std::vector<std::size_t> root(rollbacks.size(), SIZE_MAX);
+  std::vector<std::uint32_t> depth(rollbacks.size(), 1);
+  std::map<std::size_t, CascadeAccumulator> cascades;  // keyed by root index
+
+  for (const std::size_t i : order) {
+    const RollbackScope& rb = rollbacks[i];
+    std::size_t parent = SIZE_MAX;
+    if (rb.cause.anti) {
+      ++report.cascaded_rollbacks;
+      const AntiKey key{rb.cause.source_object, rb.actor, rb.target_vt,
+                        rb.cause.send_time};
+      auto it = antis.find(key);
+      if (it != antis.end() && it->second.next < it->second.entries.size()) {
+        const AntiOccurrence& occ = it->second.entries[it->second.next];
+        if (occ.wall_ns <= rb.begin_ns) {
+          ++it->second.next;
+          if (occ.rollback != SIZE_MAX && root[occ.rollback] != SIZE_MAX) {
+            parent = occ.rollback;
+          }
+        }
+      }
+    } else {
+      ++report.primary_rollbacks;
+    }
+
+    if (parent != SIZE_MAX) {
+      ++report.chained_rollbacks;
+      root[i] = root[parent];
+      depth[i] = depth[parent] + 1;
+    } else {
+      root[i] = i;
+      CascadeAccumulator& acc = cascades[i];
+      acc.cascade.root_object = rb.actor;
+      acc.cascade.blamed_object = rb.cause.source_object;
+      acc.cascade.root_vt = rb.target_vt;
+      acc.cascade.rollbacks = 0;  // counted below, with every member
+    }
+
+    CascadeAccumulator& acc = cascades.at(root[i]);
+    ++acc.cascade.rollbacks;
+    acc.cascade.events_undone += rb.undone;
+    acc.cascade.depth = std::max(acc.cascade.depth, depth[i]);
+    acc.objects.insert(rb.actor);
+    report.total_events_undone += rb.undone;
+  }
+
+  // Blame + histograms.
+  report.depth_histogram.assign(config.histogram_buckets + 1, 0);
+  report.width_histogram.assign(config.histogram_buckets + 1, 0);
+  std::map<std::uint32_t, BlameEntry> blame;
+  report.cascades.reserve(cascades.size());
+  for (auto& [root_idx, acc] : cascades) {
+    acc.cascade.width = static_cast<std::uint32_t>(acc.objects.size());
+    report.max_depth = std::max(report.max_depth, acc.cascade.depth);
+    report.max_width = std::max(report.max_width, acc.cascade.width);
+    const std::size_t db =
+        std::min<std::size_t>(acc.cascade.depth - 1, config.histogram_buckets);
+    const std::size_t wb =
+        std::min<std::size_t>(acc.cascade.width - 1, config.histogram_buckets);
+    ++report.depth_histogram[db];
+    ++report.width_histogram[wb];
+
+    BlameEntry& entry = blame[acc.cascade.blamed_object];
+    entry.object = acc.cascade.blamed_object;
+    entry.rollbacks_caused += acc.cascade.rollbacks;
+    entry.events_undone += acc.cascade.events_undone;
+    ++entry.cascades_started;
+    report.cascades.push_back(acc.cascade);
+  }
+  std::stable_sort(report.cascades.begin(), report.cascades.end(),
+                   [](const Cascade& a, const Cascade& b) {
+                     return a.rollbacks > b.rollbacks;
+                   });
+
+  report.blame.reserve(blame.size());
+  for (const auto& [object, entry] : blame) {
+    report.blame.push_back(entry);
+  }
+  std::stable_sort(report.blame.begin(), report.blame.end(),
+                   [](const BlameEntry& a, const BlameEntry& b) {
+                     return a.rollbacks_caused > b.rollbacks_caused;
+                   });
+  if (report.blame.size() > config.max_blame_entries) {
+    report.blame.resize(config.max_blame_entries);
+  }
+  return report;
+}
+
+// --- controller convergence -------------------------------------------------
+
+/// One actor's observed trajectory of a scalar control variable.
+struct ActorSeries {
+  std::uint64_t decisions = 0;
+  std::uint64_t changes = 0;
+  std::uint64_t oscillations = 0;
+  std::uint64_t last_change_ns = 0;
+  int last_direction = 0;  // +1 rising, -1 falling
+  double min_value = 0.0;
+  double max_value = 0.0;
+  double last_value = 0.0;
+  bool seen = false;
+
+  void observe(std::uint64_t wall_ns, double value) {
+    ++decisions;
+    if (!seen) {
+      seen = true;
+      min_value = max_value = last_value = value;
+      return;
+    }
+    min_value = std::min(min_value, value);
+    max_value = std::max(max_value, value);
+    if (value != last_value) {
+      ++changes;
+      last_change_ns = wall_ns;
+      const int direction = value > last_value ? 1 : -1;
+      if (last_direction != 0 && direction != last_direction) {
+        ++oscillations;
+      }
+      last_direction = direction;
+      last_value = value;
+    }
+  }
+};
+
+SeriesStats merge_series(const std::map<std::uint32_t, ActorSeries>& actors,
+                         std::uint64_t run_begin_ns) {
+  SeriesStats out;
+  double final_sum = 0.0;
+  std::uint64_t last_change = 0;
+  bool first = true;
+  for (const auto& [actor, series] : actors) {
+    out.decisions += series.decisions;
+    out.value_changes += series.changes;
+    out.oscillations += series.oscillations;
+    last_change = std::max(last_change, series.last_change_ns);
+    if (first) {
+      out.min_value = series.min_value;
+      out.max_value = series.max_value;
+      first = false;
+    } else {
+      out.min_value = std::min(out.min_value, series.min_value);
+      out.max_value = std::max(out.max_value, series.max_value);
+    }
+    final_sum += series.last_value;
+  }
+  if (!actors.empty()) {
+    out.final_mean = final_sum / static_cast<double>(actors.size());
+    out.settle_ns = last_change > run_begin_ns ? last_change - run_begin_ns : 0;
+  }
+  return out;
+}
+
+ConvergenceReport build_convergence(const RunTrace& trace,
+                                    const AnalysisConfig& config,
+                                    std::uint64_t run_begin_ns,
+                                    std::uint64_t run_end_ns) {
+  ConvergenceReport report;
+  std::map<std::uint32_t, ActorSeries> chi;
+  std::map<std::uint32_t, ActorSeries> optimism;
+  std::map<std::uint32_t, ActorSeries> aggregation;
+
+  struct ModeState {
+    bool lazy = false;
+    std::uint64_t since_ns = 0;
+    bool seen = false;
+  };
+  std::map<std::uint32_t, ModeState> modes;
+  std::uint64_t last_switch_ns = 0;
+  std::uint64_t dead_zone_samples = 0;
+
+  for (const LpTraceLog& log : trace.lps) {
+    for (const TraceRecord& r : log.records) {
+      switch (r.kind) {
+        case TraceKind::CheckpointDecision: {
+          const CheckpointDecisionInfo info = unpack_checkpoint_decision(r);
+          chi[r.actor].observe(r.wall_ns, static_cast<double>(info.interval));
+          break;
+        }
+        case TraceKind::OptimismDecision: {
+          const OptimismDecisionInfo info = unpack_optimism_decision(r);
+          optimism[r.actor].observe(r.wall_ns,
+                                    static_cast<double>(info.window));
+          break;
+        }
+        case TraceKind::AggregateFlush: {
+          const AggregateFlushInfo info = unpack_aggregate_flush(r);
+          aggregation[r.actor].observe(r.wall_ns, info.window_us);
+          break;
+        }
+        case TraceKind::CancellationSwitch: {
+          const CancellationSwitchInfo info = unpack_cancellation_switch(r);
+          ModeState& state = modes[r.actor];
+          if (!state.seen) {
+            // The mode before the first switch is the other one; charge its
+            // dwell from the run start.
+            state.seen = true;
+            state.lazy = !info.lazy;
+            state.since_ns = run_begin_ns;
+          }
+          const std::uint64_t dwell =
+              r.wall_ns > state.since_ns ? r.wall_ns - state.since_ns : 0;
+          (state.lazy ? report.lazy_dwell_ns : report.aggressive_dwell_ns) +=
+              dwell;
+          state.lazy = info.lazy;
+          state.since_ns = r.wall_ns;
+          ++report.mode_switches;
+          last_switch_ns = std::max(last_switch_ns, r.wall_ns);
+          break;
+        }
+        case TraceKind::TelemetrySample: {
+          if (is_object_sample(r)) {
+            const ObjectSampleInfo info = unpack_object_sample(r);
+            ++report.hr_samples;
+            if (info.hit_ratio >= config.dead_zone_low &&
+                info.hit_ratio < config.dead_zone_high) {
+              ++dead_zone_samples;
+            }
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  // Close the dwell intervals at the end of the run.
+  for (auto& [actor, state] : modes) {
+    const std::uint64_t dwell =
+        run_end_ns > state.since_ns ? run_end_ns - state.since_ns : 0;
+    (state.lazy ? report.lazy_dwell_ns : report.aggressive_dwell_ns) += dwell;
+  }
+
+  report.checkpoint_interval = merge_series(chi, run_begin_ns);
+  report.optimism_window = merge_series(optimism, run_begin_ns);
+  report.aggregation_window = merge_series(aggregation, run_begin_ns);
+
+  const std::uint64_t total_dwell =
+      report.lazy_dwell_ns + report.aggressive_dwell_ns;
+  if (total_dwell > 0) {
+    report.lazy_dwell_fraction = static_cast<double>(report.lazy_dwell_ns) /
+                                 static_cast<double>(total_dwell);
+  }
+  if (report.mode_switches > 0 && last_switch_ns > run_begin_ns) {
+    report.cancellation_settle_ns = last_switch_ns - run_begin_ns;
+  }
+  if (report.hr_samples > 0) {
+    report.dead_zone_dwell_fraction =
+        static_cast<double>(dead_zone_samples) /
+        static_cast<double>(report.hr_samples);
+  }
+  return report;
+}
+
+// --- commit efficiency per epoch --------------------------------------------
+
+std::vector<EpochStats> build_epochs(const RunTrace& trace) {
+  // Per-LP streams split at GvtEpoch records; segments are keyed by the GVT
+  // value announced at the segment start (0 for the bootstrap segment) and
+  // merged across LPs.
+  std::map<std::uint64_t, EpochStats> epochs;
+  for (const LpTraceLog& log : trace.lps) {
+    std::uint64_t key = 0;
+    for (const TraceRecord& r : log.records) {
+      EpochStats& epoch = epochs[key];
+      epoch.gvt = key;
+      switch (r.kind) {
+        case TraceKind::GvtEpoch:
+          key = r.vt;
+          break;
+        case TraceKind::EventsCommitted:
+          // Fossil collection runs right after the epoch announcement, so
+          // commits land in the segment keyed by the GVT that freed them.
+          epochs[r.vt].gvt = r.vt;
+          epochs[r.vt].committed += r.arg0;
+          break;
+        case TraceKind::RollbackEnd:
+          ++epoch.rollbacks;
+          epoch.rolled_back += r.arg0;
+          break;
+        case TraceKind::CoastForward:
+          epoch.coast_events += r.arg0;
+          epoch.coast_ns += r.arg1;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  std::vector<EpochStats> out;
+  out.reserve(epochs.size());
+  for (const auto& [key, epoch] : epochs) {
+    if (epoch.committed || epoch.rolled_back || epoch.rollbacks ||
+        epoch.coast_events) {
+      out.push_back(epoch);
+    }
+  }
+  return out;
+}
+
+// --- rendering helpers ------------------------------------------------------
+
+std::string fmt(double value) {
+  if (!std::isfinite(value)) {
+    return "0";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string pct(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%",
+                std::isfinite(fraction) ? fraction * 100.0 : 0.0);
+  return buf;
+}
+
+std::string ms(std::uint64_t ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+void series_row(std::ostream& os, const char* name, const SeriesStats& s) {
+  if (!s.active()) {
+    os << "| " << name << " | - | - | - | - | - | - |\n";
+    return;
+  }
+  os << "| " << name << " | " << s.decisions << " | " << s.value_changes
+     << " | " << s.oscillations << " | " << fmt(s.min_value) << ".."
+     << fmt(s.max_value) << " | " << fmt(s.final_mean) << " | "
+     << ms(s.settle_ns) << " |\n";
+}
+
+void series_json(std::ostream& os, const SeriesStats& s) {
+  os << "{\"decisions\":" << s.decisions
+     << ",\"value_changes\":" << s.value_changes
+     << ",\"oscillations\":" << s.oscillations
+     << ",\"settle_ns\":" << s.settle_ns << ",\"min\":" << fmt(s.min_value)
+     << ",\"max\":" << fmt(s.max_value)
+     << ",\"final_mean\":" << fmt(s.final_mean) << "}";
+}
+
+}  // namespace
+
+AnalysisReport analyze(const RunTrace& trace, const AnalysisConfig& config) {
+  AnalysisReport report;
+  report.total_records = trace.total_records();
+  bool first = true;
+  for (const LpTraceLog& log : trace.lps) {
+    report.dropped_records += log.dropped;
+    if (!log.records.empty()) {
+      // Per-LP streams are wall-monotone; front/back bracket the stream.
+      const std::uint64_t begin = log.records.front().wall_ns;
+      const std::uint64_t end = log.records.back().wall_ns;
+      if (first) {
+        report.run_begin_ns = begin;
+        report.run_end_ns = end;
+        first = false;
+      } else {
+        report.run_begin_ns = std::min(report.run_begin_ns, begin);
+        report.run_end_ns = std::max(report.run_end_ns, end);
+      }
+    }
+  }
+
+  report.cascades = build_cascades(trace, config);
+  report.convergence = build_convergence(trace, config, report.run_begin_ns,
+                                         report.run_end_ns);
+  report.epochs = build_epochs(trace);
+
+  std::uint64_t committed = 0;
+  std::uint64_t rolled_back = 0;
+  for (const EpochStats& epoch : report.epochs) {
+    committed += epoch.committed;
+    rolled_back += epoch.rolled_back;
+  }
+  const double total = static_cast<double>(committed + rolled_back);
+  report.overall_efficiency =
+      total == 0.0 ? 1.0 : static_cast<double>(committed) / total;
+  return report;
+}
+
+void write_analysis_markdown(std::ostream& os, const AnalysisReport& report) {
+  os << "# Trace analysis\n\n";
+  os << "- records: " << report.total_records << " (dropped "
+     << report.dropped_records << ")\n";
+  os << "- span: " << ms(report.run_end_ns - report.run_begin_ns) << "\n";
+  os << "- commit efficiency: " << pct(report.overall_efficiency) << " over "
+     << report.epochs.size() << " GVT epochs\n\n";
+
+  const CascadeReport& c = report.cascades;
+  os << "## Rollback cascades\n\n";
+  os << "- rollbacks: " << c.total_rollbacks << " (" << c.primary_rollbacks
+     << " primary, " << c.cascaded_rollbacks << " cascaded, "
+     << c.chained_rollbacks << " chained to a parent)\n";
+  os << "- events undone: " << c.total_events_undone << "\n";
+  os << "- max cascade depth: " << c.max_depth << ", max width: " << c.max_width
+     << "\n\n";
+  if (!c.blame.empty()) {
+    os << "| blamed object | rollbacks caused | events undone | cascades "
+          "started |\n";
+    os << "|---:|---:|---:|---:|\n";
+    for (const BlameEntry& entry : c.blame) {
+      os << "| " << entry.object << " | " << entry.rollbacks_caused << " | "
+         << entry.events_undone << " | " << entry.cascades_started << " |\n";
+    }
+    os << "\n";
+  }
+  if (c.max_depth > 1 || c.max_width > 1) {
+    os << "| bucket | depth | width |\n|---:|---:|---:|\n";
+    for (std::size_t i = 0; i < c.depth_histogram.size(); ++i) {
+      if (c.depth_histogram[i] == 0 && c.width_histogram[i] == 0) {
+        continue;
+      }
+      if (i + 1 == c.depth_histogram.size()) {
+        os << "| >" << i << " | ";
+      } else {
+        os << "| " << i + 1 << " | ";
+      }
+      os << c.depth_histogram[i] << " | " << c.width_histogram[i] << " |\n";
+    }
+    os << "\n";
+  }
+
+  const ConvergenceReport& v = report.convergence;
+  os << "## Controller convergence\n\n";
+  os << "| controller | decisions | changes | oscillations | range | final "
+        "mean | settle |\n";
+  os << "|---|---:|---:|---:|---:|---:|---:|\n";
+  series_row(os, "chi (checkpoint interval)", v.checkpoint_interval);
+  series_row(os, "W (optimism window)", v.optimism_window);
+  series_row(os, "aggregation window (us)", v.aggregation_window);
+  os << "\n";
+  os << "- cancellation: " << v.mode_switches << " A<->L switches, lazy dwell "
+     << pct(v.lazy_dwell_fraction) << ", settled after "
+     << ms(v.cancellation_settle_ns) << "\n";
+  os << "- Hit Ratio: " << v.hr_samples << " samples, "
+     << pct(v.dead_zone_dwell_fraction) << " inside the dead zone\n\n";
+
+  os << "## Commit efficiency per GVT epoch\n\n";
+  if (report.epochs.empty()) {
+    os << "(no epochs traced)\n";
+    return;
+  }
+  os << "| gvt | committed | rolled back | rollbacks | coast events | coast "
+        "time | efficiency |\n";
+  os << "|---:|---:|---:|---:|---:|---:|---:|\n";
+  constexpr std::size_t kMaxEpochRows = 24;
+  const std::size_t rows = std::min(report.epochs.size(), kMaxEpochRows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const EpochStats& e = report.epochs[i];
+    if (e.gvt == UINT64_MAX) {
+      os << "| end | ";
+    } else {
+      os << "| " << e.gvt << " | ";
+    }
+    os << e.committed << " | " << e.rolled_back << " | " << e.rollbacks
+       << " | " << e.coast_events << " | " << ms(e.coast_ns) << " | "
+       << pct(e.efficiency()) << " |\n";
+  }
+  if (report.epochs.size() > rows) {
+    os << "\n(" << report.epochs.size() - rows << " more epochs omitted)\n";
+  }
+}
+
+void write_analysis_json(std::ostream& os, const AnalysisReport& report) {
+  const CascadeReport& c = report.cascades;
+  const ConvergenceReport& v = report.convergence;
+  os << "{\"run_span_ns\":" << report.run_end_ns - report.run_begin_ns
+     << ",\"total_records\":" << report.total_records
+     << ",\"dropped_records\":" << report.dropped_records
+     << ",\"overall_efficiency\":" << fmt(report.overall_efficiency)
+     << ",\"epoch_count\":" << report.epochs.size();
+
+  std::uint64_t committed = 0;
+  std::uint64_t rolled_back = 0;
+  std::uint64_t coast_events = 0;
+  std::uint64_t coast_ns = 0;
+  double min_efficiency = 1.0;
+  for (const EpochStats& epoch : report.epochs) {
+    committed += epoch.committed;
+    rolled_back += epoch.rolled_back;
+    coast_events += epoch.coast_events;
+    coast_ns += epoch.coast_ns;
+    min_efficiency = std::min(min_efficiency, epoch.efficiency());
+  }
+  os << ",\"committed\":" << committed << ",\"rolled_back\":" << rolled_back
+     << ",\"coast_events\":" << coast_events << ",\"coast_ns\":" << coast_ns
+     << ",\"min_epoch_efficiency\":" << fmt(min_efficiency);
+
+  os << ",\"cascades\":{\"total_rollbacks\":" << c.total_rollbacks
+     << ",\"primary\":" << c.primary_rollbacks
+     << ",\"cascaded\":" << c.cascaded_rollbacks
+     << ",\"chained\":" << c.chained_rollbacks
+     << ",\"events_undone\":" << c.total_events_undone
+     << ",\"max_depth\":" << c.max_depth << ",\"max_width\":" << c.max_width
+     << ",\"blame\":[";
+  for (std::size_t i = 0; i < c.blame.size(); ++i) {
+    const BlameEntry& entry = c.blame[i];
+    os << (i ? "," : "") << "{\"object\":" << entry.object
+       << ",\"rollbacks_caused\":" << entry.rollbacks_caused
+       << ",\"events_undone\":" << entry.events_undone
+       << ",\"cascades_started\":" << entry.cascades_started << "}";
+  }
+  os << "]}";
+
+  os << ",\"convergence\":{\"chi\":";
+  series_json(os, v.checkpoint_interval);
+  os << ",\"optimism\":";
+  series_json(os, v.optimism_window);
+  os << ",\"aggregation\":";
+  series_json(os, v.aggregation_window);
+  os << ",\"cancellation\":{\"mode_switches\":" << v.mode_switches
+     << ",\"lazy_dwell_fraction\":" << fmt(v.lazy_dwell_fraction)
+     << ",\"settle_ns\":" << v.cancellation_settle_ns
+     << ",\"hr_samples\":" << v.hr_samples
+     << ",\"dead_zone_dwell_fraction\":" << fmt(v.dead_zone_dwell_fraction)
+     << "}}}";
+}
+
+}  // namespace otw::obs

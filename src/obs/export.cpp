@@ -3,23 +3,9 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <ostream>
 
 namespace otw::obs {
-
-std::uint64_t arg_bits(double value) noexcept {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(value));
-  std::memcpy(&bits, &value, sizeof(bits));
-  return bits;
-}
-
-double arg_from_bits(std::uint64_t bits) noexcept {
-  double value = 0.0;
-  std::memcpy(&value, &bits, sizeof(value));
-  return value;
-}
 
 std::string json_escape(const std::string& raw) {
   std::string out;
@@ -116,12 +102,17 @@ void write_chrome_trace(std::ostream& os, const RunTrace& trace) {
                      "\"s\":\"t\",\"args\":{\"object\":" + actor +
                          ",\"count\":" + std::to_string(r.arg0) + "}");
           break;
-        case TraceKind::RollbackBegin:
+        case TraceKind::RollbackBegin: {
           ++open_rollbacks;
+          const RollbackCause cause = unpack_rollback_cause(r);
           emit_event(os, first, "B", log.lp, r.wall_ns, "rollback",
                      "\"args\":{\"object\":" + actor +
-                         ",\"target_vt\":" + std::to_string(r.vt) + "}");
+                         ",\"target_vt\":" + std::to_string(r.vt) +
+                         ",\"cause\":\"" + (cause.anti ? "anti" : "straggler") +
+                         "\",\"src\":" + std::to_string(cause.source_object) +
+                         ",\"send_vt\":" + std::to_string(cause.send_time) + "}");
           break;
+        }
         case TraceKind::RollbackEnd:
           if (open_rollbacks == 0) {
             // The matching Begin was overwritten by ring overflow: degrade to
@@ -151,11 +142,15 @@ void write_chrome_trace(std::ostream& os, const RunTrace& trace) {
                          ",\"args\":{\"object\":" + actor +
                          ",\"events\":" + std::to_string(r.arg0) + "}");
           break;
-        case TraceKind::AntiSent:
+        case TraceKind::AntiSent: {
+          const AntiSentInfo anti = unpack_anti_sent(r);
           emit_event(os, first, "i", log.lp, r.wall_ns, "anti_sent",
                      "\"s\":\"t\",\"args\":{\"object\":" + actor +
-                         ",\"vt\":" + std::to_string(r.vt) + "}");
+                         ",\"vt\":" + std::to_string(r.vt) +
+                         ",\"to\":" + std::to_string(anti.receiver) +
+                         ",\"send_vt\":" + std::to_string(anti.send_time) + "}");
           break;
+        }
         case TraceKind::AntiReceived:
           emit_event(os, first, "i", log.lp, r.wall_ns, "anti_received",
                      "\"s\":\"t\",\"args\":{\"object\":" + actor +
@@ -165,36 +160,52 @@ void write_chrome_trace(std::ostream& os, const RunTrace& trace) {
           emit_event(os, first, "i", log.lp, r.wall_ns, "gvt",
                      "\"s\":\"p\"," + args1("gvt", std::to_string(r.vt)));
           break;
-        case TraceKind::AggregateFlush:
+        case TraceKind::AggregateFlush: {
+          const AggregateFlushInfo flush = unpack_aggregate_flush(r);
           emit_event(os, first, "i", log.lp, r.wall_ns, "aggregate_flush",
-                     "\"s\":\"t\",\"args\":{\"batch\":" + std::to_string(r.arg0) +
-                         ",\"window_us\":" + format_number(arg_from_bits(r.arg1)) +
-                         "}");
+                     "\"s\":\"t\",\"args\":{\"batch\":" +
+                         std::to_string(flush.batch_size) +
+                         ",\"window_us\":" + format_number(flush.window_us) + "}");
           break;
-        case TraceKind::CheckpointDecision:
+        }
+        case TraceKind::CheckpointDecision: {
+          const CheckpointDecisionInfo chi = unpack_checkpoint_decision(r);
           emit_event(os, first, "i", log.lp, r.wall_ns, "chi_decision",
                      "\"s\":\"t\",\"args\":{\"object\":" + actor +
-                         ",\"chi\":" + std::to_string(r.arg0) +
-                         ",\"cost_index\":" + format_number(arg_from_bits(r.arg1)) +
-                         "}");
+                         ",\"chi\":" + std::to_string(chi.interval) +
+                         ",\"cost_index\":" + format_number(chi.cost_index) + "}");
           break;
-        case TraceKind::CancellationSwitch:
+        }
+        case TraceKind::CancellationSwitch: {
+          const CancellationSwitchInfo sw = unpack_cancellation_switch(r);
           emit_event(os, first, "i", log.lp, r.wall_ns, "cancellation_switch",
                      "\"s\":\"t\",\"args\":{\"object\":" + actor +
-                         ",\"mode\":\"" + (r.arg0 != 0 ? "lazy" : "aggressive") +
-                         "\",\"hit_ratio\":" + format_number(arg_from_bits(r.arg1)) +
-                         "}");
+                         ",\"mode\":\"" + (sw.lazy ? "lazy" : "aggressive") +
+                         "\",\"hit_ratio\":" + format_number(sw.hit_ratio) + "}");
           break;
-        case TraceKind::OptimismDecision:
+        }
+        case TraceKind::OptimismDecision: {
+          const OptimismDecisionInfo opt = unpack_optimism_decision(r);
           emit_event(os, first, "i", log.lp, r.wall_ns, "optimism_decision",
-                     "\"s\":\"t\",\"args\":{\"window\":" + std::to_string(r.arg0) +
+                     "\"s\":\"t\",\"args\":{\"window\":" + std::to_string(opt.window) +
                          ",\"rollback_fraction\":" +
-                         format_number(arg_from_bits(r.arg1)) + "}");
+                         format_number(opt.rollback_fraction) + "}");
           break;
+        }
         case TraceKind::TelemetrySample:
-          emit_event(os, first, "i", log.lp, r.wall_ns, "sample",
-                     "\"s\":\"t\",\"args\":{\"object\":" + actor +
-                         ",\"vt\":" + std::to_string(r.vt) + "}");
+          if (is_object_sample(r)) {
+            const ObjectSampleInfo s = unpack_object_sample(r);
+            emit_event(os, first, "i", log.lp, r.wall_ns, "sample",
+                       "\"s\":\"t\",\"args\":{\"object\":" + actor +
+                           ",\"vt\":" + std::to_string(r.vt) + ",\"mode\":\"" +
+                           (s.lazy ? "lazy" : "aggressive") +
+                           "\",\"hit_ratio\":" + format_number(s.hit_ratio) + "}");
+          } else {
+            emit_event(os, first, "i", log.lp, r.wall_ns, "sample",
+                       "\"s\":\"t\",\"args\":{\"object\":" + actor +
+                           ",\"vt\":" + std::to_string(r.vt) + ",\"events\":" +
+                           std::to_string(unpack_lp_sample(r)) + "}");
+          }
           break;
       }
     }

@@ -1,0 +1,170 @@
+// Post-mortem trace analysis (otw::obs): consumes a drained RunTrace and
+// answers the three questions the paper's on-line controllers are built
+// around, but off-line and in full:
+//
+//   * Rollback-cascade attribution — every RollbackBegin carries the message
+//     that forced it (schema v2), so cascaded rollbacks (caused by
+//     anti-messages) can be chained back through the AntiSent records of the
+//     rolling-back object to the PRIMARY straggler rollback that started the
+//     cascade. Blame for the whole cascade lands on the object that sent the
+//     original straggler; depth/width histograms show how far damage spread.
+//
+//   * Controller convergence — per-controller settling time, decision and
+//     oscillation counts, and value trajectories for chi (checkpoint
+//     interval), W (optimism window) and the aggregation window; A<->L mode
+//     dwell times and the Hit-Ratio dead-zone dwell fraction for the
+//     cancellation controller.
+//
+//   * Commit efficiency per GVT epoch — committed vs rolled-back event
+//     counts and coast-forward overhead between consecutive GvtEpoch
+//     records, i.e. how much of the optimistic work each epoch kept.
+//
+// Everything here is pure post-processing: analyze() never touches the
+// kernel and a run's digests/makespan are identical with or without it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "otw/obs/trace.hpp"
+
+namespace otw::obs {
+
+struct AnalysisConfig {
+  /// Hit-Ratio dead zone: [lazy_to_aggr, aggr_to_lazy) of the cancellation
+  /// controller. HR samples inside it leave the mode unchanged; the dwell
+  /// fraction says how decisively the controller has converged.
+  double dead_zone_low = 0.2;
+  double dead_zone_high = 0.45;
+  /// Blame table is truncated to the top-N objects (all are still counted).
+  std::size_t max_blame_entries = 16;
+  /// Depth/width histograms use buckets [1], [2], ... [N], [>N].
+  std::size_t histogram_buckets = 8;
+};
+
+// --- rollback cascades ------------------------------------------------------
+
+/// Per-object share of cascade blame. Blame for every rollback in a cascade
+/// goes to the object whose straggler message started it.
+struct BlameEntry {
+  std::uint32_t object = 0;
+  std::uint64_t rollbacks_caused = 0;     ///< rollbacks in cascades it started
+  std::uint64_t events_undone = 0;        ///< processed events those undid
+  std::uint64_t cascades_started = 0;     ///< primary (straggler) rollbacks
+};
+
+/// One reconstructed cascade: a primary straggler rollback plus every
+/// anti-message-caused rollback transitively chained to it.
+struct Cascade {
+  std::uint32_t root_object = 0;     ///< object that rolled back first
+  std::uint32_t blamed_object = 0;   ///< sender of the straggler
+  std::uint64_t root_vt = 0;         ///< straggler's receive time (ticks)
+  std::uint64_t rollbacks = 1;       ///< total rollbacks in the cascade
+  std::uint64_t events_undone = 0;
+  std::uint32_t depth = 1;           ///< longest chain of caused rollbacks
+  std::uint32_t width = 1;           ///< distinct objects rolled back
+};
+
+struct CascadeReport {
+  std::uint64_t total_rollbacks = 0;
+  std::uint64_t primary_rollbacks = 0;    ///< straggler-caused (cascade roots)
+  std::uint64_t cascaded_rollbacks = 0;   ///< anti-message-caused
+  /// Cascaded rollbacks whose causing anti-message was found in the trace
+  /// and chained to a parent rollback. The rest (e.g. cause outside the
+  /// ring's retention window) root their own cascade.
+  std::uint64_t chained_rollbacks = 0;
+  std::uint64_t total_events_undone = 0;
+  std::vector<BlameEntry> blame;          ///< sorted by rollbacks_caused desc
+  std::vector<Cascade> cascades;          ///< sorted by rollbacks desc
+  /// Histogram bucket i counts cascades of depth/width i+1; the last bucket
+  /// is the overflow (> histogram_buckets).
+  std::vector<std::uint64_t> depth_histogram;
+  std::vector<std::uint64_t> width_histogram;
+  std::uint32_t max_depth = 0;
+  std::uint32_t max_width = 0;
+};
+
+// --- controller convergence -------------------------------------------------
+
+/// Trajectory statistics for one scalar control variable, merged across all
+/// actors (objects or LPs) that run that controller.
+struct SeriesStats {
+  std::uint64_t decisions = 0;        ///< controller invocations traced
+  std::uint64_t value_changes = 0;    ///< decisions that moved the value
+  /// Direction reversals (an increase followed by a decrease or vice versa):
+  /// the controller hunting instead of settling.
+  std::uint64_t oscillations = 0;
+  /// Wall/modeled time of the LAST value change, relative to the run start —
+  /// after this the controller held its setting (0 when it never moved).
+  std::uint64_t settle_ns = 0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  double final_mean = 0.0;            ///< mean of each actor's final value
+
+  [[nodiscard]] bool active() const noexcept { return decisions > 0; }
+};
+
+struct ConvergenceReport {
+  SeriesStats checkpoint_interval;    ///< chi (per object)
+  SeriesStats optimism_window;        ///< W (per LP)
+  SeriesStats aggregation_window;     ///< DyMA window us (per LP)
+
+  // Cancellation controller (per object), A<->L.
+  std::uint64_t mode_switches = 0;
+  std::uint64_t aggressive_dwell_ns = 0;
+  std::uint64_t lazy_dwell_ns = 0;
+  double lazy_dwell_fraction = 0.0;
+  /// Wall/modeled time of the last A<->L switch relative to run start.
+  std::uint64_t cancellation_settle_ns = 0;
+  std::uint64_t hr_samples = 0;
+  /// Fraction of object HR samples inside [dead_zone_low, dead_zone_high).
+  double dead_zone_dwell_fraction = 0.0;
+};
+
+// --- commit efficiency ------------------------------------------------------
+
+/// Aggregated counters for one GVT epoch (the interval that ENDS when the
+/// epoch's GVT value is announced). Keyed by the GVT at the interval start:
+/// 0 for the bootstrap interval, UINT64_MAX for the final (termination)
+/// interval.
+struct EpochStats {
+  std::uint64_t gvt = 0;              ///< GVT at interval start (ticks)
+  std::uint64_t committed = 0;        ///< events committed by fossil collection
+  std::uint64_t rolled_back = 0;      ///< processed events undone by rollbacks
+  std::uint64_t rollbacks = 0;
+  std::uint64_t coast_events = 0;     ///< events re-executed coasting forward
+  std::uint64_t coast_ns = 0;
+
+  /// committed / (committed + rolled_back); 1.0 when nothing happened.
+  [[nodiscard]] double efficiency() const noexcept {
+    const double total = static_cast<double>(committed + rolled_back);
+    return total == 0.0 ? 1.0 : static_cast<double>(committed) / total;
+  }
+};
+
+// --- top level --------------------------------------------------------------
+
+struct AnalysisReport {
+  std::uint64_t run_begin_ns = 0;     ///< earliest record wall clock
+  std::uint64_t run_end_ns = 0;       ///< latest record wall clock
+  std::size_t total_records = 0;
+  std::uint64_t dropped_records = 0;  ///< ring overwrites (analysis is partial)
+  CascadeReport cascades;
+  ConvergenceReport convergence;
+  std::vector<EpochStats> epochs;     ///< in GVT order
+  double overall_efficiency = 1.0;    ///< committed/(committed+rolled_back)
+};
+
+/// Runs all three analyses over a drained run trace. Pure function of the
+/// trace — never touches kernel state.
+[[nodiscard]] AnalysisReport analyze(const RunTrace& trace,
+                                     const AnalysisConfig& config = {});
+
+/// Renders the report as human-readable markdown (tables + headline numbers).
+void write_analysis_markdown(std::ostream& os, const AnalysisReport& report);
+
+/// Renders the report as a single JSON object (embeddable in bench results).
+void write_analysis_json(std::ostream& os, const AnalysisReport& report);
+
+}  // namespace otw::obs

@@ -1,0 +1,61 @@
+// Minimal JSON value + recursive-descent parser (otw::obs::json).
+//
+// Just enough JSON for the project's own artifacts — bench result files,
+// exported traces, analysis reports — so the twreport tool and the tests can
+// parse what the exporters write without an external dependency. Not a
+// general-purpose library: numbers are doubles, object keys are unique
+// (last one wins), \uXXXX escapes decode to UTF-8 without surrogate-pair
+// combining.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace otw::obs::json {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] bool is_object() const noexcept { return kind == Kind::Object; }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::Array; }
+
+  /// number_or / string_or: forgiving accessors for report plumbing.
+  [[nodiscard]] double number_or(double fallback) const noexcept {
+    return kind == Kind::Number ? number : fallback;
+  }
+  [[nodiscard]] const std::string& string_or(
+      const std::string& fallback) const noexcept {
+    return kind == Kind::String ? string : fallback;
+  }
+
+  /// find + number_or in one step (fallback when the key is missing).
+  [[nodiscard]] double get_number(const std::string& key,
+                                  double fallback = 0.0) const {
+    const Value* v = find(key);
+    return v ? v->number_or(fallback) : fallback;
+  }
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback = "") const {
+    const Value* v = find(key);
+    return v ? v->string_or(fallback) : fallback;
+  }
+};
+
+/// Parses `text` as one JSON document (no trailing garbage allowed).
+/// Returns false on malformed input; `out` is unspecified then.
+[[nodiscard]] bool parse(const std::string& text, Value& out);
+
+}  // namespace otw::obs::json

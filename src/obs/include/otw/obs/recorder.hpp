@@ -56,6 +56,12 @@ class Recorder {
   [[nodiscard]] bool profiling() const noexcept { return profiling_; }
   [[nodiscard]] std::uint32_t lp() const noexcept { return lp_; }
 
+  /// Overload for kinds whose payload has a pack_* helper (schema v2).
+  void record(TraceKind kind, std::uint64_t wall_ns, std::uint32_t actor,
+              std::uint64_t vt, TraceArgs args) noexcept {
+    record(kind, wall_ns, actor, vt, args.arg0, args.arg1);
+  }
+
   void record(TraceKind kind, std::uint64_t wall_ns, std::uint32_t actor,
               std::uint64_t vt = 0, std::uint64_t arg0 = 0,
               std::uint64_t arg1 = 0) noexcept {

@@ -11,9 +11,18 @@
 // save/restore, coast-forward, anti-message traffic, GVT epochs, aggregation
 // flushes, and every on-line controller decision with the sample values that
 // triggered it. Drained rings are exported as Chrome trace_event JSON (see
-// export.hpp) and load directly in Perfetto / chrome://tracing.
+// export.hpp) and load directly in Perfetto / chrome://tracing, or analyzed
+// post-mortem (see analysis.hpp: rollback-cascade attribution, controller
+// convergence, per-epoch commit efficiency).
+//
+// Schema v2: RollbackBegin and AntiSent carry causal fields (the offending
+// message's source object and send time) so cascades can be chained across
+// LPs, and object-scoped TelemetrySample records carry the cancellation
+// mode + Hit Ratio. All multi-field arg0/arg1 payloads go through the named
+// pack_*/unpack_* helpers below — recorders and exporters share one encoding.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <type_traits>
 #include <vector>
@@ -22,20 +31,20 @@ namespace otw::obs {
 
 enum class TraceKind : std::uint8_t {
   EventProcessed,    ///< vt = recv time; arg0 = 1 if re-execution after rollback
-  EventsCommitted,   ///< arg0 = events committed by this fossil collection
-  RollbackBegin,     ///< vt = rollback target recv time
-  RollbackEnd,       ///< arg0 = processed events undone
+  EventsCommitted,   ///< vt = GVT; arg0 = events committed by this fossil collection
+  RollbackBegin,     ///< vt = target recv time; arg0/arg1 = pack_rollback_cause
+  RollbackEnd,       ///< vt = target recv time; arg0 = processed events undone
   StateSave,         ///< vt = checkpoint position; arg0 = stored bytes
   StateRestore,      ///< vt = restored position
   CoastForward,      ///< arg0 = events re-executed; arg1 = duration ns
-  AntiSent,          ///< vt = cancelled message's recv time
+  AntiSent,          ///< vt = cancelled msg recv time; arg0/arg1 = pack_anti_sent
   AntiReceived,      ///< vt = annihilated message's recv time
   GvtEpoch,          ///< vt = new GVT (per LP, at announce/completion)
-  AggregateFlush,    ///< arg0 = batch size; arg1 = window_us bits (double)
-  CheckpointDecision,///< chi step: arg0 = new interval; arg1 = cost index bits
-  CancellationSwitch,///< A<->L: arg0 = new mode (0=aggr,1=lazy); arg1 = HR bits
-  OptimismDecision,  ///< W step: arg0 = new window; arg1 = rollback frac bits
-  TelemetrySample,   ///< periodic controller-state sample (telemetry fold)
+  AggregateFlush,    ///< arg0/arg1 = pack_aggregate_flush
+  CheckpointDecision,///< chi step: arg0/arg1 = pack_checkpoint_decision
+  CancellationSwitch,///< A<->L: arg0/arg1 = pack_cancellation_switch
+  OptimismDecision,  ///< W step: arg0/arg1 = pack_optimism_decision
+  TelemetrySample,   ///< arg0/arg1 = pack_object_sample or pack_lp_sample
 };
 
 [[nodiscard]] constexpr const char* to_string(TraceKind kind) noexcept {
@@ -71,8 +80,150 @@ struct TraceRecord {
 };
 static_assert(std::is_trivially_copyable_v<TraceRecord>);
 
-[[nodiscard]] std::uint64_t arg_bits(double value) noexcept;
-[[nodiscard]] double arg_from_bits(std::uint64_t bits) noexcept;
+[[nodiscard]] constexpr std::uint64_t arg_bits(double value) noexcept {
+  return std::bit_cast<std::uint64_t>(value);
+}
+[[nodiscard]] constexpr double arg_from_bits(std::uint64_t bits) noexcept {
+  return std::bit_cast<double>(bits);
+}
+
+// --- schema v2 arg0/arg1 payloads ------------------------------------------
+//
+// One pack_*/unpack_* pair per multi-field TraceKind. Pack helpers return the
+// (arg0, arg1) pair to hand to Recorder::record; unpack helpers decode a
+// drained record. Exporters and the analysis module use ONLY these, so the
+// encoding lives in exactly one place.
+
+/// arg0/arg1 pair produced by the pack_* helpers.
+struct TraceArgs {
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+};
+
+/// RollbackBegin: which message forced the rollback. `anti` distinguishes a
+/// cascaded rollback (annihilation of an already-processed event) from a
+/// primary straggler rollback (late positive message).
+struct RollbackCause {
+  std::uint32_t source_object = 0;  ///< sender of the offending message
+  bool anti = false;                ///< true: anti-message; false: straggler
+  std::uint64_t send_time = 0;      ///< offending message's send time, ticks
+};
+
+[[nodiscard]] constexpr TraceArgs pack_rollback_cause(std::uint32_t source_object,
+                                                      bool anti,
+                                                      std::uint64_t send_time) noexcept {
+  return {static_cast<std::uint64_t>(source_object) |
+              (anti ? std::uint64_t{1} << 32 : 0),
+          send_time};
+}
+[[nodiscard]] constexpr RollbackCause unpack_rollback_cause(const TraceRecord& r) noexcept {
+  return {static_cast<std::uint32_t>(r.arg0 & 0xFFFFFFFFu),
+          ((r.arg0 >> 32) & 1) != 0, r.arg1};
+}
+
+/// AntiSent: where the cancellation goes and the send time of the cancelled
+/// message — together with the record's vt (recv time) this names the exact
+/// message a downstream RollbackBegin will report as its cause.
+struct AntiSentInfo {
+  std::uint32_t receiver = 0;
+  std::uint64_t send_time = 0;
+};
+
+[[nodiscard]] constexpr TraceArgs pack_anti_sent(std::uint32_t receiver,
+                                                 std::uint64_t send_time) noexcept {
+  return {receiver, send_time};
+}
+[[nodiscard]] constexpr AntiSentInfo unpack_anti_sent(const TraceRecord& r) noexcept {
+  return {static_cast<std::uint32_t>(r.arg0 & 0xFFFFFFFFu), r.arg1};
+}
+
+/// AggregateFlush: batch size and the DyMA window that produced it.
+struct AggregateFlushInfo {
+  std::uint64_t batch_size = 0;
+  double window_us = 0.0;
+};
+
+[[nodiscard]] constexpr TraceArgs pack_aggregate_flush(std::uint64_t batch_size,
+                                                       double window_us) noexcept {
+  return {batch_size, arg_bits(window_us)};
+}
+[[nodiscard]] constexpr AggregateFlushInfo unpack_aggregate_flush(
+    const TraceRecord& r) noexcept {
+  return {r.arg0, arg_from_bits(r.arg1)};
+}
+
+/// CheckpointDecision: the chi controller's new interval and the cost index
+/// sample that produced it.
+struct CheckpointDecisionInfo {
+  std::uint32_t interval = 0;
+  double cost_index = 0.0;
+};
+
+[[nodiscard]] constexpr TraceArgs pack_checkpoint_decision(std::uint32_t interval,
+                                                           double cost_index) noexcept {
+  return {interval, arg_bits(cost_index)};
+}
+[[nodiscard]] constexpr CheckpointDecisionInfo unpack_checkpoint_decision(
+    const TraceRecord& r) noexcept {
+  return {static_cast<std::uint32_t>(r.arg0 & 0xFFFFFFFFu), arg_from_bits(r.arg1)};
+}
+
+/// CancellationSwitch: the new mode and the Hit Ratio that triggered it.
+struct CancellationSwitchInfo {
+  bool lazy = false;
+  double hit_ratio = 0.0;
+};
+
+[[nodiscard]] constexpr TraceArgs pack_cancellation_switch(bool lazy,
+                                                           double hit_ratio) noexcept {
+  return {lazy ? std::uint64_t{1} : 0, arg_bits(hit_ratio)};
+}
+[[nodiscard]] constexpr CancellationSwitchInfo unpack_cancellation_switch(
+    const TraceRecord& r) noexcept {
+  return {r.arg0 != 0, arg_from_bits(r.arg1)};
+}
+
+/// OptimismDecision: the new window W and the rollback fraction sample.
+struct OptimismDecisionInfo {
+  std::uint64_t window = 0;
+  double rollback_fraction = 0.0;
+};
+
+[[nodiscard]] constexpr TraceArgs pack_optimism_decision(std::uint64_t window,
+                                                         double rollback_fraction) noexcept {
+  return {window, arg_bits(rollback_fraction)};
+}
+[[nodiscard]] constexpr OptimismDecisionInfo unpack_optimism_decision(
+    const TraceRecord& r) noexcept {
+  return {r.arg0, arg_from_bits(r.arg1)};
+}
+
+/// TelemetrySample comes in two scopes sharing one kind. Object-scoped
+/// samples (from ObjectRuntime) set bit 63 of arg0 and carry the object's
+/// cancellation mode + Hit Ratio; LP-scoped samples (from LogicalProcess)
+/// carry the LP's cumulative processed-event count (always < 2^63).
+struct ObjectSampleInfo {
+  bool lazy = false;
+  double hit_ratio = 0.0;
+};
+
+[[nodiscard]] constexpr TraceArgs pack_object_sample(bool lazy,
+                                                     double hit_ratio) noexcept {
+  return {(std::uint64_t{1} << 63) | (lazy ? 1 : 0), arg_bits(hit_ratio)};
+}
+[[nodiscard]] constexpr TraceArgs pack_lp_sample(std::uint64_t events_processed) noexcept {
+  return {events_processed, 0};
+}
+[[nodiscard]] constexpr bool is_object_sample(const TraceRecord& r) noexcept {
+  return (r.arg0 >> 63) != 0;
+}
+[[nodiscard]] constexpr ObjectSampleInfo unpack_object_sample(
+    const TraceRecord& r) noexcept {
+  return {(r.arg0 & 1) != 0, arg_from_bits(r.arg1)};
+}
+[[nodiscard]] constexpr std::uint64_t unpack_lp_sample(const TraceRecord& r) noexcept {
+  return r.arg0;
+}
 
 /// Fixed-capacity overwrite-oldest ring. Capacity is allocated once at
 /// construction; push() never allocates. When full, the oldest record is

@@ -142,10 +142,13 @@ class ObjectRuntime final : public ObjectContext {
 
  private:
   void execute(const Event& event);
-  /// Rolls back to before `target`. cancel_at_target additionally cancels
+  /// Rolls back to before `target`. `cause` is the message that forced the
+  /// rollback (straggler or anti-message) — traced so the analysis layer can
+  /// chain cascades across LPs. cancel_at_target additionally cancels
   /// outputs caused by the event AT `target` (annihilation: that event will
   /// never re-execute).
-  void rollback(const Position& target, bool cancel_at_target = false);
+  void rollback(const Position& target, const Event& cause,
+                bool cancel_at_target = false);
   void coast_forward(const Position& target);
   void cancel_invalid_outputs(std::vector<OutputEntry>&& invalid);
   void purge_entries_caused_by(const Position& cause);

@@ -101,8 +101,9 @@ void LogicalProcess::route(Event&& event) {
 void LogicalProcess::ship_batch(LpId dst, std::vector<Event>&& events) {
   if (recorder_.tracing()) {
     recorder_.record(obs::TraceKind::AggregateFlush, ctx_->now_ns(), id_,
-                     gvt_value_.ticks(), events.size(),
-                     obs::arg_bits(channel_.window_us()));
+                     gvt_value_.ticks(),
+                     obs::pack_aggregate_flush(events.size(),
+                                               channel_.window_us()));
   }
   ctx_->send(dst, std::make_unique<EventBatchMessage>(std::move(events)));
 }
@@ -277,7 +278,8 @@ platform::StepStatus LogicalProcess::step(platform::LpContext& ctx) {
       trace_.push_back(sample);
       if (recorder_.tracing()) {
         recorder_.record(obs::TraceKind::TelemetrySample, ctx.now_ns(), id_,
-                         gvt_value_.ticks(), events_processed_total_);
+                         gvt_value_.ticks(),
+                         obs::pack_lp_sample(events_processed_total_));
       }
     }
   }
@@ -290,8 +292,10 @@ platform::StepStatus LogicalProcess::step(platform::LpContext& ctx) {
       recorder_.phase_add(obs::Phase::Control, ctx.costs().control_invocation_ns);
       if (recorder_.tracing()) {
         recorder_.record(obs::TraceKind::OptimismDecision, ctx.now_ns(), id_,
-                         gvt_value_.ticks(), optimism_->window(),
-                         obs::arg_bits(optimism_->last_rollback_fraction()));
+                         gvt_value_.ticks(),
+                         obs::pack_optimism_decision(
+                             optimism_->window(),
+                             optimism_->last_rollback_fraction()));
       }
     }
   }

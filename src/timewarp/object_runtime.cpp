@@ -50,8 +50,9 @@ bool ObjectRuntime::process_next() {
     rec_.phase_add(obs::Phase::Control, lp_.costs().control_invocation_ns);
     if (rec_.tracing()) {
       rec_.record(obs::TraceKind::CheckpointDecision, lp_.wall_now_ns(), id_,
-                  lvt_.ticks(), ckpt_.interval(),
-                  obs::arg_bits(ckpt_.last_cost_index()));
+                  lvt_.ticks(),
+                  obs::pack_checkpoint_decision(ckpt_.interval(),
+                                                ckpt_.last_cost_index()));
     }
   }
   if (config_.telemetry.enabled &&
@@ -62,7 +63,10 @@ bool ObjectRuntime::process_next() {
                                   cancel_.mode(), stats_.rollbacks});
     if (rec_.tracing()) {
       rec_.record(obs::TraceKind::TelemetrySample, lp_.wall_now_ns(), id_,
-                  lvt_.ticks());
+                  lvt_.ticks(),
+                  obs::pack_object_sample(
+                      cancel_.mode() == core::CancellationMode::Lazy,
+                      cancel_.hit_ratio()));
     }
   }
   return true;
@@ -167,7 +171,9 @@ void ObjectRuntime::send_anti(const Event& original) {
   ++stats_.anti_messages_sent;
   if (rec_.tracing()) {
     rec_.record(obs::TraceKind::AntiSent, lp_.wall_now_ns(), id_,
-                original.recv_time.ticks());
+                original.recv_time.ticks(),
+                obs::pack_anti_sent(original.receiver,
+                                    original.send_time.ticks()));
   }
   lp_.route(original.make_anti());
 }
@@ -178,8 +184,10 @@ void ObjectRuntime::note_comparison(bool hit) {
   const core::CancellationMode after = cancel_.mode();
   if (after != before && rec_.tracing()) {
     rec_.record(obs::TraceKind::CancellationSwitch, lp_.wall_now_ns(), id_,
-                lvt_.ticks(), after == core::CancellationMode::Lazy ? 1 : 0,
-                obs::arg_bits(cancel_.hit_ratio()));
+                lvt_.ticks(),
+                obs::pack_cancellation_switch(
+                    after == core::CancellationMode::Lazy,
+                    cancel_.hit_ratio()));
   }
 }
 
@@ -195,7 +203,7 @@ void ObjectRuntime::receive(const Event& event) {
     OTW_REQUIRE_MSG(status != InputQueue::MatchStatus::NotFound,
                     "anti-message arrived before its positive message");
     if (status == InputQueue::MatchStatus::Processed) {
-      rollback(event.position(), /*cancel_at_target=*/true);
+      rollback(event.position(), event, /*cancel_at_target=*/true);
       // The annihilated event itself was processed and is now undone (the
       // rollback only counted the events after it).
       ++stats_.events_rolled_back;
@@ -208,12 +216,13 @@ void ObjectRuntime::receive(const Event& event) {
   } else {
     if (input_.insert(event)) {
       ++stats_.stragglers;
-      rollback(event.position());
+      rollback(event.position(), event);
     }
   }
 }
 
-void ObjectRuntime::rollback(const Position& target, bool cancel_at_target) {
+void ObjectRuntime::rollback(const Position& target, const Event& cause,
+                             bool cancel_at_target) {
   OTW_REQUIRE_MSG(target.recv_time() >= gvt_bound_,
                   "rollback below GVT: the GVT algorithm is unsound");
   ++stats_.rollbacks;
@@ -226,7 +235,9 @@ void ObjectRuntime::rollback(const Position& target, bool cancel_at_target) {
   }
   if (rec_.tracing()) {
     rec_.record(obs::TraceKind::RollbackBegin, lp_.wall_now_ns(), id_,
-                target.recv_time().ticks());
+                target.recv_time().ticks(),
+                obs::pack_rollback_cause(cause.sender, cause.negative,
+                                         cause.send_time.ticks()));
   }
 
   // Restore the latest checkpoint before the target.

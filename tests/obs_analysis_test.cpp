@@ -1,0 +1,407 @@
+// Unit tests for the post-mortem trace analysis (otw::obs::analysis) on
+// hand-built synthetic traces where the right answer is known exactly:
+// cascade chaining across LPs, blame attribution, controller convergence
+// statistics, per-epoch commit efficiency, and the report writers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "otw/obs/analysis.hpp"
+#include "otw/obs/json.hpp"
+#include "otw/obs/trace.hpp"
+
+namespace otw::obs {
+namespace {
+
+TraceRecord rec(TraceKind kind, std::uint64_t wall_ns, std::uint32_t actor,
+                std::uint64_t vt = 0, TraceArgs args = {}) {
+  return TraceRecord{wall_ns, vt, args.arg0, args.arg1, actor, kind};
+}
+
+TraceRecord rec_raw(TraceKind kind, std::uint64_t wall_ns, std::uint32_t actor,
+                    std::uint64_t vt = 0, std::uint64_t arg0 = 0,
+                    std::uint64_t arg1 = 0) {
+  return TraceRecord{wall_ns, vt, arg0, arg1, actor, kind};
+}
+
+// --- pack/unpack round trips ------------------------------------------------
+
+TEST(TraceSchema, PackHelpersRoundTrip) {
+  const TraceRecord rb =
+      rec(TraceKind::RollbackBegin, 0, 0, 0, pack_rollback_cause(7, true, 99));
+  const RollbackCause cause = unpack_rollback_cause(rb);
+  EXPECT_EQ(cause.source_object, 7u);
+  EXPECT_TRUE(cause.anti);
+  EXPECT_EQ(cause.send_time, 99u);
+
+  const TraceRecord anti =
+      rec(TraceKind::AntiSent, 0, 0, 0, pack_anti_sent(3, 55));
+  EXPECT_EQ(unpack_anti_sent(anti).receiver, 3u);
+  EXPECT_EQ(unpack_anti_sent(anti).send_time, 55u);
+
+  const TraceRecord flush =
+      rec(TraceKind::AggregateFlush, 0, 0, 0, pack_aggregate_flush(12, 32.5));
+  EXPECT_EQ(unpack_aggregate_flush(flush).batch_size, 12u);
+  EXPECT_DOUBLE_EQ(unpack_aggregate_flush(flush).window_us, 32.5);
+
+  const TraceRecord chi = rec(TraceKind::CheckpointDecision, 0, 0, 0,
+                              pack_checkpoint_decision(8, 1.75));
+  EXPECT_EQ(unpack_checkpoint_decision(chi).interval, 8u);
+  EXPECT_DOUBLE_EQ(unpack_checkpoint_decision(chi).cost_index, 1.75);
+
+  const TraceRecord sw = rec(TraceKind::CancellationSwitch, 0, 0, 0,
+                             pack_cancellation_switch(true, 0.61));
+  EXPECT_TRUE(unpack_cancellation_switch(sw).lazy);
+  EXPECT_DOUBLE_EQ(unpack_cancellation_switch(sw).hit_ratio, 0.61);
+
+  const TraceRecord w = rec(TraceKind::OptimismDecision, 0, 0, 0,
+                            pack_optimism_decision(4096, 0.12));
+  EXPECT_EQ(unpack_optimism_decision(w).window, 4096u);
+  EXPECT_DOUBLE_EQ(unpack_optimism_decision(w).rollback_fraction, 0.12);
+
+  const TraceRecord obj =
+      rec(TraceKind::TelemetrySample, 0, 0, 0, pack_object_sample(true, 0.3));
+  ASSERT_TRUE(is_object_sample(obj));
+  EXPECT_TRUE(unpack_object_sample(obj).lazy);
+  EXPECT_DOUBLE_EQ(unpack_object_sample(obj).hit_ratio, 0.3);
+
+  const TraceRecord lp =
+      rec(TraceKind::TelemetrySample, 0, 0, 0, pack_lp_sample(123456));
+  ASSERT_FALSE(is_object_sample(lp));
+  EXPECT_EQ(unpack_lp_sample(lp), 123456u);
+}
+
+// --- cascades ---------------------------------------------------------------
+
+TEST(CascadeAnalysis, ChainsAnAntiCausedRollbackToItsRoot) {
+  // Object 0 (LP 0) takes a straggler from object 5 and, while rolling back,
+  // sends an anti-message to object 1 (LP 1), whose rollback must join the
+  // same cascade — and the whole cascade is blamed on object 5.
+  RunTrace trace;
+  LpTraceLog lp0;
+  lp0.lp = 0;
+  lp0.records = {
+      rec(TraceKind::RollbackBegin, 100, 0, 50,
+          pack_rollback_cause(5, false, 40)),
+      rec(TraceKind::AntiSent, 110, 0, 70, pack_anti_sent(1, 55)),
+      rec_raw(TraceKind::RollbackEnd, 120, 0, 50, 3),
+  };
+  LpTraceLog lp1;
+  lp1.lp = 1;
+  lp1.records = {
+      rec(TraceKind::RollbackBegin, 200, 1, 70,
+          pack_rollback_cause(0, true, 55)),
+      rec_raw(TraceKind::RollbackEnd, 210, 1, 70, 2),
+  };
+  trace.lps = {lp0, lp1};
+
+  const AnalysisReport report = analyze(trace);
+  const CascadeReport& c = report.cascades;
+  EXPECT_EQ(c.total_rollbacks, 2u);
+  EXPECT_EQ(c.primary_rollbacks, 1u);
+  EXPECT_EQ(c.cascaded_rollbacks, 1u);
+  EXPECT_EQ(c.chained_rollbacks, 1u);
+  EXPECT_EQ(c.total_events_undone, 5u);
+  EXPECT_EQ(c.max_depth, 2u);
+  EXPECT_EQ(c.max_width, 2u);
+
+  ASSERT_EQ(c.cascades.size(), 1u);
+  EXPECT_EQ(c.cascades[0].blamed_object, 5u);
+  EXPECT_EQ(c.cascades[0].root_object, 0u);
+  EXPECT_EQ(c.cascades[0].rollbacks, 2u);
+
+  ASSERT_EQ(c.blame.size(), 1u);
+  EXPECT_EQ(c.blame[0].object, 5u);
+  EXPECT_EQ(c.blame[0].rollbacks_caused, 2u);
+  EXPECT_EQ(c.blame[0].events_undone, 5u);
+  EXPECT_EQ(c.blame[0].cascades_started, 1u);
+}
+
+TEST(CascadeAnalysis, UnchainableAntiRollbackRootsItsOwnCascade) {
+  // An anti-caused rollback whose AntiSent record is missing (e.g. lost to
+  // ring overflow, or lazy cancellation outside any rollback scope) becomes
+  // its own cascade, blamed on the anti's sender.
+  RunTrace trace;
+  LpTraceLog lp0;
+  lp0.lp = 0;
+  lp0.records = {
+      rec(TraceKind::RollbackBegin, 100, 2, 30,
+          pack_rollback_cause(7, true, 20)),
+      rec_raw(TraceKind::RollbackEnd, 110, 2, 30, 4),
+  };
+  trace.lps = {lp0};
+
+  const AnalysisReport report = analyze(trace);
+  const CascadeReport& c = report.cascades;
+  EXPECT_EQ(c.total_rollbacks, 1u);
+  EXPECT_EQ(c.primary_rollbacks, 0u);
+  EXPECT_EQ(c.cascaded_rollbacks, 1u);
+  EXPECT_EQ(c.chained_rollbacks, 0u);
+  ASSERT_EQ(c.blame.size(), 1u);
+  EXPECT_EQ(c.blame[0].object, 7u);
+}
+
+TEST(CascadeAnalysis, AntiSentAtRollbackEndInstantStillOwnsTheCascade) {
+  // Lazy-miss antis are flushed immediately after RollbackEnd at the same
+  // modeled instant; they must still attach to that rollback.
+  RunTrace trace;
+  LpTraceLog lp0;
+  lp0.lp = 0;
+  lp0.records = {
+      rec(TraceKind::RollbackBegin, 100, 0, 50,
+          pack_rollback_cause(5, false, 40)),
+      rec_raw(TraceKind::RollbackEnd, 130, 0, 50, 1),
+      rec(TraceKind::AntiSent, 130, 0, 80, pack_anti_sent(1, 60)),
+  };
+  LpTraceLog lp1;
+  lp1.lp = 1;
+  lp1.records = {
+      rec(TraceKind::RollbackBegin, 180, 1, 80,
+          pack_rollback_cause(0, true, 60)),
+      rec_raw(TraceKind::RollbackEnd, 190, 1, 80, 1),
+  };
+  trace.lps = {lp0, lp1};
+
+  const CascadeReport c = analyze(trace).cascades;
+  EXPECT_EQ(c.chained_rollbacks, 1u);
+  ASSERT_EQ(c.cascades.size(), 1u);
+  EXPECT_EQ(c.cascades[0].blamed_object, 5u);
+  EXPECT_EQ(c.cascades[0].rollbacks, 2u);
+}
+
+TEST(CascadeAnalysis, DepthHistogramBucketsOverflow) {
+  // A chain of 4 rollbacks with histogram_buckets = 2 lands in the overflow
+  // bucket.
+  RunTrace trace;
+  LpTraceLog lp0;
+  lp0.lp = 0;
+  std::uint64_t wall = 100;
+  lp0.records.push_back(rec(TraceKind::RollbackBegin, wall, 0, 50,
+                            pack_rollback_cause(9, false, 40)));
+  lp0.records.push_back(
+      rec(TraceKind::AntiSent, wall + 1, 0, 60, pack_anti_sent(1, 51)));
+  lp0.records.push_back(rec_raw(TraceKind::RollbackEnd, wall + 2, 0, 50, 1));
+  for (std::uint32_t hop = 1; hop < 4; ++hop) {
+    // Object `hop` is rolled back by object `hop - 1`'s anti, then antis its
+    // own downstream neighbour.
+    const std::uint64_t t = wall + 10 * hop;
+    lp0.records.push_back(rec(TraceKind::RollbackBegin, t, hop, 60,
+                              pack_rollback_cause(hop - 1, true, 51)));
+    if (hop < 3) {
+      lp0.records.push_back(rec(TraceKind::AntiSent, t + 1, hop, 60,
+                                pack_anti_sent(hop + 1, 51)));
+    }
+    lp0.records.push_back(rec_raw(TraceKind::RollbackEnd, t + 2, hop, 60, 1));
+  }
+  trace.lps = {lp0};
+
+  AnalysisConfig config;
+  config.histogram_buckets = 2;
+  const CascadeReport c = analyze(trace, config).cascades;
+  EXPECT_EQ(c.total_rollbacks, 4u);
+  EXPECT_EQ(c.chained_rollbacks, 3u);
+  EXPECT_EQ(c.max_depth, 4u);
+  ASSERT_EQ(c.depth_histogram.size(), 3u);
+  EXPECT_EQ(c.depth_histogram[2], 1u);  // overflow bucket
+}
+
+// --- convergence ------------------------------------------------------------
+
+TEST(ConvergenceAnalysis, CountsChangesOscillationsAndSettling) {
+  RunTrace trace;
+  LpTraceLog lp0;
+  lp0.lp = 0;
+  lp0.records = {
+      rec(TraceKind::CheckpointDecision, 0, 2, 0,
+          pack_checkpoint_decision(4, 1.0)),
+      rec(TraceKind::CheckpointDecision, 100, 2, 0,
+          pack_checkpoint_decision(8, 1.0)),
+      rec(TraceKind::CheckpointDecision, 200, 2, 0,
+          pack_checkpoint_decision(8, 1.0)),
+      rec(TraceKind::CheckpointDecision, 300, 2, 0,
+          pack_checkpoint_decision(4, 1.0)),
+      rec(TraceKind::CheckpointDecision, 400, 2, 0,
+          pack_checkpoint_decision(6, 1.0)),
+  };
+  trace.lps = {lp0};
+
+  const SeriesStats chi = analyze(trace).convergence.checkpoint_interval;
+  EXPECT_EQ(chi.decisions, 5u);
+  EXPECT_EQ(chi.value_changes, 3u);   // 4->8, 8->4, 4->6
+  EXPECT_EQ(chi.oscillations, 2u);    // up, down, up
+  EXPECT_DOUBLE_EQ(chi.min_value, 4.0);
+  EXPECT_DOUBLE_EQ(chi.max_value, 8.0);
+  EXPECT_DOUBLE_EQ(chi.final_mean, 6.0);
+  EXPECT_EQ(chi.settle_ns, 400u);  // last change, relative to run start
+}
+
+TEST(ConvergenceAnalysis, CancellationDwellAndDeadZone) {
+  RunTrace trace;
+  LpTraceLog lp0;
+  lp0.lp = 0;
+  lp0.records = {
+      // HR 0.3 is inside the default [0.2, 0.45) dead zone; 0.6 is not.
+      rec(TraceKind::TelemetrySample, 0, 3, 0, pack_object_sample(false, 0.3)),
+      rec(TraceKind::CancellationSwitch, 100, 3, 0,
+          pack_cancellation_switch(true, 0.6)),
+      rec(TraceKind::CancellationSwitch, 300, 3, 0,
+          pack_cancellation_switch(false, 0.1)),
+      rec(TraceKind::TelemetrySample, 400, 3, 0, pack_object_sample(false, 0.6)),
+  };
+  trace.lps = {lp0};
+
+  const ConvergenceReport v = analyze(trace).convergence;
+  EXPECT_EQ(v.mode_switches, 2u);
+  // Aggressive [0,100) + [300,400]; lazy [100,300).
+  EXPECT_EQ(v.aggressive_dwell_ns, 200u);
+  EXPECT_EQ(v.lazy_dwell_ns, 200u);
+  EXPECT_DOUBLE_EQ(v.lazy_dwell_fraction, 0.5);
+  EXPECT_EQ(v.cancellation_settle_ns, 300u);
+  EXPECT_EQ(v.hr_samples, 2u);
+  EXPECT_DOUBLE_EQ(v.dead_zone_dwell_fraction, 0.5);
+}
+
+TEST(ConvergenceAnalysis, LpScopedSamplesDoNotCountAsHitRatio) {
+  RunTrace trace;
+  LpTraceLog lp0;
+  lp0.lp = 0;
+  lp0.records = {
+      rec(TraceKind::TelemetrySample, 0, 0, 0, pack_lp_sample(1000)),
+      rec(TraceKind::TelemetrySample, 10, 4, 0, pack_object_sample(true, 0.25)),
+  };
+  trace.lps = {lp0};
+  const ConvergenceReport v = analyze(trace).convergence;
+  EXPECT_EQ(v.hr_samples, 1u);
+  EXPECT_DOUBLE_EQ(v.dead_zone_dwell_fraction, 1.0);
+}
+
+// --- epochs -----------------------------------------------------------------
+
+TEST(EpochAnalysis, SplitsAtGvtAndComputesEfficiency) {
+  RunTrace trace;
+  LpTraceLog lp0;
+  lp0.lp = 0;
+  lp0.records = {
+      rec_raw(TraceKind::RollbackEnd, 50, 0, 10, 4),
+      rec_raw(TraceKind::GvtEpoch, 100, 0, 100),
+      rec_raw(TraceKind::EventsCommitted, 101, 0, 100, 10),
+      rec_raw(TraceKind::RollbackEnd, 150, 0, 120, 1),
+      rec_raw(TraceKind::CoastForward, 160, 0, 120, 3, 500),
+      rec_raw(TraceKind::GvtEpoch, 200, 0, 200),
+      rec_raw(TraceKind::EventsCommitted, 201, 0, 200, 5),
+  };
+  trace.lps = {lp0};
+
+  const AnalysisReport report = analyze(trace);
+  ASSERT_EQ(report.epochs.size(), 3u);
+
+  EXPECT_EQ(report.epochs[0].gvt, 0u);  // bootstrap interval
+  EXPECT_EQ(report.epochs[0].rolled_back, 4u);
+  EXPECT_EQ(report.epochs[0].rollbacks, 1u);
+  EXPECT_DOUBLE_EQ(report.epochs[0].efficiency(), 0.0);
+
+  EXPECT_EQ(report.epochs[1].gvt, 100u);
+  EXPECT_EQ(report.epochs[1].committed, 10u);
+  EXPECT_EQ(report.epochs[1].rolled_back, 1u);
+  EXPECT_EQ(report.epochs[1].coast_events, 3u);
+  EXPECT_EQ(report.epochs[1].coast_ns, 500u);
+
+  EXPECT_EQ(report.epochs[2].gvt, 200u);
+  EXPECT_EQ(report.epochs[2].committed, 5u);
+  EXPECT_DOUBLE_EQ(report.epochs[2].efficiency(), 1.0);
+
+  // 15 committed vs 5 rolled back across the run.
+  EXPECT_DOUBLE_EQ(report.overall_efficiency, 0.75);
+}
+
+TEST(EpochAnalysis, MergesAcrossLps) {
+  RunTrace trace;
+  for (std::uint32_t lp = 0; lp < 2; ++lp) {
+    LpTraceLog log;
+    log.lp = lp;
+    log.records = {
+        rec_raw(TraceKind::GvtEpoch, 100, lp, 100),
+        rec_raw(TraceKind::EventsCommitted, 101, lp, 100, 7),
+    };
+    trace.lps.push_back(log);
+  }
+  const AnalysisReport report = analyze(trace);
+  ASSERT_EQ(report.epochs.size(), 1u);
+  EXPECT_EQ(report.epochs[0].committed, 14u);
+}
+
+// --- top level + writers ----------------------------------------------------
+
+TEST(AnalysisReportTest, EmptyTraceIsBenign) {
+  const AnalysisReport report = analyze(RunTrace{});
+  EXPECT_EQ(report.total_records, 0u);
+  EXPECT_EQ(report.cascades.total_rollbacks, 0u);
+  EXPECT_DOUBLE_EQ(report.overall_efficiency, 1.0);
+
+  std::ostringstream md;
+  write_analysis_markdown(md, report);
+  EXPECT_NE(md.str().find("Rollback cascades"), std::string::npos);
+
+  std::ostringstream js;
+  write_analysis_json(js, report);
+  json::Value doc;
+  EXPECT_TRUE(json::parse(js.str(), doc)) << js.str();
+}
+
+TEST(AnalysisReportTest, JsonWriterOutputParsesAndCarriesTheNumbers) {
+  RunTrace trace;
+  LpTraceLog lp0;
+  lp0.lp = 0;
+  lp0.dropped = 9;
+  lp0.records = {
+      rec(TraceKind::RollbackBegin, 100, 0, 50,
+          pack_rollback_cause(5, false, 40)),
+      rec_raw(TraceKind::RollbackEnd, 120, 0, 50, 3),
+      rec_raw(TraceKind::GvtEpoch, 200, 0, 100),
+      rec_raw(TraceKind::EventsCommitted, 201, 0, 100, 12),
+  };
+  trace.lps = {lp0};
+
+  std::ostringstream js;
+  write_analysis_json(js, analyze(trace));
+  json::Value doc;
+  ASSERT_TRUE(json::parse(js.str(), doc)) << js.str();
+  EXPECT_EQ(doc.get_number("dropped_records"), 9.0);
+  EXPECT_EQ(doc.get_number("total_records"), 4.0);
+  const json::Value* cascades = doc.find("cascades");
+  ASSERT_NE(cascades, nullptr);
+  EXPECT_EQ(cascades->get_number("total_rollbacks"), 1.0);
+  const json::Value* blame = cascades->find("blame");
+  ASSERT_NE(blame, nullptr);
+  ASSERT_EQ(blame->array.size(), 1u);
+  EXPECT_EQ(blame->array[0].get_number("object"), 5.0);
+  const json::Value* convergence = doc.find("convergence");
+  ASSERT_NE(convergence, nullptr);
+  EXPECT_NE(convergence->find("chi"), nullptr);
+  EXPECT_NE(convergence->find("cancellation"), nullptr);
+}
+
+TEST(AnalysisReportTest, MarkdownCarriesBlameAndEpochTables) {
+  RunTrace trace;
+  LpTraceLog lp0;
+  lp0.lp = 0;
+  lp0.records = {
+      rec(TraceKind::RollbackBegin, 100, 0, 50,
+          pack_rollback_cause(5, false, 40)),
+      rec_raw(TraceKind::RollbackEnd, 120, 0, 50, 3),
+      rec_raw(TraceKind::GvtEpoch, 200, 0, 100),
+      rec_raw(TraceKind::EventsCommitted, 201, 0, 100, 12),
+  };
+  trace.lps = {lp0};
+
+  std::ostringstream md;
+  write_analysis_markdown(md, analyze(trace));
+  const std::string text = md.str();
+  EXPECT_NE(text.find("blamed object"), std::string::npos);
+  EXPECT_NE(text.find("Controller convergence"), std::string::npos);
+  EXPECT_NE(text.find("Commit efficiency per GVT epoch"), std::string::npos);
+  EXPECT_NE(text.find("| 5 |"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace otw::obs

@@ -1,17 +1,21 @@
 // Unit tests for the otw::obs layer in isolation: trace-ring wraparound and
 // overflow accounting, phase-profiler nesting (self-time attribution), and
-// exporter well-formedness — the Chrome trace JSON is parsed back with a
-// minimal recursive-descent JSON parser, not just grepped.
+// exporter well-formedness — the Chrome trace JSON is parsed back with the
+// obs::json recursive-descent parser, not just grepped, and the Prometheus
+// page is validated against the exposition-format rules.
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdlib>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "otw/obs/export.hpp"
+#include "otw/obs/json.hpp"
 #include "otw/obs/phase_profiler.hpp"
 #include "otw/obs/recorder.hpp"
 #include "otw/obs/trace.hpp"
@@ -19,203 +23,11 @@
 namespace otw::obs {
 namespace {
 
-// --- a minimal JSON value + recursive-descent parser (tests only) ----------
+using JsonValue = json::Value;
 
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  [[nodiscard]] const JsonValue* find(const std::string& key) const {
-    const auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool parse(JsonValue& out) {
-    skip_ws();
-    if (!value(out)) {
-      return false;
-    }
-    skip_ws();
-    return pos_ == text_.size();  // no trailing garbage
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool literal(const char* word) {
-    const std::size_t n = std::string(word).size();
-    if (text_.compare(pos_, n, word) == 0) {
-      pos_ += n;
-      return true;
-    }
-    return false;
-  }
-
-  bool value(JsonValue& out) {
-    if (pos_ >= text_.size()) {
-      return false;
-    }
-    switch (text_[pos_]) {
-      case '{': return object(out);
-      case '[': return array(out);
-      case '"': out.kind = JsonValue::Kind::String; return string(out.string);
-      case 't': out.kind = JsonValue::Kind::Bool; out.boolean = true;
-                return literal("true");
-      case 'f': out.kind = JsonValue::Kind::Bool; out.boolean = false;
-                return literal("false");
-      case 'n': out.kind = JsonValue::Kind::Null; return literal("null");
-      default: return number(out);
-    }
-  }
-
-  bool number(JsonValue& out) {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      return false;
-    }
-    out.kind = JsonValue::Kind::Number;
-    out.number = std::stod(text_.substr(start, pos_ - start));
-    return true;
-  }
-
-  bool string(std::string& out) {
-    if (text_[pos_] != '"') {
-      return false;
-    }
-    ++pos_;
-    out.clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) {
-          return false;
-        }
-        switch (text_[pos_]) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            if (pos_ + 4 >= text_.size()) {
-              return false;
-            }
-            out += '?';  // tests don't need the decoded code point
-            pos_ += 4;
-            break;
-          }
-          default: return false;
-        }
-        ++pos_;
-      } else {
-        out += text_[pos_++];
-      }
-    }
-    if (pos_ >= text_.size()) {
-      return false;
-    }
-    ++pos_;  // closing quote
-    return true;
-  }
-
-  bool array(JsonValue& out) {
-    out.kind = JsonValue::Kind::Array;
-    ++pos_;  // '['
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      JsonValue element;
-      skip_ws();
-      if (!value(element)) {
-        return false;
-      }
-      out.array.push_back(std::move(element));
-      skip_ws();
-      if (pos_ >= text_.size()) {
-        return false;
-      }
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool object(JsonValue& out) {
-    out.kind = JsonValue::Kind::Object;
-    ++pos_;  // '{'
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (pos_ >= text_.size() || !string(key)) {
-        return false;
-      }
-      skip_ws();
-      if (pos_ >= text_.size() || text_[pos_] != ':') {
-        return false;
-      }
-      ++pos_;
-      skip_ws();
-      JsonValue val;
-      if (!value(val)) {
-        return false;
-      }
-      out.object[key] = std::move(val);
-      skip_ws();
-      if (pos_ >= text_.size()) {
-        return false;
-      }
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+bool parse_json(const std::string& text, JsonValue& out) {
+  return json::parse(text, out);
+}
 
 TraceRecord rec(TraceKind kind, std::uint64_t wall_ns, std::uint32_t actor,
                 std::uint64_t vt = 0, std::uint64_t arg0 = 0,
@@ -419,7 +231,7 @@ TEST(ChromeTrace, ParsesBackAsWellFormedJson) {
   std::ostringstream os;
   write_chrome_trace(os, sample_trace());
   JsonValue root;
-  ASSERT_TRUE(JsonParser(os.str()).parse(root)) << os.str();
+  ASSERT_TRUE(parse_json(os.str(), root)) << os.str();
   ASSERT_EQ(root.kind, JsonValue::Kind::Object);
 
   const JsonValue* events = root.find("traceEvents");
@@ -483,7 +295,7 @@ TEST(ChromeTrace, EmptyTraceIsStillValidJson) {
   std::ostringstream os;
   write_chrome_trace(os, RunTrace{});
   JsonValue root;
-  EXPECT_TRUE(JsonParser(os.str()).parse(root)) << os.str();
+  EXPECT_TRUE(parse_json(os.str(), root)) << os.str();
 }
 
 // --- metrics exporters ------------------------------------------------------
@@ -516,7 +328,7 @@ TEST(MetricsExport, JsonlLinesAllParse) {
   while (std::getline(is, line)) {
     ++lines;
     JsonValue v;
-    ASSERT_TRUE(JsonParser(line).parse(v)) << line;
+    ASSERT_TRUE(parse_json(line, v)) << line;
     ASSERT_EQ(v.kind, JsonValue::Kind::Object);
     ASSERT_NE(v.find("name"), nullptr);
     ASSERT_NE(v.find("value"), nullptr);
@@ -559,6 +371,164 @@ TEST(MetricsExport, PrometheusGroupsFamiliesUnderOneTypeHeader) {
       << text;
   // Label values are escaped per the exposition format.
   EXPECT_NE(text.find("quote\\\"and\\\\slash"), std::string::npos) << text;
+}
+
+// --- exporters under ring wrap ----------------------------------------------
+
+TEST(ChromeTrace, RingWrapStillExportsValidJsonWithDropAccounting) {
+  // Drive a real Recorder with a tiny ring until it wraps several times,
+  // leaving orphan RollbackEnds at the front and an unterminated
+  // RollbackBegin at the back. The export must still parse, balance every
+  // B/E pair, and report the exact drop count.
+  Recorder recorder;
+  ObsConfig config;
+  config.tracing = true;
+  config.ring_capacity = 8;
+  recorder.configure(config, 2);
+#if OTW_OBS_TRACING
+  ASSERT_TRUE(recorder.tracing());
+  std::uint64_t wall = 0;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    recorder.record(TraceKind::RollbackBegin, ++wall, 4, 100 + i,
+                    pack_rollback_cause(1, false, 90 + i));
+    recorder.record(TraceKind::AntiSent, ++wall, 4, 100 + i,
+                    pack_anti_sent(5, 90 + i));
+    recorder.record(TraceKind::RollbackEnd, ++wall, 4, 100 + i, 2);
+  }
+  // End on an unterminated rollback scope.
+  recorder.record(TraceKind::RollbackBegin, ++wall, 4, 200,
+                  pack_rollback_cause(1, false, 190));
+
+  RunTrace trace;
+  trace.lps.push_back(recorder.drain_trace());
+  ASSERT_EQ(trace.lps[0].records.size(), 8u);
+  const std::uint64_t expected_dropped = 61 - 8;
+  ASSERT_EQ(trace.lps[0].dropped, expected_dropped);
+
+  std::ostringstream os;
+  write_chrome_trace(os, trace);
+  JsonValue root;
+  ASSERT_TRUE(parse_json(os.str(), root)) << os.str();
+
+  // Balanced B/E per track despite the orphans, and the drop count is
+  // reported verbatim in the trace_overflow marker.
+  int depth = 0;
+  bool overflow_seen = false;
+  for (const JsonValue& e : root.find("traceEvents")->array) {
+    const JsonValue* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "B") {
+      ++depth;
+    } else if (ph->string == "E") {
+      --depth;
+      EXPECT_GE(depth, 0) << "orphan E must be swallowed, not emitted";
+    }
+    const JsonValue* name = e.find("name");
+    if (name != nullptr && name->string == "trace_overflow") {
+      overflow_seen = true;
+      const JsonValue* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->get_number("dropped"),
+                static_cast<double>(expected_dropped));
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_TRUE(overflow_seen);
+#endif
+}
+
+// --- Prometheus exposition-format validity ----------------------------------
+
+TEST(MetricsExport, PrometheusPageIsStructurallyValid) {
+  // The exposition-format rules the textfile collector actually enforces:
+  // every sample's family must have been declared with # TYPE before the
+  // sample, metric and label names must be legal, and no series (name +
+  // label set) may appear twice.
+  const auto legal_metric_name = [](const std::string& name) {
+    if (name.empty()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      const bool ok = std::isalpha(static_cast<unsigned char>(c)) != 0 ||
+                      c == '_' || c == ':' ||
+                      (i > 0 && std::isdigit(static_cast<unsigned char>(c)));
+      if (!ok) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::ostringstream os;
+  write_prometheus(os, sample_metrics());
+  std::istringstream is(os.str());
+  std::string line;
+  std::set<std::string> typed_families;
+  std::set<std::string> series_seen;
+  std::size_t samples = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::string family = rest.substr(0, rest.find(' '));
+      const std::string type = rest.substr(rest.find(' ') + 1);
+      EXPECT_TRUE(legal_metric_name(family)) << line;
+      EXPECT_TRUE(type == "counter" || type == "gauge") << line;
+      typed_families.insert(family);
+      continue;
+    }
+    if (line[0] == '#') {
+      continue;  // other comments are legal
+    }
+    // Sample line: name[{labels}] value
+    ++samples;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string series = line.substr(0, space);
+    EXPECT_TRUE(series_seen.insert(series).second)
+        << "duplicate series: " << series;
+    const std::size_t brace = series.find('{');
+    const std::string name = series.substr(0, brace);
+    EXPECT_TRUE(legal_metric_name(name)) << line;
+    EXPECT_TRUE(typed_families.count(name))
+        << "sample before its # TYPE: " << line;
+    if (brace != std::string::npos) {
+      ASSERT_EQ(series.back(), '}') << line;
+      // Label names up to each '=' must be legal (values are quoted and
+      // escape-checked by the grouping test above).
+      std::string labels = series.substr(brace + 1, series.size() - brace - 2);
+      std::size_t pos = 0;
+      while (pos < labels.size()) {
+        const std::size_t eq = labels.find('=', pos);
+        ASSERT_NE(eq, std::string::npos) << line;
+        const std::string label = labels.substr(pos, eq - pos);
+        EXPECT_TRUE(legal_metric_name(label) &&
+                    label.find(':') == std::string::npos)
+            << "bad label name '" << label << "' in " << line;
+        // Skip the quoted value (quotes inside are escaped).
+        ASSERT_EQ(labels[eq + 1], '"') << line;
+        std::size_t end = eq + 2;
+        while (end < labels.size() &&
+               (labels[end] != '"' || labels[end - 1] == '\\')) {
+          ++end;
+        }
+        ASSERT_LT(end, labels.size()) << line;
+        pos = end + 1;
+        if (pos < labels.size() && labels[pos] == ',') {
+          ++pos;
+        }
+      }
+    }
+    // The value must parse as a number.
+    const std::string value = line.substr(space + 1);
+    char* endp = nullptr;
+    std::strtod(value.c_str(), &endp);
+    EXPECT_EQ(endp, value.c_str() + value.size()) << line;
+  }
+  EXPECT_EQ(samples, sample_metrics().metrics.size());
 }
 
 }  // namespace

@@ -1,0 +1,178 @@
+// twreport: run-report rendering and bench-results diffing. The acceptance
+// property is that diffing two identical-seed runs (here: literally the same
+// document) reports zero significant deltas, while real regressions above
+// the noise threshold are surfaced per metric.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "twreport_lib.hpp"
+
+namespace otw::tools {
+namespace {
+
+using obs::json::Value;
+
+const char* kBenchDoc = R"({
+  "bench": "baseline_throughput",
+  "runs": [
+    {"label": "SMMP", "x": 0,
+     "config": {"num_lps": 8},
+     "results": {"execution_time_ns": 2000000000, "committed": 40000,
+                 "events_processed": 44000, "rollbacks": 1000,
+                 "committed_events_per_sec": 20000},
+     "phases": {"event_processing": {"ns": 900000, "count": 44000},
+                "rollback": {"ns": 100000, "count": 1000}},
+     "analysis": {"total_records": 1234, "dropped_records": 0,
+                  "overall_efficiency": 0.9,
+                  "cascades": {"total_rollbacks": 1000, "primary": 800,
+                               "cascaded": 200, "max_depth": 3,
+                               "blame": [{"object": 7, "rollbacks_caused": 600}]},
+                  "convergence": {"cancellation": {"mode_switches": 12}}}},
+    {"label": "RAID", "x": 0,
+     "results": {"execution_time_ns": 1000000000, "committed": 10000,
+                 "events_processed": 11000, "rollbacks": 500,
+                 "committed_events_per_sec": 10000},
+     "phases": {"event_processing": {"ns": 400000, "count": 11000}}}
+  ]
+})";
+
+Value parse_doc(const std::string& text) {
+  Value doc;
+  EXPECT_TRUE(obs::json::parse(text, doc));
+  return doc;
+}
+
+TEST(TwReport, RunReportRendersRunsAndAnalysis) {
+  std::ostringstream os;
+  std::string error;
+  ASSERT_TRUE(render_run_report(os, parse_doc(kBenchDoc), error)) << error;
+  const std::string md = os.str();
+  EXPECT_NE(md.find("baseline_throughput"), std::string::npos);
+  EXPECT_NE(md.find("| SMMP |"), std::string::npos);
+  EXPECT_NE(md.find("| RAID |"), std::string::npos);
+  EXPECT_NE(md.find("Trace analysis"), std::string::npos);
+  EXPECT_NE(md.find("obj 7 (600)"), std::string::npos) << md;
+}
+
+TEST(TwReport, RunReportRejectsNonBenchDocuments) {
+  std::ostringstream os;
+  std::string error;
+  EXPECT_FALSE(render_run_report(os, parse_doc("{\"foo\": 1}"), error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TwReport, IdenticalRunsDiffToZeroSignificantDeltas) {
+  const Value doc = parse_doc(kBenchDoc);
+  const DiffReport report = diff_bench(doc, doc);
+  EXPECT_EQ(report.runs.size(), 2u);
+  EXPECT_EQ(report.significant_runs(), 0u);
+  EXPECT_TRUE(report.only_in_a.empty());
+  EXPECT_TRUE(report.only_in_b.empty());
+  for (const RunDelta& run : report.runs) {
+    for (const MetricDelta& m : run.metrics) {
+      EXPECT_DOUBLE_EQ(m.relative, 0.0) << run.label << " " << m.name;
+    }
+  }
+
+  std::ostringstream os;
+  render_diff_markdown(os, report);
+  EXPECT_NE(os.str().find("No significant deltas."), std::string::npos);
+}
+
+TEST(TwReport, RegressionsAboveThresholdAreSignificant) {
+  const Value a = parse_doc(kBenchDoc);
+  std::string changed = kBenchDoc;
+  // Degrade SMMP throughput 20000 -> 15000 (a 25% drop) and leave RAID alone.
+  const std::string needle = "\"committed_events_per_sec\": 20000";
+  changed.replace(changed.find(needle), needle.size(),
+                  "\"committed_events_per_sec\": 15000");
+  const Value b = parse_doc(changed);
+
+  const DiffReport report = diff_bench(a, b);
+  EXPECT_EQ(report.significant_runs(), 1u);
+  bool found = false;
+  for (const RunDelta& run : report.runs) {
+    if (run.label != "SMMP") {
+      EXPECT_FALSE(run.significant());
+      continue;
+    }
+    for (const MetricDelta& m : run.metrics) {
+      if (m.name == "throughput (ev/sec)") {
+        found = true;
+        EXPECT_TRUE(m.significant);
+        EXPECT_DOUBLE_EQ(m.before, 20000.0);
+        EXPECT_DOUBLE_EQ(m.after, 15000.0);
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+
+  std::ostringstream os;
+  render_diff_markdown(os, report);
+  EXPECT_NE(os.str().find("throughput (ev/sec)"), std::string::npos);
+  EXPECT_NE(os.str().find("-25.00%"), std::string::npos) << os.str();
+}
+
+TEST(TwReport, SubThresholdNoiseIsNotSignificant) {
+  const Value a = parse_doc(kBenchDoc);
+  std::string changed = kBenchDoc;
+  // 20000 -> 20100 is a 0.5% wiggle, below the default 2% threshold.
+  const std::string needle = "\"committed_events_per_sec\": 20000";
+  changed.replace(changed.find(needle), needle.size(),
+                  "\"committed_events_per_sec\": 20100");
+  const DiffReport report = diff_bench(a, parse_doc(changed));
+  EXPECT_EQ(report.significant_runs(), 0u);
+}
+
+TEST(TwReport, UnmatchedRunsAreListed)
+{
+  const Value a = parse_doc(kBenchDoc);
+  std::string reduced = R"({"bench": "baseline_throughput", "runs": [
+    {"label": "SMMP", "x": 0,
+     "results": {"execution_time_ns": 2000000000, "committed": 40000,
+                 "events_processed": 44000, "rollbacks": 1000,
+                 "committed_events_per_sec": 20000}}
+  ]})";
+  const DiffReport report = diff_bench(a, parse_doc(reduced));
+  EXPECT_EQ(report.runs.size(), 1u);
+  ASSERT_EQ(report.only_in_a.size(), 1u);
+  EXPECT_NE(report.only_in_a[0].find("RAID"), std::string::npos);
+}
+
+TEST(TwReport, CliRunAndDiffEndToEnd) {
+  const std::string path = ::testing::TempDir() + "twreport_test_bench.json";
+  {
+    std::ofstream os(path);
+    os << kBenchDoc;
+  }
+
+  {
+    std::ostringstream out;
+    std::ostringstream err;
+    const char* argv[] = {"twreport", "run", path.c_str()};
+    EXPECT_EQ(run_cli(3, argv, out, err), 0) << err.str();
+    EXPECT_NE(out.str().find("| SMMP |"), std::string::npos);
+  }
+  {
+    std::ostringstream out;
+    std::ostringstream err;
+    const char* argv[] = {"twreport", "diff", path.c_str(), path.c_str()};
+    EXPECT_EQ(run_cli(4, argv, out, err), 0) << err.str();
+    EXPECT_NE(out.str().find("No significant deltas."), std::string::npos);
+  }
+  {
+    std::ostringstream out;
+    std::ostringstream err;
+    const char* argv[] = {"twreport", "bogus"};
+    EXPECT_EQ(run_cli(2, argv, out, err), 2);
+    EXPECT_NE(err.str().find("usage:"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace otw::tools

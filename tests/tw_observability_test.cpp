@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "otw/apps/phold.hpp"
+#include "otw/obs/analysis.hpp"
 #include "otw/tw/kernel.hpp"
 #include "otw/tw/observability.hpp"
 
@@ -83,6 +84,29 @@ TEST(Observability, TracingDoesNotChangeTheSimulation) {
 
   EXPECT_FALSE(traced.trace.empty());
   ASSERT_EQ(traced.lp_phases.size(), 4u);
+
+  // Post-mortem analysis is pure accounting over the drained trace: running
+  // it (even twice) leaves the results — digests and modeled makespan —
+  // untouched, and a re-run with analysis in the loop is bit-identical.
+  const obs::AnalysisReport first = obs::analyze(traced.trace);
+  const obs::AnalysisReport second = obs::analyze(traced.trace);
+  EXPECT_EQ(first.cascades.total_rollbacks, second.cascades.total_rollbacks);
+  std::uint64_t dropped = 0;
+  for (const obs::LpTraceLog& log : traced.trace.lps) {
+    dropped += log.dropped;
+  }
+  if (dropped == 0) {
+    // With a lossless ring the analyzer sees every rollback the kernel
+    // counted.
+    EXPECT_EQ(first.cascades.total_rollbacks, traced.stats.total_rollbacks());
+  }
+  EXPECT_EQ(traced.digests, plain.digests);
+  EXPECT_EQ(traced.execution_time_ns, plain.execution_time_ns);
+
+  const RunResult traced_again = run_simulated_now(model, on, observed_now());
+  static_cast<void>(obs::analyze(traced_again.trace));
+  EXPECT_EQ(traced_again.digests, plain.digests);
+  EXPECT_EQ(traced_again.execution_time_ns, plain.execution_time_ns);
 }
 
 TEST(Observability, TraceCarriesRollbacksCheckpointsGvtAndDecisions) {

@@ -1,0 +1,9 @@
+// twreport CLI entry point; all the work lives in twreport_lib so the tests
+// can drive the same code.
+#include <iostream>
+
+#include "twreport_lib.hpp"
+
+int main(int argc, char** argv) {
+  return otw::tools::run_cli(argc, argv, std::cout, std::cerr);
+}

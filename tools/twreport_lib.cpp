@@ -1,0 +1,309 @@
+#include "twreport_lib.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace otw::tools {
+namespace {
+
+using obs::json::Value;
+
+std::string fmt(double value) {
+  if (!std::isfinite(value)) {
+    return "0";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string fmt_pct(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.2f%%",
+                std::isfinite(fraction) ? fraction * 100.0 : 0.0);
+  return buf;
+}
+
+std::string run_key(const std::string& label, double x) {
+  return label + " @ " + fmt(x);
+}
+
+/// The comparable metrics of one run row, in report order.
+std::vector<std::pair<std::string, double>> run_metrics(const Value& run) {
+  std::vector<std::pair<std::string, double>> out;
+  const Value* results = run.find("results");
+  if (results != nullptr) {
+    out.emplace_back("throughput (ev/sec)",
+                     results->get_number("committed_events_per_sec"));
+    const double processed = results->get_number("events_processed");
+    const double rollbacks = results->get_number("rollbacks");
+    out.emplace_back("rollback rate",
+                     processed > 0.0 ? rollbacks / processed : 0.0);
+    out.emplace_back("execution time ns",
+                     results->get_number("execution_time_ns"));
+  }
+  const Value* phases = run.find("phases");
+  if (phases != nullptr && phases->is_object()) {
+    for (const auto& [phase, totals] : phases->object) {
+      out.emplace_back("phase " + phase + " self ns",
+                       totals.get_number("ns"));
+    }
+  }
+  return out;
+}
+
+const Value* find_runs(const Value& doc) {
+  const Value* runs = doc.find("runs");
+  return runs != nullptr && runs->is_array() ? runs : nullptr;
+}
+
+}  // namespace
+
+bool load_json_file(const std::string& path, Value& out, std::string& error) {
+  std::ifstream is(path);
+  if (!is) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (!obs::json::parse(buffer.str(), out)) {
+    error = path + " is not valid JSON";
+    return false;
+  }
+  return true;
+}
+
+bool render_run_report(std::ostream& os, const Value& doc,
+                       std::string& error) {
+  const Value* runs = find_runs(doc);
+  if (runs == nullptr) {
+    error = "document has no runs[] array (not a bench results file?)";
+    return false;
+  }
+  os << "# Bench report: " << doc.get_string("bench", "(unnamed)") << "\n\n";
+  os << "| run | x | exec sec | committed | rollbacks | rollback rate | "
+        "throughput ev/s |\n";
+  os << "|---|---:|---:|---:|---:|---:|---:|\n";
+  bool any_analysis = false;
+  for (const Value& run : runs->array) {
+    const Value* results = run.find("results");
+    if (results == nullptr) {
+      continue;
+    }
+    const double processed = results->get_number("events_processed");
+    const double rollbacks = results->get_number("rollbacks");
+    os << "| " << run.get_string("label", "?") << " | "
+       << fmt(run.get_number("x")) << " | "
+       << fmt(results->get_number("execution_time_ns") / 1e9) << " | "
+       << fmt(results->get_number("committed")) << " | " << fmt(rollbacks)
+       << " | " << fmt(processed > 0.0 ? rollbacks / processed : 0.0) << " | "
+       << fmt(results->get_number("committed_events_per_sec")) << " |\n";
+    any_analysis = any_analysis || run.find("analysis") != nullptr;
+  }
+  os << "\n";
+
+  if (any_analysis) {
+    os << "## Trace analysis\n\n";
+    os << "| run | records | dropped | commit eff | rollbacks (prim/casc) | "
+          "max depth | top blame | A<->L switches |\n";
+    os << "|---|---:|---:|---:|---:|---:|---:|---:|\n";
+    for (const Value& run : runs->array) {
+      const Value* a = run.find("analysis");
+      if (a == nullptr) {
+        continue;
+      }
+      const Value* cascades = a->find("cascades");
+      const Value* convergence = a->find("convergence");
+      std::string blame = "-";
+      if (cascades != nullptr) {
+        const Value* entries = cascades->find("blame");
+        if (entries != nullptr && entries->is_array() &&
+            !entries->array.empty()) {
+          const Value& top = entries->array.front();
+          blame = "obj " + fmt(top.get_number("object")) + " (" +
+                  fmt(top.get_number("rollbacks_caused")) + ")";
+        }
+      }
+      os << "| " << run.get_string("label", "?") << " | "
+         << fmt(a->get_number("total_records")) << " | "
+         << fmt(a->get_number("dropped_records")) << " | "
+         << fmt(a->get_number("overall_efficiency")) << " | ";
+      if (cascades != nullptr) {
+        os << fmt(cascades->get_number("primary")) << "/"
+           << fmt(cascades->get_number("cascaded"));
+      } else {
+        os << "-";
+      }
+      os << " | "
+         << (cascades != nullptr ? fmt(cascades->get_number("max_depth"))
+                                 : "-")
+         << " | " << blame << " | ";
+      if (convergence != nullptr) {
+        const Value* cancellation = convergence->find("cancellation");
+        os << (cancellation != nullptr
+                   ? fmt(cancellation->get_number("mode_switches"))
+                   : "-");
+      } else {
+        os << "-";
+      }
+      os << " |\n";
+    }
+    os << "\n";
+  }
+  return true;
+}
+
+DiffReport diff_bench(const Value& a, const Value& b,
+                      const DiffOptions& options) {
+  DiffReport report;
+  report.bench_a = a.get_string("bench", "(unnamed)");
+  report.bench_b = b.get_string("bench", "(unnamed)");
+
+  std::map<std::string, const Value*> runs_b;
+  if (const Value* runs = find_runs(b)) {
+    for (const Value& run : runs->array) {
+      runs_b[run_key(run.get_string("label", "?"), run.get_number("x"))] =
+          &run;
+    }
+  }
+
+  if (const Value* runs = find_runs(a)) {
+    for (const Value& run : runs->array) {
+      const std::string key =
+          run_key(run.get_string("label", "?"), run.get_number("x"));
+      const auto it = runs_b.find(key);
+      if (it == runs_b.end()) {
+        report.only_in_a.push_back(key);
+        continue;
+      }
+      RunDelta delta;
+      delta.label = run.get_string("label", "?");
+      delta.x = run.get_number("x");
+
+      const auto before = run_metrics(run);
+      const auto after = run_metrics(*it->second);
+      std::map<std::string, double> after_by_name(after.begin(), after.end());
+      for (const auto& [name, value] : before) {
+        const auto match = after_by_name.find(name);
+        if (match == after_by_name.end()) {
+          continue;
+        }
+        MetricDelta m;
+        m.name = name;
+        m.before = value;
+        m.after = match->second;
+        const double scale = std::max(std::abs(m.before), std::abs(m.after));
+        m.relative = scale > 0.0 ? std::abs(m.after - m.before) / scale : 0.0;
+        m.significant = m.relative > options.threshold;
+        delta.metrics.push_back(std::move(m));
+      }
+      report.runs.push_back(std::move(delta));
+      runs_b.erase(it);
+    }
+  }
+  for (const auto& [key, run] : runs_b) {
+    report.only_in_b.push_back(key);
+  }
+  return report;
+}
+
+void render_diff_markdown(std::ostream& os, const DiffReport& report,
+                          const DiffOptions& options) {
+  os << "# Bench diff: " << report.bench_a << " vs " << report.bench_b
+     << "\n\n";
+  os << "- matched runs: " << report.runs.size() << "\n";
+  os << "- significant runs (>" << fmt(options.threshold * 100)
+     << "% on any metric): " << report.significant_runs() << "\n";
+  for (const std::string& key : report.only_in_a) {
+    os << "- only in A: " << key << "\n";
+  }
+  for (const std::string& key : report.only_in_b) {
+    os << "- only in B: " << key << "\n";
+  }
+  os << "\n";
+
+  if (report.significant_runs() == 0) {
+    os << "No significant deltas.\n";
+    return;
+  }
+  for (const RunDelta& run : report.runs) {
+    if (!run.significant()) {
+      continue;
+    }
+    os << "## " << run.label << " @ " << fmt(run.x) << "\n\n";
+    os << "| metric | before | after | delta |\n|---|---:|---:|---:|\n";
+    for (const MetricDelta& m : run.metrics) {
+      if (!m.significant) {
+        continue;
+      }
+      const double signed_rel =
+          m.before != 0.0
+              ? (m.after - m.before) / std::abs(m.before)
+              : (m.after > 0.0 ? 1.0 : -1.0);
+      os << "| " << m.name << " | " << fmt(m.before) << " | " << fmt(m.after)
+         << " | " << fmt_pct(signed_rel) << " |\n";
+    }
+    os << "\n";
+  }
+}
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  const auto usage = [&err]() {
+    err << "usage: twreport run <results.json>\n"
+           "       twreport diff <a.json> <b.json> [--threshold FRACTION]\n";
+    return 2;
+  };
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string mode = argv[1];
+  std::string error;
+
+  if (mode == "run") {
+    if (argc != 3) {
+      return usage();
+    }
+    Value doc;
+    if (!load_json_file(argv[2], doc, error) ||
+        !render_run_report(out, doc, error)) {
+      err << "twreport: " << error << "\n";
+      return 2;
+    }
+    return 0;
+  }
+
+  if (mode == "diff") {
+    if (argc < 4) {
+      return usage();
+    }
+    DiffOptions options;
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--threshold" && i + 1 < argc) {
+        options.threshold = std::atof(argv[++i]);
+      } else {
+        return usage();
+      }
+    }
+    Value a;
+    Value b;
+    if (!load_json_file(argv[2], a, error) ||
+        !load_json_file(argv[3], b, error)) {
+      err << "twreport: " << error << "\n";
+      return 2;
+    }
+    render_diff_markdown(out, diff_bench(a, b, options), options);
+    return 0;
+  }
+
+  return usage();
+}
+
+}  // namespace otw::tools

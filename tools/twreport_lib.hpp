@@ -1,0 +1,99 @@
+// twreport: post-mortem reporting over the project's own JSON artifacts.
+//
+//   twreport run <results.json>        render one bench results file (the
+//                                      {bench, runs:[...]} schema written by
+//                                      bench::BenchReport) as markdown,
+//                                      including each run's embedded trace
+//                                      analysis when present.
+//   twreport diff <a.json> <b.json>    compare two results files run-by-run
+//                                      (matched on label + x): delta
+//                                      throughput, rollback rate, execution
+//                                      time and per-phase self-times, with a
+//                                      relative noise threshold so identical
+//                                      runs report zero significant deltas.
+//
+// The CLI is a thin shim over this library so the tests can drive the exact
+// code the tool ships.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "otw/obs/json.hpp"
+
+namespace otw::tools {
+
+struct DiffOptions {
+  /// Relative change below this fraction is reported but not significant.
+  double threshold = 0.02;
+};
+
+/// One compared metric of one matched run.
+struct MetricDelta {
+  std::string name;
+  double before = 0.0;
+  double after = 0.0;
+  /// |after - before| / max(|before|, |after|); 0 when both are 0.
+  double relative = 0.0;
+  bool significant = false;
+};
+
+/// All metric deltas for one (label, x) run present in both files.
+struct RunDelta {
+  std::string label;
+  double x = 0.0;
+  std::vector<MetricDelta> metrics;
+
+  [[nodiscard]] bool significant() const {
+    for (const MetricDelta& m : metrics) {
+      if (m.significant) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+struct DiffReport {
+  std::string bench_a;
+  std::string bench_b;
+  std::vector<RunDelta> runs;
+  std::vector<std::string> only_in_a;  ///< "label @ x" keys missing from b
+  std::vector<std::string> only_in_b;
+
+  [[nodiscard]] std::size_t significant_runs() const {
+    std::size_t n = 0;
+    for (const RunDelta& run : runs) {
+      n += run.significant() ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+/// Reads and parses a whole JSON file. On failure returns false and fills
+/// `error` with a one-line reason.
+[[nodiscard]] bool load_json_file(const std::string& path,
+                                  obs::json::Value& out, std::string& error);
+
+/// Renders one bench results document as markdown. Returns false (with
+/// `error`) when the document does not look like a BenchReport file.
+[[nodiscard]] bool render_run_report(std::ostream& os,
+                                     const obs::json::Value& doc,
+                                     std::string& error);
+
+/// Compares two bench results documents run-by-run.
+[[nodiscard]] DiffReport diff_bench(const obs::json::Value& a,
+                                    const obs::json::Value& b,
+                                    const DiffOptions& options = {});
+
+void render_diff_markdown(std::ostream& os, const DiffReport& report,
+                          const DiffOptions& options = {});
+
+/// The whole command-line tool (argv[0] ignored). Writes the report to
+/// `out`, diagnostics to `err`. Returns the process exit code: 0 on
+/// success, 2 on usage/parse errors.
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace otw::tools
