@@ -1,0 +1,128 @@
+// Worker-count scaling of the real-thread work-stealing scheduler.
+//
+// Runs the same phold workload with spin-on-charge (every charged nanosecond
+// is actually burned on a core, so the workload is CPU-bound and parallelism
+// is realizable) while sweeping the worker pool from 1 to the hardware
+// thread count. Reports best-of-3 committed-event throughput per worker
+// count; on a healthy scheduler the curve is monotonically non-decreasing.
+//
+// Outputs: bench/results/threaded_scaling.json (standard BenchReport rows)
+// and BENCH_threaded.json (headline scaling summary for CI artifacts).
+#include <algorithm>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+
+#include "otw/apps/phold.hpp"
+
+namespace {
+
+struct ScalePoint {
+  std::uint32_t workers = 0;
+  double events_per_sec = 0.0;
+  std::uint64_t steals = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t wall_ns = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace otw;
+  bench::print_banner("ThreadedScaling",
+                      "work-stealing scheduler throughput vs worker count");
+  bench::print_run_header();
+  bench::BenchReport report("threaded_scaling");
+
+  apps::phold::PholdConfig app;
+  app.num_objects = 32;
+  app.num_lps = 8;
+  app.population_per_object = 3;
+  app.remote_probability = 0.5;
+  app.mean_delay = 100;
+  app.event_grain_ns = 40'000;  // spin-dominated: 40 us of real CPU per event
+  app.seed = 97;
+  const tw::Model model = apps::phold::build_model(app);
+  const tw::VirtualTime end{6'000};
+
+  tw::KernelConfig kc = bench::base_kernel(app.num_lps);
+  kc.end_time = end;
+  kc.batch_size = 8;
+  kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
+  kc.runtime.dynamic_checkpointing = true;
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned max_workers = std::min(hw, 16u);
+
+  const tw::SequentialResult seq = tw::run_sequential(model, end);
+  std::vector<ScalePoint> curve;
+  for (unsigned w = 1; w <= max_workers; ++w) {
+    platform::ThreadedConfig tc;
+    tc.num_workers = w;
+    tc.spin_on_charge = true;
+    // Zero modeled comm costs: the spin should model event grains, not a
+    // simulated 1998 Ethernet, so speedup is limited only by the schedule.
+    tc.costs = platform::CostModel::free();
+
+    tw::RunResult best;
+    for (int rep = 0; rep < 3; ++rep) {
+      tw::RunResult r = tw::run_threaded(model, kc, tc);
+      if (r.digests != seq.digests) {
+        std::fprintf(stderr, "FATAL: digest mismatch at %u workers\n", w);
+        return 1;
+      }
+      if (best.execution_time_ns == 0 ||
+          r.committed_events_per_sec() > best.committed_events_per_sec()) {
+        best = std::move(r);
+      }
+    }
+    const std::string label = "w" + std::to_string(w);
+    bench::print_run_row(label, w, best);
+    report.record(label, w, kc, best);
+    curve.push_back(ScalePoint{w, best.committed_events_per_sec(),
+                               best.scheduler.total_steals(),
+                               best.scheduler.total_parks(),
+                               best.execution_time_ns});
+  }
+
+  // Monotonicity verdict: each point must at least match the best seen so
+  // far, with 3% slack for scheduler noise on shared CI machines.
+  bool monotonic = true;
+  double best_so_far = 0.0;
+  for (const ScalePoint& p : curve) {
+    monotonic = monotonic && p.events_per_sec >= best_so_far * 0.97;
+    best_so_far = std::max(best_so_far, p.events_per_sec);
+  }
+  const double speedup = curve.size() > 1 && curve.front().events_per_sec > 0
+                             ? curve.back().events_per_sec /
+                                   curve.front().events_per_sec
+                             : 1.0;
+  std::printf("\n  speedup %ux -> %ux workers: %.2fx, monotonic: %s\n",
+              curve.front().workers, curve.back().workers, speedup,
+              monotonic ? "yes" : "NO");
+
+  std::ofstream out("BENCH_threaded.json");
+  if (out) {
+    out << "{\n  \"bench\": \"threaded_scaling\",\n";
+    out << "  \"hardware_threads\": " << hw << ",\n";
+    out << "  \"event_grain_ns\": " << app.event_grain_ns << ",\n";
+    out << "  \"monotonic_non_decreasing\": " << (monotonic ? "true" : "false")
+        << ",\n";
+    out << "  \"monotonic_tolerance\": 0.97,\n";
+    out << "  \"speedup_max_workers\": " << speedup << ",\n";
+    out << "  \"curve\": [\n";
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      const ScalePoint& p = curve[i];
+      out << "    {\"workers\": " << p.workers
+          << ", \"committed_events_per_sec\": " << p.events_per_sec
+          << ", \"wall_ns\": " << p.wall_ns << ", \"steals\": " << p.steals
+          << ", \"parks\": " << p.parks << "}" << (i + 1 < curve.size() ? "," : "")
+          << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("  [scaling json: BENCH_threaded.json]\n");
+  }
+  return monotonic ? 0 : 1;
+}

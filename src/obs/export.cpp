@@ -82,9 +82,12 @@ void write_chrome_trace(std::ostream& os, const RunTrace& trace) {
   bool first = true;
 
   for (const LpTraceLog& log : trace.lps) {
-    // Track naming: one thread per LP under a single process.
+    // Track naming: one thread per LP (or scheduler worker) under a single
+    // process.
+    const std::string track =
+        log.name.empty() ? "LP " + std::to_string(log.lp) : log.name;
     emit_event(os, first, "M", log.lp, 0, "thread_name",
-               "\"args\":{\"name\":\"LP " + std::to_string(log.lp) + "\"}");
+               "\"args\":{\"name\":\"" + json_escape(track) + "\"}");
 
     std::uint64_t open_rollbacks = 0;
     std::uint64_t last_ts = 0;
@@ -207,6 +210,25 @@ void write_chrome_trace(std::ostream& os, const RunTrace& trace) {
                            std::to_string(unpack_lp_sample(r)) + "}");
           }
           break;
+        case TraceKind::WorkerPark: {
+          const WorkerParkInfo park = unpack_worker_park(r);
+          emit_event(os, first, "X", log.lp, r.wall_ns, "park",
+                     "\"dur\":" + ts_us(park.duration_ns) +
+                         ",\"args\":{\"woken_by\":\"" +
+                         (park.token ? "token" : "timeout") + "\"}");
+          break;
+        }
+        case TraceKind::WorkerWake:
+          emit_event(os, first, "i", log.lp, r.wall_ns, "wake", "\"s\":\"t\"");
+          break;
+        case TraceKind::WorkerSteal: {
+          const WorkerStealInfo steal = unpack_worker_steal(r);
+          emit_event(os, first, "i", log.lp, r.wall_ns, "steal",
+                     "\"s\":\"t\",\"args\":{\"victim\":" +
+                         std::to_string(steal.victim) +
+                         ",\"lp\":" + std::to_string(steal.lp) + "}");
+          break;
+        }
       }
     }
     // Ring overflow may have swallowed RollbackEnd records: close any scope

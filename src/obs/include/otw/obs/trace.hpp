@@ -24,6 +24,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -45,6 +46,9 @@ enum class TraceKind : std::uint8_t {
   CancellationSwitch,///< A<->L: arg0/arg1 = pack_cancellation_switch
   OptimismDecision,  ///< W step: arg0/arg1 = pack_optimism_decision
   TelemetrySample,   ///< arg0/arg1 = pack_object_sample or pack_lp_sample
+  WorkerPark,        ///< wall_ns = park begin; arg0/arg1 = pack_worker_park
+  WorkerWake,        ///< a wake token was handed to the parking lot
+  WorkerSteal,       ///< arg0/arg1 = pack_worker_steal
 };
 
 [[nodiscard]] constexpr const char* to_string(TraceKind kind) noexcept {
@@ -64,6 +68,9 @@ enum class TraceKind : std::uint8_t {
     case TraceKind::CancellationSwitch: return "cancellation_switch";
     case TraceKind::OptimismDecision: return "optimism_decision";
     case TraceKind::TelemetrySample: return "sample";
+    case TraceKind::WorkerPark: return "park";
+    case TraceKind::WorkerWake: return "wake";
+    case TraceKind::WorkerSteal: return "steal";
   }
   return "?";
 }
@@ -225,6 +232,38 @@ struct ObjectSampleInfo {
   return r.arg0;
 }
 
+/// WorkerPark: how long a scheduler worker slept and what ended the sleep
+/// (a wake token vs. a timer deadline / safety timeout).
+struct WorkerParkInfo {
+  std::uint64_t duration_ns = 0;
+  bool token = false;  ///< true: woken by a token; false: timeout/deadline
+};
+
+[[nodiscard]] constexpr TraceArgs pack_worker_park(std::uint64_t duration_ns,
+                                                   bool token) noexcept {
+  return {duration_ns, token ? std::uint64_t{1} : 0};
+}
+[[nodiscard]] constexpr WorkerParkInfo unpack_worker_park(
+    const TraceRecord& r) noexcept {
+  return {r.arg0, r.arg1 != 0};
+}
+
+/// WorkerSteal: which worker was robbed and which LP was taken.
+struct WorkerStealInfo {
+  std::uint32_t victim = 0;
+  std::uint32_t lp = 0;
+};
+
+[[nodiscard]] constexpr TraceArgs pack_worker_steal(std::uint32_t victim,
+                                                    std::uint32_t lp) noexcept {
+  return {victim, lp};
+}
+[[nodiscard]] constexpr WorkerStealInfo unpack_worker_steal(
+    const TraceRecord& r) noexcept {
+  return {static_cast<std::uint32_t>(r.arg0 & 0xFFFFFFFFu),
+          static_cast<std::uint32_t>(r.arg1 & 0xFFFFFFFFu)};
+}
+
 /// Fixed-capacity overwrite-oldest ring. Capacity is allocated once at
 /// construction; push() never allocates. When full, the oldest record is
 /// overwritten and `dropped()` counts the loss.
@@ -275,6 +314,9 @@ class TraceRing {
 struct LpTraceLog {
   std::uint32_t lp = 0;
   std::uint64_t dropped = 0;
+  /// Exporter display name for this track; empty = "LP <id>". Scheduler
+  /// worker tracks set e.g. "worker 3".
+  std::string name;
   std::vector<TraceRecord> records;  ///< oldest-first, wall_ns monotone per LP
 };
 

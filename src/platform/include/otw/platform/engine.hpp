@@ -12,8 +12,12 @@
 //       CostModel. Reported execution time = makespan of the modeled
 //       machine. This is the substrate for all paper figures.
 //
-//   ThreadedEngine - one std::thread per LP with mutex-protected mailboxes
-//       and real wall clocks; validates the kernel under true concurrency.
+//   ThreadedEngine - an M-worker : N-LP work-stealing scheduler on real
+//       threads and wall clocks: per-worker run queues with lock-free
+//       stealing, MPSC mailboxes, a timer wheel for request_wakeup and an
+//       event-driven parking lot (no idle polling). Validates the kernel
+//       under true concurrency and scales to LP counts far beyond the OS
+//       thread limit.
 //
 // Both transports are non-overtaking per (source, destination) pair, which
 // the kernel relies on (an anti-message never arrives before the positive
@@ -23,6 +27,8 @@
 #include <cstdint>
 #include <memory>
 #include <vector>
+
+#include "otw/obs/trace.hpp"
 
 namespace otw::platform {
 
@@ -72,11 +78,18 @@ class LpContext {
 
   /// Asks to be stepped again no later than `abs_ns` even if Idle is
   /// returned and no message arrives (e.g. an aggregation window expiring).
-  /// Valid for the current step only. Engines that poll continuously
-  /// (threads) may ignore it.
+  /// Valid for the current step only. Every engine honors it: the simulated
+  /// engine folds it into its ready-time ordering, the threaded engine parks
+  /// the LP on a timer wheel.
   virtual void request_wakeup(std::uint64_t abs_ns) noexcept {
     static_cast<void>(abs_ns);
   }
+
+  /// Yield hint: true when the engine would rather have this LP return from
+  /// step() soon (other LPs are waiting on the same worker). Purely advisory
+  /// — an LP may ignore it; honoring it improves fairness when workers are
+  /// outnumbered by LPs.
+  [[nodiscard]] virtual bool should_yield() const noexcept { return false; }
 
   /// The platform's cost model (for kernel-level cost charging).
   [[nodiscard]] virtual const struct CostModel& costs() const noexcept = 0;
@@ -88,6 +101,40 @@ class LpRunner {
   virtual ~LpRunner() = default;
   /// Performs a bounded amount of work. Must not block.
   virtual StepStatus step(LpContext& ctx) = 0;
+};
+
+/// Per-worker scheduler counters (threaded engine).
+struct WorkerStats {
+  std::uint64_t steps = 0;          ///< LP step() calls run on this worker
+  std::uint64_t steals = 0;         ///< LPs popped from another worker's queue
+  std::uint64_t steal_fails = 0;    ///< full sweeps that found nothing to steal
+  std::uint64_t parks = 0;          ///< times this worker parked
+  std::uint64_t wakes = 0;          ///< unparks caused by a wake token
+  std::uint64_t timer_fires = 0;    ///< timer-wheel entries this worker fired
+  std::uint64_t yields = 0;         ///< steps where the yield hint was taken
+};
+
+/// Scheduler-level telemetry (empty unless produced by a worker-pool engine).
+struct SchedulerStats {
+  std::uint32_t num_workers = 0;
+  std::uint64_t mailbox_overflows = 0;  ///< messages that took the backpressure path
+  std::uint64_t timers_scheduled = 0;   ///< request_wakeup deadlines armed
+  std::vector<WorkerStats> workers;
+
+  [[nodiscard]] std::uint64_t total_steals() const noexcept {
+    std::uint64_t n = 0;
+    for (const WorkerStats& w : workers) {
+      n += w.steals;
+    }
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_parks() const noexcept {
+    std::uint64_t n = 0;
+    for (const WorkerStats& w : workers) {
+      n += w.parks;
+    }
+    return n;
+  }
 };
 
 /// Result of driving a set of LPs to completion.
@@ -103,6 +150,13 @@ struct EngineRunResult {
   std::uint64_t wire_bytes = 0;
   /// Total engine step() invocations.
   std::uint64_t steps = 0;
+  /// Worker-pool counters (default-empty on engines without a worker pool).
+  SchedulerStats scheduler;
+  /// Per-worker scheduler trace rings (park slices, steals, wakes), drained.
+  /// Empty unless the engine was configured with a trace capacity. The `lp`
+  /// field holds the WORKER index; the kernel offsets it past the LP ids
+  /// before merging into a RunResult trace.
+  std::vector<obs::LpTraceLog> worker_traces;
 };
 
 }  // namespace otw::platform

@@ -1,0 +1,169 @@
+// Multi-producer single-consumer mailbox for the threaded engine.
+//
+// Fast path: a lock-free bounded ring (Vyukov-style sequence cells) — a push
+// is one CAS on the ticket counter plus a release store, a pop is two loads
+// and a release store. Backpressure path: when the ring is full, producers
+// divert into a mutex-protected overflow list instead of blocking, so a
+// worker whose victim LP is queued behind it can never deadlock on a full
+// mailbox.
+//
+// Ordering guarantee (the kernel's non-overtaking invariant): messages from
+// one producer are delivered in the order they were pushed, even across the
+// ring -> overflow -> ring transitions. The protocol:
+//   * the `overflow_active` flag is set (under the mutex) by the first
+//     producer that finds the ring full; while it is set, every producer
+//     diverts to the overflow list;
+//   * the single consumer drains the ring BEFORE touching overflow (ring
+//     entries predate every overflow entry from the same producer), and
+//     re-checks the ring under the mutex before popping overflow — the mutex
+//     acquisition makes any ring publish that happened-before a producer's
+//     overflow push visible, closing the unpublished-cell race;
+//   * the flag is cleared only when the overflow list is empty, so a
+//     producer can only return to the ring after all of its overflow
+//     messages were consumed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::platform {
+
+template <typename T>
+class MpscMailbox {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit MpscMailbox(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    cells_ = std::vector<Cell>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscMailbox(const MpscMailbox&) = delete;
+  MpscMailbox& operator=(const MpscMailbox&) = delete;
+
+  /// Multi-producer enqueue; never fails and never blocks on the consumer
+  /// (ring-full diverts to the overflow list).
+  void push(T value) {
+    if (!overflow_active_.load(std::memory_order_acquire) &&
+        try_push_ring(value)) {
+      return;
+    }
+    const std::scoped_lock lock(overflow_mutex_);
+    if (!overflow_active_.load(std::memory_order_relaxed)) {
+      // The consumer may have drained the ring while we waited for the lock.
+      if (try_push_ring(value)) {
+        return;
+      }
+      overflow_active_.store(true, std::memory_order_release);
+    }
+    overflow_.push_back(std::move(value));
+    overflow_pushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Single-consumer dequeue. Consumer identity may migrate between worker
+  /// threads as long as calls are serialized by a happens-before chain (the
+  /// scheduler's LP state machine provides it).
+  std::optional<T> pop() {
+    if (!overflow_active_.load(std::memory_order_acquire)) {
+      return try_pop_ring();
+    }
+    // Overflow mode: ring entries predate overflow entries from the same
+    // producer, so the ring drains first.
+    if (auto value = try_pop_ring()) {
+      return value;
+    }
+    const std::scoped_lock lock(overflow_mutex_);
+    // Re-check under the mutex: a producer that pushed to overflow published
+    // its earlier ring entries before taking the mutex, so they are visible
+    // here — popping overflow past them would reorder that producer.
+    if (auto value = try_pop_ring()) {
+      return value;
+    }
+    if (overflow_.empty()) {
+      overflow_active_.store(false, std::memory_order_release);
+      return std::nullopt;
+    }
+    T value = std::move(overflow_.front());
+    overflow_.pop_front();
+    if (overflow_.empty()) {
+      overflow_active_.store(false, std::memory_order_release);
+    }
+    return value;
+  }
+
+  [[nodiscard]] std::size_t ring_capacity() const noexcept { return mask_ + 1; }
+  /// Messages that took the backpressure (overflow) path.
+  [[nodiscard]] std::uint64_t overflow_pushes() const noexcept {
+    return overflow_pushes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  bool try_push_ring(T& value) {
+    Cell* cell = nullptr;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) -
+                       static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> try_pop_ring() {
+    Cell& cell = cells_[dequeue_pos_ & mask_];
+    const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) -
+            static_cast<std::intptr_t>(dequeue_pos_ + 1) <
+        0) {
+      // Empty, or the head cell is claimed but not yet published; the
+      // producer notifies the destination LP after publishing, so a
+      // transiently invisible message is never lost.
+      return std::nullopt;
+    }
+    T value = std::move(cell.value);
+    cell.sequence.store(dequeue_pos_ + mask_ + 1, std::memory_order_release);
+    ++dequeue_pos_;
+    return value;
+  }
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::size_t dequeue_pos_ = 0;  ///< consumer-owned
+  alignas(64) std::atomic<bool> overflow_active_{false};
+  std::mutex overflow_mutex_;
+  std::deque<T> overflow_;  ///< guarded by overflow_mutex_
+  std::atomic<std::uint64_t> overflow_pushes_{0};
+};
+
+}  // namespace otw::platform

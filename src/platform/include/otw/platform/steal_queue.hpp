@@ -1,0 +1,89 @@
+// Per-worker run queue with lock-free stealing.
+//
+// Chase–Lev-style circular-array deque adapted to FIFO order (as in Go's and
+// tokio's schedulers): the owning worker pushes runnable LP ids at the tail;
+// the owner AND thieves pop from the head with a CAS. FIFO order matters
+// here because the queued items are long-lived LPs, not fork-join tasks — a
+// LIFO owner end would let one Active LP monopolize its worker.
+//
+// Capacity is fixed at construction. The scheduler's LP state machine
+// guarantees each LP is enqueued at most once across ALL queues, so a
+// capacity of (number of LPs rounded up to a power of two) can never
+// overflow.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::platform {
+
+class StealQueue {
+ public:
+  static constexpr std::uint32_t kEmpty = UINT32_MAX;
+
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit StealQueue(std::uint32_t capacity) {
+    std::uint32_t cap = 2;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    cells_ = std::vector<std::atomic<std::uint32_t>>(cap);
+    mask_ = cap - 1;
+  }
+
+  StealQueue(const StealQueue&) = delete;
+  StealQueue& operator=(const StealQueue&) = delete;
+
+  /// Owner-only enqueue. Returns false when full (cannot happen under the
+  /// scheduler's one-entry-per-LP invariant; callers assert).
+  bool push(std::uint32_t value) noexcept {
+    const std::uint32_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint32_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) {
+      return false;
+    }
+    cells_[tail & mask_].store(value, std::memory_order_relaxed);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeue from the head; safe for the owner and for thieves. Returns
+  /// kEmpty when nothing is available.
+  std::uint32_t pop() noexcept {
+    std::uint32_t head = head_.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t tail = tail_.load(std::memory_order_acquire);
+      if (static_cast<std::int32_t>(tail - head) <= 0) {
+        return kEmpty;
+      }
+      // Read before claiming: if the owner recycles this slot the CAS below
+      // must fail (head has moved past `head`), so a stale read is discarded.
+      const std::uint32_t value =
+          cells_[head & mask_].load(std::memory_order_relaxed);
+      if (head_.compare_exchange_weak(head, head + 1,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return value;
+      }
+    }
+  }
+
+  /// Approximate (racy) emptiness check, for park decisions only.
+  [[nodiscard]] bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  std::vector<std::atomic<std::uint32_t>> cells_;
+  std::uint32_t mask_ = 0;
+  alignas(64) std::atomic<std::uint32_t> head_{0};
+  alignas(64) std::atomic<std::uint32_t> tail_{0};
+};
+
+}  // namespace otw::platform

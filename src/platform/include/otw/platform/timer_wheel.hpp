@@ -1,0 +1,102 @@
+// Hashed timer wheel for LpContext::request_wakeup deadlines.
+//
+// An Idle LP that asked to be re-stepped at an absolute platform time (an
+// expiring DyMA aggregation window, the GVT rate limit) is parked here; any
+// worker advances the wheel opportunistically and before parking, turning
+// expired entries back into runnable LPs. Entries hash into coarse slots by
+// deadline/tick; an entry whose deadline lies beyond one wheel revolution
+// simply survives slot visits until its deadline has actually passed.
+//
+// Internally synchronized (schedule/advance run on any worker). The mutex is
+// uncontended in practice — wakeup requests are control-path-rate, not
+// event-rate — and `next_deadline()` is a lock-free hint load so the worker
+// hot loop can skip advance() without taking the lock.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+namespace otw::platform {
+
+class TimerWheel {
+ public:
+  static constexpr std::uint64_t kNever =
+      std::numeric_limits<std::uint64_t>::max();
+
+  explicit TimerWheel(std::uint64_t tick_ns = 16'384, std::size_t slots = 256)
+      : tick_ns_(tick_ns ? tick_ns : 1), slots_(slots ? slots : 1) {}
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  void schedule(std::uint32_t lp, std::uint64_t deadline_ns) {
+    {
+      const std::scoped_lock lock(mutex_);
+      slots_[slot_of(deadline_ns)].push_back(Entry{deadline_ns, lp});
+      ++pending_;
+    }
+    // Lower the lock-free hint (monotone min until the next advance()).
+    std::uint64_t hint = next_deadline_.load(std::memory_order_relaxed);
+    while (deadline_ns < hint &&
+           !next_deadline_.compare_exchange_weak(hint, deadline_ns,
+                                                 std::memory_order_release,
+                                                 std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Earliest pending deadline (kNever when empty). May be transiently stale
+  /// low after an advance raced a schedule — callers treat it as a wake-up
+  /// hint, not a guarantee.
+  [[nodiscard]] std::uint64_t next_deadline() const noexcept {
+    return next_deadline_.load(std::memory_order_acquire);
+  }
+
+  /// Moves every entry with deadline <= now_ns into `fired` (append order is
+  /// unspecified) and refreshes the next-deadline hint.
+  void advance(std::uint64_t now_ns, std::vector<std::uint32_t>& fired) {
+    if (next_deadline() > now_ns) {
+      return;
+    }
+    const std::scoped_lock lock(mutex_);
+    std::uint64_t next = kNever;
+    for (auto& slot : slots_) {
+      for (std::size_t i = 0; i < slot.size();) {
+        if (slot[i].deadline_ns <= now_ns) {
+          fired.push_back(slot[i].lp);
+          slot[i] = slot.back();
+          slot.pop_back();
+          --pending_;
+        } else {
+          next = std::min(next, slot[i].deadline_ns);
+          ++i;
+        }
+      }
+    }
+    next_deadline_.store(next, std::memory_order_release);
+  }
+
+  /// Approximate pending-entry count (exact under the lock, racy outside).
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+
+ private:
+  struct Entry {
+    std::uint64_t deadline_ns = 0;
+    std::uint32_t lp = 0;
+  };
+
+  [[nodiscard]] std::size_t slot_of(std::uint64_t deadline_ns) const noexcept {
+    return static_cast<std::size_t>((deadline_ns / tick_ns_) % slots_.size());
+  }
+
+  std::uint64_t tick_ns_;
+  mutable std::mutex mutex_;
+  std::vector<std::vector<Entry>> slots_;
+  std::size_t pending_ = 0;
+  std::atomic<std::uint64_t> next_deadline_{kNever};
+};
+
+}  // namespace otw::platform

@@ -53,7 +53,12 @@ struct RunResult {
   std::uint64_t wire_bytes = 0;
   /// Kernel trace (empty unless KernelConfig::observability.tracing).
   /// Export with otw/tw/observability.hpp (Chrome trace, JSONL, Prometheus).
+  /// On the threaded engine this also carries per-worker scheduler tracks
+  /// (park/steal/wake), with `lp` offset past the LP ids and a "worker k"
+  /// display name.
   obs::RunTrace trace;
+  /// Worker-pool counters (threaded engine only; default-empty elsewhere).
+  platform::SchedulerStats scheduler;
   /// Per-LP phase breakdown (empty unless observability.profiling); index
   /// matches LpId. Times are modeled ns (simulated NOW) or wall ns (threaded).
   std::vector<obs::PhaseTotals> lp_phases;
@@ -69,7 +74,10 @@ struct RunResult {
 RunResult run_simulated_now(const Model& model, const KernelConfig& config,
                             const platform::SimulatedNowConfig& now_config = {});
 
-/// Runs the model on real threads (one per LP).
+/// Runs the model on the real-thread work-stealing scheduler. When
+/// `config.observability.tracing` is on and the engine config leaves
+/// `scheduler_trace_capacity` at 0, per-worker scheduler tracks are captured
+/// at the kernel trace capacity.
 RunResult run_threaded(const Model& model, const KernelConfig& config,
                        const platform::ThreadedConfig& threaded_config = {});
 

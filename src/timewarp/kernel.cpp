@@ -61,6 +61,7 @@ RunResult collect(const Model& model, Assembly& assembly,
   result.physical_messages = engine_result.physical_messages;
   result.wire_bytes = engine_result.wire_bytes;
 
+  result.scheduler = engine_result.scheduler;
   result.stats.objects.resize(model.objects.size());
   result.digests.resize(model.objects.size(), 0);
   result.telemetry.objects.resize(model.objects.size());
@@ -88,6 +89,16 @@ RunResult collect(const Model& model, Assembly& assembly,
           ObjectTrace{runtime->self(), runtime->trace()};
     }
   }
+  // Scheduler worker tracks ride in the same RunTrace, on track ids past the
+  // LP range. They must come AFTER the LP logs: the analysis module treats
+  // the first num_lps entries as the LPs (indexed by position).
+  const auto num_lps = static_cast<std::uint32_t>(assembly.lps.size());
+  for (const obs::LpTraceLog& log : engine_result.worker_traces) {
+    obs::LpTraceLog shifted = log;
+    shifted.lp = num_lps + log.lp;
+    result.trace.lps.push_back(std::move(shifted));
+  }
+
   if (result.telemetry.lps.empty()) {
     bool any = false;
     for (const auto& trace : result.telemetry.objects) {
@@ -131,7 +142,12 @@ RunResult run_threaded(const Model& model, const KernelConfig& config,
                        const platform::ThreadedConfig& threaded_config) {
   const auto start = WallClock::now();
   Assembly assembly = assemble(model, config);
-  platform::ThreadedEngine engine(threaded_config);
+  platform::ThreadedConfig engine_config = threaded_config;
+  if (config.observability.tracing &&
+      engine_config.scheduler_trace_capacity == 0) {
+    engine_config.scheduler_trace_capacity = config.observability.ring_capacity;
+  }
+  platform::ThreadedEngine engine(engine_config);
   const platform::EngineRunResult engine_result = engine.run(assembly.runners);
   return collect(model, assembly, engine_result, elapsed_ns(start));
 }

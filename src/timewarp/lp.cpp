@@ -248,9 +248,14 @@ platform::StepStatus LogicalProcess::step(platform::LpContext& ctx) {
   }
 
   // Process a batch of lowest-timestamp-first events (bounded, when
-  // configured, by the optimism window above GVT).
+  // configured, by the optimism window above GVT). The engine's yield hint
+  // cuts a batch short when other LPs are waiting on the same worker; the
+  // LP returns Active, so no work is lost, only deferred.
   std::uint32_t processed = 0;
   while (processed < config_.batch_size) {
+    if (processed > 0 && ctx.should_yield()) {
+      break;
+    }
     ObjectRuntime* lowest = pick_lowest();
     if (lowest == nullptr) {
       break;

@@ -86,6 +86,39 @@ obs::MetricsSnapshot build_metrics(const RunResult& result) {
         Metric::Type::Counter);
   }
 
+  // Work-stealing scheduler counters (threaded engine runs only).
+  if (result.scheduler.num_workers > 0) {
+    snapshot.add("otw_scheduler_workers",
+                 static_cast<double>(result.scheduler.num_workers),
+                 Metric::Type::Gauge);
+    snapshot.add("otw_scheduler_mailbox_overflows_total",
+                 static_cast<double>(result.scheduler.mailbox_overflows),
+                 Metric::Type::Counter);
+    snapshot.add("otw_scheduler_timers_scheduled_total",
+                 static_cast<double>(result.scheduler.timers_scheduled),
+                 Metric::Type::Counter);
+    for (std::size_t w = 0; w < result.scheduler.workers.size(); ++w) {
+      const platform::WorkerStats& s = result.scheduler.workers[w];
+      const std::pair<std::string, std::string> label{"worker",
+                                                      std::to_string(w)};
+      auto add = [&](const char* name, double value) {
+        Metric metric;
+        metric.name = name;
+        metric.labels.push_back(label);
+        metric.value = value;
+        metric.type = Metric::Type::Counter;
+        snapshot.metrics.push_back(std::move(metric));
+      };
+      add("otw_worker_steps_total", static_cast<double>(s.steps));
+      add("otw_worker_steals_total", static_cast<double>(s.steals));
+      add("otw_worker_steal_fails_total", static_cast<double>(s.steal_fails));
+      add("otw_worker_parks_total", static_cast<double>(s.parks));
+      add("otw_worker_wakes_total", static_cast<double>(s.wakes));
+      add("otw_worker_timer_fires_total", static_cast<double>(s.timer_fires));
+      add("otw_worker_yields_total", static_cast<double>(s.yields));
+    }
+  }
+
   obs::add_phase_metrics(snapshot, result.lp_phases);
   return snapshot;
 }

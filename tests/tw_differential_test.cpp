@@ -1,0 +1,168 @@
+// Seeded differential harness: every seed derives a random phold topology,
+// kernel configuration and worker count, then runs the SAME model on the
+// three kernels — sequential (ground truth), deterministic simulated-NOW and
+// the real-thread work-stealing scheduler — and requires bit-identical
+// committed state digests and commit counts from all of them.
+//
+// The failing seed is printed via SCOPED_TRACE, so any report reproduces
+// with a single-element ::testing::Values range. Coverage knobs worth noting:
+// worker counts range both below and above the LP count (the acceptance
+// regime is workers < LPs), and mailbox capacities are sometimes tiny so the
+// backpressure path runs under a real kernel workload, not just unit tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "otw/apps/phold.hpp"
+#include "otw/tw/kernel.hpp"
+#include "otw/util/rng.hpp"
+
+namespace otw::tw {
+namespace {
+
+struct DiffSetup {
+  apps::phold::PholdConfig app;
+  KernelConfig kernel;
+  platform::SimulatedNowConfig now;
+  platform::ThreadedConfig threads;
+};
+
+DiffSetup derive_setup(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed, /*stream=*/0x01FFu);
+  DiffSetup s;
+
+  const auto num_lps = static_cast<LpId>(rng.next_range(2, 8));
+  s.app.num_lps = num_lps;
+  s.app.num_objects =
+      static_cast<std::uint32_t>(num_lps * rng.next_range(1, 4));
+  s.app.population_per_object = static_cast<std::uint32_t>(rng.next_range(1, 4));
+  s.app.remote_probability = 0.2 + rng.next_double() * 0.7;
+  s.app.mean_delay = static_cast<std::uint32_t>(rng.next_range(40, 160));
+  s.app.event_grain_ns = rng.next_range(100, 1'000);
+  s.app.seed = rng();
+
+  s.kernel.num_lps = num_lps;
+  s.kernel.end_time = VirtualTime{rng.next_range(1'500, 4'000)};
+  s.kernel.batch_size = static_cast<std::uint32_t>(1u << rng.next_below(7));
+  s.kernel.gvt_period_events = static_cast<std::uint32_t>(rng.next_range(16, 96));
+  switch (rng.next_below(4)) {
+    case 0:
+      s.kernel.runtime.cancellation = core::CancellationControlConfig::aggressive();
+      break;
+    case 1:
+      s.kernel.runtime.cancellation = core::CancellationControlConfig::lazy();
+      break;
+    case 2:
+      s.kernel.runtime.cancellation = core::CancellationControlConfig::dynamic();
+      break;
+    default:
+      s.kernel.runtime.cancellation =
+          core::CancellationControlConfig::st(0.2 + rng.next_double() * 0.6);
+      break;
+  }
+  s.kernel.runtime.checkpoint_interval =
+      static_cast<std::uint32_t>(rng.next_range(1, 8));
+  s.kernel.runtime.dynamic_checkpointing = rng.next_bernoulli(0.5);
+  switch (rng.next_below(3)) {
+    case 0:
+      s.kernel.aggregation.policy = comm::AggregationPolicy::None;
+      break;
+    case 1:
+      s.kernel.aggregation.policy = comm::AggregationPolicy::Fixed;
+      break;
+    default:
+      s.kernel.aggregation.policy = comm::AggregationPolicy::Adaptive;
+      break;
+  }
+  s.kernel.aggregation.window_us = 30.0 + rng.next_double() * 120.0;
+  if (rng.next_bernoulli(0.3)) {
+    s.kernel.optimism.mode = KernelConfig::Optimism::Mode::Adaptive;
+    s.kernel.optimism.window = rng.next_range(128, 1'024);
+  }
+
+  s.now.costs = platform::CostModel::free();
+  s.now.costs.wire_latency_ns = rng.next_range(0, 5'000);
+  s.now.costs.msg_send_overhead_ns = rng.next_range(0, 4'000);
+
+  s.threads.num_workers = static_cast<std::uint32_t>(rng.next_range(1, 8));
+  const std::size_t capacities[] = {2, 8, 1'024};
+  s.threads.mailbox_capacity = capacities[rng.next_below(3)];
+  const std::uint64_t ticks[] = {1'024, 16'384, 262'144};
+  s.threads.timer_tick_ns = ticks[rng.next_below(3)];
+  return s;
+}
+
+void expect_matches(const RunResult& run, const SequentialResult& seq,
+                    const char* kernel_name) {
+  SCOPED_TRACE(kernel_name);
+  EXPECT_EQ(run.stats.total_committed(), seq.events_processed);
+  ASSERT_EQ(run.digests.size(), seq.digests.size());
+  for (std::size_t i = 0; i < seq.digests.size(); ++i) {
+    EXPECT_EQ(run.digests[i], seq.digests[i]) << "object " << i;
+  }
+}
+
+class Differential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Differential, AllKernelsCommitIdenticalResults) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("differential seed = " + std::to_string(seed) +
+               " (re-run: --gtest_filter='*Differential*/" +
+               std::to_string(seed) + "')");
+  const DiffSetup s = derive_setup(seed);
+  SCOPED_TRACE("lps=" + std::to_string(s.kernel.num_lps) +
+               " objects=" + std::to_string(s.app.num_objects) +
+               " workers=" + std::to_string(s.threads.num_workers) +
+               " mailbox=" + std::to_string(s.threads.mailbox_capacity) +
+               " batch=" + std::to_string(s.kernel.batch_size));
+
+  const Model model = apps::phold::build_model(s.app);
+  const SequentialResult seq = run_sequential(model, s.kernel.end_time);
+  ASSERT_GT(seq.events_processed, 0u);
+
+  expect_matches(run_simulated_now(model, s.kernel, s.now), seq,
+                 "simulated-NOW");
+  expect_matches(run_threaded(model, s.kernel, s.threads), seq, "threaded");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
+                         ::testing::Range<std::uint64_t>(0, 32));
+
+/// The ISSUE acceptance case: far more LPs than workers. 64 LPs on 4 workers
+/// means every worker juggles ~16 LPs through steals, parks and timer
+/// wakeups — digests must still match the sequential kernel on every seed.
+TEST(DifferentialManyLps, FourWorkersSixtyFourLps) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    apps::phold::PholdConfig app;
+    app.num_objects = 64;
+    app.num_lps = 64;
+    app.population_per_object = 2;
+    app.remote_probability = 0.7;
+    app.mean_delay = 80;
+    app.seed = seed;
+    const Model model = apps::phold::build_model(app);
+    const VirtualTime end{1'000};
+    const SequentialResult seq = run_sequential(model, end);
+    ASSERT_GT(seq.events_processed, 0u);
+
+    KernelConfig kc;
+    kc.num_lps = 64;
+    kc.end_time = end;
+    kc.batch_size = 8;
+    kc.gvt_period_events = 64;
+    kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
+    kc.runtime.dynamic_checkpointing = true;
+    kc.aggregation.policy = comm::AggregationPolicy::Adaptive;
+
+    platform::ThreadedConfig tc;
+    tc.num_workers = 4;
+    const RunResult r = run_threaded(model, kc, tc);
+    expect_matches(r, seq, "threaded 4w/64lp");
+    EXPECT_EQ(r.scheduler.num_workers, 4u);
+  }
+}
+
+}  // namespace
+}  // namespace otw::tw
