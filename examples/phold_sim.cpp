@@ -1,7 +1,7 @@
 // PHOLD example: the classic synthetic Time Warp stress test, runnable on
 // all three kernels with the rollback-pressure knob exposed.
 //
-//   $ ./build/examples/phold_sim [objects] [lps] [remote_probability]
+//   $ ./build/examples/phold_sim [objects] [lps] [remote_probability] [workers]
 #include <cstdio>
 #include <cstdlib>
 
@@ -44,11 +44,14 @@ int main(int argc, char** argv) {
                   static_cast<double>(now.stats.object_totals().events_processed));
 
   platform::ThreadedConfig tc;
-  tc.idle_sleep_us = 10;
+  tc.num_workers = argc > 4 ? static_cast<std::uint32_t>(std::atoi(argv[4])) : 0;
   const tw::RunResult threads = tw::run_threaded(model, kc, tc);
-  std::printf("threads: %.3fs wall, %llu rollbacks\n",
-              threads.execution_time_sec(),
-              static_cast<unsigned long long>(threads.stats.total_rollbacks()));
+  std::printf("threads: %.3fs wall, %u workers, %llu rollbacks, "
+              "%llu steals, %llu parks\n",
+              threads.execution_time_sec(), threads.scheduler.num_workers,
+              static_cast<unsigned long long>(threads.stats.total_rollbacks()),
+              static_cast<unsigned long long>(threads.scheduler.total_steals()),
+              static_cast<unsigned long long>(threads.scheduler.total_parks()));
 
   const bool ok = now.digests == seq.digests && threads.digests == seq.digests;
   std::printf("\ndigest check across kernels: %s\n", ok ? "OK" : "MISMATCH");

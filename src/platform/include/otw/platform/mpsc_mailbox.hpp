@@ -17,7 +17,14 @@
 //     entries predate every overflow entry from the same producer), and
 //     re-checks the ring under the mutex before popping overflow — the mutex
 //     acquisition makes any ring publish that happened-before a producer's
-//     overflow push visible, closing the unpublished-cell race;
+//     overflow push visible;
+//   * before popping overflow the consumer additionally requires the ring to
+//     be fully drained INCLUDING in-flight claims (dequeue == enqueue
+//     ticket). A producer stalled between claiming a cell and publishing it
+//     makes the ring head look empty while other producers' already-published
+//     entries sit behind the stalled cell; popping overflow past them would
+//     reorder those producers. Returning nullopt instead is safe: every
+//     publish is followed by a notify that re-steps the consumer LP;
 //   * the flag is cleared only when the overflow list is empty, so a
 //     producer can only return to the ring after all of its overflow
 //     messages were consumed.
@@ -93,6 +100,13 @@ class MpscMailbox {
     }
     if (overflow_.empty()) {
       overflow_active_.store(false, std::memory_order_release);
+      return std::nullopt;
+    }
+    if (dequeue_pos_ != enqueue_pos_.load(std::memory_order_acquire)) {
+      // A claimed-but-unpublished ring cell sits at the head; published
+      // entries from other producers may be queued behind it, and popping
+      // overflow now would overtake them. Defer — the stalled producer's
+      // publish is followed by a notify that re-steps this consumer.
       return std::nullopt;
     }
     T value = std::move(overflow_.front());

@@ -26,7 +26,7 @@ class StealQueue {
 
   /// `capacity` is rounded up to a power of two (minimum 2).
   explicit StealQueue(std::uint32_t capacity) {
-    std::uint32_t cap = 2;
+    std::uint64_t cap = 2;
     while (cap < capacity) {
       cap <<= 1;
     }
@@ -40,8 +40,8 @@ class StealQueue {
   /// Owner-only enqueue. Returns false when full (cannot happen under the
   /// scheduler's one-entry-per-LP invariant; callers assert).
   bool push(std::uint32_t value) noexcept {
-    const std::uint32_t tail = tail_.load(std::memory_order_relaxed);
-    const std::uint32_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
     if (tail - head > mask_) {
       return false;
     }
@@ -53,14 +53,16 @@ class StealQueue {
   /// Dequeue from the head; safe for the owner and for thieves. Returns
   /// kEmpty when nothing is available.
   std::uint32_t pop() noexcept {
-    std::uint32_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t head = head_.load(std::memory_order_acquire);
     for (;;) {
-      const std::uint32_t tail = tail_.load(std::memory_order_acquire);
-      if (static_cast<std::int32_t>(tail - head) <= 0) {
+      const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+      if (static_cast<std::int64_t>(tail - head) <= 0) {
         return kEmpty;
       }
       // Read before claiming: if the owner recycles this slot the CAS below
       // must fail (head has moved past `head`), so a stale read is discarded.
+      // 64-bit indices make the ABA wraparound (head advancing a full 2^64
+      // while a thief is stalled) unreachable in practice.
       const std::uint32_t value =
           cells_[head & mask_].load(std::memory_order_relaxed);
       if (head_.compare_exchange_weak(head, head + 1,
@@ -77,13 +79,15 @@ class StealQueue {
            tail_.load(std::memory_order_acquire);
   }
 
-  [[nodiscard]] std::uint32_t capacity() const noexcept { return mask_ + 1; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept {
+    return static_cast<std::uint32_t>(mask_ + 1);
+  }
 
  private:
   std::vector<std::atomic<std::uint32_t>> cells_;
-  std::uint32_t mask_ = 0;
-  alignas(64) std::atomic<std::uint32_t> head_{0};
-  alignas(64) std::atomic<std::uint32_t> tail_{0};
+  std::uint64_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
 };
 
 }  // namespace otw::platform

@@ -37,7 +37,7 @@ class TimerWheel {
     {
       const std::scoped_lock lock(mutex_);
       slots_[slot_of(deadline_ns)].push_back(Entry{deadline_ns, lp});
-      ++pending_;
+      pending_.fetch_add(1, std::memory_order_relaxed);
     }
     // Lower the lock-free hint (monotone min until the next advance()).
     std::uint64_t hint = next_deadline_.load(std::memory_order_relaxed);
@@ -69,7 +69,7 @@ class TimerWheel {
           fired.push_back(slot[i].lp);
           slot[i] = slot.back();
           slot.pop_back();
-          --pending_;
+          pending_.fetch_sub(1, std::memory_order_relaxed);
         } else {
           next = std::min(next, slot[i].deadline_ns);
           ++i;
@@ -79,8 +79,10 @@ class TimerWheel {
     next_deadline_.store(next, std::memory_order_release);
   }
 
-  /// Approximate pending-entry count (exact under the lock, racy outside).
-  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+  /// Approximate pending-entry count (atomic, may lag concurrent mutators).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
@@ -95,7 +97,7 @@ class TimerWheel {
   std::uint64_t tick_ns_;
   mutable std::mutex mutex_;
   std::vector<std::vector<Entry>> slots_;
-  std::size_t pending_ = 0;
+  std::atomic<std::size_t> pending_{0};
   std::atomic<std::uint64_t> next_deadline_{kNever};
 };
 

@@ -290,8 +290,14 @@ class Scheduler {
         // neither token nor timer in the trace).
         park_cv_.wait_for(lock, std::chrono::milliseconds(250), pred);
       } else {
-        park_cv_.wait_until(
-            lock, start_ + std::chrono::nanoseconds(deadline), pred);
+        // Relative wait, clamped to the backstop: converting an absolute
+        // deadline near UINT64_MAX to a time_point would overflow the
+        // clock's signed 64-bit rep into the past and busy-spin. A clamped
+        // early wake just re-loops through advance_timers() and re-parks.
+        const std::uint64_t now = now_ns();
+        const auto wait = std::chrono::nanoseconds(std::min<std::uint64_t>(
+            deadline > now ? deadline - now : 0, 250'000'000));
+        park_cv_.wait_for(lock, wait, pred);
       }
       if (tokens_ > 0) {
         --tokens_;

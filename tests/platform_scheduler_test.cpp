@@ -106,6 +106,59 @@ TEST(MpscMailbox, PerProducerFifoUnderConcurrency) {
   EXPECT_FALSE(box.pop().has_value());
 }
 
+// Payload whose move-assignment (used only by the ring-cell write between a
+// producer's ticket CAS and its sequence publish) can be stalled on demand,
+// deterministically opening the claimed-but-unpublished window.
+struct GatedPayload {
+  static constexpr int kStall = -1;
+  static inline std::atomic<bool> gate_open{true};
+  static inline std::atomic<bool> stalled{false};
+
+  int v = 0;
+
+  GatedPayload() = default;
+  explicit GatedPayload(int value) : v(value) {}
+  GatedPayload(GatedPayload&& other) noexcept : v(other.v) {}
+  GatedPayload& operator=(GatedPayload&& other) noexcept {
+    v = other.v;
+    if (v == kStall) {
+      stalled.store(true, std::memory_order_release);
+      while (!gate_open.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    }
+    return *this;
+  }
+};
+
+TEST(MpscMailbox, OverflowNeverOvertakesUnpublishedRingClaim) {
+  // Regression: producer A claims ring cell 0 and stalls before publishing;
+  // producer B then publishes a ring entry and overflows another. pop() must
+  // NOT hand out B's overflow entry while B's earlier ring entry is trapped
+  // behind A's unpublished cell — that would break per-producer FIFO (an
+  // anti-message could overtake its positive message).
+  GatedPayload::gate_open.store(false);
+  GatedPayload::stalled.store(false);
+  MpscMailbox<GatedPayload> box(2);
+
+  std::thread a([&box] { box.push(GatedPayload(GatedPayload::kStall)); });
+  while (!GatedPayload::stalled.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  box.push(GatedPayload(1));  // ring, published, behind A's claim
+  box.push(GatedPayload(2));  // ring full -> overflow
+
+  // The ring head looks empty (unpublished claim) but must not be bypassed.
+  EXPECT_FALSE(box.pop().has_value());
+
+  GatedPayload::gate_open.store(true, std::memory_order_release);
+  a.join();
+  ASSERT_EQ(box.pop().value().v, GatedPayload::kStall);
+  ASSERT_EQ(box.pop().value().v, 1);
+  ASSERT_EQ(box.pop().value().v, 2);
+  EXPECT_FALSE(box.pop().has_value());
+}
+
 TEST(MpscMailbox, MovesUniquePtrPayloads) {
   MpscMailbox<std::unique_ptr<int>> box(2);
   box.push(std::make_unique<int>(7));
