@@ -1,0 +1,130 @@
+// Bounded-memory Time Warp: PHOLD under a byte budget.
+//
+// With fossil collection effectively disabled (a huge event-count GVT
+// period), unthrottled optimism keeps the *entire* event/state history live
+// — the footprint grows with the run and would eventually OOM a real
+// machine. The same workload under a budget must (a) stay inside it, driven
+// by the pressure controller's window clamp, forced GVT epochs and held
+// sends, and (b) commit byte-identical results.
+//
+// Outputs: bench/results/memory_bound.json (standard BenchReport rows) and
+// top-level BENCH_memory.json with the three-part verdict:
+//   unthrottled_exceeds_budget  - the budget genuinely binds,
+//   throttled_within_budget     - sum of per-LP peaks <= budget (+15% slack
+//                                 for the sampling cadence),
+//   digests_match               - bounded == unbounded == sequential.
+#include <algorithm>
+#include <fstream>
+
+#include "bench_common.hpp"
+
+#include "otw/apps/phold.hpp"
+
+namespace {
+
+std::uint64_t peak_bytes(const otw::tw::RunResult& r) {
+  return r.stats.memory_peak_bytes();
+}
+
+}  // namespace
+
+int main() {
+  using namespace otw;
+  bench::print_banner("MemoryBound",
+                      "PHOLD footprint with and without a byte budget");
+  bench::print_run_header();
+  bench::BenchReport report("memory_bound");
+
+  apps::phold::PholdConfig app;
+  app.num_objects = 32;
+  app.num_lps = 8;
+  app.population_per_object = 4;
+  app.remote_probability = 0.5;
+  app.mean_delay = 50;
+  app.event_grain_ns = 400;
+  app.seed = 41;
+  const tw::Model model = apps::phold::build_model(app);
+  const tw::VirtualTime end{20'000};
+
+  tw::KernelConfig kc;
+  kc.num_lps = app.num_lps;
+  kc.end_time = end;
+  kc.batch_size = 32;
+  // Fossil collection only at idle/termination: history accumulates for the
+  // whole run unless the pressure controller forces epochs.
+  kc.gvt_period_events = 200'000;
+  kc.gvt_min_interval_ns = 100'000;
+
+  platform::CostModel costs = platform::CostModel::free();
+  costs.wire_latency_ns = 20'000;
+  costs.msg_send_overhead_ns = 2'000;
+
+  const tw::SequentialResult seq = tw::run_sequential(model, end);
+
+  tw::RunResult unbounded = bench::run_now(model, kc, costs);
+  bench::print_run_row("free", 0, unbounded);
+  report.record("free", 0, kc, unbounded);
+  const std::uint64_t free_peak = peak_bytes(unbounded);
+
+  // A budget the free run overshoots 4x: the controller has real work to do.
+  const std::uint64_t budget = free_peak / 4;
+  tw::KernelConfig bounded_kc = kc;
+  bounded_kc.memory.budget_bytes = budget;
+  bounded_kc.memory.control.control_period_events = 64;
+  bounded_kc.memory.control.throttle_window = 256;
+  bounded_kc.memory.control.emergency_window = 32;
+
+  tw::RunResult bounded = bench::run_now(model, bounded_kc, costs);
+  bench::print_run_row("budget", static_cast<double>(budget), bounded);
+  report.record("budget", static_cast<double>(budget), bounded_kc, bounded);
+  const std::uint64_t bounded_peak = peak_bytes(bounded);
+
+  std::uint64_t enters = 0, gvt_triggers = 0, held = 0;
+  for (const tw::LpStats& lp : bounded.stats.lps) {
+    enters += lp.pressure_enters;
+    gvt_triggers += lp.pressure_gvt_triggers;
+    held += lp.sends_held;
+  }
+
+  // 15% slack: footprint is sampled every control_period_events, so an LP
+  // can overshoot by up to one control period's allocations.
+  const bool exceeds = free_peak > budget;
+  const bool within = bounded_peak <= budget + budget * 15 / 100;
+  const bool digests_match =
+      unbounded.digests == seq.digests && bounded.digests == seq.digests;
+  const bool pass = exceeds && within && digests_match;
+
+  std::printf(
+      "\n  free peak %.2f MiB, budget %.2f MiB, bounded peak %.2f MiB\n"
+      "  pressure enters %llu, forced GVT epochs %llu, sends held %llu\n"
+      "  verdict: %s (exceeds_unthrottled=%s within_budget=%s digests=%s)\n",
+      static_cast<double>(free_peak) / (1024.0 * 1024.0),
+      static_cast<double>(budget) / (1024.0 * 1024.0),
+      static_cast<double>(bounded_peak) / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(enters),
+      static_cast<unsigned long long>(gvt_triggers),
+      static_cast<unsigned long long>(held), pass ? "PASS" : "FAIL",
+      exceeds ? "yes" : "NO", within ? "yes" : "NO",
+      digests_match ? "yes" : "NO");
+
+  std::ofstream out("BENCH_memory.json");
+  if (out) {
+    out << "{\n  \"bench\": \"memory_bound\",\n";
+    out << "  \"budget_bytes\": " << budget << ",\n";
+    out << "  \"unthrottled_peak_bytes\": " << free_peak << ",\n";
+    out << "  \"throttled_peak_bytes\": " << bounded_peak << ",\n";
+    out << "  \"within_budget_tolerance\": 1.15,\n";
+    out << "  \"pressure_enters\": " << enters << ",\n";
+    out << "  \"pressure_gvt_triggers\": " << gvt_triggers << ",\n";
+    out << "  \"sends_held\": " << held << ",\n";
+    out << "  \"unthrottled_exceeds_budget\": " << (exceeds ? "true" : "false")
+        << ",\n";
+    out << "  \"throttled_within_budget\": " << (within ? "true" : "false")
+        << ",\n";
+    out << "  \"digests_match\": " << (digests_match ? "true" : "false")
+        << ",\n";
+    out << "  \"verdict\": \"" << (pass ? "PASS" : "FAIL") << "\"\n}\n";
+    std::printf("  [memory json: BENCH_memory.json]\n");
+  }
+  return pass ? 0 : 1;
+}

@@ -23,6 +23,7 @@
 #include "otw/core/aggregation_controller.hpp"
 #include "otw/platform/engine.hpp"
 #include "otw/util/assert.hpp"
+#include "otw/util/buffer_pool.hpp"
 #include "otw/util/stats.hpp"
 
 namespace otw::comm {
@@ -86,7 +87,7 @@ class AggregationChannel {
     ++stats_.messages_enqueued;
 
     if (config_.policy == AggregationPolicy::None) {
-      std::vector<Item> single;
+      std::vector<Item> single = acquire_buffer();
       single.push_back(std::move(item));
       ship(dst, std::move(single), 0.0, send_fn);
       return;
@@ -94,6 +95,9 @@ class AggregationChannel {
 
     Buffer& buf = buffers_[dst];
     if (buf.items.empty()) {
+      if (buf.items.capacity() == 0) {
+        buf.items = acquire_buffer();
+      }
       buf.opened_ns = now_ns;
       ++open_count_;
     }
@@ -184,7 +188,17 @@ class AggregationChannel {
   [[nodiscard]] const AggregationStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const AggregationConfig& config() const noexcept { return config_; }
 
+  /// Batch buffers are drawn from `recycle` instead of freshly allocated
+  /// (the receiving side returns them; see tw::EventBatchMessage). Null
+  /// disables recycling. The pool must outlive the channel.
+  void set_recycler(util::BufferPool<Item>* recycle) noexcept {
+    recycle_ = recycle;
+  }
+
  private:
+  [[nodiscard]] std::vector<Item> acquire_buffer() {
+    return recycle_ != nullptr ? recycle_->acquire() : std::vector<Item>{};
+  }
   struct Buffer {
     std::vector<Item> items;
     std::uint64_t opened_ns = 0;
@@ -212,6 +226,7 @@ class AggregationChannel {
   AggregationConfig config_;
   std::vector<Buffer> buffers_;
   std::optional<core::AggregationWindowController> controller_;
+  util::BufferPool<Item>* recycle_ = nullptr;
   std::size_t open_count_ = 0;
   AggregationStats stats_;
 };

@@ -14,6 +14,7 @@
 //     P  - processed events between control invocations
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "otw/util/assert.hpp"
@@ -53,6 +54,15 @@ class OptimismWindowController {
     return last_fraction_;
   }
   [[nodiscard]] std::uint64_t invocations() const noexcept { return invocations_; }
+
+  /// Externally imposed ceiling (memory-pressure throttling): immediately
+  /// shrinks the window to at most `cap` (never below min_window). The
+  /// rollback-fraction feedback keeps running and may re-grow the window
+  /// once the caller stops clamping.
+  void clamp(std::uint64_t cap) noexcept {
+    window_ = std::clamp(std::min(window_, cap), config_.min_window,
+                         config_.max_window);
+  }
 
   void reset();
 

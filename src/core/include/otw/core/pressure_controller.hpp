@@ -1,0 +1,100 @@
+// Memory-pressure control: the paper's <O, I, S, T, P> framework applied to
+// a fifth facet — the simulator's memory footprint.
+//
+// Unbounded optimism grows the input/output/state queues without limit: one
+// far-ahead LP can exhaust memory long before GVT commits its history. The
+// controller bounds that growth against a configured budget:
+//
+//   control tuple <O, I, S, T, P>:
+//     O - observed footprint: sampled live bytes (queues + checkpoints +
+//         pool slabs) of one LP
+//     I - the budget (bytes) and the optimism-window clamp applied while
+//         over pressure
+//     S - Normal (initial state: no interference)
+//     T - dead-zone hysteresis over two watermarks of the budget:
+//           Normal   --(footprint >= high*budget)--> Throttle
+//           Throttle --(footprint >= budget)------> Emergency
+//           Throttle --(footprint <  low*budget)--> Normal
+//           Emergency--(footprint <  high*budget)-> Throttle
+//         Inside [low*budget, high*budget) nothing changes (dead zone), so
+//         a footprint hovering near a watermark cannot make the controller
+//         oscillate.
+//     P - control period: every `control_period_events` processed events,
+//         plus every GVT advance
+//
+// The controller only decides the state; the LP applies the actuation:
+// Throttle clamps the optimism window (far-ahead LPs stop receiving CPU),
+// Emergency additionally triggers early GVT/fossil passes and holds
+// non-urgent remote sends (cancelback-lite). None of the actuations can
+// change committed results — they only delay work that rollback could have
+// undone anyway.
+#pragma once
+
+#include <cstdint>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::core {
+
+struct MemoryPressureConfig {
+  /// Footprint fraction of the budget that enters Throttle.
+  double high_watermark = 0.85;
+  /// Footprint fraction of the budget that re-enters Normal.
+  double low_watermark = 0.60;
+  /// P: processed events between footprint samples.
+  std::uint64_t control_period_events = 256;
+  /// Optimism-window ceiling (virtual-time ticks) while in Throttle.
+  std::uint64_t throttle_window = 1u << 10;
+  /// Optimism-window ceiling while in Emergency; also the horizon below
+  /// which held sends are flushed (events at <= GVT + emergency_window are
+  /// always deliverable, which is what makes a bounded budget deadlock-free).
+  std::uint64_t emergency_window = 64;
+};
+
+enum class PressureState : std::uint8_t { Normal = 0, Throttle = 1, Emergency = 2 };
+
+[[nodiscard]] const char* to_string(PressureState state) noexcept;
+
+/// Per-LP memory-pressure controller. A budget of 0 disables it (update()
+/// never leaves Normal).
+class MemoryPressureController {
+ public:
+  MemoryPressureController(std::uint64_t budget_bytes,
+                           const MemoryPressureConfig& config);
+
+  /// Fed by the LP as it runs; drives due().
+  void record_processed(std::uint64_t events) noexcept { processed_ += events; }
+
+  /// True when a control period has elapsed since the last update().
+  [[nodiscard]] bool due() const noexcept {
+    return processed_ - processed_at_last_update_ >= config_.control_period_events;
+  }
+
+  /// Applies the transfer function to a fresh footprint sample. Returns
+  /// true when the state changed.
+  bool update(std::uint64_t footprint_bytes) noexcept;
+
+  [[nodiscard]] PressureState state() const noexcept { return state_; }
+  [[nodiscard]] std::uint64_t budget_bytes() const noexcept { return budget_; }
+  [[nodiscard]] std::uint64_t last_footprint() const noexcept {
+    return last_footprint_;
+  }
+  [[nodiscard]] std::uint64_t invocations() const noexcept { return invocations_; }
+  [[nodiscard]] std::uint64_t transitions() const noexcept { return transitions_; }
+
+  /// The optimism-window ceiling the current state imposes (UINT64_MAX in
+  /// Normal: no interference).
+  [[nodiscard]] std::uint64_t window_clamp() const noexcept;
+
+ private:
+  MemoryPressureConfig config_;
+  std::uint64_t budget_;
+  PressureState state_ = PressureState::Normal;
+  std::uint64_t last_footprint_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t processed_at_last_update_ = 0;
+  std::uint64_t invocations_ = 0;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace otw::core

@@ -1,0 +1,84 @@
+#include "otw/core/pressure_controller.hpp"
+
+namespace otw::core {
+
+const char* to_string(PressureState state) noexcept {
+  switch (state) {
+    case PressureState::Normal:
+      return "normal";
+    case PressureState::Throttle:
+      return "throttle";
+    case PressureState::Emergency:
+      return "emergency";
+  }
+  return "?";
+}
+
+MemoryPressureController::MemoryPressureController(
+    std::uint64_t budget_bytes, const MemoryPressureConfig& config)
+    : config_(config), budget_(budget_bytes) {
+  OTW_REQUIRE(config.low_watermark > 0.0);
+  OTW_REQUIRE(config.low_watermark < config.high_watermark);
+  OTW_REQUIRE(config.high_watermark <= 1.0);
+  OTW_REQUIRE(config.control_period_events >= 1);
+  OTW_REQUIRE(config.emergency_window >= 1);
+  OTW_REQUIRE(config.throttle_window >= config.emergency_window);
+}
+
+bool MemoryPressureController::update(std::uint64_t footprint_bytes) noexcept {
+  last_footprint_ = footprint_bytes;
+  processed_at_last_update_ = processed_;
+  ++invocations_;
+  if (budget_ == 0) {
+    return false;
+  }
+  const auto fp = static_cast<double>(footprint_bytes);
+  const double high = config_.high_watermark * static_cast<double>(budget_);
+  const double low = config_.low_watermark * static_cast<double>(budget_);
+  const double full = static_cast<double>(budget_);
+
+  PressureState next = state_;
+  switch (state_) {
+    case PressureState::Normal:
+      if (fp >= full) {
+        next = PressureState::Emergency;
+      } else if (fp >= high) {
+        next = PressureState::Throttle;
+      }
+      break;
+    case PressureState::Throttle:
+      if (fp >= full) {
+        next = PressureState::Emergency;
+      } else if (fp < low) {
+        next = PressureState::Normal;
+      }
+      break;
+    case PressureState::Emergency:
+      if (fp < low) {
+        next = PressureState::Normal;
+      } else if (fp < high) {
+        next = PressureState::Throttle;
+      }
+      break;
+  }
+  if (next == state_) {
+    return false;
+  }
+  state_ = next;
+  ++transitions_;
+  return true;
+}
+
+std::uint64_t MemoryPressureController::window_clamp() const noexcept {
+  switch (state_) {
+    case PressureState::Normal:
+      return UINT64_MAX;
+    case PressureState::Throttle:
+      return config_.throttle_window;
+    case PressureState::Emergency:
+      return config_.emergency_window;
+  }
+  return UINT64_MAX;
+}
+
+}  // namespace otw::core

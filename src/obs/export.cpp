@@ -229,6 +229,23 @@ void write_chrome_trace(std::ostream& os, const RunTrace& trace) {
                          ",\"lp\":" + std::to_string(steal.lp) + "}");
           break;
         }
+        case TraceKind::PressureEnter: {
+          const PressureEnterInfo p = unpack_pressure_enter(r);
+          emit_event(os, first, "i", log.lp, r.wall_ns, "pressure_enter",
+                     "\"s\":\"p\",\"args\":{\"state\":\"" +
+                         std::string(p.state >= 2 ? "emergency" : "throttle") +
+                         "\",\"footprint\":" + std::to_string(p.footprint_bytes) +
+                         ",\"budget\":" + std::to_string(p.budget_bytes) + "}");
+          break;
+        }
+        case TraceKind::PressureExit: {
+          const PressureExitInfo p = unpack_pressure_exit(r);
+          emit_event(os, first, "i", log.lp, r.wall_ns, "pressure_exit",
+                     "\"s\":\"p\",\"args\":{\"footprint\":" +
+                         std::to_string(p.footprint_bytes) +
+                         ",\"duration_us\":" + ts_us(p.duration_ns) + "}");
+          break;
+        }
       }
     }
     // Ring overflow may have swallowed RollbackEnd records: close any scope

@@ -49,6 +49,8 @@ enum class TraceKind : std::uint8_t {
   WorkerPark,        ///< wall_ns = park begin; arg0/arg1 = pack_worker_park
   WorkerWake,        ///< a wake token was handed to the parking lot
   WorkerSteal,       ///< arg0/arg1 = pack_worker_steal
+  PressureEnter,     ///< vt = GVT; arg0/arg1 = pack_pressure_enter
+  PressureExit,      ///< vt = GVT; arg0/arg1 = pack_pressure_exit
 };
 
 [[nodiscard]] constexpr const char* to_string(TraceKind kind) noexcept {
@@ -71,6 +73,8 @@ enum class TraceKind : std::uint8_t {
     case TraceKind::WorkerPark: return "park";
     case TraceKind::WorkerWake: return "wake";
     case TraceKind::WorkerSteal: return "steal";
+    case TraceKind::PressureEnter: return "pressure_enter";
+    case TraceKind::PressureExit: return "pressure_exit";
   }
   return "?";
 }
@@ -262,6 +266,41 @@ struct WorkerStealInfo {
     const TraceRecord& r) noexcept {
   return {static_cast<std::uint32_t>(r.arg0 & 0xFFFFFFFFu),
           static_cast<std::uint32_t>(r.arg1 & 0xFFFFFFFFu)};
+}
+
+/// PressureEnter: an LP's memory-pressure controller left Normal. The
+/// footprint sample that tripped the watermark plus the budget it is
+/// measured against; the new state travels in the low bits of arg0.
+struct PressureEnterInfo {
+  std::uint64_t footprint_bytes = 0;  ///< sampled footprint (< 2^62)
+  std::uint8_t state = 0;             ///< 1 = Throttle, 2 = Emergency
+  std::uint64_t budget_bytes = 0;
+};
+
+[[nodiscard]] constexpr TraceArgs pack_pressure_enter(std::uint64_t footprint_bytes,
+                                                      std::uint8_t state,
+                                                      std::uint64_t budget_bytes) noexcept {
+  return {(footprint_bytes << 2) | (state & 0x3u), budget_bytes};
+}
+[[nodiscard]] constexpr PressureEnterInfo unpack_pressure_enter(
+    const TraceRecord& r) noexcept {
+  return {r.arg0 >> 2, static_cast<std::uint8_t>(r.arg0 & 0x3u), r.arg1};
+}
+
+/// PressureExit: back to Normal — the footprint after relief and how long
+/// the pressure episode lasted (wall/modeled ns).
+struct PressureExitInfo {
+  std::uint64_t footprint_bytes = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+[[nodiscard]] constexpr TraceArgs pack_pressure_exit(std::uint64_t footprint_bytes,
+                                                     std::uint64_t duration_ns) noexcept {
+  return {footprint_bytes, duration_ns};
+}
+[[nodiscard]] constexpr PressureExitInfo unpack_pressure_exit(
+    const TraceRecord& r) noexcept {
+  return {r.arg0, r.arg1};
 }
 
 /// Fixed-capacity overwrite-oldest ring. Capacity is allocated once at

@@ -10,7 +10,8 @@ namespace otw::tw {
 
 SaveReceipt CopyCheckpointStore::save(const Position& pos,
                                       const ObjectState& current) {
-  queue_.save(pos, current.clone());
+  queue_.save(pos, arena_ != nullptr ? arena_->acquire_copy(current)
+                                     : current.clone());
   return SaveReceipt{0, current.byte_size()};
 }
 
@@ -18,15 +19,32 @@ RestorePoint CopyCheckpointStore::restore_before(const Position& target) {
   queue_.drop_from(target);
   const StateQueue::Entry* keeper = queue_.latest_before(target);
   OTW_REQUIRE_MSG(keeper != nullptr, "no checkpoint to roll back to");
-  return RestorePoint{keeper->pos, keeper->state->clone()};
+  return RestorePoint{keeper->pos, arena_ != nullptr
+                                       ? arena_->acquire_copy(*keeper->state)
+                                       : keeper->state->clone()};
 }
 
 // ----------------------------------------------------------- Incremental --
 
 IncrementalCheckpointStore::IncrementalCheckpointStore(
-    std::uint32_t full_snapshot_interval)
-    : full_snapshot_interval_(full_snapshot_interval) {
+    std::uint32_t full_snapshot_interval, StateArena* arena)
+    : full_snapshot_interval_(full_snapshot_interval), arena_(arena) {
   OTW_REQUIRE(full_snapshot_interval >= 1);
+}
+
+std::unique_ptr<ObjectState> IncrementalCheckpointStore::copy_state(
+    const ObjectState& src) const {
+  return arena_ != nullptr ? arena_->acquire_copy(src) : src.clone();
+}
+
+void IncrementalCheckpointStore::retire_entry(Entry& entry) noexcept {
+  stored_delta_bytes_ -= entry.changes.size() * sizeof(Change);
+  if (entry.snapshot != nullptr) {
+    snapshot_bytes_ -= entry.snapshot->byte_size();
+    if (arena_ != nullptr) {
+      arena_->release(std::move(entry.snapshot));
+    }
+  }
 }
 
 SaveReceipt IncrementalCheckpointStore::save(const Position& pos,
@@ -41,8 +59,11 @@ SaveReceipt IncrementalCheckpointStore::save(const Position& pos,
 
   if (shadow_ == nullptr || saves_since_full_ >= full_snapshot_interval_) {
     // Full snapshot.
-    entries_.push_back(Entry{pos, current.clone(), {}});
-    shadow_ = current.clone();
+    entries_.push_back(Entry{pos, copy_state(current), {}});
+    snapshot_bytes_ += size;
+    if (shadow_ == nullptr || !shadow_->assign_from(current)) {
+      shadow_ = copy_state(current);
+    }
     saves_since_full_ = 1;
     return SaveReceipt{0, size};
   }
@@ -73,7 +94,7 @@ std::unique_ptr<ObjectState> IncrementalCheckpointStore::reconstruct(
     OTW_ASSERT(base > 0);
     --base;
   }
-  std::unique_ptr<ObjectState> state = entries_[base].snapshot->clone();
+  std::unique_ptr<ObjectState> state = copy_state(*entries_[base].snapshot);
   std::byte* bytes = state->mutable_raw_bytes();
   OTW_ASSERT(bytes != nullptr);
   for (std::size_t i = base + 1; i <= index; ++i) {
@@ -86,7 +107,7 @@ std::unique_ptr<ObjectState> IncrementalCheckpointStore::reconstruct(
 
 RestorePoint IncrementalCheckpointStore::restore_before(const Position& target) {
   while (!entries_.empty() && !(entries_.back().pos < target)) {
-    stored_delta_bytes_ -= entries_.back().changes.size() * sizeof(Change);
+    retire_entry(entries_.back());
     entries_.pop_back();
   }
   OTW_REQUIRE_MSG(!entries_.empty(), "no checkpoint to roll back to");
@@ -95,7 +116,9 @@ RestorePoint IncrementalCheckpointStore::restore_before(const Position& target) 
   // The shadow must mirror the last SAVED state so the next delta is
   // computed against the right base; the truncated chain itself stays sound
   // (its prefix is intact), so only the snapshot cadence is recomputed.
-  shadow_ = state->clone();
+  if (shadow_ == nullptr || !shadow_->assign_from(*state)) {
+    shadow_ = copy_state(*state);
+  }
   std::size_t base = entries_.size() - 1;
   while (entries_[base].snapshot == nullptr) {
     --base;
@@ -125,7 +148,7 @@ Position IncrementalCheckpointStore::fossil_collect(VirtualTime gvt) {
     --floor;
   }
   for (std::size_t i = 0; i < floor; ++i) {
-    stored_delta_bytes_ -= entries_[i].changes.size() * sizeof(Change);
+    retire_entry(entries_[i]);
   }
   entries_.erase(entries_.begin(),
                  entries_.begin() + static_cast<std::ptrdiff_t>(floor));
@@ -133,12 +156,13 @@ Position IncrementalCheckpointStore::fossil_collect(VirtualTime gvt) {
 }
 
 std::unique_ptr<CheckpointStore> make_checkpoint_store(
-    StateSaving mode, std::uint32_t full_snapshot_interval) {
+    StateSaving mode, std::uint32_t full_snapshot_interval, StateArena* arena) {
   switch (mode) {
     case StateSaving::Copy:
-      return std::make_unique<CopyCheckpointStore>();
+      return std::make_unique<CopyCheckpointStore>(arena);
     case StateSaving::Incremental:
-      return std::make_unique<IncrementalCheckpointStore>(full_snapshot_interval);
+      return std::make_unique<IncrementalCheckpointStore>(full_snapshot_interval,
+                                                          arena);
   }
   return nullptr;
 }

@@ -63,32 +63,49 @@ class CheckpointStore {
   virtual Position fossil_collect(VirtualTime gvt) = 0;
 
   [[nodiscard]] virtual std::size_t entries() const noexcept = 0;
+
+  /// Bytes currently held by live checkpoints (snapshots + deltas) — the
+  /// state-queue term of the LP's memory footprint.
+  [[nodiscard]] virtual std::uint64_t stored_bytes() const noexcept = 0;
 };
 
-/// Full-clone checkpoints (wraps the classic state queue).
+/// Full-clone checkpoints (wraps the classic state queue). With an arena,
+/// retired checkpoints are recycled instead of freed and fresh ones are
+/// acquired from it instead of cloned.
 class CopyCheckpointStore final : public CheckpointStore {
  public:
+  explicit CopyCheckpointStore(StateArena* arena = nullptr)
+      : arena_(arena), queue_(arena) {}
+
   SaveReceipt save(const Position& pos, const ObjectState& current) override;
   RestorePoint restore_before(const Position& target) override;
   Position fossil_collect(VirtualTime gvt) override { return queue_.fossil_collect(gvt); }
   [[nodiscard]] std::size_t entries() const noexcept override {
     return queue_.size();
   }
+  [[nodiscard]] std::uint64_t stored_bytes() const noexcept override {
+    return queue_.stored_bytes();
+  }
 
  private:
+  StateArena* arena_;
   StateQueue queue_;
 };
 
 /// Byte-delta checkpoints with periodic full snapshots.
 class IncrementalCheckpointStore final : public CheckpointStore {
  public:
-  explicit IncrementalCheckpointStore(std::uint32_t full_snapshot_interval = 32);
+  explicit IncrementalCheckpointStore(std::uint32_t full_snapshot_interval = 32,
+                                      StateArena* arena = nullptr);
 
   SaveReceipt save(const Position& pos, const ObjectState& current) override;
   RestorePoint restore_before(const Position& target) override;
   Position fossil_collect(VirtualTime gvt) override;
   [[nodiscard]] std::size_t entries() const noexcept override {
     return entries_.size();
+  }
+  [[nodiscard]] std::uint64_t stored_bytes() const noexcept override {
+    return snapshot_bytes_ + stored_delta_bytes_;
   }
 
   /// Stored delta bytes across live entries (memory footprint; tests).
@@ -110,16 +127,24 @@ class IncrementalCheckpointStore final : public CheckpointStore {
   /// State as of entries_[index], reconstructed from the nearest snapshot.
   [[nodiscard]] std::unique_ptr<ObjectState> reconstruct(std::size_t index) const;
 
+  /// Copy of `src` via the arena (recycled) or clone (no arena).
+  [[nodiscard]] std::unique_ptr<ObjectState> copy_state(const ObjectState& src) const;
+  void retire_entry(Entry& entry) noexcept;
+
   std::uint32_t full_snapshot_interval_;
   std::uint32_t saves_since_full_ = 0;
   std::deque<Entry> entries_;
   /// Byte image of the most recently saved state (diff base).
   std::unique_ptr<ObjectState> shadow_;
   std::uint64_t stored_delta_bytes_ = 0;
+  std::uint64_t snapshot_bytes_ = 0;
+  StateArena* arena_ = nullptr;
 };
 
-/// Factory for ObjectRuntime.
+/// Factory for ObjectRuntime. The arena (may be null) recycles checkpoint
+/// states and must outlive the store.
 std::unique_ptr<CheckpointStore> make_checkpoint_store(
-    StateSaving mode, std::uint32_t full_snapshot_interval);
+    StateSaving mode, std::uint32_t full_snapshot_interval,
+    StateArena* arena = nullptr);
 
 }  // namespace otw::tw

@@ -8,11 +8,14 @@
 
 #include "otw/comm/aggregation.hpp"
 #include "otw/core/optimism_controller.hpp"
+#include "otw/core/pressure_controller.hpp"
 #include "otw/obs/recorder.hpp"
 #include "otw/platform/engine.hpp"
 #include "otw/tw/gvt.hpp"
+#include "otw/tw/memory_pool.hpp"
 #include "otw/tw/object_runtime.hpp"
 #include "otw/tw/stats.hpp"
+#include "otw/util/buffer_pool.hpp"
 
 namespace otw::tw {
 
@@ -52,6 +55,18 @@ struct KernelConfig {
     std::uint64_t window = 1u << 16;
     core::OptimismControlConfig control;
   } optimism;
+
+  /// Bounded-memory execution. With a non-zero budget, every LP samples its
+  /// optimistic-history footprint (see MemoryStats) against budget_bytes /
+  /// num_lps and drives the pressure controller: Throttle clamps the
+  /// optimism window, Emergency additionally forces early GVT epochs and
+  /// holds far-future remote sends (cancelback-lite). Committed results are
+  /// unaffected — only speculation is delayed. budget_bytes == 0 disables
+  /// the controller (pooled allocation and accounting stay on).
+  struct Memory {
+    std::uint64_t budget_bytes = 0;
+    core::MemoryPressureConfig control;
+  } memory;
 };
 
 class LogicalProcess final : public platform::LpRunner, public LpServices {
@@ -76,6 +91,15 @@ class LogicalProcess final : public platform::LpRunner, public LpServices {
     return config_.end_time;
   }
   [[nodiscard]] obs::Recorder& recorder() noexcept override { return recorder_; }
+  [[nodiscard]] SlabPool* event_pool() noexcept override { return &event_pool_; }
+
+  /// Shared recycler for cross-LP event-batch buffers (null: no recycling).
+  /// Installed by the kernel before the run starts; the pool must outlive
+  /// every message shipped through this LP.
+  void set_batch_pool(std::shared_ptr<util::BufferPool<Event>> pool) noexcept {
+    batch_pool_ = std::move(pool);
+    channel_.set_recycler(batch_pool_.get());
+  }
 
   // --- results / introspection ---
   [[nodiscard]] VirtualTime gvt() const noexcept { return gvt_value_; }
@@ -93,6 +117,12 @@ class LogicalProcess final : public platform::LpRunner, public LpServices {
   [[nodiscard]] const std::vector<LpSample>& trace() const noexcept {
     return trace_;
   }
+  /// This LP's current footprint: runtimes' queues/checkpoints plus held
+  /// sends, plus the slab pool's resident bytes.
+  [[nodiscard]] MemoryStats memory_footprint() const noexcept;
+  [[nodiscard]] const core::MemoryPressureController* pressure() const noexcept {
+    return pressure_ ? &*pressure_ : nullptr;
+  }
 
  private:
   void drain_one(std::unique_ptr<platform::EngineMessage> msg);
@@ -106,13 +136,27 @@ class LogicalProcess final : public platform::LpRunner, public LpServices {
   void ship_batch(LpId dst, std::vector<Event>&& events);
   [[nodiscard]] ObjectRuntime* pick_lowest() noexcept;
   /// Highest receive time currently processable (end_time and, when bounded,
-  /// GVT + optimism window).
+  /// GVT + optimism window — further clamped under memory pressure).
   [[nodiscard]] VirtualTime processing_bound() const noexcept;
+  /// GVT + emergency_window, overflow-clamped: the horizon below which held
+  /// sends must always flow (deadlock freedom).
+  [[nodiscard]] VirtualTime emergency_horizon() const noexcept;
+  /// Samples the footprint, steps the pressure controller, applies the
+  /// actuations (window clamp, held-send flush on exit). ctx_ must be valid.
+  void sample_pressure();
+  /// Ships every held send with receive time <= horizon (order preserved).
+  void flush_held(VirtualTime horizon);
+  /// Annihilates a held positive matching `anti` in place (the pair never
+  /// reaches the wire). True when a match was found.
+  bool annihilate_held(const Event& anti);
 
   LpId id_;
   KernelConfig config_;
   obs::Recorder recorder_;
   std::vector<LpId> object_to_lp_;
+  /// Input-queue node pool; declared before runtimes_ (their queues release
+  /// nodes into it on destruction).
+  SlabPool event_pool_;
   std::vector<std::unique_ptr<ObjectRuntime>> runtimes_;
   /// Global ObjectId -> index into runtimes_, or SIZE_MAX for remote objects.
   std::vector<std::size_t> local_index_;
@@ -121,6 +165,13 @@ class LogicalProcess final : public platform::LpRunner, public LpServices {
   GvtAgent gvt_;
   std::optional<core::OptimismWindowController> optimism_;
   std::uint64_t optimism_rolled_back_ = 0;
+  std::optional<core::MemoryPressureController> pressure_;
+  /// Cancelback-lite: positive remote sends deferred under Emergency, in
+  /// send order. Their receive times feed local_min() so GVT can never
+  /// overtake a held message.
+  std::vector<Event> held_sends_;
+  std::uint64_t pressure_enter_ns_ = 0;
+  std::shared_ptr<util::BufferPool<Event>> batch_pool_;
   VirtualTime gvt_value_ = VirtualTime::zero();
   std::uint64_t last_epoch_start_ns_ = 0;
   bool epoch_ever_started_ = false;

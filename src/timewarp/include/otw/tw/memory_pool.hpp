@@ -1,0 +1,180 @@
+// Pooled allocation for the Time Warp hot path.
+//
+// Optimistic execution allocates and frees at event rate: every received
+// event becomes an input-queue node, every send an output-queue entry, every
+// checkpoint an ObjectState clone — and fossil collection frees them again in
+// bulk once GVT passes. Routing that churn through the global heap costs a
+// lock-shared malloc/free pair per event and scatters queue nodes across the
+// address space. The pools here exploit the Time Warp-specific structure:
+//
+//  * allocation is single-threaded per LP (each LP's queues are touched only
+//    by the thread currently running that LP), so SlabPool needs no locks;
+//  * block sizes are drawn from a tiny fixed set (input-queue nodes,
+//    checkpoint states of one object type), so power-of-two size classes
+//    with per-class freelists recycle every fossil-collected block into the
+//    next event's allocation;
+//  * freed memory is reused, never returned: a pool's footprint is the
+//    high-water mark of live blocks, which is exactly the quantity the
+//    pressure controller (core/pressure_controller.hpp) bounds.
+//
+// Three cooperating pieces:
+//
+//  * SlabPool — bump-allocated slabs + per-size-class freelists. Not
+//    thread-safe; owned by one LP and used by its queues.
+//  * PoolAllocator<T> — std::allocator adapter so node-based containers
+//    (the input queue's multiset) draw their nodes from a SlabPool. A null
+//    pool falls back to the global heap, so default-constructed containers
+//    keep working in isolation tests.
+//  * StateArena — recycler for ObjectState checkpoints. Retired states are
+//    kept and re-filled via ObjectState::assign_from instead of a fresh
+//    clone(); owned per ObjectRuntime so every recycled state has the
+//    object's exact dynamic type and size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "otw/tw/object.hpp"
+#include "otw/util/assert.hpp"
+
+namespace otw::tw {
+
+/// Counters a SlabPool maintains. `live_blocks` is exact (allocations minus
+/// deallocations, including oversize); `slab_bytes` is the pool's resident
+/// footprint — it never shrinks, which makes it the honest number to charge
+/// against a memory budget.
+struct PoolStats {
+  std::uint64_t allocations = 0;     ///< total allocate() calls
+  std::uint64_t freelist_hits = 0;   ///< allocations served by recycling
+  std::uint64_t oversize = 0;        ///< allocations above the largest class
+  std::uint64_t slab_bytes = 0;      ///< bytes reserved in slabs (never shrinks)
+  std::uint64_t live_blocks = 0;     ///< currently allocated blocks
+  std::uint64_t peak_live_blocks = 0;///< high-water mark of live_blocks
+};
+
+/// Slab allocator with power-of-two size classes (64..4096 bytes).
+///
+/// allocate(n) rounds n up to its class and serves it from the class
+/// freelist, else bumps the current slab, else reserves a new slab. Blocks
+/// larger than the largest class go to ::operator new (counted in
+/// stats().oversize). deallocate(p, n) must receive the same n as the
+/// matching allocate and never throws. All freed memory is recycled, none is
+/// returned to the heap before the pool is destroyed.
+///
+/// NOT thread-safe: a SlabPool belongs to one LP and is only touched by the
+/// thread currently stepping that LP (the same exclusion that protects the
+/// LP's queues).
+class SlabPool {
+ public:
+  static constexpr std::size_t kMinBlock = 64;
+  static constexpr std::size_t kMaxBlock = 4096;
+
+  SlabPool() = default;
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+  ~SlabPool();
+
+  /// Storage for at least `size` bytes, aligned for any object of that size
+  /// (blocks are at least 64 bytes and slab bases are max_align_t-aligned).
+  [[nodiscard]] void* allocate(std::size_t size);
+
+  /// Returns a block to its class freelist. `size` must equal the size
+  /// passed to the matching allocate().
+  void deallocate(void* ptr, std::size_t size) noexcept;
+
+  [[nodiscard]] const PoolStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static std::size_t class_index(std::size_t size) noexcept;
+  static std::size_t class_block_size(std::size_t index) noexcept;
+  static constexpr std::size_t kNumClasses = 7;  // 64,128,...,4096
+
+  void* bump_allocate(std::size_t index);
+
+  FreeNode* freelists_[kNumClasses] = {};
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::byte* bump_ = nullptr;  // next free byte in the current slab
+  std::byte* bump_end_ = nullptr;
+  PoolStats stats_;
+};
+
+/// std::allocator adapter over a SlabPool, for node-based containers.
+///
+/// Single-element allocations (container nodes) go to the pool; array
+/// allocations and a null pool fall back to the global heap. Two allocators
+/// compare equal iff they share the pool, so containers with the same pool
+/// can splice/swap. The pool must outlive every container using it.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  PoolAllocator() noexcept = default;
+  explicit PoolAllocator(SlabPool* pool) noexcept : pool_(pool) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other) noexcept : pool_(other.pool()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (pool_ != nullptr && n == 1) {
+      return static_cast<T*>(pool_->allocate(sizeof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* ptr, std::size_t n) noexcept {
+    if (pool_ != nullptr && n == 1) {
+      pool_->deallocate(ptr, sizeof(T));
+      return;
+    }
+    ::operator delete(ptr);
+  }
+
+  [[nodiscard]] SlabPool* pool() const noexcept { return pool_; }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>& other) const noexcept {
+    return pool_ == other.pool();
+  }
+
+ private:
+  SlabPool* pool_ = nullptr;
+};
+
+/// Recycler for ObjectState checkpoints.
+///
+/// acquire_copy(src) returns a state equal to a clone of `src`, preferring
+/// to re-fill a previously released state via ObjectState::assign_from (a
+/// memcpy for flat states) over allocating a fresh clone. release() parks a
+/// retired state for reuse; beyond `capacity` states it simply destroys
+/// them. One arena serves exactly one object, so every parked state has the
+/// object's dynamic type and assign_from can never mix types.
+class StateArena {
+ public:
+  explicit StateArena(std::size_t capacity = 64) : capacity_(capacity) {
+    free_.reserve(capacity_);
+  }
+
+  /// A state with the same value as `src` (assign_from-recycled or cloned).
+  [[nodiscard]] std::unique_ptr<ObjectState> acquire_copy(const ObjectState& src);
+
+  /// Parks `state` for reuse (or destroys it when the arena is full).
+  void release(std::unique_ptr<ObjectState> state) noexcept;
+
+  [[nodiscard]] std::uint64_t recycled() const noexcept { return recycled_; }
+  [[nodiscard]] std::uint64_t cloned() const noexcept { return cloned_; }
+  [[nodiscard]] std::size_t parked() const noexcept { return free_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<ObjectState>> free_;
+  std::size_t capacity_;
+  std::uint64_t recycled_ = 0;
+  std::uint64_t cloned_ = 0;
+};
+
+}  // namespace otw::tw

@@ -10,6 +10,7 @@
 
 #include "otw/platform/engine.hpp"
 #include "otw/tw/event.hpp"
+#include "otw/util/buffer_pool.hpp"
 
 namespace otw::tw {
 
@@ -20,8 +21,18 @@ namespace otw::tw {
 
 class EventBatchMessage final : public platform::EngineMessage {
  public:
-  explicit EventBatchMessage(std::vector<Event> events)
-      : events_(std::move(events)) {}
+  /// With a recycler, the destructor returns the batch buffer to it (the
+  /// receiver frees what the sender allocated — the recycler is the shared,
+  /// thread-safe rendezvous). The recycler must outlive the message.
+  explicit EventBatchMessage(std::vector<Event> events,
+                             util::BufferPool<Event>* recycle = nullptr)
+      : events_(std::move(events)), recycle_(recycle) {}
+
+  ~EventBatchMessage() override {
+    if (recycle_ != nullptr) {
+      recycle_->release(std::move(events_));
+    }
+  }
 
   [[nodiscard]] std::uint64_t wire_bytes() const noexcept override {
     std::uint64_t bytes = 16;  // physical-message header
@@ -36,6 +47,7 @@ class EventBatchMessage final : public platform::EngineMessage {
 
  private:
   std::vector<Event> events_;
+  util::BufferPool<Event>* recycle_ = nullptr;
 };
 
 /// Mattern GVT token, circulated around the LP ring.

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <type_traits>
 
@@ -32,6 +33,25 @@ class ObjectState {
     return nullptr;
   }
   [[nodiscard]] virtual std::byte* mutable_raw_bytes() noexcept { return nullptr; }
+
+  /// Overwrites this state with the value of `other` WITHOUT allocating —
+  /// the recycling path of tw::StateArena (a retired checkpoint is re-filled
+  /// instead of cloned). Returns false when the two states are not
+  /// layout-compatible; the caller must fall back to other.clone(). The
+  /// default covers flat states (both expose raw_bytes) of equal size via
+  /// memcpy; states with out-of-line resources may override.
+  [[nodiscard]] virtual bool assign_from(const ObjectState& other) noexcept {
+    if (byte_size() != other.byte_size()) {
+      return false;
+    }
+    std::byte* dst = mutable_raw_bytes();
+    const std::byte* src = other.raw_bytes();
+    if (dst == nullptr || src == nullptr) {
+      return false;
+    }
+    std::memcpy(dst, src, byte_size());
+    return true;
+  }
 };
 
 namespace detail {

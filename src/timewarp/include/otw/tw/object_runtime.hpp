@@ -48,6 +48,10 @@ class LpServices {
     static obs::Recorder disabled;
     return disabled;
   }
+
+  /// The LP's slab pool for input-queue nodes (null: use the global heap).
+  /// Must outlive every ObjectRuntime built against these services.
+  [[nodiscard]] virtual SlabPool* event_pool() noexcept { return nullptr; }
 };
 
 struct ObjectRuntimeConfig {
@@ -139,6 +143,10 @@ class ObjectRuntime final : public ObjectContext {
   [[nodiscard]] const std::vector<ObjectSample>& trace() const noexcept {
     return trace_;
   }
+  /// Current memory footprint of this object's optimistic history (exact
+  /// byte accounting; the LP sums these against its budget).
+  [[nodiscard]] MemoryStats memory_footprint() const noexcept;
+  [[nodiscard]] const StateArena& state_arena() const noexcept { return arena_; }
 
  private:
   void execute(const Event& event);
@@ -167,6 +175,8 @@ class ObjectRuntime final : public ObjectContext {
   obs::Recorder& rec_;
   ObjectRuntimeConfig config_;
 
+  /// Checkpoint recycler; declared before every member that releases into it.
+  StateArena arena_;
   std::unique_ptr<ObjectState> current_state_;
   InputQueue input_;
   OutputQueue output_;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "otw/tw/event.hpp"
+#include "otw/tw/memory_pool.hpp"
 #include "otw/tw/object.hpp"
 #include "otw/util/assert.hpp"
 
@@ -19,7 +20,12 @@ namespace otw::tw {
 /// are never stored; they annihilate on arrival.
 class InputQueue {
  public:
-  InputQueue() : next_(events_.end()) {}
+  /// With a pool, every queue node is drawn from it (and recycled into it on
+  /// annihilation/fossil collection); the pool must outlive the queue. A
+  /// null pool uses the global heap.
+  explicit InputQueue(SlabPool* pool = nullptr)
+      : events_(InputOrder{}, PoolAllocator<Event>(pool)),
+        next_(events_.end()) {}
 
   // The boundary iterator must be maintained across copies; forbid them.
   InputQueue(const InputQueue&) = delete;
@@ -72,7 +78,7 @@ class InputQueue {
   [[nodiscard]] std::size_t processed_count() const;
 
  private:
-  using Set = std::multiset<Event, InputOrder>;
+  using Set = std::multiset<Event, InputOrder, PoolAllocator<Event>>;
 
   [[nodiscard]] bool is_processed(Set::const_iterator it) const;
 
@@ -123,6 +129,11 @@ class StateQueue {
     std::unique_ptr<ObjectState> state;
   };
 
+  /// With an arena, states dropped by rollback or fossil collection are
+  /// released into it for recycling (the arena must outlive the queue); a
+  /// null arena simply destroys them.
+  explicit StateQueue(StateArena* arena = nullptr) : arena_(arena) {}
+
   /// Appends a checkpoint; positions must be strictly increasing.
   void save(const Position& pos, std::unique_ptr<ObjectState> state);
 
@@ -142,8 +153,15 @@ class StateQueue {
   [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
   [[nodiscard]] const Entry& back() const { return entries_.back(); }
 
+  /// Sum of byte_size() over the stored checkpoints (memory accounting).
+  [[nodiscard]] std::uint64_t stored_bytes() const noexcept { return bytes_; }
+
  private:
+  void retire(Entry& entry) noexcept;
+
   std::deque<Entry> entries_;  // increasing key order
+  StateArena* arena_ = nullptr;
+  std::uint64_t bytes_ = 0;
 };
 
 }  // namespace otw::tw

@@ -12,6 +12,32 @@
 
 namespace otw::tw {
 
+/// One memory-footprint sample. Every term counts bytes the optimistic
+/// history currently pins: events still rollback-reachable, remembered
+/// output messages, stored checkpoints, and comparison lists awaiting
+/// resolution. Pool slab bytes are accounted separately (slabs never
+/// shrink, so they are a high-water mark, not a live count). Invariant:
+/// total() is exactly what fossil collection can eventually reclaim plus
+/// one checkpoint + the unprocessed-event tail.
+struct MemoryStats {
+  std::uint64_t input_queue_bytes = 0;   ///< live input-queue events
+  std::uint64_t output_queue_bytes = 0;  ///< remembered sent messages
+  std::uint64_t state_bytes = 0;         ///< stored checkpoints (snapshots+deltas)
+  std::uint64_t pending_bytes = 0;       ///< lazy-pending + passive entries
+  std::uint64_t held_bytes = 0;          ///< cancelback-held remote sends
+  std::uint64_t pool_slab_bytes = 0;     ///< slab reservation (never shrinks)
+  std::uint64_t live_events = 0;         ///< input-queue population
+  std::uint64_t checkpoints = 0;         ///< state-queue population
+
+  /// The number the pressure controller compares against the budget.
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return input_queue_bytes + output_queue_bytes + state_bytes +
+           pending_bytes + held_bytes;
+  }
+
+  void add(const MemoryStats& other) noexcept;
+};
+
 struct ObjectStats {
   std::uint64_t events_processed = 0;   ///< process_event calls, incl. re-execution
   std::uint64_t events_committed = 0;   ///< events finally below GVT
@@ -50,6 +76,17 @@ struct LpStats {
   std::uint64_t steps = 0;
   std::uint64_t idle_polls = 0;
 
+  /// --- memory governance (final footprint + pressure history) ---
+  MemoryStats memory;                      ///< footprint at the last sample
+  std::uint64_t memory_peak_bytes = 0;     ///< max sampled MemoryStats::total()
+  std::uint64_t memory_budget_bytes = 0;   ///< configured per-LP budget (0 = off)
+  std::uint64_t pool_recycled_blocks = 0;  ///< allocations served by freelists
+  std::uint64_t pressure_enters = 0;       ///< Normal -> Throttle/Emergency edges
+  std::uint64_t pressure_exits = 0;        ///< edges back to Normal
+  std::uint64_t pressure_gvt_triggers = 0; ///< early GVT epochs forced by pressure
+  std::uint64_t sends_held = 0;            ///< cancelback-lite: sends deferred
+  std::uint64_t holds_annihilated = 0;     ///< held sends cancelled in place
+
   void merge(const LpStats& other);
 };
 
@@ -62,6 +99,10 @@ struct KernelStats {
   [[nodiscard]] LpStats lp_totals() const;
   [[nodiscard]] std::uint64_t total_committed() const;
   [[nodiscard]] std::uint64_t total_rollbacks() const;
+  /// Final footprint summed over LPs; peak is the sum of per-LP peaks (an
+  /// upper bound on the true global peak — per-LP peaks need not coincide).
+  [[nodiscard]] MemoryStats memory_totals() const;
+  [[nodiscard]] std::uint64_t memory_peak_bytes() const;
 
   /// Multi-line human-readable summary.
   [[nodiscard]] std::string summary() const;

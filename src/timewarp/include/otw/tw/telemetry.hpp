@@ -29,7 +29,8 @@ struct ObjectSample {
   std::uint32_t checkpoint_interval = 1;
   double hit_ratio = 0.0;
   core::CancellationMode mode = core::CancellationMode::Aggressive;
-  std::uint64_t rollbacks = 0;  ///< cumulative
+  std::uint64_t rollbacks = 0;       ///< cumulative
+  std::uint64_t memory_bytes = 0;    ///< object footprint (MemoryStats::total)
 };
 
 /// One sample of an LP's kernel state.
@@ -39,6 +40,8 @@ struct LpSample {
   double aggregation_window_us = 0.0;
   std::uint64_t optimism_window = 0;  ///< 0 = unbounded
   std::uint64_t events_in_transit_estimate = 0;
+  std::uint64_t memory_bytes = 0;  ///< LP footprint at the sample
+  std::uint8_t pressure = 0;       ///< PressureState (0 = Normal / no budget)
 };
 
 struct ObjectTrace {
@@ -59,21 +62,23 @@ struct Telemetry {
     return objects.empty() && lps.empty();
   }
 
-  /// Writes all traces as one CSV table with a fixed 10-column header:
+  /// Writes all traces as one CSV table with a fixed 12-column header:
   ///
-  ///   kind,id,events,time,chi,hit_ratio,mode,rollbacks,window_us,optimism
+  ///   kind,id,events,time,chi,hit_ratio,mode,rollbacks,window_us,optimism,mem_bytes,pressure
   ///
-  /// Every row has exactly 10 fields; columns that do not apply to a row's
+  /// Every row has exactly 12 fields; columns that do not apply to a row's
   /// kind are left empty. Two row kinds share the table:
   ///
   ///   kind=object  id=ObjectId  events=sample clock  time=LVT ticks
   ///                chi=checkpoint interval  hit_ratio=HR in [0,1]
   ///                mode=Aggressive|Lazy  rollbacks=cumulative count
-  ///                window_us,optimism empty
+  ///                window_us,optimism empty  mem_bytes=object footprint
+  ///                pressure empty
   ///   kind=lp      id=LpId      events=sample clock  time=GVT ticks
   ///                chi,hit_ratio,mode,rollbacks empty
   ///                window_us=aggregation window  optimism=window ticks
-  ///                (0 = unbounded)
+  ///                (0 = unbounded)  mem_bytes=LP footprint
+  ///                pressure=normal|throttle|emergency
   ///
   /// `time` prints VirtualTime via operator<< ("inf" when infinite). The
   /// schema is asserted by a parse-back test in tw_telemetry_test.cpp.

@@ -45,6 +45,13 @@ Assembly assemble(const Model& model, const KernelConfig& config) {
     assembly.lps.push_back(std::make_unique<LogicalProcess>(
         lp, config, object_to_lp, std::move(local)));
   }
+  // One shared recycler for batch buffers: the receiving LP's message
+  // destructor returns the vector the sending LP allocated. Each LP keeps a
+  // shared_ptr so the pool outlives every in-flight message.
+  auto batch_pool = std::make_shared<util::BufferPool<Event>>();
+  for (const auto& lp : assembly.lps) {
+    lp->set_batch_pool(batch_pool);
+  }
   assembly.runners.reserve(assembly.lps.size());
   for (const auto& lp : assembly.lps) {
     assembly.runners.push_back(lp.get());

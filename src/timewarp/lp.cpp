@@ -22,6 +22,13 @@ LogicalProcess::LogicalProcess(
     control.max_window = std::max(control.max_window, control.initial_window);
     optimism_.emplace(control);
   }
+  if (config_.memory.budget_bytes > 0) {
+    // The run-wide budget is split evenly: each LP polices its own share.
+    const std::uint64_t per_lp = std::max<std::uint64_t>(
+        config_.memory.budget_bytes / config_.num_lps, 1);
+    pressure_.emplace(per_lp, config_.memory.control);
+    stats_.memory_budget_bytes = per_lp;
+  }
   runtimes_.reserve(objects.size());
   for (auto& [object_id, object] : objects) {
     OTW_REQUIRE(object_id < object_to_lp_.size());
@@ -56,10 +63,10 @@ void LogicalProcess::note_rollback(std::size_t undone) noexcept {
 
 VirtualTime LogicalProcess::processing_bound() const noexcept {
   VirtualTime bound = config_.end_time;
-  std::uint64_t window = 0;
+  std::uint64_t window = UINT64_MAX;
   switch (config_.optimism.mode) {
     case KernelConfig::Optimism::Mode::Unbounded:
-      return bound;
+      break;
     case KernelConfig::Optimism::Mode::Static:
       window = config_.optimism.window;
       break;
@@ -67,13 +74,28 @@ VirtualTime LogicalProcess::processing_bound() const noexcept {
       window = optimism_->window();
       break;
   }
-  if (gvt_value_.is_infinity()) {
+  // Memory pressure clamps the window regardless of the optimism mode: an
+  // over-budget LP stops running ahead even under Unbounded optimism.
+  if (pressure_) {
+    window = std::min(window, pressure_->window_clamp());
+  }
+  if (window == UINT64_MAX || gvt_value_.is_infinity()) {
     return bound;
   }
   const std::uint64_t ticks = gvt_value_.ticks();
   const VirtualTime horizon{ticks > UINT64_MAX - window - 1 ? UINT64_MAX - 1
                                                             : ticks + window};
   return min(bound, horizon);
+}
+
+VirtualTime LogicalProcess::emergency_horizon() const noexcept {
+  if (gvt_value_.is_infinity()) {
+    return VirtualTime::infinity();
+  }
+  const std::uint64_t window = config_.memory.control.emergency_window;
+  const std::uint64_t ticks = gvt_value_.ticks();
+  return VirtualTime{ticks > UINT64_MAX - window - 1 ? UINT64_MAX - 1
+                                                     : ticks + window};
 }
 
 ObjectRuntime& LogicalProcess::local_object(ObjectId id) {
@@ -90,12 +112,63 @@ void LogicalProcess::route(Event&& event) {
     local_inbox_.push_back(std::move(event));
     return;
   }
+  // Cancelback-lite. An anti-message whose positive is still held must
+  // annihilate in place: shipping it would reach the receiver before the
+  // positive ever does (the receiver REQUIREs positive-before-anti).
+  if (!held_sends_.empty() && event.negative && annihilate_held(event)) {
+    return;
+  }
+  // Under Emergency pressure, positive sends beyond the emergency horizon
+  // are held locally instead of growing the receiver's queues. Time Warp
+  // tolerates arbitrary message delay, so committed results are unchanged;
+  // local_min() covers held receive times, so GVT cannot overtake them.
+  if (pressure_ &&
+      pressure_->state() == core::PressureState::Emergency && !event.negative &&
+      event.recv_time > emergency_horizon()) {
+    ++stats_.sends_held;
+    held_sends_.push_back(std::move(event));
+    return;
+  }
   ++stats_.events_sent_remote;
   event.color = gvt_.on_send(event.recv_time);
   channel_.enqueue(dst, std::move(event), ctx_->now_ns(),
                    [this](LpId to, std::vector<Event>&& batch) {
                      ship_batch(to, std::move(batch));
                    });
+}
+
+bool LogicalProcess::annihilate_held(const Event& anti) {
+  const auto match =
+      std::find_if(held_sends_.begin(), held_sends_.end(),
+                   [&](const Event& held) { return held.matches_instance(anti); });
+  if (match == held_sends_.end()) {
+    return false;
+  }
+  held_sends_.erase(match);
+  ++stats_.holds_annihilated;
+  return true;
+}
+
+void LogicalProcess::flush_held(VirtualTime horizon) {
+  if (held_sends_.empty()) {
+    return;
+  }
+  std::vector<Event> keep;
+  keep.reserve(held_sends_.size());
+  for (Event& event : held_sends_) {
+    if (event.recv_time > horizon) {
+      keep.push_back(std::move(event));
+      continue;
+    }
+    const LpId dst = object_to_lp_[event.receiver];
+    ++stats_.events_sent_remote;
+    event.color = gvt_.on_send(event.recv_time);
+    channel_.enqueue(dst, std::move(event), ctx_->now_ns(),
+                     [this](LpId to, std::vector<Event>&& batch) {
+                       ship_batch(to, std::move(batch));
+                     });
+  }
+  held_sends_ = std::move(keep);
 }
 
 void LogicalProcess::ship_batch(LpId dst, std::vector<Event>&& events) {
@@ -105,7 +178,61 @@ void LogicalProcess::ship_batch(LpId dst, std::vector<Event>&& events) {
                      obs::pack_aggregate_flush(events.size(),
                                                channel_.window_us()));
   }
-  ctx_->send(dst, std::make_unique<EventBatchMessage>(std::move(events)));
+  ctx_->send(dst, std::make_unique<EventBatchMessage>(std::move(events),
+                                                      batch_pool_.get()));
+}
+
+MemoryStats LogicalProcess::memory_footprint() const noexcept {
+  MemoryStats m;
+  for (const auto& runtime : runtimes_) {
+    m.add(runtime->memory_footprint());
+  }
+  m.held_bytes = held_sends_.size() * sizeof(Event);
+  m.pool_slab_bytes = event_pool_.stats().slab_bytes;
+  return m;
+}
+
+void LogicalProcess::sample_pressure() {
+  OTW_ASSERT(pressure_.has_value() && ctx_ != nullptr);
+  const MemoryStats footprint = memory_footprint();
+  stats_.memory = footprint;
+  stats_.memory_peak_bytes =
+      std::max(stats_.memory_peak_bytes, footprint.total());
+
+  const core::PressureState before = pressure_->state();
+  const bool changed = pressure_->update(footprint.total());
+  ctx_->charge(ctx_->costs().control_invocation_ns);
+  recorder_.phase_add(obs::Phase::Control, ctx_->costs().control_invocation_ns);
+  const core::PressureState after = pressure_->state();
+
+  if (changed && before == core::PressureState::Normal) {
+    ++stats_.pressure_enters;
+    pressure_enter_ns_ = ctx_->now_ns();
+    if (recorder_.tracing()) {
+      recorder_.record(obs::TraceKind::PressureEnter, ctx_->now_ns(), id_,
+                       gvt_value_.ticks(),
+                       obs::pack_pressure_enter(
+                           footprint.total(), static_cast<std::uint8_t>(after),
+                           pressure_->budget_bytes()));
+    }
+  }
+  if (changed && after == core::PressureState::Normal) {
+    ++stats_.pressure_exits;
+    if (recorder_.tracing()) {
+      recorder_.record(obs::TraceKind::PressureExit, ctx_->now_ns(), id_,
+                       gvt_value_.ticks(),
+                       obs::pack_pressure_exit(
+                           footprint.total(),
+                           ctx_->now_ns() - pressure_enter_ns_));
+    }
+    // Back under budget: everything deferred may flow again.
+    flush_held(VirtualTime::infinity());
+  }
+  // Pull the adaptive controller's window down with the clamp so it does not
+  // keep "remembering" a wide window while throttled.
+  if (optimism_ && after != core::PressureState::Normal) {
+    optimism_->clamp(pressure_->window_clamp());
+  }
 }
 
 void LogicalProcess::deliver_local_pending() {
@@ -121,6 +248,14 @@ VirtualTime LogicalProcess::local_min() const noexcept {
   VirtualTime lowest = VirtualTime::infinity();
   for (const auto& runtime : runtimes_) {
     lowest = min(lowest, runtime->gvt_contribution(config_.end_time));
+  }
+  // Held sends are unacknowledged messages no queue can see — the same
+  // soundness argument as lazy_pending_ in gvt_contribution. This term also
+  // guarantees progress: GVT can never pass the earliest held receive time,
+  // so apply_gvt's flush horizon (GVT + emergency window) eventually reaches
+  // every held event.
+  for (const Event& event : held_sends_) {
+    lowest = min(lowest, event.recv_time);
   }
   return lowest;
 }
@@ -172,8 +307,27 @@ void LogicalProcess::apply_gvt(VirtualTime gvt) {
     recorder_.record(obs::TraceKind::GvtEpoch, ctx_->now_ns(), id_,
                      gvt.is_infinity() ? UINT64_MAX : gvt.ticks());
   }
+  // The footprint right before fossil collection is the epoch's high-water
+  // mark: record it whether or not a budget is set, so unthrottled runs
+  // report an honest peak too.
+  {
+    const MemoryStats before_fossil = memory_footprint();
+    stats_.memory = before_fossil;
+    stats_.memory_peak_bytes =
+        std::max(stats_.memory_peak_bytes, before_fossil.total());
+  }
   for (const auto& runtime : runtimes_) {
     runtime->fossil_collect(gvt);
+  }
+  // Held sends within the emergency window of the new GVT must flow now:
+  // one of them may be the global minimum (deadlock freedom). Re-sample so
+  // footprint freed by fossil collection can lift the pressure state without
+  // waiting out the control period.
+  if (pressure_) {
+    flush_held(emergency_horizon());
+    if (ctx_ != nullptr && !gvt.is_infinity()) {
+      sample_pressure();
+    }
   }
   if (gvt.is_infinity()) {
     for (const auto& runtime : runtimes_) {
@@ -280,6 +434,9 @@ platform::StepStatus LogicalProcess::step(platform::LpContext& ctx) {
           config_.optimism.mode == KernelConfig::Optimism::Mode::Unbounded
               ? 0
               : (optimism_ ? optimism_->window() : config_.optimism.window);
+      sample.memory_bytes = memory_footprint().total();
+      sample.pressure = pressure_ ? static_cast<std::uint8_t>(pressure_->state())
+                                  : 0;
       trace_.push_back(sample);
       if (recorder_.tracing()) {
         recorder_.record(obs::TraceKind::TelemetrySample, ctx.now_ns(), id_,
@@ -305,6 +462,13 @@ platform::StepStatus LogicalProcess::step(platform::LpContext& ctx) {
     }
   }
 
+  if (pressure_) {
+    pressure_->record_processed(processed);
+    if (pressure_->due()) {
+      sample_pressure();
+    }
+  }
+
   if (processed == 0) {
     // Nothing runnable: resolve lazy/passive entries that can no longer be
     // regenerated (may emit anti-messages).
@@ -326,8 +490,14 @@ platform::StepStatus LogicalProcess::step(platform::LpContext& ctx) {
   }
 
   const bool idle_now = processed == 0 && !received && !channel_.has_pending();
+  // Under pressure, GVT is the release valve: every epoch advances the
+  // fossil horizon and the held-send flush horizon. Start epochs eagerly
+  // (still subject to the rate limit below) instead of waiting out
+  // gvt_period_events.
+  const bool urgent =
+      pressure_ && pressure_->state() != core::PressureState::Normal;
 
-  if (gvt_.should_start(idle_now)) {
+  if (gvt_.should_start(idle_now || urgent)) {
     const std::uint64_t earliest =
         epoch_ever_started_ ? last_epoch_start_ns_ + config_.gvt_min_interval_ns
                             : 0;
@@ -338,6 +508,9 @@ platform::StepStatus LogicalProcess::step(platform::LpContext& ctx) {
     } else {
       last_epoch_start_ns_ = ctx.now_ns();
       epoch_ever_started_ = true;
+      if (urgent) {
+        ++stats_.pressure_gvt_triggers;
+      }
       if (recorder_.profiling()) {
         recorder_.phase_begin(obs::Phase::Gvt, ctx.now_ns());
       }
@@ -386,6 +559,12 @@ LpStats LogicalProcess::snapshot_lp_stats() const {
   s.messages_aggregated = agg.messages_enqueued;
   s.aggregate_size = agg.aggregate_size;
   s.aggregation_window_us = agg.window_us;
+  s.memory = memory_footprint();
+  s.memory_peak_bytes = std::max(s.memory_peak_bytes, s.memory.total());
+  s.pool_recycled_blocks = event_pool_.stats().freelist_hits;
+  for (const auto& runtime : runtimes_) {
+    s.pool_recycled_blocks += runtime->state_arena().recycled();
+  }
   return s;
 }
 

@@ -11,8 +11,9 @@ ObjectRuntime::ObjectRuntime(ObjectId id, std::unique_ptr<SimulationObject> obje
       lp_(lp),
       rec_(lp.recorder()),
       config_(config),
+      input_(lp.event_pool()),
       states_(make_checkpoint_store(config.state_saving,
-                                    config.full_snapshot_interval)),
+                                    config.full_snapshot_interval, &arena_)),
       ckpt_(config.checkpoint_control),
       cancel_(config.cancellation) {
   OTW_REQUIRE(object_ != nullptr);
@@ -60,7 +61,8 @@ bool ObjectRuntime::process_next() {
     events_since_sample_ = 0;
     trace_.push_back(ObjectSample{stats_.events_processed, lvt_,
                                   checkpoint_interval(), cancel_.hit_ratio(),
-                                  cancel_.mode(), stats_.rollbacks});
+                                  cancel_.mode(), stats_.rollbacks,
+                                  memory_footprint().total()});
     if (rec_.tracing()) {
       rec_.record(obs::TraceKind::TelemetrySample, lp_.wall_now_ns(), id_,
                   lvt_.ticks(),
@@ -240,8 +242,10 @@ void ObjectRuntime::rollback(const Position& target, const Event& cause,
                                          cause.send_time.ticks()));
   }
 
-  // Restore the latest checkpoint before the target.
+  // Restore the latest checkpoint before the target; the abandoned working
+  // state is recycled into the arena.
   RestorePoint keeper = states_->restore_before(target);
+  arena_.release(std::move(current_state_));
   current_state_ = std::move(keeper.state);
   lvt_ = keeper.pos.recv_time();
   input_.rewind_to_after(keeper.pos);
@@ -437,6 +441,18 @@ void ObjectRuntime::save_state(const Position& pos) {
   if (config_.dynamic_checkpointing) {
     ckpt_.record_state_save(cost);
   }
+}
+
+MemoryStats ObjectRuntime::memory_footprint() const noexcept {
+  MemoryStats m;
+  m.input_queue_bytes = input_.size() * sizeof(Event);
+  m.output_queue_bytes = output_.size() * sizeof(OutputEntry);
+  m.state_bytes = states_->stored_bytes();
+  m.pending_bytes =
+      (lazy_pending_.size() + passive_.size()) * sizeof(OutputEntry);
+  m.live_events = input_.size();
+  m.checkpoints = states_->entries();
+  return m;
 }
 
 ObjectStats ObjectRuntime::snapshot_stats() const {

@@ -58,6 +58,33 @@ obs::MetricsSnapshot build_metrics(const RunResult& result) {
 
   add_object_totals(snapshot, result.stats.object_totals());
 
+  // Memory governance: live footprint at collection, sum of per-LP peaks
+  // (upper bound on the true global peak), and pressure-controller activity.
+  {
+    const MemoryStats mem = result.stats.memory_totals();
+    std::uint64_t budget = 0;
+    std::uint64_t enters = 0;
+    std::uint64_t held = 0;
+    for (const LpStats& s : result.stats.lps) {
+      budget += s.memory_budget_bytes;
+      enters += s.pressure_enters;
+      held += s.sends_held;
+    }
+    snapshot.add("otw_memory_live_bytes", static_cast<double>(mem.total()),
+                 Metric::Type::Gauge);
+    snapshot.add("otw_memory_peak_bytes",
+                 static_cast<double>(result.stats.memory_peak_bytes()),
+                 Metric::Type::Gauge);
+    snapshot.add("otw_memory_budget_bytes", static_cast<double>(budget),
+                 Metric::Type::Gauge);
+    snapshot.add("otw_memory_pool_slab_bytes",
+                 static_cast<double>(mem.pool_slab_bytes), Metric::Type::Gauge);
+    snapshot.add("otw_memory_pressure_enters_total", static_cast<double>(enters),
+                 Metric::Type::Counter);
+    snapshot.add("otw_memory_sends_held_total", static_cast<double>(held),
+                 Metric::Type::Counter);
+  }
+
   for (std::size_t lp = 0; lp < result.stats.lps.size(); ++lp) {
     const LpStats& s = result.stats.lps[lp];
     const std::pair<std::string, std::string> label{"lp", std::to_string(lp)};
@@ -84,6 +111,10 @@ obs::MetricsSnapshot build_metrics(const RunResult& result) {
     add("otw_lp_steps_total", static_cast<double>(s.steps), Metric::Type::Counter);
     add("otw_lp_idle_polls_total", static_cast<double>(s.idle_polls),
         Metric::Type::Counter);
+    add("otw_lp_memory_live_bytes", static_cast<double>(s.memory.total()),
+        Metric::Type::Gauge);
+    add("otw_lp_memory_peak_bytes", static_cast<double>(s.memory_peak_bytes),
+        Metric::Type::Gauge);
   }
 
   // Work-stealing scheduler counters (threaded engine runs only).

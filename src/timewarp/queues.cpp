@@ -120,7 +120,15 @@ void StateQueue::save(const Position& pos, std::unique_ptr<ObjectState> state) {
   OTW_REQUIRE(state != nullptr);
   OTW_REQUIRE_MSG(entries_.empty() || entries_.back().pos < pos,
                   "checkpoint positions must be strictly increasing");
+  bytes_ += state->byte_size();
   entries_.push_back(Entry{pos, std::move(state)});
+}
+
+void StateQueue::retire(Entry& entry) noexcept {
+  bytes_ -= entry.state->byte_size();
+  if (arena_ != nullptr) {
+    arena_->release(std::move(entry.state));
+  }
 }
 
 const StateQueue::Entry* StateQueue::latest_before(const Position& target) const {
@@ -134,6 +142,7 @@ const StateQueue::Entry* StateQueue::latest_before(const Position& target) const
 
 void StateQueue::drop_from(const Position& target) {
   while (!entries_.empty() && !(entries_.back().pos < target)) {
+    retire(entries_.back());
     entries_.pop_back();
   }
 }
@@ -153,6 +162,9 @@ Position StateQueue::fossil_collect(VirtualTime gvt) {
   if (!found) {
     // Even the oldest checkpoint is at/after gvt: nothing is collectable.
     return entries_.front().pos;
+  }
+  for (std::size_t i = 0; i < keeper; ++i) {
+    retire(entries_[i]);
   }
   entries_.erase(entries_.begin(),
                  entries_.begin() + static_cast<std::ptrdiff_t>(keeper));

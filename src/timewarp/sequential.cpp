@@ -8,6 +8,7 @@
 #include <chrono>
 #include <set>
 
+#include "otw/tw/memory_pool.hpp"
 #include "otw/util/assert.hpp"
 
 namespace otw::tw {
@@ -25,7 +26,8 @@ struct SeqOrder {
 
 class SequentialContext final : public ObjectContext {
  public:
-  explicit SequentialContext(ObjectId num_objects) : states_(num_objects) {}
+  explicit SequentialContext(ObjectId num_objects)
+      : states_(num_objects), pending_(SeqOrder{}, PoolAllocator<Event>(&pool_)) {}
 
   void set_state(ObjectId id, std::unique_ptr<ObjectState> state) {
     states_[id] = std::move(state);
@@ -73,7 +75,9 @@ class SequentialContext final : public ObjectContext {
 
  private:
   std::vector<std::unique_ptr<ObjectState>> states_;
-  std::multiset<Event, SeqOrder> pending_;
+  /// Declared before pending_: the multiset's nodes live in the pool.
+  SlabPool pool_;
+  std::multiset<Event, SeqOrder, PoolAllocator<Event>> pending_;
   ObjectId current_ = 0;
   VirtualTime now_ = VirtualTime::zero();
   EventKey cause_{};

@@ -26,6 +26,17 @@ std::ostream& operator<<(std::ostream& os, const Event& event) {
   return os;
 }
 
+void MemoryStats::add(const MemoryStats& other) noexcept {
+  input_queue_bytes += other.input_queue_bytes;
+  output_queue_bytes += other.output_queue_bytes;
+  state_bytes += other.state_bytes;
+  pending_bytes += other.pending_bytes;
+  held_bytes += other.held_bytes;
+  pool_slab_bytes += other.pool_slab_bytes;
+  live_events += other.live_events;
+  checkpoints += other.checkpoints;
+}
+
 void ObjectStats::merge(const ObjectStats& other) {
   events_processed += other.events_processed;
   events_committed += other.events_committed;
@@ -58,6 +69,15 @@ void LpStats::merge(const LpStats& other) {
   aggregation_window_us.merge(other.aggregation_window_us);
   steps += other.steps;
   idle_polls += other.idle_polls;
+  memory.add(other.memory);
+  memory_peak_bytes += other.memory_peak_bytes;
+  memory_budget_bytes += other.memory_budget_bytes;
+  pool_recycled_blocks += other.pool_recycled_blocks;
+  pressure_enters += other.pressure_enters;
+  pressure_exits += other.pressure_exits;
+  pressure_gvt_triggers += other.pressure_gvt_triggers;
+  sends_held += other.sends_held;
+  holds_annihilated += other.holds_annihilated;
 }
 
 ObjectStats KernelStats::object_totals() const {
@@ -92,6 +112,22 @@ std::uint64_t KernelStats::total_rollbacks() const {
   return n;
 }
 
+MemoryStats KernelStats::memory_totals() const {
+  MemoryStats total;
+  for (const auto& s : lps) {
+    total.add(s.memory);
+  }
+  return total;
+}
+
+std::uint64_t KernelStats::memory_peak_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : lps) {
+    n += s.memory_peak_bytes;
+  }
+  return n;
+}
+
 std::string KernelStats::summary() const {
   std::ostringstream os;
   os << *this;
@@ -121,7 +157,15 @@ std::ostream& operator<<(std::ostream& os, const KernelStats& stats) {
      << " token rounds, final " << stats.final_gvt << "\n"
      << "  comm:                 " << lp.events_sent_remote << " remote events in "
      << lp.aggregates_sent << " aggregates, " << lp.events_sent_local
-     << " local events\n";
+     << " local events\n"
+     << "  memory:               " << lp.memory.total() << " B final, "
+     << lp.memory_peak_bytes << " B peak";
+  if (lp.memory_budget_bytes > 0) {
+    os << " (budget " << lp.memory_budget_bytes << " B, "
+       << lp.pressure_enters << " pressure enters, " << lp.sends_held
+       << " sends held)";
+  }
+  os << "\n";
   return os;
 }
 

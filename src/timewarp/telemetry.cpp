@@ -2,23 +2,28 @@
 
 #include <ostream>
 
+#include "otw/core/pressure_controller.hpp"
 #include "otw/tw/stats.hpp"
 
 namespace otw::tw {
 
 void Telemetry::write_csv(std::ostream& os) const {
-  os << "kind,id,events,time,chi,hit_ratio,mode,rollbacks,window_us,optimism\n";
+  os << "kind,id,events,time,chi,hit_ratio,mode,rollbacks,window_us,optimism,"
+        "mem_bytes,pressure\n";
   for (const ObjectTrace& trace : objects) {
     for (const ObjectSample& s : trace.samples) {
       os << "object," << trace.object << ',' << s.events_processed << ','
          << s.lvt << ',' << s.checkpoint_interval << ',' << s.hit_ratio << ','
-         << core::to_string(s.mode) << ',' << s.rollbacks << ",,\n";
+         << core::to_string(s.mode) << ',' << s.rollbacks << ",,,"
+         << s.memory_bytes << ",\n";
     }
   }
   for (const LpTrace& trace : lps) {
     for (const LpSample& s : trace.samples) {
       os << "lp," << trace.lp << ',' << s.events_processed << ',' << s.gvt
          << ",,,,," << s.aggregation_window_us << ',' << s.optimism_window
+         << ',' << s.memory_bytes << ','
+         << core::to_string(static_cast<core::PressureState>(s.pressure))
          << '\n';
     }
   }

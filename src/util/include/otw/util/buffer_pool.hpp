@@ -1,0 +1,78 @@
+// Thread-safe recycler for std::vector buffers that cross thread boundaries.
+//
+// The threaded engine ships event batches as std::vector<Event> inside
+// messages: the sending LP's thread fills the vector, the receiving LP's
+// thread drains it and destroys the message. Without recycling, every
+// physical message is a heap allocation on one thread and a free on another
+// — the classic producer/consumer malloc ping-pong. A BufferPool breaks it:
+// released vectors keep their capacity and are handed to the next acquire(),
+// so steady-state batch traffic allocates nothing.
+//
+// Unlike tw::SlabPool this pool IS thread-safe (one mutex around a small
+// vector-of-vectors); it is shared by all LPs of a run and must outlive
+// every message whose destructor releases into it (the kernel guarantees
+// this: messages die inside the engine run, the pool dies with the
+// assembly).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace otw::util {
+
+template <typename T>
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t capacity = 256) : capacity_(capacity) {
+    free_.reserve(capacity_);
+  }
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// An empty vector, reusing a released buffer's capacity when available.
+  [[nodiscard]] std::vector<T> acquire() {
+    std::lock_guard lock(mutex_);
+    if (free_.empty()) {
+      return {};
+    }
+    std::vector<T> buf = std::move(free_.back());
+    free_.pop_back();
+    ++reuses_;
+    return buf;
+  }
+
+  /// Parks `buf` (cleared, capacity kept) for a future acquire(). Beyond
+  /// `capacity` parked buffers it simply destroys it.
+  void release(std::vector<T>&& buf) noexcept {
+    buf.clear();
+    if (buf.capacity() == 0) {
+      return;
+    }
+    std::lock_guard lock(mutex_);
+    if (free_.size() < capacity_) {
+      free_.push_back(std::move(buf));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t reuses() const noexcept {
+    std::lock_guard lock(mutex_);
+    return reuses_;
+  }
+
+  [[nodiscard]] std::size_t parked() const noexcept {
+    std::lock_guard lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<T>> free_;
+  std::size_t capacity_;
+  std::uint64_t reuses_ = 0;
+};
+
+}  // namespace otw::util

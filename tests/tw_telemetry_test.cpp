@@ -139,7 +139,7 @@ std::vector<std::string> split_csv(const std::string& line) {
 }
 
 TEST(Telemetry, CsvRoundTripsThroughTheDocumentedSchema) {
-  // Parse the CSV back and check every row against the 10-column schema
+  // Parse the CSV back and check every row against the 12-column schema
   // documented in telemetry.hpp — and that the parsed samples reproduce the
   // in-memory telemetry exactly.
   const Model model = apps::phold::build_model(phased_phold());
@@ -153,12 +153,12 @@ TEST(Telemetry, CsvRoundTripsThroughTheDocumentedSchema) {
   ASSERT_TRUE(std::getline(is, line));
   EXPECT_EQ(line,
             "kind,id,events,time,chi,hit_ratio,mode,rollbacks,window_us,"
-            "optimism");
+            "optimism,mem_bytes,pressure");
 
   std::size_t object_rows = 0, lp_rows = 0;
   while (std::getline(is, line)) {
     const std::vector<std::string> f = split_csv(line);
-    ASSERT_EQ(f.size(), 10u) << "row: " << line;
+    ASSERT_EQ(f.size(), 12u) << "row: " << line;
     if (f[0] == "object") {
       const auto id = static_cast<std::uint32_t>(std::stoul(f[1]));
       ASSERT_LT(id, r.telemetry.objects.size());
@@ -176,7 +176,8 @@ TEST(Telemetry, CsvRoundTripsThroughTheDocumentedSchema) {
       ASSERT_NE(match, nullptr) << "no in-memory sample matches row: " << line;
       EXPECT_EQ(std::stoul(f[4]), match->checkpoint_interval);
       EXPECT_EQ(f[6], core::to_string(match->mode));
-      EXPECT_TRUE(f[8].empty() && f[9].empty()) << line;
+      EXPECT_EQ(std::stoull(f[10]), match->memory_bytes);
+      EXPECT_TRUE(f[8].empty() && f[9].empty() && f[11].empty()) << line;
     } else {
       ASSERT_EQ(f[0], "lp") << line;
       ++lp_rows;
@@ -192,6 +193,10 @@ TEST(Telemetry, CsvRoundTripsThroughTheDocumentedSchema) {
       EXPECT_TRUE(found) << "no in-memory sample matches row: " << line;
       EXPECT_TRUE(f[4].empty() && f[5].empty() && f[6].empty() && f[7].empty())
           << line;
+      // No budget configured: every LP samples as "normal" with a live
+      // footprint figure.
+      EXPECT_FALSE(f[10].empty()) << line;
+      EXPECT_EQ(f[11], "normal") << line;
     }
   }
 

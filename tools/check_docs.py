@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Documentation lint for the otw repository.
+
+Two checks, both zero-dependency (stdlib only), run by CI's docs-check job:
+
+1. Markdown link integrity. Every ``[text](target)`` in every tracked
+   ``*.md`` file is resolved: relative paths must exist on disk, and
+   ``#fragment`` anchors (same-file or cross-file) must match a heading in
+   the target file after GitHub's slugging rules (lowercase, punctuation
+   stripped, spaces to hyphens, ``-1``/``-2`` suffixes for duplicates).
+   External schemes (http/https/mailto) are not fetched.
+
+2. TraceKind drift guard. The observability docs promise that DESIGN.md
+   section 5b documents the full trace schema; this check parses the
+   ``TraceKind`` enumerators out of ``src/obs/include/otw/obs/trace.hpp``
+   and fails if any enumerator is missing from that section, so adding a
+   trace kind without documenting it breaks CI.
+
+Usage: ``python3 tools/check_docs.py`` from the repository root (or any
+subdirectory; the root is located from this file's path). Exit 0 = clean.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRACE_HEADER = REPO_ROOT / "src" / "obs" / "include" / "otw" / "obs" / "trace.hpp"
+DESIGN = REPO_ROOT / "DESIGN.md"
+
+# Directories never scanned for markdown (build trees, VCS internals).
+SKIP_DIRS = {".git", "build", "build-werror", "build-tsan", "build-asan",
+             "node_modules", ".cache"}
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, drop punctuation,
+    spaces to hyphens."""
+    # Inline code and emphasis markers vanish; their contents stay.
+    text = re.sub(r"[`*_]", "", heading)
+    # Links render as their text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(md_path: Path) -> set:
+    """All anchor slugs a GitHub render of this file would expose."""
+    slugs = {}
+    out = set()
+    in_fence = False
+    for line in md_path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = slugs.get(slug, 0)
+        slugs[slug] = n + 1
+        out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
+
+
+def markdown_files():
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.relative_to(REPO_ROOT).parts):
+            continue
+        yield path
+
+
+def extract_links(md_path: Path):
+    """(line_number, target) for every inline link outside code fences."""
+    links = []
+    in_fence = False
+    for lineno, line in enumerate(
+            md_path.read_text(encoding="utf-8").splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Inline code spans can hold example links; mask them out.
+        masked = re.sub(r"`[^`]*`", "", line)
+        for m in LINK_RE.finditer(masked):
+            links.append((lineno, m.group(1)))
+    return links
+
+
+def check_links():
+    errors = []
+    slug_cache = {}
+    for md in markdown_files():
+        rel = md.relative_to(REPO_ROOT)
+        for lineno, target in extract_links(md):
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # http:, https:, mailto: — not fetched
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                dest = (md.parent / path_part).resolve()
+                if not dest.exists():
+                    errors.append(f"{rel}:{lineno}: broken link "
+                                  f"'{target}' (no such file)")
+                    continue
+            else:
+                dest = md
+            if fragment:
+                if dest.suffix.lower() != ".md" or dest.is_dir():
+                    continue  # anchors into non-markdown are not checkable
+                if dest not in slug_cache:
+                    slug_cache[dest] = heading_slugs(dest)
+                if fragment.lower() not in slug_cache[dest]:
+                    errors.append(f"{rel}:{lineno}: broken anchor "
+                                  f"'{target}' (no heading slugs to "
+                                  f"'#{fragment}')")
+    return errors
+
+
+def trace_kinds():
+    """Enumerator names of otw::obs::TraceKind, in declaration order."""
+    text = TRACE_HEADER.read_text(encoding="utf-8")
+    m = re.search(r"enum\s+class\s+TraceKind[^{]*\{(.*?)\};", text, re.S)
+    if not m:
+        sys.exit(f"error: could not find 'enum class TraceKind' "
+                 f"in {TRACE_HEADER}")
+    body = re.sub(r"//[^\n]*", "", m.group(1))  # strip comments
+    body = re.sub(r"/\*.*?\*/", "", body, flags=re.S)
+    kinds = []
+    for entry in body.split(","):
+        name = entry.split("=")[0].strip()
+        if name:
+            kinds.append(name)
+    return kinds
+
+
+def design_section_5b():
+    """The text of DESIGN.md from the 5b heading to the next ## heading."""
+    lines = DESIGN.read_text(encoding="utf-8").splitlines()
+    start = None
+    for i, line in enumerate(lines):
+        if re.match(r"^##\s+5b\b", line):
+            start = i
+            break
+    if start is None:
+        sys.exit("error: DESIGN.md has no '## 5b' section (trace schema)")
+    end = len(lines)
+    for i in range(start + 1, len(lines)):
+        if lines[i].startswith("## "):
+            end = i
+            break
+    return "\n".join(lines[start:end])
+
+
+def check_trace_drift():
+    errors = []
+    section = design_section_5b()
+    for kind in trace_kinds():
+        if not re.search(rf"`{re.escape(kind)}`", section):
+            errors.append(f"DESIGN.md: TraceKind::{kind} exists in "
+                          f"trace.hpp but is not documented in the "
+                          f"section 5b schema table")
+    return errors
+
+
+def main():
+    errors = check_links() + check_trace_drift()
+    n_md = sum(1 for _ in markdown_files())
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print(f"\ncheck_docs: FAIL ({len(errors)} error(s) across "
+              f"{n_md} markdown files)", file=sys.stderr)
+        return 1
+    kinds = trace_kinds()
+    print(f"check_docs: OK — {n_md} markdown files, links and anchors "
+          f"resolve, all {len(kinds)} TraceKind enumerators documented "
+          f"in DESIGN.md section 5b")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
