@@ -51,7 +51,7 @@ inline tw::RunResult run_now(const tw::Model& model, const tw::KernelConfig& kc,
                              const platform::CostModel& costs = now_testbed_costs()) {
   platform::SimulatedNowConfig now;
   now.costs = costs;
-  return tw::run_simulated_now(model, kc, now);
+  return tw::run(model, kc, {.simulated_now = now});
 }
 
 /// Machine-readable per-run results. Every bench funnels its runs through one

@@ -87,7 +87,7 @@ void BM_PholdEndToEnd(benchmark::State& state) {
   platform::SimulatedNowConfig now;  // default costs
   std::uint64_t committed = 0;
   for (auto _ : state) {
-    const tw::RunResult r = tw::run_simulated_now(model, kc, now);
+    const tw::RunResult r = tw::run(model, kc, {.simulated_now = now});
     committed = r.stats.total_committed();
     benchmark::DoNotOptimize(committed);
   }

@@ -68,7 +68,7 @@ int main() {
 
     tw::RunResult best;
     for (int rep = 0; rep < 3; ++rep) {
-      tw::RunResult r = tw::run_threaded(model, kc, tc);
+      tw::RunResult r = tw::run(model, kc.with_engine(tw::EngineKind::Threaded), {.threaded = tc});
       if (r.digests != seq.digests) {
         std::fprintf(stderr, "FATAL: digest mismatch at %u workers\n", w);
         return 1;

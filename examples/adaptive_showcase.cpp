@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
   std::printf("phased PHOLD: %u phases of %llu ticks "
               "(even phases favour lazy, odd phases favour aggressive)\n\n",
               phases, static_cast<unsigned long long>(app.phase_length));
-  const tw::RunResult r = tw::run_simulated_now(model, kc, now);
+  const tw::RunResult r = tw::run(model, kc, {.simulated_now = now});
 
   // Timeline: fraction of telemetry samples in Lazy mode per phase bucket.
   std::printf("phase  virtual time          lazy-mode samples\n");

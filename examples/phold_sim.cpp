@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(seq.events_processed),
               static_cast<double>(seq.wall_time_ns) / 1e9);
 
-  const tw::RunResult now = tw::run_simulated_now(model, kc);
+  const tw::RunResult now = tw::run(model, kc);
   std::printf("simulated NOW: %.3fs modeled, %llu rollbacks, efficiency %.1f%% "
               "(committed/processed)\n",
               now.execution_time_sec(),
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
 
   platform::ThreadedConfig tc;
   tc.num_workers = argc > 4 ? static_cast<std::uint32_t>(std::atoi(argv[4])) : 0;
-  const tw::RunResult threads = tw::run_threaded(model, kc, tc);
+  const tw::RunResult threads = tw::run(model, kc.with_engine(tw::EngineKind::Threaded), {.threaded = tc});
   std::printf("threads: %.3fs wall, %u workers, %llu rollbacks, "
               "%llu steals, %llu parks\n",
               threads.execution_time_sec(), threads.scheduler.num_workers,

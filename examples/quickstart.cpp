@@ -1,13 +1,16 @@
-// Quickstart: a two-object ping-pong model, run on all three kernels.
+// Quickstart: a two-object ping-pong model, run on every kernel through the
+// one public entry point.
 //
 //   $ ./build/examples/quickstart
 //
 // Demonstrates the application API (SimulationObject / ObjectContext /
-// PodState), building a Model, and the three execution paths: sequential,
-// deterministic simulated-NOW Time Warp, and threaded Time Warp.
+// PodState), building a Model, and engine selection via
+// KernelConfig::engine.kind — the same model runs sequentially (ground
+// truth), on the deterministic simulated-NOW Time Warp kernel, on real
+// threads, and sharded across worker processes.
 #include <cstdio>
 
-#include "otw/tw/kernel.hpp"
+#include "otw/otw.hpp"
 
 namespace {
 
@@ -68,20 +71,22 @@ int main() {
   model.add(/*lp=*/0, [] { return std::make_unique<Player>(1, true, kRallies); });
   model.add(/*lp=*/1, [] { return std::make_unique<Player>(0, false, kRallies); });
 
-  // 1. Ground truth: the sequential kernel.
-  const tw::SequentialResult seq = tw::run_sequential(model);
+  tw::KernelConfig kc;
+  kc.num_lps = 2;
+  kc.runtime.checkpoint_interval = 4;
+  kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
+  kc.aggregation.policy = comm::AggregationPolicy::Fixed;
+  kc.aggregation.window_us = 64.0;
+
+  // 1. Ground truth: the sequential kernel through the same entry point.
+  const tw::RunResult seq =
+      tw::run(model, kc.with_engine(tw::EngineKind::Sequential));
   std::printf("sequential : %llu events\n",
-              static_cast<unsigned long long>(seq.events_processed));
+              static_cast<unsigned long long>(seq.stats.total_committed()));
 
-  // 2. Time Warp on the deterministic simulated network of workstations.
-  tw::KernelConfig config;
-  config.num_lps = 2;
-  config.runtime.checkpoint_interval = 4;
-  config.runtime.cancellation = core::CancellationControlConfig::dynamic();
-  config.aggregation.policy = comm::AggregationPolicy::Fixed;
-  config.aggregation.window_us = 64.0;
-
-  const tw::RunResult now = tw::run_simulated_now(model, config);
+  // 2. Time Warp on the deterministic simulated network of workstations
+  //    (EngineKind::SimulatedNow is the KernelConfig default).
+  const tw::RunResult now = tw::run(model, kc);
   std::printf("simulated  : %llu committed events in %.3f modeled seconds "
               "(%llu physical messages, %llu rollbacks)\n",
               static_cast<unsigned long long>(now.stats.total_committed()),
@@ -90,13 +95,24 @@ int main() {
               static_cast<unsigned long long>(now.stats.total_rollbacks()));
 
   // 3. Time Warp on real threads.
-  const tw::RunResult threads = tw::run_threaded(model, config);
+  const tw::RunResult threads =
+      tw::run(model, kc.with_engine(tw::EngineKind::Threaded));
   std::printf("threaded   : %llu committed events in %.3f wall seconds\n",
               static_cast<unsigned long long>(threads.stats.total_committed()),
               threads.execution_time_sec());
 
-  // The three kernels must agree on the committed final states.
-  bool ok = now.digests == seq.digests && threads.digests == seq.digests;
+  // 4. Time Warp sharded across two worker processes over TCP loopback.
+  const tw::RunResult dist =
+      tw::run(model, kc.with_engine(tw::EngineKind::Distributed, /*size=*/2));
+  std::printf("distributed: %llu committed events across %u shards "
+              "(%llu wire frames)\n",
+              static_cast<unsigned long long>(dist.stats.total_committed()),
+              dist.dist.num_shards,
+              static_cast<unsigned long long>(dist.dist.frames_sent));
+
+  // All kernels must agree on the committed final states.
+  const bool ok = now.digests == seq.digests &&
+                  threads.digests == seq.digests && dist.digests == seq.digests;
   std::printf("digest check: %s\n", ok ? "OK" : "MISMATCH");
   return ok ? 0 : 1;
 }

@@ -20,7 +20,7 @@ tw::RunResult run_with(const tw::Model& model, const apps::raid::RaidConfig& app
   kc.batch_size = 16;
   kc.runtime.checkpoint_interval = 4;
   kc.runtime.cancellation = cancellation;
-  return tw::run_simulated_now(model, kc);
+  return tw::run(model, kc);
 }
 
 }  // namespace

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
               app.num_processors, app.num_lps, model.objects.size(),
               app.requests_per_processor);
 
-  const tw::RunResult run = tw::run_simulated_now(model, kc);
+  const tw::RunResult run = tw::run(model, kc);
   std::printf("\n%s\n", run.stats.summary().c_str());
   std::printf("modeled execution time: %.3f s (%.0f committed events/s)\n",
               run.execution_time_sec(), run.committed_events_per_sec());

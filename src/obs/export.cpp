@@ -246,6 +246,15 @@ void write_chrome_trace(std::ostream& os, const RunTrace& trace) {
                          ",\"duration_us\":" + ts_us(p.duration_ns) + "}");
           break;
         }
+        case TraceKind::WireFrame: {
+          const WireFrameInfo w = unpack_wire_frame(r);
+          emit_event(os, first, "i", log.lp, r.wall_ns, "wire_frame",
+                     "\"s\":\"t\",\"args\":{\"src\":" + actor + ",\"dir\":\"" +
+                         (w.sent ? "tx" : "rx") +
+                         "\",\"tag\":" + std::to_string(w.wire_tag) +
+                         ",\"bytes\":" + std::to_string(w.bytes) + "}");
+          break;
+        }
       }
     }
     // Ring overflow may have swallowed RollbackEnd records: close any scope

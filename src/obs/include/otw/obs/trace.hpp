@@ -51,6 +51,7 @@ enum class TraceKind : std::uint8_t {
   WorkerSteal,       ///< arg0/arg1 = pack_worker_steal
   PressureEnter,     ///< vt = GVT; arg0/arg1 = pack_pressure_enter
   PressureExit,      ///< vt = GVT; arg0/arg1 = pack_pressure_exit
+  WireFrame,         ///< socket frame tx/rx: arg0/arg1 = pack_wire_frame
 };
 
 [[nodiscard]] constexpr const char* to_string(TraceKind kind) noexcept {
@@ -75,6 +76,7 @@ enum class TraceKind : std::uint8_t {
     case TraceKind::WorkerSteal: return "steal";
     case TraceKind::PressureEnter: return "pressure_enter";
     case TraceKind::PressureExit: return "pressure_exit";
+    case TraceKind::WireFrame: return "wire_frame";
   }
   return "?";
 }
@@ -301,6 +303,29 @@ struct PressureExitInfo {
 [[nodiscard]] constexpr PressureExitInfo unpack_pressure_exit(
     const TraceRecord& r) noexcept {
   return {r.arg0, r.arg1};
+}
+
+/// WireFrame: one length-prefixed frame crossing a shard socket. The record's
+/// actor is the source LP; vt is unused (frames are wall-clock events). Sent
+/// vs. received distinguishes the two halves of the same frame on the two
+/// shards' wire tracks.
+struct WireFrameInfo {
+  std::uint32_t wire_tag = 0;   ///< registered message-type tag (wire.hpp)
+  bool sent = false;            ///< true: written to socket; false: decoded
+  std::uint64_t bytes = 0;      ///< header + payload length
+};
+
+[[nodiscard]] constexpr TraceArgs pack_wire_frame(std::uint16_t wire_tag,
+                                                  bool sent,
+                                                  std::uint64_t bytes) noexcept {
+  return {static_cast<std::uint64_t>(wire_tag) |
+              (sent ? std::uint64_t{1} << 32 : 0),
+          bytes};
+}
+[[nodiscard]] constexpr WireFrameInfo unpack_wire_frame(
+    const TraceRecord& r) noexcept {
+  return {static_cast<std::uint32_t>(r.arg0 & 0xFFFFu),
+          ((r.arg0 >> 32) & 1) != 0, r.arg1};
 }
 
 /// Fixed-capacity overwrite-oldest ring. Capacity is allocated once at

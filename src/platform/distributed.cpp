@@ -1,0 +1,791 @@
+#include "otw/platform/distributed.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "otw/platform/wire.hpp"
+#include "otw/util/assert.hpp"
+
+namespace otw::platform {
+
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+// Transport-reserved control tags (>= kReservedTagBase, never in the registry).
+constexpr WireTag kTagHello = 0xFF01;   ///< child -> coordinator: src_lp = shard
+constexpr WireTag kTagResult = 0xFF02;  ///< child -> coordinator: shard summary
+
+/// FrameHeader.flags bit for control-plane frames (EngineMessage::wire_control).
+constexpr std::uint16_t kFlagControl = 0x0001;
+
+[[nodiscard]] std::uint64_t mono_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("DistributedEngine: " + what + ": " +
+                           std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_nodelay(int fd) {
+  // Nagle would serialize the latency the aggregation layer is measuring;
+  // batching is DyMA's job, not the kernel's.
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one) < 0) {
+    throw_errno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+/// Blocking wait for one poll event on a (possibly non-blocking) fd.
+void wait_for(int fd, short events) {
+  pollfd p{fd, events, 0};
+  for (;;) {
+    const int rc = ::poll(&p, 1, -1);
+    if (rc > 0) {
+      return;
+    }
+    if (rc < 0 && errno != EINTR) {
+      throw_errno("poll");
+    }
+  }
+}
+
+/// Writes the whole buffer, polling through EAGAIN (fd may be non-blocking).
+void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_for(fd, POLLOUT);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    throw_errno("send");
+  }
+}
+
+/// Reads exactly len bytes, polling through EAGAIN. False on clean EOF at a
+/// frame boundary (off == 0); throws on EOF mid-object.
+bool read_exact(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::recv(fd, data + off, len - off, 0);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (off == 0) {
+        return false;
+      }
+      throw std::runtime_error("DistributedEngine: peer closed mid-frame");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_for(fd, POLLIN);
+      continue;
+    }
+    if (errno != EINTR) {
+      throw_errno("recv");
+    }
+  }
+  return true;
+}
+
+void send_frame(int fd, const FrameHeader& header, const std::uint8_t* payload) {
+  std::uint8_t raw[kFrameHeaderBytes];
+  encode_frame_header(header, raw);
+  write_all(fd, raw, kFrameHeaderBytes);
+  if (header.payload_len > 0) {
+    write_all(fd, payload, header.payload_len);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Child side: the shard driver.
+// ---------------------------------------------------------------------------
+
+struct ShardLp {
+  ShardLp() = default;
+  ShardLp(ShardLp&&) = default;
+  ShardLp& operator=(ShardLp&&) = default;
+
+  LpId id = 0;
+  LpRunner* runner = nullptr;
+  StepStatus status = StepStatus::Active;
+  std::uint64_t busy_ns = 0;
+  std::uint64_t wake_hint_ns = kNever;
+  std::deque<std::unique_ptr<EngineMessage>> inbox;
+};
+
+/// Everything one worker process accumulates and ships home in its RESULT.
+struct ShardTotals {
+  std::uint64_t steps = 0;
+  std::uint64_t physical_messages = 0;
+  std::uint64_t wire_bytes = 0;
+  DistStats dist;
+};
+
+class ShardDriver {
+ public:
+  ShardDriver(std::uint32_t shard, const DistributedConfig& config,
+              const std::vector<LpRunner*>& all_lps, int fd)
+      : shard_(shard),
+        config_(config),
+        num_lps_(static_cast<LpId>(all_lps.size())),
+        fd_(fd),
+        trace_(config.wire_trace_capacity ? config.wire_trace_capacity : 1),
+        epoch_ns_(mono_ns()) {
+    lp_index_.assign(all_lps.size(), SIZE_MAX);
+    for (LpId lp = 0; lp < num_lps_; ++lp) {
+      if (shard_of_lp(lp, config_.num_shards) == shard_) {
+        lp_index_[lp] = lps_.size();
+        ShardLp state;
+        state.id = lp;
+        state.runner = all_lps[lp];
+        lps_.push_back(std::move(state));
+      }
+    }
+  }
+
+  void run();
+
+  /// Encodes the shard summary + harvest blob as the RESULT payload.
+  void encode_result(WireWriter& w, const std::vector<std::uint8_t>& harvest) const;
+
+  [[nodiscard]] std::uint64_t now_ns() const noexcept {
+    return mono_ns() - epoch_ns_;
+  }
+
+  void deliver_local(LpId dst, std::unique_ptr<EngineMessage> msg) {
+    lps_[lp_index_[dst]].inbox.push_back(std::move(msg));
+  }
+
+  void send_remote(LpId src, LpId dst, const EngineMessage& msg);
+
+  ShardTotals totals_;
+
+ private:
+  void drain_socket();
+  void handle_frame(const FrameHeader& header, const std::uint8_t* payload);
+  void idle_wait();
+
+  class Context;
+
+  std::uint32_t shard_;
+  const DistributedConfig& config_;
+  LpId num_lps_;
+  int fd_;
+  std::vector<ShardLp> lps_;
+  std::vector<std::size_t> lp_index_;  ///< global LpId -> index in lps_
+  std::vector<std::uint8_t> in_buf_;   ///< unparsed socket bytes
+  std::vector<std::uint8_t> scratch_;  ///< payload encode buffer
+  obs::TraceRing trace_;
+  std::uint64_t epoch_ns_;
+};
+
+class ShardDriver::Context final : public LpContext {
+ public:
+  Context(ShardDriver& driver, ShardLp& lp)
+      : driver_(driver), lp_(lp) {}
+
+  [[nodiscard]] LpId self() const noexcept override { return lp_.id; }
+  [[nodiscard]] LpId num_lps() const noexcept override { return driver_.num_lps_; }
+  [[nodiscard]] std::uint64_t now_ns() const noexcept override {
+    return driver_.now_ns();
+  }
+
+  void charge(std::uint64_t ns) noexcept override { lp_.busy_ns += ns; }
+
+  void send(LpId dst, std::unique_ptr<EngineMessage> msg) override {
+    OTW_REQUIRE(dst < driver_.num_lps_);
+    OTW_REQUIRE(msg != nullptr);
+    const std::uint64_t bytes = msg->wire_bytes();
+    charge(driver_.config_.costs.send_cost_ns(bytes));
+    ++driver_.totals_.physical_messages;
+    driver_.totals_.wire_bytes += bytes;
+    if (shard_of_lp(dst, driver_.config_.num_shards) == driver_.shard_) {
+      driver_.deliver_local(dst, std::move(msg));
+    } else {
+      driver_.send_remote(lp_.id, dst, *msg);
+    }
+  }
+
+  std::unique_ptr<EngineMessage> poll() override {
+    if (lp_.inbox.empty()) {
+      return nullptr;
+    }
+    auto msg = std::move(lp_.inbox.front());
+    lp_.inbox.pop_front();
+    charge(driver_.config_.costs.msg_recv_overhead_ns);
+    return msg;
+  }
+
+  void request_wakeup(std::uint64_t abs_ns) noexcept override {
+    lp_.wake_hint_ns = std::min(lp_.wake_hint_ns, abs_ns);
+  }
+
+  [[nodiscard]] const CostModel& costs() const noexcept override {
+    return driver_.config_.costs;
+  }
+
+ private:
+  ShardDriver& driver_;
+  ShardLp& lp_;
+};
+
+void ShardDriver::send_remote(LpId src, LpId dst, const EngineMessage& msg) {
+  const WireTag tag = msg.wire_tag();
+  OTW_REQUIRE_MSG(tag != kNoWireTag,
+                  "message type has no wire tag and cannot leave the process "
+                  "(register it in the WireRegistry and override "
+                  "wire_tag/encode_wire)");
+  scratch_.clear();
+  WireWriter writer(scratch_);
+  const std::uint64_t t0 = mono_ns();
+  msg.encode_wire(writer);
+  totals_.dist.serialize_ns += mono_ns() - t0;
+
+  FrameHeader header;
+  header.payload_len = static_cast<std::uint32_t>(scratch_.size());
+  header.tag = tag;
+  header.flags = msg.wire_control() ? kFlagControl : 0;
+  header.src_lp = src;
+  header.dst_lp = dst;
+  send_frame(fd_, header, scratch_.data());
+
+  ++totals_.dist.frames_sent;
+  totals_.dist.bytes_sent += kFrameHeaderBytes + scratch_.size();
+  if (msg.wire_control()) {
+    ++totals_.dist.gvt_token_frames;
+  }
+  if (config_.wire_trace_capacity > 0) {
+    const obs::TraceArgs args = obs::pack_wire_frame(
+        tag, /*sent=*/true, kFrameHeaderBytes + scratch_.size());
+    trace_.push(obs::TraceRecord{now_ns(), 0, args.arg0, args.arg1, src,
+                                 obs::TraceKind::WireFrame});
+  }
+}
+
+void ShardDriver::handle_frame(const FrameHeader& header,
+                               const std::uint8_t* payload) {
+  OTW_REQUIRE_MSG(header.tag < kReservedTagBase,
+                  "worker received a transport control frame");
+  OTW_REQUIRE_MSG(header.dst_lp < num_lps_ &&
+                      shard_of_lp(header.dst_lp, config_.num_shards) == shard_,
+                  "frame routed to the wrong shard");
+  WireReader reader(payload, header.payload_len);
+  const std::uint64_t t0 = mono_ns();
+  auto msg = WireRegistry::instance().decode(header.tag, reader);
+  totals_.dist.deserialize_ns += mono_ns() - t0;
+  OTW_REQUIRE_MSG(reader.done(), "trailing bytes after wire payload");
+
+  ++totals_.dist.frames_received;
+  totals_.dist.bytes_received += kFrameHeaderBytes + header.payload_len;
+  if (config_.wire_trace_capacity > 0) {
+    const obs::TraceArgs args = obs::pack_wire_frame(
+        header.tag, /*sent=*/false, kFrameHeaderBytes + header.payload_len);
+    trace_.push(obs::TraceRecord{now_ns(), 0, args.arg0, args.arg1,
+                                 header.src_lp, obs::TraceKind::WireFrame});
+  }
+  deliver_local(header.dst_lp, std::move(msg));
+}
+
+void ShardDriver::drain_socket() {
+  // Pull whatever is available without blocking, then parse complete frames.
+  std::uint8_t chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      in_buf_.insert(in_buf_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) {
+      throw std::runtime_error("coordinator closed the connection");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    throw_errno("recv");
+  }
+  std::size_t pos = 0;
+  while (in_buf_.size() - pos >= kFrameHeaderBytes) {
+    const FrameHeader header = decode_frame_header(in_buf_.data() + pos);
+    if (in_buf_.size() - pos < kFrameHeaderBytes + header.payload_len) {
+      break;  // incomplete frame; keep the tail for the next drain
+    }
+    handle_frame(header, in_buf_.data() + pos + kFrameHeaderBytes);
+    pos += kFrameHeaderBytes + header.payload_len;
+  }
+  in_buf_.erase(in_buf_.begin(),
+                in_buf_.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+void ShardDriver::idle_wait() {
+  // Everyone local is Idle with an empty inbox: sleep until a frame arrives
+  // or the earliest self-requested wakeup, capped at idle_poll_us.
+  std::uint64_t next_wake = kNever;
+  for (const ShardLp& lp : lps_) {
+    if (lp.status != StepStatus::Done) {
+      next_wake = std::min(next_wake, lp.wake_hint_ns);
+    }
+  }
+  std::uint64_t timeout_us = config_.idle_poll_us;
+  if (next_wake != kNever) {
+    const std::uint64_t now = now_ns();
+    timeout_us = next_wake <= now
+                     ? 0
+                     : std::min<std::uint64_t>(timeout_us,
+                                               (next_wake - now) / 1000 + 1);
+  }
+  pollfd p{fd_, POLLIN, 0};
+  const int rc = ::poll(&p, 1, static_cast<int>(timeout_us / 1000 + 1));
+  if (rc < 0 && errno != EINTR) {
+    throw_errno("poll");
+  }
+}
+
+void ShardDriver::run() {
+  std::size_t remaining = lps_.size();
+  while (remaining > 0) {
+    drain_socket();
+    bool ran_any = false;
+    const std::uint64_t now = now_ns();
+    for (ShardLp& lp : lps_) {
+      if (lp.status == StepStatus::Done) {
+        continue;
+      }
+      const bool runnable = lp.status == StepStatus::Active ||
+                            !lp.inbox.empty() || lp.wake_hint_ns <= now;
+      if (!runnable) {
+        continue;
+      }
+      lp.wake_hint_ns = kNever;  // hints are valid for one step only
+      Context ctx(*this, lp);
+      lp.status = lp.runner->step(ctx);
+      ran_any = true;
+      if (lp.status == StepStatus::Done) {
+        --remaining;
+      }
+      if (++totals_.steps > config_.max_steps) {
+        throw std::runtime_error("shard exceeded max_steps=" +
+                                 std::to_string(config_.max_steps));
+      }
+    }
+    if (!ran_any && remaining > 0) {
+      idle_wait();
+    }
+  }
+}
+
+void ShardDriver::encode_result(WireWriter& w,
+                                const std::vector<std::uint8_t>& harvest) const {
+  w.u64(totals_.steps);
+  w.u64(totals_.physical_messages);
+  w.u64(totals_.wire_bytes);
+  w.u64(totals_.dist.frames_sent);
+  w.u64(totals_.dist.frames_received);
+  w.u64(totals_.dist.bytes_sent);
+  w.u64(totals_.dist.bytes_received);
+  w.u64(totals_.dist.gvt_token_frames);
+  w.u64(totals_.dist.serialize_ns);
+  w.u64(totals_.dist.deserialize_ns);
+  w.u32(static_cast<std::uint32_t>(lps_.size()));
+  for (const ShardLp& lp : lps_) {
+    w.u32(lp.id);
+    w.u64(lp.busy_ns);
+  }
+  w.u32(static_cast<std::uint32_t>(harvest.size()));
+  w.bytes(harvest.data(), harvest.size());
+  // Wire trace (workers and coordinator share the TraceRecord ABI via fork).
+  const std::vector<obs::TraceRecord> records =
+      config_.wire_trace_capacity > 0 ? trace_.drain()
+                                      : std::vector<obs::TraceRecord>{};
+  w.u64(trace_.dropped());
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  w.bytes(records.data(), records.size() * sizeof(obs::TraceRecord));
+}
+
+/// Worker process body. Never returns; _exit() keeps the forked child from
+/// running the parent's atexit handlers or flushing its stdio twice.
+[[noreturn]] void worker_main(std::uint32_t shard, const DistributedConfig& config,
+                              const std::vector<LpRunner*>& lps,
+                              std::uint16_t port,
+                              const DistributedEngine::HarvestFn& harvest) {
+  try {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw_errno("socket");
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      throw_errno("connect");
+    }
+    set_nodelay(fd);
+
+    // HELLO must be the first (and, until the driver runs, only) frame on
+    // this stream: the coordinator reads exactly one header per connection
+    // to learn which shard it is talking to.
+    FrameHeader hello;
+    hello.tag = kTagHello;
+    hello.src_lp = shard;
+    send_frame(fd, hello, nullptr);
+    set_nonblocking(fd);
+
+    ShardDriver driver(shard, config, lps, fd);
+    driver.run();
+
+    const std::vector<std::uint8_t> blob =
+        harvest ? harvest(shard) : std::vector<std::uint8_t>{};
+    std::vector<std::uint8_t> payload;
+    WireWriter writer(payload);
+    driver.encode_result(writer, blob);
+    FrameHeader result;
+    result.payload_len = static_cast<std::uint32_t>(payload.size());
+    result.tag = kTagResult;
+    result.src_lp = shard;
+    send_frame(fd, result, payload.data());
+    ::close(fd);
+    ::_exit(0);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[otw shard %u] fatal: %s\n", shard, e.what());
+    ::_exit(2);
+  } catch (...) {
+    std::fprintf(stderr, "[otw shard %u] fatal: unknown exception\n", shard);
+    ::_exit(2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side.
+// ---------------------------------------------------------------------------
+
+struct Conn {
+  int fd = -1;
+  std::uint32_t shard = 0;
+  std::vector<std::uint8_t> in;  ///< unparsed inbound bytes
+  std::vector<std::uint8_t> out; ///< queued outbound bytes (non-blocking flush)
+  std::size_t out_pos = 0;
+  bool done = false;  ///< RESULT received
+
+  [[nodiscard]] bool out_pending() const noexcept { return out_pos < out.size(); }
+};
+
+void flush_conn(Conn& conn) {
+  while (conn.out_pending()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_pos,
+                             conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;  // kernel buffer full; POLLOUT will resume
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    throw_errno("send (relay)");
+  }
+  conn.out.clear();
+  conn.out_pos = 0;
+}
+
+}  // namespace
+
+EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
+                                       HarvestFn harvest) {
+  OTW_REQUIRE(!lps.empty());
+  for (auto* lp : lps) {
+    OTW_REQUIRE(lp != nullptr);
+  }
+  OTW_REQUIRE_MSG(config_.num_shards >= 1, "num_shards must be >= 1");
+  OTW_REQUIRE_MSG(config_.num_shards <= lps.size(),
+                  "more shards than LPs (a shard would be empty)");
+
+  const std::uint64_t t_start = mono_ns();
+  const std::uint32_t num_shards = config_.num_shards;
+  payloads_.assign(num_shards, {});
+
+  // Loopback listener; port 0 lets the kernel pick a free one.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    throw_errno("socket (listen)");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(listen_fd);
+    throw_errno("bind");
+  }
+  if (::listen(listen_fd, static_cast<int>(num_shards)) < 0) {
+    ::close(listen_fd);
+    throw_errno("listen");
+  }
+  socklen_t addr_len = sizeof addr;
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
+    ::close(listen_fd);
+    throw_errno("getsockname");
+  }
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  std::vector<pid_t> children(num_shards, -1);
+  for (std::uint32_t shard = 0; shard < num_shards; ++shard) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(listen_fd);
+      for (pid_t child : children) {
+        if (child > 0) {
+          ::kill(child, SIGKILL);
+          ::waitpid(child, nullptr, 0);
+        }
+      }
+      throw_errno("fork");
+    }
+    if (pid == 0) {
+      ::close(listen_fd);
+      worker_main(shard, config_, lps, port, harvest);  // never returns
+    }
+    children[shard] = pid;
+  }
+
+  EngineRunResult result;
+  result.lp_busy_ns.assign(lps.size(), 0);
+  result.dist.num_shards = num_shards;
+
+  try {
+    // Phase 1: accept every worker and read its HELLO (always the first 16
+    // bytes on the stream) to map connection -> shard.
+    std::vector<Conn> conns(num_shards);
+    std::vector<int> shard_conn(num_shards, -1);  // shard -> index in conns
+    for (std::uint32_t i = 0; i < num_shards; ++i) {
+      int fd;
+      do {
+        fd = ::accept(listen_fd, nullptr, nullptr);
+      } while (fd < 0 && errno == EINTR);
+      if (fd < 0) {
+        throw_errno("accept");
+      }
+      std::uint8_t raw[kFrameHeaderBytes];
+      if (!read_exact(fd, raw, kFrameHeaderBytes)) {
+        throw std::runtime_error("worker disconnected before HELLO");
+      }
+      const FrameHeader hello = decode_frame_header(raw);
+      OTW_REQUIRE_MSG(hello.tag == kTagHello && hello.payload_len == 0,
+                      "first frame on a worker stream must be HELLO");
+      OTW_REQUIRE_MSG(hello.src_lp < num_shards && shard_conn[hello.src_lp] < 0,
+                      "duplicate or out-of-range shard HELLO");
+      set_nodelay(fd);
+      set_nonblocking(fd);
+      conns[i].fd = fd;
+      conns[i].shard = hello.src_lp;
+      shard_conn[hello.src_lp] = static_cast<int>(i);
+    }
+    ::close(listen_fd);
+
+    // Phase 2: relay loop. Read frames in arrival order and forward data
+    // frames to the destination shard — this order-preserving relay is what
+    // keeps every (src,dst) stream non-overtaking end to end.
+    std::uint32_t results = 0;
+    std::vector<pollfd> pfds(num_shards);
+    while (results < num_shards) {
+      for (std::uint32_t i = 0; i < num_shards; ++i) {
+        pfds[i].fd = conns[i].done ? -1 : conns[i].fd;
+        pfds[i].events =
+            static_cast<short>(POLLIN | (conns[i].out_pending() ? POLLOUT : 0));
+        pfds[i].revents = 0;
+      }
+      const int rc = ::poll(pfds.data(), pfds.size(), -1);
+      if (rc < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        throw_errno("poll (relay)");
+      }
+      for (std::uint32_t i = 0; i < num_shards; ++i) {
+        Conn& conn = conns[i];
+        if (conn.done) {
+          continue;
+        }
+        if ((pfds[i].revents & POLLOUT) != 0) {
+          flush_conn(conn);
+        }
+        if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+          continue;
+        }
+        std::uint8_t chunk[16384];
+        bool eof = false;
+        for (;;) {
+          const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, 0);
+          if (n > 0) {
+            conn.in.insert(conn.in.end(), chunk, chunk + n);
+            continue;
+          }
+          if (n == 0) {
+            // The worker closes right after its RESULT; the frame may still
+            // be sitting unparsed in conn.in, so only fail after parsing.
+            eof = true;
+            break;
+          }
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            break;
+          }
+          if (errno == EINTR) {
+            continue;
+          }
+          throw_errno("recv (relay)");
+        }
+        // Parse complete frames from this connection, in arrival order.
+        std::size_t pos = 0;
+        while (!conn.done && conn.in.size() - pos >= kFrameHeaderBytes) {
+          const FrameHeader header = decode_frame_header(conn.in.data() + pos);
+          if (conn.in.size() - pos < kFrameHeaderBytes + header.payload_len) {
+            break;
+          }
+          const std::uint8_t* frame = conn.in.data() + pos;
+          const std::size_t frame_len = kFrameHeaderBytes + header.payload_len;
+          if (header.tag == kTagResult) {
+            WireReader reader(frame + kFrameHeaderBytes, header.payload_len);
+            result.steps += reader.u64();
+            result.physical_messages += reader.u64();
+            result.wire_bytes += reader.u64();
+            DistStats shard_stats;
+            shard_stats.frames_sent = reader.u64();
+            shard_stats.frames_received = reader.u64();
+            shard_stats.bytes_sent = reader.u64();
+            shard_stats.bytes_received = reader.u64();
+            shard_stats.gvt_token_frames = reader.u64();
+            shard_stats.serialize_ns = reader.u64();
+            shard_stats.deserialize_ns = reader.u64();
+            result.dist.add(shard_stats);
+            const std::uint32_t n_local = reader.u32();
+            for (std::uint32_t k = 0; k < n_local; ++k) {
+              const std::uint32_t lp = reader.u32();
+              const std::uint64_t busy = reader.u64();
+              OTW_REQUIRE(lp < result.lp_busy_ns.size());
+              result.lp_busy_ns[lp] = busy;
+            }
+            const std::uint32_t blob_len = reader.u32();
+            payloads_[conn.shard].resize(blob_len);
+            reader.bytes(payloads_[conn.shard].data(), blob_len);
+            obs::LpTraceLog wire_log;
+            wire_log.lp = conn.shard;
+            wire_log.dropped = reader.u64();
+            wire_log.name = "shard " + std::to_string(conn.shard) + " wire";
+            const std::uint32_t n_records = reader.u32();
+            wire_log.records.resize(n_records);
+            reader.bytes(wire_log.records.data(),
+                         n_records * sizeof(obs::TraceRecord));
+            if (n_records > 0 || wire_log.dropped > 0) {
+              result.worker_traces.push_back(std::move(wire_log));
+            }
+            conn.done = true;
+            ++results;
+          } else {
+            OTW_REQUIRE_MSG(header.tag < kReservedTagBase,
+                            "unexpected control frame from worker");
+            const std::uint32_t dst_shard =
+                shard_of_lp(header.dst_lp, num_shards);
+            OTW_REQUIRE(dst_shard < num_shards);
+            Conn& target = conns[static_cast<std::size_t>(shard_conn[dst_shard])];
+            target.out.insert(target.out.end(), frame, frame + frame_len);
+            flush_conn(target);  // opportunistic; POLLOUT handles the rest
+            ++result.dist.frames_relayed;
+          }
+          pos += frame_len;
+        }
+        conn.in.erase(conn.in.begin(),
+                      conn.in.begin() + static_cast<std::ptrdiff_t>(pos));
+        if (eof && !conn.done) {
+          throw std::runtime_error("shard " + std::to_string(conn.shard) +
+                                   " exited before reporting a result");
+        }
+      }
+    }
+
+    for (Conn& conn : conns) {
+      ::close(conn.fd);
+      conn.fd = -1;
+    }
+  } catch (...) {
+    for (pid_t child : children) {
+      if (child > 0) {
+        ::kill(child, SIGKILL);
+        ::waitpid(child, nullptr, 0);
+      }
+    }
+    throw;
+  }
+
+  for (std::uint32_t shard = 0; shard < num_shards; ++shard) {
+    int status = 0;
+    pid_t rc;
+    do {
+      rc = ::waitpid(children[shard], &status, 0);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+      throw_errno("waitpid");
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      throw std::runtime_error(
+          "DistributedEngine: shard " + std::to_string(shard) +
+          (WIFSIGNALED(status)
+               ? " killed by signal " + std::to_string(WTERMSIG(status))
+               : " exited with status " + std::to_string(WEXITSTATUS(status))));
+    }
+  }
+
+  // RESULT frames land in completion order; report tracks in shard order.
+  std::sort(result.worker_traces.begin(), result.worker_traces.end(),
+            [](const obs::LpTraceLog& a, const obs::LpTraceLog& b) {
+              return a.lp < b.lp;
+            });
+  result.execution_time_ns = mono_ns() - t_start;
+  return result;
+}
+
+}  // namespace otw::platform

@@ -1,0 +1,94 @@
+// Multi-process engine: LPs sharded across worker processes over TCP.
+//
+// The coordinator (the calling process) binds a loopback TCP listener,
+// forks one worker process per shard, and then acts as a frame router:
+// every worker holds exactly one ordered stream to the coordinator, and the
+// coordinator forwards each data frame to the shard owning its destination
+// LP in arrival order. Per-(src,dst) FIFO therefore holds end to end —
+// sender-side stream order, in-order relay, receiver-side stream order —
+// which is the non-overtaking guarantee the Time Warp kernel requires (an
+// anti-message can never overtake its positive message).
+//
+// Inside one worker, a single-threaded shard driver round-robins the local
+// LPs exactly like the other engines: local cross-LP messages move through
+// in-process FIFO mailboxes, remote ones are serialized (wire.hpp) into
+// length-prefixed frames. Mattern GVT runs unchanged: the token ring is over
+// global LP ids (which interleave across shards), and the white/black
+// message counts piggyback on the data frames themselves — each serialized
+// event carries its Mattern color, so the receiving LP's GvtAgent counts it
+// exactly as it would in-process.
+//
+// Workers report results as opaque payloads produced by a caller-supplied
+// harvest callback (the kernel serializes digests/stats/traces with it), so
+// the engine stays free of kernel types. Workers exit with _exit(); the
+// coordinator joins them with waitpid and fails loudly on a non-zero child.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "otw/obs/trace.hpp"
+#include "otw/platform/cost_model.hpp"
+#include "otw/platform/engine.hpp"
+
+namespace otw::platform {
+
+struct DistributedConfig {
+  /// Worker processes. LP -> shard placement is round-robin (lp % num_shards)
+  /// so the GVT token ring alternates shards — the adversarial layout for
+  /// the wire protocol, and the one that matches PHOLD's object placement.
+  std::uint32_t num_shards = 2;
+  /// TCP port for the coordinator's loopback listener; 0 picks an ephemeral
+  /// port (the default — no clashes between concurrent runs).
+  std::uint16_t port = 0;
+  /// Cost model for kernel-level cost charging. charge() only accounts (no
+  /// spinning): the engine runs on real wall clocks.
+  CostModel costs = CostModel::free();
+  /// Safety valve: abort a worker after this many LP step() invocations.
+  std::uint64_t max_steps = 2'000'000'000;
+  /// Longest a fully idle worker sleeps in poll() before rechecking local
+  /// timer deadlines, microseconds.
+  std::uint64_t idle_poll_us = 500;
+  /// Per-shard wire trace-ring capacity (TraceKind::WireFrame records,
+  /// shipped back with the shard result and merged into the run trace as
+  /// "shard k wire" tracks). 0 = off.
+  std::size_t wire_trace_capacity = 0;
+};
+
+/// Returns the shard owning `lp` under the round-robin placement.
+[[nodiscard]] constexpr std::uint32_t shard_of_lp(LpId lp,
+                                                  std::uint32_t num_shards) noexcept {
+  return lp % num_shards;
+}
+
+class DistributedEngine {
+ public:
+  /// Serializes whatever the caller wants back from a finished shard
+  /// (invoked in the worker process, once all its LPs are Done).
+  using HarvestFn = std::function<std::vector<std::uint8_t>(std::uint32_t shard)>;
+
+  explicit DistributedEngine(DistributedConfig config) : config_(config) {}
+
+  /// Drives all LPs to completion across config.num_shards processes.
+  /// Returns in the coordinator only; worker processes _exit() internally.
+  /// Throws std::runtime_error on socket failures, worker crashes or step
+  /// overrun. `harvest` may be null (no shard payloads collected).
+  EngineRunResult run(const std::vector<LpRunner*>& lps, HarvestFn harvest);
+
+  /// Opaque per-shard payloads produced by the harvest callback, indexed by
+  /// shard id. Valid after run() returns. (Per-shard wire trace logs, when
+  /// enabled, ride in EngineRunResult::worker_traces with `lp` = shard id.)
+  [[nodiscard]] const std::vector<std::vector<std::uint8_t>>& shard_payloads()
+      const noexcept {
+    return payloads_;
+  }
+
+  [[nodiscard]] const DistributedConfig& config() const noexcept { return config_; }
+
+ private:
+  DistributedConfig config_;
+  std::vector<std::vector<std::uint8_t>> payloads_;
+};
+
+}  // namespace otw::platform

@@ -34,13 +34,28 @@ namespace otw::platform {
 
 using LpId = std::uint32_t;
 
+class WireWriter;
+
 /// Base class of anything an LP sends to another LP. The engine only needs
-/// the wire size (for transmission cost); the kernel downcasts on receipt.
+/// the wire size (for transmission cost); receivers dispatch on the
+/// registered wire tag (see wire.hpp). In-process engines move the object
+/// itself; the distributed engine serializes via encode_wire() and rebuilds
+/// it through the WireRegistry on the receiving shard.
 class EngineMessage {
  public:
   virtual ~EngineMessage() = default;
   /// Payload bytes charged by the cost model for this message.
   [[nodiscard]] virtual std::uint64_t wire_bytes() const noexcept = 0;
+  /// Registered type tag (wire.hpp), or kNoWireTag (0) for messages that
+  /// cannot leave the process. Cross-process transports refuse untagged
+  /// messages with a descriptive error instead of silently dropping them.
+  [[nodiscard]] virtual std::uint16_t wire_tag() const noexcept { return 0; }
+  /// Serializes the payload (header excluded). Only called when wire_tag()
+  /// is non-zero; the default aborts so a tagged type cannot forget it.
+  virtual void encode_wire(WireWriter& writer) const;
+  /// Control-plane marker (GVT tokens/announces). The distributed transport
+  /// flags such frames on the wire and counts them separately from data.
+  [[nodiscard]] virtual bool wire_control() const noexcept { return false; }
 };
 
 /// What an LP reports after one step() call.
@@ -137,6 +152,33 @@ struct SchedulerStats {
   }
 };
 
+/// Socket-transport counters (distributed engine only). Frames are physical
+/// wire messages (length-prefixed, see wire.hpp); one frame can carry a whole
+/// DyMA aggregate, which is what the aggregated-vs-unaggregated frame counts
+/// in BENCH_distributed.json measure.
+struct DistStats {
+  std::uint32_t num_shards = 0;
+  std::uint64_t frames_sent = 0;       ///< frames written to the socket
+  std::uint64_t frames_received = 0;   ///< frames decoded from the socket
+  std::uint64_t frames_relayed = 0;    ///< frames forwarded by the coordinator
+  std::uint64_t bytes_sent = 0;        ///< header + payload bytes written
+  std::uint64_t bytes_received = 0;    ///< header + payload bytes decoded
+  std::uint64_t gvt_token_frames = 0;  ///< control frames (GVT tokens/announces)
+  std::uint64_t serialize_ns = 0;      ///< wall time spent encoding payloads
+  std::uint64_t deserialize_ns = 0;    ///< wall time spent decoding payloads
+
+  void add(const DistStats& other) noexcept {
+    frames_sent += other.frames_sent;
+    frames_received += other.frames_received;
+    frames_relayed += other.frames_relayed;
+    bytes_sent += other.bytes_sent;
+    bytes_received += other.bytes_received;
+    gvt_token_frames += other.gvt_token_frames;
+    serialize_ns += other.serialize_ns;
+    deserialize_ns += other.deserialize_ns;
+  }
+};
+
 /// Result of driving a set of LPs to completion.
 struct EngineRunResult {
   /// Modeled makespan (simulated engine) or elapsed wall time (threaded),
@@ -152,6 +194,8 @@ struct EngineRunResult {
   std::uint64_t steps = 0;
   /// Worker-pool counters (default-empty on engines without a worker pool).
   SchedulerStats scheduler;
+  /// Socket-transport counters (default-empty on in-process engines).
+  DistStats dist;
   /// Per-worker scheduler trace rings (park slices, steals, wakes), drained.
   /// Empty unless the engine was configured with a trace capacity. The `lp`
   /// field holds the WORKER index; the kernel offsets it past the LP ids

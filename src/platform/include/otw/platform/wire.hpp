@@ -1,0 +1,145 @@
+// Wire format for cross-process engine messages.
+//
+// Every EngineMessage subclass that can leave the process carries a
+// registered type tag (WireTag) and implements encode_wire(); a process-wide
+// WireRegistry maps the tag back to a decoder on the receiving side. This
+// replaces the old "downcast on receipt" scheme: transports (and the kernel)
+// dispatch on the tag, and a message type nobody registered simply cannot
+// travel between processes — the failure is a descriptive exception at the
+// send site, not a silent drop at the receiver.
+//
+// Encoding is explicit little-endian field-by-field (WireWriter/WireReader):
+// no struct memcpy, so the frame layout is independent of padding and is
+// documented per message type (DESIGN.md section 8). Frames on the socket
+// are length-prefixed:
+//
+//   u32 payload_len | u16 tag | u16 flags | u32 src_lp | u32 dst_lp | payload
+//
+// (16-byte header, see FrameHeader). The same header carries the transport's
+// own control frames (hello/result), which use tags above kReservedTagBase.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::platform {
+
+class EngineMessage;
+
+/// Registered message-type tag. 0 means "not wire-capable" (local-only
+/// message); tags >= kReservedTagBase are reserved for the transport itself.
+using WireTag = std::uint16_t;
+inline constexpr WireTag kNoWireTag = 0;
+inline constexpr WireTag kReservedTagBase = 0xFF00;
+
+/// Append-only little-endian encoder.
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { append(&v, sizeof v); }
+  void u32(std::uint32_t v) { append(&v, sizeof v); }
+  void u64(std::uint64_t v) { append(&v, sizeof v); }
+  void bytes(const void* data, std::size_t len) { append(data, len); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+
+ private:
+  void append(const void* data, std::size_t len) {
+    if (len == 0) {
+      return;  // data may be null for empty spans
+    }
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + len);
+  }
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked little-endian decoder over a received payload.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t len)
+      : data_(data), len_(len) {}
+
+  [[nodiscard]] std::uint8_t u8() { return take<std::uint8_t>(); }
+  [[nodiscard]] std::uint16_t u16() { return take<std::uint16_t>(); }
+  [[nodiscard]] std::uint32_t u32() { return take<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return take<std::uint64_t>(); }
+  void bytes(void* out, std::size_t len) {
+    if (len == 0) {
+      return;  // out may be null for empty spans
+    }
+    OTW_REQUIRE_MSG(pos_ + len <= len_, "wire frame truncated");
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return len_ - pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == len_; }
+
+ private:
+  template <typename T>
+  [[nodiscard]] T take() {
+    T v;
+    bytes(&v, sizeof v);
+    return v;
+  }
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+/// Length-prefixed frame header, exactly as laid out on the socket.
+struct FrameHeader {
+  std::uint32_t payload_len = 0;
+  WireTag tag = kNoWireTag;
+  std::uint16_t flags = 0;
+  std::uint32_t src_lp = 0;
+  std::uint32_t dst_lp = 0;
+};
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+void encode_frame_header(const FrameHeader& h, std::uint8_t out[kFrameHeaderBytes]);
+[[nodiscard]] FrameHeader decode_frame_header(const std::uint8_t in[kFrameHeaderBytes]);
+
+/// Process-wide tag -> decoder table. Registration happens once at startup
+/// (idempotent per tag as long as the decoder is the same logical type);
+/// lookups are lock-free reads after that. register_decoder REQUIREs that a
+/// tag is not re-registered to a different decoder identity.
+class WireRegistry {
+ public:
+  using Decoder = std::function<std::unique_ptr<EngineMessage>(WireReader&)>;
+
+  /// The singleton instance (one registry per process; forked workers
+  /// inherit it, which is what makes coordinator and shards agree).
+  static WireRegistry& instance();
+
+  /// Registers `decoder` for `tag`. `name` identifies the message type for
+  /// diagnostics and idempotence (re-registering the same tag+name is a
+  /// no-op; same tag with a different name is a contract violation).
+  void register_decoder(WireTag tag, const char* name, Decoder decoder);
+
+  /// Decodes one payload. Throws ContractViolation on an unknown tag.
+  [[nodiscard]] std::unique_ptr<EngineMessage> decode(WireTag tag,
+                                                      WireReader& reader) const;
+
+  [[nodiscard]] bool knows(WireTag tag) const noexcept;
+  [[nodiscard]] const char* name_of(WireTag tag) const noexcept;
+
+ private:
+  struct Entry {
+    WireTag tag = kNoWireTag;
+    const char* name = nullptr;
+    Decoder decoder;
+  };
+  std::vector<Entry> entries_;
+  [[nodiscard]] const Entry* find(WireTag tag) const noexcept;
+};
+
+}  // namespace otw::platform

@@ -1,0 +1,79 @@
+#include "otw/platform/wire.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "otw/platform/engine.hpp"
+
+namespace otw::platform {
+
+void EngineMessage::encode_wire(WireWriter& writer) const {
+  static_cast<void>(writer);
+  OTW_REQUIRE_MSG(false,
+                  "EngineMessage with a wire tag must override encode_wire");
+}
+
+void encode_frame_header(const FrameHeader& h, std::uint8_t out[kFrameHeaderBytes]) {
+  std::memcpy(out + 0, &h.payload_len, 4);
+  std::memcpy(out + 4, &h.tag, 2);
+  std::memcpy(out + 6, &h.flags, 2);
+  std::memcpy(out + 8, &h.src_lp, 4);
+  std::memcpy(out + 12, &h.dst_lp, 4);
+}
+
+FrameHeader decode_frame_header(const std::uint8_t in[kFrameHeaderBytes]) {
+  FrameHeader h;
+  std::memcpy(&h.payload_len, in + 0, 4);
+  std::memcpy(&h.tag, in + 4, 2);
+  std::memcpy(&h.flags, in + 6, 2);
+  std::memcpy(&h.src_lp, in + 8, 4);
+  std::memcpy(&h.dst_lp, in + 12, 4);
+  return h;
+}
+
+WireRegistry& WireRegistry::instance() {
+  static WireRegistry registry;
+  return registry;
+}
+
+const WireRegistry::Entry* WireRegistry::find(WireTag tag) const noexcept {
+  for (const Entry& e : entries_) {
+    if (e.tag == tag) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+void WireRegistry::register_decoder(WireTag tag, const char* name,
+                                    Decoder decoder) {
+  OTW_REQUIRE_MSG(tag != kNoWireTag, "tag 0 is reserved for local-only messages");
+  OTW_REQUIRE_MSG(tag < kReservedTagBase,
+                  "tags >= 0xFF00 are reserved for the transport");
+  if (const Entry* existing = find(tag)) {
+    OTW_REQUIRE_MSG(std::strcmp(existing->name, name) == 0,
+                    std::string("wire tag collision: tag already bound to ") +
+                        existing->name);
+    return;  // idempotent re-registration
+  }
+  entries_.push_back(Entry{tag, name, std::move(decoder)});
+}
+
+std::unique_ptr<EngineMessage> WireRegistry::decode(WireTag tag,
+                                                    WireReader& reader) const {
+  const Entry* entry = find(tag);
+  OTW_REQUIRE_MSG(entry != nullptr,
+                  "no decoder registered for wire tag " + std::to_string(tag));
+  return entry->decoder(reader);
+}
+
+bool WireRegistry::knows(WireTag tag) const noexcept {
+  return find(tag) != nullptr;
+}
+
+const char* WireRegistry::name_of(WireTag tag) const noexcept {
+  const Entry* entry = find(tag);
+  return entry != nullptr ? entry->name : "?";
+}
+
+}  // namespace otw::platform

@@ -1,0 +1,288 @@
+// Kernel side of the distributed engine: assembles the model, hands the LP
+// runners to platform::DistributedEngine, and (de)serializes per-shard
+// results. The harvest half runs in the worker process after its LPs are
+// Done; the merge half runs in the coordinator. Fork guarantees both halves
+// share one ABI, so trivially-copyable stats ship as raw bytes and only the
+// types holding heap state (ObjectStats' histogram) are encoded field-wise.
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <type_traits>
+
+#include "kernel_internal.hpp"
+#include "otw/platform/wire.hpp"
+#include "otw/tw/wire.hpp"
+#include "otw/util/assert.hpp"
+
+namespace otw::tw::detail {
+
+namespace {
+
+using platform::WireReader;
+using platform::WireWriter;
+
+static_assert(std::is_trivially_copyable_v<LpStats>);
+static_assert(std::is_trivially_copyable_v<obs::PhaseTotals>);
+static_assert(std::is_trivially_copyable_v<LpSample>);
+static_assert(std::is_trivially_copyable_v<ObjectSample>);
+
+template <typename T>
+void write_pod(WireWriter& w, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  w.bytes(&value, sizeof value);
+}
+
+template <typename T>
+[[nodiscard]] T read_pod(WireReader& r) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  r.bytes(&value, sizeof value);
+  return value;
+}
+
+template <typename T>
+void write_pod_vector(WireWriter& w, const std::vector<T>& values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  w.u32(static_cast<std::uint32_t>(values.size()));
+  w.bytes(values.data(), values.size() * sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] std::vector<T> read_pod_vector(WireReader& r) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<T> values(r.u32());
+  r.bytes(values.data(), values.size() * sizeof(T));
+  return values;
+}
+
+void encode_object_stats(WireWriter& w, const ObjectStats& s) {
+  w.u64(s.events_processed);
+  w.u64(s.events_committed);
+  w.u64(s.events_rolled_back);
+  w.u64(s.rollbacks);
+  w.u64(s.coast_forward_events);
+  w.u64(s.states_saved);
+  w.u64(s.state_restores);
+  w.u64(s.messages_sent);
+  w.u64(s.anti_messages_sent);
+  w.u64(s.anti_messages_received);
+  w.u64(s.stragglers);
+  w.u64(s.lazy_hits);
+  w.u64(s.lazy_misses);
+  w.u64(s.passive_hits);
+  w.u64(s.passive_misses);
+  w.u64(s.cancellation_switches);
+  w.u64(s.checkpoint_control_ticks);
+  w.u32(s.final_checkpoint_interval);
+  w.u8(static_cast<std::uint8_t>(s.final_mode));
+  w.u64(std::bit_cast<std::uint64_t>(s.final_hit_ratio));
+  w.u32(static_cast<std::uint32_t>(s.rollback_length.num_buckets()));
+  for (std::size_t i = 0; i < s.rollback_length.num_buckets(); ++i) {
+    w.u64(s.rollback_length.bucket(i));
+  }
+}
+
+[[nodiscard]] ObjectStats decode_object_stats(WireReader& r) {
+  ObjectStats s;
+  s.events_processed = r.u64();
+  s.events_committed = r.u64();
+  s.events_rolled_back = r.u64();
+  s.rollbacks = r.u64();
+  s.coast_forward_events = r.u64();
+  s.states_saved = r.u64();
+  s.state_restores = r.u64();
+  s.messages_sent = r.u64();
+  s.anti_messages_sent = r.u64();
+  s.anti_messages_received = r.u64();
+  s.stragglers = r.u64();
+  s.lazy_hits = r.u64();
+  s.lazy_misses = r.u64();
+  s.passive_hits = r.u64();
+  s.passive_misses = r.u64();
+  s.cancellation_switches = r.u64();
+  s.checkpoint_control_ticks = r.u64();
+  s.final_checkpoint_interval = r.u32();
+  s.final_mode = static_cast<core::CancellationMode>(r.u8());
+  s.final_hit_ratio = std::bit_cast<double>(r.u64());
+  std::vector<std::uint64_t> buckets(r.u32());
+  for (std::uint64_t& bucket : buckets) {
+    bucket = r.u64();
+  }
+  s.rollback_length = util::Log2Histogram::from_buckets(std::move(buckets));
+  return s;
+}
+
+/// Serializes every LP this shard owns (runs in the worker process).
+void encode_shard(WireWriter& w, const Assembly& assembly,
+                  std::uint32_t shard, std::uint32_t num_shards) {
+  std::uint32_t n_local = 0;
+  for (LpId lp = 0; lp < assembly.lps.size(); ++lp) {
+    n_local += platform::shard_of_lp(lp, num_shards) == shard ? 1 : 0;
+  }
+  w.u32(n_local);
+  for (LpId lp = 0; lp < assembly.lps.size(); ++lp) {
+    if (platform::shard_of_lp(lp, num_shards) != shard) {
+      continue;
+    }
+    LogicalProcess& proc = *assembly.lps[lp];
+    OTW_REQUIRE_MSG(proc.done(), "harvesting a shard whose LPs are not Done");
+    w.u32(lp);
+    w.u64(proc.gvt().ticks());
+    write_pod(w, proc.snapshot_lp_stats());
+    obs::Recorder& recorder = proc.recorder();
+    w.u8(recorder.tracing() ? 1 : 0);
+    if (recorder.tracing()) {
+      const obs::LpTraceLog log = recorder.drain_trace();
+      w.u64(log.dropped);
+      write_pod_vector(w, log.records);
+    }
+    w.u8(recorder.profiling() ? 1 : 0);
+    if (recorder.profiling()) {
+      write_pod(w, recorder.phase_totals());
+    }
+    write_pod_vector(w, proc.trace());
+    w.u32(static_cast<std::uint32_t>(proc.runtimes().size()));
+    for (const auto& runtime : proc.runtimes()) {
+      w.u32(runtime->self());
+      w.u64(runtime->state_digest());
+      encode_object_stats(w, runtime->snapshot_stats());
+      write_pod_vector(w, runtime->trace());
+    }
+  }
+}
+
+/// One LP's harvested state, parked until all shards are in so the merged
+/// result can be laid out in LP-id order regardless of shard interleaving.
+struct HarvestedLp {
+  VirtualTime gvt = VirtualTime::zero();
+  LpStats stats;
+  std::optional<obs::LpTraceLog> trace;
+  std::optional<obs::PhaseTotals> phases;
+  std::vector<LpSample> samples;
+};
+
+void decode_shard(WireReader& r, std::vector<std::optional<HarvestedLp>>& lps,
+                  RunResult& result) {
+  const std::uint32_t n_local = r.u32();
+  for (std::uint32_t i = 0; i < n_local; ++i) {
+    const LpId lp = r.u32();
+    OTW_REQUIRE_MSG(lp < lps.size() && !lps[lp].has_value(),
+                    "shard result names an unknown or duplicate LP");
+    HarvestedLp harvested;
+    harvested.gvt = VirtualTime(r.u64());
+    harvested.stats = read_pod<LpStats>(r);
+    if (r.u8() != 0) {
+      obs::LpTraceLog log;
+      log.lp = lp;
+      log.dropped = r.u64();
+      log.records = read_pod_vector<obs::TraceRecord>(r);
+      harvested.trace = std::move(log);
+    }
+    if (r.u8() != 0) {
+      harvested.phases = read_pod<obs::PhaseTotals>(r);
+    }
+    harvested.samples = read_pod_vector<LpSample>(r);
+    const std::uint32_t n_objects = r.u32();
+    for (std::uint32_t k = 0; k < n_objects; ++k) {
+      const ObjectId id = r.u32();
+      OTW_REQUIRE_MSG(id < result.digests.size(),
+                      "shard result names an unknown object");
+      result.digests[id] = r.u64();
+      result.stats.objects[id] = decode_object_stats(r);
+      result.telemetry.objects[id] =
+          ObjectTrace{id, read_pod_vector<ObjectSample>(r)};
+    }
+    lps[lp] = std::move(harvested);
+  }
+}
+
+}  // namespace
+
+RunResult run_distributed_impl(const Model& model, const KernelConfig& config,
+                               platform::DistributedConfig dist_config) {
+  // Children inherit the registry through fork, so registering here (before
+  // DistributedEngine::run forks) covers coordinator and every shard.
+  register_wire_messages();
+
+  const auto start = std::chrono::steady_clock::now();
+  Assembly assembly = assemble(model, config);
+  if (config.observability.tracing && dist_config.wire_trace_capacity == 0) {
+    dist_config.wire_trace_capacity = config.observability.ring_capacity;
+  }
+
+  platform::DistributedEngine engine(dist_config);
+  const std::uint32_t num_shards = dist_config.num_shards;
+  const platform::EngineRunResult engine_result = engine.run(
+      assembly.runners,
+      [&assembly, num_shards](std::uint32_t shard) {
+        std::vector<std::uint8_t> blob;
+        WireWriter writer(blob);
+        encode_shard(writer, assembly, shard, num_shards);
+        return blob;
+      });
+
+  RunResult result;
+  result.execution_time_ns = engine_result.execution_time_ns;
+  result.wall_time_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  result.physical_messages = engine_result.physical_messages;
+  result.wire_bytes = engine_result.wire_bytes;
+  result.dist = engine_result.dist;
+
+  result.stats.objects.resize(model.objects.size());
+  result.digests.resize(model.objects.size(), 0);
+  result.telemetry.objects.resize(model.objects.size());
+
+  const auto num_lps = static_cast<std::uint32_t>(assembly.lps.size());
+  std::vector<std::optional<HarvestedLp>> harvested(num_lps);
+  const auto& payloads = engine.shard_payloads();
+  OTW_REQUIRE_MSG(payloads.size() == num_shards,
+                  "coordinator returned without every shard's payload");
+  for (const std::vector<std::uint8_t>& payload : payloads) {
+    WireReader reader(payload.data(), payload.size());
+    decode_shard(reader, harvested, result);
+    OTW_REQUIRE_MSG(reader.done(), "trailing bytes in a shard result payload");
+  }
+
+  // Same layout discipline as detail::collect: LP-indexed vectors in LP-id
+  // order, LP trace tracks first (positional), wire tracks offset past them.
+  for (LpId lp = 0; lp < num_lps; ++lp) {
+    OTW_REQUIRE_MSG(harvested[lp].has_value(), "no shard reported this LP");
+    HarvestedLp& h = *harvested[lp];
+    result.stats.lps.push_back(h.stats);
+    result.stats.final_gvt = h.gvt;
+    if (h.trace.has_value()) {
+      result.trace.lps.push_back(std::move(*h.trace));
+    }
+    if (h.phases.has_value()) {
+      result.lp_phases.push_back(*h.phases);
+    }
+    if (!h.samples.empty()) {
+      LpTrace trace;
+      trace.lp = static_cast<std::uint32_t>(result.telemetry.lps.size());
+      trace.samples = std::move(h.samples);
+      result.telemetry.lps.push_back(std::move(trace));
+    }
+  }
+  for (const obs::LpTraceLog& log : engine_result.worker_traces) {
+    obs::LpTraceLog shifted = log;
+    shifted.lp = num_lps + log.lp;
+    result.trace.lps.push_back(std::move(shifted));
+  }
+
+  if (result.telemetry.lps.empty()) {
+    bool any = false;
+    for (const auto& trace : result.telemetry.objects) {
+      any = any || !trace.samples.empty();
+    }
+    if (!any) {
+      result.telemetry.objects.clear();
+    }
+  }
+  return result;
+}
+
+}  // namespace otw::tw::detail

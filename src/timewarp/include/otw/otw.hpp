@@ -1,0 +1,40 @@
+// Umbrella header: the whole public surface in one include.
+//
+//   #include "otw/otw.hpp"
+//
+//   otw::tw::Model model;          // objects + LP placement
+//   otw::tw::KernelConfig kc;      // kernel + controller + engine selection
+//   kc.engine.kind = otw::tw::EngineKind::Threaded;
+//   otw::tw::RunResult r = otw::tw::run(model, kc);
+//
+// Fine-grained headers stay available for code that wants a narrower
+// dependency (e.g. only otw/tw/virtual_time.hpp in a model library).
+#pragma once
+
+// Application API: SimulationObject, ObjectContext, ObjectState, PodState.
+#include "otw/tw/event.hpp"
+#include "otw/tw/object.hpp"
+#include "otw/tw/virtual_time.hpp"
+
+// Kernel entry points: Model, KernelConfig, EngineKind, tw::run, RunResult,
+// run_sequential, plus the per-engine tuning structs (EngineTuning).
+#include "otw/tw/kernel.hpp"
+
+// Results and instrumentation: stats, controller telemetry, trace export
+// (Chrome trace / JSONL / Prometheus text).
+#include "otw/tw/observability.hpp"
+#include "otw/tw/stats.hpp"
+#include "otw/tw/telemetry.hpp"
+
+// Controller configuration types referenced from KernelConfig.
+#include "otw/comm/aggregation.hpp"
+#include "otw/core/cancellation_controller.hpp"
+#include "otw/core/checkpoint_controller.hpp"
+#include "otw/core/optimism_controller.hpp"
+#include "otw/core/pressure_controller.hpp"
+
+// Engine tuning (cost models, worker/shard knobs) for EngineTuning members.
+#include "otw/platform/cost_model.hpp"
+#include "otw/platform/distributed.hpp"
+#include "otw/platform/simulated_now.hpp"
+#include "otw/platform/threaded.hpp"

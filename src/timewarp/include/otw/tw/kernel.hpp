@@ -1,10 +1,14 @@
 // Public entry points: describe a model once, run it on any kernel.
 //
 //   Model model = smmp::build_model(cfg);
-//   KernelConfig kc; kc.num_lps = 4; ...
-//   RunResult tw  = run_simulated_now(model, kc);        // deterministic NOW
-//   RunResult th  = run_threaded(model, kc);             // real threads
-//   SequentialResult seq = run_sequential(model, kc.end_time);  // ground truth
+//   KernelConfig kc; kc.num_lps = 4;
+//   kc.engine.kind = EngineKind::Threaded;  // or Sequential / SimulatedNow /
+//                                           // Distributed
+//   RunResult r = tw::run(model, kc);       // one call, any engine
+//
+// run() validates the configuration (KernelConfig::validate) and dispatches
+// on kc.engine.kind. Ground truth for digest comparison is
+// EngineKind::Sequential (or the lower-level run_sequential).
 #pragma once
 
 #include <functional>
@@ -13,6 +17,7 @@
 
 #include "otw/obs/phase_profiler.hpp"
 #include "otw/obs/trace.hpp"
+#include "otw/platform/distributed.hpp"
 #include "otw/platform/simulated_now.hpp"
 #include "otw/platform/threaded.hpp"
 #include "otw/tw/lp.hpp"
@@ -55,10 +60,14 @@ struct RunResult {
   /// Export with otw/tw/observability.hpp (Chrome trace, JSONL, Prometheus).
   /// On the threaded engine this also carries per-worker scheduler tracks
   /// (park/steal/wake), with `lp` offset past the LP ids and a "worker k"
-  /// display name.
+  /// display name; the distributed engine likewise appends per-shard
+  /// "shard k wire" tracks when wire tracing is enabled.
   obs::RunTrace trace;
   /// Worker-pool counters (threaded engine only; default-empty elsewhere).
   platform::SchedulerStats scheduler;
+  /// Socket-transport counters (distributed engine only; default-empty
+  /// elsewhere). Feeds the otw_dist_* metrics in build_metrics().
+  platform::DistStats dist;
   /// Per-LP phase breakdown (empty unless observability.profiling); index
   /// matches LpId. Times are modeled ns (simulated NOW) or wall ns (threaded).
   std::vector<obs::PhaseTotals> lp_phases;
@@ -70,7 +79,28 @@ struct RunResult {
   [[nodiscard]] double committed_events_per_sec() const noexcept;
 };
 
+/// Per-engine tuning beyond what KernelConfig::Engine carries (cost models,
+/// trace capacities, ports). Only the member matching kc.engine.kind is
+/// consulted; kc.engine.num_workers / num_shards override the corresponding
+/// fields here when set.
+struct EngineTuning {
+  platform::SimulatedNowConfig simulated_now{};
+  platform::ThreadedConfig threaded{};
+  platform::DistributedConfig distributed{};
+};
+
+/// THE entry point: validates `config` (throws otw::ContractViolation with
+/// every validation error listed if KernelConfig::validate() is non-empty)
+/// and runs the model on the engine selected by config.engine.kind.
+///
+/// EngineKind::Sequential adapts the ground-truth kernel into a RunResult: digests
+/// and per-object committed-event counts are filled; Time-Warp-only fields
+/// (rollbacks, GVT telemetry, traces) stay empty.
+RunResult run(const Model& model, const KernelConfig& config,
+              const EngineTuning& tuning = {});
+
 /// Runs the model on the deterministic simulated network-of-workstations.
+[[deprecated("use tw::run with engine.kind = EngineKind::SimulatedNow")]]
 RunResult run_simulated_now(const Model& model, const KernelConfig& config,
                             const platform::SimulatedNowConfig& now_config = {});
 
@@ -78,6 +108,7 @@ RunResult run_simulated_now(const Model& model, const KernelConfig& config,
 /// `config.observability.tracing` is on and the engine config leaves
 /// `scheduler_trace_capacity` at 0, per-worker scheduler tracks are captured
 /// at the kernel trace capacity.
+[[deprecated("use tw::run with engine.kind = EngineKind::Threaded")]]
 RunResult run_threaded(const Model& model, const KernelConfig& config,
                        const platform::ThreadedConfig& threaded_config = {});
 

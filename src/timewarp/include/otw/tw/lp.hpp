@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "otw/comm/aggregation.hpp"
@@ -18,6 +19,14 @@
 #include "otw/util/buffer_pool.hpp"
 
 namespace otw::tw {
+
+/// Which execution platform tw::run dispatches to.
+enum class EngineKind : std::uint8_t {
+  Sequential,    ///< ground-truth event-list kernel (no Time Warp)
+  SimulatedNow,  ///< deterministic modeled network of workstations
+  Threaded,      ///< M:N work-stealing scheduler on real threads
+  Distributed,   ///< LPs sharded over worker processes + TCP loopback
+};
 
 struct KernelConfig {
   LpId num_lps = 1;
@@ -67,6 +76,46 @@ struct KernelConfig {
     std::uint64_t budget_bytes = 0;
     core::MemoryPressureConfig control;
   } memory;
+
+  /// Which execution platform tw::run dispatches to, plus its sizing knobs.
+  /// Per-engine tuning beyond these (cost models, trace capacities, ports)
+  /// stays in the optional platform config each entry point accepts.
+  struct Engine {
+    EngineKind kind = EngineKind::SimulatedNow;
+    /// Threaded engine: worker threads (0 = one per hardware thread).
+    std::uint32_t num_workers = 0;
+    /// Distributed engine: worker processes (each owns num_lps/num_shards
+    /// LPs, round-robin).
+    std::uint32_t num_shards = 2;
+  } engine;
+
+  /// Copy of this config running on `kind`; `size` (when non-zero) sets the
+  /// engine's parallelism — num_workers for Threaded, num_shards for
+  /// Distributed. Keeps call-site migration to tw::run a one-liner.
+  [[nodiscard]] KernelConfig with_engine(EngineKind kind,
+                                         std::uint32_t size = 0) const {
+    KernelConfig copy = *this;
+    copy.engine.kind = kind;
+    if (size > 0) {
+      if (kind == EngineKind::Threaded) {
+        copy.engine.num_workers = size;
+      } else if (kind == EngineKind::Distributed) {
+        copy.engine.num_shards = size;
+      }
+    }
+    return copy;
+  }
+
+  /// Hard cap on Engine::num_shards — one process per shard; beyond this the
+  /// coordinator's relay loop is the bottleneck, not the kernel.
+  static constexpr std::uint32_t kMaxShards = 64;
+
+  /// Checks the whole configuration for contradictions a constructor cannot
+  /// see locally: zero control periods, inverted thresholds/watermarks,
+  /// engine sizing out of range. Returns one descriptive message per
+  /// violation (empty = valid). Every tw::run entry point rejects a config
+  /// for which this is non-empty.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 class LogicalProcess final : public platform::LpRunner, public LpServices {

@@ -42,6 +42,9 @@ class EventBatchMessage final : public platform::EngineMessage {
     return bytes;
   }
 
+  [[nodiscard]] std::uint16_t wire_tag() const noexcept override;
+  void encode_wire(platform::WireWriter& writer) const override;
+
   [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
   [[nodiscard]] std::vector<Event>& events() noexcept { return events_; }
 
@@ -66,6 +69,9 @@ class GvtTokenMessage final : public platform::EngineMessage {
   VirtualTime min_red_send = VirtualTime::infinity();
 
   [[nodiscard]] std::uint64_t wire_bytes() const noexcept override { return 40; }
+  [[nodiscard]] std::uint16_t wire_tag() const noexcept override;
+  void encode_wire(platform::WireWriter& writer) const override;
+  [[nodiscard]] bool wire_control() const noexcept override { return true; }
 };
 
 /// New GVT broadcast by the initiator at the end of an epoch.
@@ -74,6 +80,9 @@ class GvtAnnounceMessage final : public platform::EngineMessage {
   explicit GvtAnnounceMessage(VirtualTime gvt) : gvt_(gvt) {}
   [[nodiscard]] VirtualTime gvt() const noexcept { return gvt_; }
   [[nodiscard]] std::uint64_t wire_bytes() const noexcept override { return 24; }
+  [[nodiscard]] std::uint16_t wire_tag() const noexcept override;
+  void encode_wire(platform::WireWriter& writer) const override;
+  [[nodiscard]] bool wire_control() const noexcept override { return true; }
 
  private:
   VirtualTime gvt_;

@@ -1,0 +1,37 @@
+// Wire serialization of the kernel's physical message types.
+//
+// One registered tag + codec per message class (see platform/wire.hpp for
+// the framing). The byte layouts are explicit little-endian and documented
+// in DESIGN.md section 8; events carry their Mattern color, which is what
+// lets distributed GVT piggyback white/black counting on ordinary data
+// frames instead of needing acknowledgement traffic.
+#pragma once
+
+#include "otw/platform/wire.hpp"
+#include "otw/tw/event.hpp"
+
+namespace otw::tw {
+
+/// Registered wire tags (process-wide, stable across shards via fork).
+inline constexpr platform::WireTag kTagEventBatch = 1;
+inline constexpr platform::WireTag kTagGvtToken = 2;
+inline constexpr platform::WireTag kTagGvtAnnounce = 3;
+
+/// Serialized size of one event on the wire (fixed fields + payload).
+[[nodiscard]] inline std::size_t event_encoded_bytes(const Event& e) noexcept {
+  return 8 + 8 + 4 + 4 + 8 + 8 + 1 + 1 + 1 + e.payload.size();
+}
+
+/// Field-wise event codec, shared by EventBatchMessage and any future
+/// point-to-point event frame. Layout:
+///   u64 recv_time | u64 send_time | u32 sender | u32 receiver |
+///   u64 seq | u64 instance | u8 negative | u8 color | u8 payload_len | bytes
+void encode_event(platform::WireWriter& writer, const Event& event);
+[[nodiscard]] Event decode_event(platform::WireReader& reader);
+
+/// Registers the kernel's message codecs with the process-wide WireRegistry.
+/// Idempotent; every distributed entry point calls it before forking so
+/// coordinator and shards share one tag table.
+void register_wire_messages();
+
+}  // namespace otw::tw

@@ -1,7 +1,9 @@
 #include "otw/tw/kernel.hpp"
 
 #include <chrono>
+#include <string>
 
+#include "kernel_internal.hpp"
 #include "otw/util/assert.hpp"
 
 namespace otw::tw {
@@ -16,11 +18,50 @@ std::uint64_t elapsed_ns(WallClock::time_point start) {
           .count());
 }
 
-/// Instantiates the LPs for one run of the model.
-struct Assembly {
-  std::vector<std::unique_ptr<LogicalProcess>> lps;
-  std::vector<platform::LpRunner*> runners;
-};
+RunResult run_simulated_now_impl(const Model& model, const KernelConfig& config,
+                                 const platform::SimulatedNowConfig& now_config) {
+  const auto start = WallClock::now();
+  detail::Assembly assembly = detail::assemble(model, config);
+  platform::SimulatedNowEngine engine(now_config);
+  const platform::EngineRunResult engine_result = engine.run(assembly.runners);
+  return detail::collect(model, assembly, engine_result, elapsed_ns(start));
+}
+
+RunResult run_threaded_impl(const Model& model, const KernelConfig& config,
+                            const platform::ThreadedConfig& threaded_config) {
+  const auto start = WallClock::now();
+  detail::Assembly assembly = detail::assemble(model, config);
+  platform::ThreadedConfig engine_config = threaded_config;
+  if (config.observability.tracing &&
+      engine_config.scheduler_trace_capacity == 0) {
+    engine_config.scheduler_trace_capacity = config.observability.ring_capacity;
+  }
+  platform::ThreadedEngine engine(engine_config);
+  const platform::EngineRunResult engine_result = engine.run(assembly.runners);
+  return detail::collect(model, assembly, engine_result, elapsed_ns(start));
+}
+
+/// Ground-truth kernel adapted to the common result shape. Only what a
+/// sequential execution can know is filled: digests, committed == processed
+/// event counts, final virtual time and wall time.
+RunResult run_sequential_impl(const Model& model, const KernelConfig& config) {
+  const SequentialResult seq = run_sequential(model, config.end_time);
+  RunResult result;
+  result.digests = seq.digests;
+  result.wall_time_ns = seq.wall_time_ns;
+  result.execution_time_ns = seq.wall_time_ns;
+  result.stats.final_gvt = seq.final_time;
+  result.stats.objects.resize(model.objects.size());
+  for (ObjectId id = 0; id < seq.events_per_object.size(); ++id) {
+    result.stats.objects[id].events_processed = seq.events_per_object[id];
+    result.stats.objects[id].events_committed = seq.events_per_object[id];
+  }
+  return result;
+}
+
+}  // namespace
+
+namespace detail {
 
 Assembly assemble(const Model& model, const KernelConfig& config) {
   OTW_REQUIRE_MSG(!model.objects.empty(), "model has no objects");
@@ -69,6 +110,7 @@ RunResult collect(const Model& model, Assembly& assembly,
   result.wire_bytes = engine_result.wire_bytes;
 
   result.scheduler = engine_result.scheduler;
+  result.dist = engine_result.dist;
   result.stats.objects.resize(model.objects.size());
   result.digests.resize(model.objects.size(), 0);
   result.telemetry.objects.resize(model.objects.size());
@@ -118,7 +160,138 @@ RunResult collect(const Model& model, Assembly& assembly,
   return result;
 }
 
-}  // namespace
+void require_valid(const KernelConfig& config) {
+  const std::vector<std::string> errors = config.validate();
+  if (errors.empty()) {
+    return;
+  }
+  std::string joined = "invalid KernelConfig:";
+  for (const std::string& error : errors) {
+    joined += "\n  - " + error;
+  }
+  OTW_REQUIRE_MSG(false, joined);
+}
+
+}  // namespace detail
+
+std::vector<std::string> KernelConfig::validate() const {
+  std::vector<std::string> errors;
+  const auto fail = [&errors](std::string message) {
+    errors.push_back(std::move(message));
+  };
+
+  if (num_lps == 0) {
+    fail("num_lps must be >= 1");
+  }
+  if (batch_size == 0) {
+    fail("batch_size must be >= 1 (an LP could never process an event)");
+  }
+  if (gvt_period_events == 0) {
+    fail("gvt_period_events must be >= 1 (GVT would never start)");
+  }
+
+  // --- per-object runtime ---
+  if (runtime.checkpoint_interval == 0) {
+    fail("runtime.checkpoint_interval must be >= 1");
+  }
+  if (runtime.full_snapshot_interval == 0) {
+    fail("runtime.full_snapshot_interval must be >= 1");
+  }
+  if (runtime.dynamic_checkpointing) {
+    const auto& chi = runtime.checkpoint_control;
+    if (chi.control_period_events == 0) {
+      fail("runtime.checkpoint_control.control_period_events must be >= 1 "
+           "(the chi controller would never tick)");
+    }
+    if (chi.min_interval == 0) {
+      fail("runtime.checkpoint_control.min_interval must be >= 1");
+    }
+    if (chi.min_interval > chi.max_interval) {
+      fail("runtime.checkpoint_control: min_interval exceeds max_interval");
+    }
+  }
+  const auto& cancel = runtime.cancellation;
+  if (cancel.control_period_comparisons == 0) {
+    fail("runtime.cancellation.control_period_comparisons must be >= 1");
+  }
+  if (cancel.a2l_threshold < cancel.l2a_threshold) {
+    fail("runtime.cancellation: a2l_threshold below l2a_threshold (the "
+         "hysteresis band is inverted; the mode would oscillate)");
+  }
+  if (cancel.a2l_threshold < 0.0 || cancel.a2l_threshold > 1.0 ||
+      cancel.l2a_threshold < 0.0 || cancel.l2a_threshold > 1.0) {
+    fail("runtime.cancellation thresholds must lie in [0, 1] (they are Hit "
+         "Ratio bounds)");
+  }
+
+  // --- optimism ---
+  if (optimism.mode != Optimism::Mode::Unbounded && optimism.window == 0) {
+    fail("optimism.window must be >= 1 tick under a bounded mode (a zero "
+         "window stalls every LP at GVT)");
+  }
+  if (optimism.mode == Optimism::Mode::Adaptive) {
+    const auto& oc = optimism.control;
+    if (oc.control_period_events == 0) {
+      fail("optimism.control.control_period_events must be >= 1");
+    }
+    if (oc.min_window > oc.max_window) {
+      fail("optimism.control: min_window exceeds max_window");
+    }
+    if (oc.grow_factor <= 1.0) {
+      fail("optimism.control.grow_factor must be > 1 (the window could "
+           "never widen)");
+    }
+    if (oc.shrink_factor <= 0.0 || oc.shrink_factor >= 1.0) {
+      fail("optimism.control.shrink_factor must lie in (0, 1)");
+    }
+  }
+
+  // --- memory pressure ---
+  if (memory.budget_bytes > 0) {
+    const auto& mc = memory.control;
+    if (mc.control_period_events == 0) {
+      fail("memory.control.control_period_events must be >= 1");
+    }
+    if (mc.high_watermark <= mc.low_watermark) {
+      fail("memory.control: high_watermark must exceed low_watermark (the "
+           "pressure hysteresis band is inverted)");
+    }
+    if (mc.high_watermark <= 0.0 || mc.high_watermark > 1.0 ||
+        mc.low_watermark < 0.0 || mc.low_watermark >= 1.0) {
+      fail("memory.control watermarks must lie in (0, 1] / [0, 1) "
+           "respectively (they are budget fractions)");
+    }
+    if (mc.emergency_window == 0) {
+      fail("memory.control.emergency_window must be >= 1 tick (held sends "
+           "could never flush)");
+    }
+  }
+
+  // --- telemetry ---
+  if (telemetry.enabled && telemetry.sample_period_events == 0) {
+    fail("telemetry.sample_period_events must be >= 1 when telemetry is on");
+  }
+
+  // --- engine sizing ---
+  if (engine.kind == EngineKind::Threaded && engine.num_workers > 512) {
+    fail("engine.num_workers exceeds 512 (use 0 for one per hardware "
+         "thread)");
+  }
+  if (engine.kind == EngineKind::Distributed) {
+    if (engine.num_shards == 0) {
+      fail("engine.num_shards must be >= 1");
+    }
+    if (engine.num_shards > kMaxShards) {
+      fail("engine.num_shards exceeds kMaxShards (" +
+           std::to_string(kMaxShards) + " worker processes)");
+    }
+    if (num_lps > 0 && engine.num_shards > num_lps) {
+      fail("engine.num_shards exceeds num_lps (a worker process would own "
+           "no LPs)");
+    }
+  }
+  return errors;
+}
 
 LpId Model::required_lps() const noexcept {
   LpId highest = 0;
@@ -136,27 +309,40 @@ double RunResult::committed_events_per_sec() const noexcept {
          (static_cast<double>(execution_time_ns) / 1e9);
 }
 
+RunResult run(const Model& model, const KernelConfig& config,
+              const EngineTuning& tuning) {
+  detail::require_valid(config);
+  switch (config.engine.kind) {
+    case EngineKind::Sequential:
+      return run_sequential_impl(model, config);
+    case EngineKind::SimulatedNow:
+      return run_simulated_now_impl(model, config, tuning.simulated_now);
+    case EngineKind::Threaded: {
+      platform::ThreadedConfig threaded = tuning.threaded;
+      if (config.engine.num_workers > 0) {
+        threaded.num_workers = config.engine.num_workers;
+      }
+      return run_threaded_impl(model, config, threaded);
+    }
+    case EngineKind::Distributed: {
+      platform::DistributedConfig dist = tuning.distributed;
+      dist.num_shards = config.engine.num_shards;
+      return detail::run_distributed_impl(model, config, dist);
+    }
+  }
+  OTW_REQUIRE_MSG(false, "unknown engine kind");
+}
+
 RunResult run_simulated_now(const Model& model, const KernelConfig& config,
                             const platform::SimulatedNowConfig& now_config) {
-  const auto start = WallClock::now();
-  Assembly assembly = assemble(model, config);
-  platform::SimulatedNowEngine engine(now_config);
-  const platform::EngineRunResult engine_result = engine.run(assembly.runners);
-  return collect(model, assembly, engine_result, elapsed_ns(start));
+  detail::require_valid(config);
+  return run_simulated_now_impl(model, config, now_config);
 }
 
 RunResult run_threaded(const Model& model, const KernelConfig& config,
                        const platform::ThreadedConfig& threaded_config) {
-  const auto start = WallClock::now();
-  Assembly assembly = assemble(model, config);
-  platform::ThreadedConfig engine_config = threaded_config;
-  if (config.observability.tracing &&
-      engine_config.scheduler_trace_capacity == 0) {
-    engine_config.scheduler_trace_capacity = config.observability.ring_capacity;
-  }
-  platform::ThreadedEngine engine(engine_config);
-  const platform::EngineRunResult engine_result = engine.run(assembly.runners);
-  return collect(model, assembly, engine_result, elapsed_ns(start));
+  detail::require_valid(config);
+  return run_threaded_impl(model, config, threaded_config);
 }
 
 }  // namespace otw::tw

@@ -1,0 +1,35 @@
+// Internal glue between the kernel entry points (kernel.cpp) and the
+// distributed run path (distributed.cpp). Not installed; include-path private
+// to src/timewarp.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "otw/tw/kernel.hpp"
+
+namespace otw::tw::detail {
+
+/// Instantiated LPs for one run of a model.
+struct Assembly {
+  std::vector<std::unique_ptr<LogicalProcess>> lps;
+  std::vector<platform::LpRunner*> runners;
+};
+
+Assembly assemble(const Model& model, const KernelConfig& config);
+
+/// Builds a RunResult by reading digests/stats/traces out of live LPs (the
+/// in-process engines). The distributed path has its own merge: its LPs
+/// finished in other processes.
+RunResult collect(const Model& model, Assembly& assembly,
+                  const platform::EngineRunResult& engine_result,
+                  std::uint64_t wall_ns);
+
+/// Throws ContractViolation listing every KernelConfig::validate() error.
+void require_valid(const KernelConfig& config);
+
+/// Distributed run path (distributed.cpp): fork/TCP engine + harvest merge.
+RunResult run_distributed_impl(const Model& model, const KernelConfig& config,
+                               platform::DistributedConfig dist_config);
+
+}  // namespace otw::tw::detail

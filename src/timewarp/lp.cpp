@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "otw/tw/wire.hpp"
+
 namespace otw::tw {
 
 LogicalProcess::LogicalProcess(
@@ -338,24 +340,29 @@ void LogicalProcess::apply_gvt(VirtualTime gvt) {
 }
 
 void LogicalProcess::drain_one(std::unique_ptr<platform::EngineMessage> msg) {
-  if (auto* batch = dynamic_cast<EventBatchMessage*>(msg.get())) {
-    for (Event& event : batch->events()) {
-      // Both polarities count for GVT: anti-messages are messages too.
-      gvt_.on_receive(event.color);
-      local_object(event.receiver).receive(event);
-      deliver_local_pending();
+  // Dispatch on the registered wire tag — the same identity the distributed
+  // transport routes by, so in-process and cross-process deliveries take one
+  // code path (no downcast probing).
+  switch (msg->wire_tag()) {
+    case kTagEventBatch: {
+      auto* batch = static_cast<EventBatchMessage*>(msg.get());
+      for (Event& event : batch->events()) {
+        // Both polarities count for GVT: anti-messages are messages too.
+        gvt_.on_receive(event.color);
+        local_object(event.receiver).receive(event);
+        deliver_local_pending();
+      }
+      return;
     }
-    return;
+    case kTagGvtToken:
+      handle_token(*static_cast<GvtTokenMessage*>(msg.get()));
+      return;
+    case kTagGvtAnnounce:
+      apply_gvt(static_cast<GvtAnnounceMessage*>(msg.get())->gvt());
+      return;
+    default:
+      OTW_REQUIRE_MSG(false, "physical message with unknown wire tag");
   }
-  if (auto* token = dynamic_cast<GvtTokenMessage*>(msg.get())) {
-    handle_token(*token);
-    return;
-  }
-  if (auto* announce = dynamic_cast<GvtAnnounceMessage*>(msg.get())) {
-    apply_gvt(announce->gvt());
-    return;
-  }
-  OTW_REQUIRE_MSG(false, "unknown physical message type");
 }
 
 bool LogicalProcess::drain() {

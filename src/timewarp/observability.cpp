@@ -150,6 +150,31 @@ obs::MetricsSnapshot build_metrics(const RunResult& result) {
     }
   }
 
+  // Socket-transport counters (distributed engine runs only).
+  if (result.dist.num_shards > 0) {
+    const platform::DistStats& d = result.dist;
+    snapshot.add("otw_dist_shards", static_cast<double>(d.num_shards),
+                 Metric::Type::Gauge);
+    snapshot.add("otw_dist_frames_sent_total",
+                 static_cast<double>(d.frames_sent), Metric::Type::Counter);
+    snapshot.add("otw_dist_frames_received_total",
+                 static_cast<double>(d.frames_received), Metric::Type::Counter);
+    snapshot.add("otw_dist_frames_relayed_total",
+                 static_cast<double>(d.frames_relayed), Metric::Type::Counter);
+    snapshot.add("otw_dist_bytes_sent_total",
+                 static_cast<double>(d.bytes_sent), Metric::Type::Counter);
+    snapshot.add("otw_dist_bytes_received_total",
+                 static_cast<double>(d.bytes_received), Metric::Type::Counter);
+    snapshot.add("otw_dist_gvt_token_frames_total",
+                 static_cast<double>(d.gvt_token_frames), Metric::Type::Counter);
+    snapshot.add("otw_dist_serialize_seconds_total",
+                 static_cast<double>(d.serialize_ns) / 1e9,
+                 Metric::Type::Counter);
+    snapshot.add("otw_dist_deserialize_seconds_total",
+                 static_cast<double>(d.deserialize_ns) / 1e9,
+                 Metric::Type::Counter);
+  }
+
   obs::add_phase_metrics(snapshot, result.lp_phases);
   return snapshot;
 }

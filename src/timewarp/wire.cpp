@@ -1,0 +1,110 @@
+#include "otw/tw/wire.hpp"
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "otw/tw/messages.hpp"
+#include "otw/util/assert.hpp"
+
+namespace otw::tw {
+
+void encode_event(platform::WireWriter& writer, const Event& event) {
+  writer.u64(event.recv_time.ticks());
+  writer.u64(event.send_time.ticks());
+  writer.u32(event.sender);
+  writer.u32(event.receiver);
+  writer.u64(event.seq);
+  writer.u64(event.instance);
+  writer.u8(event.negative ? 1 : 0);
+  writer.u8(event.color);
+  writer.u8(static_cast<std::uint8_t>(event.payload.size()));
+  writer.bytes(event.payload.data(), event.payload.size());
+}
+
+Event decode_event(platform::WireReader& reader) {
+  Event event;
+  event.recv_time = VirtualTime{reader.u64()};
+  event.send_time = VirtualTime{reader.u64()};
+  event.sender = reader.u32();
+  event.receiver = reader.u32();
+  event.seq = reader.u64();
+  event.instance = reader.u64();
+  event.negative = reader.u8() != 0;
+  event.color = reader.u8();
+  const std::size_t payload_len = reader.u8();
+  OTW_REQUIRE_MSG(payload_len <= kMaxPayloadBytes, "payload exceeds capacity");
+  std::array<std::byte, kMaxPayloadBytes> raw;
+  reader.bytes(raw.data(), payload_len);
+  event.payload = Payload::from_bytes(raw.data(), payload_len);
+  return event;
+}
+
+// --- EventBatchMessage: u32 count | count * event -------------------------
+
+std::uint16_t EventBatchMessage::wire_tag() const noexcept {
+  return kTagEventBatch;
+}
+
+void EventBatchMessage::encode_wire(platform::WireWriter& writer) const {
+  writer.u32(static_cast<std::uint32_t>(events_.size()));
+  for (const Event& event : events_) {
+    encode_event(writer, event);
+  }
+}
+
+// --- GvtTokenMessage: u8 white | u32 round | u64 count (two's complement) |
+//     u64 min_lvt | u64 min_red_send ---------------------------------------
+
+std::uint16_t GvtTokenMessage::wire_tag() const noexcept { return kTagGvtToken; }
+
+void GvtTokenMessage::encode_wire(platform::WireWriter& writer) const {
+  writer.u8(white_color);
+  writer.u32(round);
+  writer.u64(static_cast<std::uint64_t>(count));
+  writer.u64(min_lvt.ticks());
+  writer.u64(min_red_send.ticks());
+}
+
+// --- GvtAnnounceMessage: u64 gvt ------------------------------------------
+
+std::uint16_t GvtAnnounceMessage::wire_tag() const noexcept {
+  return kTagGvtAnnounce;
+}
+
+void GvtAnnounceMessage::encode_wire(platform::WireWriter& writer) const {
+  writer.u64(gvt_.ticks());
+}
+
+void register_wire_messages() {
+  auto& registry = platform::WireRegistry::instance();
+  registry.register_decoder(
+      kTagEventBatch, "tw.EventBatch",
+      [](platform::WireReader& reader) -> std::unique_ptr<platform::EngineMessage> {
+        const std::uint32_t count = reader.u32();
+        std::vector<Event> events;
+        events.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          events.push_back(decode_event(reader));
+        }
+        return std::make_unique<EventBatchMessage>(std::move(events));
+      });
+  registry.register_decoder(
+      kTagGvtToken, "tw.GvtToken",
+      [](platform::WireReader& reader) -> std::unique_ptr<platform::EngineMessage> {
+        auto token = std::make_unique<GvtTokenMessage>();
+        token->white_color = reader.u8();
+        token->round = reader.u32();
+        token->count = static_cast<std::int64_t>(reader.u64());
+        token->min_lvt = VirtualTime{reader.u64()};
+        token->min_red_send = VirtualTime{reader.u64()};
+        return token;
+      });
+  registry.register_decoder(
+      kTagGvtAnnounce, "tw.GvtAnnounce",
+      [](platform::WireReader& reader) -> std::unique_ptr<platform::EngineMessage> {
+        return std::make_unique<GvtAnnounceMessage>(VirtualTime{reader.u64()});
+      });
+}
+
+}  // namespace otw::tw

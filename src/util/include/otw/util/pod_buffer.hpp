@@ -32,6 +32,19 @@ class PodBuffer {
     return buf;
   }
 
+  /// Rebuilds a buffer from raw bytes (wire deserialization). The content is
+  /// exactly the bytes a peer's buffer held, so equality semantics survive
+  /// the round trip.
+  static PodBuffer from_bytes(const void* data, std::size_t len) noexcept {
+    OTW_ASSERT(len <= Capacity);
+    PodBuffer buf;
+    if (len > 0) {
+      std::memcpy(buf.bytes_.data(), data, len);
+    }
+    buf.size_ = len;
+    return buf;
+  }
+
   template <typename T>
   [[nodiscard]] T as() const noexcept {
     static_assert(std::is_trivially_copyable_v<T>, "payload must be a POD type");

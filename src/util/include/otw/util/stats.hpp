@@ -43,6 +43,10 @@ class Log2Histogram {
   void add(std::uint64_t value) noexcept;
   void merge(const Log2Histogram& other);
 
+  /// Rebuilds a histogram from raw bucket counts (bucket i as produced by
+  /// bucket(i)) — the wire-deserialization inverse of reading the buckets.
+  static Log2Histogram from_buckets(std::vector<std::uint64_t> buckets);
+
   [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
     return i < buckets_.size() ? buckets_[i] : 0;

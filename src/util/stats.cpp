@@ -63,6 +63,15 @@ void Log2Histogram::add(std::uint64_t value) noexcept {
   ++total_;
 }
 
+Log2Histogram Log2Histogram::from_buckets(std::vector<std::uint64_t> buckets) {
+  Log2Histogram h;
+  h.buckets_ = std::move(buckets);
+  for (const std::uint64_t count : h.buckets_) {
+    h.total_ += count;
+  }
+  return h;
+}
+
 void Log2Histogram::merge(const Log2Histogram& other) {
   if (other.buckets_.size() > buckets_.size()) {
     buckets_.resize(other.buckets_.size(), 0);

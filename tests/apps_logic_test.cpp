@@ -74,7 +74,7 @@ TEST(Logic, TimeWarpMatchesSequential) {
   now.costs = platform::CostModel::free();
   now.costs.wire_latency_ns = 15'000;
 
-  const auto run = tw::run_simulated_now(model, kc, now);
+  const auto run = tw::run(model, kc, {.simulated_now = now});
   EXPECT_EQ(run.digests, seq.digests);
   EXPECT_EQ(run.stats.total_committed(), seq.events_processed);
 }
@@ -95,7 +95,7 @@ TEST(Logic, GlitchSuppressionYieldsLazyHitsUnderShallowRollbacks) {
   now.costs = platform::CostModel::free();
   now.costs.wire_latency_ns = 25'000;
 
-  const auto run = tw::run_simulated_now(model, kc, now);
+  const auto run = tw::run(model, kc, {.simulated_now = now});
   ASSERT_GT(run.stats.total_rollbacks(), 0u);
   const auto totals = run.stats.object_totals();
   const std::uint64_t hits = totals.lazy_hits + totals.passive_hits;

@@ -67,9 +67,9 @@ TEST(Phold, RemoteProbabilityShapesTraffic) {
   now.costs = platform::CostModel::free();
 
   cfg.remote_probability = 0.1;
-  const auto local_heavy = tw::run_simulated_now(build_model(cfg), kc, now);
+  const auto local_heavy = tw::run(build_model(cfg), kc, {.simulated_now = now});
   cfg.remote_probability = 0.9;
-  const auto remote_heavy = tw::run_simulated_now(build_model(cfg), kc, now);
+  const auto remote_heavy = tw::run(build_model(cfg), kc, {.simulated_now = now});
 
   EXPECT_GT(remote_heavy.stats.lp_totals().events_sent_remote,
             2 * local_heavy.stats.lp_totals().events_sent_remote);

@@ -84,7 +84,7 @@ TEST(Raid, TimeWarpMatchesSequential) {
   now.costs = platform::CostModel::free();
   now.costs.wire_latency_ns = 10'000;
 
-  const auto run = tw::run_simulated_now(model, kc, now);
+  const auto run = tw::run(model, kc, {.simulated_now = now});
   EXPECT_EQ(run.digests, seq.digests);
   EXPECT_EQ(run.stats.total_committed(), seq.events_processed);
 }
@@ -107,7 +107,7 @@ TEST(Raid, MixedCancellationPreferencesAcrossKinds) {
   now.costs = platform::CostModel::free();
   now.costs.wire_latency_ns = 25'000;
 
-  const auto run = tw::run_simulated_now(model, kc, now);
+  const auto run = tw::run(model, kc, {.simulated_now = now});
   ASSERT_GT(run.stats.object_totals().rollbacks, 0u);
 
   auto kind_hit_ratio = [&](std::uint32_t first, std::uint32_t count) {
@@ -146,7 +146,7 @@ TEST(Raid, SerializedDisksStillMatchSequential) {
   platform::SimulatedNowConfig now;
   now.costs = platform::CostModel::free();
   now.costs.wire_latency_ns = 5'000;
-  const auto run = tw::run_simulated_now(model, kc, now);
+  const auto run = tw::run(model, kc, {.simulated_now = now});
   EXPECT_EQ(run.digests, seq.digests);
 }
 

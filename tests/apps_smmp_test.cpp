@@ -71,7 +71,7 @@ TEST(Smmp, TimeWarpMatchesSequential) {
   now.costs = platform::CostModel::free();
   now.costs.wire_latency_ns = 5'000;
 
-  const auto tw_run = tw::run_simulated_now(model, kc, now);
+  const auto tw_run = tw::run(model, kc, {.simulated_now = now});
   EXPECT_EQ(tw_run.digests, seq.digests);
   EXPECT_EQ(tw_run.stats.total_committed(), seq.events_processed);
 }
@@ -96,7 +96,7 @@ TEST(Smmp, AllObjectKindsFavourLazyCancellation) {
   now.costs = platform::CostModel::free();
   now.costs.wire_latency_ns = 20'000;
 
-  const auto run = tw::run_simulated_now(model, kc, now);
+  const auto run = tw::run(model, kc, {.simulated_now = now});
   const auto totals = run.stats.object_totals();
   ASSERT_GT(totals.rollbacks, 0u) << "no rollbacks: the test has no power";
 

@@ -137,7 +137,7 @@ platform::SimulatedNowConfig cascade_now() {
 TEST(CascadeAttribution, BlamesTheSlowSourceForTheRollbacks) {
   const Model model = slow_feeds_fast_model();
   const RunResult r =
-      run_simulated_now(model, cascade_config(), cascade_now());
+      run(model, cascade_config(), {.simulated_now = cascade_now()});
 
   // The workload must actually have been rollback-heavy, with nothing lost.
   ASSERT_GT(r.stats.total_rollbacks(), 20u);
@@ -173,13 +173,13 @@ TEST(CascadeAttribution, AnalysisIsPurePostProcessing) {
   // analyze() must not perturb the simulation: digests and modeled makespan
   // are identical whether or not (and how often) the analysis runs.
   const Model model = slow_feeds_fast_model();
-  const RunResult a = run_simulated_now(model, cascade_config(), cascade_now());
+  const RunResult a = run(model, cascade_config(), {.simulated_now = cascade_now()});
   const obs::AnalysisReport first = obs::analyze(a.trace);
   const obs::AnalysisReport second = obs::analyze(a.trace);
   EXPECT_EQ(first.cascades.total_rollbacks, second.cascades.total_rollbacks);
   EXPECT_EQ(first.overall_efficiency, second.overall_efficiency);
 
-  const RunResult b = run_simulated_now(model, cascade_config(), cascade_now());
+  const RunResult b = run(model, cascade_config(), {.simulated_now = cascade_now()});
   EXPECT_EQ(a.digests, b.digests);
   EXPECT_EQ(a.execution_time_ns, b.execution_time_ns);
 

@@ -190,7 +190,7 @@ TEST(IncrementalStore, KernelEquivalenceUnderIncrementalSaving) {
   now.costs = platform::CostModel::free();
   now.costs.wire_latency_ns = 15'000;
 
-  const RunResult r = run_simulated_now(model, kc, now);
+  const RunResult r = run(model, kc, {.simulated_now = now});
   EXPECT_GT(r.stats.total_rollbacks(), 0u);
   EXPECT_EQ(r.digests, seq.digests);
   EXPECT_EQ(r.stats.total_committed(), seq.events_processed);

@@ -1,8 +1,11 @@
 // Seeded differential harness: every seed derives a random phold topology,
 // kernel configuration and worker count, then runs the SAME model on the
-// three kernels — sequential (ground truth), deterministic simulated-NOW and
-// the real-thread work-stealing scheduler — and requires bit-identical
-// committed state digests and commit counts from all of them.
+// four kernels — sequential (ground truth), deterministic simulated-NOW, the
+// real-thread work-stealing scheduler and the multi-process distributed
+// engine — and requires bit-identical committed state digests and commit
+// counts from all of them. (The distributed column lives in its own
+// DistParity suite: the tsan-stress lane's filter must not pick it up —
+// fork() and ThreadSanitizer do not mix.)
 //
 // The failing seed is printed via SCOPED_TRACE, so any report reproduces
 // with a single-element ::testing::Values range. Coverage knobs worth noting:
@@ -121,13 +124,47 @@ TEST_P(Differential, AllKernelsCommitIdenticalResults) {
   const SequentialResult seq = run_sequential(model, s.kernel.end_time);
   ASSERT_GT(seq.events_processed, 0u);
 
-  expect_matches(run_simulated_now(model, s.kernel, s.now), seq,
+  expect_matches(run(model, s.kernel, {.simulated_now = s.now}), seq,
                  "simulated-NOW");
-  expect_matches(run_threaded(model, s.kernel, s.threads), seq, "threaded");
+  expect_matches(run(model, s.kernel.with_engine(EngineKind::Threaded),
+                     {.threaded = s.threads}),
+                 seq, "threaded");
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
                          ::testing::Range<std::uint64_t>(0, 32));
+
+/// Fourth differential column: the multi-process distributed engine, at 2 and
+/// 4 shards, against the same sequential ground truth. Separate suite name on
+/// purpose (see file header). Runs a subset of the seed range — each case
+/// forks real worker processes and opens real sockets.
+class DistParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DistParity, DistributedShardsMatchSequential) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("distparity seed = " + std::to_string(seed) +
+               " (re-run: --gtest_filter='*DistParity*/" +
+               std::to_string(seed) + "')");
+  const DiffSetup s = derive_setup(seed);
+  const Model model = apps::phold::build_model(s.app);
+  const SequentialResult seq = run_sequential(model, s.kernel.end_time);
+  ASSERT_GT(seq.events_processed, 0u);
+
+  for (const std::uint32_t shards : {2u, 4u}) {
+    if (shards > s.kernel.num_lps) {
+      continue;  // validate() rejects a shard owning no LPs
+    }
+    SCOPED_TRACE("shards = " + std::to_string(shards));
+    const RunResult r =
+        run(model, s.kernel.with_engine(EngineKind::Distributed, shards));
+    expect_matches(r, seq, "distributed");
+    EXPECT_EQ(r.dist.num_shards, shards);
+    EXPECT_GT(r.dist.frames_sent, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistParity,
+                         ::testing::Range<std::uint64_t>(0, 8));
 
 /// The ISSUE acceptance case: far more LPs than workers. 64 LPs on 4 workers
 /// means every worker juggles ~16 LPs through steals, parks and timer
@@ -158,7 +195,8 @@ TEST(DifferentialManyLps, FourWorkersSixtyFourLps) {
 
     platform::ThreadedConfig tc;
     tc.num_workers = 4;
-    const RunResult r = run_threaded(model, kc, tc);
+    const RunResult r =
+        run(model, kc.with_engine(EngineKind::Threaded), {.threaded = tc});
     expect_matches(r, seq, "threaded 4w/64lp");
     EXPECT_EQ(r.scheduler.num_workers, 4u);
   }

@@ -66,7 +66,7 @@ TEST_P(Equivalence, TimeWarpCommitsSequentialResults) {
   const SequentialResult seq = run_sequential(model, end);
   ASSERT_GT(seq.events_processed, 200u);
 
-  const RunResult tw = run_simulated_now(model, kc, now);
+  const RunResult tw = run(model, kc, {.simulated_now = now});
   EXPECT_EQ(tw.stats.total_committed(), seq.events_processed);
   ASSERT_EQ(tw.digests.size(), seq.digests.size());
   for (std::size_t i = 0; i < seq.digests.size(); ++i) {

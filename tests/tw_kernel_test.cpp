@@ -45,7 +45,7 @@ TEST(Kernel, PholdTerminatesAndMatchesSequential) {
   const SequentialResult seq = run_sequential(model, kc.end_time);
   ASSERT_GT(seq.events_processed, 100u);
 
-  const RunResult tw = run_simulated_now(model, kc, fast_now());
+  const RunResult tw = run(model, kc, {.simulated_now = fast_now()});
   EXPECT_TRUE(tw.stats.final_gvt.is_infinity());
   EXPECT_EQ(tw.stats.total_committed(), seq.events_processed);
   EXPECT_EQ(tw.digests, seq.digests);
@@ -58,7 +58,7 @@ TEST(Kernel, RollbacksHappenAndAreInvisible) {
   KernelConfig kc = kernel_config(app.num_lps, VirtualTime{6'000});
   kc.batch_size = 32;
 
-  const RunResult tw = run_simulated_now(model, kc, fast_now());
+  const RunResult tw = run(model, kc, {.simulated_now = fast_now()});
   const ObjectStats totals = tw.stats.object_totals();
   EXPECT_GT(totals.rollbacks, 0u) << "config failed to provoke rollbacks";
   EXPECT_GT(totals.events_rolled_back, 0u);
@@ -73,7 +73,7 @@ TEST(Kernel, StatisticsInvariants) {
   const Model model = apps::phold::build_model(app);
   KernelConfig kc = kernel_config(app.num_lps, VirtualTime{5'000});
   kc.batch_size = 16;
-  const RunResult tw = run_simulated_now(model, kc, fast_now());
+  const RunResult tw = run(model, kc, {.simulated_now = fast_now()});
   const ObjectStats obj = tw.stats.object_totals();
   const LpStats lp = tw.stats.lp_totals();
 
@@ -101,8 +101,8 @@ TEST(Kernel, AggregationReducesPhysicalMessages) {
   faw.aggregation.policy = comm::AggregationPolicy::Fixed;
   faw.aggregation.window_us = 200.0;
 
-  const RunResult r_none = run_simulated_now(model, none, fast_now());
-  const RunResult r_faw = run_simulated_now(model, faw, fast_now());
+  const RunResult r_none = run(model, none, {.simulated_now = fast_now()});
+  const RunResult r_faw = run(model, faw, {.simulated_now = fast_now()});
 
   EXPECT_LT(r_faw.physical_messages, r_none.physical_messages);
   // Aggregation must not change committed results.
@@ -115,7 +115,7 @@ TEST(Kernel, SingleLpDegeneratesToSequentialBehaviour) {
   app.remote_probability = 0.0;
   const Model model = apps::phold::build_model(app);
   const KernelConfig kc = kernel_config(1, VirtualTime{4'000});
-  const RunResult tw = run_simulated_now(model, kc, fast_now());
+  const RunResult tw = run(model, kc, {.simulated_now = fast_now()});
   EXPECT_EQ(tw.stats.total_rollbacks(), 0u);
   EXPECT_EQ(tw.physical_messages, 0u);
 
@@ -129,7 +129,7 @@ TEST(Kernel, ThreadedEngineMatchesSequential) {
   KernelConfig kc = kernel_config(2, VirtualTime{2'500});
   platform::ThreadedConfig tc;
   tc.idle_sleep_us = 1;
-  const RunResult tw = run_threaded(model, kc, tc);
+  const RunResult tw = run(model, kc.with_engine(EngineKind::Threaded), {.threaded = tc});
   const SequentialResult seq = run_sequential(model, kc.end_time);
   EXPECT_EQ(tw.digests, seq.digests);
   EXPECT_EQ(tw.stats.total_committed(), seq.events_processed);
@@ -140,8 +140,8 @@ TEST(Kernel, SimulatedRunsAreDeterministic) {
   const Model model = apps::phold::build_model(app);
   KernelConfig kc = kernel_config(app.num_lps, VirtualTime{3'000});
   kc.batch_size = 16;
-  const RunResult a = run_simulated_now(model, kc, fast_now());
-  const RunResult b = run_simulated_now(model, kc, fast_now());
+  const RunResult a = run(model, kc, {.simulated_now = fast_now()});
+  const RunResult b = run(model, kc, {.simulated_now = fast_now()});
   EXPECT_EQ(a.execution_time_ns, b.execution_time_ns);
   EXPECT_EQ(a.physical_messages, b.physical_messages);
   EXPECT_EQ(a.stats.total_rollbacks(), b.stats.total_rollbacks());
@@ -155,8 +155,8 @@ TEST(Kernel, GvtPeriodTradesTokenTrafficForMemory) {
   frequent.gvt_period_events = 16;
   KernelConfig rare = frequent;
   rare.gvt_period_events = 2'048;
-  const RunResult r_freq = run_simulated_now(model, frequent, fast_now());
-  const RunResult r_rare = run_simulated_now(model, rare, fast_now());
+  const RunResult r_freq = run(model, frequent, {.simulated_now = fast_now()});
+  const RunResult r_rare = run(model, rare, {.simulated_now = fast_now()});
   EXPECT_GT(r_freq.stats.lp_totals().gvt_epochs,
             r_rare.stats.lp_totals().gvt_epochs);
   EXPECT_EQ(r_freq.digests, r_rare.digests);
@@ -171,7 +171,7 @@ TEST(Kernel, RejectsBadModels) {
   });
   KernelConfig kc;
   kc.num_lps = 2;  // object placed on LP 3
-  EXPECT_THROW(run_simulated_now(misplaced, kc), ContractViolation);
+  EXPECT_THROW(run(misplaced, kc), ContractViolation);
 }
 
 TEST(Kernel, ExecutionTimeScalesWithCostModel) {
@@ -184,8 +184,8 @@ TEST(Kernel, ExecutionTimeScalesWithCostModel) {
   expensive.costs.msg_send_overhead_ns = 200'000;
   expensive.costs.wire_latency_ns = 200'000;
 
-  const RunResult r_cheap = run_simulated_now(model, kc, cheap);
-  const RunResult r_exp = run_simulated_now(model, kc, expensive);
+  const RunResult r_cheap = run(model, kc, {.simulated_now = cheap});
+  const RunResult r_exp = run(model, kc, {.simulated_now = expensive});
   EXPECT_GT(r_exp.execution_time_ns, r_cheap.execution_time_ns);
   EXPECT_EQ(r_cheap.digests, r_exp.digests);
 }

@@ -57,7 +57,7 @@ platform::SimulatedNowConfig observed_now() {
 TEST(Observability, OffByDefaultAndEmpty) {
   const Model model = apps::phold::build_model(rollback_heavy_phold());
   KernelConfig kc = observed_config();
-  const RunResult r = run_simulated_now(model, kc, observed_now());
+  const RunResult r = run(model, kc, {.simulated_now = observed_now()});
   EXPECT_TRUE(r.trace.empty());
   EXPECT_TRUE(r.lp_phases.empty());
 }
@@ -69,12 +69,12 @@ TEST(Observability, TracingDoesNotChangeTheSimulation) {
   const Model model = apps::phold::build_model(rollback_heavy_phold());
 
   KernelConfig off = observed_config();
-  const RunResult plain = run_simulated_now(model, off, observed_now());
+  const RunResult plain = run(model, off, {.simulated_now = observed_now()});
 
   KernelConfig on = observed_config();
   on.observability.tracing = true;
   on.observability.profiling = true;
-  const RunResult traced = run_simulated_now(model, on, observed_now());
+  const RunResult traced = run(model, on, {.simulated_now = observed_now()});
 
   EXPECT_EQ(traced.stats.final_gvt, plain.stats.final_gvt);
   EXPECT_EQ(traced.stats.total_committed(), plain.stats.total_committed());
@@ -103,7 +103,7 @@ TEST(Observability, TracingDoesNotChangeTheSimulation) {
   EXPECT_EQ(traced.digests, plain.digests);
   EXPECT_EQ(traced.execution_time_ns, plain.execution_time_ns);
 
-  const RunResult traced_again = run_simulated_now(model, on, observed_now());
+  const RunResult traced_again = run(model, on, {.simulated_now = observed_now()});
   static_cast<void>(obs::analyze(traced_again.trace));
   EXPECT_EQ(traced_again.digests, plain.digests);
   EXPECT_EQ(traced_again.execution_time_ns, plain.execution_time_ns);
@@ -113,7 +113,7 @@ TEST(Observability, TraceCarriesRollbacksCheckpointsGvtAndDecisions) {
   const Model model = apps::phold::build_model(rollback_heavy_phold());
   KernelConfig kc = observed_config();
   kc.observability.tracing = true;
-  const RunResult r = run_simulated_now(model, kc, observed_now());
+  const RunResult r = run(model, kc, {.simulated_now = observed_now()});
 
   std::set<obs::TraceKind> kinds;
   ASSERT_EQ(r.trace.lps.size(), 4u);
@@ -141,7 +141,7 @@ TEST(Observability, ChromeTraceOfARealRunContainsTheKeyEvents) {
   const Model model = apps::phold::build_model(rollback_heavy_phold());
   KernelConfig kc = observed_config();
   kc.observability.tracing = true;
-  const RunResult r = run_simulated_now(model, kc, observed_now());
+  const RunResult r = run(model, kc, {.simulated_now = observed_now()});
 
   std::ostringstream os;
   write_chrome_trace(os, r);
@@ -160,7 +160,7 @@ TEST(Observability, PhaseTotalsCoverTheKernelsWork) {
   const Model model = apps::phold::build_model(rollback_heavy_phold());
   KernelConfig kc = observed_config();
   kc.observability.profiling = true;
-  const RunResult r = run_simulated_now(model, kc, observed_now());
+  const RunResult r = run(model, kc, {.simulated_now = observed_now()});
 
   ASSERT_EQ(r.lp_phases.size(), 4u);
   obs::PhaseTotals total;
@@ -182,7 +182,7 @@ TEST(Observability, MetricsExportsParse) {
   KernelConfig kc = observed_config();
   kc.observability.tracing = true;
   kc.observability.profiling = true;
-  const RunResult r = run_simulated_now(model, kc, observed_now());
+  const RunResult r = run(model, kc, {.simulated_now = observed_now()});
 
   const obs::MetricsSnapshot snapshot = build_metrics(r);
   bool committed = false, phase = false;
@@ -208,7 +208,7 @@ TEST(Observability, RingOverflowIsAccountedNotFatal) {
   KernelConfig kc = observed_config();
   kc.observability.tracing = true;
   kc.observability.ring_capacity = 64;  // force heavy overwrite
-  const RunResult r = run_simulated_now(model, kc, observed_now());
+  const RunResult r = run(model, kc, {.simulated_now = observed_now()});
 
   std::uint64_t dropped = 0;
   for (const obs::LpTraceLog& log : r.trace.lps) {
@@ -235,12 +235,56 @@ TEST(Observability, ThreadedEngineCollectsWallClockTraces) {
   kc.observability.profiling = true;
   platform::ThreadedConfig tc;
   tc.idle_sleep_us = 1;
-  const RunResult r = run_threaded(model, kc, tc);
+  const RunResult r = run(model, kc.with_engine(EngineKind::Threaded), {.threaded = tc});
 
   EXPECT_FALSE(r.trace.empty());
   EXPECT_EQ(r.lp_phases.size(), 2u);
   const SequentialResult seq = run_sequential(model, kc.end_time);
   EXPECT_EQ(r.digests, seq.digests);
+}
+
+TEST(Observability, DistributedEngineExportsWireInstrumentation) {
+  const Model model = apps::phold::build_model(rollback_heavy_phold());
+  KernelConfig kc = observed_config();
+  kc.end_time = VirtualTime{8'000};
+  kc.observability.tracing = true;
+  kc.observability.profiling = true;
+  const RunResult r = run(model, kc.with_engine(EngineKind::Distributed, 2));
+
+  // Results harvested across process boundaries: digests, stats, telemetry,
+  // traces and phases must all have made the trip.
+  const SequentialResult seq = run_sequential(model, kc.end_time);
+  EXPECT_EQ(r.digests, seq.digests);
+  EXPECT_EQ(r.stats.total_committed(), seq.events_processed);
+  ASSERT_EQ(r.stats.lps.size(), 4u);
+  EXPECT_EQ(r.lp_phases.size(), 4u);
+  EXPECT_FALSE(r.telemetry.empty());
+
+  // otw_dist_* metrics are present and consistent with the run.
+  const obs::MetricsSnapshot snapshot = build_metrics(r);
+  bool shards = false, frames = false, tokens = false;
+  for (const obs::Metric& m : snapshot.metrics) {
+    shards |= m.name == "otw_dist_shards" && m.value == 2.0;
+    frames |= m.name == "otw_dist_frames_sent_total" && m.value > 0;
+    tokens |= m.name == "otw_dist_gvt_token_frames_total" && m.value > 0;
+  }
+  EXPECT_TRUE(shards);
+  EXPECT_TRUE(frames);
+  EXPECT_TRUE(tokens);
+
+  // Wire-frame trace records ride home on the shard tracks (lp offset past
+  // the LP ids) and survive the Chrome-trace exporter.
+  bool wire_track = false;
+  for (const obs::LpTraceLog& log : r.trace.lps) {
+    if (log.lp >= 4 && !log.records.empty()) {
+      wire_track = true;
+      EXPECT_NE(log.name.find("wire"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(wire_track);
+  std::ostringstream os;
+  write_chrome_trace(os, r);
+  EXPECT_NE(os.str().find("wire_frame"), std::string::npos);
 }
 
 }  // namespace

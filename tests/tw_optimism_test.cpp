@@ -43,15 +43,11 @@ platform::SimulatedNowConfig now_config() {
 TEST(Optimism, StaticWindowReducesRollbacks) {
   const Model model = apps::phold::build_model(hot_phold());
 
-  const RunResult unbounded = run_simulated_now(
-      model, bounded_config(KernelConfig::Optimism::Mode::Unbounded, 0),
-      now_config());
+  const RunResult unbounded = run(model, bounded_config(KernelConfig::Optimism::Mode::Unbounded, 0), {.simulated_now = now_config()});
   ASSERT_GT(unbounded.stats.total_rollbacks(), 50u)
       << "workload fails to provoke enough rollbacks to test throttling";
 
-  const RunResult bounded = run_simulated_now(
-      model, bounded_config(KernelConfig::Optimism::Mode::Static, 100),
-      now_config());
+  const RunResult bounded = run(model, bounded_config(KernelConfig::Optimism::Mode::Static, 100), {.simulated_now = now_config()});
   EXPECT_LT(bounded.stats.total_rollbacks(),
             unbounded.stats.total_rollbacks() / 2);
 
@@ -65,9 +61,7 @@ TEST(Optimism, ResultsAreWindowInvariant) {
   const SequentialResult seq = run_sequential(model, VirtualTime{5'000});
 
   for (std::uint64_t window : {50u, 300u, 2'000u, 1'000'000u}) {
-    const RunResult r = run_simulated_now(
-        model, bounded_config(KernelConfig::Optimism::Mode::Static, window),
-        now_config());
+    const RunResult r = run(model, bounded_config(KernelConfig::Optimism::Mode::Static, window), {.simulated_now = now_config()});
     EXPECT_EQ(r.digests, seq.digests) << "window " << window;
     EXPECT_EQ(r.stats.total_committed(), seq.events_processed)
         << "window " << window;
@@ -80,7 +74,7 @@ TEST(Optimism, AdaptiveMatchesSequentialAndAdapts) {
 
   KernelConfig kc = bounded_config(KernelConfig::Optimism::Mode::Adaptive, 200);
   kc.optimism.control.control_period_events = 64;
-  const RunResult r = run_simulated_now(model, kc, now_config());
+  const RunResult r = run(model, kc, {.simulated_now = now_config()});
   EXPECT_EQ(r.digests, seq.digests);
   EXPECT_EQ(r.stats.total_committed(), seq.events_processed);
 }
@@ -92,7 +86,7 @@ TEST(Optimism, TinyWindowStillTerminates) {
   const Model model = apps::phold::build_model(app);
   KernelConfig kc = bounded_config(KernelConfig::Optimism::Mode::Static, 1);
   kc.end_time = VirtualTime{500};
-  const RunResult r = run_simulated_now(model, kc, now_config());
+  const RunResult r = run(model, kc, {.simulated_now = now_config()});
   const SequentialResult seq = run_sequential(model, kc.end_time);
   EXPECT_EQ(r.digests, seq.digests);
 }

@@ -133,11 +133,10 @@ TEST(Pressure, BudgetIsResultInvariantAcrossSeeds) {
     const SequentialResult seq = run_sequential(model, VirtualTime{5'000});
 
     const RunResult unbounded =
-        run_simulated_now(model, pressured_config(0), pressured_now());
+        run(model, pressured_config(0), {.simulated_now = pressured_now()});
     ASSERT_EQ(unbounded.digests, seq.digests) << "seed " << seed;
 
-    const RunResult bounded = run_simulated_now(
-        model, pressured_config(96 * 1024), pressured_now());
+    const RunResult bounded = run(model, pressured_config(96 * 1024), {.simulated_now = pressured_now()});
     EXPECT_EQ(bounded.digests, seq.digests) << "seed " << seed;
     EXPECT_EQ(bounded.stats.total_committed(), seq.events_processed)
         << "seed " << seed;
@@ -161,9 +160,8 @@ TEST(Pressure, BudgetThrottlesSpeculationAndForcesGvt) {
   const Model model = apps::phold::build_model(pressured_phold(29));
 
   const RunResult unbounded =
-      run_simulated_now(model, pressured_config(0), pressured_now());
-  const RunResult bounded = run_simulated_now(
-      model, pressured_config(64 * 1024), pressured_now());
+      run(model, pressured_config(0), {.simulated_now = pressured_now()});
+  const RunResult bounded = run(model, pressured_config(64 * 1024), {.simulated_now = pressured_now()});
 
   std::uint64_t enters = 0, triggers = 0, peak_bounded = 0, peak_free = 0;
   for (const LpStats& lp : bounded.stats.lps) {
@@ -192,7 +190,7 @@ TEST(Pressure, TinyBudgetStillTerminatesAndMatches) {
   const Model model = apps::phold::build_model(app);
   KernelConfig kc = pressured_config(1024);
   kc.end_time = VirtualTime{1'500};
-  const RunResult r = run_simulated_now(model, kc, pressured_now());
+  const RunResult r = run(model, kc, {.simulated_now = pressured_now()});
   const SequentialResult seq = run_sequential(model, kc.end_time);
   EXPECT_EQ(r.digests, seq.digests);
 
@@ -217,7 +215,7 @@ TEST(Pressure, ThreadedKernelMatchesSequentialUnderBudget) {
 
   platform::ThreadedConfig tc;
   tc.idle_sleep_us = 1;
-  const RunResult threads = run_threaded(model, kc, tc);
+  const RunResult threads = run(model, kc.with_engine(EngineKind::Threaded), {.threaded = tc});
   EXPECT_EQ(threads.digests, seq.digests);
 }
 
@@ -226,7 +224,7 @@ TEST(Pressure, AccountingIsPopulatedWithoutABudget) {
   // stats and metrics (live footprint, pool recycling).
   const Model model = apps::phold::build_model(pressured_phold(3));
   const RunResult r =
-      run_simulated_now(model, pressured_config(0), pressured_now());
+      run(model, pressured_config(0), {.simulated_now = pressured_now()});
   std::uint64_t recycled = 0;
   for (const LpStats& lp : r.stats.lps) {
     recycled += lp.pool_recycled_blocks;

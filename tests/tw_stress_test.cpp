@@ -59,7 +59,7 @@ TEST_P(ScheduleStress, CommittedResultsAreScheduleInvariant) {
   now.costs.idle_poll_ns = 200;
 
   const SequentialResult seq = run_sequential(model, end);
-  const RunResult tw = run_simulated_now(model, kc, now);
+  const RunResult tw = run(model, kc, {.simulated_now = now});
   EXPECT_EQ(tw.stats.total_committed(), seq.events_processed);
   EXPECT_EQ(tw.digests, seq.digests);
 }

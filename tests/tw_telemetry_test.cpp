@@ -48,14 +48,14 @@ TEST(Telemetry, DisabledByDefaultAndEmpty) {
   const Model model = apps::phold::build_model(phased_phold());
   KernelConfig kc = telemetry_config();
   kc.telemetry.enabled = false;
-  const RunResult r = run_simulated_now(model, kc, telemetry_now());
+  const RunResult r = run(model, kc, {.simulated_now = telemetry_now()});
   EXPECT_TRUE(r.telemetry.empty());
 }
 
 TEST(Telemetry, RecordsMonotoneSamples) {
   const Model model = apps::phold::build_model(phased_phold());
   const RunResult r =
-      run_simulated_now(model, telemetry_config(), telemetry_now());
+      run(model, telemetry_config(), {.simulated_now = telemetry_now()});
   ASSERT_FALSE(r.telemetry.empty());
   ASSERT_EQ(r.telemetry.objects.size(), 12u);
 
@@ -88,7 +88,7 @@ TEST(Telemetry, PhasedWorkloadMakesControllersSwitchBothWays) {
   // order-dependent ones.
   const Model model = apps::phold::build_model(phased_phold());
   const RunResult r =
-      run_simulated_now(model, telemetry_config(), telemetry_now());
+      run(model, telemetry_config(), {.simulated_now = telemetry_now()});
 
   std::uint64_t switches = 0;
   bool saw_lazy_sample = false, saw_aggressive_sample = false;
@@ -113,7 +113,7 @@ TEST(Telemetry, PhasedWorkloadMakesControllersSwitchBothWays) {
 TEST(Telemetry, CsvContainsBothTraceKinds) {
   const Model model = apps::phold::build_model(phased_phold());
   const RunResult r =
-      run_simulated_now(model, telemetry_config(), telemetry_now());
+      run(model, telemetry_config(), {.simulated_now = telemetry_now()});
   std::ostringstream os;
   r.telemetry.write_csv(os);
   const std::string csv = os.str();
@@ -144,7 +144,7 @@ TEST(Telemetry, CsvRoundTripsThroughTheDocumentedSchema) {
   // in-memory telemetry exactly.
   const Model model = apps::phold::build_model(phased_phold());
   const RunResult r =
-      run_simulated_now(model, telemetry_config(), telemetry_now());
+      run(model, telemetry_config(), {.simulated_now = telemetry_now()});
   std::ostringstream os;
   r.telemetry.write_csv(os);
 
@@ -223,11 +223,11 @@ TEST(Telemetry, PhasedModelStillMatchesAcrossKernels) {
   kc.end_time = VirtualTime{10'000};
   kc.telemetry.enabled = false;
   const SequentialResult seq = run_sequential(model, kc.end_time);
-  const RunResult now = run_simulated_now(model, kc, telemetry_now());
+  const RunResult now = run(model, kc, {.simulated_now = telemetry_now()});
   EXPECT_EQ(now.digests, seq.digests);
   platform::ThreadedConfig tc;
   tc.idle_sleep_us = 1;
-  const RunResult threads = run_threaded(model, kc, tc);
+  const RunResult threads = run(model, kc.with_engine(EngineKind::Threaded), {.threaded = tc});
   EXPECT_EQ(threads.digests, seq.digests);
 }
 

@@ -37,10 +37,10 @@ TEST(ThreadedStress, PholdRepeatedRunsMatchSequential) {
   kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
   kc.runtime.dynamic_checkpointing = true;
 
-  for (int run = 0; run < 3; ++run) {
-    const RunResult r = run_threaded(model, kc, fast_threads());
-    EXPECT_EQ(r.digests, seq.digests) << "run " << run;
-    EXPECT_EQ(r.stats.total_committed(), seq.events_processed) << "run " << run;
+  for (int trial = 0; trial < 3; ++trial) {
+    const RunResult r = run(model, kc.with_engine(EngineKind::Threaded), {.threaded = fast_threads()});
+    EXPECT_EQ(r.digests, seq.digests) << "trial " << trial;
+    EXPECT_EQ(r.stats.total_committed(), seq.events_processed) << "trial " << trial;
   }
 }
 
@@ -58,7 +58,7 @@ TEST(ThreadedStress, SmmpWithAggregationMatchesSequential) {
   kc.num_lps = 2;
   kc.aggregation.policy = comm::AggregationPolicy::Adaptive;
   kc.aggregation.window_us = 50.0;
-  const RunResult r = run_threaded(model, kc, fast_threads());
+  const RunResult r = run(model, kc.with_engine(EngineKind::Threaded), {.threaded = fast_threads()});
   EXPECT_EQ(r.digests, seq.digests);
 }
 
@@ -77,7 +77,7 @@ TEST(ThreadedStress, RaidLazyCancellationMatchesSequential) {
   kc.num_lps = 2;
   kc.runtime.cancellation = core::CancellationControlConfig::lazy();
   kc.runtime.checkpoint_interval = 4;
-  const RunResult r = run_threaded(model, kc, fast_threads());
+  const RunResult r = run(model, kc.with_engine(EngineKind::Threaded), {.threaded = fast_threads()});
   EXPECT_EQ(r.digests, seq.digests);
 }
 
@@ -96,7 +96,7 @@ TEST(ThreadedStress, BoundedOptimismUnderThreads) {
   kc.end_time = end;
   kc.optimism.mode = KernelConfig::Optimism::Mode::Adaptive;
   kc.optimism.window = 200;
-  const RunResult r = run_threaded(model, kc, fast_threads());
+  const RunResult r = run(model, kc.with_engine(EngineKind::Threaded), {.threaded = fast_threads()});
   EXPECT_EQ(r.digests, seq.digests);
 }
 

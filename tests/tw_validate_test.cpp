@@ -1,0 +1,188 @@
+// KernelConfig::validate(): every rejection rule produces a descriptive
+// error, a default config is clean, and every tw::run entry point refuses an
+// invalid config up front (ContractViolation before any LP is built).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "otw/otw.hpp"
+#include "otw/util/assert.hpp"
+
+namespace otw::tw {
+namespace {
+
+/// True when some validation error mentions `needle`.
+bool mentions(const std::vector<std::string>& errors, const std::string& needle) {
+  for (const std::string& error : errors) {
+    if (error.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Model tiny_model(LpId num_lps) {
+  Model model;
+  for (LpId lp = 0; lp < num_lps; ++lp) {
+    model.add(lp, [] { return nullptr; });
+  }
+  return model;
+}
+
+TEST(Validate, DefaultConfigIsValid) {
+  EXPECT_TRUE(KernelConfig{}.validate().empty());
+}
+
+TEST(Validate, ZeroCoreSizing) {
+  KernelConfig kc;
+  kc.num_lps = 0;
+  kc.batch_size = 0;
+  kc.gvt_period_events = 0;
+  const auto errors = kc.validate();
+  EXPECT_TRUE(mentions(errors, "num_lps"));
+  EXPECT_TRUE(mentions(errors, "batch_size"));
+  EXPECT_TRUE(mentions(errors, "gvt_period_events"));
+  EXPECT_EQ(errors.size(), 3u);
+}
+
+TEST(Validate, ZeroCheckpointIntervals) {
+  KernelConfig kc;
+  kc.runtime.checkpoint_interval = 0;
+  kc.runtime.full_snapshot_interval = 0;
+  const auto errors = kc.validate();
+  EXPECT_TRUE(mentions(errors, "checkpoint_interval"));
+  EXPECT_TRUE(mentions(errors, "full_snapshot_interval"));
+}
+
+TEST(Validate, CheckpointControllerBounds) {
+  KernelConfig kc;
+  kc.runtime.dynamic_checkpointing = true;
+  kc.runtime.checkpoint_control.control_period_events = 0;
+  kc.runtime.checkpoint_control.min_interval = 32;
+  kc.runtime.checkpoint_control.max_interval = 4;
+  const auto errors = kc.validate();
+  EXPECT_TRUE(mentions(errors, "control_period_events"));
+  EXPECT_TRUE(mentions(errors, "min_interval exceeds max_interval"));
+
+  // The same contradictions are ignored while the controller is off.
+  kc.runtime.dynamic_checkpointing = false;
+  EXPECT_TRUE(kc.validate().empty());
+}
+
+TEST(Validate, InvertedCancellationHysteresis) {
+  KernelConfig kc;
+  kc.runtime.cancellation.a2l_threshold = 0.2;
+  kc.runtime.cancellation.l2a_threshold = 0.6;
+  EXPECT_TRUE(mentions(kc.validate(), "hysteresis band is inverted"));
+
+  kc.runtime.cancellation.a2l_threshold = 1.5;
+  EXPECT_TRUE(mentions(kc.validate(), "[0, 1]"));
+  kc.runtime.cancellation.control_period_comparisons = 0;
+  EXPECT_TRUE(mentions(kc.validate(), "control_period_comparisons"));
+}
+
+TEST(Validate, OptimismWindowBounds) {
+  KernelConfig kc;
+  kc.optimism.mode = KernelConfig::Optimism::Mode::Static;
+  kc.optimism.window = 0;
+  EXPECT_TRUE(mentions(kc.validate(), "optimism.window"));
+
+  kc.optimism.mode = KernelConfig::Optimism::Mode::Adaptive;
+  kc.optimism.window = 64;
+  kc.optimism.control.control_period_events = 0;
+  kc.optimism.control.min_window = 1'024;
+  kc.optimism.control.max_window = 16;
+  kc.optimism.control.grow_factor = 0.9;
+  kc.optimism.control.shrink_factor = 1.4;
+  const auto errors = kc.validate();
+  EXPECT_TRUE(mentions(errors, "optimism.control.control_period_events"));
+  EXPECT_TRUE(mentions(errors, "min_window exceeds max_window"));
+  EXPECT_TRUE(mentions(errors, "grow_factor"));
+  EXPECT_TRUE(mentions(errors, "shrink_factor"));
+
+  // Unbounded mode never consults the window.
+  kc = KernelConfig{};
+  kc.optimism.window = 0;
+  EXPECT_TRUE(kc.validate().empty());
+}
+
+TEST(Validate, MemoryPressureWatermarks) {
+  KernelConfig kc;
+  kc.memory.budget_bytes = 1 << 20;
+  kc.memory.control.high_watermark = 0.4;
+  kc.memory.control.low_watermark = 0.8;
+  EXPECT_TRUE(mentions(kc.validate(), "pressure hysteresis band is inverted"));
+
+  kc.memory.control.high_watermark = 1.8;
+  kc.memory.control.low_watermark = 0.2;
+  EXPECT_TRUE(mentions(kc.validate(), "watermarks"));
+
+  kc.memory.control.high_watermark = 0.9;
+  kc.memory.control.control_period_events = 0;
+  kc.memory.control.emergency_window = 0;
+  const auto errors = kc.validate();
+  EXPECT_TRUE(mentions(errors, "memory.control.control_period_events"));
+  EXPECT_TRUE(mentions(errors, "emergency_window"));
+
+  // No budget: the pressure controller is off, its config is not consulted.
+  kc.memory.budget_bytes = 0;
+  EXPECT_TRUE(kc.validate().empty());
+}
+
+TEST(Validate, TelemetrySamplePeriod) {
+  KernelConfig kc;
+  kc.telemetry.enabled = true;
+  kc.telemetry.sample_period_events = 0;
+  EXPECT_TRUE(mentions(kc.validate(), "sample_period_events"));
+  kc.telemetry.enabled = false;
+  EXPECT_TRUE(kc.validate().empty());
+}
+
+TEST(Validate, EngineSizing) {
+  KernelConfig kc;
+  kc.engine.kind = EngineKind::Threaded;
+  kc.engine.num_workers = 4'096;
+  EXPECT_TRUE(mentions(kc.validate(), "num_workers"));
+
+  kc = KernelConfig{};
+  kc.engine.kind = EngineKind::Distributed;
+  kc.engine.num_shards = 0;
+  EXPECT_TRUE(mentions(kc.validate(), "num_shards"));
+  kc.engine.num_shards = KernelConfig::kMaxShards + 1;
+  EXPECT_TRUE(mentions(kc.validate(), "kMaxShards"));
+  kc.num_lps = 2;
+  kc.engine.num_shards = 4;
+  EXPECT_TRUE(mentions(kc.validate(), "exceeds num_lps"));
+}
+
+TEST(Validate, EveryEntryPointRejectsInvalidConfigs) {
+  const Model model = tiny_model(2);
+  KernelConfig kc;
+  kc.num_lps = 2;
+  kc.gvt_period_events = 0;
+
+  EXPECT_THROW(run(model, kc), ContractViolation);
+  EXPECT_THROW(run(model, kc.with_engine(EngineKind::Sequential)),
+               ContractViolation);
+  EXPECT_THROW(run(model, kc.with_engine(EngineKind::Threaded)),
+               ContractViolation);
+  EXPECT_THROW(run(model, kc.with_engine(EngineKind::Distributed)),
+               ContractViolation);
+}
+
+TEST(Validate, WithEngineSetsKindAndSize) {
+  KernelConfig kc;
+  kc.num_lps = 8;
+  const KernelConfig threaded = kc.with_engine(EngineKind::Threaded, 6);
+  EXPECT_EQ(threaded.engine.kind, EngineKind::Threaded);
+  EXPECT_EQ(threaded.engine.num_workers, 6u);
+  const KernelConfig dist = kc.with_engine(EngineKind::Distributed, 4);
+  EXPECT_EQ(dist.engine.kind, EngineKind::Distributed);
+  EXPECT_EQ(dist.engine.num_shards, 4u);
+  // The original is untouched (value semantics).
+  EXPECT_EQ(kc.engine.kind, EngineKind::SimulatedNow);
+}
+
+}  // namespace
+}  // namespace otw::tw

@@ -1,0 +1,180 @@
+// Wire codec roundtrips: every registered physical message type must decode
+// back to an equivalent object from its own encode_wire() bytes, through the
+// same WireRegistry the distributed engine dispatches on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "otw/platform/wire.hpp"
+#include "otw/tw/messages.hpp"
+#include "otw/tw/wire.hpp"
+#include "otw/util/assert.hpp"
+
+namespace otw::tw {
+namespace {
+
+using platform::WireReader;
+using platform::WireWriter;
+
+Event sample_event(std::uint64_t salt) {
+  Event e;
+  e.recv_time = VirtualTime{1'000 + salt};
+  e.send_time = VirtualTime{900 + salt};
+  e.sender = static_cast<ObjectId>(3 + salt);
+  e.receiver = static_cast<ObjectId>(7 + salt);
+  e.seq = 0xABCDEF00u + salt;
+  e.instance = 0x1122334455667788u + salt;
+  e.negative = (salt % 2) == 1;
+  e.color = static_cast<std::uint8_t>(salt % 2);
+  if (salt % 3 != 0) {
+    const std::uint64_t body[2] = {salt, ~salt};
+    e.payload = Payload::from_bytes(body, sizeof body);
+  }
+  return e;
+}
+
+void expect_event_eq(const Event& a, const Event& b) {
+  EXPECT_EQ(a.recv_time, b.recv_time);
+  EXPECT_EQ(a.send_time, b.send_time);
+  EXPECT_EQ(a.sender, b.sender);
+  EXPECT_EQ(a.receiver, b.receiver);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.instance, b.instance);
+  EXPECT_EQ(a.negative, b.negative);
+  EXPECT_EQ(a.color, b.color);
+  ASSERT_EQ(a.payload.size(), b.payload.size());
+  EXPECT_EQ(std::memcmp(a.payload.data(), b.payload.data(), a.payload.size()), 0);
+}
+
+TEST(WireCodec, EventRoundtripsIncludingPayloadAndColor) {
+  for (std::uint64_t salt = 0; salt < 6; ++salt) {
+    std::vector<std::uint8_t> buf;
+    WireWriter writer(buf);
+    const Event original = sample_event(salt);
+    encode_event(writer, original);
+    EXPECT_EQ(buf.size(), event_encoded_bytes(original));
+
+    WireReader reader(buf.data(), buf.size());
+    expect_event_eq(decode_event(reader), original);
+    EXPECT_TRUE(reader.done());
+  }
+}
+
+TEST(WireCodec, EventBatchRoundtripsThroughRegistry) {
+  register_wire_messages();
+  std::vector<Event> events;
+  for (std::uint64_t salt = 0; salt < 5; ++salt) {
+    events.push_back(sample_event(salt));
+  }
+  const EventBatchMessage msg{std::vector<Event>(events)};
+  ASSERT_EQ(msg.wire_tag(), kTagEventBatch);
+  EXPECT_FALSE(msg.wire_control());
+
+  std::vector<std::uint8_t> buf;
+  WireWriter writer(buf);
+  msg.encode_wire(writer);
+  WireReader reader(buf.data(), buf.size());
+  const auto decoded =
+      platform::WireRegistry::instance().decode(kTagEventBatch, reader);
+  EXPECT_TRUE(reader.done());
+  auto* batch = dynamic_cast<EventBatchMessage*>(decoded.get());
+  ASSERT_NE(batch, nullptr);
+  ASSERT_EQ(batch->events().size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    expect_event_eq(batch->events()[i], events[i]);
+  }
+}
+
+TEST(WireCodec, GvtTokenRoundtripsWithNegativeCount) {
+  register_wire_messages();
+  GvtTokenMessage token;
+  token.white_color = 1;
+  token.round = 42;
+  token.count = -17;  // in-flight deficit must survive two's-complement
+  token.min_lvt = VirtualTime{12'345};
+  token.min_red_send = VirtualTime::infinity();
+  ASSERT_EQ(token.wire_tag(), kTagGvtToken);
+  EXPECT_TRUE(token.wire_control());
+
+  std::vector<std::uint8_t> buf;
+  WireWriter writer(buf);
+  token.encode_wire(writer);
+  WireReader reader(buf.data(), buf.size());
+  const auto decoded =
+      platform::WireRegistry::instance().decode(kTagGvtToken, reader);
+  auto* out = dynamic_cast<GvtTokenMessage*>(decoded.get());
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->white_color, token.white_color);
+  EXPECT_EQ(out->round, token.round);
+  EXPECT_EQ(out->count, token.count);
+  EXPECT_EQ(out->min_lvt, token.min_lvt);
+  EXPECT_EQ(out->min_red_send, token.min_red_send);
+}
+
+TEST(WireCodec, GvtAnnounceRoundtripsIncludingInfinity) {
+  register_wire_messages();
+  for (const VirtualTime gvt : {VirtualTime{777}, VirtualTime::infinity()}) {
+    const GvtAnnounceMessage msg(gvt);
+    ASSERT_EQ(msg.wire_tag(), kTagGvtAnnounce);
+    EXPECT_TRUE(msg.wire_control());
+    std::vector<std::uint8_t> buf;
+    WireWriter writer(buf);
+    msg.encode_wire(writer);
+    WireReader reader(buf.data(), buf.size());
+    const auto decoded =
+        platform::WireRegistry::instance().decode(kTagGvtAnnounce, reader);
+    auto* out = dynamic_cast<GvtAnnounceMessage*>(decoded.get());
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->gvt(), gvt);
+  }
+}
+
+TEST(WireCodec, RegistryRejectsUnknownTagsAndReRegistration) {
+  register_wire_messages();
+  register_wire_messages();  // idempotent by tag+name
+
+  std::vector<std::uint8_t> empty;
+  WireReader reader(empty.data(), empty.size());
+  EXPECT_THROW(
+      (void)platform::WireRegistry::instance().decode(/*tag=*/0x7777, reader),
+      ContractViolation);
+  EXPECT_FALSE(platform::WireRegistry::instance().knows(0x7777));
+  EXPECT_TRUE(platform::WireRegistry::instance().knows(kTagEventBatch));
+  EXPECT_STREQ(platform::WireRegistry::instance().name_of(kTagEventBatch),
+               "tw.EventBatch");
+}
+
+TEST(WireCodec, TruncatedFrameIsACleanError) {
+  register_wire_messages();
+  std::vector<std::uint8_t> buf;
+  WireWriter writer(buf);
+  const EventBatchMessage msg(std::vector<Event>{sample_event(1)});
+  msg.encode_wire(writer);
+  buf.pop_back();  // cut the final payload byte
+  WireReader reader(buf.data(), buf.size());
+  EXPECT_THROW((void)platform::WireRegistry::instance().decode(kTagEventBatch,
+                                                               reader),
+               ContractViolation);
+}
+
+TEST(WireCodec, FrameHeaderRoundtrips) {
+  platform::FrameHeader header;
+  header.payload_len = 1'234;
+  header.tag = kTagEventBatch;
+  header.flags = 0x0001;
+  header.src_lp = 5;
+  header.dst_lp = 11;
+  std::uint8_t raw[platform::kFrameHeaderBytes];
+  platform::encode_frame_header(header, raw);
+  const platform::FrameHeader out = platform::decode_frame_header(raw);
+  EXPECT_EQ(out.payload_len, header.payload_len);
+  EXPECT_EQ(out.tag, header.tag);
+  EXPECT_EQ(out.flags, header.flags);
+  EXPECT_EQ(out.src_lp, header.src_lp);
+  EXPECT_EQ(out.dst_lp, header.dst_lp);
+}
+
+}  // namespace
+}  // namespace otw::tw
