@@ -88,7 +88,11 @@ int main() {
   }
 
   // Monotonicity verdict: each point must at least match the best seen so
-  // far, with 3% slack for scheduler noise on shared CI machines.
+  // far, with 3% slack for scheduler noise on shared CI machines. On a
+  // 1-hardware-thread container the sweep is a single point and the check is
+  // vacuous — report "skipped" rather than a meaningless pass, so CI can
+  // tell a verified curve from a degenerate one.
+  const bool degenerate = max_workers < 2;
   bool monotonic = true;
   double best_so_far = 0.0;
   for (const ScalePoint& p : curve) {
@@ -99,15 +103,17 @@ int main() {
                              ? curve.back().events_per_sec /
                                    curve.front().events_per_sec
                              : 1.0;
-  std::printf("\n  speedup %ux -> %ux workers: %.2fx, monotonic: %s\n",
-              curve.front().workers, curve.back().workers, speedup,
-              monotonic ? "yes" : "NO");
+  const char* verdict =
+      degenerate ? "skipped" : (monotonic ? "pass" : "fail");
+  std::printf("\n  speedup %ux -> %ux workers: %.2fx, verdict: %s\n",
+              curve.front().workers, curve.back().workers, speedup, verdict);
 
   std::ofstream out("BENCH_threaded.json");
   if (out) {
     out << "{\n  \"bench\": \"threaded_scaling\",\n";
     out << "  \"hardware_threads\": " << hw << ",\n";
     out << "  \"event_grain_ns\": " << app.event_grain_ns << ",\n";
+    out << "  \"verdict\": \"" << verdict << "\",\n";
     out << "  \"monotonic_non_decreasing\": " << (monotonic ? "true" : "false")
         << ",\n";
     out << "  \"monotonic_tolerance\": 0.97,\n";
@@ -124,5 +130,5 @@ int main() {
     out << "  ]\n}\n";
     std::printf("  [scaling json: BENCH_threaded.json]\n");
   }
-  return monotonic ? 0 : 1;
+  return degenerate || monotonic ? 0 : 1;
 }

@@ -1,0 +1,88 @@
+// Embedded scrape endpoint (otw::obs::live::LiveServer): one background
+// thread that owns a loopback HTTP listener and the watchdog monitor loop.
+//
+//   GET /metrics   Prometheus text exposition (otw_live_* family)
+//   GET /snapshot  JSON snapshot document (what twtop polls)
+//   GET /health    structured health events, one JSON object per line
+//
+// The server never touches the registry's writers: it pulls snapshots
+// through a caller-supplied SnapshotFn (local registry, or the
+// coordinator's ClusterView in distributed runs), so the simulation side of
+// the live plane stays lock-free. HTTP handling is deliberately minimal —
+// sequential accept, first request line parsed, connection closed after one
+// response — which is all a scrape needs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "otw/obs/live.hpp"
+
+#if OTW_OBS_LIVE
+#include <atomic>
+#include <mutex>
+#include <thread>
+#endif
+
+namespace otw::obs::live {
+
+struct LiveServerConfig {
+  /// TCP port on 127.0.0.1; 0 = kernel-assigned ephemeral port.
+  std::uint16_t port = 0;
+  /// Watchdog evaluation cadence (also bounds scrape-accept latency).
+  std::uint32_t monitor_period_ms = 100;
+  WatchdogConfig watchdog;
+  /// Invoked once from start() with the bound port (ephemeral-port
+  /// discovery for tests and tools); runs on the caller's thread.
+  std::function<void(std::uint16_t)> on_endpoint;
+};
+
+class LiveServer {
+ public:
+  /// Produces the per-shard snapshots to serve/evaluate. Called from the
+  /// server thread every monitor period and per request; must be
+  /// thread-safe with respect to the simulation.
+  using SnapshotFn = std::function<std::vector<LiveSnapshot>()>;
+
+  LiveServer(LiveServerConfig config, SnapshotFn snapshots);
+  ~LiveServer();
+
+  LiveServer(const LiveServer&) = delete;
+  LiveServer& operator=(const LiveServer&) = delete;
+
+  /// Binds the listener and launches the server thread. Throws on bind
+  /// failure. No-op when the live plane is compiled out.
+  void start();
+
+  /// Joins the server thread and closes the listener. Idempotent.
+  void stop();
+
+  /// Bound port (valid after start(); 0 when compiled out / not started).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Every health event the watchdog has emitted so far (run summary).
+  [[nodiscard]] std::vector<HealthEvent> health() const;
+
+ private:
+#if OTW_OBS_LIVE
+  void serve();
+  void handle_client(int fd);
+  [[nodiscard]] std::string render(const std::string& path);
+
+  LiveServerConfig config_;
+  SnapshotFn snapshots_;
+  Watchdog watchdog_;
+  mutable std::mutex watchdog_mutex_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+#else
+  LiveServerConfig config_;
+  SnapshotFn snapshots_;
+#endif
+};
+
+}  // namespace otw::obs::live

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
+#include "otw/obs/live.hpp"
 #include "otw/obs/phase_profiler.hpp"
 #include "otw/obs/trace.hpp"
 
@@ -29,6 +31,27 @@ struct ObsConfig {
   bool profiling = false;
   /// Trace-ring capacity in records, per LP (overwrite-oldest on overflow).
   std::size_t ring_capacity = 1u << 16;
+
+  /// Live introspection plane: a non-zero port (or live.enabled) arms the
+  /// registry and starts the scrape endpoint on 127.0.0.1:live_port
+  /// (live_port == 0 with live.enabled: kernel-assigned ephemeral port,
+  /// discoverable via live.on_endpoint).
+  std::uint16_t live_port = 0;
+  struct Live {
+    /// Force-enable with an ephemeral port even when live_port == 0.
+    bool enabled = false;
+    /// Watchdog evaluation cadence on the endpoint's monitor thread.
+    std::uint32_t monitor_period_ms = 100;
+    /// Shard STATS-frame cadence in the distributed engine.
+    std::uint32_t stats_period_ms = 50;
+    live::WatchdogConfig watchdog;
+    /// Invoked once with the bound endpoint port when the server starts.
+    std::function<void(std::uint16_t)> on_endpoint;
+  } live;
+
+  [[nodiscard]] bool live_enabled() const noexcept {
+    return live.enabled || live_port != 0;
+  }
 };
 
 class Recorder {

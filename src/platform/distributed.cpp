@@ -1,9 +1,5 @@
 #include "otw/platform/distributed.hpp"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
@@ -11,10 +7,8 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <csignal>
 #include <cstdio>
-#include <cstring>
 #include <deque>
 #include <exception>
 #include <limits>
@@ -23,6 +17,7 @@
 
 #include "otw/platform/wire.hpp"
 #include "otw/util/assert.hpp"
+#include "otw/util/net.hpp"
 
 namespace otw::platform {
 
@@ -33,97 +28,35 @@ constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
 // Transport-reserved control tags (>= kReservedTagBase, never in the registry).
 constexpr WireTag kTagHello = 0xFF01;   ///< child -> coordinator: src_lp = shard
 constexpr WireTag kTagResult = 0xFF02;  ///< child -> coordinator: shard summary
+constexpr WireTag kTagStats = 0xFF03;   ///< child -> coordinator: live snapshot
 
 /// FrameHeader.flags bit for control-plane frames (EngineMessage::wire_control).
 constexpr std::uint16_t kFlagControl = 0x0001;
 
-[[nodiscard]] std::uint64_t mono_ns() noexcept {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+// POSIX plumbing lives in util::net (shared with the obs::live endpoint);
+// these shims pin the error-message prefix for this transport.
+const std::string kNetCtx = "DistributedEngine";
+
+using util::net::mono_ns;
 
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error("DistributedEngine: " + what + ": " +
-                           std::strerror(errno));
+  util::net::throw_errno(kNetCtx, what);
 }
 
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
-    throw_errno("fcntl(O_NONBLOCK)");
-  }
-}
+void set_nonblocking(int fd) { util::net::set_nonblocking(fd, kNetCtx); }
 
 void set_nodelay(int fd) {
   // Nagle would serialize the latency the aggregation layer is measuring;
   // batching is DyMA's job, not the kernel's.
-  const int one = 1;
-  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one) < 0) {
-    throw_errno("setsockopt(TCP_NODELAY)");
-  }
+  util::net::set_nodelay(fd, kNetCtx);
 }
 
-/// Blocking wait for one poll event on a (possibly non-blocking) fd.
-void wait_for(int fd, short events) {
-  pollfd p{fd, events, 0};
-  for (;;) {
-    const int rc = ::poll(&p, 1, -1);
-    if (rc > 0) {
-      return;
-    }
-    if (rc < 0 && errno != EINTR) {
-      throw_errno("poll");
-    }
-  }
-}
-
-/// Writes the whole buffer, polling through EAGAIN (fd may be non-blocking).
 void write_all(int fd, const std::uint8_t* data, std::size_t len) {
-  std::size_t off = 0;
-  while (off < len) {
-    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
-    if (n > 0) {
-      off += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      wait_for(fd, POLLOUT);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) {
-      continue;
-    }
-    throw_errno("send");
-  }
+  util::net::write_all(fd, data, len, kNetCtx);
 }
 
-/// Reads exactly len bytes, polling through EAGAIN. False on clean EOF at a
-/// frame boundary (off == 0); throws on EOF mid-object.
 bool read_exact(int fd, std::uint8_t* data, std::size_t len) {
-  std::size_t off = 0;
-  while (off < len) {
-    const ssize_t n = ::recv(fd, data + off, len - off, 0);
-    if (n > 0) {
-      off += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n == 0) {
-      if (off == 0) {
-        return false;
-      }
-      throw std::runtime_error("DistributedEngine: peer closed mid-frame");
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      wait_for(fd, POLLIN);
-      continue;
-    }
-    if (errno != EINTR) {
-      throw_errno("recv");
-    }
-  }
-  return true;
+  return util::net::read_exact(fd, data, len, kNetCtx);
 }
 
 void send_frame(int fd, const FrameHeader& header, const std::uint8_t* payload) {
@@ -163,9 +96,11 @@ struct ShardTotals {
 class ShardDriver {
  public:
   ShardDriver(std::uint32_t shard, const DistributedConfig& config,
-              const std::vector<LpRunner*>& all_lps, int fd)
+              const std::vector<LpRunner*>& all_lps, int fd,
+              const LiveStatsHooks& live)
       : shard_(shard),
         config_(config),
+        live_(live),
         num_lps_(static_cast<LpId>(all_lps.size())),
         fd_(fd),
         trace_(config.wire_trace_capacity ? config.wire_trace_capacity : 1),
@@ -203,11 +138,14 @@ class ShardDriver {
   void drain_socket();
   void handle_frame(const FrameHeader& header, const std::uint8_t* payload);
   void idle_wait();
+  void maybe_send_stats();
 
   class Context;
 
   std::uint32_t shard_;
   const DistributedConfig& config_;
+  const LiveStatsHooks& live_;
+  std::uint64_t next_stats_ns_ = 0;  ///< driver-relative deadline (now_ns())
   LpId num_lps_;
   int fd_;
   std::vector<ShardLp> lps_;
@@ -360,12 +298,18 @@ void ShardDriver::drain_socket() {
 
 void ShardDriver::idle_wait() {
   // Everyone local is Idle with an empty inbox: sleep until a frame arrives
-  // or the earliest self-requested wakeup, capped at idle_poll_us.
+  // or the earliest self-requested wakeup, capped at idle_poll_us. An armed
+  // STATS deadline also caps the sleep: an idle shard must keep reporting,
+  // or the coordinator's silent-shard watchdog would see a healthy-but-quiet
+  // worker as dead.
   std::uint64_t next_wake = kNever;
   for (const ShardLp& lp : lps_) {
     if (lp.status != StepStatus::Done) {
       next_wake = std::min(next_wake, lp.wake_hint_ns);
     }
+  }
+  if (live_.enabled()) {
+    next_wake = std::min(next_wake, next_stats_ns_);
   }
   std::uint64_t timeout_us = config_.idle_poll_us;
   if (next_wake != kNever) {
@@ -382,10 +326,31 @@ void ShardDriver::idle_wait() {
   }
 }
 
+void ShardDriver::maybe_send_stats() {
+  if (!live_.enabled()) {
+    return;
+  }
+  const std::uint64_t now = now_ns();
+  if (now < next_stats_ns_) {
+    return;
+  }
+  next_stats_ns_ = now + static_cast<std::uint64_t>(live_.period_ms) * 1'000'000;
+  const std::vector<std::uint8_t> payload = live_.encode(shard_);
+  FrameHeader header;
+  header.payload_len = static_cast<std::uint32_t>(payload.size());
+  header.tag = kTagStats;
+  header.flags = kFlagControl;
+  header.src_lp = shard_;
+  send_frame(fd_, header, payload.data());
+  ++totals_.dist.frames_sent;
+  totals_.dist.bytes_sent += kFrameHeaderBytes + payload.size();
+}
+
 void ShardDriver::run() {
   std::size_t remaining = lps_.size();
   while (remaining > 0) {
     drain_socket();
+    maybe_send_stats();
     bool ran_any = false;
     const std::uint64_t now = now_ns();
     for (ShardLp& lp : lps_) {
@@ -448,19 +413,10 @@ void ShardDriver::encode_result(WireWriter& w,
 [[noreturn]] void worker_main(std::uint32_t shard, const DistributedConfig& config,
                               const std::vector<LpRunner*>& lps,
                               std::uint16_t port,
-                              const DistributedEngine::HarvestFn& harvest) {
+                              const DistributedEngine::HarvestFn& harvest,
+                              const LiveStatsHooks& live) {
   try {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) {
-      throw_errno("socket");
-    }
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-      throw_errno("connect");
-    }
+    const int fd = util::net::connect_loopback(port, kNetCtx);
     set_nodelay(fd);
 
     // HELLO must be the first (and, until the driver runs, only) frame on
@@ -472,7 +428,7 @@ void ShardDriver::encode_result(WireWriter& w,
     send_frame(fd, hello, nullptr);
     set_nonblocking(fd);
 
-    ShardDriver driver(shard, config, lps, fd);
+    ShardDriver driver(shard, config, lps, fd, live);
     driver.run();
 
     const std::vector<std::uint8_t> blob =
@@ -534,7 +490,8 @@ void flush_conn(Conn& conn) {
 }  // namespace
 
 EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
-                                       HarvestFn harvest) {
+                                       HarvestFn harvest,
+                                       LiveStatsHooks live) {
   OTW_REQUIRE(!lps.empty());
   for (auto* lp : lps) {
     OTW_REQUIRE(lp != nullptr);
@@ -548,30 +505,9 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
   payloads_.assign(num_shards, {});
 
   // Loopback listener; port 0 lets the kernel pick a free one.
-  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    throw_errno("socket (listen)");
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    ::close(listen_fd);
-    throw_errno("bind");
-  }
-  if (::listen(listen_fd, static_cast<int>(num_shards)) < 0) {
-    ::close(listen_fd);
-    throw_errno("listen");
-  }
-  socklen_t addr_len = sizeof addr;
-  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
-    ::close(listen_fd);
-    throw_errno("getsockname");
-  }
-  const std::uint16_t port = ntohs(addr.sin_port);
+  std::uint16_t port = 0;
+  const int listen_fd = util::net::listen_loopback(
+      config_.port, static_cast<int>(num_shards), port, kNetCtx);
 
   std::vector<pid_t> children(num_shards, -1);
   for (std::uint32_t shard = 0; shard < num_shards; ++shard) {
@@ -588,7 +524,7 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
     }
     if (pid == 0) {
       ::close(listen_fd);
-      worker_main(shard, config_, lps, port, harvest);  // never returns
+      worker_main(shard, config_, lps, port, harvest, live);  // never returns
     }
     children[shard] = pid;
   }
@@ -725,6 +661,16 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
             }
             conn.done = true;
             ++results;
+          } else if (header.tag == kTagStats) {
+            // Live health snapshot: absorbed here, never relayed. The hook
+            // may legitimately be absent (a stale child racing shutdown
+            // cannot happen — workers only stream while running — but a
+            // defensive null check costs nothing).
+            if (live.on_stats) {
+              live.on_stats(conn.shard, frame + kFrameHeaderBytes,
+                            header.payload_len);
+            }
+            ++result.dist.stats_frames;
           } else {
             OTW_REQUIRE_MSG(header.tag < kReservedTagBase,
                             "unexpected control frame from worker");

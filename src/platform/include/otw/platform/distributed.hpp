@@ -24,6 +24,7 @@
 // coordinator joins them with waitpid and fails loudly on a non-zero child.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -62,6 +63,30 @@ struct DistributedConfig {
   return lp % num_shards;
 }
 
+/// Live health streaming over the worker<->coordinator streams: when
+/// period_ms > 0, every worker emits a STATS control frame (tag 0xFF03)
+/// carrying whatever bytes `encode` returns (the kernel serializes its live
+/// registry snapshot with it), and the coordinator hands each payload to
+/// `on_stats` instead of relaying it. The engine treats payloads as opaque,
+/// mirroring HarvestFn — no kernel or obs types cross this interface.
+struct LiveStatsHooks {
+  /// STATS cadence per worker; 0 disables the stream entirely.
+  std::uint32_t period_ms = 0;
+  /// Worker side: serialize the shard's current live state (called in the
+  /// worker process between LP steps; `shard` identifies the caller, exactly
+  /// like HarvestFn).
+  std::function<std::vector<std::uint8_t>(std::uint32_t shard)> encode;
+  /// Coordinator side: consume one shard's payload (called on the relay
+  /// loop thread; must be fast or it backpressures the relay).
+  std::function<void(std::uint32_t shard, const std::uint8_t* data,
+                     std::size_t len)>
+      on_stats;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return period_ms > 0 && encode && on_stats;
+  }
+};
+
 class DistributedEngine {
  public:
   /// Serializes whatever the caller wants back from a finished shard
@@ -73,8 +98,10 @@ class DistributedEngine {
   /// Drives all LPs to completion across config.num_shards processes.
   /// Returns in the coordinator only; worker processes _exit() internally.
   /// Throws std::runtime_error on socket failures, worker crashes or step
-  /// overrun. `harvest` may be null (no shard payloads collected).
-  EngineRunResult run(const std::vector<LpRunner*>& lps, HarvestFn harvest);
+  /// overrun. `harvest` may be null (no shard payloads collected); `live`
+  /// may be default (no STATS streaming).
+  EngineRunResult run(const std::vector<LpRunner*>& lps, HarvestFn harvest,
+                      LiveStatsHooks live = {});
 
   /// Opaque per-shard payloads produced by the harvest callback, indexed by
   /// shard id. Valid after run() returns. (Per-shard wire trace logs, when

@@ -164,6 +164,7 @@ struct DistStats {
   std::uint64_t bytes_sent = 0;        ///< header + payload bytes written
   std::uint64_t bytes_received = 0;    ///< header + payload bytes decoded
   std::uint64_t gvt_token_frames = 0;  ///< control frames (GVT tokens/announces)
+  std::uint64_t stats_frames = 0;      ///< live STATS frames the coordinator absorbed
   std::uint64_t serialize_ns = 0;      ///< wall time spent encoding payloads
   std::uint64_t deserialize_ns = 0;    ///< wall time spent decoding payloads
 
@@ -174,6 +175,7 @@ struct DistStats {
     bytes_sent += other.bytes_sent;
     bytes_received += other.bytes_received;
     gvt_token_frames += other.gvt_token_frames;
+    stats_frames += other.stats_frames;
     serialize_ns += other.serialize_ns;
     deserialize_ns += other.deserialize_ns;
   }

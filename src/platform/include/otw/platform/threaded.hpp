@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "otw/obs/live.hpp"
 #include "otw/platform/cost_model.hpp"
 #include "otw/platform/engine.hpp"
 
@@ -42,6 +43,10 @@ struct ThreadedConfig {
   /// Per-worker scheduler trace-ring capacity (park/steal/wake records,
   /// drained into EngineRunResult::worker_traces). 0 = off.
   std::size_t scheduler_trace_capacity = 0;
+  /// Live introspection registry for engine-wide occupancy gauges (mailbox
+  /// population, parked workers); null = no live publishing. Must outlive
+  /// the run. Updates are relaxed fetch_adds — digest-neutral.
+  obs::live::LiveMetricsRegistry* live = nullptr;
 };
 
 class ThreadedEngine {

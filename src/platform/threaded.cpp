@@ -276,6 +276,9 @@ class Scheduler {
       return;
     }
     ++me.stats.parks;
+    if (auto* live_reg = config_.live) {
+      live_reg->engine_add(obs::live::EngineGauge::WorkersParked, +1);
+    }
     const std::uint64_t park_begin = now_ns();
     const std::uint64_t deadline = wheel_.next_deadline();
     bool token = false;
@@ -305,6 +308,9 @@ class Scheduler {
       }
     }
     parked_.fetch_sub(1, std::memory_order_relaxed);
+    if (auto* live_reg = config_.live) {
+      live_reg->engine_add(obs::live::EngineGauge::WorkersParked, -1);
+    }
     if (token) {
       ++me.stats.wakes;
     }
@@ -413,6 +419,9 @@ class ThreadContext final : public LpContext {
     const std::uint64_t bytes = msg->wire_bytes();
     charge(sched_.config().costs.send_cost_ns(bytes));
     sched_.slot(dst).mailbox.push(std::move(msg));
+    if (auto* live = sched_.config().live) {
+      live->engine_add(obs::live::EngineGauge::MailboxOccupancy, +1);
+    }
     WorkerData& me = sched_.worker(worker_);
     ++me.physical_messages;
     me.wire_bytes += bytes;
@@ -423,6 +432,9 @@ class ThreadContext final : public LpContext {
     auto msg = sched_.slot(lp_).mailbox.pop();
     if (!msg.has_value()) {
       return nullptr;
+    }
+    if (auto* live = sched_.config().live) {
+      live->engine_add(obs::live::EngineGauge::MailboxOccupancy, -1);
     }
     charge(sched_.config().costs.msg_recv_overhead_ns);
     return std::move(*msg);

@@ -14,6 +14,7 @@
 #include "otw/platform/wire.hpp"
 #include "otw/tw/wire.hpp"
 #include "otw/util/assert.hpp"
+#include "otw/util/net.hpp"
 
 namespace otw::tw::detail {
 
@@ -213,6 +214,42 @@ RunResult run_distributed_impl(const Model& model, const KernelConfig& config,
 
   platform::DistributedEngine engine(dist_config);
   const std::uint32_t num_shards = dist_config.num_shards;
+
+  // Live plane: every forked worker inherits its own copy of the registry
+  // (assemble allocates it pre-fork), encodes snapshots of it into STATS
+  // frames, and the coordinator folds the decoded payloads into a
+  // ClusterView that backs the scrape endpoint and the watchdog.
+  platform::LiveStatsHooks live_hooks;
+  std::unique_ptr<obs::live::ClusterView> cluster;
+  std::unique_ptr<obs::live::LiveServer> server;
+  if (assembly.live != nullptr) {
+    cluster = std::make_unique<obs::live::ClusterView>(num_shards);
+    obs::live::ClusterView* view = cluster.get();
+    const std::shared_ptr<obs::live::LiveMetricsRegistry> registry = assembly.live;
+    live_hooks.period_ms = config.observability.live.stats_period_ms;
+    live_hooks.encode = [registry](std::uint32_t shard) {
+      std::vector<std::uint8_t> out;
+      obs::live::encode_snapshot(registry->snapshot(shard, util::net::mono_ns()),
+                                 out);
+      return out;
+    };
+    live_hooks.on_stats = [view](std::uint32_t shard, const std::uint8_t* data,
+                                 std::size_t len) {
+      obs::live::LiveSnapshot snap;
+      if (obs::live::decode_snapshot(data, len, snap) && snap.shard == shard) {
+        view->update(std::move(snap), util::net::mono_ns());
+      }
+    };
+    obs::live::LiveServerConfig server_config;
+    server_config.port = config.observability.live_port;
+    server_config.monitor_period_ms = config.observability.live.monitor_period_ms;
+    server_config.watchdog = config.observability.live.watchdog;
+    server_config.on_endpoint = config.observability.live.on_endpoint;
+    server = std::make_unique<obs::live::LiveServer>(
+        server_config, [view] { return view->shards(); });
+    server->start();
+  }
+
   const platform::EngineRunResult engine_result = engine.run(
       assembly.runners,
       [&assembly, num_shards](std::uint32_t shard) {
@@ -220,7 +257,8 @@ RunResult run_distributed_impl(const Model& model, const KernelConfig& config,
         WireWriter writer(blob);
         encode_shard(writer, assembly, shard, num_shards);
         return blob;
-      });
+      },
+      live_hooks);
 
   RunResult result;
   result.execution_time_ns = engine_result.execution_time_ns;
@@ -282,6 +320,7 @@ RunResult run_distributed_impl(const Model& model, const KernelConfig& config,
       result.telemetry.objects.clear();
     }
   }
+  finish_live_server(server, result);
   return result;
 }
 

@@ -71,6 +71,10 @@ struct RunResult {
   /// Per-LP phase breakdown (empty unless observability.profiling); index
   /// matches LpId. Times are modeled ns (simulated NOW) or wall ns (threaded).
   std::vector<obs::PhaseTotals> lp_phases;
+  /// Watchdog health events (empty unless the live plane was enabled via
+  /// observability.live_port / observability.live.enabled). Export with
+  /// obs::live::write_health_jsonl.
+  std::vector<obs::live::HealthEvent> health;
 
   [[nodiscard]] double execution_time_sec() const noexcept {
     return static_cast<double>(execution_time_ns) / 1e9;
@@ -98,19 +102,6 @@ struct EngineTuning {
 /// (rollbacks, GVT telemetry, traces) stay empty.
 RunResult run(const Model& model, const KernelConfig& config,
               const EngineTuning& tuning = {});
-
-/// Runs the model on the deterministic simulated network-of-workstations.
-[[deprecated("use tw::run with engine.kind = EngineKind::SimulatedNow")]]
-RunResult run_simulated_now(const Model& model, const KernelConfig& config,
-                            const platform::SimulatedNowConfig& now_config = {});
-
-/// Runs the model on the real-thread work-stealing scheduler. When
-/// `config.observability.tracing` is on and the engine config leaves
-/// `scheduler_trace_capacity` at 0, per-worker scheduler tracks are captured
-/// at the kernel trace capacity.
-[[deprecated("use tw::run with engine.kind = EngineKind::Threaded")]]
-RunResult run_threaded(const Model& model, const KernelConfig& config,
-                       const platform::ThreadedConfig& threaded_config = {});
 
 /// Ground-truth sequential execution of the same model.
 struct SequentialResult {

@@ -10,6 +10,7 @@
 #include "otw/comm/aggregation.hpp"
 #include "otw/core/optimism_controller.hpp"
 #include "otw/core/pressure_controller.hpp"
+#include "otw/obs/live.hpp"
 #include "otw/obs/recorder.hpp"
 #include "otw/platform/engine.hpp"
 #include "otw/tw/gvt.hpp"
@@ -150,6 +151,11 @@ class LogicalProcess final : public platform::LpRunner, public LpServices {
     channel_.set_recycler(batch_pool_.get());
   }
 
+  /// Live introspection registry (null: publishing disabled). Installed by
+  /// the kernel before the run starts; must outlive the run. Publishing is
+  /// relaxed atomic stores only — provably digest-neutral.
+  void set_live(obs::live::LiveMetricsRegistry* live) noexcept { live_ = live; }
+
   // --- results / introspection ---
   [[nodiscard]] VirtualTime gvt() const noexcept { return gvt_value_; }
   [[nodiscard]] bool done() const noexcept { return done_; }
@@ -198,6 +204,9 @@ class LogicalProcess final : public platform::LpRunner, public LpServices {
   /// Annihilates a held positive matching `anti` in place (the pair never
   /// reaches the wire). True when a match was found.
   bool annihilate_held(const Event& anti);
+  /// Copies this LP's running totals into its live-registry cell (relaxed
+  /// stores of absolute totals; see obs/live.hpp for the ordering argument).
+  void publish_live() noexcept;
 
   LpId id_;
   KernelConfig config_;
@@ -231,6 +240,7 @@ class LogicalProcess final : public platform::LpRunner, public LpServices {
   std::uint64_t events_processed_total_ = 0;
   std::vector<LpSample> trace_;
   LpStats stats_;
+  obs::live::LiveMetricsRegistry* live_ = nullptr;
 };
 
 }  // namespace otw::tw

@@ -5,6 +5,7 @@
 
 #include "kernel_internal.hpp"
 #include "otw/util/assert.hpp"
+#include "otw/util/net.hpp"
 
 namespace otw::tw {
 
@@ -22,23 +23,32 @@ RunResult run_simulated_now_impl(const Model& model, const KernelConfig& config,
                                  const platform::SimulatedNowConfig& now_config) {
   const auto start = WallClock::now();
   detail::Assembly assembly = detail::assemble(model, config);
+  auto live_server = detail::start_live_server(config, assembly);
   platform::SimulatedNowEngine engine(now_config);
   const platform::EngineRunResult engine_result = engine.run(assembly.runners);
-  return detail::collect(model, assembly, engine_result, elapsed_ns(start));
+  RunResult result =
+      detail::collect(model, assembly, engine_result, elapsed_ns(start));
+  detail::finish_live_server(live_server, result);
+  return result;
 }
 
 RunResult run_threaded_impl(const Model& model, const KernelConfig& config,
                             const platform::ThreadedConfig& threaded_config) {
   const auto start = WallClock::now();
   detail::Assembly assembly = detail::assemble(model, config);
+  auto live_server = detail::start_live_server(config, assembly);
   platform::ThreadedConfig engine_config = threaded_config;
   if (config.observability.tracing &&
       engine_config.scheduler_trace_capacity == 0) {
     engine_config.scheduler_trace_capacity = config.observability.ring_capacity;
   }
+  engine_config.live = assembly.live.get();
   platform::ThreadedEngine engine(engine_config);
   const platform::EngineRunResult engine_result = engine.run(assembly.runners);
-  return detail::collect(model, assembly, engine_result, elapsed_ns(start));
+  RunResult result =
+      detail::collect(model, assembly, engine_result, elapsed_ns(start));
+  detail::finish_live_server(live_server, result);
+  return result;
 }
 
 /// Ground-truth kernel adapted to the common result shape. Only what a
@@ -92,6 +102,17 @@ Assembly assemble(const Model& model, const KernelConfig& config) {
   auto batch_pool = std::make_shared<util::BufferPool<Event>>();
   for (const auto& lp : assembly.lps) {
     lp->set_batch_pool(batch_pool);
+  }
+  // Live plane: one registry cell bank for the whole assembly. In the
+  // distributed engine this allocation happens pre-fork, so every shard
+  // inherits a private copy and publishes into its own cells.
+  if (config.observability.live_enabled() &&
+      obs::live::LiveMetricsRegistry::compiled_in()) {
+    assembly.live =
+        std::make_shared<obs::live::LiveMetricsRegistry>(config.num_lps);
+    for (const auto& lp : assembly.lps) {
+      lp->set_live(assembly.live.get());
+    }
   }
   assembly.runners.reserve(assembly.lps.size());
   for (const auto& lp : assembly.lps) {
@@ -158,6 +179,36 @@ RunResult collect(const Model& model, Assembly& assembly,
     }
   }
   return result;
+}
+
+std::unique_ptr<obs::live::LiveServer> start_live_server(
+    const KernelConfig& config, const Assembly& assembly) {
+  if (!assembly.live) {
+    return nullptr;
+  }
+  obs::live::LiveServerConfig server_config;
+  server_config.port = config.observability.live_port;
+  server_config.monitor_period_ms = config.observability.live.monitor_period_ms;
+  server_config.watchdog = config.observability.live.watchdog;
+  server_config.on_endpoint = config.observability.live.on_endpoint;
+  std::shared_ptr<obs::live::LiveMetricsRegistry> registry = assembly.live;
+  auto server = std::make_unique<obs::live::LiveServer>(
+      std::move(server_config), [registry] {
+        return std::vector<obs::live::LiveSnapshot>{
+            registry->snapshot(/*shard=*/0, util::net::mono_ns())};
+      });
+  server->start();
+  return server;
+}
+
+void finish_live_server(std::unique_ptr<obs::live::LiveServer>& server,
+                        RunResult& result) {
+  if (!server) {
+    return;
+  }
+  server->stop();
+  result.health = server->health();
+  server.reset();
 }
 
 void require_valid(const KernelConfig& config) {
@@ -272,6 +323,37 @@ std::vector<std::string> KernelConfig::validate() const {
     fail("telemetry.sample_period_events must be >= 1 when telemetry is on");
   }
 
+  // --- live introspection plane ---
+  if (observability.live_enabled()) {
+    if (observability.live.monitor_period_ms == 0) {
+      fail("observability.live.monitor_period_ms must be >= 1 (the watchdog "
+           "would spin)");
+    }
+    if (observability.live.stats_period_ms == 0) {
+      fail("observability.live.stats_period_ms must be >= 1 (shards would "
+           "flood the coordinator with STATS frames)");
+    }
+    const auto& wd = observability.live.watchdog;
+    if (wd.gvt_stall_feeds == 0 || wd.occupancy_feeds == 0) {
+      fail("observability.live.watchdog feed counts must be >= 1 (a rule "
+           "would raise on the first sample)");
+    }
+    if (wd.rollback_ratio <= 0.0) {
+      fail("observability.live.watchdog.rollback_ratio must be > 0");
+    }
+    if (wd.rollback_min_events == 0) {
+      fail("observability.live.watchdog.rollback_min_events must be >= 1 "
+           "(an empty delta window would trigger the storm rule)");
+    }
+    if (wd.occupancy_fraction <= 0.0 || wd.occupancy_fraction > 1.0) {
+      fail("observability.live.watchdog.occupancy_fraction must lie in "
+           "(0, 1] (it is a budget fraction)");
+    }
+    if (wd.shard_silent_ns == 0) {
+      fail("observability.live.watchdog.shard_silent_ns must be >= 1");
+    }
+  }
+
   // --- engine sizing ---
   if (engine.kind == EngineKind::Threaded && engine.num_workers > 512) {
     fail("engine.num_workers exceeds 512 (use 0 for one per hardware "
@@ -331,18 +413,6 @@ RunResult run(const Model& model, const KernelConfig& config,
     }
   }
   OTW_REQUIRE_MSG(false, "unknown engine kind");
-}
-
-RunResult run_simulated_now(const Model& model, const KernelConfig& config,
-                            const platform::SimulatedNowConfig& now_config) {
-  detail::require_valid(config);
-  return run_simulated_now_impl(model, config, now_config);
-}
-
-RunResult run_threaded(const Model& model, const KernelConfig& config,
-                       const platform::ThreadedConfig& threaded_config) {
-  detail::require_valid(config);
-  return run_threaded_impl(model, config, threaded_config);
 }
 
 }  // namespace otw::tw

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "otw/obs/live_server.hpp"
 #include "otw/tw/kernel.hpp"
 
 namespace otw::tw::detail {
@@ -14,9 +15,22 @@ namespace otw::tw::detail {
 struct Assembly {
   std::vector<std::unique_ptr<LogicalProcess>> lps;
   std::vector<platform::LpRunner*> runners;
+  /// Live introspection registry, allocated (and installed into every LP)
+  /// when the config enables the live plane; null otherwise. shared_ptr so
+  /// the scrape thread's snapshot closure can outlive scope churn.
+  std::shared_ptr<obs::live::LiveMetricsRegistry> live;
 };
 
 Assembly assemble(const Model& model, const KernelConfig& config);
+
+/// Starts the scrape endpoint over the assembly's registry (single-shard
+/// view). Null when the live plane is disabled or compiled out.
+std::unique_ptr<obs::live::LiveServer> start_live_server(
+    const KernelConfig& config, const Assembly& assembly);
+
+/// Stops the server and moves its watchdog history into result.health.
+void finish_live_server(std::unique_ptr<obs::live::LiveServer>& server,
+                        RunResult& result);
 
 /// Builds a RunResult by reading digests/stats/traces out of live LPs (the
 /// in-process engines). The distributed path has its own merge: its LPs

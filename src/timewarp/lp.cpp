@@ -61,6 +61,63 @@ const platform::CostModel& LogicalProcess::costs() const noexcept {
 
 void LogicalProcess::note_rollback(std::size_t undone) noexcept {
   optimism_rolled_back_ += undone;
+  if (live_ != nullptr) {
+    live_->store_gauge(id_, obs::live::Gauge::LastRollbackDepth, undone);
+  }
+}
+
+void LogicalProcess::publish_live() noexcept {
+  using obs::live::Counter;
+  using obs::live::Gauge;
+  obs::live::LiveMetricsRegistry& live = *live_;
+  std::uint64_t processed = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t rolled_back = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t anti_sent = 0;
+  std::uint64_t sent = 0;
+  std::uint32_t checkpoint_period = 0;
+  VirtualTime lvt = VirtualTime::infinity();
+  for (const auto& runtime : runtimes_) {
+    const ObjectStats& s = runtime->stats();
+    processed += s.events_processed;
+    committed += s.events_committed;
+    rolled_back += s.events_rolled_back;
+    rollbacks += s.rollbacks;
+    anti_sent += s.anti_messages_sent;
+    sent += s.messages_sent;
+    checkpoint_period = std::max(checkpoint_period, runtime->checkpoint_interval());
+    lvt = min(lvt, runtime->next_event_time());
+  }
+  live.store_counter(id_, Counter::EventsProcessed, processed);
+  live.store_counter(id_, Counter::EventsCommitted, committed);
+  live.store_counter(id_, Counter::EventsRolledBack, rolled_back);
+  live.store_counter(id_, Counter::Rollbacks, rollbacks);
+  live.store_counter(id_, Counter::AntiMessagesSent, anti_sent);
+  live.store_counter(id_, Counter::MessagesSent, sent);
+  live.store_counter(id_, Counter::SendsHeld, stats_.sends_held);
+  live.store_counter(id_, Counter::PressureEnters, stats_.pressure_enters);
+  live.store_counter(id_, Counter::GvtEpochs, stats_.gvt_epochs);
+  live.store_gauge(id_, Gauge::LvtTicks,
+                   lvt.is_infinity() ? obs::live::kTicksInfinity : lvt.ticks());
+  live.store_gauge(id_, Gauge::MemoryBytes, memory_footprint().total());
+  live.store_gauge(id_, Gauge::MemoryBudgetBytes, stats_.memory_budget_bytes);
+  live.store_gauge(
+      id_, Gauge::PressureState,
+      pressure_ ? static_cast<std::uint64_t>(pressure_->state()) : 0);
+  std::uint64_t window = obs::live::kTicksInfinity;
+  switch (config_.optimism.mode) {
+    case KernelConfig::Optimism::Mode::Unbounded:
+      break;
+    case KernelConfig::Optimism::Mode::Static:
+      window = config_.optimism.window;
+      break;
+    case KernelConfig::Optimism::Mode::Adaptive:
+      window = optimism_ ? optimism_->window() : config_.optimism.window;
+      break;
+  }
+  live.store_gauge(id_, Gauge::OptimismWindowTicks, window);
+  live.store_gauge(id_, Gauge::CheckpointPeriod, checkpoint_period);
 }
 
 VirtualTime LogicalProcess::processing_bound() const noexcept {
@@ -321,6 +378,11 @@ void LogicalProcess::apply_gvt(VirtualTime gvt) {
   for (const auto& runtime : runtimes_) {
     runtime->fossil_collect(gvt);
   }
+  if (live_ != nullptr) {
+    live_->store_gvt(gvt.is_infinity() ? obs::live::kTicksInfinity
+                                       : gvt.ticks());
+    publish_live();
+  }
   // Held sends within the emergency window of the new GVT must flow now:
   // one of them may be the global minimum (deadlock freedom). Re-sample so
   // footprint freed by fossil collection can lift the pressure state without
@@ -429,6 +491,9 @@ platform::StepStatus LogicalProcess::step(platform::LpContext& ctx) {
     ++processed;
   }
   events_processed_total_ += processed;
+  if (live_ != nullptr && processed > 0) {
+    publish_live();
+  }
   if (config_.telemetry.enabled && processed > 0) {
     events_since_sample_ += processed;
     if (events_since_sample_ >= config_.telemetry.sample_period_events) {

@@ -1,0 +1,46 @@
+// Small POSIX socket helpers shared by every localhost TCP surface in the
+// tree: the distributed engine's coordinator/worker streams (PR 5) and the
+// live-introspection scrape endpoint (obs::live). All loopback-only; no name
+// resolution, no TLS. Errors surface as std::runtime_error carrying
+// strerror(errno) and a caller-supplied context prefix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace otw::util::net {
+
+/// Monotonic wall clock, nanoseconds (steady_clock since epoch).
+[[nodiscard]] std::uint64_t mono_ns() noexcept;
+
+/// Throws std::runtime_error("<context>: <what>: <strerror(errno)>").
+[[noreturn]] void throw_errno(const std::string& context, const std::string& what);
+
+void set_nonblocking(int fd, const std::string& context);
+/// Disables Nagle. Batching is the application's job (DyMA), not the kernel's.
+void set_nodelay(int fd, const std::string& context);
+
+/// Blocking wait for one poll event on a (possibly non-blocking) fd.
+/// `events` is a poll(2) event mask (POLLIN / POLLOUT).
+void wait_for(int fd, short events, const std::string& context);
+
+/// Writes the whole buffer, polling through EAGAIN (fd may be non-blocking).
+void write_all(int fd, const std::uint8_t* data, std::size_t len,
+               const std::string& context);
+
+/// Reads exactly len bytes, polling through EAGAIN. False on clean EOF at
+/// offset 0; throws on EOF mid-object.
+bool read_exact(int fd, std::uint8_t* data, std::size_t len,
+                const std::string& context);
+
+/// Binds and listens on 127.0.0.1:port (port 0 = ephemeral). Returns the
+/// listening fd; `bound_port` receives the actual port.
+[[nodiscard]] int listen_loopback(std::uint16_t port, int backlog,
+                                  std::uint16_t& bound_port,
+                                  const std::string& context);
+
+/// Blocking connect to 127.0.0.1:port. Returns the connected fd.
+[[nodiscard]] int connect_loopback(std::uint16_t port, const std::string& context);
+
+}  // namespace otw::util::net

@@ -1,0 +1,147 @@
+#include "otw/util/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace otw::util::net {
+
+std::uint64_t mono_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void throw_errno(const std::string& context, const std::string& what) {
+  throw std::runtime_error(context + ": " + what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd, const std::string& context) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno(context, "fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_nodelay(int fd, const std::string& context) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one) < 0) {
+    throw_errno(context, "setsockopt(TCP_NODELAY)");
+  }
+}
+
+void wait_for(int fd, short events, const std::string& context) {
+  pollfd p{fd, events, 0};
+  for (;;) {
+    const int rc = ::poll(&p, 1, -1);
+    if (rc > 0) {
+      return;
+    }
+    if (rc < 0 && errno != EINTR) {
+      throw_errno(context, "poll");
+    }
+  }
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len,
+               const std::string& context) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_for(fd, POLLOUT, context);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    throw_errno(context, "send");
+  }
+}
+
+bool read_exact(int fd, std::uint8_t* data, std::size_t len,
+                const std::string& context) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::recv(fd, data + off, len - off, 0);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (off == 0) {
+        return false;
+      }
+      throw std::runtime_error(context + ": peer closed mid-frame");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_for(fd, POLLIN, context);
+      continue;
+    }
+    if (errno != EINTR) {
+      throw_errno(context, "recv");
+    }
+  }
+  return true;
+}
+
+int listen_loopback(std::uint16_t port, int backlog, std::uint16_t& bound_port,
+                    const std::string& context) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw_errno(context, "socket (listen)");
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    throw_errno(context, "bind");
+  }
+  if (::listen(fd, backlog) < 0) {
+    ::close(fd);
+    throw_errno(context, "listen");
+  }
+  socklen_t addr_len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
+    ::close(fd);
+    throw_errno(context, "getsockname");
+  }
+  bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+int connect_loopback(std::uint16_t port, const std::string& context) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw_errno(context, "socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    throw_errno(context, "connect");
+  }
+  return fd;
+}
+
+}  // namespace otw::util::net

@@ -16,6 +16,10 @@ Two checks, both zero-dependency (stdlib only), run by CI's docs-check job:
    and fails if any enumerator is missing from that section, so adding a
    trace kind without documenting it breaks CI.
 
+3. HealthRule drift guard. Same discipline for the live plane: the
+   ``HealthRule`` enumerators in ``src/obs/include/otw/obs/live.hpp`` must
+   all appear (backticked) in DESIGN.md section 9's watchdog rule table.
+
 Usage: ``python3 tools/check_docs.py`` from the repository root (or any
 subdirectory; the root is located from this file's path). Exit 0 = clean.
 """
@@ -26,6 +30,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 TRACE_HEADER = REPO_ROOT / "src" / "obs" / "include" / "otw" / "obs" / "trace.hpp"
+LIVE_HEADER = REPO_ROOT / "src" / "obs" / "include" / "otw" / "obs" / "live.hpp"
 DESIGN = REPO_ROOT / "DESIGN.md"
 
 # Directories never scanned for markdown (build trees, VCS internals).
@@ -124,33 +129,39 @@ def check_links():
     return errors
 
 
-def trace_kinds():
-    """Enumerator names of otw::obs::TraceKind, in declaration order."""
-    text = TRACE_HEADER.read_text(encoding="utf-8")
-    m = re.search(r"enum\s+class\s+TraceKind[^{]*\{(.*?)\};", text, re.S)
+def enum_members(header: Path, enum_name: str):
+    """Enumerator names of one ``enum class`` in a header, in order.
+    ``kCount``-style sentinels are skipped."""
+    text = header.read_text(encoding="utf-8")
+    m = re.search(rf"enum\s+class\s+{enum_name}[^{{]*\{{(.*?)\}};", text, re.S)
     if not m:
-        sys.exit(f"error: could not find 'enum class TraceKind' "
-                 f"in {TRACE_HEADER}")
+        sys.exit(f"error: could not find 'enum class {enum_name}' "
+                 f"in {header}")
     body = re.sub(r"//[^\n]*", "", m.group(1))  # strip comments
     body = re.sub(r"/\*.*?\*/", "", body, flags=re.S)
-    kinds = []
+    members = []
     for entry in body.split(","):
         name = entry.split("=")[0].strip()
-        if name:
-            kinds.append(name)
-    return kinds
+        if name and name != "kCount":
+            members.append(name)
+    return members
 
 
-def design_section_5b():
-    """The text of DESIGN.md from the 5b heading to the next ## heading."""
+def trace_kinds():
+    """Enumerator names of otw::obs::TraceKind, in declaration order."""
+    return enum_members(TRACE_HEADER, "TraceKind")
+
+
+def design_section(label: str, what: str):
+    """The text of DESIGN.md from a ``## <label>`` heading to the next ##."""
     lines = DESIGN.read_text(encoding="utf-8").splitlines()
     start = None
     for i, line in enumerate(lines):
-        if re.match(r"^##\s+5b\b", line):
+        if re.match(rf"^##\s+{re.escape(label)}\b", line):
             start = i
             break
     if start is None:
-        sys.exit("error: DESIGN.md has no '## 5b' section (trace schema)")
+        sys.exit(f"error: DESIGN.md has no '## {label}' section ({what})")
     end = len(lines)
     for i in range(start + 1, len(lines)):
         if lines[i].startswith("## "):
@@ -161,7 +172,7 @@ def design_section_5b():
 
 def check_trace_drift():
     errors = []
-    section = design_section_5b()
+    section = design_section("5b", "trace schema")
     for kind in trace_kinds():
         if not re.search(rf"`{re.escape(kind)}`", section):
             errors.append(f"DESIGN.md: TraceKind::{kind} exists in "
@@ -170,8 +181,19 @@ def check_trace_drift():
     return errors
 
 
+def check_health_rule_drift():
+    errors = []
+    section = design_section("9", "live introspection plane")
+    for rule in enum_members(LIVE_HEADER, "HealthRule"):
+        if not re.search(rf"`{re.escape(rule)}`", section):
+            errors.append(f"DESIGN.md: HealthRule::{rule} exists in "
+                          f"live.hpp but is not documented in the "
+                          f"section 9 watchdog rule table")
+    return errors
+
+
 def main():
-    errors = check_links() + check_trace_drift()
+    errors = check_links() + check_trace_drift() + check_health_rule_drift()
     n_md = sum(1 for _ in markdown_files())
     if errors:
         for e in errors:
@@ -180,9 +202,11 @@ def main():
               f"{n_md} markdown files)", file=sys.stderr)
         return 1
     kinds = trace_kinds()
+    rules = enum_members(LIVE_HEADER, "HealthRule")
     print(f"check_docs: OK — {n_md} markdown files, links and anchors "
           f"resolve, all {len(kinds)} TraceKind enumerators documented "
-          f"in DESIGN.md section 5b")
+          f"in DESIGN.md section 5b, all {len(rules)} HealthRule "
+          f"enumerators documented in section 9")
     return 0
 
 

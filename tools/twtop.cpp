@@ -1,0 +1,230 @@
+// twtop: terminal viewer for the live introspection plane.
+//
+// Polls GET /snapshot on a running simulation's scrape endpoint
+// (KernelConfig::observability.live_port) and renders a one-screen summary:
+// cluster GVT, committed-event throughput (derived from successive polls),
+// rollback ratio, one row per shard, and the watchdog's active alarms plus
+// its most recent transitions. Curses-free on purpose — plain ANSI
+// clear+home per frame — so it works in any terminal and inside CI logs.
+//
+//   twtop <port> [--interval-ms N] [--once] [--raw]
+//
+//     --interval-ms N   poll period (default 1000)
+//     --once            print a single frame and exit (no screen clearing)
+//     --raw             dump the raw JSON document instead of rendering
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <sys/socket.h>
+#include <vector>
+
+#include "otw/obs/json.hpp"
+#include "otw/util/net.hpp"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: twtop <port> [--interval-ms N] [--once] [--raw]\n";
+
+/// One blocking HTTP GET against 127.0.0.1:port; returns the response body.
+/// The live server closes the connection after each response, so "read to
+/// EOF, strip headers" is a complete client.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const std::string ctx = "twtop";
+  const int fd = otw::util::net::connect_loopback(port, ctx);
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  try {
+    otw::util::net::write_all(
+        fd, reinterpret_cast<const std::uint8_t*>(request.data()),
+        request.size(), ctx);
+    std::string response;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n > 0) {
+        response.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        break;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      otw::util::net::throw_errno(ctx, "recv");
+    }
+    ::close(fd);
+    const std::size_t split = response.find("\r\n\r\n");
+    if (split == std::string::npos) {
+      throw std::runtime_error("twtop: malformed HTTP response (no header end)");
+    }
+    if (response.rfind("HTTP/1.1 200", 0) != 0) {
+      throw std::runtime_error("twtop: server returned " +
+                               response.substr(0, response.find('\r')));
+    }
+    return response.substr(split + 4);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+double ratio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+
+struct Frame {
+  std::uint64_t wall_ns = 0;
+  double committed = 0.0;
+};
+
+void render(const otw::obs::json::Value& doc, const Frame& prev, bool clear) {
+  if (clear) {
+    std::fputs("\x1b[H\x1b[2J", stdout);
+  }
+  const double wall_ns = doc.get_number("wall_ns");
+  const double gvt = doc.get_number("gvt_ticks", -1.0);
+  const otw::obs::json::Value* shards = doc.find("shards");
+
+  double committed = 0.0;
+  double rolled_back = 0.0;
+  double processed = 0.0;
+  std::uint64_t lps = 0;
+  if (shards != nullptr && shards->is_array()) {
+    for (const auto& s : shards->array) {
+      committed += s.get_number("events_committed");
+      rolled_back += s.get_number("events_rolled_back");
+      processed += s.get_number("events_processed");
+      lps += static_cast<std::uint64_t>(s.get_number("num_lps"));
+    }
+  }
+  double rate = 0.0;
+  if (prev.wall_ns != 0 && wall_ns > static_cast<double>(prev.wall_ns)) {
+    rate = (committed - prev.committed) /
+           ((wall_ns - static_cast<double>(prev.wall_ns)) / 1e9);
+  }
+
+  std::printf("twtop — live Time Warp introspection\n");
+  if (gvt < 0) {
+    std::printf("  GVT: inf");
+  } else {
+    std::printf("  GVT: %.0f", gvt);
+  }
+  std::printf("   LPs: %" PRIu64 "   committed: %.0f   rollback ratio: %.3f\n",
+              lps, committed, ratio(rolled_back, processed));
+  if (rate > 0.0) {
+    std::printf("  throughput: %.0f committed events/s\n", rate);
+  } else {
+    std::printf("  throughput: (need two polls)\n");
+  }
+
+  std::printf("\n  %-6s %-6s %-12s %-12s %-12s %-10s %-10s\n", "shard", "lps",
+              "processed", "committed", "rolledback", "mem MiB", "mailbox");
+  if (shards != nullptr && shards->is_array()) {
+    for (const auto& s : shards->array) {
+      std::printf("  %-6.0f %-6.0f %-12.0f %-12.0f %-12.0f %-10.2f %-10.0f\n",
+                  s.get_number("shard"), s.get_number("num_lps"),
+                  s.get_number("events_processed"),
+                  s.get_number("events_committed"),
+                  s.get_number("events_rolled_back"),
+                  s.get_number("memory_bytes") / (1024.0 * 1024.0),
+                  s.get_number("mailbox_occupancy"));
+    }
+  }
+
+  const otw::obs::json::Value* watchdog = doc.find("watchdog");
+  const otw::obs::json::Value* active =
+      watchdog != nullptr ? watchdog->find("active") : nullptr;
+  if (active != nullptr && active->is_array() && !active->array.empty()) {
+    std::printf("\n  watchdog: %zu ALARM(S) ACTIVE\n", active->array.size());
+    for (const auto& a : active->array) {
+      std::printf("    !! %s shard=%.0f\n", a.get_string("rule").c_str(),
+                  a.get_number("shard"));
+    }
+  } else {
+    std::printf("\n  watchdog: healthy\n");
+  }
+  const otw::obs::json::Value* events =
+      watchdog != nullptr ? watchdog->find("events") : nullptr;
+  if (events != nullptr && events->is_array() && !events->array.empty()) {
+    std::printf("  recent transitions:\n");
+    const std::size_t start =
+        events->array.size() > 5 ? events->array.size() - 5 : 0;
+    for (std::size_t i = start; i < events->array.size(); ++i) {
+      const auto& e = events->array[i];
+      std::printf("    %s %s shard=%.0f %s\n", e.get_string("state").c_str(),
+                  e.get_string("rule").c_str(), e.get_number("shard"),
+                  e.get_string("detail").c_str());
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 0;
+  std::uint32_t interval_ms = 1000;
+  bool once = false;
+  bool raw = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--raw") {
+      raw = true;
+    } else if (arg == "--interval-ms" && i + 1 < argc) {
+      interval_ms = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (!arg.empty() && arg[0] != '-' && port == 0) {
+      port = static_cast<std::uint16_t>(std::strtoul(arg.c_str(), nullptr, 10));
+    } else {
+      std::fputs(kUsage, stderr);
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+
+  Frame prev;
+  for (;;) {
+    std::string body;
+    try {
+      body = http_get(port, "/snapshot");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    if (raw) {
+      std::fputs(body.c_str(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      otw::obs::json::Value doc;
+      if (!otw::obs::json::parse(body, doc)) {
+        std::fprintf(stderr, "twtop: endpoint returned malformed JSON\n");
+        return 1;
+      }
+      render(doc, prev, /*clear=*/!once);
+      prev.wall_ns = static_cast<std::uint64_t>(doc.get_number("wall_ns"));
+      double committed = 0.0;
+      const otw::obs::json::Value* shards = doc.find("shards");
+      if (shards != nullptr && shards->is_array()) {
+        for (const auto& s : shards->array) {
+          committed += s.get_number("events_committed");
+        }
+      }
+      prev.committed = committed;
+    }
+    if (once) {
+      break;
+    }
+    ::usleep(interval_ms * 1000);
+  }
+  return 0;
+}
