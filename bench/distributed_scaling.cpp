@@ -18,8 +18,21 @@
 #include "bench_common.hpp"
 
 #include "otw/apps/phold.hpp"
+#include "otw/obs/hist.hpp"
 
 namespace {
+
+/// One (src,dst) latency row harvested from the run's attribution
+/// histograms: worker-measured link latency (send stamp to receive) or
+/// coordinator relay residency, with log2-bucket quantile upper bounds.
+struct LinkPoint {
+  std::string seam;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t count = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+};
 
 struct DistPoint {
   std::uint32_t shards = 0;
@@ -30,7 +43,31 @@ struct DistPoint {
   std::uint64_t gvt_token_frames = 0;
   std::uint64_t wall_ns = 0;
   bool digests_ok = false;
+  std::vector<LinkPoint> links;
 };
+
+/// Pulls the per-link seams out of a finished run, in stable (seam,src,dst)
+/// order. The future P2P transport PR gates on exactly these numbers: relay
+/// residency is the coordinator hop it removes.
+std::vector<LinkPoint> harvest_links(const otw::tw::RunResult& r) {
+  using otw::obs::hist::Seam;
+  std::vector<LinkPoint> links;
+  for (const otw::obs::hist::Entry& e : r.hists) {
+    if ((e.seam != Seam::LinkLatency && e.seam != Seam::RelayResidency) ||
+        e.hist.count == 0) {
+      continue;
+    }
+    LinkPoint lp;
+    lp.seam = otw::obs::hist::seam_name(e.seam);
+    lp.src = e.src;
+    lp.dst = e.dst;
+    lp.count = e.hist.count;
+    lp.p50_ns = e.hist.quantile_upper_bound(0.50);
+    lp.p99_ns = e.hist.quantile_upper_bound(0.99);
+    links.push_back(lp);
+  }
+  return links;
+}
 
 }  // namespace
 
@@ -66,6 +103,10 @@ int main() {
       kc.aggregation.policy = aggregated ? comm::AggregationPolicy::Adaptive
                                          : comm::AggregationPolicy::None;
       kc.aggregation.window_us = 64.0;
+      // Arm the latency-attribution histograms (no scrape port: the bank
+      // rides home in the RESULT payloads) so the summary can report
+      // per-link p50/p99 — the before/after metric for the P2P transport.
+      kc.observability.live.enabled = true;
 
       const tw::RunResult r =
           tw::run(model, kc.with_engine(tw::EngineKind::Distributed, shards));
@@ -80,6 +121,7 @@ int main() {
       p.wall_ns = r.execution_time_ns;
       p.digests_ok = r.digests == seq.digests &&
                      r.stats.total_committed() == seq.events_processed;
+      p.links = harvest_links(r);
       points.push_back(p);
 
       const std::string label = "s" + std::to_string(shards) +
@@ -134,8 +176,15 @@ int main() {
           << ", \"gvt_token_frames\": " << p.gvt_token_frames
           << ", \"wire_bytes_sent\": " << p.bytes_sent
           << ", \"wall_ns\": " << p.wall_ns << ", \"digests_ok\": "
-          << (p.digests_ok ? "true" : "false") << "}"
-          << (i + 1 < points.size() ? "," : "") << "\n";
+          << (p.digests_ok ? "true" : "false") << ",\n      \"links\": [";
+      for (std::size_t l = 0; l < p.links.size(); ++l) {
+        const LinkPoint& lp = p.links[l];
+        out << (l > 0 ? ",\n                " : "") << "{\"seam\": \""
+            << lp.seam << "\", \"src\": " << lp.src << ", \"dst\": " << lp.dst
+            << ", \"count\": " << lp.count << ", \"p50_ns\": " << lp.p50_ns
+            << ", \"p99_ns\": " << lp.p99_ns << "}";
+      }
+      out << "]}" << (i + 1 < points.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     std::printf("  [scaling json: BENCH_distributed.json]\n");

@@ -11,11 +11,18 @@
 //   $ curl -s http://127.0.0.1:<port>/snapshot   # JSON document
 //   $ ./build/tools/twtop <port>                 # terminal viewer
 //
+// The flight recorder is armed (dump dir from OTW_FLIGHT_DIR, default cwd):
+// a watchdog alarm or an abnormal shard exit leaves flight-<shard>.json
+// behind, and an aborted run exits 3 after printing the failure — so a
+// supervisor always gets either a RESULT line or an error line, never a
+// silent hang.
+//
 // After the run the watchdog's health log is written to
 // phold_live_health.jsonl (one JSON object per transition) and the digests
 // are checked against the sequential ground truth.
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
 
 #include "otw/apps/phold.hpp"
@@ -52,12 +59,26 @@ int main(int argc, char** argv) {
                 bound);
     std::fflush(stdout);
   };
+  kc.observability.flight.enabled = true;
+  if (const char* dir = std::getenv("OTW_FLIGHT_DIR")) {
+    kc.observability.flight.dir = dir;
+  }
 
   std::printf("PHOLD: %u objects on %u LPs across %u shards, horizon %llu\n",
               app.num_objects, app.num_lps, shards,
               static_cast<unsigned long long>(end.ticks()));
 
-  const tw::RunResult result = tw::run(model, kc);
+  tw::RunResult result;
+  try {
+    result = tw::run(model, kc);
+  } catch (const std::exception& e) {
+    // The flight recorder already dumped on the abnormal teardown path;
+    // surface the failure and exit distinctly so the smoke test can tell
+    // "run aborted cleanly" from "digest mismatch" or a hang.
+    std::printf("ERROR: run aborted: %s\n", e.what());
+    std::fflush(stdout);
+    return 3;
+  }
   std::printf("distributed: %.3fs wall, %llu committed, %llu rollbacks, "
               "%llu STATS frames absorbed\n",
               result.execution_time_sec(),

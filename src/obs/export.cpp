@@ -273,10 +273,11 @@ void write_chrome_trace(std::ostream& os, const RunTrace& trace) {
 
 namespace {
 
-std::string render_labels_json(const Metric& m) {
+std::string render_labels_json(
+    const std::vector<std::pair<std::string, std::string>>& labels) {
   std::string out = "{";
   bool first = true;
-  for (const auto& [key, value] : m.labels) {
+  for (const auto& [key, value] : labels) {
     out += first ? "\"" : ",\"";
     out += json_escape(key) + "\":\"" + json_escape(value) + '"';
     first = false;
@@ -285,14 +286,51 @@ std::string render_labels_json(const Metric& m) {
   return out;
 }
 
+/// `{key="value",...,extra}` or empty when there is nothing to render.
+void render_labels_prom(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) {
+    return;
+  }
+  os << '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) {
+      os << ',';
+    }
+    os << key << "=\"" << json_escape(value) << '"';
+    first = false;
+  }
+  if (!extra.empty()) {
+    os << (first ? "" : ",") << extra;
+  }
+  os << '}';
+}
+
 }  // namespace
 
 void write_metrics_jsonl(std::ostream& os, const MetricsSnapshot& snapshot) {
   for (const Metric& m : snapshot.metrics) {
     os << "{\"name\":\"" << json_escape(m.name) << "\",\"type\":\""
        << (m.type == Metric::Type::Counter ? "counter" : "gauge")
-       << "\",\"labels\":" << render_labels_json(m)
+       << "\",\"labels\":" << render_labels_json(m.labels)
        << ",\"value\":" << format_number(m.value) << "}\n";
+  }
+  for (const HistogramMetric& h : snapshot.histograms) {
+    os << "{\"name\":\"" << json_escape(h.name)
+       << "\",\"type\":\"histogram\",\"labels\":"
+       << render_labels_json(h.labels) << ",\"count\":" << h.count
+       << ",\"sum\":" << format_number(h.sum) << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) {
+        os << ',';
+      }
+      os << "{\"le\":" << format_number(h.buckets[i].first)
+         << ",\"cumulative\":" << h.buckets[i].second << '}';
+    }
+    os << "]}\n";
   }
 }
 
@@ -323,19 +361,44 @@ void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot) {
         headed = true;
       }
       os << m.name;
-      if (!m.labels.empty()) {
-        os << '{';
-        bool first = true;
-        for (const auto& [key, value] : m.labels) {
-          if (!first) {
-            os << ',';
-          }
-          os << key << "=\"" << json_escape(value) << '"';
-          first = false;
-        }
-        os << '}';
-      }
+      render_labels_prom(os, m.labels);
       os << ' ' << format_number(m.value) << '\n';
+    }
+  }
+
+  // Histogram families: all samples of one family under one TYPE header,
+  // grouped by name in order of first appearance.
+  std::vector<std::string> hist_names;
+  for (const HistogramMetric& h : snapshot.histograms) {
+    bool seen = false;
+    for (const std::string& n : hist_names) {
+      seen = seen || n == h.name;
+    }
+    if (!seen) {
+      hist_names.push_back(h.name);
+    }
+  }
+  for (const std::string& name : hist_names) {
+    os << "# TYPE " << name << " histogram\n";
+    for (const HistogramMetric& h : snapshot.histograms) {
+      if (h.name != name) {
+        continue;
+      }
+      for (const auto& [le, cumulative] : h.buckets) {
+        os << h.name << "_bucket";
+        render_labels_prom(os, h.labels,
+                           "le=\"" + format_number(le) + "\"");
+        os << ' ' << cumulative << '\n';
+      }
+      os << h.name << "_bucket";
+      render_labels_prom(os, h.labels, "le=\"+Inf\"");
+      os << ' ' << h.count << '\n';
+      os << h.name << "_sum";
+      render_labels_prom(os, h.labels);
+      os << ' ' << format_number(h.sum) << '\n';
+      os << h.name << "_count";
+      render_labels_prom(os, h.labels);
+      os << ' ' << h.count << '\n';
     }
   }
 }

@@ -1,0 +1,86 @@
+#include "otw/obs/hist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace otw::obs::hist {
+
+const char* seam_name(Seam seam) noexcept {
+  switch (seam) {
+    case Seam::WireEncode:
+      return "wire_encode_ns";
+    case Seam::WireDecode:
+      return "wire_decode_ns";
+    case Seam::LinkLatency:
+      return "link_latency_ns";
+    case Seam::RelayResidency:
+      return "relay_residency_ns";
+    case Seam::GvtRound:
+      return "gvt_round_ns";
+    case Seam::MailboxDwell:
+      return "mailbox_dwell_ns";
+    case Seam::RollbackDepth:
+      return "rollback_depth_events";
+    case Seam::StealLatency:
+      return "steal_latency_ns";
+    case Seam::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+std::size_t bucket_index(std::uint64_t value) noexcept {
+  if (value == 0) {
+    return 0;
+  }
+  // Bucket i holds [2^(i-1), 2^i): bit_width(value) clamped to the table.
+  std::size_t i = 0;
+  while (value != 0) {
+    value >>= 1;
+    ++i;
+  }
+  return std::min(i, kNumBuckets - 1);
+}
+
+std::uint64_t bucket_upper_bound(std::size_t i) noexcept {
+  if (i == 0) {
+    return 0;
+  }
+  if (i >= 64) {
+    return UINT64_MAX;
+  }
+  return (std::uint64_t{1} << i) - 1;
+}
+
+void Snapshot::add(std::uint64_t value) noexcept {
+  buckets[bucket_index(value)] += 1;
+  count += 1;
+  sum += value;
+}
+
+void Snapshot::merge(const Snapshot& other) noexcept {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+std::uint64_t Snapshot::quantile_upper_bound(double q) const noexcept {
+  if (count == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= target) {
+      return bucket_upper_bound(i);
+    }
+  }
+  return bucket_upper_bound(kNumBuckets - 1);
+}
+
+}  // namespace otw::obs::hist

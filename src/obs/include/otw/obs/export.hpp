@@ -36,8 +36,23 @@ struct Metric {
   enum class Type : std::uint8_t { Counter, Gauge } type = Type::Counter;
 };
 
+/// One histogram family sample: cumulative `le` buckets plus sum/count,
+/// rendered in the Prometheus exposition as `name_bucket{...,le="..."}` /
+/// `name_sum` / `name_count` under a single `# TYPE name histogram`
+/// header — the shape PromQL's histogram_quantile() expects.
+struct HistogramMetric {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  /// (upper bound, cumulative count at-or-below it), ascending; the
+  /// implicit +Inf bucket equals `count` and is emitted by the writers.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
 struct MetricsSnapshot {
   std::vector<Metric> metrics;
+  std::vector<HistogramMetric> histograms;
 
   Metric& add(std::string name, double value,
               Metric::Type type = Metric::Type::Counter) {

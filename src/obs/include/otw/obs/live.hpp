@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "otw/obs/export.hpp"
+#include "otw/obs/hist.hpp"
 
 #ifndef OTW_OBS_LIVE
 #define OTW_OBS_LIVE 1
@@ -115,6 +116,8 @@ struct LiveSnapshot {
   std::uint64_t gvt_ticks = kTicksInfinity;
   std::array<std::uint64_t, kNumEngineGauges> engine{};
   std::vector<LpLive> lps;
+  /// Attribution histograms (non-empty seams only; codec v2 section).
+  std::vector<hist::Entry> hists;
 
   [[nodiscard]] std::uint64_t engine_gauge(EngineGauge g) const noexcept {
     return engine[static_cast<std::size_t>(g)];
@@ -173,6 +176,28 @@ class LiveMetricsRegistry {
   }
 
   [[nodiscard]] std::uint32_t num_lps() const noexcept { return num_lps_; }
+
+  /// Allocates the latency-attribution bank (idempotent). Called once
+  /// before any thread/process splits off so everyone shares the layout.
+  void enable_hists(std::uint32_t num_shards) {
+#if OTW_OBS_LIVE
+    if (!hists_) {
+      hists_ = std::make_unique<hist::Bank>(num_shards);
+    }
+#else
+    static_cast<void>(num_shards);
+#endif
+  }
+
+  /// The attribution bank, or nullptr when disabled / compiled out. Every
+  /// record site is a null check away from free when histograms are off.
+  [[nodiscard]] hist::Bank* hists() const noexcept {
+#if OTW_OBS_LIVE
+    return hists_.get();
+#else
+    return nullptr;
+#endif
+  }
 
   /// Relaxed store of an absolute running total into the LP's cell.
   void store_counter(std::uint32_t lp, Counter c, std::uint64_t total) noexcept {
@@ -241,6 +266,9 @@ class LiveMetricsRegistry {
             cells_[lp].slots[kNumCounters + g].load(std::memory_order_relaxed);
       }
     }
+    if (hists_) {
+      snap.hists = hists_->snapshot(shard);
+    }
 #endif
     return snap;
   }
@@ -253,6 +281,7 @@ class LiveMetricsRegistry {
   std::unique_ptr<Cell[]> cells_;
   std::atomic<std::uint64_t> gvt_{kTicksInfinity};
   std::array<std::atomic<std::uint64_t>, kNumEngineGauges> engine_{};
+  std::unique_ptr<hist::Bank> hists_;
 #endif
   std::uint32_t num_lps_;
 };

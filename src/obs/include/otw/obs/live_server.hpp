@@ -37,6 +37,9 @@ struct LiveServerConfig {
   /// Invoked once from start() with the bound port (ephemeral-port
   /// discovery for tests and tools); runs on the caller's thread.
   std::function<void(std::uint16_t)> on_endpoint;
+  /// Invoked on the server thread for every edge-triggered watchdog
+  /// transition (the flight recorder's dump trigger). Must not block.
+  std::function<void(const HealthEvent&)> on_health;
 };
 
 class LiveServer {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "otw/obs/live.hpp"
 #include "otw/obs/phase_profiler.hpp"
@@ -44,10 +45,26 @@ struct ObsConfig {
     std::uint32_t monitor_period_ms = 100;
     /// Shard STATS-frame cadence in the distributed engine.
     std::uint32_t stats_period_ms = 50;
+    /// Latency-attribution histograms (obs::hist seams). On by default when
+    /// the live plane is armed; recording is relaxed atomics only, so the
+    /// differential harness proves the toggle digest-neutral.
+    bool histograms = true;
     live::WatchdogConfig watchdog;
     /// Invoked once with the bound endpoint port when the server starts.
     std::function<void(std::uint16_t)> on_endpoint;
   } live;
+
+  /// Black-box flight recorder (obs::flight). Requires the live plane: its
+  /// evidence rings are fed from STATS snapshots and watchdog transitions.
+  struct Flight {
+    bool enabled = false;
+    /// Directory receiving flight-<shard>.json dumps.
+    std::string dir = ".";
+    /// Live snapshots retained per shard.
+    std::size_t snapshot_ring = 32;
+    /// Relayed-frame records retained per source shard (distributed only).
+    std::size_t frame_ring = 256;
+  } flight;
 
   [[nodiscard]] bool live_enabled() const noexcept {
     return live.enabled || live_port != 0;

@@ -8,14 +8,19 @@ namespace otw::obs::live {
 
 namespace {
 
-// Snapshot wire format, version 1. Little-endian throughout:
+// Snapshot wire format. Little-endian throughout:
 //   u32 magic 'OTWL' | u32 version | u32 shard | u64 wall_ns | u64 gvt_ticks
 //   u32 n_engine | u64 * n_engine
 //   u32 n_lps    | per LP: u32 lp | u32 n_counters | u64 * | u32 n_gauges | u64 *
+// Version 2 appends the attribution-histogram section:
+//   u32 n_hists  | per hist: u32 seam | u32 src | u32 dst
+//                | u32 n_buckets | u64 count | u64 sum | u64 * n_buckets
 // Slot counts are explicit so a decoder one enum ahead/behind still frames
 // the payload correctly (extra slots are dropped, missing slots stay 0).
+// The decoder accepts version 1 (no histogram section) so a mixed fleet
+// mid-upgrade still merges into one ClusterView.
 constexpr std::uint32_t kMagic = 0x4C57544Fu;  // 'OTWL'
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
@@ -95,6 +100,18 @@ void encode_snapshot(const LiveSnapshot& snap, std::vector<std::uint8_t>& out) {
       put_u64(out, g);
     }
   }
+  put_u32(out, static_cast<std::uint32_t>(snap.hists.size()));
+  for (const hist::Entry& e : snap.hists) {
+    put_u32(out, static_cast<std::uint32_t>(e.seam));
+    put_u32(out, e.src);
+    put_u32(out, e.dst);
+    put_u32(out, static_cast<std::uint32_t>(hist::kNumBuckets));
+    put_u64(out, e.hist.count);
+    put_u64(out, e.hist.sum);
+    for (std::uint64_t b : e.hist.buckets) {
+      put_u64(out, b);
+    }
+  }
 }
 
 bool decode_snapshot(const std::uint8_t* data, std::size_t len,
@@ -103,7 +120,7 @@ bool decode_snapshot(const std::uint8_t* data, std::size_t len,
   std::uint32_t magic = 0;
   std::uint32_t version = 0;
   if (!cur.u32(magic) || magic != kMagic || !cur.u32(version) ||
-      version != kVersion) {
+      version < 1 || version > kVersion) {
     return false;
   }
   out = LiveSnapshot{};
@@ -159,6 +176,41 @@ bool decode_snapshot(const std::uint8_t* data, std::size_t len,
       }
       if (g < kNumGauges) {
         lp.gauges[g] = v;
+      }
+    }
+  }
+  if (version >= 2) {
+    std::uint32_t n_hists = 0;
+    if (!cur.u32(n_hists)) {
+      return false;
+    }
+    // 32 bytes is a generous floor for one serialized histogram entry.
+    if (static_cast<std::size_t>(n_hists) > len / 32 + 1) {
+      return false;
+    }
+    out.hists.resize(n_hists);
+    for (std::uint32_t i = 0; i < n_hists; ++i) {
+      hist::Entry& e = out.hists[i];
+      std::uint32_t seam = 0;
+      std::uint32_t n_buckets = 0;
+      if (!cur.u32(seam) || !cur.u32(e.src) || !cur.u32(e.dst) ||
+          !cur.u32(n_buckets) || !cur.u64(e.hist.count) ||
+          !cur.u64(e.hist.sum)) {
+        return false;
+      }
+      if (seam >= static_cast<std::uint32_t>(hist::kNumSeams)) {
+        return false;
+      }
+      e.seam = static_cast<hist::Seam>(seam);
+      e.shard = out.shard;
+      for (std::uint32_t b = 0; b < n_buckets; ++b) {
+        std::uint64_t v = 0;
+        if (!cur.u64(v)) {
+          return false;
+        }
+        if (b < hist::kNumBuckets) {
+          e.hist.buckets[b] = v;
+        }
       }
     }
   }
@@ -391,6 +443,34 @@ MetricsSnapshot build_live_metrics(const std::vector<LiveSnapshot>& shards) {
     add("otw_live_workers_parked",
         static_cast<double>(s.engine_gauge(EngineGauge::WorkersParked)),
         T::Gauge);
+
+    // Attribution histograms: one family per seam ("otw_hist_<seam>"),
+    // cumulative le buckets trimmed at the highest non-empty bucket (the
+    // implicit +Inf bucket is appended by the writer).
+    for (const hist::Entry& e : s.hists) {
+      HistogramMetric h;
+      h.name = std::string("otw_hist_") + hist::seam_name(e.seam);
+      h.labels.emplace_back("shard", std::to_string(s.shard));
+      if (hist::seam_is_link(e.seam)) {
+        h.labels.emplace_back("src", std::to_string(e.src));
+        h.labels.emplace_back("dst", std::to_string(e.dst));
+      }
+      h.count = e.hist.count;
+      h.sum = static_cast<double>(e.hist.sum);
+      std::size_t top = 0;
+      for (std::size_t i = 0; i < hist::kNumBuckets; ++i) {
+        if (e.hist.buckets[i] != 0) {
+          top = i;
+        }
+      }
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i <= top; ++i) {
+        cumulative += e.hist.buckets[i];
+        h.buckets.emplace_back(
+            static_cast<double>(hist::bucket_upper_bound(i)), cumulative);
+      }
+      snapshot.histograms.push_back(std::move(h));
+    }
   }
   return snapshot;
 }
@@ -435,7 +515,22 @@ void write_live_json(std::ostream& os, const std::vector<LiveSnapshot>& shards,
        << ",\"mailbox_occupancy\":"
        << s.engine_gauge(EngineGauge::MailboxOccupancy)
        << ",\"workers_parked\":" << s.engine_gauge(EngineGauge::WorkersParked)
-       << "}";
+       << ",\"hists\":[";
+    for (std::size_t h = 0; h < s.hists.size(); ++h) {
+      const hist::Entry& e = s.hists[h];
+      if (h > 0) {
+        os << ",";
+      }
+      os << "{\"seam\":\"" << hist::seam_name(e.seam) << "\"";
+      if (hist::seam_is_link(e.seam)) {
+        os << ",\"src\":" << e.src << ",\"dst\":" << e.dst;
+      }
+      os << ",\"count\":" << e.hist.count << ",\"sum\":" << e.hist.sum
+         << ",\"p50\":" << e.hist.quantile_upper_bound(0.50)
+         << ",\"p95\":" << e.hist.quantile_upper_bound(0.95)
+         << ",\"p99\":" << e.hist.quantile_upper_bound(0.99) << "}";
+    }
+    os << "]}";
   }
   os << "],\"watchdog\":{\"active\":[";
   for (std::size_t i = 0; i < active.size(); ++i) {

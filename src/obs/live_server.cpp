@@ -70,8 +70,16 @@ void LiveServer::serve() {
     if (now - last_feed_ns >= period_ns) {
       last_feed_ns = now;
       const std::vector<LiveSnapshot> shards = snapshots_();
-      std::lock_guard<std::mutex> lock(watchdog_mutex_);
-      watchdog_.feed(shards, now);
+      std::vector<HealthEvent> transitions;
+      {
+        std::lock_guard<std::mutex> lock(watchdog_mutex_);
+        transitions = watchdog_.feed(shards, now);
+      }
+      if (config_.on_health) {
+        for (const HealthEvent& event : transitions) {
+          config_.on_health(event);
+        }
+      }
     }
     pollfd p{listen_fd_, POLLIN, 0};
     // Short poll keeps both the accept and the monitor cadence responsive

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <exception>
 #include <limits>
@@ -26,9 +27,16 @@ namespace {
 constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
 
 // Transport-reserved control tags (>= kReservedTagBase, never in the registry).
-constexpr WireTag kTagHello = 0xFF01;   ///< child -> coordinator: src_lp = shard
-constexpr WireTag kTagResult = 0xFF02;  ///< child -> coordinator: shard summary
-constexpr WireTag kTagStats = 0xFF03;   ///< child -> coordinator: live snapshot
+constexpr WireTag kTagHello = 0xFF01;     ///< child -> coordinator: src_lp = shard
+constexpr WireTag kTagResult = 0xFF02;    ///< child -> coordinator: shard summary
+constexpr WireTag kTagStats = 0xFF03;     ///< child -> coordinator: live snapshot
+constexpr WireTag kTagHelloAck = 0xFF04;  ///< coordinator -> child: send_ns = t_c
+constexpr WireTag kTagTime = 0xFF05;      ///< clock refresh ping / echo
+
+/// Shortest gap between two clock-refresh pings from one worker. Pings are
+/// triggered by received GVT announces, which can burst; the estimate only
+/// improves on a lower-RTT sample, so pinging faster than this is waste.
+constexpr std::uint64_t kTimePingMinGapNs = 50'000'000;
 
 /// FrameHeader.flags bit for control-plane frames (EngineMessage::wire_control).
 constexpr std::uint16_t kFlagControl = 0x0001;
@@ -97,10 +105,13 @@ class ShardDriver {
  public:
   ShardDriver(std::uint32_t shard, const DistributedConfig& config,
               const std::vector<LpRunner*>& all_lps, int fd,
-              const LiveStatsHooks& live)
+              const LiveStatsHooks& live, std::int64_t clock_offset_ns,
+              std::uint64_t clock_rtt_ns)
       : shard_(shard),
         config_(config),
         live_(live),
+        clock_offset_ns_(clock_offset_ns),
+        clock_rtt_ns_(clock_rtt_ns),
         num_lps_(static_cast<LpId>(all_lps.size())),
         fd_(fd),
         trace_(config.wire_trace_capacity ? config.wire_trace_capacity : 1),
@@ -126,7 +137,17 @@ class ShardDriver {
     return mono_ns() - epoch_ns_;
   }
 
+  /// Local steady clock shifted into the coordinator's clock domain; what
+  /// every outgoing frame stamps into FrameHeader::send_ns.
+  [[nodiscard]] std::uint64_t aligned_now_ns() const noexcept {
+    return static_cast<std::uint64_t>(static_cast<std::int64_t>(mono_ns()) +
+                                      clock_offset_ns_);
+  }
+
   void deliver_local(LpId dst, std::unique_ptr<EngineMessage> msg) {
+    if (live_.bank != nullptr) {
+      msg->obs_enqueue_ns = now_ns();
+    }
     lps_[lp_index_[dst]].inbox.push_back(std::move(msg));
   }
 
@@ -137,6 +158,8 @@ class ShardDriver {
  private:
   void drain_socket();
   void handle_frame(const FrameHeader& header, const std::uint8_t* payload);
+  void handle_time_echo(const FrameHeader& header, const std::uint8_t* payload);
+  void maybe_send_time_ping();
   void idle_wait();
   void maybe_send_stats();
 
@@ -145,6 +168,9 @@ class ShardDriver {
   std::uint32_t shard_;
   const DistributedConfig& config_;
   const LiveStatsHooks& live_;
+  std::int64_t clock_offset_ns_;   ///< worker -> coordinator clock shift
+  std::uint64_t clock_rtt_ns_;     ///< RTT of the best (lowest) estimate so far
+  std::uint64_t last_time_ping_ns_ = 0;  ///< driver-relative (now_ns())
   std::uint64_t next_stats_ns_ = 0;  ///< driver-relative deadline (now_ns())
   LpId num_lps_;
   int fd_;
@@ -154,6 +180,14 @@ class ShardDriver {
   std::vector<std::uint8_t> scratch_;  ///< payload encode buffer
   obs::TraceRing trace_;
   std::uint64_t epoch_ns_;
+
+ public:
+  [[nodiscard]] std::int64_t clock_offset_ns() const noexcept {
+    return clock_offset_ns_;
+  }
+  [[nodiscard]] std::uint64_t clock_rtt_ns() const noexcept {
+    return clock_rtt_ns_;
+  }
 };
 
 class ShardDriver::Context final : public LpContext {
@@ -189,6 +223,12 @@ class ShardDriver::Context final : public LpContext {
     }
     auto msg = std::move(lp_.inbox.front());
     lp_.inbox.pop_front();
+    if (driver_.live_.bank != nullptr) {
+      const std::uint64_t now = driver_.now_ns();
+      driver_.live_.bank->record(
+          obs::hist::Seam::MailboxDwell,
+          now > msg->obs_enqueue_ns ? now - msg->obs_enqueue_ns : 0);
+    }
     charge(driver_.config_.costs.msg_recv_overhead_ns);
     return msg;
   }
@@ -216,7 +256,11 @@ void ShardDriver::send_remote(LpId src, LpId dst, const EngineMessage& msg) {
   WireWriter writer(scratch_);
   const std::uint64_t t0 = mono_ns();
   msg.encode_wire(writer);
-  totals_.dist.serialize_ns += mono_ns() - t0;
+  const std::uint64_t encode_ns = mono_ns() - t0;
+  totals_.dist.serialize_ns += encode_ns;
+  if (live_.bank != nullptr) {
+    live_.bank->record(obs::hist::Seam::WireEncode, encode_ns);
+  }
 
   FrameHeader header;
   header.payload_len = static_cast<std::uint32_t>(scratch_.size());
@@ -224,6 +268,7 @@ void ShardDriver::send_remote(LpId src, LpId dst, const EngineMessage& msg) {
   header.flags = msg.wire_control() ? kFlagControl : 0;
   header.src_lp = src;
   header.dst_lp = dst;
+  header.send_ns = aligned_now_ns();
   send_frame(fd_, header, scratch_.data());
 
   ++totals_.dist.frames_sent;
@@ -239,8 +284,52 @@ void ShardDriver::send_remote(LpId src, LpId dst, const EngineMessage& msg) {
   }
 }
 
+void ShardDriver::handle_time_echo(const FrameHeader& header,
+                                   const std::uint8_t* payload) {
+  // Clock refresh: the coordinator echoed our raw t0 with its own clock in
+  // send_ns. Midpoint estimate, kept only when this sample's RTT beats the
+  // best so far (a low-RTT exchange bounds the offset error by rtt/2).
+  OTW_REQUIRE_MSG(header.payload_len == 8, "malformed TIME echo");
+  const std::uint64_t t1 = mono_ns();
+  std::uint64_t t0 = 0;
+  std::memcpy(&t0, payload, 8);
+  if (t1 < t0) {
+    return;  // nonsense sample (shouldn't happen on one steady clock)
+  }
+  const std::uint64_t rtt = t1 - t0;
+  if (rtt <= clock_rtt_ns_) {
+    clock_rtt_ns_ = rtt;
+    clock_offset_ns_ = static_cast<std::int64_t>(header.send_ns) -
+                       static_cast<std::int64_t>(t0 + rtt / 2);
+  }
+}
+
+void ShardDriver::maybe_send_time_ping() {
+  // Triggered by received GVT-announce (control) frames, rate-limited, and
+  // only while the attribution plane is armed — an unarmed run keeps the
+  // wire byte-for-byte free of telemetry chatter.
+  if (live_.bank == nullptr) {
+    return;
+  }
+  const std::uint64_t now = now_ns();
+  if (last_time_ping_ns_ != 0 && now - last_time_ping_ns_ < kTimePingMinGapNs) {
+    return;
+  }
+  last_time_ping_ns_ = now == 0 ? 1 : now;
+  FrameHeader ping;
+  ping.tag = kTagTime;
+  ping.flags = kFlagControl;
+  ping.src_lp = shard_;
+  ping.send_ns = mono_ns();  // RAW local clock; echoed back verbatim
+  send_frame(fd_, ping, nullptr);
+}
+
 void ShardDriver::handle_frame(const FrameHeader& header,
                                const std::uint8_t* payload) {
+  if (header.tag == kTagTime) {
+    handle_time_echo(header, payload);
+    return;
+  }
   OTW_REQUIRE_MSG(header.tag < kReservedTagBase,
                   "worker received a transport control frame");
   OTW_REQUIRE_MSG(header.dst_lp < num_lps_ &&
@@ -249,11 +338,26 @@ void ShardDriver::handle_frame(const FrameHeader& header,
   WireReader reader(payload, header.payload_len);
   const std::uint64_t t0 = mono_ns();
   auto msg = WireRegistry::instance().decode(header.tag, reader);
-  totals_.dist.deserialize_ns += mono_ns() - t0;
+  const std::uint64_t decode_ns = mono_ns() - t0;
+  totals_.dist.deserialize_ns += decode_ns;
   OTW_REQUIRE_MSG(reader.done(), "trailing bytes after wire payload");
 
   ++totals_.dist.frames_received;
   totals_.dist.bytes_received += kFrameHeaderBytes + header.payload_len;
+  if (live_.bank != nullptr) {
+    live_.bank->record(obs::hist::Seam::WireDecode, decode_ns);
+    // End-to-end link latency (encode -> relay -> decode): both timestamps
+    // are in the coordinator clock domain, so subtraction is meaningful up
+    // to the two offset-estimate errors (each bounded by its RTT/2).
+    const std::uint64_t now_aligned = aligned_now_ns();
+    live_.bank->record_link(
+        obs::hist::Seam::LinkLatency,
+        shard_of_lp(header.src_lp, config_.num_shards), shard_,
+        now_aligned > header.send_ns ? now_aligned - header.send_ns : 0);
+  }
+  if ((header.flags & kFlagControl) != 0) {
+    maybe_send_time_ping();
+  }
   if (config_.wire_trace_capacity > 0) {
     const obs::TraceArgs args = obs::pack_wire_frame(
         header.tag, /*sent=*/false, kFrameHeaderBytes + header.payload_len);
@@ -341,6 +445,7 @@ void ShardDriver::maybe_send_stats() {
   header.tag = kTagStats;
   header.flags = kFlagControl;
   header.src_lp = shard_;
+  header.send_ns = aligned_now_ns();
   send_frame(fd_, header, payload.data());
   ++totals_.dist.frames_sent;
   totals_.dist.bytes_sent += kFrameHeaderBytes + payload.size();
@@ -399,6 +504,28 @@ void ShardDriver::encode_result(WireWriter& w,
   }
   w.u32(static_cast<std::uint32_t>(harvest.size()));
   w.bytes(harvest.data(), harvest.size());
+  // Clock alignment: driver epoch (absolute worker steady clock) plus the
+  // final offset/RTT estimate. The coordinator derives from these the shift
+  // that rebases this shard's driver-relative timestamps onto its own
+  // run-relative timeline.
+  w.u64(epoch_ns_);
+  w.u64(static_cast<std::uint64_t>(clock_offset_ns_));  // two's complement
+  w.u64(clock_rtt_ns_);
+  // Attribution histograms (fixed bucket count; fork shares the layout).
+  const std::vector<obs::hist::Entry> entries =
+      live_.bank != nullptr ? live_.bank->snapshot(shard_)
+                            : std::vector<obs::hist::Entry>{};
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const obs::hist::Entry& e : entries) {
+    w.u32(static_cast<std::uint32_t>(e.seam));
+    w.u32(e.src);
+    w.u32(e.dst);
+    w.u64(e.hist.count);
+    w.u64(e.hist.sum);
+    for (std::uint64_t b : e.hist.buckets) {
+      w.u64(b);
+    }
+  }
   // Wire trace (workers and coordinator share the TraceRecord ABI via fork).
   const std::vector<obs::TraceRecord> records =
       config_.wire_trace_capacity > 0 ? trace_.drain()
@@ -416,19 +543,40 @@ void ShardDriver::encode_result(WireWriter& w,
                               const DistributedEngine::HarvestFn& harvest,
                               const LiveStatsHooks& live) {
   try {
+    if (live.on_worker_start) {
+      live.on_worker_start(shard);
+    }
     const int fd = util::net::connect_loopback(port, kNetCtx);
     set_nodelay(fd);
 
     // HELLO must be the first (and, until the driver runs, only) frame on
     // this stream: the coordinator reads exactly one header per connection
-    // to learn which shard it is talking to.
+    // to learn which shard it is talking to. send_ns carries our raw clock
+    // (t0); the coordinator answers with a header-only HELLO-ACK whose
+    // send_ns is ITS clock (t_c), read here while the socket is still
+    // blocking. Midpoint estimate: offset = t_c - (t0 + t1)/2, so a worker
+    // clock reading + offset lands in the coordinator's clock domain with
+    // error bounded by RTT/2.
     FrameHeader hello;
     hello.tag = kTagHello;
     hello.src_lp = shard;
+    const std::uint64_t t0 = mono_ns();
+    hello.send_ns = t0;
     send_frame(fd, hello, nullptr);
+    std::uint8_t ack_raw[kFrameHeaderBytes];
+    if (!read_exact(fd, ack_raw, kFrameHeaderBytes)) {
+      throw std::runtime_error("coordinator closed before HELLO-ACK");
+    }
+    const std::uint64_t t1 = mono_ns();
+    const FrameHeader ack = decode_frame_header(ack_raw);
+    OTW_REQUIRE_MSG(ack.tag == kTagHelloAck && ack.payload_len == 0,
+                    "expected HELLO-ACK as the first coordinator frame");
+    const std::uint64_t rtt = t1 - t0;
+    const std::int64_t offset = static_cast<std::int64_t>(ack.send_ns) -
+                                static_cast<std::int64_t>(t0 + rtt / 2);
     set_nonblocking(fd);
 
-    ShardDriver driver(shard, config, lps, fd, live);
+    ShardDriver driver(shard, config, lps, fd, live, offset, rtt);
     driver.run();
 
     const std::vector<std::uint8_t> blob =
@@ -532,10 +680,14 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
   EngineRunResult result;
   result.lp_busy_ns.assign(lps.size(), 0);
   result.dist.num_shards = num_shards;
+  result.shard_clocks.assign(num_shards, {});
+  result.shard_trace_shift_ns.assign(num_shards, 0);
 
   try {
-    // Phase 1: accept every worker and read its HELLO (always the first 16
-    // bytes on the stream) to map connection -> shard.
+    // Phase 1: accept every worker and read its HELLO (always the first
+    // header-sized chunk on the stream) to map connection -> shard, then
+    // answer with a HELLO-ACK stamped with our clock so the worker can
+    // estimate its offset into our clock domain (see worker_main).
     std::vector<Conn> conns(num_shards);
     std::vector<int> shard_conn(num_shards, -1);  // shard -> index in conns
     for (std::uint32_t i = 0; i < num_shards; ++i) {
@@ -556,6 +708,11 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
       OTW_REQUIRE_MSG(hello.src_lp < num_shards && shard_conn[hello.src_lp] < 0,
                       "duplicate or out-of-range shard HELLO");
       set_nodelay(fd);
+      FrameHeader ack;
+      ack.tag = kTagHelloAck;
+      ack.src_lp = hello.src_lp;
+      ack.send_ns = mono_ns();
+      send_frame(fd, ack, nullptr);  // still blocking: writes through
       set_nonblocking(fd);
       conns[i].fd = fd;
       conns[i].shard = hello.src_lp;
@@ -648,6 +805,35 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
             const std::uint32_t blob_len = reader.u32();
             payloads_[conn.shard].resize(blob_len);
             reader.bytes(payloads_[conn.shard].data(), blob_len);
+            // Clock alignment: shift = (worker epoch in coordinator domain)
+            // - our run start. Adding it to a driver-relative timestamp
+            // yields a coordinator-run-relative one.
+            const std::uint64_t epoch_ns = reader.u64();
+            ShardClock clock;
+            clock.offset_ns = static_cast<std::int64_t>(reader.u64());
+            clock.rtt_ns = reader.u64();
+            result.shard_clocks[conn.shard] = clock;
+            const std::int64_t shift =
+                static_cast<std::int64_t>(epoch_ns) + clock.offset_ns -
+                static_cast<std::int64_t>(t_start);
+            result.shard_trace_shift_ns[conn.shard] = shift;
+            const std::uint32_t n_hists = reader.u32();
+            for (std::uint32_t k = 0; k < n_hists; ++k) {
+              obs::hist::Entry e;
+              const std::uint32_t seam = reader.u32();
+              OTW_REQUIRE_MSG(seam < obs::hist::kNumSeams,
+                              "RESULT carries an unknown histogram seam");
+              e.seam = static_cast<obs::hist::Seam>(seam);
+              e.shard = conn.shard;
+              e.src = reader.u32();
+              e.dst = reader.u32();
+              e.hist.count = reader.u64();
+              e.hist.sum = reader.u64();
+              for (std::uint64_t& b : e.hist.buckets) {
+                b = reader.u64();
+              }
+              result.hists.push_back(std::move(e));
+            }
             obs::LpTraceLog wire_log;
             wire_log.lp = conn.shard;
             wire_log.dropped = reader.u64();
@@ -656,6 +842,12 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
             wire_log.records.resize(n_records);
             reader.bytes(wire_log.records.data(),
                          n_records * sizeof(obs::TraceRecord));
+            for (obs::TraceRecord& rec : wire_log.records) {
+              const std::int64_t shifted =
+                  static_cast<std::int64_t>(rec.wall_ns) + shift;
+              rec.wall_ns =
+                  shifted > 0 ? static_cast<std::uint64_t>(shifted) : 0;
+            }
             if (n_records > 0 || wire_log.dropped > 0) {
               result.worker_traces.push_back(std::move(wire_log));
             }
@@ -671,6 +863,21 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
                             header.payload_len);
             }
             ++result.dist.stats_frames;
+          } else if (header.tag == kTagTime) {
+            // Clock refresh ping: echo the worker's raw t0 back alongside
+            // our own clock. Never relayed, never counted as data.
+            FrameHeader echo;
+            echo.payload_len = 8;
+            echo.tag = kTagTime;
+            echo.flags = kFlagControl;
+            echo.src_lp = conn.shard;
+            echo.send_ns = mono_ns();
+            std::uint8_t echo_frame[kFrameHeaderBytes + 8];
+            encode_frame_header(echo, echo_frame);
+            std::memcpy(echo_frame + kFrameHeaderBytes, &header.send_ns, 8);
+            conn.out.insert(conn.out.end(), echo_frame,
+                            echo_frame + sizeof echo_frame);
+            flush_conn(conn);
           } else {
             OTW_REQUIRE_MSG(header.tag < kReservedTagBase,
                             "unexpected control frame from worker");
@@ -681,6 +888,21 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
             target.out.insert(target.out.end(), frame, frame + frame_len);
             flush_conn(target);  // opportunistic; POLLOUT handles the rest
             ++result.dist.frames_relayed;
+            if (live.bank != nullptr || live.on_relay) {
+              // Relay residency: origin encode -> queued for the destination
+              // (the upstream half of the end-to-end link latency).
+              const std::uint64_t now = mono_ns();
+              if (live.bank != nullptr) {
+                live.bank->record_link(
+                    obs::hist::Seam::RelayResidency, conn.shard, dst_shard,
+                    now > header.send_ns ? now - header.send_ns : 0);
+              }
+              if (live.on_relay) {
+                live.on_relay(conn.shard, dst_shard, header.tag,
+                              static_cast<std::uint32_t>(frame_len),
+                              header.send_ns, now);
+              }
+            }
           }
           pos += frame_len;
         }
@@ -730,6 +952,13 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
             [](const obs::LpTraceLog& a, const obs::LpTraceLog& b) {
               return a.lp < b.lp;
             });
+  // Coordinator-side histograms (relay residency): stamped with the pseudo
+  // shard id num_shards so they are distinguishable from worker entries.
+  if (live.bank != nullptr) {
+    for (obs::hist::Entry& e : live.bank->snapshot(num_shards)) {
+      result.hists.push_back(std::move(e));
+    }
+  }
   result.execution_time_ns = mono_ns() - t_start;
   return result;
 }

@@ -81,6 +81,25 @@ struct LiveStatsHooks {
   std::function<void(std::uint32_t shard, const std::uint8_t* data,
                      std::size_t len)>
       on_stats;
+  /// Latency-attribution bank, allocated pre-fork so every process inherits
+  /// the same layout. Workers record their seams into their own (COW) copy
+  /// and ship the contents home in the RESULT; the coordinator records
+  /// relay residency into the parent copy. May be set with period_ms == 0
+  /// (e.g. benches that want latency numbers without a live stream). Null
+  /// disables all recording. Arming the bank also enables clock-offset
+  /// refresh pings (TIME frames) on the worker streams.
+  obs::hist::Bank* bank = nullptr;
+  /// Coordinator side, optional: observe every relayed data frame (flight
+  /// recorder feed). Called on the relay loop thread after the frame is
+  /// queued to its destination; must be fast.
+  std::function<void(std::uint32_t src_shard, std::uint32_t dst_shard,
+                     std::uint16_t tag, std::uint32_t frame_len,
+                     std::uint64_t send_ns, std::uint64_t coord_now_ns)>
+      on_relay;
+  /// Worker side, optional: runs once in each freshly forked worker before
+  /// it connects (the kernel installs the flight recorder's fatal-signal
+  /// handlers here).
+  std::function<void(std::uint32_t shard)> on_worker_start;
 
   [[nodiscard]] bool enabled() const noexcept {
     return period_ms > 0 && encode && on_stats;

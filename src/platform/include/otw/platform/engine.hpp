@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "otw/obs/hist.hpp"
 #include "otw/obs/trace.hpp"
 
 namespace otw::platform {
@@ -56,6 +57,11 @@ class EngineMessage {
   /// Control-plane marker (GVT tokens/announces). The distributed transport
   /// flags such frames on the wire and counts them separately from data.
   [[nodiscard]] virtual bool wire_control() const noexcept { return false; }
+
+  /// Transport telemetry stamp: engine clock at enqueue into a mailbox /
+  /// inbox, consumed by the MailboxDwell histogram at poll(). Only written
+  /// when the attribution plane is armed; never observable by LP logic.
+  std::uint64_t obs_enqueue_ns = 0;
 };
 
 /// What an LP reports after one step() call.
@@ -181,6 +187,15 @@ struct DistStats {
   }
 };
 
+/// Per-shard steady-clock alignment estimated over the worker stream
+/// (distributed engine only). `offset_ns` maps a worker clock reading into
+/// the coordinator's clock domain (coordinator = worker + offset); the
+/// estimate is the ping RTT midpoint, so its error is bounded by rtt_ns/2.
+struct ShardClock {
+  std::int64_t offset_ns = 0;
+  std::uint64_t rtt_ns = 0;
+};
+
 /// Result of driving a set of LPs to completion.
 struct EngineRunResult {
   /// Modeled makespan (simulated engine) or elapsed wall time (threaded),
@@ -203,6 +218,16 @@ struct EngineRunResult {
   /// field holds the WORKER index; the kernel offsets it past the LP ids
   /// before merging into a RunResult trace.
   std::vector<obs::LpTraceLog> worker_traces;
+  /// Attribution histograms harvested at run end (empty unless the caller
+  /// armed a hist::Bank). Distributed: per-shard entries from each RESULT
+  /// plus coordinator relay entries stamped shard = num_shards.
+  std::vector<obs::hist::Entry> hists;
+  /// Clock alignment per shard (distributed engine only; index = shard).
+  std::vector<ShardClock> shard_clocks;
+  /// Wall-clock shift, per shard, that rebases that shard's driver-relative
+  /// trace timestamps onto the coordinator's run-relative timeline (already
+  /// applied to worker_traces; the kernel applies it to harvested LP traces).
+  std::vector<std::int64_t> shard_trace_shift_ns;
 };
 
 }  // namespace otw::platform

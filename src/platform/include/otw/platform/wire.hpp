@@ -13,10 +13,16 @@
 // documented per message type (DESIGN.md section 8). Frames on the socket
 // are length-prefixed:
 //
-//   u32 payload_len | u16 tag | u16 flags | u32 src_lp | u32 dst_lp | payload
+//   u32 payload_len | u16 tag | u16 flags | u32 src_lp | u32 dst_lp
+//   | u64 send_ns | payload
 //
-// (16-byte header, see FrameHeader). The same header carries the transport's
-// own control frames (hello/result), which use tags above kReservedTagBase.
+// (24-byte header, see FrameHeader). `send_ns` stamps the sender's
+// steady_clock at encode time, pre-shifted into the coordinator's clock
+// domain by the sender's estimated offset (see DESIGN.md section 10) — it
+// feeds the per-link latency and relay-residency histograms and is ignored
+// by the event path, so it is telemetry, never ordering. The same header
+// carries the transport's own control frames (hello/result), which use
+// tags above kReservedTagBase.
 #pragma once
 
 #include <cstdint>
@@ -102,8 +108,11 @@ struct FrameHeader {
   std::uint16_t flags = 0;
   std::uint32_t src_lp = 0;
   std::uint32_t dst_lp = 0;
+  /// Sender steady_clock at encode time, in the coordinator clock domain
+  /// (sender adds its estimated offset). Telemetry only.
+  std::uint64_t send_ns = 0;
 };
-inline constexpr std::size_t kFrameHeaderBytes = 16;
+inline constexpr std::size_t kFrameHeaderBytes = 24;
 
 void encode_frame_header(const FrameHeader& h, std::uint8_t out[kFrameHeaderBytes]);
 [[nodiscard]] FrameHeader decode_frame_header(const std::uint8_t in[kFrameHeaderBytes]);

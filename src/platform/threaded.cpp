@@ -248,6 +248,9 @@ class Scheduler {
       return StealQueue::kEmpty;
     }
     WorkerData& me = workers_[w];
+    obs::hist::Bank* bank =
+        config_.live != nullptr ? config_.live->hists() : nullptr;
+    const std::uint64_t sweep_begin = bank != nullptr ? now_ns() : 0;
     const auto start = static_cast<std::uint32_t>(me.rng() % num_workers_);
     for (std::uint32_t i = 0; i < num_workers_; ++i) {
       const std::uint32_t victim = (start + i) % num_workers_;
@@ -257,8 +260,13 @@ class Scheduler {
       const std::uint32_t lp = workers_[victim].queue.pop();
       if (lp != StealQueue::kEmpty) {
         ++me.stats.steals;
+        const std::uint64_t now = now_ns();
+        if (bank != nullptr) {
+          // Latency of the successful sweep: victim scan + pop.
+          bank->record(obs::hist::Seam::StealLatency, now - sweep_begin);
+        }
         const obs::TraceArgs args = obs::pack_worker_steal(victim, lp);
-        record(w, obs::TraceKind::WorkerSteal, now_ns(), args.arg0, args.arg1);
+        record(w, obs::TraceKind::WorkerSteal, now, args.arg0, args.arg1);
         return lp;
       }
     }
@@ -418,6 +426,11 @@ class ThreadContext final : public LpContext {
     OTW_REQUIRE(msg != nullptr);
     const std::uint64_t bytes = msg->wire_bytes();
     charge(sched_.config().costs.send_cost_ns(bytes));
+    if (auto* live = sched_.config().live) {
+      if (live->hists() != nullptr) {
+        msg->obs_enqueue_ns = sched_.now_ns();
+      }
+    }
     sched_.slot(dst).mailbox.push(std::move(msg));
     if (auto* live = sched_.config().live) {
       live->engine_add(obs::live::EngineGauge::MailboxOccupancy, +1);
@@ -435,6 +448,12 @@ class ThreadContext final : public LpContext {
     }
     if (auto* live = sched_.config().live) {
       live->engine_add(obs::live::EngineGauge::MailboxOccupancy, -1);
+      if (auto* bank = live->hists()) {
+        const std::uint64_t now = sched_.now_ns();
+        const std::uint64_t queued = (*msg)->obs_enqueue_ns;
+        bank->record(obs::hist::Seam::MailboxDwell,
+                     now > queued ? now - queued : 0);
+      }
     }
     charge(sched_.config().costs.msg_recv_overhead_ns);
     return std::move(*msg);

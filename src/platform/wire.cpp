@@ -19,6 +19,7 @@ void encode_frame_header(const FrameHeader& h, std::uint8_t out[kFrameHeaderByte
   std::memcpy(out + 6, &h.flags, 2);
   std::memcpy(out + 8, &h.src_lp, 4);
   std::memcpy(out + 12, &h.dst_lp, 4);
+  std::memcpy(out + 16, &h.send_ns, 8);
 }
 
 FrameHeader decode_frame_header(const std::uint8_t in[kFrameHeaderBytes]) {
@@ -28,6 +29,7 @@ FrameHeader decode_frame_header(const std::uint8_t in[kFrameHeaderBytes]) {
   std::memcpy(&h.flags, in + 6, 2);
   std::memcpy(&h.src_lp, in + 8, 4);
   std::memcpy(&h.dst_lp, in + 12, 4);
+  std::memcpy(&h.send_ns, in + 16, 8);
   return h;
 }
 

@@ -7,10 +7,12 @@
 #include <bit>
 #include <chrono>
 #include <cstring>
+#include <exception>
 #include <optional>
 #include <type_traits>
 
 #include "kernel_internal.hpp"
+#include "otw/obs/flight.hpp"
 #include "otw/platform/wire.hpp"
 #include "otw/tw/wire.hpp"
 #include "otw/util/assert.hpp"
@@ -222,43 +224,98 @@ RunResult run_distributed_impl(const Model& model, const KernelConfig& config,
   platform::LiveStatsHooks live_hooks;
   std::unique_ptr<obs::live::ClusterView> cluster;
   std::unique_ptr<obs::live::LiveServer> server;
+  // Flight recorder: coordinator-side evidence rings. A SIGKILLed worker
+  // cannot dump anything, so snapshots/health/frames accrete here and the
+  // dump fires on a watchdog raise or an abnormal run teardown.
+  std::shared_ptr<obs::flight::FlightRecorder> flight;
+  if (assembly.live != nullptr && config.observability.flight.enabled) {
+    obs::flight::FlightConfig flight_config;
+    flight_config.enabled = true;
+    flight_config.dir = config.observability.flight.dir;
+    flight_config.snapshot_ring = config.observability.flight.snapshot_ring;
+    flight_config.frame_ring = config.observability.flight.frame_ring;
+    flight = std::make_shared<obs::flight::FlightRecorder>(flight_config,
+                                                           num_shards);
+  }
   if (assembly.live != nullptr) {
     cluster = std::make_unique<obs::live::ClusterView>(num_shards);
     obs::live::ClusterView* view = cluster.get();
     const std::shared_ptr<obs::live::LiveMetricsRegistry> registry = assembly.live;
     live_hooks.period_ms = config.observability.live.stats_period_ms;
+    live_hooks.bank = registry->hists();
     live_hooks.encode = [registry](std::uint32_t shard) {
       std::vector<std::uint8_t> out;
       obs::live::encode_snapshot(registry->snapshot(shard, util::net::mono_ns()),
                                  out);
       return out;
     };
-    live_hooks.on_stats = [view](std::uint32_t shard, const std::uint8_t* data,
-                                 std::size_t len) {
+    live_hooks.on_stats = [view, flight](std::uint32_t shard,
+                                         const std::uint8_t* data,
+                                         std::size_t len) {
       obs::live::LiveSnapshot snap;
       if (obs::live::decode_snapshot(data, len, snap) && snap.shard == shard) {
+        if (flight != nullptr) {
+          flight->on_snapshot(snap);
+        }
         view->update(std::move(snap), util::net::mono_ns());
       }
     };
+    if (flight != nullptr) {
+      // Catchable fatal signals in a worker (SIGSEGV/SIGABRT/...) leave a
+      // minimal shard-side dump; SIGKILL is covered by the coordinator rings.
+      const std::string flight_dir = config.observability.flight.dir;
+      live_hooks.on_worker_start = [flight_dir](std::uint32_t shard) {
+        obs::flight::install_worker_fatal_dump(flight_dir, shard);
+      };
+      live_hooks.on_relay = [flight](std::uint32_t src_shard,
+                                     std::uint32_t dst_shard, std::uint16_t tag,
+                                     std::uint32_t frame_len,
+                                     std::uint64_t send_ns,
+                                     std::uint64_t coord_now_ns) {
+        obs::flight::FrameEvent event;
+        event.src_shard = src_shard;
+        event.dst_shard = dst_shard;
+        event.tag = tag;
+        event.frame_len = frame_len;
+        event.send_ns = send_ns;
+        event.coord_now_ns = coord_now_ns;
+        flight->on_frame(event);
+      };
+    }
     obs::live::LiveServerConfig server_config;
     server_config.port = config.observability.live_port;
     server_config.monitor_period_ms = config.observability.live.monitor_period_ms;
     server_config.watchdog = config.observability.live.watchdog;
     server_config.on_endpoint = config.observability.live.on_endpoint;
+    if (flight != nullptr) {
+      server_config.on_health = [flight](const obs::live::HealthEvent& event) {
+        flight->on_health(event);
+      };
+    }
     server = std::make_unique<obs::live::LiveServer>(
         server_config, [view] { return view->shards(); });
     server->start();
   }
 
-  const platform::EngineRunResult engine_result = engine.run(
-      assembly.runners,
-      [&assembly, num_shards](std::uint32_t shard) {
-        std::vector<std::uint8_t> blob;
-        WireWriter writer(blob);
-        encode_shard(writer, assembly, shard, num_shards);
-        return blob;
-      },
-      live_hooks);
+  platform::EngineRunResult engine_result;
+  try {
+    engine_result = engine.run(
+        assembly.runners,
+        [&assembly, num_shards](std::uint32_t shard) {
+          std::vector<std::uint8_t> blob;
+          WireWriter writer(blob);
+          encode_shard(writer, assembly, shard, num_shards);
+          return blob;
+        },
+        live_hooks);
+  } catch (const std::exception& e) {
+    // Abnormal teardown (a shard died, the relay failed): dump everything
+    // we know before surfacing the error — this is the black box's moment.
+    if (flight != nullptr) {
+      flight->dump_all(e.what());
+    }
+    throw;
+  }
 
   RunResult result;
   result.execution_time_ns = engine_result.execution_time_ns;
@@ -269,6 +326,8 @@ RunResult run_distributed_impl(const Model& model, const KernelConfig& config,
   result.physical_messages = engine_result.physical_messages;
   result.wire_bytes = engine_result.wire_bytes;
   result.dist = engine_result.dist;
+  result.hists = engine_result.hists;
+  result.shard_clocks = engine_result.shard_clocks;
 
   result.stats.objects.resize(model.objects.size());
   result.digests.resize(model.objects.size(), 0);
@@ -293,6 +352,20 @@ RunResult run_distributed_impl(const Model& model, const KernelConfig& config,
     result.stats.lps.push_back(h.stats);
     result.stats.final_gvt = h.gvt;
     if (h.trace.has_value()) {
+      // LP trace timestamps are the owning shard's driver clock; shift them
+      // onto the coordinator's run-relative timeline (same rebase the engine
+      // applied to its wire tracks) so the merged Chrome trace and the
+      // analysis cascade walk are clock-aligned across shards.
+      const std::uint32_t shard = platform::shard_of_lp(lp, num_shards);
+      const std::int64_t shift =
+          shard < engine_result.shard_trace_shift_ns.size()
+              ? engine_result.shard_trace_shift_ns[shard]
+              : 0;
+      for (obs::TraceRecord& rec : h.trace->records) {
+        const std::int64_t shifted =
+            static_cast<std::int64_t>(rec.wall_ns) + shift;
+        rec.wall_ns = shifted > 0 ? static_cast<std::uint64_t>(shifted) : 0;
+      }
       result.trace.lps.push_back(std::move(*h.trace));
     }
     if (h.phases.has_value()) {

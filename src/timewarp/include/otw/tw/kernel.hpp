@@ -75,6 +75,13 @@ struct RunResult {
   /// observability.live_port / observability.live.enabled). Export with
   /// obs::live::write_health_jsonl.
   std::vector<obs::live::HealthEvent> health;
+  /// Latency-attribution histograms (empty unless the live plane is armed
+  /// with observability.live.histograms). In-process engines report shard 0;
+  /// the distributed engine reports per-worker entries plus coordinator
+  /// relay-residency entries stamped shard = num_shards.
+  std::vector<obs::hist::Entry> hists;
+  /// Per-shard clock alignment (distributed engine only; index = shard).
+  std::vector<platform::ShardClock> shard_clocks;
 
   [[nodiscard]] double execution_time_sec() const noexcept {
     return static_cast<double>(execution_time_ns) / 1e9;

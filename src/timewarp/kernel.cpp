@@ -1,9 +1,11 @@
 #include "otw/tw/kernel.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 
 #include "kernel_internal.hpp"
+#include "otw/obs/flight.hpp"
 #include "otw/util/assert.hpp"
 #include "otw/util/net.hpp"
 
@@ -110,6 +112,14 @@ Assembly assemble(const Model& model, const KernelConfig& config) {
       obs::live::LiveMetricsRegistry::compiled_in()) {
     assembly.live =
         std::make_shared<obs::live::LiveMetricsRegistry>(config.num_lps);
+    if (config.observability.live.histograms) {
+      // Bank layout is shard-count dependent; size it for the engine that
+      // will run (in-process engines are a single "shard 0").
+      assembly.live->enable_hists(
+          config.engine.kind == EngineKind::Distributed
+              ? std::max<std::uint32_t>(config.engine.num_shards, 1)
+              : 1);
+    }
     for (const auto& lp : assembly.lps) {
       lp->set_live(assembly.live.get());
     }
@@ -132,6 +142,14 @@ RunResult collect(const Model& model, Assembly& assembly,
 
   result.scheduler = engine_result.scheduler;
   result.dist = engine_result.dist;
+  result.hists = engine_result.hists;
+  result.shard_clocks = engine_result.shard_clocks;
+  if (result.hists.empty() && assembly.live != nullptr &&
+      assembly.live->hists() != nullptr) {
+    // In-process engines record straight into the registry bank; harvest it
+    // here as the single shard 0.
+    result.hists = assembly.live->hists()->snapshot(0);
+  }
   result.stats.objects.resize(model.objects.size());
   result.digests.resize(model.objects.size(), 0);
   result.telemetry.objects.resize(model.objects.size());
@@ -191,11 +209,31 @@ std::unique_ptr<obs::live::LiveServer> start_live_server(
   server_config.monitor_period_ms = config.observability.live.monitor_period_ms;
   server_config.watchdog = config.observability.live.watchdog;
   server_config.on_endpoint = config.observability.live.on_endpoint;
+  // Flight recorder (in-process engines): fed from the snapshot pull and
+  // the watchdog transition stream; dumps on every raised rule. Owned by
+  // the closures so it lives exactly as long as the server.
+  std::shared_ptr<obs::flight::FlightRecorder> flight;
+  if (config.observability.flight.enabled) {
+    obs::flight::FlightConfig flight_config;
+    flight_config.enabled = true;
+    flight_config.dir = config.observability.flight.dir;
+    flight_config.snapshot_ring = config.observability.flight.snapshot_ring;
+    flight_config.frame_ring = config.observability.flight.frame_ring;
+    flight = std::make_shared<obs::flight::FlightRecorder>(flight_config,
+                                                           /*num_shards=*/1);
+    server_config.on_health = [flight](const obs::live::HealthEvent& event) {
+      flight->on_health(event);
+    };
+  }
   std::shared_ptr<obs::live::LiveMetricsRegistry> registry = assembly.live;
   auto server = std::make_unique<obs::live::LiveServer>(
-      std::move(server_config), [registry] {
-        return std::vector<obs::live::LiveSnapshot>{
-            registry->snapshot(/*shard=*/0, util::net::mono_ns())};
+      std::move(server_config), [registry, flight] {
+        obs::live::LiveSnapshot snap =
+            registry->snapshot(/*shard=*/0, util::net::mono_ns());
+        if (flight != nullptr) {
+          flight->on_snapshot(snap);
+        }
+        return std::vector<obs::live::LiveSnapshot>{std::move(snap)};
       });
   server->start();
   return server;
@@ -351,6 +389,21 @@ std::vector<std::string> KernelConfig::validate() const {
     }
     if (wd.shard_silent_ns == 0) {
       fail("observability.live.watchdog.shard_silent_ns must be >= 1");
+    }
+  }
+
+  // --- flight recorder ---
+  if (observability.flight.enabled) {
+    if (!observability.live_enabled()) {
+      fail("observability.flight.enabled requires the live plane (its "
+           "evidence rings are fed from live snapshots and the watchdog)");
+    }
+    if (observability.flight.dir.empty()) {
+      fail("observability.flight.dir must be non-empty (dump destination)");
+    }
+    if (observability.flight.snapshot_ring == 0) {
+      fail("observability.flight.snapshot_ring must be >= 1 (a dump without "
+           "snapshots names no evidence)");
     }
   }
 

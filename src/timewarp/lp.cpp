@@ -63,6 +63,11 @@ void LogicalProcess::note_rollback(std::size_t undone) noexcept {
   optimism_rolled_back_ += undone;
   if (live_ != nullptr) {
     live_->store_gauge(id_, obs::live::Gauge::LastRollbackDepth, undone);
+    if (auto* bank = live_->hists()) {
+      // Distribution, not just the last value: a long tail here is the
+      // classic over-optimism signature (events undone per rollback).
+      bank->record(obs::hist::Seam::RollbackDepth, undone);
+    }
   }
 }
 
@@ -351,6 +356,15 @@ void LogicalProcess::handle_token(const GvtTokenMessage& token) {
 
 void LogicalProcess::complete_epoch(VirtualTime gvt) {
   ++stats_.gvt_epochs;
+  // Only the initiator completes an epoch, so start -> completion on this
+  // LP's clock is the token's full ring traversal.
+  if (live_ != nullptr && epoch_ever_started_ && ctx_ != nullptr) {
+    if (auto* bank = live_->hists()) {
+      const std::uint64_t now = ctx_->now_ns();
+      bank->record(obs::hist::Seam::GvtRound,
+                   now > last_epoch_start_ns_ ? now - last_epoch_start_ns_ : 0);
+    }
+  }
   for (LpId lp = 0; lp < config_.num_lps; ++lp) {
     if (lp != id_) {
       ctx_->send(lp, std::make_unique<GvtAnnounceMessage>(gvt));

@@ -143,6 +143,61 @@ TEST(TwReport, UnmatchedRunsAreListed)
   EXPECT_NE(report.only_in_a[0].find("RAID"), std::string::npos);
 }
 
+const char* kFlightDoc = R"({
+  "schema": "otw-flight-v1", "shard": 2, "reason": "watchdog GvtStall raised",
+  "dumped_at_ns": 123456789,
+  "watchdog": {"active": [{"rule": "GvtStall", "shard": 2}],
+               "last_event": {"rule": "GvtStall", "raised": true, "shard": 2,
+                              "wall_ns": 120, "detail": "stalled 8 feeds"}},
+  "health_events": [{"rule": "GvtStall", "raised": true, "shard": 2,
+                     "wall_ns": 120, "detail": "stalled 8 feeds"}],
+  "snapshots": [{"wall_ns": 100, "gvt_ticks": 55, "processed": 900,
+                 "committed": 800, "rolled_back": 50,
+                 "hists": [{"seam": "link_latency_ns", "src": 0, "dst": 2,
+                            "count": 40, "sum": 80000, "p50": 1023,
+                            "p95": 4095, "p99": 8191}]}],
+  "frames": [{"src": 0, "dst": 2, "tag": 16, "len": 96, "send_ns": 90,
+              "relay_ns": 95}]
+})";
+
+TEST(TwReport, FlightReportRendersDumpState) {
+  std::ostringstream os;
+  std::string error;
+  ASSERT_TRUE(render_flight_report(os, parse_doc(kFlightDoc), error)) << error;
+  const std::string md = os.str();
+  EXPECT_NE(md.find("shard 2"), std::string::npos) << md;
+  EXPECT_NE(md.find("watchdog GvtStall raised"), std::string::npos);
+  EXPECT_NE(md.find("GvtStall(shard 2)"), std::string::npos);
+  EXPECT_NE(md.find("RAISED"), std::string::npos);
+  EXPECT_NE(md.find("stalled 8 feeds"), std::string::npos);
+  // Latency quantiles from the newest snapshot render as p50/p95/p99 columns.
+  EXPECT_NE(md.find("| link_latency_ns | 0->2 | 40 | 1023 | 4095 | 8191 |"),
+            std::string::npos)
+      << md;
+  EXPECT_NE(md.find("relayed frames"), std::string::npos);
+}
+
+TEST(TwReport, FlightReportRejectsOtherSchemas) {
+  std::ostringstream os;
+  std::string error;
+  EXPECT_FALSE(render_flight_report(os, parse_doc(kBenchDoc), error));
+  EXPECT_NE(error.find("otw-flight-v1"), std::string::npos);
+}
+
+TEST(TwReport, CliFlightEndToEnd) {
+  const std::string path = ::testing::TempDir() + "twreport_test_flight.json";
+  {
+    std::ofstream os(path);
+    os << kFlightDoc;
+  }
+  std::ostringstream out;
+  std::ostringstream err;
+  const char* argv[] = {"twreport", "flight", path.c_str()};
+  EXPECT_EQ(run_cli(3, argv, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("Flight recorder dump"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(TwReport, CliRunAndDiffEndToEnd) {
   const std::string path = ::testing::TempDir() + "twreport_test_bench.json";
   {

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "otw/apps/phold.hpp"
+#include "otw/obs/live.hpp"
 #include "otw/tw/kernel.hpp"
 #include "otw/util/rng.hpp"
 
@@ -163,7 +164,85 @@ TEST_P(DistParity, DistributedShardsMatchSequential) {
   }
 }
 
+/// Attribution-plane leg of the distributed column: the same seeds with the
+/// latency histograms armed and the flight recorder recording must commit
+/// bit-identical digests — recording is relaxed fetch_adds with no control
+/// flow feedback, and this is where that claim meets real forked shards.
+/// (Named without the Hist/Flight substrings on purpose: this suite forks,
+/// so the tsan-stress filter must not pick it up.)
+TEST_P(DistParity, AttributionArmedShardsMatchSequential) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("attribution seed = " + std::to_string(seed));
+  const DiffSetup s = derive_setup(seed);
+  const Model model = apps::phold::build_model(s.app);
+  const SequentialResult seq = run_sequential(model, s.kernel.end_time);
+  ASSERT_GT(seq.events_processed, 0u);
+
+  KernelConfig armed = s.kernel;
+  armed.observability.live.enabled = true;
+  armed.observability.live.histograms = true;
+  armed.observability.flight.enabled = true;
+  armed.observability.flight.dir = ::testing::TempDir();
+
+  const RunResult r = run(model, armed.with_engine(EngineKind::Distributed, 2));
+  expect_matches(r, seq, "distributed+attribution");
+  if (obs::live::LiveMetricsRegistry::compiled_in()) {
+    EXPECT_FALSE(r.hists.empty());
+    ASSERT_EQ(r.shard_clocks.size(), 2u);
+    for (const platform::ShardClock& clock : r.shard_clocks) {
+      EXPECT_GT(clock.rtt_ns, 0u);  // HELLO/ACK midpoint estimate ran
+    }
+  } else {
+    EXPECT_TRUE(r.hists.empty());
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DistParity,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+/// Digest neutrality of the attribution plane on the in-process engines:
+/// histograms on, histograms off and flight-recorder-armed legs must all
+/// reproduce the sequential digests on every seed. Lives in its own
+/// tsan-runnable suite (no fork): the tsan-stress lane picks up "Hist".
+class HistParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistParity, AttributionPlaneIsDigestNeutralInProcess) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("histparity seed = " + std::to_string(seed));
+  const DiffSetup s = derive_setup(seed);
+  const Model model = apps::phold::build_model(s.app);
+  const SequentialResult seq = run_sequential(model, s.kernel.end_time);
+  ASSERT_GT(seq.events_processed, 0u);
+
+  KernelConfig off = s.kernel;
+  off.observability.live.enabled = true;
+  off.observability.live.histograms = false;
+
+  KernelConfig on = s.kernel;
+  on.observability.live.enabled = true;
+  on.observability.live.histograms = true;
+
+  KernelConfig armed = on;
+  armed.observability.flight.enabled = true;
+  armed.observability.flight.dir = ::testing::TempDir();
+
+  expect_matches(run(model, off.with_engine(EngineKind::Threaded),
+                     {.threaded = s.threads}),
+                 seq, "threaded hists-off");
+  const RunResult threaded_on = run(model, on.with_engine(EngineKind::Threaded),
+                                    {.threaded = s.threads});
+  expect_matches(threaded_on, seq, "threaded hists-on");
+  if (obs::live::LiveMetricsRegistry::compiled_in()) {
+    EXPECT_FALSE(threaded_on.hists.empty());  // at least GvtRound fired
+  }
+  expect_matches(run(model, armed, {.simulated_now = s.now}), seq,
+                 "simulated-NOW flight-armed");
+  expect_matches(run(model, armed.with_engine(EngineKind::Threaded),
+                     {.threaded = s.threads}),
+                 seq, "threaded flight-armed");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistParity,
                          ::testing::Range<std::uint64_t>(0, 8));
 
 /// The ISSUE acceptance case: far more LPs than workers. 64 LPs on 4 workers

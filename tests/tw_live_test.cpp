@@ -28,6 +28,7 @@
 #include <gtest/gtest.h>
 
 #include "otw/apps/phold.hpp"
+#include "otw/obs/hist.hpp"
 #include "otw/obs/json.hpp"
 #include "otw/tw/kernel.hpp"
 #include "otw/util/net.hpp"
@@ -282,6 +283,11 @@ TEST(DistIntrospection, FourShardPholdScrapeableMidFlight) {
             m.find("otw_live_events_processed_total{shard=\"" +
                    std::to_string(shard) + "\"}") != std::string::npos;
       }
+      // Also wait for the attribution plane: a scrape carrying per-link
+      // latency histograms (recorded once remote frames flow, shipped in
+      // the v2 STATS payloads).
+      all_shards = all_shards && m.find("otw_hist_link_latency_ns_bucket") !=
+                                     std::string::npos;
       if (all_shards) {
         std::string j = try_http_get(p, "/snapshot");
         if (!j.empty()) {
@@ -318,6 +324,41 @@ TEST(DistIntrospection, FourShardPholdScrapeableMidFlight) {
         << "shard " << shard;
   }
   EXPECT_NE(best_metrics.find("otw_live_shards 4"), std::string::npos);
+
+  // Attribution histograms ride the same scrape as proper Prometheus
+  // histogram families: TYPE header, shard+src+dst labelled cumulative
+  // buckets, the +Inf bucket and _sum/_count — everything PromQL's
+  // histogram_quantile() needs to compute a per-link p99.
+  EXPECT_NE(best_metrics.find("# TYPE otw_hist_link_latency_ns histogram"),
+            std::string::npos);
+  const std::size_t bucket_at =
+      best_metrics.find("otw_hist_link_latency_ns_bucket{shard=\"");
+  ASSERT_NE(bucket_at, std::string::npos);
+  const std::string bucket_line =
+      best_metrics.substr(bucket_at, best_metrics.find('\n', bucket_at) - bucket_at);
+  EXPECT_NE(bucket_line.find("src=\""), std::string::npos) << bucket_line;
+  EXPECT_NE(bucket_line.find("dst=\""), std::string::npos) << bucket_line;
+  EXPECT_NE(bucket_line.find("le=\""), std::string::npos) << bucket_line;
+  EXPECT_NE(best_metrics.find("otw_hist_link_latency_ns_count"),
+            std::string::npos);
+  EXPECT_NE(best_metrics.find("le=\"+Inf\""), std::string::npos);
+
+  // The final RunResult merges worker hists plus the coordinator's
+  // relay-residency entries (stamped shard = num_shards), and the clock
+  // handshake produced an offset estimate for every shard.
+  bool saw_link = false;
+  bool saw_relay = false;
+  for (const obs::hist::Entry& e : r.hists) {
+    saw_link = saw_link || e.seam == obs::hist::Seam::LinkLatency;
+    saw_relay = saw_relay ||
+                (e.seam == obs::hist::Seam::RelayResidency && e.shard == 4u);
+  }
+  EXPECT_TRUE(saw_link);
+  EXPECT_TRUE(saw_relay);
+  ASSERT_EQ(r.shard_clocks.size(), 4u);
+  for (const platform::ShardClock& clock : r.shard_clocks) {
+    EXPECT_GT(clock.rtt_ns, 0u);
+  }
 
   obs::json::Value doc;
   ASSERT_TRUE(obs::json::parse(best_json, doc));

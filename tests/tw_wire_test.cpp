@@ -166,6 +166,7 @@ TEST(WireCodec, FrameHeaderRoundtrips) {
   header.flags = 0x0001;
   header.src_lp = 5;
   header.dst_lp = 11;
+  header.send_ns = 0x0123'4567'89AB'CDEFull;  // full 64-bit timestamp width
   std::uint8_t raw[platform::kFrameHeaderBytes];
   platform::encode_frame_header(header, raw);
   const platform::FrameHeader out = platform::decode_frame_header(raw);
@@ -174,6 +175,10 @@ TEST(WireCodec, FrameHeaderRoundtrips) {
   EXPECT_EQ(out.flags, header.flags);
   EXPECT_EQ(out.src_lp, header.src_lp);
   EXPECT_EQ(out.dst_lp, header.dst_lp);
+  EXPECT_EQ(out.send_ns, header.send_ns);
+  // A default header stamps no send time (control paths fill it in).
+  platform::FrameHeader blank;
+  EXPECT_EQ(blank.send_ns, 0u);
 }
 
 }  // namespace

@@ -20,6 +20,15 @@ Two checks, both zero-dependency (stdlib only), run by CI's docs-check job:
    ``HealthRule`` enumerators in ``src/obs/include/otw/obs/live.hpp`` must
    all appear (backticked) in DESIGN.md section 9's watchdog rule table.
 
+4. Seam drift guard. The latency-attribution ``Seam`` enumerators in
+   ``src/obs/include/otw/obs/hist.hpp`` must all appear (backticked) in
+   DESIGN.md section 10's seam table.
+
+5. Flight schema drift guard. Every JSON key ``src/obs/flight.cpp``
+   actually emits (the ``\"key\":`` literals) must appear in DESIGN.md
+   section 10's dump-schema listing, so the documented ``otw-flight-v1``
+   schema cannot silently drift from the writer.
+
 Usage: ``python3 tools/check_docs.py`` from the repository root (or any
 subdirectory; the root is located from this file's path). Exit 0 = clean.
 """
@@ -31,6 +40,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 TRACE_HEADER = REPO_ROOT / "src" / "obs" / "include" / "otw" / "obs" / "trace.hpp"
 LIVE_HEADER = REPO_ROOT / "src" / "obs" / "include" / "otw" / "obs" / "live.hpp"
+HIST_HEADER = REPO_ROOT / "src" / "obs" / "include" / "otw" / "obs" / "hist.hpp"
+FLIGHT_SOURCE = REPO_ROOT / "src" / "obs" / "flight.cpp"
 DESIGN = REPO_ROOT / "DESIGN.md"
 
 # Directories never scanned for markdown (build trees, VCS internals).
@@ -192,8 +203,41 @@ def check_health_rule_drift():
     return errors
 
 
+def check_seam_drift():
+    errors = []
+    section = design_section("10", "latency attribution plane")
+    for seam in enum_members(HIST_HEADER, "Seam"):
+        if not re.search(rf"`{re.escape(seam)}`", section):
+            errors.append(f"DESIGN.md: Seam::{seam} exists in hist.hpp "
+                          f"but is not documented in the section 10 seam "
+                          f"table")
+    return errors
+
+
+def flight_schema_keys():
+    """JSON keys the flight-recorder writer emits, from the ``\\"key\\":``
+    string literals in flight.cpp."""
+    text = FLIGHT_SOURCE.read_text(encoding="utf-8")
+    return sorted(set(re.findall(r'\\"([A-Za-z_][A-Za-z_0-9]*)\\":', text)))
+
+
+def check_flight_schema_drift():
+    errors = []
+    section = design_section("10", "latency attribution plane")
+    keys = flight_schema_keys()
+    if not keys:
+        sys.exit(f"error: no emitted JSON keys found in {FLIGHT_SOURCE}")
+    for key in keys:
+        if not re.search(rf"\b{re.escape(key)}\b", section):
+            errors.append(f"DESIGN.md: flight.cpp emits JSON key "
+                          f"'{key}' but section 10's otw-flight-v1 "
+                          f"schema listing does not mention it")
+    return errors
+
+
 def main():
-    errors = check_links() + check_trace_drift() + check_health_rule_drift()
+    errors = (check_links() + check_trace_drift() + check_health_rule_drift()
+              + check_seam_drift() + check_flight_schema_drift())
     n_md = sum(1 for _ in markdown_files())
     if errors:
         for e in errors:
@@ -203,10 +247,14 @@ def main():
         return 1
     kinds = trace_kinds()
     rules = enum_members(LIVE_HEADER, "HealthRule")
+    seams = enum_members(HIST_HEADER, "Seam")
+    keys = flight_schema_keys()
     print(f"check_docs: OK — {n_md} markdown files, links and anchors "
           f"resolve, all {len(kinds)} TraceKind enumerators documented "
           f"in DESIGN.md section 5b, all {len(rules)} HealthRule "
-          f"enumerators documented in section 9")
+          f"enumerators documented in section 9, all {len(seams)} Seam "
+          f"enumerators and {len(keys)} flight schema keys documented "
+          f"in section 10")
     return 0
 
 

@@ -22,6 +22,24 @@ std::string fmt(double value) {
   return buf;
 }
 
+// Flight-dump fields are u64 counts and nanosecond stamps travelling
+// through JSON doubles: render them as integers, never scientific
+// notation. The one out-of-range value is the VirtualTime::infinity
+// sentinel (2^64-1, which rounds to 2^64 as a double) in a pre-first-GVT
+// snapshot.
+std::string fmt_u64(double value) {
+  if (!std::isfinite(value) || value < 0.0) {
+    return "0";
+  }
+  if (value >= 18446744073709551615.0) {
+    return "inf";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value + 0.5));
+  return buf;
+}
+
 std::string fmt_pct(double fraction) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%+.2f%%",
@@ -60,6 +78,11 @@ std::vector<std::pair<std::string, double>> run_metrics(const Value& run) {
 const Value* find_runs(const Value& doc) {
   const Value* runs = doc.find("runs");
   return runs != nullptr && runs->is_array() ? runs : nullptr;
+}
+
+bool get_bool(const Value& v, const std::string& key) {
+  const Value* f = v.find(key);
+  return f != nullptr && f->kind == Value::Kind::Bool && f->boolean;
 }
 
 }  // namespace
@@ -253,11 +276,121 @@ void render_diff_markdown(std::ostream& os, const DiffReport& report,
   }
 }
 
+bool render_flight_report(std::ostream& os, const Value& doc,
+                          std::string& error) {
+  if (doc.get_string("schema") != "otw-flight-v1") {
+    error = "document is not an otw-flight-v1 dump";
+    return false;
+  }
+  os << "# Flight recorder dump: shard " << fmt_u64(doc.get_number("shard", -1.0))
+     << "\n\n";
+  os << "- reason: " << doc.get_string("reason", "(none)") << "\n";
+  os << "- dumped_at_ns: " << fmt_u64(doc.get_number("dumped_at_ns")) << "\n";
+
+  const Value* watchdog = doc.find("watchdog");
+  const Value* active = watchdog != nullptr ? watchdog->find("active") : nullptr;
+  if (active != nullptr && active->is_array() && !active->array.empty()) {
+    os << "- watchdog active:";
+    for (const Value& a : active->array) {
+      os << " " << a.get_string("rule") << "(shard "
+         << fmt_u64(a.get_number("shard")) << ")";
+    }
+    os << "\n";
+  } else {
+    os << "- watchdog active: none\n";
+  }
+  const Value* last = watchdog != nullptr ? watchdog->find("last_event") : nullptr;
+  if (last != nullptr && last->is_object()) {
+    os << "- last transition: " << last->get_string("rule") << " "
+       << (get_bool(*last, "raised") ? "RAISED" : "cleared") << " shard "
+       << fmt_u64(last->get_number("shard")) << " — " << last->get_string("detail")
+       << "\n";
+  }
+  os << "\n";
+
+  const Value* snapshots = doc.find("snapshots");
+  if (snapshots != nullptr && snapshots->is_array() &&
+      !snapshots->array.empty()) {
+    os << "## Snapshots (" << snapshots->array.size() << " retained)\n\n";
+    os << "| wall ns | gvt | processed | committed | rolled back |\n";
+    os << "|---:|---:|---:|---:|---:|\n";
+    for (const Value& s : snapshots->array) {
+      os << "| " << fmt_u64(s.get_number("wall_ns")) << " | "
+         << fmt_u64(s.get_number("gvt_ticks", -1.0)) << " | "
+         << fmt_u64(s.get_number("processed")) << " | "
+         << fmt_u64(s.get_number("committed")) << " | "
+         << fmt_u64(s.get_number("rolled_back")) << " |\n";
+    }
+    os << "\n";
+    // Latency columns from the newest snapshot carrying histograms.
+    const Value* hists = nullptr;
+    for (auto it = snapshots->array.rbegin(); it != snapshots->array.rend();
+         ++it) {
+      const Value* h = it->find("hists");
+      if (h != nullptr && h->is_array() && !h->array.empty()) {
+        hists = h;
+        break;
+      }
+    }
+    if (hists != nullptr) {
+      os << "## Latency (last snapshot)\n\n";
+      os << "| seam | link | count | p50 | p95 | p99 |\n";
+      os << "|---|---|---:|---:|---:|---:|\n";
+      for (const Value& h : hists->array) {
+        std::string link = "-";
+        if (h.find("src") != nullptr) {
+          link = fmt_u64(h.get_number("src")) + "->" + fmt_u64(h.get_number("dst"));
+        }
+        os << "| " << h.get_string("seam") << " | " << link << " | "
+           << fmt_u64(h.get_number("count")) << " | " << fmt_u64(h.get_number("p50"))
+           << " | " << fmt_u64(h.get_number("p95")) << " | "
+           << fmt_u64(h.get_number("p99")) << " |\n";
+      }
+      os << "\n";
+    }
+  }
+
+  const Value* frames = doc.find("frames");
+  if (frames != nullptr && frames->is_array() && !frames->array.empty()) {
+    os << "## Last " << frames->array.size() << " relayed frames\n\n";
+    os << "| src | dst | tag | len | send ns | relay ns |\n";
+    os << "|---:|---:|---:|---:|---:|---:|\n";
+    const std::size_t start =
+        frames->array.size() > 20 ? frames->array.size() - 20 : 0;
+    if (start > 0) {
+      os << "| ... | | | | | |\n";
+    }
+    for (std::size_t i = start; i < frames->array.size(); ++i) {
+      const Value& f = frames->array[i];
+      os << "| " << fmt_u64(f.get_number("src")) << " | "
+         << fmt_u64(f.get_number("dst")) << " | " << fmt_u64(f.get_number("tag"))
+         << " | " << fmt_u64(f.get_number("len")) << " | "
+         << fmt_u64(f.get_number("send_ns")) << " | "
+         << fmt_u64(f.get_number("relay_ns")) << " |\n";
+    }
+    os << "\n";
+  }
+
+  const Value* health = doc.find("health_events");
+  if (health != nullptr && health->is_array() && !health->array.empty()) {
+    os << "## Health transitions\n\n";
+    for (const Value& e : health->array) {
+      os << "- " << e.get_string("rule") << " "
+         << (get_bool(e, "raised") ? "RAISED" : "cleared") << " shard "
+         << fmt_u64(e.get_number("shard")) << " at " << fmt_u64(e.get_number("wall_ns"))
+         << " — " << e.get_string("detail") << "\n";
+    }
+    os << "\n";
+  }
+  return true;
+}
+
 int run_cli(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err) {
   const auto usage = [&err]() {
     err << "usage: twreport run <results.json>\n"
-           "       twreport diff <a.json> <b.json> [--threshold FRACTION]\n";
+           "       twreport diff <a.json> <b.json> [--threshold FRACTION]\n"
+           "       twreport flight <flight-N.json>\n";
     return 2;
   };
   if (argc < 2) {
@@ -273,6 +406,19 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     Value doc;
     if (!load_json_file(argv[2], doc, error) ||
         !render_run_report(out, doc, error)) {
+      err << "twreport: " << error << "\n";
+      return 2;
+    }
+    return 0;
+  }
+
+  if (mode == "flight") {
+    if (argc != 3) {
+      return usage();
+    }
+    Value doc;
+    if (!load_json_file(argv[2], doc, error) ||
+        !render_flight_report(out, doc, error)) {
       err << "twreport: " << error << "\n";
       return 2;
     }

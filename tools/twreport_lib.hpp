@@ -11,6 +11,11 @@
 //                                      time and per-phase self-times, with a
 //                                      relative noise threshold so identical
 //                                      runs report zero significant deltas.
+//   twreport flight <flight-N.json>    render a black-box flight-recorder
+//                                      dump (schema otw-flight-v1): dump
+//                                      reason, watchdog state, retained
+//                                      snapshots with latency quantiles, and
+//                                      the tail of the relayed-frame ring.
 //
 // The CLI is a thin shim over this library so the tests can drive the exact
 // code the tool ships.
@@ -81,6 +86,14 @@ struct DiffReport {
 [[nodiscard]] bool render_run_report(std::ostream& os,
                                      const obs::json::Value& doc,
                                      std::string& error);
+
+/// Renders a flight-recorder dump (`flight-<shard>.json`, schema
+/// otw-flight-v1) as markdown: reason, watchdog state, retained snapshots
+/// with latency quantiles, and the tail of the relayed-frame ring. Returns
+/// false (with `error`) when the document is not an otw-flight-v1 dump.
+[[nodiscard]] bool render_flight_report(std::ostream& os,
+                                        const obs::json::Value& doc,
+                                        std::string& error);
 
 /// Compares two bench results documents run-by-run.
 [[nodiscard]] DiffReport diff_bench(const obs::json::Value& a,

@@ -14,6 +14,7 @@
 //     --raw             dump the raw JSON document instead of rendering
 #include <unistd.h>
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -78,12 +79,76 @@ std::string http_get(std::uint16_t port, const std::string& path) {
 
 double ratio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
 
-struct Frame {
-  std::uint64_t wall_ns = 0;
-  double committed = 0.0;
+/// Throughput derivation across polls. `prev_*` only advance on a
+/// successfully parsed poll, and a poll whose wall_ns matches the previous
+/// one (a run that terminated but keeps serving its final snapshot) keeps
+/// the last-known rate, flagged stale, instead of suppressing it forever.
+struct RateTracker {
+  std::uint64_t prev_wall_ns = 0;
+  double prev_committed = 0.0;
+  double last_rate = -1.0;  ///< < 0 until two advancing polls have been seen
+  bool stale = false;
+
+  void observe(std::uint64_t wall_ns, double committed) {
+    if (prev_wall_ns != 0 && wall_ns > prev_wall_ns) {
+      last_rate = (committed - prev_committed) /
+                  (static_cast<double>(wall_ns - prev_wall_ns) / 1e9);
+      stale = false;
+    } else if (prev_wall_ns != 0) {
+      stale = true;  // clock did not advance: show last-known rate as stale
+    }
+    if (wall_ns != prev_wall_ns) {
+      prev_wall_ns = wall_ns;
+      prev_committed = committed;
+    }
+  }
 };
 
-void render(const otw::obs::json::Value& doc, const Frame& prev, bool clear) {
+/// Worst-case per-seam latency summary across every shard (and, for link
+/// seams, every (src,dst) pair): counts are summed, quantiles take the max —
+/// the quantile upper bounds from different shards are not mergeable, and a
+/// top view wants the worst offender anyway.
+struct SeamRow {
+  std::string seam;
+  double count = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+std::vector<SeamRow> collect_seams(const otw::obs::json::Value* shards) {
+  std::vector<SeamRow> rows;
+  if (shards == nullptr || !shards->is_array()) {
+    return rows;
+  }
+  for (const auto& s : shards->array) {
+    const otw::obs::json::Value* hists = s.find("hists");
+    if (hists == nullptr || !hists->is_array()) {
+      continue;
+    }
+    for (const auto& h : hists->array) {
+      const std::string seam = h.get_string("seam");
+      SeamRow* row = nullptr;
+      for (auto& r : rows) {
+        if (r.seam == seam) {
+          row = &r;
+          break;
+        }
+      }
+      if (row == nullptr) {
+        rows.push_back(SeamRow{seam, 0.0, 0.0, 0.0, 0.0});
+        row = &rows.back();
+      }
+      row->count += h.get_number("count");
+      row->p50 = std::max(row->p50, h.get_number("p50"));
+      row->p95 = std::max(row->p95, h.get_number("p95"));
+      row->p99 = std::max(row->p99, h.get_number("p99"));
+    }
+  }
+  return rows;
+}
+
+void render(const otw::obs::json::Value& doc, RateTracker& rates, bool clear) {
   if (clear) {
     std::fputs("\x1b[H\x1b[2J", stdout);
   }
@@ -103,11 +168,7 @@ void render(const otw::obs::json::Value& doc, const Frame& prev, bool clear) {
       lps += static_cast<std::uint64_t>(s.get_number("num_lps"));
     }
   }
-  double rate = 0.0;
-  if (prev.wall_ns != 0 && wall_ns > static_cast<double>(prev.wall_ns)) {
-    rate = (committed - prev.committed) /
-           ((wall_ns - static_cast<double>(prev.wall_ns)) / 1e9);
-  }
+  rates.observe(static_cast<std::uint64_t>(wall_ns), committed);
 
   std::printf("twtop — live Time Warp introspection\n");
   if (gvt < 0) {
@@ -117,8 +178,9 @@ void render(const otw::obs::json::Value& doc, const Frame& prev, bool clear) {
   }
   std::printf("   LPs: %" PRIu64 "   committed: %.0f   rollback ratio: %.3f\n",
               lps, committed, ratio(rolled_back, processed));
-  if (rate > 0.0) {
-    std::printf("  throughput: %.0f committed events/s\n", rate);
+  if (rates.last_rate >= 0.0) {
+    std::printf("  throughput: %.0f committed events/s%s\n", rates.last_rate,
+                rates.stale ? " (stale)" : "");
   } else {
     std::printf("  throughput: (need two polls)\n");
   }
@@ -134,6 +196,16 @@ void render(const otw::obs::json::Value& doc, const Frame& prev, bool clear) {
                   s.get_number("events_rolled_back"),
                   s.get_number("memory_bytes") / (1024.0 * 1024.0),
                   s.get_number("mailbox_occupancy"));
+    }
+  }
+
+  const std::vector<SeamRow> seams = collect_seams(shards);
+  if (!seams.empty()) {
+    std::printf("\n  %-22s %-10s %-12s %-12s %-12s\n", "latency seam", "count",
+                "p50", "p95", "p99");
+    for (const SeamRow& r : seams) {
+      std::printf("  %-22s %-10.0f %-12.0f %-12.0f %-12.0f\n", r.seam.c_str(),
+                  r.count, r.p50, r.p95, r.p99);
     }
   }
 
@@ -192,34 +264,37 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  Frame prev;
+  RateTracker rates;
   for (;;) {
+    // A failed or malformed poll must leave the rate tracker untouched so
+    // the next good poll derives its rate from the last *good* sample, not
+    // from a half-updated one.
     std::string body;
+    bool polled = false;
     try {
       body = http_get(port, "/snapshot");
+      polled = true;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
-      return 1;
-    }
-    if (raw) {
-      std::fputs(body.c_str(), stdout);
-      std::fputc('\n', stdout);
-    } else {
-      otw::obs::json::Value doc;
-      if (!otw::obs::json::parse(body, doc)) {
-        std::fprintf(stderr, "twtop: endpoint returned malformed JSON\n");
+      if (once) {
         return 1;
       }
-      render(doc, prev, /*clear=*/!once);
-      prev.wall_ns = static_cast<std::uint64_t>(doc.get_number("wall_ns"));
-      double committed = 0.0;
-      const otw::obs::json::Value* shards = doc.find("shards");
-      if (shards != nullptr && shards->is_array()) {
-        for (const auto& s : shards->array) {
-          committed += s.get_number("events_committed");
+    }
+    if (polled) {
+      if (raw) {
+        std::fputs(body.c_str(), stdout);
+        std::fputc('\n', stdout);
+      } else {
+        otw::obs::json::Value doc;
+        if (!otw::obs::json::parse(body, doc)) {
+          std::fprintf(stderr, "twtop: endpoint returned malformed JSON\n");
+          if (once) {
+            return 1;
+          }
+        } else {
+          render(doc, rates, /*clear=*/!once);
         }
       }
-      prev.committed = committed;
     }
     if (once) {
       break;
