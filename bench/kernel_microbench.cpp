@@ -4,6 +4,8 @@
 // reported by the figure benches.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "otw/apps/phold.hpp"
 #include "otw/tw/kernel.hpp"
 #include "otw/tw/queues.hpp"
@@ -59,6 +61,61 @@ void BM_InputQueueInsertAdvance(benchmark::State& state) {
                           static_cast<std::int64_t>(depth));
 }
 BENCHMARK(BM_InputQueueInsertAdvance)->Arg(64)->Arg(1'024)->Arg(16'384);
+
+// Per-QueueKind hot-path benches on the raw PendingEventSet (range(0) is the
+// QueueKind index, range(1) the queue depth). The same three operations the
+// kernel leans on: insert, pop-min (advance) and delete-by-match
+// (annihilation of an unprocessed event).
+
+void BM_PendingSetInsertAdvance(benchmark::State& state) {
+  const auto kind = tw::kAllQueueKinds[static_cast<std::size_t>(state.range(0))];
+  const auto depth = static_cast<std::uint64_t>(state.range(1));
+  tw::SlabPool pool;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto set = tw::make_pending_set(kind, &pool);
+    util::Xoshiro256 rng(7);
+    state.ResumeTiming();
+    for (std::uint64_t i = 0; i < depth; ++i) {
+      set->insert(make_event(rng.next_below(1'000'000), n++));
+    }
+    while (set->peek_next() != nullptr) {
+      benchmark::DoNotOptimize(set->advance());
+    }
+  }
+  state.SetLabel(tw::to_string(kind));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_PendingSetInsertAdvance)
+    ->ArgsProduct({{0, 1, 2}, {64, 1'024, 16'384}});
+
+void BM_PendingSetAnnihilate(benchmark::State& state) {
+  const auto kind = tw::kAllQueueKinds[static_cast<std::size_t>(state.range(0))];
+  const auto depth = static_cast<std::uint64_t>(state.range(1));
+  tw::SlabPool pool;
+  util::Xoshiro256 rng(9);
+  std::vector<tw::Event> events;
+  for (std::uint64_t i = 0; i < depth; ++i) {
+    events.push_back(make_event(rng.next_below(1'000'000), i));
+  }
+  auto set = tw::make_pending_set(kind, &pool);
+  for (const tw::Event& e : events) {
+    set->insert(e);
+  }
+  // Steady state: each iteration annihilates one unprocessed event and
+  // reinserts it, so the queue depth never drifts.
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const tw::Event& victim = events[i++ % depth];
+    set->erase_match(victim.make_anti());
+    set->insert(victim);
+  }
+  state.SetLabel(tw::to_string(kind));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PendingSetAnnihilate)->ArgsProduct({{0, 1, 2}, {1'024, 16'384}});
 
 void BM_StateSaveRestore(benchmark::State& state) {
   struct Big {

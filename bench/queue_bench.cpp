@@ -1,0 +1,269 @@
+// The pending-event-set race: multiset vs skip list vs ladder queue.
+//
+// Two tiers of measurement, all deterministic in inputs (seeded Xoshiro op
+// streams) and wall-clock timed:
+//
+//  * micro sweeps on the raw structures — an insert/drain mix (build a
+//    population, drain it dry), the classic hold model (pop-min, reinsert at
+//    a later time, steady-state population) on the CentralEventList, and a
+//    rollback-heavy mix on the full PendingEventSet (stragglers, rewinds,
+//    annihilations, fossil collection) — at populations 256 / 4096 / 32768;
+//
+//  * the headline number: sequential PHOLD end-to-end per QueueKind,
+//    committed events per wall second, best of 3 reps (the central event
+//    list IS the sequential kernel's hot path).
+//
+// Output: bench/results/queue_bench rows on stdout and top-level
+// BENCH_queues.json. The verdict is "PASS" iff the best non-multiset
+// implementation matches or beats the multiset reference on sequential
+// PHOLD committed events/s — i.e. the optimized structures actually pay for
+// their complexity on the committed hot path, not just in micro mixes.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "otw/apps/phold.hpp"
+#include "otw/tw/kernel.hpp"
+#include "otw/tw/pending_set.hpp"
+#include "otw/util/rng.hpp"
+
+namespace {
+
+using namespace otw;
+using tw::Event;
+using tw::QueueKind;
+
+double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Event make_event(std::uint64_t recv, std::uint64_t n) {
+  Event e;
+  e.recv_time = tw::VirtualTime{recv};
+  e.sender = static_cast<tw::ObjectId>(n % 7);
+  e.receiver = 0;
+  e.seq = n;
+  e.instance = n;
+  return e;
+}
+
+// --- micro mixes ----------------------------------------------------------
+
+/// Build `population` events, drain them all, repeat. Insert-dominated:
+/// every event is inserted once and popped once with no steady state.
+double insert_drain_ns_per_op(QueueKind kind, std::size_t population) {
+  tw::SlabPool pool;
+  auto list = tw::make_central_event_list(kind, &pool);
+  util::Xoshiro256 rng(11, 0xBE7Cu);
+  std::uint64_t n = 0;
+  std::size_t ops = 0;
+  const std::size_t target_ops = 1'000'000;
+  const double start = now_sec();
+  while (ops < target_ops) {
+    for (std::size_t i = 0; i < population; ++i) {
+      list->insert(make_event(rng.next_below(1'000'000), n++));
+    }
+    while (!list->empty()) {
+      list->pop_lowest();
+    }
+    ops += 2 * population;
+  }
+  return (now_sec() - start) * 1e9 / static_cast<double>(ops);
+}
+
+/// Classic hold model: steady population, pop the minimum and reinsert it a
+/// random increment later. The O(1)-vs-O(log n) separation lives here.
+double hold_ns_per_op(QueueKind kind, std::size_t population) {
+  tw::SlabPool pool;
+  auto list = tw::make_central_event_list(kind, &pool);
+  util::Xoshiro256 rng(12, 0xB01Du);
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < population; ++i) {
+    list->insert(make_event(rng.next_below(10'000), n++));
+  }
+  const std::size_t target_ops = 1'000'000;
+  std::size_t ops = 0;
+  const double start = now_sec();
+  while (ops < target_ops) {
+    const Event low = *list->lowest();
+    list->pop_lowest();
+    list->insert(
+        make_event(low.recv_time.ticks() + 1 + rng.next_below(1'000), n++));
+    ops += 2;
+  }
+  const double elapsed = now_sec() - start;
+  while (!list->empty()) {
+    list->pop_lowest();
+  }
+  return elapsed * 1e9 / static_cast<double>(ops);
+}
+
+/// Rollback-heavy mix on the full PendingEventSet: process in batches, then
+/// a straggler insert forces a rewind; annihilations hit the unprocessed
+/// suffix; fossil collection trims committed history. Approximates a
+/// thrashing Time Warp LP rather than a well-behaved one.
+double rollback_ns_per_op(QueueKind kind, std::size_t population) {
+  tw::SlabPool pool;
+  auto set = tw::make_pending_set(kind, &pool);
+  util::Xoshiro256 rng(13, 0x0117u);
+  std::uint64_t n = 0;
+  std::uint64_t horizon = 1'000;
+  for (std::size_t i = 0; i < population; ++i) {
+    set->insert(make_event(horizon + rng.next_below(population * 4), n++));
+  }
+  std::vector<tw::Position> processed;  // ring of recent commit positions
+  const std::size_t target_ops = 500'000;
+  std::size_t ops = 0;
+  const double start = now_sec();
+  while (ops < target_ops) {
+    // Process a batch of 32.
+    for (int i = 0; i < 32 && set->peek_next() != nullptr; ++i) {
+      processed.push_back(set->advance().position());
+      ++ops;
+    }
+    if (processed.size() >= 24) {
+      // Straggler at just after an old commit: insert -> rewind -> erase.
+      const tw::Position back = processed[processed.size() - 8];
+      Event straggler = make_event(back.key.recv_time.ticks() + 1, n++);
+      set->insert(straggler);
+      set->rewind_to_after(back);
+      set->erase_match(straggler.make_anti());
+      processed.resize(processed.size() - 7);
+      ops += 3;
+    }
+    if (processed.size() >= 64) {
+      // Commit everything but the last 16 positions.
+      const tw::Position bound = processed[processed.size() - 16];
+      set->fossil_collect_before(bound);
+      processed.erase(processed.begin(),
+                      processed.end() - 16);
+      ++ops;
+    }
+    // Keep the population topped up ahead of the boundary.
+    while (set->size() < population) {
+      set->insert(make_event(horizon + rng.next_below(population * 4), n++));
+      ++ops;
+    }
+    horizon += 16;
+  }
+  return (now_sec() - start) * 1e9 / static_cast<double>(ops);
+}
+
+// --- sequential PHOLD headline -------------------------------------------
+
+struct PholdScore {
+  std::uint64_t events = 0;
+  double best_eps = 0;  ///< committed events per wall second, best of reps
+};
+
+PholdScore phold_sequential(QueueKind kind) {
+  apps::phold::PholdConfig app;
+  app.num_objects = 4'096;  // ~8k live events: deep tree, shallow ladder
+  app.num_lps = 1;
+  app.population_per_object = 2;
+  app.remote_probability = 0.5;
+  app.mean_delay = 50;
+  app.seed = 4242;
+  const tw::Model model = apps::phold::build_model(app);
+  const tw::VirtualTime end{1'000};
+
+  PholdScore score;
+  for (int rep = 0; rep < 3; ++rep) {
+    const tw::SequentialResult r = tw::run_sequential(model, end, kind);
+    score.events = r.events_processed;
+    const double eps = static_cast<double>(r.events_processed) /
+                       (static_cast<double>(r.wall_time_ns) / 1e9);
+    score.best_eps = std::max(score.best_eps, eps);
+  }
+  return score;
+}
+
+struct MicroRow {
+  const char* mix;
+  std::size_t population;
+  double ns_per_op[3];  // indexed like kAllQueueKinds
+};
+
+}  // namespace
+
+int main() {
+  std::printf("\n=== QueueBench: pending-event-set race ===\n");
+  std::printf("%-14s %10s %12s %12s %12s\n", "mix", "population",
+              "multiset", "skiplist", "ladder");
+
+  const std::size_t populations[] = {256, 4'096, 32'768};
+  std::vector<MicroRow> rows;
+  for (const std::size_t population : populations) {
+    MicroRow insert_row{"insert_drain", population, {}};
+    MicroRow hold_row{"hold", population, {}};
+    MicroRow rollback_row{"rollback", population, {}};
+    for (std::size_t k = 0; k < 3; ++k) {
+      const QueueKind kind = tw::kAllQueueKinds[k];
+      insert_row.ns_per_op[k] = insert_drain_ns_per_op(kind, population);
+      hold_row.ns_per_op[k] = hold_ns_per_op(kind, population);
+      rollback_row.ns_per_op[k] = rollback_ns_per_op(kind, population);
+    }
+    for (const MicroRow& row : {insert_row, hold_row, rollback_row}) {
+      std::printf("%-14s %10zu %10.1fns %10.1fns %10.1fns\n", row.mix,
+                  row.population, row.ns_per_op[0], row.ns_per_op[1],
+                  row.ns_per_op[2]);
+      rows.push_back(row);
+    }
+  }
+
+  std::printf("\n%-10s %14s %16s\n", "kind", "committed", "events/sec");
+  PholdScore scores[3];
+  for (std::size_t k = 0; k < 3; ++k) {
+    scores[k] = phold_sequential(tw::kAllQueueKinds[k]);
+    std::printf("%-10s %14llu %16.0f\n", tw::to_string(tw::kAllQueueKinds[k]),
+                static_cast<unsigned long long>(scores[k].events),
+                scores[k].best_eps);
+  }
+
+  const double multiset_eps = scores[0].best_eps;
+  const std::size_t best_other = scores[1].best_eps >= scores[2].best_eps ? 1 : 2;
+  const bool events_agree = scores[0].events == scores[1].events &&
+                            scores[0].events == scores[2].events;
+  const bool pass = events_agree && scores[best_other].best_eps >= multiset_eps;
+
+  std::printf("\n  verdict: %s (multiset %.0f ev/s, best other %s %.0f ev/s, "
+              "committed counts %s)\n",
+              pass ? "PASS" : "FAIL", multiset_eps,
+              tw::to_string(tw::kAllQueueKinds[best_other]),
+              scores[best_other].best_eps, events_agree ? "agree" : "DIVERGE");
+
+  std::ofstream out("BENCH_queues.json");
+  if (out) {
+    out << "{\n  \"bench\": \"queue_bench\",\n";
+    out << "  \"micro_ns_per_op\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const MicroRow& row = rows[i];
+      out << "    {\"mix\": \"" << row.mix
+          << "\", \"population\": " << row.population
+          << ", \"multiset\": " << row.ns_per_op[0]
+          << ", \"skiplist\": " << row.ns_per_op[1]
+          << ", \"ladder\": " << row.ns_per_op[2] << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"phold_committed_events\": " << scores[0].events << ",\n";
+    out << "  \"phold_events_per_sec\": {";
+    for (std::size_t k = 0; k < 3; ++k) {
+      out << "\"" << tw::to_string(tw::kAllQueueKinds[k])
+          << "\": " << scores[k].best_eps << (k < 2 ? ", " : "");
+    }
+    out << "},\n";
+    out << "  \"best_non_multiset\": \""
+        << tw::to_string(tw::kAllQueueKinds[best_other]) << "\",\n";
+    out << "  \"committed_counts_agree\": " << (events_agree ? "true" : "false")
+        << ",\n";
+    out << "  \"verdict\": \"" << (pass ? "PASS" : "FAIL") << "\"\n}\n";
+    std::printf("  [queue json: BENCH_queues.json]\n");
+  }
+  return pass ? 0 : 1;
+}

@@ -119,7 +119,10 @@ struct SequentialResult {
   std::uint64_t wall_time_ns = 0;
 };
 
+/// `queue` selects the central event list's data structure (digest-neutral;
+/// see pending_set.hpp).
 SequentialResult run_sequential(const Model& model,
-                                VirtualTime end_time = VirtualTime::infinity());
+                                VirtualTime end_time = VirtualTime::infinity(),
+                                QueueKind queue = QueueKind::Multiset);
 
 }  // namespace otw::tw

@@ -83,6 +83,10 @@ struct KernelConfig {
   /// stays in the optional platform config each entry point accepts.
   struct Engine {
     EngineKind kind = EngineKind::SimulatedNow;
+    /// Pending-event-set implementation behind every LP input queue and the
+    /// sequential kernel's central event list (digest-neutral; see
+    /// pending_set.hpp). Multiset is the reference.
+    QueueKind queue = QueueKind::Multiset;
     /// Threaded engine: worker threads (0 = one per hardware thread).
     std::uint32_t num_workers = 0;
     /// Distributed engine: worker processes (each owns num_lps/num_shards
@@ -142,6 +146,9 @@ class LogicalProcess final : public platform::LpRunner, public LpServices {
   }
   [[nodiscard]] obs::Recorder& recorder() noexcept override { return recorder_; }
   [[nodiscard]] SlabPool* event_pool() noexcept override { return &event_pool_; }
+  [[nodiscard]] QueueKind queue_kind() const noexcept override {
+    return config_.engine.queue;
+  }
 
   /// Shared recycler for cross-LP event-batch buffers (null: no recycling).
   /// Installed by the kernel before the run starts; the pool must outlive

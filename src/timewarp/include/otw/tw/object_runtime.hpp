@@ -52,6 +52,12 @@ class LpServices {
   /// The LP's slab pool for input-queue nodes (null: use the global heap).
   /// Must outlive every ObjectRuntime built against these services.
   [[nodiscard]] virtual SlabPool* event_pool() noexcept { return nullptr; }
+
+  /// Pending-event-set implementation for every input queue this LP's
+  /// runtimes build (KernelConfig::engine.queue; see pending_set.hpp).
+  [[nodiscard]] virtual QueueKind queue_kind() const noexcept {
+    return QueueKind::Multiset;
+  }
 };
 
 struct ObjectRuntimeConfig {

@@ -1,0 +1,154 @@
+// The pending-event set: the data structure behind every LP input queue and
+// the sequential kernel's central event list.
+//
+// The kernel talks to an abstract PendingEventSet so the concrete structure
+// can race: `KernelConfig::engine.queue` selects one of the QueueKind
+// implementations, with the pool-backed std::multiset staying the default
+// and the correctness reference. All implementations realise the same total
+// order (InputOrder: recv_time, then sender, then seq, then instance — no
+// two live events compare equal), so queue choice is digest-neutral by
+// construction; tests/tw_pending_set_test.cpp model-checks each one against
+// a naive sorted-vector reference, and the QueueParity differential leg
+// proves bit-identical digests across engines.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "otw/tw/event.hpp"
+#include "otw/tw/memory_pool.hpp"
+
+namespace otw::tw {
+
+/// Which pending-event-set implementation backs the input queues and the
+/// sequential kernel's central event list (KernelConfig::engine.queue).
+enum class QueueKind : std::uint8_t {
+  Multiset,     ///< pool-backed std::multiset with a boundary iterator (reference)
+  SkipList,     ///< slab-node skip list, deterministic tower heights
+  LadderQueue,  ///< Tang/Tham ladder: unsorted top, bucketed rungs, sorted bottom
+};
+
+[[nodiscard]] const char* to_string(QueueKind kind) noexcept;
+
+/// Every selectable kind, for kind-parameterized tests and benches.
+inline constexpr QueueKind kAllQueueKinds[] = {
+    QueueKind::Multiset, QueueKind::SkipList, QueueKind::LadderQueue};
+
+/// Result of looking up the positive event an anti-message cancels.
+enum class MatchStatus : std::uint8_t { NotFound, Unprocessed, Processed };
+
+/// The sequential kernel's event order (recv_time, receiver, sender, seq):
+/// the committed order of any Time Warp execution of the same model, because
+/// application message delays are >= 1 tick.
+struct SeqOrder {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.recv_time != b.recv_time) return a.recv_time < b.recv_time;
+    if (a.receiver != b.receiver) return a.receiver < b.receiver;
+    if (a.sender != b.sender) return a.sender < b.sender;
+    return a.seq < b.seq;
+  }
+};
+
+/// One simulation object's pending-event set: all positive events at/after
+/// the last fossil-collected checkpoint, totally ordered by InputOrder, with
+/// a processed/unprocessed boundary. Anti-messages are never stored; they
+/// annihilate on arrival (erase_match).
+///
+/// Contract notes shared by all implementations:
+///  * Live events have pairwise-distinct Positions (the instance id breaks
+///    any EventKey tie); inserting two events with one Position is outside
+///    the contract.
+///  * References returned by peek_next()/advance() stay valid until the next
+///    mutating call on the set.
+///  * peek_next() may reorganise internal storage (the ladder sorts its
+///    bottom rung on demand) but never changes observable state.
+class PendingEventSet {
+ public:
+  PendingEventSet() = default;
+  PendingEventSet(const PendingEventSet&) = delete;
+  PendingEventSet& operator=(const PendingEventSet&) = delete;
+  virtual ~PendingEventSet() = default;
+
+  [[nodiscard]] virtual QueueKind kind() const noexcept = 0;
+
+  /// Inserts a positive event. Returns true when the event is a straggler:
+  /// it orders before an already-processed event, so the caller must roll
+  /// the object back to before the event's key.
+  virtual bool insert(const Event& event) = 0;
+
+  /// The next unprocessed event, or nullptr.
+  [[nodiscard]] virtual const Event* peek_next() const = 0;
+
+  /// Marks the next unprocessed event as processed and returns it.
+  virtual const Event& advance() = 0;
+
+  /// Moves the processed/unprocessed boundary back so the first unprocessed
+  /// event is the first one ordered after `checkpoint` (rollback restore).
+  virtual void rewind_to_after(const Position& checkpoint) = 0;
+
+  /// Number of processed events ordered after `pos` (the rollback length).
+  [[nodiscard]] virtual std::size_t processed_after(const Position& pos) const = 0;
+
+  /// Looks for the positive event matching an anti-message (same sender and
+  /// instance; InputOrder locates it by key+instance).
+  [[nodiscard]] virtual MatchStatus find_match(const Event& anti) const = 0;
+
+  /// Erases the positive event matching `anti`. If it was processed, the
+  /// caller must have rolled back past it first (so it is unprocessed now).
+  virtual void erase_match(const Event& anti) = 0;
+
+  /// Drops processed events ordered before `pos` (all history before the
+  /// checkpoint kept by fossil collection). Returns how many were dropped —
+  /// these events are committed.
+  virtual std::size_t fossil_collect_before(const Position& pos) = 0;
+
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t processed_count() const noexcept = 0;
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Receive time of the next unprocessed event (infinity if none): this
+  /// object's contribution to GVT.
+  [[nodiscard]] VirtualTime next_unprocessed_time() const {
+    const Event* next = peek_next();
+    return next == nullptr ? VirtualTime::infinity() : next->recv_time;
+  }
+
+  /// Every live event: the processed run first (oldest to newest, which is
+  /// InputOrder), then the unprocessed events in implementation order. The
+  /// property harness compares this against its reference model after every
+  /// operation; it is not a hot-path operation.
+  [[nodiscard]] virtual std::vector<Event> snapshot() const = 0;
+};
+
+/// Builds the pending-event set for one object. With a pool, node-based
+/// implementations draw their nodes from it (and recycle them on
+/// annihilation/fossil collection); the pool must outlive the set. A null
+/// pool uses the global heap.
+[[nodiscard]] std::unique_ptr<PendingEventSet> make_pending_set(
+    QueueKind kind, SlabPool* pool = nullptr);
+
+/// The sequential kernel's central event list: a plain min-queue in SeqOrder
+/// (no processed prefix, no annihilation — the sequential kernel never rolls
+/// back). Backed by the same data structures so the queue race covers the
+/// committed-event hot path end to end.
+class CentralEventList {
+ public:
+  CentralEventList() = default;
+  CentralEventList(const CentralEventList&) = delete;
+  CentralEventList& operator=(const CentralEventList&) = delete;
+  virtual ~CentralEventList() = default;
+
+  virtual void insert(const Event& event) = 0;
+  /// The minimum event in SeqOrder, or nullptr when empty. Valid until the
+  /// next mutating call.
+  [[nodiscard]] virtual const Event* lowest() const = 0;
+  virtual void pop_lowest() = 0;
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+};
+
+[[nodiscard]] std::unique_ptr<CentralEventList> make_central_event_list(
+    QueueKind kind, SlabPool* pool = nullptr);
+
+}  // namespace otw::tw

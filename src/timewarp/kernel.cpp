@@ -57,7 +57,8 @@ RunResult run_threaded_impl(const Model& model, const KernelConfig& config,
 /// sequential execution can know is filled: digests, committed == processed
 /// event counts, final virtual time and wall time.
 RunResult run_sequential_impl(const Model& model, const KernelConfig& config) {
-  const SequentialResult seq = run_sequential(model, config.end_time);
+  const SequentialResult seq =
+      run_sequential(model, config.end_time, config.engine.queue);
   RunResult result;
   result.digests = seq.digests;
   result.wall_time_ns = seq.wall_time_ns;
@@ -408,6 +409,15 @@ std::vector<std::string> KernelConfig::validate() const {
   }
 
   // --- engine sizing ---
+  switch (engine.queue) {
+    case QueueKind::Multiset:
+    case QueueKind::SkipList:
+    case QueueKind::LadderQueue:
+      break;
+    default:
+      fail("engine.queue is not a recognized QueueKind (valid: Multiset, "
+           "SkipList, LadderQueue)");
+  }
   if (engine.kind == EngineKind::Threaded && engine.num_workers > 512) {
     fail("engine.num_workers exceeds 512 (use 0 for one per hardware "
          "thread)");

@@ -11,7 +11,7 @@ ObjectRuntime::ObjectRuntime(ObjectId id, std::unique_ptr<SimulationObject> obje
       lp_(lp),
       rec_(lp.recorder()),
       config_(config),
-      input_(lp.event_pool()),
+      input_(lp.event_pool(), lp.queue_kind()),
       states_(make_checkpoint_store(config.state_saving,
                                     config.full_snapshot_interval, &arena_)),
       ckpt_(config.checkpoint_control),

@@ -4,94 +4,9 @@
 
 namespace otw::tw {
 
-namespace {
-/// Sentinel event occupying exactly the given position.
-Event at_position(const Position& pos) noexcept {
-  Event s;
-  s.recv_time = pos.key.recv_time;
-  s.sender = pos.key.sender;
-  s.seq = pos.key.seq;
-  s.instance = pos.instance;
-  return s;
-}
-}  // namespace
-
-bool InputQueue::insert(const Event& event) {
-  OTW_REQUIRE_MSG(!event.negative, "anti-messages are never stored in the input queue");
-  const bool straggler =
-      next_ != events_.begin() && InputOrder{}(event, *std::prev(next_));
-  const auto pos = events_.insert(event);
-  if (!straggler &&
-      (next_ == events_.end() || InputOrder{}(*pos, *next_))) {
-    next_ = pos;
-  }
-  return straggler;
-}
-
-const Event& InputQueue::advance() {
-  OTW_ASSERT(next_ != events_.end());
-  const Event& event = *next_;
-  ++next_;
-  return event;
-}
-
-void InputQueue::rewind_to_after(const Position& checkpoint) {
-  next_ = events_.upper_bound(at_position(checkpoint));
-}
-
-std::size_t InputQueue::processed_after(const Position& pos) const {
-  auto it = events_.upper_bound(at_position(pos));
-  std::size_t n = 0;
-  while (it != next_) {
-    OTW_ASSERT(it != events_.end());
-    ++it;
-    ++n;
-  }
-  return n;
-}
-
-bool InputQueue::is_processed(Set::const_iterator it) const {
-  if (next_ == events_.end()) {
-    return true;
-  }
-  return InputOrder{}(*it, *next_);
-}
-
-InputQueue::MatchStatus InputQueue::find_match(const Event& anti) const {
-  const auto it = events_.find(anti);
-  if (it == events_.end()) {
-    return MatchStatus::NotFound;
-  }
-  OTW_ASSERT(it->matches_instance(anti));
-  return is_processed(it) ? MatchStatus::Processed : MatchStatus::Unprocessed;
-}
-
-void InputQueue::erase_match(const Event& anti) {
-  const auto it = events_.find(anti);
-  OTW_REQUIRE_MSG(it != events_.end(), "anti-message with no matching positive");
-  OTW_REQUIRE_MSG(!is_processed(it),
-                  "matching positive still processed; rollback must precede erase");
-  if (it == next_) {
-    next_ = events_.erase(it);
-  } else {
-    events_.erase(it);
-  }
-}
-
-std::size_t InputQueue::fossil_collect_before(const Position& pos) {
-  std::size_t dropped = 0;
-  auto it = events_.begin();
-  while (it != next_ && it->position() < pos) {
-    it = events_.erase(it);
-    ++dropped;
-  }
-  return dropped;
-}
-
-std::size_t InputQueue::processed_count() const {
-  return static_cast<std::size_t>(
-      std::distance(events_.begin(), Set::const_iterator(next_)));
-}
+// InputQueue is a header-only facade over PendingEventSet; the concrete
+// implementations (multiset / skip list / ladder queue) live in
+// pending_set.cpp.
 
 void OutputQueue::record(const Position& cause, const Event& event) {
   OTW_ASSERT(sent_.empty() || !(cause < sent_.back().cause));

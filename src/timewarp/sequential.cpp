@@ -6,28 +6,22 @@
 #include "otw/tw/kernel.hpp"
 
 #include <chrono>
-#include <set>
 
 #include "otw/tw/memory_pool.hpp"
+#include "otw/tw/pending_set.hpp"
 #include "otw/util/assert.hpp"
 
 namespace otw::tw {
 
 namespace {
 
-struct SeqOrder {
-  bool operator()(const Event& a, const Event& b) const noexcept {
-    if (a.recv_time != b.recv_time) return a.recv_time < b.recv_time;
-    if (a.receiver != b.receiver) return a.receiver < b.receiver;
-    if (a.sender != b.sender) return a.sender < b.sender;
-    return a.seq < b.seq;
-  }
-};
+// The central event list's order (SeqOrder) and its selectable backing
+// structures live in pending_set.hpp, shared with the LP input queues.
 
 class SequentialContext final : public ObjectContext {
  public:
-  explicit SequentialContext(ObjectId num_objects)
-      : states_(num_objects), pending_(SeqOrder{}, PoolAllocator<Event>(&pool_)) {}
+  SequentialContext(ObjectId num_objects, QueueKind queue)
+      : states_(num_objects), pending_(make_central_event_list(queue, &pool_)) {}
 
   void set_state(ObjectId id, std::unique_ptr<ObjectState> state) {
     states_[id] = std::move(state);
@@ -60,14 +54,14 @@ class SequentialContext final : public ObjectContext {
     event.seq = derive_send_seq(cause_.recv_time, cause_.sender, cause_.seq,
                                 current_, sends_this_event_++);
     event.payload = payload;
-    pending_.insert(std::move(event));
+    pending_->insert(event);
   }
 
   void charge(std::uint64_t) noexcept override {}
 
-  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
-  [[nodiscard]] const Event& lowest() const { return *pending_.begin(); }
-  void pop() { pending_.erase(pending_.begin()); }
+  [[nodiscard]] bool empty() const noexcept { return pending_->empty(); }
+  [[nodiscard]] const Event& lowest() const { return *pending_->lowest(); }
+  void pop() { pending_->pop_lowest(); }
 
   [[nodiscard]] std::uint64_t state_digest(ObjectId id) const {
     return states_[id]->digest();
@@ -75,9 +69,9 @@ class SequentialContext final : public ObjectContext {
 
  private:
   std::vector<std::unique_ptr<ObjectState>> states_;
-  /// Declared before pending_: the multiset's nodes live in the pool.
+  /// Declared before pending_: the event list's nodes live in the pool.
   SlabPool pool_;
-  std::multiset<Event, SeqOrder, PoolAllocator<Event>> pending_;
+  std::unique_ptr<CentralEventList> pending_;
   ObjectId current_ = 0;
   VirtualTime now_ = VirtualTime::zero();
   EventKey cause_{};
@@ -86,14 +80,15 @@ class SequentialContext final : public ObjectContext {
 
 }  // namespace
 
-SequentialResult run_sequential(const Model& model, VirtualTime end_time) {
+SequentialResult run_sequential(const Model& model, VirtualTime end_time,
+                                QueueKind queue) {
   OTW_REQUIRE_MSG(!model.objects.empty(), "model has no objects");
   const auto start = std::chrono::steady_clock::now();
 
   const auto n = static_cast<ObjectId>(model.objects.size());
   std::vector<std::unique_ptr<SimulationObject>> objects;
   objects.reserve(n);
-  SequentialContext ctx(n);
+  SequentialContext ctx(n, queue);
 
   for (ObjectId id = 0; id < n; ++id) {
     OTW_REQUIRE(model.objects[id].factory != nullptr);

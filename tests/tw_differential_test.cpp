@@ -132,8 +132,68 @@ TEST_P(Differential, AllKernelsCommitIdenticalResults) {
                  seq, "threaded");
 }
 
+/// Queue-kind neutrality of the sequential ground truth itself: the central
+/// event list's data structure (multiset / skip list / ladder) must not
+/// change a single digest on any differential seed. Cheap enough to run on
+/// the full 32-seed range.
+TEST_P(Differential, SequentialDigestsAreQueueKindInvariant) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("queue-invariance seed = " + std::to_string(seed));
+  const DiffSetup s = derive_setup(seed);
+  const Model model = apps::phold::build_model(s.app);
+  const SequentialResult ref =
+      run_sequential(model, s.kernel.end_time, QueueKind::Multiset);
+  ASSERT_GT(ref.events_processed, 0u);
+
+  for (const QueueKind kind : {QueueKind::SkipList, QueueKind::LadderQueue}) {
+    SCOPED_TRACE(to_string(kind));
+    const SequentialResult got = run_sequential(model, s.kernel.end_time, kind);
+    EXPECT_EQ(got.events_processed, ref.events_processed);
+    EXPECT_EQ(got.final_time, ref.final_time);
+    ASSERT_EQ(got.digests.size(), ref.digests.size());
+    for (std::size_t i = 0; i < ref.digests.size(); ++i) {
+      EXPECT_EQ(got.digests[i], ref.digests[i]) << "object " << i;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
                          ::testing::Range<std::uint64_t>(0, 32));
+
+/// Queue-kind differential leg across engines: every PendingEventSet
+/// implementation must commit bit-identical digests on the in-process
+/// engines, with the sequential multiset run as ground truth. This is where
+/// "digest-neutral by construction" (pending_set.hpp) meets real rollbacks,
+/// annihilations and fossil collection under the full kernel. Kept
+/// fork-free so the tsan-stress lane's "QueueParity" filter can run it; the
+/// distributed column lives in DistParity below.
+class QueueParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueueParity, EveryQueueKindCommitsIdenticalDigestsInProcess) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("queueparity seed = " + std::to_string(seed) +
+               " (re-run: --gtest_filter='*QueueParity*/" +
+               std::to_string(seed) + "')");
+  const DiffSetup s = derive_setup(seed);
+  const Model model = apps::phold::build_model(s.app);
+  const SequentialResult seq =
+      run_sequential(model, s.kernel.end_time, QueueKind::Multiset);
+  ASSERT_GT(seq.events_processed, 0u);
+
+  for (const QueueKind kind : kAllQueueKinds) {
+    SCOPED_TRACE(to_string(kind));
+    KernelConfig kc = s.kernel;
+    kc.engine.queue = kind;
+    expect_matches(run(model, kc, {.simulated_now = s.now}), seq,
+                   "simulated-NOW");
+    expect_matches(run(model, kc.with_engine(EngineKind::Threaded),
+                       {.threaded = s.threads}),
+                   seq, "threaded");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueParity,
+                         ::testing::Range<std::uint64_t>(0, 8));
 
 /// Fourth differential column: the multi-process distributed engine, at 2 and
 /// 4 shards, against the same sequential ground truth. Separate suite name on
@@ -194,6 +254,31 @@ TEST_P(DistParity, AttributionArmedShardsMatchSequential) {
     }
   } else {
     EXPECT_TRUE(r.hists.empty());
+  }
+}
+
+/// Queue-kind leg of the distributed column: forked shards running the skip
+/// list and ladder queue must reproduce the sequential multiset digests.
+/// (Named without the "QueueParity" substring on purpose: this suite forks,
+/// so the tsan-stress filter must not pick it up.)
+TEST_P(DistParity, DistributedShardsAreQueueKindInvariant) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("dist queue seed = " + std::to_string(seed));
+  const DiffSetup s = derive_setup(seed);
+  if (s.kernel.num_lps < 2) {
+    GTEST_SKIP() << "needs >= 2 LPs for 2 shards";
+  }
+  const Model model = apps::phold::build_model(s.app);
+  const SequentialResult seq =
+      run_sequential(model, s.kernel.end_time, QueueKind::Multiset);
+  ASSERT_GT(seq.events_processed, 0u);
+
+  for (const QueueKind kind : {QueueKind::SkipList, QueueKind::LadderQueue}) {
+    SCOPED_TRACE(to_string(kind));
+    KernelConfig kc = s.kernel;
+    kc.engine.queue = kind;
+    expect_matches(run(model, kc.with_engine(EngineKind::Distributed, 2)), seq,
+                   "distributed");
   }
 }
 

@@ -7,10 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <optional>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "otw/apps/phold.hpp"
+#include "otw/tw/kernel.hpp"
 #include "otw/tw/queues.hpp"
 #include "otw/util/buffer_pool.hpp"
 
@@ -231,6 +234,130 @@ TEST(InputQueuePool, RecycledNodesNeverAliasLiveEventsAcrossRollback) {
   EXPECT_EQ(seen, (std::vector<std::uint64_t>{
                       35, 50, 60, 70, 80, 90, 100, 110, 120}));
   EXPECT_EQ(pool.stats().live_blocks, q.size());
+}
+
+// Every selectable queue kind must survive the same lifecycle with zero
+// aliasing. The node economy differs by kind — the multiset holds one pool
+// node per live event, the skip list pools only the unprocessed suffix (the
+// processed run lives in a deque), the ladder stores events in vectors — so
+// the pool-accounting assertions are gated per kind while the payload
+// integrity and drain order checks are universal.
+class InputQueuePoolLifecycle : public ::testing::TestWithParam<QueueKind> {};
+
+TEST_P(InputQueuePoolLifecycle, RecycleKeepsEveryLiveEventIntact) {
+  const QueueKind kind = GetParam();
+  SlabPool pool;
+  InputQueue q(&pool, kind);
+
+  auto make = [](std::uint64_t recv, std::uint64_t seq, std::uint64_t inst) {
+    Event e;
+    e.recv_time = VirtualTime{recv};
+    e.sender = 1;
+    e.receiver = 0;
+    e.seq = seq;
+    e.instance = inst;
+    e.payload = Payload::from(recv * 1000 + seq);
+    return e;
+  };
+  auto payload_of = [](const Event& e) {
+    return e.recv_time.ticks() * 1000 + e.seq;
+  };
+
+  for (std::uint64_t t = 10; t <= 100; t += 10) {
+    EXPECT_FALSE(q.insert(make(t, t, t)));
+  }
+  for (int i = 0; i < 10; ++i) {
+    q.advance();
+  }
+
+  EXPECT_TRUE(q.insert(make(35, 1, 200)));
+  const Position restore{EventKey{VirtualTime{30}, 1, 30}, 30};
+  q.rewind_to_after(restore);
+  q.erase_match(make(40, 40, 40));
+  EXPECT_EQ(
+      q.fossil_collect_before(Position{EventKey{VirtualTime{30}, 1, 30}, 30}),
+      2u);
+  const std::uint64_t hits_before = pool.stats().freelist_hits;
+
+  EXPECT_FALSE(q.insert(make(110, 110, 110)));
+  EXPECT_FALSE(q.insert(make(120, 120, 120)));
+  if (kind == QueueKind::Multiset) {
+    // One pool node per event: the two nodes fossil collection freed must
+    // feed the two new insertions.
+    EXPECT_GE(pool.stats().freelist_hits, hits_before + 2);
+  }
+  if (kind == QueueKind::SkipList) {
+    // advance()/fossil freed a pile of towers; new nodes must recycle them.
+    EXPECT_GE(pool.stats().freelist_hits, hits_before + 1);
+  }
+
+  std::vector<std::uint64_t> seen;
+  while (const Event* e = q.peek_next()) {
+    EXPECT_EQ(Payload::from(payload_of(*e)), e->payload)
+        << "event at " << e->recv_time << " was corrupted";
+    seen.push_back(e->recv_time.ticks());
+    q.advance();
+  }
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{
+                      35, 50, 60, 70, 80, 90, 100, 110, 120}));
+  if (kind == QueueKind::Multiset) {
+    EXPECT_EQ(pool.stats().live_blocks, q.size());
+  }
+  if (kind == QueueKind::SkipList) {
+    // Everything is processed (deque-held); no pool node may remain live.
+    EXPECT_EQ(pool.stats().live_blocks, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, InputQueuePoolLifecycle,
+                         ::testing::ValuesIn(kAllQueueKinds),
+                         [](const ::testing::TestParamInfo<QueueKind>& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// MemoryStats accounting is logical (live events x sizeof(Event), snapshots,
+// deltas), not allocator-physical — so on the same seed every queue kind
+// must report identical footprints. pool_slab_bytes is deliberately outside
+// total(): the slab reservation depends on node shapes and is the one
+// number allowed to differ between kinds.
+TEST(InputQueuePool, MemoryAccountingIsIdenticalAcrossQueueKinds) {
+  apps::phold::PholdConfig app;
+  app.num_objects = 8;
+  app.num_lps = 4;
+  app.population_per_object = 2;
+  app.remote_probability = 0.6;
+  app.mean_delay = 50;
+  app.seed = 41;
+  const Model model = apps::phold::build_model(app);
+
+  KernelConfig kc;
+  kc.num_lps = 4;
+  kc.end_time = VirtualTime{3'000};
+  kc.gvt_period_events = 64;
+  kc.runtime.checkpoint_interval = 4;
+
+  std::optional<RunResult> reference;
+  for (const QueueKind kind : kAllQueueKinds) {
+    SCOPED_TRACE(to_string(kind));
+    kc.engine.queue = kind;
+    const RunResult r = run(model, kc);
+    ASSERT_GT(r.stats.total_committed(), 0u);
+    if (!reference.has_value()) {
+      reference = r;
+      continue;
+    }
+    EXPECT_EQ(r.digests, reference->digests);
+    const MemoryStats got = r.stats.memory_totals();
+    const MemoryStats want = reference->stats.memory_totals();
+    EXPECT_EQ(got.input_queue_bytes, want.input_queue_bytes);
+    EXPECT_EQ(got.output_queue_bytes, want.output_queue_bytes);
+    EXPECT_EQ(got.state_bytes, want.state_bytes);
+    EXPECT_EQ(got.live_events, want.live_events);
+    EXPECT_EQ(got.checkpoints, want.checkpoints);
+    EXPECT_EQ(got.total(), want.total());
+    EXPECT_EQ(r.stats.memory_peak_bytes(),
+              reference->stats.memory_peak_bytes());
+  }
 }
 
 }  // namespace

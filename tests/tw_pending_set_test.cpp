@@ -1,0 +1,736 @@
+// Property/differential harness for every PendingEventSet implementation.
+//
+// A naive sorted-vector model (ModelPendingSet) defines the contract: one
+// InputOrder-sorted vector with a processed-count boundary, each operation
+// implemented in the most obvious way possible. The harness generates
+// seeded random op sequences (insert / pop-min / annihilate / rollback /
+// fossil-collect), drives the implementation under test and the model in
+// lock step, and after EVERY op compares return values, sizes, the
+// processed boundary, the head event, and the full tie-break total order
+// (recv_time, then sender, then seq, then instance) via snapshots.
+//
+// Preconditions for each op are derived from the model's state, so every
+// subsequence of an op list is itself a valid program. That makes failing
+// sequences shrinkable: the harness truncates to the first failing prefix,
+// then runs ddmin-style chunk removal down to single ops, and prints the
+// minimal sequence as a replayable recipe.
+//
+// The model doubles as the mutation canary: ModelPendingSet can be built
+// with an injected bug (dropped tie-break, off-by-one fossil/rewind,
+// unreported straggler) and run as the implementation under test — the
+// harness must detect each mutant and shrink it to a handful of ops. This
+// is the evidence that a real divergence in the skip list or ladder queue
+// could not slip through.
+#include "otw/tw/pending_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "otw/util/assert.hpp"
+#include "otw/util/rng.hpp"
+
+namespace otw::tw {
+namespace {
+
+// --------------------------------------------------------------- model ----
+
+/// The executable specification: a sorted vector plus a processed count.
+class ModelPendingSet final : public PendingEventSet {
+ public:
+  /// Injectable mutations (the canary set). Each one is a bug an optimised
+  /// implementation could realistically have.
+  enum class Bug : std::uint8_t {
+    None,
+    TieBreakIgnoresSeq,   ///< insert order drops the seq/instance tie-break
+    FossilDropsBoundary,  ///< fossil collects with <= instead of <
+    RewindOvershoots,     ///< rollback re-exposes the checkpoint event itself
+    StragglerNotFlagged,  ///< insert never reports stragglers
+  };
+
+  explicit ModelPendingSet(Bug bug = Bug::None) : bug_(bug) {}
+
+  [[nodiscard]] QueueKind kind() const noexcept override {
+    return QueueKind::Multiset;  // the model impersonates the reference
+  }
+
+  bool insert(const Event& event) override {
+    OTW_REQUIRE_MSG(!event.negative,
+                    "anti-messages are never stored in the input queue");
+    const bool straggler =
+        next_ > 0 && InputOrder{}(event, events_[next_ - 1]);
+    const std::size_t i = insert_index(event);
+    events_.insert(events_.begin() + static_cast<std::ptrdiff_t>(i), event);
+    if (i < next_) {
+      ++next_;  // stragglers land inside the processed prefix
+    }
+    return bug_ == Bug::StragglerNotFlagged ? false : straggler;
+  }
+
+  [[nodiscard]] const Event* peek_next() const override {
+    return next_ < events_.size() ? &events_[next_] : nullptr;
+  }
+
+  const Event& advance() override {
+    OTW_ASSERT(next_ < events_.size());
+    return events_[next_++];
+  }
+
+  void rewind_to_after(const Position& checkpoint) override {
+    std::size_t i = 0;
+    while (i < events_.size() && events_[i].position() <= checkpoint) {
+      ++i;
+    }
+    if (bug_ == Bug::RewindOvershoots && i > 0 &&
+        events_[i - 1].position() == checkpoint) {
+      --i;
+    }
+    next_ = std::min(next_, i);
+  }
+
+  [[nodiscard]] std::size_t processed_after(const Position& pos) const override {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < next_; ++i) {
+      if (pos < events_[i].position()) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  [[nodiscard]] MatchStatus find_match(const Event& anti) const override {
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      if (events_[i].position() == anti.position()) {
+        return i < next_ ? MatchStatus::Processed : MatchStatus::Unprocessed;
+      }
+    }
+    return MatchStatus::NotFound;
+  }
+
+  void erase_match(const Event& anti) override {
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      if (events_[i].position() == anti.position()) {
+        OTW_REQUIRE_MSG(
+            i >= next_,
+            "matching positive still processed; rollback must precede erase");
+        events_.erase(events_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+    OTW_REQUIRE_MSG(false, "anti-message with no matching positive");
+  }
+
+  std::size_t fossil_collect_before(const Position& pos) override {
+    std::size_t dropped = 0;
+    while (dropped < next_ && collectable(events_[dropped].position(), pos)) {
+      ++dropped;
+    }
+    events_.erase(events_.begin(),
+                  events_.begin() + static_cast<std::ptrdiff_t>(dropped));
+    next_ -= dropped;
+    return dropped;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return events_.size();
+  }
+  [[nodiscard]] std::size_t processed_count() const noexcept override {
+    return next_;
+  }
+  [[nodiscard]] std::vector<Event> snapshot() const override { return events_; }
+
+  // Harness helpers (not part of the PendingEventSet contract).
+
+  /// Position of the i-th processed event (precondition: i < processed).
+  [[nodiscard]] Position processed_position(std::size_t i) const {
+    OTW_ASSERT(i < next_);
+    return events_[i].position();
+  }
+
+  /// Latest processed position strictly before `target` (before_all() if
+  /// none): the rollback restore point ObjectRuntime would use.
+  [[nodiscard]] Position latest_processed_before(const Position& target) const {
+    Position keeper = Position::before_all();
+    for (std::size_t i = 0; i < next_; ++i) {
+      if (events_[i].position() < target) {
+        keeper = events_[i].position();
+      }
+    }
+    return keeper;
+  }
+
+ private:
+  [[nodiscard]] bool collectable(const Position& p,
+                                 const Position& bound) const noexcept {
+    return bug_ == Bug::FossilDropsBoundary ? p <= bound : p < bound;
+  }
+
+  /// Upper-bound insertion index under InputOrder (or under the mutant's
+  /// tie-break-free order).
+  [[nodiscard]] std::size_t insert_index(const Event& event) const {
+    if (bug_ == Bug::TieBreakIgnoresSeq) {
+      const auto weak = [](const Event& a, const Event& b) noexcept {
+        if (a.recv_time != b.recv_time) return a.recv_time < b.recv_time;
+        return a.sender < b.sender;
+      };
+      return static_cast<std::size_t>(
+          std::upper_bound(events_.begin(), events_.end(), event, weak) -
+          events_.begin());
+    }
+    return static_cast<std::size_t>(
+        std::upper_bound(events_.begin(), events_.end(), event, InputOrder{}) -
+        events_.begin());
+  }
+
+  Bug bug_;
+  std::vector<Event> events_;  ///< InputOrder-sorted
+  std::size_t next_ = 0;       ///< processed count / boundary index
+};
+
+// ------------------------------------------------------------ op stream ----
+
+struct Op {
+  enum Kind : std::uint8_t { Insert, Pop, Annihilate, Rollback, Fossil };
+  Kind kind = Insert;
+  /// Insert/Annihilate: index into the event pool. Rollback/Fossil: raw
+  /// selector, reduced against the model's processed run at apply time.
+  std::uint32_t arg = 0;
+};
+
+struct Payload64 {
+  std::uint64_t tag = 0;
+};
+
+/// Deterministic pool of insertable events. Receive times are drawn from a
+/// deliberately small range so equal-time tie-breaks (sender, seq, and —
+/// via few distinct seqs — instance) are exercised constantly; instance ids
+/// are unique, so Positions are pairwise distinct as the contract requires.
+std::vector<Event> make_event_pool(std::uint64_t seed, std::size_t count) {
+  util::Xoshiro256 rng(seed, /*stream=*/0xDECAFu);
+  const std::uint64_t time_range = std::max<std::uint64_t>(2, count / 8);
+  std::vector<Event> pool;
+  pool.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Event e;
+    e.recv_time = VirtualTime{rng.next_below(time_range)};
+    e.send_time = VirtualTime{e.recv_time.ticks() / 2};
+    e.sender = static_cast<ObjectId>(rng.next_below(4));
+    e.receiver = static_cast<ObjectId>(rng.next_below(4));
+    e.seq = rng.next_below(8);
+    e.instance = i;  // unique -> unique Position
+    e.payload = Payload::from(Payload64{0x9E00u + i});
+    pool.push_back(e);
+  }
+  return pool;
+}
+
+std::vector<Op> make_ops(std::uint64_t seed, std::size_t count,
+                         std::size_t pool_size) {
+  util::Xoshiro256 rng(seed, /*stream=*/0x0D5EEDu);
+  std::vector<Op> ops;
+  ops.reserve(count);
+  std::uint32_t next_insert = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    Op op;
+    const std::uint64_t w = rng.next_below(100);
+    if (w < 40 && next_insert < pool_size) {
+      op.kind = Op::Insert;
+      op.arg = next_insert++;
+    } else if (w < 68) {
+      op.kind = Op::Pop;
+    } else if (w < 82) {
+      op.kind = Op::Annihilate;
+      // Aim at recently inserted events: live ones annihilate, dead ones
+      // exercise the NotFound path.
+      op.arg = next_insert == 0
+                   ? 0
+                   : static_cast<std::uint32_t>(rng.next_below(next_insert));
+    } else if (w < 92) {
+      op.kind = Op::Rollback;
+      op.arg = static_cast<std::uint32_t>(rng.next_below(1u << 16));
+    } else {
+      op.kind = Op::Fossil;
+      op.arg = static_cast<std::uint32_t>(rng.next_below(1u << 16));
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+// -------------------------------------------------------------- harness ----
+
+[[nodiscard]] bool event_eq(const Event& a, const Event& b) noexcept {
+  return a.position() == b.position() && a.receiver == b.receiver &&
+         a.send_time == b.send_time && a.payload == b.payload;
+}
+
+std::string describe(const Event& e) {
+  std::ostringstream out;
+  out << "recv=" << e.recv_time.ticks() << " sender=" << e.sender
+      << " seq=" << e.seq << " inst=" << e.instance;
+  return out.str();
+}
+
+std::string describe(const Position& p) {
+  std::ostringstream out;
+  out << "(" << p.key.recv_time.ticks() << "," << p.key.sender << ","
+      << p.key.seq << "," << p.instance << ")";
+  return out.str();
+}
+
+/// Applies one op to the implementation under test and the model in lock
+/// step (preconditions resolved against the model). Returns a description
+/// of any return-value divergence.
+std::optional<std::string> apply_op(PendingEventSet& impl,
+                                    ModelPendingSet& model,
+                                    const std::vector<Event>& pool,
+                                    const Op& op) {
+  switch (op.kind) {
+    case Op::Insert: {
+      const Event& e = pool[op.arg];
+      const bool got = impl.insert(e);
+      const bool want = model.insert(e);
+      if (got != want) {
+        return "insert(" + describe(e) + ") returned straggler=" +
+               (got ? "true" : "false") + ", model says " +
+               (want ? "true" : "false");
+      }
+      return std::nullopt;
+    }
+    case Op::Pop: {
+      if (model.peek_next() == nullptr) {
+        return std::nullopt;  // no-op on empty
+      }
+      const Event got = impl.advance();
+      const Event want = model.advance();
+      if (!event_eq(got, want)) {
+        return "advance() returned " + describe(got) + ", model returned " +
+               describe(want);
+      }
+      return std::nullopt;
+    }
+    case Op::Annihilate: {
+      const Event anti = pool[op.arg].make_anti();
+      const MatchStatus want = model.find_match(anti);
+      const MatchStatus got = impl.find_match(anti);
+      if (got != want) {
+        return "find_match(" + describe(anti) + ") = " +
+               std::to_string(static_cast<int>(got)) + ", model says " +
+               std::to_string(static_cast<int>(want));
+      }
+      if (want == MatchStatus::NotFound) {
+        return std::nullopt;
+      }
+      if (want == MatchStatus::Processed) {
+        // Mirror ObjectRuntime::receive: roll back to just before the
+        // victim, then erase it.
+        const Position keeper = model.latest_processed_before(anti.position());
+        impl.rewind_to_after(keeper);
+        model.rewind_to_after(keeper);
+      }
+      impl.erase_match(anti);
+      model.erase_match(anti);
+      return std::nullopt;
+    }
+    case Op::Rollback: {
+      const std::size_t n = model.processed_count();
+      const std::size_t k = op.arg % (n + 1);
+      const Position target =
+          k == 0 ? Position::before_all() : model.processed_position(k - 1);
+      const std::size_t got = impl.processed_after(target);
+      const std::size_t want = model.processed_after(target);
+      if (got != want) {
+        return "processed_after(" + describe(target) + ") = " +
+               std::to_string(got) + ", model says " + std::to_string(want);
+      }
+      impl.rewind_to_after(target);
+      model.rewind_to_after(target);
+      return std::nullopt;
+    }
+    case Op::Fossil: {
+      const std::size_t n = model.processed_count();
+      const std::size_t k = op.arg % (n + 2);
+      Position bound = Position::after_all();
+      if (k <= n && n > 0) {
+        bound = model.processed_position(k == n ? n - 1 : k);
+      } else if (k <= n) {
+        bound = Position::before_all();
+      }
+      const std::size_t got = impl.fossil_collect_before(bound);
+      const std::size_t want = model.fossil_collect_before(bound);
+      if (got != want) {
+        return "fossil_collect_before(" + describe(bound) + ") dropped " +
+               std::to_string(got) + ", model dropped " + std::to_string(want);
+      }
+      return std::nullopt;
+    }
+  }
+  return "unknown op kind";
+}
+
+/// Structural comparison after every op: sizes, boundary, head event, and
+/// the tie-break total order of every live event.
+std::optional<std::string> check_state(const PendingEventSet& impl,
+                                       const ModelPendingSet& model) {
+  if (impl.size() != model.size()) {
+    return "size() = " + std::to_string(impl.size()) + ", model has " +
+           std::to_string(model.size());
+  }
+  if (impl.processed_count() != model.processed_count()) {
+    return "processed_count() = " + std::to_string(impl.processed_count()) +
+           ", model has " + std::to_string(model.processed_count());
+  }
+  const Event* got_head = impl.peek_next();
+  const Event* want_head = model.peek_next();
+  if ((got_head == nullptr) != (want_head == nullptr)) {
+    return std::string("peek_next() null-ness mismatch: impl ") +
+           (got_head ? "non-null" : "null") + ", model " +
+           (want_head ? "non-null" : "null");
+  }
+  if (got_head != nullptr && !event_eq(*got_head, *want_head)) {
+    return "peek_next() = " + describe(*got_head) + ", model has " +
+           describe(*want_head);
+  }
+  if (impl.next_unprocessed_time() != model.next_unprocessed_time()) {
+    return "next_unprocessed_time() mismatch";
+  }
+
+  // Total-order check. The processed run must match the model exactly and
+  // in order; the unprocessed remainder is implementation-ordered, so it is
+  // sorted before comparing — combined with the head check after every op,
+  // any dropped tie-break still surfaces as a divergence.
+  const std::vector<Event> got = impl.snapshot();
+  const std::vector<Event> want = model.snapshot();
+  OTW_ASSERT(got.size() == want.size());
+  const std::size_t processed = model.processed_count();
+  std::vector<Event> got_rest(got.begin() + static_cast<std::ptrdiff_t>(processed),
+                              got.end());
+  std::sort(got_rest.begin(), got_rest.end(), InputOrder{});
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    const Event& g = i < processed ? got[i] : got_rest[i - processed];
+    if (!event_eq(g, want[i])) {
+      return "snapshot[" + std::to_string(i) + "] = " + describe(g) +
+             ", model has " + describe(want[i]) +
+             (i < processed ? " (processed run)" : " (unprocessed)");
+    }
+    if (i > 0) {
+      if (!InputOrder{}(want[i - 1], want[i])) {
+        return "model snapshot not strictly ordered at " + std::to_string(i) +
+               " — event pool violated Position uniqueness";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+struct Failure {
+  std::size_t op_index = 0;
+  std::string what;
+};
+
+using Factory = std::function<std::unique_ptr<PendingEventSet>()>;
+
+/// Runs `ops` from scratch; first divergence (or contract exception) wins.
+std::optional<Failure> run_ops(const Factory& make_impl,
+                               const std::vector<Event>& pool,
+                               const std::vector<Op>& ops) {
+  auto impl = make_impl();
+  ModelPendingSet model;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    try {
+      if (auto err = apply_op(*impl, model, pool, ops[i])) {
+        return Failure{i, *err};
+      }
+      if (auto err = check_state(*impl, model)) {
+        return Failure{i, *err};
+      }
+    } catch (const std::exception& ex) {
+      return Failure{i, std::string("exception: ") + ex.what()};
+    }
+  }
+  return std::nullopt;
+}
+
+/// ddmin-style shrink: truncate to the failing prefix, then repeatedly
+/// remove chunks (halving down to single ops) while the failure persists.
+/// Every subsequence is a valid program (preconditions come from the
+/// model), so removal is always legal.
+std::vector<Op> shrink(const Factory& make_impl, const std::vector<Event>& pool,
+                       std::vector<Op> ops, const Failure& first) {
+  ops.resize(first.op_index + 1);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t chunk = std::max<std::size_t>(1, ops.size() / 2);;
+         chunk /= 2) {
+      for (std::size_t start = 0; start + chunk <= ops.size();) {
+        std::vector<Op> cand;
+        cand.reserve(ops.size() - chunk);
+        cand.insert(cand.end(), ops.begin(),
+                    ops.begin() + static_cast<std::ptrdiff_t>(start));
+        cand.insert(cand.end(),
+                    ops.begin() + static_cast<std::ptrdiff_t>(start + chunk),
+                    ops.end());
+        if (const auto fail = run_ops(make_impl, pool, cand)) {
+          cand.resize(fail->op_index + 1);
+          ops = std::move(cand);
+          progress = true;
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk <= 1) {
+        break;
+      }
+    }
+  }
+  return ops;
+}
+
+/// The printable replay recipe: one line per op, self-contained.
+std::string format_ops(const std::vector<Op>& ops,
+                       const std::vector<Event>& pool) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    out << "  [" << i << "] ";
+    switch (ops[i].kind) {
+      case Op::Insert:
+        out << "insert      " << describe(pool[ops[i].arg]);
+        break;
+      case Op::Pop:
+        out << "pop-min";
+        break;
+      case Op::Annihilate:
+        out << "annihilate  " << describe(pool[ops[i].arg]);
+        break;
+      case Op::Rollback:
+        out << "rollback    selector=" << ops[i].arg;
+        break;
+      case Op::Fossil:
+        out << "fossil      selector=" << ops[i].arg;
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+constexpr std::size_t kOpsPerSeed = 10'000;
+
+// ------------------------------------------------------- property tests ----
+
+class PendingSetProperty
+    : public ::testing::TestWithParam<std::tuple<QueueKind, std::uint64_t>> {};
+
+TEST_P(PendingSetProperty, TenThousandRandomOpsMatchTheSortedVectorModel) {
+  const auto [kind, seed] = GetParam();
+  SlabPool slab;
+  const std::vector<Event> pool = make_event_pool(seed, kOpsPerSeed / 2);
+  const std::vector<Op> ops = make_ops(seed, kOpsPerSeed, pool.size());
+  const Factory factory = [kind, &slab] { return make_pending_set(kind, &slab); };
+
+  const auto failure = run_ops(factory, pool, ops);
+  if (failure.has_value()) {
+    const std::vector<Op> minimal = shrink(factory, pool, ops, *failure);
+    const auto refail = run_ops(factory, pool, minimal);
+    FAIL() << "pending-set divergence: kind=" << to_string(kind)
+           << " seed=" << seed << " op=" << failure->op_index << "\n  "
+           << failure->what << "\nminimal repro (" << minimal.size()
+           << " ops, replay against make_pending_set(QueueKind::"
+           << to_string(kind) << ") with make_event_pool(seed=" << seed
+           << ")):\n"
+           << format_ops(minimal, pool)
+           << (refail ? "minimal failure: " + refail->what
+                      : std::string("minimal repro no longer fails (flaky)"));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, PendingSetProperty,
+    ::testing::Combine(::testing::ValuesIn(kAllQueueKinds),
+                       ::testing::Range<std::uint64_t>(0, 6)),
+    [](const ::testing::TestParamInfo<std::tuple<QueueKind, std::uint64_t>>&
+           info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------------ mutation canary ----
+
+class PendingSetMutationCanary
+    : public ::testing::TestWithParam<ModelPendingSet::Bug> {};
+
+TEST_P(PendingSetMutationCanary, HarnessDetectsInjectedBugAndShrinksIt) {
+  const ModelPendingSet::Bug bug = GetParam();
+  const std::uint64_t seed = 7;
+  const std::vector<Event> pool = make_event_pool(seed, kOpsPerSeed / 2);
+  const std::vector<Op> ops = make_ops(seed, kOpsPerSeed, pool.size());
+  const Factory mutant = [bug] { return std::make_unique<ModelPendingSet>(bug); };
+
+  const auto failure = run_ops(mutant, pool, ops);
+  ASSERT_TRUE(failure.has_value())
+      << "harness failed to detect injected bug #"
+      << static_cast<int>(bug) << " in " << ops.size() << " ops";
+
+  const std::vector<Op> minimal = shrink(mutant, pool, ops, *failure);
+  EXPECT_LE(minimal.size(), 12u)
+      << "shrinker left a non-minimal repro:\n" << format_ops(minimal, pool);
+  EXPECT_FALSE(minimal.empty());
+  // The minimal sequence must still fail, and the recipe must print.
+  EXPECT_TRUE(run_ops(mutant, pool, minimal).has_value());
+  EXPECT_FALSE(format_ops(minimal, pool).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bugs, PendingSetMutationCanary,
+    ::testing::Values(ModelPendingSet::Bug::TieBreakIgnoresSeq,
+                      ModelPendingSet::Bug::FossilDropsBoundary,
+                      ModelPendingSet::Bug::RewindOvershoots,
+                      ModelPendingSet::Bug::StragglerNotFlagged),
+    [](const ::testing::TestParamInfo<ModelPendingSet::Bug>& info) {
+      switch (info.param) {
+        case ModelPendingSet::Bug::TieBreakIgnoresSeq:
+          return std::string("TieBreakIgnoresSeq");
+        case ModelPendingSet::Bug::FossilDropsBoundary:
+          return std::string("FossilDropsBoundary");
+        case ModelPendingSet::Bug::RewindOvershoots:
+          return std::string("RewindOvershoots");
+        case ModelPendingSet::Bug::StragglerNotFlagged:
+          return std::string("StragglerNotFlagged");
+        case ModelPendingSet::Bug::None:
+          break;
+      }
+      return std::string("None");
+    });
+
+// A meta-check: the clean model vs itself must run the full sequence
+// without divergence (the harness does not cry wolf).
+TEST(PendingSetHarness, CleanModelSurvivesFullSequence) {
+  const std::vector<Event> pool = make_event_pool(11, kOpsPerSeed / 2);
+  const std::vector<Op> ops = make_ops(11, kOpsPerSeed, pool.size());
+  const Factory clean = [] { return std::make_unique<ModelPendingSet>(); };
+  EXPECT_FALSE(run_ops(clean, pool, ops).has_value());
+}
+
+// ------------------------------------------------------- deterministic ----
+
+// Regression: when one ladder rung would need more than kMaxBucketsPerRung
+// buckets, the bucket count is clamped and the last bucket absorbs the tail
+// of the time span. Events in that tail must stay findable/erasable — the
+// rung's region bound has to be the true span, not width x bucket-count.
+// (Found by the queue bench's rollback mix at population 32768; the dense
+// time ranges of the random harness never clamp.)
+TEST(PendingSetLadderClamp, TailOfOversizedRungStaysErasable) {
+  SlabPool slab;
+  auto set = make_pending_set(QueueKind::LadderQueue, &slab);
+  // 20k events over 2M ticks: spreading the top spawns a rung with
+  // width = 2M / 16384 = 122 and ceil(2M / 122) = 16394 buckets, which is
+  // clamped to 16385 — everything past 122 * 16385 lands in the last bucket.
+  constexpr std::uint64_t kSpan = 2'000'000;
+  constexpr std::size_t kCount = 20'000;
+  util::Xoshiro256 rng(5, /*stream=*/0xC1A3Bu);
+  std::vector<Event> tail;  // events in the clamped region
+  for (std::size_t i = 0; i < kCount; ++i) {
+    Event e;
+    e.recv_time = VirtualTime{1 + rng.next_below(kSpan)};
+    e.sender = 1;
+    e.seq = i;
+    e.instance = i;
+    set->insert(e);
+    if (e.recv_time.ticks() > kSpan - kSpan / 16) {
+      tail.push_back(e);
+    }
+  }
+  ASSERT_FALSE(tail.empty());
+  // Force the spread (builds the rungs), then annihilate every tail event.
+  ASSERT_NE(set->peek_next(), nullptr);
+  for (const Event& e : tail) {
+    ASSERT_EQ(set->find_match(e.make_anti()), MatchStatus::Unprocessed)
+        << "event at " << e.recv_time.ticks() << " vanished from the ladder";
+    set->erase_match(e.make_anti());
+  }
+  EXPECT_EQ(set->size(), kCount - tail.size());
+}
+
+TEST(PendingSetFactory, BuildsTheRequestedKind) {
+  for (const QueueKind kind : kAllQueueKinds) {
+    EXPECT_EQ(make_pending_set(kind)->kind(), kind);
+  }
+  EXPECT_NE(make_central_event_list(QueueKind::Multiset), nullptr);
+  EXPECT_NE(make_central_event_list(QueueKind::SkipList), nullptr);
+  EXPECT_NE(make_central_event_list(QueueKind::LadderQueue), nullptr);
+}
+
+TEST(PendingSetCentralList, DrainsInSeqOrderAcrossKinds) {
+  // Large enough to push the ladder through spread/spawn/spill and the
+  // skip list through multi-level towers.
+  constexpr std::size_t kEvents = 50'000;
+  util::Xoshiro256 rng(3, /*stream=*/0xCE17u);
+  std::vector<Event> events;
+  events.reserve(kEvents);
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    Event e;
+    e.recv_time = VirtualTime{rng.next_below(4096)};
+    e.receiver = static_cast<ObjectId>(rng.next_below(64));
+    e.sender = static_cast<ObjectId>(rng.next_below(64));
+    e.seq = rng();
+    e.instance = i;
+    events.push_back(e);
+  }
+
+  // Interleave: insert in waves, drain a third between waves, so the
+  // ladder's regions are live while inserts keep arriving. A later wave can
+  // insert below already-drained events, so the right check is differential:
+  // every kind must drain the exact sequence a std::multiset reference
+  // produces under the same schedule.
+  const auto drain_with = [&events](CentralEventList& list) {
+    std::vector<Event> drained;
+    drained.reserve(kEvents);
+    std::size_t fed = 0;
+    while (drained.size() < kEvents) {
+      const std::size_t wave = std::min<std::size_t>(8192, kEvents - fed);
+      for (std::size_t i = 0; i < wave; ++i) {
+        list.insert(events[fed++]);
+      }
+      std::size_t take = fed == kEvents ? list.size() : list.size() / 3;
+      while (take-- > 0) {
+        const Event* low = list.lowest();
+        if (low == nullptr) {
+          return drained;
+        }
+        drained.push_back(*low);
+        list.pop_lowest();
+      }
+    }
+    return drained;
+  };
+
+  std::vector<Event> reference;
+  {
+    auto list = make_central_event_list(QueueKind::Multiset);
+    reference = drain_with(*list);
+    ASSERT_EQ(reference.size(), kEvents);
+    ASSERT_TRUE(list->empty());
+  }
+  for (const QueueKind kind : kAllQueueKinds) {
+    SlabPool slab;
+    auto list = make_central_event_list(kind, &slab);
+    const std::vector<Event> drained = drain_with(*list);
+    EXPECT_TRUE(list->empty()) << to_string(kind);
+    ASSERT_EQ(drained.size(), kEvents) << to_string(kind);
+    for (std::size_t i = 0; i < kEvents; ++i) {
+      ASSERT_TRUE(event_eq(drained[i], reference[i]))
+          << to_string(kind) << " diverges from multiset at " << i << ": "
+          << describe(drained[i]) << " vs " << describe(reference[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace otw::tw

@@ -22,9 +22,26 @@ Position pos(std::uint64_t recv, ObjectId sender, std::uint64_t seq,
 }
 
 // ------------------------------------------------------------ InputQueue --
+//
+// Every behavioural test runs against all three PendingEventSet
+// implementations: the InputQueue contract is implementation-independent.
 
-TEST(InputQueue, ProcessesInKeyOrder) {
-  InputQueue q;
+class InputQueueAllKinds : public ::testing::TestWithParam<QueueKind> {
+ protected:
+  InputQueue q{nullptr, GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, InputQueueAllKinds, ::testing::ValuesIn(kAllQueueKinds),
+    [](const ::testing::TestParamInfo<QueueKind>& info) {
+      return to_string(info.param);
+    });
+
+TEST_P(InputQueueAllKinds, ReportsItsKind) {
+  EXPECT_EQ(q.kind(), GetParam());
+}
+
+TEST_P(InputQueueAllKinds, ProcessesInKeyOrder) {
   EXPECT_FALSE(q.insert(ev(30, 1, 0, 0)));
   EXPECT_FALSE(q.insert(ev(10, 1, 1, 1)));
   EXPECT_FALSE(q.insert(ev(20, 2, 0, 2)));
@@ -34,8 +51,7 @@ TEST(InputQueue, ProcessesInKeyOrder) {
   EXPECT_EQ(q.peek_next(), nullptr);
 }
 
-TEST(InputQueue, StragglerDetection) {
-  InputQueue q;
+TEST_P(InputQueueAllKinds, StragglerDetection) {
   q.insert(ev(10, 1, 0, 0));
   q.insert(ev(30, 1, 1, 1));
   q.advance();
@@ -46,15 +62,13 @@ TEST(InputQueue, StragglerDetection) {
   EXPECT_FALSE(q.insert(ev(40, 2, 1, 3)));
 }
 
-TEST(InputQueue, UnprocessedInsertIsNeverStraggler) {
-  InputQueue q;
+TEST_P(InputQueueAllKinds, UnprocessedInsertIsNeverStraggler) {
   q.insert(ev(30, 1, 0, 0));
   EXPECT_FALSE(q.insert(ev(10, 1, 1, 1)));  // nothing processed yet
   EXPECT_EQ(q.peek_next()->recv_time, VirtualTime{10});
 }
 
-TEST(InputQueue, EqualTimeTieBreakBySenderSeq) {
-  InputQueue q;
+TEST_P(InputQueueAllKinds, EqualTimeTieBreakBySenderSeq) {
   q.insert(ev(10, 2, 0, 0));
   q.insert(ev(10, 1, 1, 1));
   q.insert(ev(10, 1, 0, 2));
@@ -63,8 +77,7 @@ TEST(InputQueue, EqualTimeTieBreakBySenderSeq) {
   EXPECT_EQ(q.advance().sender, 2u);  // (10,2,0)
 }
 
-TEST(InputQueue, RewindReexposesProcessedEvents) {
-  InputQueue q;
+TEST_P(InputQueueAllKinds, RewindReexposesProcessedEvents) {
   q.insert(ev(10, 1, 0, 0));
   q.insert(ev(20, 1, 1, 1));
   q.insert(ev(30, 1, 2, 2));
@@ -77,8 +90,7 @@ TEST(InputQueue, RewindReexposesProcessedEvents) {
   EXPECT_EQ(q.processed_count(), 1u);
 }
 
-TEST(InputQueue, ProcessedAfterCountsRollbackLength) {
-  InputQueue q;
+TEST_P(InputQueueAllKinds, ProcessedAfterCountsRollbackLength) {
   for (std::uint64_t i = 0; i < 5; ++i) {
     q.insert(ev(10 * (i + 1), 1, i, i));
   }
@@ -88,8 +100,7 @@ TEST(InputQueue, ProcessedAfterCountsRollbackLength) {
   EXPECT_EQ(q.processed_after(Position::before_all()), 5u);
 }
 
-TEST(InputQueue, StragglerNotCountedInProcessedAfter) {
-  InputQueue q;
+TEST_P(InputQueueAllKinds, StragglerNotCountedInProcessedAfter) {
   q.insert(ev(10, 1, 0, 0));
   q.insert(ev(30, 1, 1, 1));
   q.advance();
@@ -100,8 +111,7 @@ TEST(InputQueue, StragglerNotCountedInProcessedAfter) {
   EXPECT_EQ(q.processed_after(straggler.position()), 1u);
 }
 
-TEST(InputQueue, AnnihilationOfUnprocessed) {
-  InputQueue q;
+TEST_P(InputQueueAllKinds, AnnihilationOfUnprocessed) {
   const Event pos = ev(10, 1, 0, 7);
   q.insert(pos);
   const Event anti = pos.make_anti();
@@ -111,16 +121,14 @@ TEST(InputQueue, AnnihilationOfUnprocessed) {
   EXPECT_EQ(q.find_match(anti), InputQueue::MatchStatus::NotFound);
 }
 
-TEST(InputQueue, AnnihilationDetectsProcessed) {
-  InputQueue q;
+TEST_P(InputQueueAllKinds, AnnihilationDetectsProcessed) {
   const Event pos = ev(10, 1, 0, 7);
   q.insert(pos);
   q.advance();
   EXPECT_EQ(q.find_match(pos.make_anti()), InputQueue::MatchStatus::Processed);
 }
 
-TEST(InputQueue, EraseMatchOfProcessedThrowsWithoutRewind) {
-  InputQueue q;
+TEST_P(InputQueueAllKinds, EraseMatchOfProcessedThrowsWithoutRewind) {
   const Event pos = ev(10, 1, 0, 7);
   q.insert(pos);
   q.advance();
@@ -131,15 +139,13 @@ TEST(InputQueue, EraseMatchOfProcessedThrowsWithoutRewind) {
   EXPECT_TRUE(q.empty());
 }
 
-TEST(InputQueue, MatchDistinguishesInstances) {
-  InputQueue q;
+TEST_P(InputQueueAllKinds, MatchDistinguishesInstances) {
   q.insert(ev(10, 1, 0, 7));
   Event other = ev(10, 1, 0, 8);  // same key, different instance
   EXPECT_EQ(q.find_match(other.make_anti()), InputQueue::MatchStatus::NotFound);
 }
 
-TEST(InputQueue, EraseMatchAdvancesBoundaryWhenNeeded) {
-  InputQueue q;
+TEST_P(InputQueueAllKinds, EraseMatchAdvancesBoundaryWhenNeeded) {
   const Event a = ev(10, 1, 0, 0);
   const Event b = ev(20, 1, 1, 1);
   q.insert(a);
@@ -150,8 +156,7 @@ TEST(InputQueue, EraseMatchAdvancesBoundaryWhenNeeded) {
   EXPECT_EQ(q.peek_next()->recv_time, VirtualTime{20});
 }
 
-TEST(InputQueue, FossilCollectDropsOnlyProcessedPrefix) {
-  InputQueue q;
+TEST_P(InputQueueAllKinds, FossilCollectDropsOnlyProcessedPrefix) {
   for (std::uint64_t i = 0; i < 4; ++i) {
     q.insert(ev(10 * (i + 1), 1, i, i));
   }
@@ -163,8 +168,7 @@ TEST(InputQueue, FossilCollectDropsOnlyProcessedPrefix) {
   EXPECT_EQ(q.size(), 2u);  // unprocessed 30, 40 survive
 }
 
-TEST(InputQueue, NextUnprocessedTime) {
-  InputQueue q;
+TEST_P(InputQueueAllKinds, NextUnprocessedTime) {
   EXPECT_TRUE(q.next_unprocessed_time().is_infinity());
   q.insert(ev(42, 1, 0, 0));
   EXPECT_EQ(q.next_unprocessed_time(), VirtualTime{42});
@@ -172,8 +176,7 @@ TEST(InputQueue, NextUnprocessedTime) {
   EXPECT_TRUE(q.next_unprocessed_time().is_infinity());
 }
 
-TEST(InputQueue, RejectsAntiMessages) {
-  InputQueue q;
+TEST_P(InputQueueAllKinds, RejectsAntiMessages) {
   EXPECT_THROW(q.insert(ev(1, 0, 0, 0).make_anti()), ContractViolation);
 }
 

@@ -156,6 +156,21 @@ TEST(Validate, EngineSizing) {
   EXPECT_TRUE(mentions(kc.validate(), "exceeds num_lps"));
 }
 
+TEST(Validate, UnknownQueueKindIsRejected) {
+  KernelConfig kc;
+  for (const QueueKind kind : kAllQueueKinds) {
+    kc.engine.queue = kind;
+    EXPECT_TRUE(kc.validate().empty()) << to_string(kind);
+  }
+  // A corrupted / future enum value (e.g. a config file deserializer gone
+  // wrong) must fail validation with a message naming the valid kinds, not
+  // reach make_pending_set and die mid-construction.
+  kc.engine.queue = static_cast<QueueKind>(0x7F);
+  const auto errors = kc.validate();
+  EXPECT_TRUE(mentions(errors, "engine.queue"));
+  EXPECT_TRUE(mentions(errors, "SkipList"));
+}
+
 TEST(Validate, EveryEntryPointRejectsInvalidConfigs) {
   const Model model = tiny_model(2);
   KernelConfig kc;

@@ -29,6 +29,11 @@ Two checks, both zero-dependency (stdlib only), run by CI's docs-check job:
    section 10's dump-schema listing, so the documented ``otw-flight-v1``
    schema cannot silently drift from the writer.
 
+6. QueueKind drift guard. The ``QueueKind`` enumerators in
+   ``src/timewarp/include/otw/tw/pending_set.hpp`` must all appear
+   (backticked) in DESIGN.md section 10b's pending-event-set tables, so a
+   new racing implementation cannot ship undocumented.
+
 Usage: ``python3 tools/check_docs.py`` from the repository root (or any
 subdirectory; the root is located from this file's path). Exit 0 = clean.
 """
@@ -42,6 +47,8 @@ TRACE_HEADER = REPO_ROOT / "src" / "obs" / "include" / "otw" / "obs" / "trace.hp
 LIVE_HEADER = REPO_ROOT / "src" / "obs" / "include" / "otw" / "obs" / "live.hpp"
 HIST_HEADER = REPO_ROOT / "src" / "obs" / "include" / "otw" / "obs" / "hist.hpp"
 FLIGHT_SOURCE = REPO_ROOT / "src" / "obs" / "flight.cpp"
+PENDING_HEADER = (REPO_ROOT / "src" / "timewarp" / "include" / "otw" / "tw"
+                  / "pending_set.hpp")
 DESIGN = REPO_ROOT / "DESIGN.md"
 
 # Directories never scanned for markdown (build trees, VCS internals).
@@ -214,6 +221,17 @@ def check_seam_drift():
     return errors
 
 
+def check_queue_kind_drift():
+    errors = []
+    section = design_section("10b", "pluggable pending-event sets")
+    for kind in enum_members(PENDING_HEADER, "QueueKind"):
+        if not re.search(rf"`{re.escape(kind)}`", section):
+            errors.append(f"DESIGN.md: QueueKind::{kind} exists in "
+                          f"pending_set.hpp but is not documented in the "
+                          f"section 10b implementation table")
+    return errors
+
+
 def flight_schema_keys():
     """JSON keys the flight-recorder writer emits, from the ``\\"key\\":``
     string literals in flight.cpp."""
@@ -237,7 +255,8 @@ def check_flight_schema_drift():
 
 def main():
     errors = (check_links() + check_trace_drift() + check_health_rule_drift()
-              + check_seam_drift() + check_flight_schema_drift())
+              + check_seam_drift() + check_flight_schema_drift()
+              + check_queue_kind_drift())
     n_md = sum(1 for _ in markdown_files())
     if errors:
         for e in errors:
@@ -249,12 +268,14 @@ def main():
     rules = enum_members(LIVE_HEADER, "HealthRule")
     seams = enum_members(HIST_HEADER, "Seam")
     keys = flight_schema_keys()
+    queue_kinds = enum_members(PENDING_HEADER, "QueueKind")
     print(f"check_docs: OK — {n_md} markdown files, links and anchors "
           f"resolve, all {len(kinds)} TraceKind enumerators documented "
           f"in DESIGN.md section 5b, all {len(rules)} HealthRule "
           f"enumerators documented in section 9, all {len(seams)} Seam "
           f"enumerators and {len(keys)} flight schema keys documented "
-          f"in section 10")
+          f"in section 10, all {len(queue_kinds)} QueueKind enumerators "
+          f"documented in section 10b")
     return 0
 
 
