@@ -130,6 +130,31 @@ tw::Model build_model(const PholdConfig& config) {
     model.add(config.lp_of(i),
               [config, i] { return std::make_unique<PholdObject>(config, i); });
   }
+
+  // Declare the expected send graph so CommGraph partitioning can keep the
+  // heavy (local, 1 - remote_probability) edges inside one shard. Rates
+  // mirror pick_destination: a remote successor with probability
+  // remote_probability spread uniformly over the other-LP population, a
+  // local one spread over the same-LP peers otherwise.
+  for (std::uint32_t i = 0; i < config.num_objects; ++i) {
+    const tw::LpId lp_i = config.lp_of(i);
+    const std::uint32_t on_lp_i =
+        (config.num_objects + config.num_lps - 1 - lp_i) / config.num_lps;
+    const std::uint32_t remote_count = config.num_objects - on_lp_i;
+    double p_remote = config.num_lps > 1 ? config.remote_probability : 0.0;
+    if (on_lp_i <= 1) {
+      p_remote = remote_count > 0 ? 1.0 : 0.0;  // no same-LP peer exists
+    }
+    for (std::uint32_t j = i + 1; j < config.num_objects; ++j) {
+      const bool same_lp = config.lp_of(j) == lp_i;
+      const double rate =
+          same_lp ? (on_lp_i > 1 ? (1.0 - p_remote) / (on_lp_i - 1) : 0.0)
+                  : (remote_count > 0 ? p_remote / remote_count : 0.0);
+      if (rate > 0.0) {
+        model.add_edge(i, j, rate);
+      }
+    }
+  }
   return model;
 }
 

@@ -23,6 +23,10 @@ const char* seam_name(Seam seam) noexcept {
       return "rollback_depth_events";
     case Seam::StealLatency:
       return "steal_latency_ns";
+    case Seam::MigrationFreeze:
+      return "migration_freeze_ns";
+    case Seam::MigrationRestore:
+      return "migration_restore_ns";
     case Seam::kCount:
       break;
   }

@@ -23,6 +23,8 @@
 //   MailboxDwell   ns a message sat in a mailbox/inbox before poll()
 //   RollbackDepth  events undone by one rollback (unitless, not ns)
 //   StealLatency   ns one successful steal sweep took (threaded scheduler)
+//   MigrationFreeze   ns to freeze + serialize one LP for migration (source)
+//   MigrationRestore  ns to deserialize + revive one migrated LP (destination)
 #pragma once
 
 #include <array>
@@ -49,6 +51,8 @@ enum class Seam : std::uint8_t {
   MailboxDwell,
   RollbackDepth,
   StealLatency,
+  MigrationFreeze,
+  MigrationRestore,
   kCount,
 };
 

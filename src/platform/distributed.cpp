@@ -13,6 +13,7 @@
 #include <deque>
 #include <exception>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -25,13 +26,6 @@ namespace otw::platform {
 namespace {
 
 constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
-
-// Transport-reserved control tags (>= kReservedTagBase, never in the registry).
-constexpr WireTag kTagHello = 0xFF01;     ///< child -> coordinator: src_lp = shard
-constexpr WireTag kTagResult = 0xFF02;    ///< child -> coordinator: shard summary
-constexpr WireTag kTagStats = 0xFF03;     ///< child -> coordinator: live snapshot
-constexpr WireTag kTagHelloAck = 0xFF04;  ///< coordinator -> child: send_ns = t_c
-constexpr WireTag kTagTime = 0xFF05;      ///< clock refresh ping / echo
 
 /// Shortest gap between two clock-refresh pings from one worker. Pings are
 /// triggered by received GVT announces, which can burst; the estimate only
@@ -76,6 +70,42 @@ void send_frame(int fd, const FrameHeader& header, const std::uint8_t* payload) 
   }
 }
 
+/// Appends a framed message to an outbound byte queue (for links flushed
+/// non-blockingly: two peers writing to each other with blocking sockets
+/// and full kernel buffers would deadlock; queued writes never block).
+void queue_frame(std::vector<std::uint8_t>& out, const FrameHeader& header,
+                 const std::uint8_t* payload) {
+  std::uint8_t raw[kFrameHeaderBytes];
+  encode_frame_header(header, raw);
+  out.insert(out.end(), raw, raw + kFrameHeaderBytes);
+  if (header.payload_len > 0) {
+    out.insert(out.end(), payload, payload + header.payload_len);
+  }
+}
+
+/// Writes as much queued output as the socket accepts without blocking;
+/// POLLOUT resumes the rest.
+void flush_out(int fd, std::vector<std::uint8_t>& out, std::size_t& out_pos,
+               const char* what) {
+  while (out_pos < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + out_pos, out.size() - out_pos,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;  // kernel buffer full; POLLOUT will resume
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    throw_errno(what);
+  }
+  out.clear();
+  out_pos = 0;
+}
+
 // ---------------------------------------------------------------------------
 // Child side: the shard driver.
 // ---------------------------------------------------------------------------
@@ -88,9 +118,23 @@ struct ShardLp {
   LpId id = 0;
   LpRunner* runner = nullptr;
   StepStatus status = StepStatus::Active;
+  bool migrated_out = false;  ///< entry kept (busy_ns) after the LP left
   std::uint64_t busy_ns = 0;
   std::uint64_t wake_hint_ns = kNever;
   std::deque<std::unique_ptr<EngineMessage>> inbox;
+};
+
+/// One direct worker-to-worker TCP stream (mesh topology). Output is queued
+/// and flushed non-blockingly; input bytes accumulate until whole frames
+/// parse out. One stream per ordered pair is exactly the per-(src,dst) FIFO
+/// the kernel's non-overtaking contract needs.
+struct PeerLink {
+  int fd = -1;
+  std::vector<std::uint8_t> in;
+  std::vector<std::uint8_t> out;
+  std::size_t out_pos = 0;
+
+  [[nodiscard]] bool out_pending() const noexcept { return out_pos < out.size(); }
 };
 
 /// Everything one worker process accumulates and ships home in its RESULT.
@@ -105,8 +149,8 @@ class ShardDriver {
  public:
   ShardDriver(std::uint32_t shard, const DistributedConfig& config,
               const std::vector<LpRunner*>& all_lps, int fd,
-              const LiveStatsHooks& live, std::int64_t clock_offset_ns,
-              std::uint64_t clock_rtt_ns)
+              std::vector<PeerLink> links, const LiveStatsHooks& live,
+              std::int64_t clock_offset_ns, std::uint64_t clock_rtt_ns)
       : shard_(shard),
         config_(config),
         live_(live),
@@ -114,11 +158,18 @@ class ShardDriver {
         clock_rtt_ns_(clock_rtt_ns),
         num_lps_(static_cast<LpId>(all_lps.size())),
         fd_(fd),
+        all_lps_(all_lps),
+        links_(std::move(links)),
+        mesh_(config.topology == Topology::Mesh && config.num_shards > 1),
         trace_(config.wire_trace_capacity ? config.wire_trace_capacity : 1),
         epoch_ns_(mono_ns()) {
-    lp_index_.assign(all_lps.size(), SIZE_MAX);
+    owners_.resize(num_lps_);
+    epochs_.assign(num_lps_, 0);
+    lp_index_.assign(num_lps_, SIZE_MAX);
+    pending_in_.resize(num_lps_);
     for (LpId lp = 0; lp < num_lps_; ++lp) {
-      if (shard_of_lp(lp, config_.num_shards) == shard_) {
+      owners_[lp] = initial_owner_of(lp, config_);
+      if (owners_[lp] == shard_) {
         lp_index_[lp] = lps_.size();
         ShardLp state;
         state.id = lp;
@@ -126,6 +177,7 @@ class ShardDriver {
         lps_.push_back(std::move(state));
       }
     }
+    remaining_ = lps_.size();
   }
 
   void run();
@@ -153,13 +205,28 @@ class ShardDriver {
 
   void send_remote(LpId src, LpId dst, const EngineMessage& msg);
 
+  [[nodiscard]] const std::vector<std::uint32_t>& owners() const noexcept {
+    return owners_;
+  }
+
   ShardTotals totals_;
 
  private:
   void drain_socket();
-  void handle_frame(const FrameHeader& header, const std::uint8_t* payload);
+  void drain_links();
+  void handle_coord_frame(const FrameHeader& header, const std::uint8_t* payload);
+  void handle_peer_frame(std::uint32_t peer, const std::uint8_t* frame,
+                         const FrameHeader& header);
+  void route_inbound(const std::uint8_t* frame, const FrameHeader& header,
+                     std::uint32_t src_shard_hint);
+  void handle_migrate_cmd(const std::uint8_t* payload, std::uint32_t len);
+  void handle_migrate_in(const FrameHeader& header, const std::uint8_t* payload);
+  void handle_rebind(const std::uint8_t* payload, std::uint32_t len);
   void handle_time_echo(const FrameHeader& header, const std::uint8_t* payload);
   void maybe_send_time_ping();
+  void send_done();
+  void flush_links();
+  void forward_frame(const std::uint8_t* frame, const FrameHeader& header);
   void idle_wait();
   void maybe_send_stats();
 
@@ -174,9 +241,21 @@ class ShardDriver {
   std::uint64_t next_stats_ns_ = 0;  ///< driver-relative deadline (now_ns())
   LpId num_lps_;
   int fd_;
+  const std::vector<LpRunner*>& all_lps_;  ///< fork gave us a copy of every LP
+  std::vector<PeerLink> links_;            ///< index = shard; self unused
+  bool mesh_;
   std::vector<ShardLp> lps_;
   std::vector<std::size_t> lp_index_;  ///< global LpId -> index in lps_
-  std::vector<std::uint8_t> in_buf_;   ///< unparsed socket bytes
+  std::vector<std::uint32_t> owners_;  ///< LP -> shard, current routing epoch
+  std::vector<std::uint32_t> epochs_;  ///< LP -> highest rebind epoch seen
+  /// Inbound messages for an LP this shard owns (per REBIND/MIGRATE) whose
+  /// state has not arrived yet; drained into the inbox at migrate-in.
+  std::vector<std::deque<std::unique_ptr<EngineMessage>>> pending_in_;
+  std::size_t remaining_ = 0;       ///< local LPs not Done and not migrated out
+  std::uint64_t migrations_in_ = 0;
+  bool done_announced_ = false;
+  bool finish_received_ = false;
+  std::vector<std::uint8_t> in_buf_;   ///< unparsed coordinator-stream bytes
   std::vector<std::uint8_t> scratch_;  ///< payload encode buffer
   obs::TraceRing trace_;
   std::uint64_t epoch_ns_;
@@ -210,8 +289,13 @@ class ShardDriver::Context final : public LpContext {
     charge(driver_.config_.costs.send_cost_ns(bytes));
     ++driver_.totals_.physical_messages;
     driver_.totals_.wire_bytes += bytes;
-    if (shard_of_lp(dst, driver_.config_.num_shards) == driver_.shard_) {
-      driver_.deliver_local(dst, std::move(msg));
+    if (driver_.owners_[dst] == driver_.shard_) {
+      if (driver_.lp_index_[dst] != SIZE_MAX) {
+        driver_.deliver_local(dst, std::move(msg));
+      } else {
+        // Rebound here, state still in flight: park until migrate-in.
+        driver_.pending_in_[dst].push_back(std::move(msg));
+      }
     } else {
       driver_.send_remote(lp_.id, dst, *msg);
     }
@@ -269,7 +353,16 @@ void ShardDriver::send_remote(LpId src, LpId dst, const EngineMessage& msg) {
   header.src_lp = src;
   header.dst_lp = dst;
   header.send_ns = aligned_now_ns();
-  send_frame(fd_, header, scratch_.data());
+  if (mesh_ && !msg.wire_control()) {
+    // Data plane: one hop on the direct (src,dst) peer link.
+    PeerLink& link = links_[owners_[dst]];
+    queue_frame(link.out, header, scratch_.data());
+    flush_out(link.fd, link.out, link.out_pos, "send (peer link)");
+  } else {
+    // Control plane (GVT tokens/announces) — and everything under Star —
+    // transits the coordinator, which keeps RelayResidency attribution.
+    send_frame(fd_, header, scratch_.data());
+  }
 
   ++totals_.dist.frames_sent;
   totals_.dist.bytes_sent += kFrameHeaderBytes + scratch_.size();
@@ -324,17 +417,31 @@ void ShardDriver::maybe_send_time_ping() {
   send_frame(fd_, ping, nullptr);
 }
 
-void ShardDriver::handle_frame(const FrameHeader& header,
-                               const std::uint8_t* payload) {
-  if (header.tag == kTagTime) {
-    handle_time_echo(header, payload);
+void ShardDriver::forward_frame(const std::uint8_t* frame,
+                                const FrameHeader& header) {
+  // The sender's routing epoch was stale: re-ship the frame verbatim to the
+  // shard we believe owns the LP. Owner maps only move to higher epochs, so
+  // a forwarded frame always moves toward the migration's destination and
+  // chains terminate (bounded by the number of rebinds).
+  PeerLink& link = links_[owners_[header.dst_lp]];
+  link.out.insert(link.out.end(), frame,
+                  frame + kFrameHeaderBytes + header.payload_len);
+  flush_out(link.fd, link.out, link.out_pos, "send (peer link)");
+  ++totals_.dist.frames_forwarded;
+}
+
+void ShardDriver::route_inbound(const std::uint8_t* frame,
+                                const FrameHeader& header,
+                                std::uint32_t src_shard_hint) {
+  const LpId dst = header.dst_lp;
+  OTW_REQUIRE_MSG(dst < num_lps_, "frame routed to an unknown LP");
+  if (owners_[dst] != shard_) {
+    // Under Star, placement is static, so this is unconditionally a bug.
+    OTW_REQUIRE_MSG(mesh_, "frame routed to the wrong shard");
+    forward_frame(frame, header);
     return;
   }
-  OTW_REQUIRE_MSG(header.tag < kReservedTagBase,
-                  "worker received a transport control frame");
-  OTW_REQUIRE_MSG(header.dst_lp < num_lps_ &&
-                      shard_of_lp(header.dst_lp, config_.num_shards) == shard_,
-                  "frame routed to the wrong shard");
+  const std::uint8_t* payload = frame + kFrameHeaderBytes;
   WireReader reader(payload, header.payload_len);
   const std::uint64_t t0 = mono_ns();
   auto msg = WireRegistry::instance().decode(header.tag, reader);
@@ -346,13 +453,13 @@ void ShardDriver::handle_frame(const FrameHeader& header,
   totals_.dist.bytes_received += kFrameHeaderBytes + header.payload_len;
   if (live_.bank != nullptr) {
     live_.bank->record(obs::hist::Seam::WireDecode, decode_ns);
-    // End-to-end link latency (encode -> relay -> decode): both timestamps
-    // are in the coordinator clock domain, so subtraction is meaningful up
-    // to the two offset-estimate errors (each bounded by its RTT/2).
+    // End-to-end link latency (encode -> transport -> decode): both
+    // timestamps are in the coordinator clock domain, so subtraction is
+    // meaningful up to the two offset-estimate errors (each bounded by its
+    // RTT/2).
     const std::uint64_t now_aligned = aligned_now_ns();
     live_.bank->record_link(
-        obs::hist::Seam::LinkLatency,
-        shard_of_lp(header.src_lp, config_.num_shards), shard_,
+        obs::hist::Seam::LinkLatency, src_shard_hint, shard_,
         now_aligned > header.send_ns ? now_aligned - header.send_ns : 0);
   }
   if ((header.flags & kFlagControl) != 0) {
@@ -364,7 +471,193 @@ void ShardDriver::handle_frame(const FrameHeader& header,
     trace_.push(obs::TraceRecord{now_ns(), 0, args.arg0, args.arg1,
                                  header.src_lp, obs::TraceKind::WireFrame});
   }
-  deliver_local(header.dst_lp, std::move(msg));
+  if (lp_index_[dst] == SIZE_MAX) {
+    // We own the LP (rebind seen) but its state is still in flight.
+    pending_in_[dst].push_back(std::move(msg));
+  } else {
+    deliver_local(dst, std::move(msg));
+  }
+}
+
+void ShardDriver::handle_rebind(const std::uint8_t* payload, std::uint32_t len) {
+  WireReader r(payload, len);
+  const LpId lp = r.u32();
+  const std::uint32_t owner = r.u32();
+  const std::uint32_t epoch = r.u32();
+  OTW_REQUIRE_MSG(r.done() && lp < num_lps_ && owner < config_.num_shards,
+                  "malformed REBIND frame");
+  if (epoch > epochs_[lp]) {  // epoch-monotonic: stale rebinds are no-ops
+    epochs_[lp] = epoch;
+    owners_[lp] = owner;
+  }
+}
+
+void ShardDriver::handle_migrate_cmd(const std::uint8_t* payload,
+                                     std::uint32_t len) {
+  WireReader r(payload, len);
+  const LpId lp = r.u32();
+  const std::uint32_t to = r.u32();
+  const std::uint32_t epoch = r.u32();
+  OTW_REQUIRE_MSG(r.done() && lp < num_lps_ && to < config_.num_shards &&
+                      to != shard_,
+                  "malformed MIGRATE_CMD frame");
+  OTW_REQUIRE_MSG(mesh_, "migration requires the mesh topology");
+  OTW_REQUIRE_MSG(owners_[lp] == shard_ && lp_index_[lp] != SIZE_MAX,
+                  "migrate command for an LP this shard does not hold");
+  ShardLp& s = lps_[lp_index_[lp]];
+  auto* migratable = dynamic_cast<MigratableLp*>(s.runner);
+  std::uint8_t accepted = 1;
+  if (s.status == StepStatus::Done || migratable == nullptr) {
+    // Endgame race (the LP finished while the command was in flight) or a
+    // runner that cannot move: decline, the coordinator drops the epoch.
+    accepted = 0;
+  } else {
+    // NOT scratch_: migrate_out ships the LP's held sends and aggregation
+    // batches through send_remote mid-serialization, and that path reuses
+    // scratch_ as its encode buffer.
+    std::vector<std::uint8_t> blob;
+    WireWriter w(blob);
+    w.u32(epoch);
+    const std::uint64_t t0 = mono_ns();
+    bool frozen = false;
+    {
+      Context ctx(*this, s);
+      frozen = migratable->migrate_out(ctx, w);
+    }
+    if (!frozen) {
+      // The LP completed while migrate_out drained its backlog; its next
+      // step() reports Done through the normal path. Decline the move.
+      accepted = 0;
+    } else {
+      if (live_.bank != nullptr) {
+        live_.bank->record(obs::hist::Seam::MigrationFreeze, mono_ns() - t0);
+      }
+      OTW_ASSERT(s.inbox.empty());  // migrate_out must drain via ctx.poll()
+      FrameHeader h;
+      h.payload_len = static_cast<std::uint32_t>(blob.size());
+      h.tag = kTagMigrate;
+      h.flags = kFlagControl;
+      h.src_lp = shard_;
+      h.dst_lp = lp;
+      h.send_ns = aligned_now_ns();
+      // Peer link, not the coordinator: frames already forwarded toward the
+      // destination sit ahead of the LP state on the same FIFO stream.
+      PeerLink& link = links_[to];
+      queue_frame(link.out, h, blob.data());
+      flush_out(link.fd, link.out, link.out_pos, "send (peer link)");
+      ++totals_.dist.frames_sent;
+      totals_.dist.bytes_sent += kFrameHeaderBytes + blob.size();
+
+      s.runner = nullptr;
+      s.migrated_out = true;
+      if (s.status != StepStatus::Done) {
+        --remaining_;
+      }
+      s.status = StepStatus::Done;
+      lp_index_[lp] = SIZE_MAX;
+      owners_[lp] = to;
+      epochs_[lp] = epoch;
+    }
+  }
+  // Report to the coordinator, which rebinds everyone else on acceptance.
+  scratch_.clear();
+  WireWriter w(scratch_);
+  w.u32(lp);
+  w.u32(to);
+  w.u32(epoch);
+  w.u8(accepted);
+  FrameHeader h;
+  h.payload_len = static_cast<std::uint32_t>(scratch_.size());
+  h.tag = kTagMigrated;
+  h.flags = kFlagControl;
+  h.src_lp = shard_;
+  h.send_ns = aligned_now_ns();
+  send_frame(fd_, h, scratch_.data());
+}
+
+void ShardDriver::handle_migrate_in(const FrameHeader& header,
+                                    const std::uint8_t* payload) {
+  OTW_REQUIRE_MSG(mesh_, "migration requires the mesh topology");
+  const LpId lp = header.dst_lp;
+  OTW_REQUIRE_MSG(lp < num_lps_, "MIGRATE frame for an unknown LP");
+  WireReader r(payload, header.payload_len);
+  const std::uint32_t epoch = r.u32();
+  if (epoch > epochs_[lp]) {
+    // The MIGRATE beat the REBIND broadcast here; it implies ownership.
+    epochs_[lp] = epoch;
+    owners_[lp] = shard_;
+  }
+  OTW_REQUIRE_MSG(owners_[lp] == shard_ && lp_index_[lp] == SIZE_MAX,
+                  "MIGRATE frame for an LP this shard already holds");
+  auto* migratable = dynamic_cast<MigratableLp*>(all_lps_[lp]);
+  OTW_REQUIRE_MSG(migratable != nullptr, "LP runner is not migratable");
+  lp_index_[lp] = lps_.size();
+  lps_.emplace_back();
+  ShardLp& s = lps_.back();
+  s.id = lp;
+  s.runner = all_lps_[lp];  // fork copy, about to be overwritten from the wire
+  s.status = StepStatus::Active;
+  const std::uint64_t t0 = mono_ns();
+  {
+    Context ctx(*this, s);
+    migratable->migrate_in(ctx, r);
+  }
+  OTW_REQUIRE_MSG(r.done(), "trailing bytes after MIGRATE payload");
+  if (live_.bank != nullptr) {
+    live_.bank->record(obs::hist::Seam::MigrationRestore, mono_ns() - t0);
+  }
+  ++totals_.dist.frames_received;
+  totals_.dist.bytes_received += kFrameHeaderBytes + header.payload_len;
+  ++migrations_in_;
+  ++remaining_;
+  done_announced_ = false;  // active set grew; the last DONE is stale
+  // Frames that raced ahead of the LP state resume delivery in FIFO order.
+  std::deque<std::unique_ptr<EngineMessage>>& stash = pending_in_[lp];
+  while (!stash.empty()) {
+    deliver_local(lp, std::move(stash.front()));
+    stash.pop_front();
+  }
+}
+
+void ShardDriver::handle_coord_frame(const FrameHeader& header,
+                                     const std::uint8_t* payload) {
+  switch (header.tag) {
+    case kTagTime:
+      handle_time_echo(header, payload);
+      return;
+    case kTagMigrateCmd:
+      handle_migrate_cmd(payload, header.payload_len);
+      return;
+    case kTagRebind:
+      handle_rebind(payload, header.payload_len);
+      return;
+    case kTagFinish:
+      finish_received_ = true;
+      return;
+    default:
+      break;
+  }
+  OTW_REQUIRE_MSG(header.tag < kReservedTagBase,
+                  "worker received a transport control frame");
+  // Relayed (control-plane) frame: attribute the link to the sender's shard
+  // per our current owner map — best effort under migration, exact otherwise.
+  const std::uint32_t src_shard =
+      header.src_lp < num_lps_ ? owners_[header.src_lp] : shard_;
+  route_inbound(reinterpret_cast<const std::uint8_t*>(payload) -
+                    kFrameHeaderBytes,
+                header, src_shard);
+}
+
+void ShardDriver::handle_peer_frame(std::uint32_t peer,
+                                    const std::uint8_t* frame,
+                                    const FrameHeader& header) {
+  if (header.tag == kTagMigrate) {
+    handle_migrate_in(header, frame + kFrameHeaderBytes);
+    return;
+  }
+  OTW_REQUIRE_MSG(header.tag < kReservedTagBase,
+                  "worker received a transport control frame");
+  route_inbound(frame, header, peer);
 }
 
 void ShardDriver::drain_socket() {
@@ -393,11 +686,74 @@ void ShardDriver::drain_socket() {
     if (in_buf_.size() - pos < kFrameHeaderBytes + header.payload_len) {
       break;  // incomplete frame; keep the tail for the next drain
     }
-    handle_frame(header, in_buf_.data() + pos + kFrameHeaderBytes);
+    handle_coord_frame(header, in_buf_.data() + pos + kFrameHeaderBytes);
     pos += kFrameHeaderBytes + header.payload_len;
   }
   in_buf_.erase(in_buf_.begin(),
                 in_buf_.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+void ShardDriver::drain_links() {
+  if (!mesh_) {
+    return;
+  }
+  std::uint8_t chunk[16384];
+  for (std::uint32_t peer = 0; peer < links_.size(); ++peer) {
+    PeerLink& link = links_[peer];
+    if (link.fd < 0) {
+      continue;
+    }
+    for (;;) {
+      const ssize_t n = ::recv(link.fd, chunk, sizeof chunk, 0);
+      if (n > 0) {
+        link.in.insert(link.in.end(), chunk, chunk + n);
+        continue;
+      }
+      if (n == 0) {
+        throw std::runtime_error("peer shard " + std::to_string(peer) +
+                                 " closed its link");
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("recv (peer link)");
+    }
+    std::size_t pos = 0;
+    while (link.in.size() - pos >= kFrameHeaderBytes) {
+      const FrameHeader header = decode_frame_header(link.in.data() + pos);
+      if (link.in.size() - pos < kFrameHeaderBytes + header.payload_len) {
+        break;
+      }
+      handle_peer_frame(peer, link.in.data() + pos, header);
+      pos += kFrameHeaderBytes + header.payload_len;
+    }
+    link.in.erase(link.in.begin(),
+                  link.in.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+}
+
+void ShardDriver::flush_links() {
+  for (PeerLink& link : links_) {
+    if (link.fd >= 0 && link.out_pending()) {
+      flush_out(link.fd, link.out, link.out_pos, "send (peer link)");
+    }
+  }
+}
+
+void ShardDriver::send_done() {
+  FrameHeader h;
+  h.payload_len = 8;
+  h.tag = kTagDone;
+  h.flags = kFlagControl;
+  h.src_lp = shard_;
+  h.send_ns = aligned_now_ns();
+  std::uint8_t payload[8];
+  std::memcpy(payload, &migrations_in_, 8);
+  send_frame(fd_, h, payload);
+  done_announced_ = true;
 }
 
 void ShardDriver::idle_wait() {
@@ -423,8 +779,18 @@ void ShardDriver::idle_wait() {
                      : std::min<std::uint64_t>(timeout_us,
                                                (next_wake - now) / 1000 + 1);
   }
-  pollfd p{fd_, POLLIN, 0};
-  const int rc = ::poll(&p, 1, static_cast<int>(timeout_us / 1000 + 1));
+  std::vector<pollfd> pfds;
+  pfds.push_back({fd_, POLLIN, 0});
+  for (PeerLink& link : links_) {
+    if (link.fd >= 0) {
+      pfds.push_back({link.fd,
+                      static_cast<short>(POLLIN |
+                                         (link.out_pending() ? POLLOUT : 0)),
+                      0});
+    }
+  }
+  const int rc = ::poll(pfds.data(), pfds.size(),
+                        static_cast<int>(timeout_us / 1000 + 1));
   if (rc < 0 && errno != EINTR) {
     throw_errno("poll");
   }
@@ -452,13 +818,22 @@ void ShardDriver::maybe_send_stats() {
 }
 
 void ShardDriver::run() {
-  std::size_t remaining = lps_.size();
-  while (remaining > 0) {
+  // Star: run until every local LP is Done, then report. Mesh: ownership can
+  // move and frames may need forwarding even after the local set drains, so
+  // run until the coordinator says FINISH (it waits for every shard's DONE
+  // with settled migration counts).
+  for (;;) {
     drain_socket();
+    drain_links();
+    if (mesh_ ? finish_received_ : remaining_ == 0) {
+      break;
+    }
     maybe_send_stats();
+    flush_links();
     bool ran_any = false;
     const std::uint64_t now = now_ns();
-    for (ShardLp& lp : lps_) {
+    for (std::size_t k = 0; k < lps_.size(); ++k) {
+      ShardLp& lp = lps_[k];
       if (lp.status == StepStatus::Done) {
         continue;
       }
@@ -472,15 +847,25 @@ void ShardDriver::run() {
       lp.status = lp.runner->step(ctx);
       ran_any = true;
       if (lp.status == StepStatus::Done) {
-        --remaining;
+        --remaining_;
       }
       if (++totals_.steps > config_.max_steps) {
         throw std::runtime_error("shard exceeded max_steps=" +
                                  std::to_string(config_.max_steps));
       }
     }
-    if (!ran_any && remaining > 0) {
+    if (mesh_ && remaining_ == 0 && !done_announced_) {
+      send_done();
+    }
+    if (!ran_any && (remaining_ > 0 || mesh_)) {
       idle_wait();
+    }
+  }
+  if (mesh_) {
+    OTW_ASSERT(remaining_ == 0);
+    for (const std::deque<std::unique_ptr<EngineMessage>>& stash : pending_in_) {
+      OTW_ASSERT(stash.empty());
+      static_cast<void>(stash);
     }
   }
 }
@@ -495,6 +880,7 @@ void ShardDriver::encode_result(WireWriter& w,
   w.u64(totals_.dist.bytes_sent);
   w.u64(totals_.dist.bytes_received);
   w.u64(totals_.dist.gvt_token_frames);
+  w.u64(totals_.dist.frames_forwarded);
   w.u64(totals_.dist.serialize_ns);
   w.u64(totals_.dist.deserialize_ns);
   w.u32(static_cast<std::uint32_t>(lps_.size()));
@@ -546,41 +932,114 @@ void ShardDriver::encode_result(WireWriter& w,
     if (live.on_worker_start) {
       live.on_worker_start(shard);
     }
+    const bool mesh =
+        config.topology == Topology::Mesh && config.num_shards > 1;
+    // Mesh: bind our own peer listener BEFORE saying HELLO, so the port can
+    // ride in the HELLO payload and every other worker can dial it.
+    int mesh_listen_fd = -1;
+    std::uint16_t mesh_port = 0;
+    if (mesh) {
+      mesh_listen_fd = util::net::listen_loopback(
+          0, static_cast<int>(config.num_shards), mesh_port, kNetCtx);
+    }
     const int fd = util::net::connect_loopback(port, kNetCtx);
     set_nodelay(fd);
 
     // HELLO must be the first (and, until the driver runs, only) frame on
-    // this stream: the coordinator reads exactly one header per connection
-    // to learn which shard it is talking to. send_ns carries our raw clock
-    // (t0); the coordinator answers with a header-only HELLO-ACK whose
-    // send_ns is ITS clock (t_c), read here while the socket is still
-    // blocking. Midpoint estimate: offset = t_c - (t0 + t1)/2, so a worker
-    // clock reading + offset lands in the coordinator's clock domain with
-    // error bounded by RTT/2.
+    // this stream: the coordinator reads exactly one frame per connection
+    // to learn which shard it is talking to. The payload carries our peer
+    // listener port (0 under Star). send_ns carries our raw clock (t0); the
+    // coordinator answers with a HELLO-ACK whose send_ns is ITS clock (t_c)
+    // and whose payload is the peer directory, read here while the socket is
+    // still blocking. Midpoint estimate: offset = t_c - (t0 + t1)/2. The ACK
+    // is batched behind every worker's HELLO (the directory needs them all),
+    // so the initial RTT bound is loose; TIME pings tighten it when the
+    // attribution plane is armed.
     FrameHeader hello;
     hello.tag = kTagHello;
     hello.src_lp = shard;
+    hello.payload_len = 2;
     const std::uint64_t t0 = mono_ns();
     hello.send_ns = t0;
-    send_frame(fd, hello, nullptr);
+    std::uint8_t port_payload[2];
+    std::memcpy(port_payload, &mesh_port, 2);
+    send_frame(fd, hello, port_payload);
     std::uint8_t ack_raw[kFrameHeaderBytes];
     if (!read_exact(fd, ack_raw, kFrameHeaderBytes)) {
       throw std::runtime_error("coordinator closed before HELLO-ACK");
     }
     const std::uint64_t t1 = mono_ns();
     const FrameHeader ack = decode_frame_header(ack_raw);
-    OTW_REQUIRE_MSG(ack.tag == kTagHelloAck && ack.payload_len == 0,
+    OTW_REQUIRE_MSG(ack.tag == kTagHelloAck,
                     "expected HELLO-ACK as the first coordinator frame");
+    std::vector<std::uint8_t> dir(ack.payload_len);
+    if (ack.payload_len > 0 &&
+        !read_exact(fd, dir.data(), ack.payload_len)) {
+      throw std::runtime_error("coordinator closed mid HELLO-ACK");
+    }
     const std::uint64_t rtt = t1 - t0;
     const std::int64_t offset = static_cast<std::int64_t>(ack.send_ns) -
                                 static_cast<std::int64_t>(t0 + rtt / 2);
+
+    // Mesh dial phase, deterministic: shard i dials every j < i (the TCP
+    // accept backlog guarantees those connects succeed even before shard j
+    // reaches accept()), then accepts every j > i. One stream per pair.
+    std::vector<PeerLink> links(config.num_shards);
+    if (mesh) {
+      WireReader r(dir.data(), dir.size());
+      const std::uint32_t n = r.u32();
+      OTW_REQUIRE_MSG(n == config.num_shards,
+                      "peer directory size mismatch in HELLO-ACK");
+      std::vector<std::uint16_t> ports(n);
+      for (std::uint32_t j = 0; j < n; ++j) {
+        ports[j] = r.u16();
+      }
+      OTW_REQUIRE_MSG(r.done(), "trailing bytes after peer directory");
+      for (std::uint32_t j = 0; j < shard; ++j) {
+        const int pfd = util::net::connect_loopback(ports[j], kNetCtx);
+        set_nodelay(pfd);
+        FrameHeader peer_hello;
+        peer_hello.tag = kTagPeerHello;
+        peer_hello.src_lp = shard;
+        send_frame(pfd, peer_hello, nullptr);
+        links[j].fd = pfd;
+      }
+      for (std::uint32_t j = shard + 1; j < config.num_shards; ++j) {
+        int afd;
+        do {
+          afd = ::accept(mesh_listen_fd, nullptr, nullptr);
+        } while (afd < 0 && errno == EINTR);
+        if (afd < 0) {
+          throw_errno("accept (peer link)");
+        }
+        set_nodelay(afd);
+        std::uint8_t raw[kFrameHeaderBytes];
+        if (!read_exact(afd, raw, kFrameHeaderBytes)) {
+          throw std::runtime_error("peer disconnected before PEER-HELLO");
+        }
+        const FrameHeader ph = decode_frame_header(raw);
+        OTW_REQUIRE_MSG(ph.tag == kTagPeerHello && ph.payload_len == 0 &&
+                            ph.src_lp > shard &&
+                            ph.src_lp < config.num_shards &&
+                            links[ph.src_lp].fd < 0,
+                        "malformed PEER-HELLO");
+        links[ph.src_lp].fd = afd;
+      }
+      ::close(mesh_listen_fd);
+      for (PeerLink& link : links) {
+        if (link.fd >= 0) {
+          set_nonblocking(link.fd);
+        }
+      }
+    }
     set_nonblocking(fd);
 
-    ShardDriver driver(shard, config, lps, fd, live, offset, rtt);
+    ShardDriver driver(shard, config, lps, fd, std::move(links), live, offset,
+                       rtt);
     driver.run();
 
     const std::vector<std::uint8_t> blob =
-        harvest ? harvest(shard) : std::vector<std::uint8_t>{};
+        harvest ? harvest(shard, driver.owners()) : std::vector<std::uint8_t>{};
     std::vector<std::uint8_t> payload;
     WireWriter writer(payload);
     driver.encode_result(writer, blob);
@@ -589,6 +1048,30 @@ void ShardDriver::encode_result(WireWriter& w,
     result.tag = kTagResult;
     result.src_lp = shard;
     send_frame(fd, result, payload.data());
+    if (mesh) {
+      // Linger until the coordinator closes (it does once every RESULT is
+      // in): our peer links must stay open as long as any other worker might
+      // still flush toward us, or its writes would die on ECONNRESET.
+      std::uint8_t sink[4096];
+      for (;;) {
+        const ssize_t n = ::recv(fd, sink, sizeof sink, 0);
+        if (n > 0) {
+          continue;  // discard: nothing meaningful follows our RESULT
+        }
+        if (n == 0) {
+          break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          pollfd p{fd, POLLIN, 0};
+          ::poll(&p, 1, -1);
+          continue;
+        }
+        if (errno == EINTR) {
+          continue;
+        }
+        break;  // coordinator already gone; exiting is the right response
+      }
+    }
     ::close(fd);
     ::_exit(0);
   } catch (const std::exception& e) {
@@ -610,36 +1093,23 @@ struct Conn {
   std::vector<std::uint8_t> in;  ///< unparsed inbound bytes
   std::vector<std::uint8_t> out; ///< queued outbound bytes (non-blocking flush)
   std::size_t out_pos = 0;
-  bool done = false;  ///< RESULT received
+  bool done = false;        ///< RESULT received
+  bool done_valid = false;  ///< a DONE is the latest active-set report
+  std::uint64_t done_migrations_in = 0;  ///< migrations_in from that DONE
 
   [[nodiscard]] bool out_pending() const noexcept { return out_pos < out.size(); }
 };
 
 void flush_conn(Conn& conn) {
-  while (conn.out_pending()) {
-    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_pos,
-                             conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
-    if (n > 0) {
-      conn.out_pos += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      return;  // kernel buffer full; POLLOUT will resume
-    }
-    if (n < 0 && errno == EINTR) {
-      continue;
-    }
-    throw_errno("send (relay)");
-  }
-  conn.out.clear();
-  conn.out_pos = 0;
+  flush_out(conn.fd, conn.out, conn.out_pos, "send (relay)");
 }
 
 }  // namespace
 
 EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
                                        HarvestFn harvest,
-                                       LiveStatsHooks live) {
+                                       LiveStatsHooks live,
+                                       MigrationHooks migration) {
   OTW_REQUIRE(!lps.empty());
   for (auto* lp : lps) {
     OTW_REQUIRE(lp != nullptr);
@@ -647,6 +1117,18 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
   OTW_REQUIRE_MSG(config_.num_shards >= 1, "num_shards must be >= 1");
   OTW_REQUIRE_MSG(config_.num_shards <= lps.size(),
                   "more shards than LPs (a shard would be empty)");
+  if (!config_.placement.empty()) {
+    OTW_REQUIRE_MSG(config_.placement.size() == lps.size(),
+                    "placement table must cover every LP");
+    for (std::uint32_t shard : config_.placement) {
+      OTW_REQUIRE_MSG(shard < config_.num_shards,
+                      "placement names a shard that does not exist");
+    }
+  }
+  const bool mesh =
+      config_.topology == Topology::Mesh && config_.num_shards > 1;
+  OTW_REQUIRE_MSG(!migration.enabled() || mesh,
+                  "on-line migration requires the mesh topology");
 
   const std::uint64_t t_start = mono_ns();
   const std::uint32_t num_shards = config_.num_shards;
@@ -682,14 +1164,21 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
   result.dist.num_shards = num_shards;
   result.shard_clocks.assign(num_shards, {});
   result.shard_trace_shift_ns.assign(num_shards, 0);
+  result.final_owners.resize(lps.size());
+  for (LpId lp = 0; lp < lps.size(); ++lp) {
+    result.final_owners[lp] = initial_owner_of(lp, config_);
+  }
 
   try {
     // Phase 1: accept every worker and read its HELLO (always the first
-    // header-sized chunk on the stream) to map connection -> shard, then
-    // answer with a HELLO-ACK stamped with our clock so the worker can
-    // estimate its offset into our clock domain (see worker_main).
+    // frame on the stream, payload = that worker's peer listener port) to
+    // map connection -> shard. Only once ALL HELLOs are in can the peer
+    // directory be assembled, so the HELLO-ACKs — stamped with our clock
+    // for the offset estimate and carrying the directory — go out in a
+    // second sweep.
     std::vector<Conn> conns(num_shards);
     std::vector<int> shard_conn(num_shards, -1);  // shard -> index in conns
+    std::vector<std::uint16_t> mesh_ports(num_shards, 0);
     for (std::uint32_t i = 0; i < num_shards; ++i) {
       int fd;
       do {
@@ -703,26 +1192,88 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
         throw std::runtime_error("worker disconnected before HELLO");
       }
       const FrameHeader hello = decode_frame_header(raw);
-      OTW_REQUIRE_MSG(hello.tag == kTagHello && hello.payload_len == 0,
+      OTW_REQUIRE_MSG(hello.tag == kTagHello && hello.payload_len == 2,
                       "first frame on a worker stream must be HELLO");
       OTW_REQUIRE_MSG(hello.src_lp < num_shards && shard_conn[hello.src_lp] < 0,
                       "duplicate or out-of-range shard HELLO");
+      std::uint8_t port_raw[2];
+      if (!read_exact(fd, port_raw, 2)) {
+        throw std::runtime_error("worker disconnected mid HELLO");
+      }
+      std::memcpy(&mesh_ports[hello.src_lp], port_raw, 2);
       set_nodelay(fd);
-      FrameHeader ack;
-      ack.tag = kTagHelloAck;
-      ack.src_lp = hello.src_lp;
-      ack.send_ns = mono_ns();
-      send_frame(fd, ack, nullptr);  // still blocking: writes through
-      set_nonblocking(fd);
       conns[i].fd = fd;
       conns[i].shard = hello.src_lp;
       shard_conn[hello.src_lp] = static_cast<int>(i);
     }
     ::close(listen_fd);
+    std::vector<std::uint8_t> dir;
+    {
+      WireWriter w(dir);
+      w.u32(num_shards);
+      for (std::uint32_t s = 0; s < num_shards; ++s) {
+        w.u16(mesh_ports[s]);
+      }
+    }
+    for (Conn& conn : conns) {
+      FrameHeader ack;
+      ack.payload_len = static_cast<std::uint32_t>(dir.size());
+      ack.tag = kTagHelloAck;
+      ack.src_lp = conn.shard;
+      ack.send_ns = mono_ns();
+      send_frame(conn.fd, ack, dir.data());  // still blocking: writes through
+      set_nonblocking(conn.fd);
+    }
 
-    // Phase 2: relay loop. Read frames in arrival order and forward data
-    // frames to the destination shard — this order-preserving relay is what
-    // keeps every (src,dst) stream non-overtaking end to end.
+    // Control-plane state: the authoritative owner map (placement + applied
+    // rebinds) and the migration protocol.
+    std::vector<std::uint32_t>& owners = result.final_owners;
+    std::vector<std::uint32_t> epochs(lps.size(), 0);
+    std::vector<std::uint64_t> expected_in(num_shards, 0);
+    std::uint32_t next_epoch = 1;
+    bool migration_inflight = false;
+    bool any_done = false;
+    bool finish_sent = false;
+    const std::uint64_t decide_period_ns =
+        static_cast<std::uint64_t>(migration.period_ms) * 1'000'000;
+    std::uint64_t next_decide_ns =
+        migration.enabled() ? mono_ns() + decide_period_ns : kNever;
+
+    const auto broadcast = [&](const FrameHeader& h,
+                               const std::uint8_t* payload) {
+      for (Conn& conn : conns) {
+        if (conn.done) {
+          continue;
+        }
+        queue_frame(conn.out, h, payload);
+        flush_conn(conn);
+      }
+    };
+    // FINISH once every worker's latest DONE is present and its reported
+    // migrations_in matches the number of LPs rebound TO it — an
+    // order-independent settledness check: a destination's stale DONE (sent
+    // before its MIGRATE arrived) can never satisfy it.
+    const auto try_finish = [&] {
+      if (!mesh || finish_sent || migration_inflight) {
+        return;
+      }
+      for (const Conn& conn : conns) {
+        if (!conn.done_valid ||
+            conn.done_migrations_in != expected_in[conn.shard]) {
+          return;
+        }
+      }
+      FrameHeader fin;
+      fin.tag = kTagFinish;
+      fin.flags = kFlagControl;
+      broadcast(fin, nullptr);
+      finish_sent = true;
+    };
+
+    // Phase 2: control loop. Star relays every frame in arrival order (the
+    // order-preserving relay is the FIFO guarantee); Mesh only sees control
+    // frames here — GVT tokens/announces routed by the owner map — plus the
+    // migration protocol (DONE/MIGRATED in, MIGRATE_CMD/REBIND/FINISH out).
     std::uint32_t results = 0;
     std::vector<pollfd> pfds(num_shards);
     while (results < num_shards) {
@@ -732,12 +1283,45 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
             static_cast<short>(POLLIN | (conns[i].out_pending() ? POLLOUT : 0));
         pfds[i].revents = 0;
       }
-      const int rc = ::poll(pfds.data(), pfds.size(), -1);
+      int timeout_ms = -1;
+      if (migration.enabled() && !any_done && !finish_sent &&
+          !migration_inflight) {
+        const std::uint64_t now = mono_ns();
+        timeout_ms = next_decide_ns <= now
+                         ? 0
+                         : static_cast<int>((next_decide_ns - now) / 1'000'000 + 1);
+      }
+      const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
       if (rc < 0) {
         if (errno == EINTR) {
           continue;
         }
         throw_errno("poll (relay)");
+      }
+      if (migration.enabled() && !any_done && !finish_sent &&
+          !migration_inflight && mono_ns() >= next_decide_ns) {
+        next_decide_ns = mono_ns() + decide_period_ns;
+        const std::optional<MigrationDecision> d = migration.decide(owners);
+        if (d.has_value()) {
+          OTW_REQUIRE_MSG(d->lp < lps.size() && d->to_shard < num_shards &&
+                              owners[d->lp] != d->to_shard,
+                          "invalid migration decision");
+          std::vector<std::uint8_t> cmd;
+          WireWriter w(cmd);
+          w.u32(d->lp);
+          w.u32(d->to_shard);
+          w.u32(next_epoch++);
+          FrameHeader h;
+          h.payload_len = static_cast<std::uint32_t>(cmd.size());
+          h.tag = kTagMigrateCmd;
+          h.flags = kFlagControl;
+          h.dst_lp = d->lp;
+          Conn& src =
+              conns[static_cast<std::size_t>(shard_conn[owners[d->lp]])];
+          queue_frame(src.out, h, cmd.data());
+          flush_conn(src);
+          migration_inflight = true;
+        }
       }
       for (std::uint32_t i = 0; i < num_shards; ++i) {
         Conn& conn = conns[i];
@@ -759,8 +1343,9 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
             continue;
           }
           if (n == 0) {
-            // The worker closes right after its RESULT; the frame may still
-            // be sitting unparsed in conn.in, so only fail after parsing.
+            // The worker may close right after its RESULT; the frame may
+            // still be sitting unparsed in conn.in, so only fail after
+            // parsing.
             eof = true;
             break;
           }
@@ -792,6 +1377,7 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
             shard_stats.bytes_sent = reader.u64();
             shard_stats.bytes_received = reader.u64();
             shard_stats.gvt_token_frames = reader.u64();
+            shard_stats.frames_forwarded = reader.u64();
             shard_stats.serialize_ns = reader.u64();
             shard_stats.deserialize_ns = reader.u64();
             result.dist.add(shard_stats);
@@ -800,7 +1386,8 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
               const std::uint32_t lp = reader.u32();
               const std::uint64_t busy = reader.u64();
               OTW_REQUIRE(lp < result.lp_busy_ns.size());
-              result.lp_busy_ns[lp] = busy;
+              // += not =: a migrated LP accrues busy time on both shards.
+              result.lp_busy_ns[lp] += busy;
             }
             const std::uint32_t blob_len = reader.u32();
             payloads_[conn.shard].resize(blob_len);
@@ -878,11 +1465,54 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
             conn.out.insert(conn.out.end(), echo_frame,
                             echo_frame + sizeof echo_frame);
             flush_conn(conn);
+          } else if (header.tag == kTagDone) {
+            OTW_REQUIRE_MSG(mesh && header.payload_len == 8,
+                            "unexpected DONE frame");
+            conn.done_valid = true;
+            std::memcpy(&conn.done_migrations_in, frame + kFrameHeaderBytes, 8);
+            any_done = true;
+            try_finish();
+          } else if (header.tag == kTagMigrated) {
+            OTW_REQUIRE_MSG(mesh && migration_inflight,
+                            "unexpected MIGRATED frame");
+            WireReader reader(frame + kFrameHeaderBytes, header.payload_len);
+            const LpId lp = reader.u32();
+            const std::uint32_t to = reader.u32();
+            const std::uint32_t epoch = reader.u32();
+            const std::uint8_t accepted = reader.u8();
+            OTW_REQUIRE_MSG(reader.done() && lp < lps.size() &&
+                                to < num_shards,
+                            "malformed MIGRATED frame");
+            migration_inflight = false;
+            if (accepted != 0) {
+              ++result.dist.migrations;
+              if (epoch > epochs[lp]) {
+                epochs[lp] = epoch;
+                owners[lp] = to;
+              }
+              ++expected_in[to];
+              std::vector<std::uint8_t> rebind;
+              WireWriter w(rebind);
+              w.u32(lp);
+              w.u32(to);
+              w.u32(epoch);
+              FrameHeader h;
+              h.payload_len = static_cast<std::uint32_t>(rebind.size());
+              h.tag = kTagRebind;
+              h.flags = kFlagControl;
+              h.dst_lp = lp;
+              broadcast(h, rebind.data());
+            }
+            try_finish();
           } else {
             OTW_REQUIRE_MSG(header.tag < kReservedTagBase,
                             "unexpected control frame from worker");
-            const std::uint32_t dst_shard =
-                shard_of_lp(header.dst_lp, num_shards);
+            // Under Mesh the data plane bypasses the coordinator entirely;
+            // only control-plane (GVT) frames may still be relayed here.
+            OTW_REQUIRE_MSG(!mesh || (header.flags & kFlagControl) != 0,
+                            "data frame relayed under mesh topology");
+            OTW_REQUIRE(header.dst_lp < lps.size());
+            const std::uint32_t dst_shard = owners[header.dst_lp];
             OTW_REQUIRE(dst_shard < num_shards);
             Conn& target = conns[static_cast<std::size_t>(shard_conn[dst_shard])];
             target.out.insert(target.out.end(), frame, frame + frame_len);
@@ -916,7 +1546,7 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
     }
 
     for (Conn& conn : conns) {
-      ::close(conn.fd);
+      ::close(conn.fd);  // mesh workers linger on this close before exiting
       conn.fd = -1;
     }
   } catch (...) {

@@ -1,13 +1,32 @@
 // Multi-process engine: LPs sharded across worker processes over TCP.
 //
-// The coordinator (the calling process) binds a loopback TCP listener,
-// forks one worker process per shard, and then acts as a frame router:
-// every worker holds exactly one ordered stream to the coordinator, and the
-// coordinator forwards each data frame to the shard owning its destination
-// LP in arrival order. Per-(src,dst) FIFO therefore holds end to end —
-// sender-side stream order, in-order relay, receiver-side stream order —
-// which is the non-overtaking guarantee the Time Warp kernel requires (an
-// anti-message can never overtake its positive message).
+// The coordinator (the calling process) binds a loopback TCP listener and
+// forks one worker process per shard. Two data-plane topologies:
+//
+//   Topology::Mesh (default) — workers hold direct TCP links to every other
+//       worker, dialed at startup from a coordinator-brokered peer directory
+//       (each HELLO carries the worker's own listener port; the HELLO-ACK
+//       answers with the full port table). Data frames travel one hop on the
+//       (src,dst) peer link; the coordinator keeps only control-plane duties
+//       (HELLO/RESULT/STATS, GVT tokens and announces, clock pings, the
+//       flight-recorder feed, and the migration protocol below).
+//
+//   Topology::Star — every frame transits the coordinator relay in arrival
+//       order (the legacy data plane, kept for A/B comparisons; it is the
+//       scaling ceiling BENCH_distributed.json documents).
+//
+// Both topologies preserve per-(src,dst) FIFO — one ordered TCP stream per
+// directed pair (a peer link, or the in-order relay) — which is the
+// non-overtaking guarantee the Time Warp kernel requires (an anti-message
+// can never overtake its positive message on the same path).
+//
+// LP -> shard placement is a table (DistributedConfig::placement, filled by
+// a partitioner or defaulting to round-robin), and under Mesh it can change
+// mid-run: the coordinator may order an LP migrated (MigrationHooks), the
+// source shard freezes it at a GVT cut and ships it over the peer link in a
+// MIGRATE frame, and the coordinator rebinds routing with an epoch-tagged
+// REBIND broadcast. Owner maps only ever advance to higher epochs, so
+// forwarding chains for in-flight frames are acyclic and terminate.
 //
 // Inside one worker, a single-threaded shard driver round-robins the local
 // LPs exactly like the other engines: local cross-LP messages move through
@@ -27,6 +46,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "otw/obs/trace.hpp"
@@ -35,11 +56,30 @@
 
 namespace otw::platform {
 
+class WireReader;
+class WireWriter;
+
+/// Data-plane shape of the distributed engine. Control frames always go
+/// through the coordinator regardless of topology.
+enum class Topology : std::uint8_t {
+  Star,  ///< all frames relayed by the coordinator (legacy data plane)
+  Mesh,  ///< direct shard-to-shard links; coordinator is control-plane only
+};
+
 struct DistributedConfig {
-  /// Worker processes. LP -> shard placement is round-robin (lp % num_shards)
-  /// so the GVT token ring alternates shards — the adversarial layout for
-  /// the wire protocol, and the one that matches PHOLD's object placement.
+  /// Worker processes. Default LP -> shard placement is round-robin
+  /// (lp % num_shards) so the GVT token ring alternates shards — the
+  /// adversarial layout for the wire protocol; `placement` overrides it.
   std::uint32_t num_shards = 2;
+  /// Data-plane topology. Mesh is the default; Star is kept for A/B
+  /// comparisons and as the BENCH_distributed.json baseline.
+  Topology topology = Topology::Mesh;
+  /// Initial LP -> shard table (index = LpId). Empty = round-robin
+  /// (shard_of_lp). When set, must cover every LP with shard < num_shards;
+  /// a partitioner (tw/partition.hpp) fills this from the model's send
+  /// graph. Migration updates ownership at run time; this stays the
+  /// *initial* placement.
+  std::vector<std::uint32_t> placement;
   /// TCP port for the coordinator's loopback listener; 0 picks an ephemeral
   /// port (the default — no clashes between concurrent runs).
   std::uint16_t port = 0;
@@ -62,6 +102,58 @@ struct DistributedConfig {
                                                   std::uint32_t num_shards) noexcept {
   return lp % num_shards;
 }
+
+/// Initial owner of `lp` under `config`: the placement table when present,
+/// round-robin otherwise. Run-time ownership (after migrations) lives in the
+/// engine's epoch-tagged owner map, not here.
+[[nodiscard]] inline std::uint32_t initial_owner_of(
+    LpId lp, const DistributedConfig& config) noexcept {
+  if (lp < config.placement.size()) {
+    return config.placement[lp];
+  }
+  return shard_of_lp(lp, config.num_shards);
+}
+
+/// Implemented by LP runners that can be moved between shards mid-run. The
+/// engine freezes the LP on the source shard (migrate_out serializes its
+/// whole dynamic state into a MIGRATE frame payload; the LP must roll back
+/// to its GVT cut and drain in-flight local work first) and revives it on
+/// the destination (migrate_in consumes the same byte stream). Both run
+/// between step() calls, with `ctx` bound to the calling shard's driver.
+/// migrate_out returns false to decline the move (the LP completed while
+/// draining its backlog); the writer's partial output is then discarded.
+class MigratableLp {
+ public:
+  virtual ~MigratableLp() = default;
+  [[nodiscard]] virtual bool migrate_out(LpContext& ctx, WireWriter& writer) = 0;
+  virtual void migrate_in(LpContext& ctx, WireReader& reader) = 0;
+};
+
+/// One migration order: move `lp` to shard `to_shard`.
+struct MigrationDecision {
+  LpId lp = 0;
+  std::uint32_t to_shard = 0;
+};
+
+/// On-line migration control (Mesh only). When enabled, the coordinator
+/// calls `decide` every period_ms with the current owner map; a returned
+/// decision triggers the MIGRATE_CMD -> MIGRATE -> MIGRATED -> REBIND
+/// sequence. At most one migration is in flight at a time, and the
+/// coordinator stops deciding once any shard first drains (endgame).
+struct MigrationHooks {
+  /// Decision cadence; 0 disables migration entirely.
+  std::uint32_t period_ms = 0;
+  /// Coordinator side: pick the next migration, or nullopt to hold.
+  /// `owners[lp]` is the current owner shard. Must not pick an LP whose
+  /// owner equals the target. Called on the relay loop thread.
+  std::function<std::optional<MigrationDecision>(
+      const std::vector<std::uint32_t>& owners)>
+      decide;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return period_ms > 0 && static_cast<bool>(decide);
+  }
+};
 
 /// Live health streaming over the worker<->coordinator streams: when
 /// period_ms > 0, every worker emits a STATS control frame (tag 0xFF03)
@@ -109,18 +201,23 @@ struct LiveStatsHooks {
 class DistributedEngine {
  public:
   /// Serializes whatever the caller wants back from a finished shard
-  /// (invoked in the worker process, once all its LPs are Done).
-  using HarvestFn = std::function<std::vector<std::uint8_t>(std::uint32_t shard)>;
+  /// (invoked in the worker process, once all its LPs are Done). `owners`
+  /// is the LP -> shard map at harvest time; with migration enabled a shard
+  /// may finish owning LPs its initial placement never gave it.
+  using HarvestFn = std::function<std::vector<std::uint8_t>(
+      std::uint32_t shard, const std::vector<std::uint32_t>& owners)>;
 
-  explicit DistributedEngine(DistributedConfig config) : config_(config) {}
+  explicit DistributedEngine(DistributedConfig config)
+      : config_(std::move(config)) {}
 
   /// Drives all LPs to completion across config.num_shards processes.
   /// Returns in the coordinator only; worker processes _exit() internally.
   /// Throws std::runtime_error on socket failures, worker crashes or step
   /// overrun. `harvest` may be null (no shard payloads collected); `live`
-  /// may be default (no STATS streaming).
+  /// may be default (no STATS streaming); `migration` may be default (static
+  /// placement; requires Topology::Mesh when enabled).
   EngineRunResult run(const std::vector<LpRunner*>& lps, HarvestFn harvest,
-                      LiveStatsHooks live = {});
+                      LiveStatsHooks live = {}, MigrationHooks migration = {});
 
   /// Opaque per-shard payloads produced by the harvest callback, indexed by
   /// shard id. Valid after run() returns. (Per-shard wire trace logs, when

@@ -167,10 +167,12 @@ struct DistStats {
   std::uint64_t frames_sent = 0;       ///< frames written to the socket
   std::uint64_t frames_received = 0;   ///< frames decoded from the socket
   std::uint64_t frames_relayed = 0;    ///< frames forwarded by the coordinator
+  std::uint64_t frames_forwarded = 0;  ///< frames a worker re-shipped to the owner (stale routing epoch)
   std::uint64_t bytes_sent = 0;        ///< header + payload bytes written
   std::uint64_t bytes_received = 0;    ///< header + payload bytes decoded
   std::uint64_t gvt_token_frames = 0;  ///< control frames (GVT tokens/announces)
   std::uint64_t stats_frames = 0;      ///< live STATS frames the coordinator absorbed
+  std::uint64_t migrations = 0;        ///< LPs moved between shards mid-run
   std::uint64_t serialize_ns = 0;      ///< wall time spent encoding payloads
   std::uint64_t deserialize_ns = 0;    ///< wall time spent decoding payloads
 
@@ -178,10 +180,12 @@ struct DistStats {
     frames_sent += other.frames_sent;
     frames_received += other.frames_received;
     frames_relayed += other.frames_relayed;
+    frames_forwarded += other.frames_forwarded;
     bytes_sent += other.bytes_sent;
     bytes_received += other.bytes_received;
     gvt_token_frames += other.gvt_token_frames;
     stats_frames += other.stats_frames;
+    migrations += other.migrations;
     serialize_ns += other.serialize_ns;
     deserialize_ns += other.deserialize_ns;
   }
@@ -228,6 +232,11 @@ struct EngineRunResult {
   /// trace timestamps onto the coordinator's run-relative timeline (already
   /// applied to worker_traces; the kernel applies it to harvested LP traces).
   std::vector<std::int64_t> shard_trace_shift_ns;
+  /// LP -> shard ownership at run end (distributed engine only; index =
+  /// LpId). Equals the initial placement unless on-line migration moved LPs;
+  /// the kernel keys its harvest merge and trace rebasing on this, never on
+  /// the static placement.
+  std::vector<std::uint32_t> final_owners;
 };
 
 }  // namespace otw::platform

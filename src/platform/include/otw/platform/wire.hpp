@@ -43,6 +43,33 @@ using WireTag = std::uint16_t;
 inline constexpr WireTag kNoWireTag = 0;
 inline constexpr WireTag kReservedTagBase = 0xFF00;
 
+// Transport-reserved control tags (>= kReservedTagBase, never in the
+// registry). DESIGN.md section 8b documents this table; tools/check_docs.py
+// fails the build when they drift apart.
+inline constexpr WireTag kTagHello = 0xFF01;       ///< worker -> coordinator: src_lp = shard, payload u16 mesh port
+inline constexpr WireTag kTagResult = 0xFF02;      ///< worker -> coordinator: shard summary + harvest blob
+inline constexpr WireTag kTagStats = 0xFF03;       ///< worker -> coordinator: live snapshot
+inline constexpr WireTag kTagHelloAck = 0xFF04;    ///< coordinator -> worker: send_ns = t_c, payload = peer directory
+inline constexpr WireTag kTagTime = 0xFF05;        ///< clock refresh ping / echo
+inline constexpr WireTag kTagMigrateCmd = 0xFF06;  ///< coordinator -> source shard: freeze + ship one LP
+inline constexpr WireTag kTagMigrate = 0xFF07;     ///< source -> destination peer link: serialized LP (dst_lp = LP id)
+inline constexpr WireTag kTagMigrated = 0xFF08;    ///< source -> coordinator: migration complete, rebind now
+inline constexpr WireTag kTagRebind = 0xFF09;      ///< coordinator -> all workers: epoch-tagged owner update
+inline constexpr WireTag kTagPeerHello = 0xFF0A;   ///< identity frame on a freshly dialed peer link (src_lp = shard)
+inline constexpr WireTag kTagDone = 0xFF0B;        ///< worker -> coordinator: local active set drained, payload u64 migrations_in
+inline constexpr WireTag kTagFinish = 0xFF0C;      ///< coordinator -> all workers: harvest and report RESULT
+
+/// Field names of the MIGRATE frame payload, in wire order (nested: the
+/// `runtimes` group repeats per object runtime, `pending` is that runtime's
+/// unprocessed event list). DESIGN.md section 8b documents the layout;
+/// tools/check_docs.py cross-checks every name listed here against it.
+inline constexpr const char* kMigrateFrameFields[] = {
+    "epoch",      "gvt",          "gvt_agent",    "lp_stats",
+    "events_total", "samples",    "runtimes",     "object",
+    "lvt",        "last_position", "instance_seq", "state",
+    "object_stats", "object_samples", "pending",
+};
+
 /// Append-only little-endian encoder.
 class WireWriter {
  public:

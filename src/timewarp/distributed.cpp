@@ -4,7 +4,6 @@
 // Done; the merge half runs in the coordinator. Fork guarantees both halves
 // share one ABI, so trivially-copyable stats ship as raw bytes and only the
 // types holding heap state (ObjectStats' histogram) are encoded field-wise.
-#include <bit>
 #include <chrono>
 #include <cstring>
 #include <exception>
@@ -17,6 +16,7 @@
 #include "otw/tw/wire.hpp"
 #include "otw/util/assert.hpp"
 #include "otw/util/net.hpp"
+#include "wire_codec_internal.hpp"
 
 namespace otw::tw::detail {
 
@@ -30,102 +30,18 @@ static_assert(std::is_trivially_copyable_v<obs::PhaseTotals>);
 static_assert(std::is_trivially_copyable_v<LpSample>);
 static_assert(std::is_trivially_copyable_v<ObjectSample>);
 
-template <typename T>
-void write_pod(WireWriter& w, const T& value) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  w.bytes(&value, sizeof value);
-}
-
-template <typename T>
-[[nodiscard]] T read_pod(WireReader& r) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  T value{};
-  r.bytes(&value, sizeof value);
-  return value;
-}
-
-template <typename T>
-void write_pod_vector(WireWriter& w, const std::vector<T>& values) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  w.u32(static_cast<std::uint32_t>(values.size()));
-  w.bytes(values.data(), values.size() * sizeof(T));
-}
-
-template <typename T>
-[[nodiscard]] std::vector<T> read_pod_vector(WireReader& r) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  std::vector<T> values(r.u32());
-  r.bytes(values.data(), values.size() * sizeof(T));
-  return values;
-}
-
-void encode_object_stats(WireWriter& w, const ObjectStats& s) {
-  w.u64(s.events_processed);
-  w.u64(s.events_committed);
-  w.u64(s.events_rolled_back);
-  w.u64(s.rollbacks);
-  w.u64(s.coast_forward_events);
-  w.u64(s.states_saved);
-  w.u64(s.state_restores);
-  w.u64(s.messages_sent);
-  w.u64(s.anti_messages_sent);
-  w.u64(s.anti_messages_received);
-  w.u64(s.stragglers);
-  w.u64(s.lazy_hits);
-  w.u64(s.lazy_misses);
-  w.u64(s.passive_hits);
-  w.u64(s.passive_misses);
-  w.u64(s.cancellation_switches);
-  w.u64(s.checkpoint_control_ticks);
-  w.u32(s.final_checkpoint_interval);
-  w.u8(static_cast<std::uint8_t>(s.final_mode));
-  w.u64(std::bit_cast<std::uint64_t>(s.final_hit_ratio));
-  w.u32(static_cast<std::uint32_t>(s.rollback_length.num_buckets()));
-  for (std::size_t i = 0; i < s.rollback_length.num_buckets(); ++i) {
-    w.u64(s.rollback_length.bucket(i));
-  }
-}
-
-[[nodiscard]] ObjectStats decode_object_stats(WireReader& r) {
-  ObjectStats s;
-  s.events_processed = r.u64();
-  s.events_committed = r.u64();
-  s.events_rolled_back = r.u64();
-  s.rollbacks = r.u64();
-  s.coast_forward_events = r.u64();
-  s.states_saved = r.u64();
-  s.state_restores = r.u64();
-  s.messages_sent = r.u64();
-  s.anti_messages_sent = r.u64();
-  s.anti_messages_received = r.u64();
-  s.stragglers = r.u64();
-  s.lazy_hits = r.u64();
-  s.lazy_misses = r.u64();
-  s.passive_hits = r.u64();
-  s.passive_misses = r.u64();
-  s.cancellation_switches = r.u64();
-  s.checkpoint_control_ticks = r.u64();
-  s.final_checkpoint_interval = r.u32();
-  s.final_mode = static_cast<core::CancellationMode>(r.u8());
-  s.final_hit_ratio = std::bit_cast<double>(r.u64());
-  std::vector<std::uint64_t> buckets(r.u32());
-  for (std::uint64_t& bucket : buckets) {
-    bucket = r.u64();
-  }
-  s.rollback_length = util::Log2Histogram::from_buckets(std::move(buckets));
-  return s;
-}
-
-/// Serializes every LP this shard owns (runs in the worker process).
-void encode_shard(WireWriter& w, const Assembly& assembly,
-                  std::uint32_t shard, std::uint32_t num_shards) {
+/// Serializes every LP this shard owns at harvest time (runs in the worker
+/// process). `owners` is the engine's live LP -> shard map: with on-line
+/// migration a shard harvests LPs its initial placement never gave it.
+void encode_shard(WireWriter& w, const Assembly& assembly, std::uint32_t shard,
+                  const std::vector<std::uint32_t>& owners) {
   std::uint32_t n_local = 0;
   for (LpId lp = 0; lp < assembly.lps.size(); ++lp) {
-    n_local += platform::shard_of_lp(lp, num_shards) == shard ? 1 : 0;
+    n_local += owners[lp] == shard ? 1 : 0;
   }
   w.u32(n_local);
   for (LpId lp = 0; lp < assembly.lps.size(); ++lp) {
-    if (platform::shard_of_lp(lp, num_shards) != shard) {
+    if (owners[lp] != shard) {
       continue;
     }
     LogicalProcess& proc = *assembly.lps[lp];
@@ -297,17 +213,105 @@ RunResult run_distributed_impl(const Model& model, const KernelConfig& config,
     server->start();
   }
 
+  // On-line migration: the decide() hook runs on the coordinator's relay
+  // loop every period_ms. Scripted `forced` moves (tests, benches) fire
+  // first — one per control period, no live plane needed. The adaptive path
+  // is the paper's <O,I,S,T,P> loop: observations come from the ClusterView
+  // the STATS stream feeds, the load-balance controller picks (hot, cold)
+  // shards, and the hottest LP on the hot shard is ordered moved.
+  platform::MigrationHooks migration_hooks;
+  struct MigrationState {
+    std::size_t next_forced = 0;
+    core::LoadBalanceController controller;
+    explicit MigrationState(const core::LoadBalanceConfig& lb)
+        : controller(lb) {}
+  };
+  std::shared_ptr<MigrationState> mig_state;
+  if (config.migration.enabled) {
+    migration_hooks.period_ms = config.migration.period_ms;
+    mig_state = std::make_shared<MigrationState>(config.migration.control);
+    const std::vector<std::pair<LpId, std::uint32_t>> forced =
+        config.migration.forced;
+    obs::live::ClusterView* view = cluster.get();
+    migration_hooks.decide =
+        [mig_state, forced, view, num_shards](
+            const std::vector<std::uint32_t>& owners)
+        -> std::optional<platform::MigrationDecision> {
+      MigrationState& state = *mig_state;
+      while (state.next_forced < forced.size()) {
+        const auto [lp, to] = forced[state.next_forced];
+        if (lp < owners.size() && owners[lp] != to) {
+          // Re-issued every period until the owner map shows the move took:
+          // a shard may decline (LP finished, or GVT has not advanced past
+          // zero yet) and the coordinator drops declined epochs on the floor.
+          return platform::MigrationDecision{lp, to};
+        }
+        // Applied (or the partitioner beat us): advance to the next move.
+        ++state.next_forced;
+      }
+      if (view == nullptr) {
+        return std::nullopt;  // adaptive path needs the live plane
+      }
+      // O: per-shard work totals = committed + rolled-back events (wasted
+      // optimism is load too), summed over the LPs each shard currently
+      // owns. A per-LP cell is only written by its owning shard, so LP l is
+      // read from the snapshot of owners[l]; totals travel with migrated
+      // LPs because their stats ship inside the MIGRATE frame.
+      const std::vector<obs::live::LiveSnapshot> snaps = view->shards();
+      std::vector<std::uint64_t> totals(num_shards, 0);
+      std::vector<std::uint64_t> lp_work(owners.size(), 0);
+      for (std::size_t lp = 0; lp < owners.size(); ++lp) {
+        const std::uint32_t owner = owners[lp];
+        if (owner >= snaps.size()) {
+          continue;
+        }
+        for (const obs::live::LpLive& cell : snaps[owner].lps) {
+          if (cell.lp == lp) {
+            lp_work[lp] = cell.counter(obs::live::Counter::EventsCommitted) +
+                          cell.counter(obs::live::Counter::EventsRolledBack);
+            totals[owner] += lp_work[lp];
+            break;
+          }
+        }
+      }
+      const std::optional<core::LoadBalanceOrder> order =
+          state.controller.update(totals);
+      if (!order) {
+        return std::nullopt;
+      }
+      // I: the heaviest LP on the hot shard (cumulative work — a persistent
+      // hotspot dominates its shard's total). Never the shard's last LP:
+      // swapping a singleton's only LP just relabels the imbalance.
+      std::size_t best = owners.size();
+      std::size_t on_hot = 0;
+      for (std::size_t lp = 0; lp < owners.size(); ++lp) {
+        if (owners[lp] != order->hot) {
+          continue;
+        }
+        ++on_hot;
+        if (best == owners.size() || lp_work[lp] > lp_work[best]) {
+          best = lp;
+        }
+      }
+      if (on_hot < 2 || best == owners.size()) {
+        return std::nullopt;
+      }
+      return platform::MigrationDecision{static_cast<LpId>(best),
+                                         order->cold};
+    };
+  }
+
   platform::EngineRunResult engine_result;
   try {
     engine_result = engine.run(
         assembly.runners,
-        [&assembly, num_shards](std::uint32_t shard) {
+        [&assembly](std::uint32_t shard, const std::vector<std::uint32_t>& owners) {
           std::vector<std::uint8_t> blob;
           WireWriter writer(blob);
-          encode_shard(writer, assembly, shard, num_shards);
+          encode_shard(writer, assembly, shard, owners);
           return blob;
         },
-        live_hooks);
+        live_hooks, migration_hooks);
   } catch (const std::exception& e) {
     // Abnormal teardown (a shard died, the relay failed): dump everything
     // we know before surfacing the error — this is the black box's moment.
@@ -355,8 +359,11 @@ RunResult run_distributed_impl(const Model& model, const KernelConfig& config,
       // LP trace timestamps are the owning shard's driver clock; shift them
       // onto the coordinator's run-relative timeline (same rebase the engine
       // applied to its wire tracks) so the merged Chrome trace and the
-      // analysis cascade walk are clock-aligned across shards.
-      const std::uint32_t shard = platform::shard_of_lp(lp, num_shards);
+      // analysis cascade walk are clock-aligned across shards. Keyed on the
+      // FINAL owner: that is the shard whose recorder drained this trace.
+      const std::uint32_t shard = lp < engine_result.final_owners.size()
+                                      ? engine_result.final_owners[lp]
+                                      : platform::shard_of_lp(lp, num_shards);
       const std::int64_t shift =
           shard < engine_result.shard_trace_shift_ns.size()
               ? engine_result.shard_trace_shift_ns[shard]

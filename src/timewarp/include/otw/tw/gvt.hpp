@@ -68,6 +68,38 @@ class GvtAgent {
   [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
   [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
 
+  /// Migration codec: the Mattern counters ARE part of an LP's dynamic state
+  /// (the white/black balances must move with the LP or the cut never
+  /// closes). Ring identity (self/num_lps/period) is reconstructed from
+  /// config on the destination, so only the counters travel.
+  template <typename Writer>
+  void export_state(Writer& w) const {
+    w.u8(color_);
+    w.u64(static_cast<std::uint64_t>(sent_[0]));
+    w.u64(static_cast<std::uint64_t>(sent_[1]));
+    w.u64(static_cast<std::uint64_t>(received_[0]));
+    w.u64(static_cast<std::uint64_t>(received_[1]));
+    w.u64(min_red_send_.ticks());
+    w.u8(epoch_active_ ? 1 : 0);
+    w.u64(events_since_epoch_);
+    w.u64(epochs_);
+    w.u64(rounds_);
+  }
+
+  template <typename Reader>
+  void import_state(Reader& r) {
+    color_ = r.u8();
+    sent_[0] = static_cast<std::int64_t>(r.u64());
+    sent_[1] = static_cast<std::int64_t>(r.u64());
+    received_[0] = static_cast<std::int64_t>(r.u64());
+    received_[1] = static_cast<std::int64_t>(r.u64());
+    min_red_send_ = VirtualTime{r.u64()};
+    epoch_active_ = r.u8() != 0;
+    events_since_epoch_ = r.u64();
+    epochs_ = r.u64();
+    rounds_ = r.u64();
+  }
+
  private:
   void flip_to_red(std::uint8_t white) noexcept;
   [[nodiscard]] std::int64_t white_balance(std::uint8_t white) const noexcept {

@@ -34,11 +34,28 @@ struct Model {
     std::function<std::unique_ptr<SimulationObject>()> factory;
   };
 
+  /// One edge of the model's send graph: objects `a` and `b` exchange
+  /// events with relative intensity `weight`. Purely advisory — the
+  /// communication-aware partitioner (tw/partition.hpp) minimizes the
+  /// weighted edge cut across shards; models that declare no edges fall
+  /// back to round-robin sharding.
+  struct Edge {
+    ObjectId a = 0;
+    ObjectId b = 0;
+    double weight = 1.0;
+  };
+
   std::vector<ObjectSpec> objects;  ///< index == ObjectId
+  std::vector<Edge> edges;          ///< send-graph affinity (may be empty)
 
   ObjectId add(LpId lp, std::function<std::unique_ptr<SimulationObject>()> factory) {
     objects.push_back(ObjectSpec{lp, std::move(factory)});
     return static_cast<ObjectId>(objects.size() - 1);
+  }
+
+  /// Declares a send-graph edge (order of a/b is irrelevant).
+  void add_edge(ObjectId a, ObjectId b, double weight = 1.0) {
+    edges.push_back(Edge{a, b, weight});
   }
 
   [[nodiscard]] LpId required_lps() const noexcept;

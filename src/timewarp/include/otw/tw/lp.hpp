@@ -8,10 +8,12 @@
 #include <vector>
 
 #include "otw/comm/aggregation.hpp"
+#include "otw/core/load_balance_controller.hpp"
 #include "otw/core/optimism_controller.hpp"
 #include "otw/core/pressure_controller.hpp"
 #include "otw/obs/live.hpp"
 #include "otw/obs/recorder.hpp"
+#include "otw/platform/distributed.hpp"
 #include "otw/platform/engine.hpp"
 #include "otw/tw/gvt.hpp"
 #include "otw/tw/memory_pool.hpp"
@@ -27,6 +29,13 @@ enum class EngineKind : std::uint8_t {
   SimulatedNow,  ///< deterministic modeled network of workstations
   Threaded,      ///< M:N work-stealing scheduler on real threads
   Distributed,   ///< LPs sharded over worker processes + TCP loopback
+};
+
+/// LP -> shard placement policy for the distributed engine (tw/partition.hpp
+/// implements both; the choice is digest-neutral).
+enum class PartitionKind : std::uint8_t {
+  RoundRobin,  ///< lp % num_shards (the adversarial layout for the wire)
+  CommGraph,   ///< greedy edge-cut over the model's declared send graph
 };
 
 struct KernelConfig {
@@ -90,9 +99,31 @@ struct KernelConfig {
     /// Threaded engine: worker threads (0 = one per hardware thread).
     std::uint32_t num_workers = 0;
     /// Distributed engine: worker processes (each owns num_lps/num_shards
-    /// LPs, round-robin).
+    /// LPs under RoundRobin; CommGraph balances by edge cut).
     std::uint32_t num_shards = 2;
+    /// Distributed data plane: direct peer links (Mesh, the default) or the
+    /// legacy coordinator relay (Star, kept for A/B comparisons).
+    platform::Topology topology = platform::Topology::Mesh;
+    /// Initial LP -> shard placement policy (Distributed only).
+    PartitionKind partition = PartitionKind::CommGraph;
   } engine;
+
+  /// On-line LP migration (Distributed engine, Mesh topology only). The
+  /// coordinator samples per-shard work every period_ms via the live plane,
+  /// feeds the <O,I,S,T,P> load-balance controller (core/
+  /// load_balance_controller.hpp), and past the dead-zoned threshold orders
+  /// the hottest LP on the hottest shard frozen at a GVT cut and shipped to
+  /// the coldest shard. The adaptive path needs the live plane
+  /// (observability.live) for its observations; `forced` works without it.
+  struct Migration {
+    bool enabled = false;
+    /// Control period P: how often the coordinator evaluates the controller.
+    std::uint32_t period_ms = 20;
+    core::LoadBalanceConfig control;
+    /// Scripted moves (tests/benches): each (lp, to_shard) fires on its own
+    /// control period, in order, before the adaptive controller runs.
+    std::vector<std::pair<LpId, std::uint32_t>> forced;
+  } migration;
 
   /// Copy of this config running on `kind`; `size` (when non-zero) sets the
   /// engine's parallelism — num_workers for Threaded, num_shards for
@@ -123,7 +154,9 @@ struct KernelConfig {
   [[nodiscard]] std::vector<std::string> validate() const;
 };
 
-class LogicalProcess final : public platform::LpRunner, public LpServices {
+class LogicalProcess final : public platform::LpRunner,
+                             public LpServices,
+                             public platform::MigratableLp {
  public:
   /// @param object_to_lp global ObjectId -> LpId map (shared by all LPs)
   /// @param objects      (global id, object) pairs owned by this LP
@@ -134,6 +167,21 @@ class LogicalProcess final : public platform::LpRunner, public LpServices {
 
   // --- platform::LpRunner ---
   platform::StepStatus step(platform::LpContext& ctx) override;
+
+  // --- platform::MigratableLp ---
+  /// Freezes this LP at the current GVT cut and serializes it into the
+  /// MIGRATE frame body (DESIGN.md section 8b): drains the engine inbox,
+  /// rolls every runtime back to the cut, settles the resulting same-LP
+  /// anti-messages, flushes held sends and aggregation batches, then writes
+  /// gvt / gvt_agent / lp_stats / events_total / samples / runtimes. Returns
+  /// false (declining the move) when the drain completes the LP.
+  [[nodiscard]] bool migrate_out(platform::LpContext& ctx,
+                                 platform::WireWriter& writer) override;
+  /// Rebuilds this LP from a MIGRATE frame body on the destination shard.
+  /// The shipped GVT cut replaces local progress; per-LP controllers restart
+  /// fresh and the restored runtimes checkpoint at Position::before_all().
+  void migrate_in(platform::LpContext& ctx,
+                  platform::WireReader& reader) override;
 
   // --- LpServices (called by ObjectRuntime) ---
   void route(Event&& event) override;

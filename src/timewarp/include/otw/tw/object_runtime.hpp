@@ -17,6 +17,11 @@
 #include "otw/tw/stats.hpp"
 #include "otw/tw/telemetry.hpp"
 
+namespace otw::platform {
+class WireReader;
+class WireWriter;
+}  // namespace otw::platform
+
 namespace otw::tw {
 
 /// Services an ObjectRuntime needs from its logical process.
@@ -116,6 +121,29 @@ class ObjectRuntime final : public ObjectContext {
   /// Commits remaining history and calls the object's finalize().
   void finalize();
 
+  /// First phase of migration: rolls back every processed event at/after
+  /// the GVT cut `gvt` (cancelling their outputs per the cancellation
+  /// strategy) and force-misses the comparison lists. The resulting
+  /// anti-messages may target sibling runtimes of the same LP, so the LP
+  /// freezes ALL of its runtimes first, then drains the deferred local
+  /// deliveries (each anti annihilates a now-unprocessed event — no further
+  /// rollback), and only then serializes: an anti-message must never reach
+  /// an already-serialized sibling.
+  void migration_freeze(VirtualTime gvt);
+
+  /// Second phase: commits the surviving processed prefix in place and
+  /// serializes the runtime's travelling state (the `runtimes` group of the
+  /// MIGRATE frame; DESIGN.md section 8b). Requires migration_freeze() and
+  /// a settled local inbox. After this call the runtime is inert on the
+  /// source shard.
+  void migrate_out(platform::WireWriter& w, VirtualTime gvt);
+
+  /// Migration restore: resets every queue/checkpoint structure and rebuilds
+  /// the runtime from a MIGRATE payload. `gvt` is the same cut; the restored
+  /// state is checkpointed at Position::before_all(), which any legal
+  /// rollback (>= gvt, below every shipped event) can restore.
+  void migrate_in(platform::WireReader& r, VirtualTime gvt);
+
   // --- ObjectContext (application-facing) ---
   [[nodiscard]] ObjectId self() const noexcept override { return id_; }
   [[nodiscard]] VirtualTime now() const noexcept override { return lvt_; }
@@ -193,6 +221,12 @@ class ObjectRuntime final : public ObjectContext {
   /// Copies of aggressively cancelled outputs kept only to maintain HR
   /// ("lazy aggressive hits"); sorted by cause.
   std::vector<OutputEntry> passive_;
+  /// Anti-messages that arrived before their positive message. Impossible
+  /// on a static placement (per-pair FIFO), but a migration rebind can put
+  /// a positive on the old forwarding path while its anti takes the direct
+  /// link. The positive is still in flight, so Mattern's counts pin GVT at
+  /// or below it — the pair annihilates before it can matter.
+  std::vector<Event> early_antis_;
 
   core::CheckpointIntervalController ckpt_;
   core::CancellationController cancel_;

@@ -31,7 +31,7 @@ class InputQueue {
   /// outlive the queue. A null pool uses the global heap.
   explicit InputQueue(SlabPool* pool = nullptr,
                       QueueKind queue = QueueKind::Multiset)
-      : impl_(make_pending_set(queue, pool)) {}
+      : pool_(pool), kind_(queue), impl_(make_pending_set(queue, pool)) {}
 
   // The processed boundary must be maintained across copies; forbid them.
   InputQueue(const InputQueue&) = delete;
@@ -90,7 +90,17 @@ class InputQueue {
   }
   [[nodiscard]] QueueKind kind() const noexcept { return impl_->kind(); }
 
+  /// Every stored event, processed run first in InputOrder, then the
+  /// unprocessed events (the migration codec ships the unprocessed tail).
+  [[nodiscard]] std::vector<Event> snapshot() const { return impl_->snapshot(); }
+
+  /// Discards all contents and the processed boundary, rebuilding an empty
+  /// implementation of the same kind over the same pool (migration restore).
+  void reset() { impl_ = make_pending_set(kind_, pool_); }
+
  private:
+  SlabPool* pool_;
+  QueueKind kind_;
   std::unique_ptr<PendingEventSet> impl_;
 };
 

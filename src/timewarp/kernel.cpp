@@ -6,6 +6,7 @@
 
 #include "kernel_internal.hpp"
 #include "otw/obs/flight.hpp"
+#include "otw/tw/partition.hpp"
 #include "otw/util/assert.hpp"
 #include "otw/util/net.hpp"
 
@@ -435,6 +436,42 @@ std::vector<std::string> KernelConfig::validate() const {
            "no LPs)");
     }
   }
+
+  // --- on-line migration ---
+  if (migration.enabled) {
+    if (engine.kind != EngineKind::Distributed) {
+      fail("migration.enabled requires EngineKind::Distributed (only the "
+           "sharded engine has shards to move LPs between)");
+    }
+    if (engine.topology != platform::Topology::Mesh) {
+      fail("migration.enabled requires the Mesh topology (MIGRATE frames "
+           "travel the shard-to-shard peer links)");
+    }
+    if (engine.num_shards < 2) {
+      fail("migration.enabled requires engine.num_shards >= 2");
+    }
+    if (migration.period_ms == 0) {
+      fail("migration.period_ms must be >= 1 (the controller would spin)");
+    }
+    const auto& lb = migration.control;
+    if (lb.imbalance_threshold <= 1.0) {
+      fail("migration.control.imbalance_threshold must be > 1 (a hot/cold "
+           "ratio of 1 is perfect balance)");
+    }
+    if (lb.dead_zone < 0.0) {
+      fail("migration.control.dead_zone must be >= 0");
+    }
+    for (const auto& [lp, shard] : migration.forced) {
+      if (lp >= num_lps) {
+        fail("migration.forced names LP " + std::to_string(lp) +
+             " outside num_lps");
+      }
+      if (shard >= engine.num_shards) {
+        fail("migration.forced names shard " + std::to_string(shard) +
+             " outside num_shards");
+      }
+    }
+  }
   return errors;
 }
 
@@ -472,6 +509,12 @@ RunResult run(const Model& model, const KernelConfig& config,
     case EngineKind::Distributed: {
       platform::DistributedConfig dist = tuning.distributed;
       dist.num_shards = config.engine.num_shards;
+      dist.topology = config.engine.topology;
+      if (dist.placement.empty()) {
+        dist.placement = partition_lps(model, config.num_lps,
+                                       config.engine.num_shards,
+                                       config.engine.partition);
+      }
       return detail::run_distributed_impl(model, config, dist);
     }
   }

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "otw/platform/wire.hpp"
+#include "otw/tw/wire.hpp"
+#include "wire_codec_internal.hpp"
+
 namespace otw::tw {
 
 ObjectRuntime::ObjectRuntime(ObjectId id, std::unique_ptr<SimulationObject> object,
@@ -202,8 +206,16 @@ void ObjectRuntime::receive(const Event& event) {
                   event.recv_time.ticks());
     }
     const auto status = input_.find_match(event);
-    OTW_REQUIRE_MSG(status != InputQueue::MatchStatus::NotFound,
-                    "anti-message arrived before its positive message");
+    if (status == InputQueue::MatchStatus::NotFound) {
+      // The anti overtook its positive message. Per-pair FIFO makes that
+      // impossible on a static placement, but after a migration rebind the
+      // positive can still be on the old owner's forwarding path while the
+      // anti takes the direct link. Park the anti; the positive is in
+      // flight, so Mattern's counts hold GVT at or below it until the pair
+      // annihilates in the positive branch below.
+      early_antis_.push_back(event);
+      return;
+    }
     if (status == InputQueue::MatchStatus::Processed) {
       rollback(event.position(), event, /*cancel_at_target=*/true);
       // The annihilated event itself was processed and is now undone (the
@@ -216,6 +228,16 @@ void ObjectRuntime::receive(const Event& event) {
     // hit/miss — this is cascaded cancellation, not failed speculation.
     purge_entries_caused_by(event.position());
   } else {
+    if (!early_antis_.empty()) {
+      const auto match = std::find_if(
+          early_antis_.begin(), early_antis_.end(),
+          [&](const Event& anti) { return anti.matches_instance(event); });
+      if (match != early_antis_.end()) {
+        // The parked anti-message meets its positive: annihilate in flight.
+        early_antis_.erase(match);
+        return;
+      }
+    }
     if (input_.insert(event)) {
       ++stats_.stragglers;
       rollback(event.position(), event);
@@ -407,10 +429,134 @@ void ObjectRuntime::fossil_collect(VirtualTime gvt) {
 
 void ObjectRuntime::finalize() {
   OTW_ASSERT(lazy_pending_.empty());
+  OTW_ASSERT(early_antis_.empty());
   stats_.events_committed += input_.processed_count();
   processing_ = true;  // allow finalize() to read state via the context
   object_->finalize(*this);
   processing_ = false;
+}
+
+void ObjectRuntime::migration_freeze(VirtualTime gvt) {
+  OTW_ASSERT(!processing_);
+  // The minimal position with receive time == gvt: it orders before every
+  // real event at/after the cut, and fossil collection keeps a checkpoint
+  // strictly before it (the kept checkpoint's receive time is < gvt).
+  const Position cut{EventKey{gvt, 0, 0}, 0};
+  if (input_.processed_after(cut) > 0) {
+    Event cause;  // synthetic straggler standing in for the freeze order
+    cause.sender = id_;
+    cause.receiver = id_;
+    cause.send_time = gvt;
+    cause.recv_time = gvt;
+    rollback(cut, cause);
+  }
+  // Every surviving comparison entry is a forced miss: the source shard will
+  // not re-execute anything, so premature messages must be cancelled now.
+  // Their receive times are >= gvt (the entries' causes survived fossil
+  // collection at gvt only if still cancellable), so the receivers can still
+  // annihilate them.
+  flush_resolved_before(Position::after_all());
+  OTW_ASSERT(lazy_pending_.empty());
+  OTW_ASSERT(passive_.empty());
+}
+
+void ObjectRuntime::migrate_out(platform::WireWriter& w, VirtualTime gvt) {
+  static_cast<void>(gvt);
+  OTW_ASSERT(lazy_pending_.empty() && passive_.empty());
+  // The processed prefix is final: no rollback can reach below GVT, so these
+  // events are committed here and never shipped. Their effects travel inside
+  // the state snapshot.
+  stats_.events_committed += input_.processed_count();
+  // Remaining output entries have causes below the cut; they can never be
+  // cancelled (rollback below GVT is impossible), so the queue is dropped.
+  w.u32(id_);
+  w.u64(lvt_.ticks());
+  w.u64(current_pos_.key.recv_time.ticks());
+  w.u32(current_pos_.key.sender);
+  w.u64(current_pos_.key.seq);
+  w.u64(current_pos_.instance);
+  w.u64(instance_seq_);
+  const std::byte* raw = current_state_->raw_bytes();
+  OTW_REQUIRE_MSG(raw != nullptr,
+                  "LP migration requires a flat object state (raw_bytes)");
+  const std::size_t state_len = current_state_->byte_size();
+  w.u32(static_cast<std::uint32_t>(state_len));
+  w.bytes(raw, state_len);
+  detail::encode_object_stats(w, snapshot_stats());
+  detail::write_pod_vector(w, trace_);
+  const std::vector<Event> all = input_.snapshot();
+  const std::size_t processed = input_.processed_count();
+  w.u32(static_cast<std::uint32_t>((all.size() - processed) +
+                                   early_antis_.size()));
+  for (std::size_t i = processed; i < all.size(); ++i) {
+    encode_event(w, all[i]);
+  }
+  for (const Event& anti : early_antis_) {
+    encode_event(w, anti);
+  }
+  // Inert on this shard from here on: drop the history wholesale.
+  input_.reset();
+  output_ = OutputQueue{};
+  early_antis_.clear();
+  trace_.clear();
+  stats_ = ObjectStats{};
+}
+
+void ObjectRuntime::migrate_in(platform::WireReader& r, VirtualTime gvt) {
+  // The caller dispatched on the object id; the reader is positioned at lvt.
+  lvt_ = VirtualTime{r.u64()};
+  current_pos_.key.recv_time = VirtualTime{r.u64()};
+  current_pos_.key.sender = r.u32();
+  current_pos_.key.seq = r.u64();
+  current_pos_.instance = r.u64();
+  instance_seq_ = r.u64();
+  const std::uint32_t state_len = r.u32();
+  current_state_ = object_->initial_state();
+  OTW_REQUIRE(current_state_ != nullptr);
+  OTW_REQUIRE_MSG(current_state_->mutable_raw_bytes() != nullptr &&
+                      current_state_->byte_size() == state_len,
+                  "LP migration requires a flat object state of fixed size");
+  r.bytes(current_state_->mutable_raw_bytes(), state_len);
+  stats_ = detail::decode_object_stats(r);
+  trace_ = detail::read_pod_vector<ObjectSample>(r);
+
+  // Fresh history structures; the shipped totals stay in stats_ and the
+  // per-object controllers restart their adaptation from scratch.
+  input_.reset();
+  output_ = OutputQueue{};
+  states_ = make_checkpoint_store(config_.state_saving,
+                                  config_.full_snapshot_interval, &arena_);
+  lazy_pending_.clear();
+  passive_.clear();
+  early_antis_.clear();
+  ckpt_ = core::CheckpointIntervalController(config_.checkpoint_control);
+  cancel_ = core::CancellationController(config_.cancellation);
+  events_since_save_ = 0;
+  events_since_sample_ = 0;
+  sends_this_event_ = 0;
+  processing_ = false;
+  suppress_sends_ = false;
+  gvt_bound_ = gvt;
+
+  const std::uint32_t pending = r.u32();
+  for (std::uint32_t i = 0; i < pending; ++i) {
+    Event event = decode_event(r);
+    if (event.negative) {
+      // A parked early anti travels with the LP; its positive is still in
+      // flight and will be forwarded here by the source's stale-route path.
+      early_antis_.push_back(event);
+    } else {
+      const bool straggler = input_.insert(event);
+      OTW_ASSERT(!straggler);  // the queue is empty: nothing processed yet
+      static_cast<void>(straggler);
+    }
+  }
+
+  // One checkpoint of the shipped state at the minimal position: any legal
+  // rollback target is >= gvt, below every shipped event, and restore_before
+  // always finds this entry. Coast-forward then re-executes only events this
+  // shard processed itself — the committed prefix never shipped.
+  save_state(Position::before_all());
 }
 
 void ObjectRuntime::maybe_checkpoint(const Position& pos) {
@@ -449,7 +595,8 @@ MemoryStats ObjectRuntime::memory_footprint() const noexcept {
   m.output_queue_bytes = output_.size() * sizeof(OutputEntry);
   m.state_bytes = states_->stored_bytes();
   m.pending_bytes =
-      (lazy_pending_.size() + passive_.size()) * sizeof(OutputEntry);
+      (lazy_pending_.size() + passive_.size()) * sizeof(OutputEntry) +
+      early_antis_.size() * sizeof(Event);
   m.live_events = input_.size();
   m.checkpoints = states_->entries();
   return m;
@@ -460,7 +607,9 @@ ObjectStats ObjectRuntime::snapshot_stats() const {
   s.final_checkpoint_interval = checkpoint_interval();
   s.final_mode = cancel_.mode();
   s.final_hit_ratio = cancel_.hit_ratio();
-  s.cancellation_switches = cancel_.switches();
+  // Additive: after a migration stats_ carries the previous incarnation's
+  // switch count and cancel_ only the switches since arrival.
+  s.cancellation_switches += cancel_.switches();
   return s;
 }
 

@@ -1,0 +1,118 @@
+#include "otw/tw/partition.hpp"
+
+#include <algorithm>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::tw {
+
+namespace {
+
+/// Folds object-level edges into a dense LP-affinity matrix (num_lps x
+/// num_lps, row-major). Self-edges (both objects on one LP) carry no cut
+/// cost and are dropped.
+std::vector<double> lp_affinity(const Model& model, LpId num_lps) {
+  std::vector<double> affinity(static_cast<std::size_t>(num_lps) * num_lps, 0.0);
+  for (const Model::Edge& edge : model.edges) {
+    OTW_REQUIRE_MSG(edge.a < model.objects.size() && edge.b < model.objects.size(),
+                    "model edge names an unknown object");
+    const LpId a = model.objects[edge.a].lp;
+    const LpId b = model.objects[edge.b].lp;
+    if (a == b) {
+      continue;
+    }
+    affinity[static_cast<std::size_t>(a) * num_lps + b] += edge.weight;
+    affinity[static_cast<std::size_t>(b) * num_lps + a] += edge.weight;
+  }
+  return affinity;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> partition_lps(const Model& model, LpId num_lps,
+                                         std::uint32_t num_shards,
+                                         PartitionKind kind) {
+  OTW_REQUIRE(num_shards >= 1);
+  OTW_REQUIRE(num_lps >= 1);
+  std::vector<std::uint32_t> placement(num_lps);
+  const auto round_robin = [&] {
+    for (LpId lp = 0; lp < num_lps; ++lp) {
+      placement[lp] = lp % num_shards;
+    }
+  };
+  if (kind == PartitionKind::RoundRobin || num_shards == 1 ||
+      model.edges.empty()) {
+    round_robin();
+    return placement;
+  }
+
+  const std::vector<double> affinity = lp_affinity(model, num_lps);
+  // Balanced capacity: no shard may hold more than ceil(num_lps/num_shards)
+  // LPs, so the edge-cut objective cannot collapse everything onto one
+  // worker (throughput needs the parallelism more than it needs zero cut).
+  const std::uint32_t capacity = (num_lps + num_shards - 1) / num_shards;
+
+  // Greedy placement in decreasing total-affinity order: heavy communicators
+  // choose first, when every shard still has room next to their peers.
+  std::vector<LpId> order(num_lps);
+  for (LpId lp = 0; lp < num_lps; ++lp) {
+    order[lp] = lp;
+  }
+  std::vector<double> total(num_lps, 0.0);
+  for (LpId lp = 0; lp < num_lps; ++lp) {
+    for (LpId other = 0; other < num_lps; ++other) {
+      total[lp] += affinity[static_cast<std::size_t>(lp) * num_lps + other];
+    }
+  }
+  std::stable_sort(order.begin(), order.end(), [&](LpId a, LpId b) {
+    return total[a] > total[b];  // ties keep ascending LP id (stable)
+  });
+
+  std::vector<std::uint32_t> load(num_shards, 0);
+  std::vector<bool> placed(num_lps, false);
+  for (const LpId lp : order) {
+    // Affinity of this LP to each shard's already-placed population.
+    std::uint32_t best = num_shards;
+    double best_gain = -1.0;
+    for (std::uint32_t shard = 0; shard < num_shards; ++shard) {
+      if (load[shard] >= capacity) {
+        continue;
+      }
+      double gain = 0.0;
+      for (LpId other = 0; other < num_lps; ++other) {
+        if (placed[other] && placement[other] == shard) {
+          gain += affinity[static_cast<std::size_t>(lp) * num_lps + other];
+        }
+      }
+      // Strict > : equal gains (including the all-zero first placement)
+      // break toward the lower shard id, with emptier shards preferred so
+      // disconnected components spread instead of stacking on shard 0.
+      if (gain > best_gain ||
+          (gain == best_gain && best < num_shards && load[shard] < load[best])) {
+        best = shard;
+        best_gain = gain;
+      }
+    }
+    OTW_ASSERT(best < num_shards);  // capacities sum to >= num_lps
+    placement[lp] = best;
+    load[best] += 1;
+    placed[lp] = true;
+  }
+  return placement;
+}
+
+double edge_cut(const Model& model, LpId num_lps,
+                const std::vector<std::uint32_t>& placement) {
+  OTW_REQUIRE(placement.size() >= num_lps);
+  double cut = 0.0;
+  for (const Model::Edge& edge : model.edges) {
+    const LpId a = model.objects[edge.a].lp;
+    const LpId b = model.objects[edge.b].lp;
+    if (placement[a] != placement[b]) {
+      cut += edge.weight;
+    }
+  }
+  return cut;
+}
+
+}  // namespace otw::tw

@@ -211,13 +211,20 @@ TEST_P(DistParity, DistributedShardsMatchSequential) {
   const SequentialResult seq = run_sequential(model, s.kernel.end_time);
   ASSERT_GT(seq.events_processed, 0u);
 
+  // Pinned to the star relay with round-robin placement: this suite is the
+  // legacy-data-path baseline that MeshParity below A/Bs against, so it must
+  // keep exercising the coordinator forwarding loop even though the kernel
+  // default is now the peer-to-peer mesh.
+  KernelConfig star = s.kernel;
+  star.engine.topology = platform::Topology::Star;
+  star.engine.partition = PartitionKind::RoundRobin;
   for (const std::uint32_t shards : {2u, 4u}) {
     if (shards > s.kernel.num_lps) {
       continue;  // validate() rejects a shard owning no LPs
     }
     SCOPED_TRACE("shards = " + std::to_string(shards));
     const RunResult r =
-        run(model, s.kernel.with_engine(EngineKind::Distributed, shards));
+        run(model, star.with_engine(EngineKind::Distributed, shards));
     expect_matches(r, seq, "distributed");
     EXPECT_EQ(r.dist.num_shards, shards);
     EXPECT_GT(r.dist.frames_sent, 0u);
@@ -239,6 +246,8 @@ TEST_P(DistParity, AttributionArmedShardsMatchSequential) {
   ASSERT_GT(seq.events_processed, 0u);
 
   KernelConfig armed = s.kernel;
+  armed.engine.topology = platform::Topology::Star;  // baseline data path
+  armed.engine.partition = PartitionKind::RoundRobin;
   armed.observability.live.enabled = true;
   armed.observability.live.histograms = true;
   armed.observability.flight.enabled = true;
@@ -276,6 +285,8 @@ TEST_P(DistParity, DistributedShardsAreQueueKindInvariant) {
   for (const QueueKind kind : {QueueKind::SkipList, QueueKind::LadderQueue}) {
     SCOPED_TRACE(to_string(kind));
     KernelConfig kc = s.kernel;
+    kc.engine.topology = platform::Topology::Star;  // baseline data path
+    kc.engine.partition = PartitionKind::RoundRobin;
     kc.engine.queue = kind;
     expect_matches(run(model, kc.with_engine(EngineKind::Distributed, 2)), seq,
                    "distributed");
@@ -283,6 +294,79 @@ TEST_P(DistParity, DistributedShardsAreQueueKindInvariant) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DistParity,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+/// Fifth differential column: the peer-to-peer mesh data plane — direct
+/// shard-to-shard links dialed from the coordinator's peer directory, with
+/// comm-graph placement — at 2 and 4 shards against the same sequential
+/// ground truth. The A/B counterpart of DistParity's star baseline. Separate
+/// suite name for the same reason as DistParity: it forks, so the tsan-stress
+/// filter must not pick it up.
+class MeshParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MeshParity, MeshShardsMatchSequential) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("meshparity seed = " + std::to_string(seed) +
+               " (re-run: --gtest_filter='*MeshParity*/" +
+               std::to_string(seed) + "')");
+  const DiffSetup s = derive_setup(seed);
+  const Model model = apps::phold::build_model(s.app);
+  const SequentialResult seq = run_sequential(model, s.kernel.end_time);
+  ASSERT_GT(seq.events_processed, 0u);
+
+  KernelConfig mesh = s.kernel;
+  mesh.engine.topology = platform::Topology::Mesh;
+  mesh.engine.partition = PartitionKind::CommGraph;
+  for (const std::uint32_t shards : {2u, 4u}) {
+    if (shards > s.kernel.num_lps) {
+      continue;  // validate() rejects a shard owning no LPs
+    }
+    SCOPED_TRACE("shards = " + std::to_string(shards));
+    const RunResult r =
+        run(model, mesh.with_engine(EngineKind::Distributed, shards));
+    expect_matches(r, seq, "mesh");
+    EXPECT_EQ(r.dist.num_shards, shards);
+    EXPECT_GT(r.dist.frames_sent, 0u);
+    EXPECT_EQ(r.dist.migrations, 0u);  // no controller armed
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeshParity,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+/// On-line migration leg: force a mid-run move of LP 0 between shards and
+/// require the committed digests to stay bit-identical to sequential. The
+/// MIGRATE frame (state + unprocessed inputs + parked antis) plus the
+/// epoch-tagged rebind must hand over every event exactly once — any double
+/// delivery, drop or ordering violation shows up as a digest mismatch.
+/// Round-robin placement pins LP 0's initial owner to shard 0 so the forced
+/// order {0 -> 1} is always a real move. (Forks; name must dodge the
+/// tsan-stress filter.)
+class MigrationParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MigrationParity, ForcedMigrationMatchesSequential) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("migration seed = " + std::to_string(seed) +
+               " (re-run: --gtest_filter='*MigrationParity*/" +
+               std::to_string(seed) + "')");
+  const DiffSetup s = derive_setup(seed);
+  const Model model = apps::phold::build_model(s.app);
+  const SequentialResult seq = run_sequential(model, s.kernel.end_time);
+  ASSERT_GT(seq.events_processed, 0u);
+
+  KernelConfig kc = s.kernel;
+  kc.engine.topology = platform::Topology::Mesh;
+  kc.engine.partition = PartitionKind::RoundRobin;
+  kc.migration.enabled = true;
+  kc.migration.period_ms = 1;
+  kc.migration.forced = {{LpId{0}, 1u}};
+
+  const RunResult r = run(model, kc.with_engine(EngineKind::Distributed, 2));
+  expect_matches(r, seq, "mesh+migration");
+  EXPECT_EQ(r.dist.migrations, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrationParity,
                          ::testing::Range<std::uint64_t>(0, 8));
 
 /// Digest neutrality of the attribution plane on the in-process engines:

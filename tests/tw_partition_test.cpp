@@ -1,0 +1,117 @@
+// Communication-graph partitioner: greedy edge-cut placement of LPs onto
+// shards (tw/partition.hpp). Placement is a pure function of the model's
+// advisory send graph, so these tests check the policy directly: round-robin
+// fallbacks, capacity balance, determinism, and that the greedy pass never
+// cuts more weight than the round-robin layout it replaces on a graph with
+// obvious structure. Digest neutrality of placement itself is covered by the
+// MeshParity differential suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "otw/tw/kernel.hpp"
+#include "otw/tw/partition.hpp"
+
+namespace otw::tw {
+namespace {
+
+/// A model skeleton: `lp_of[i]` places object i; factories are never invoked
+/// by the partitioner.
+Model skeleton(const std::vector<LpId>& lp_of) {
+  Model model;
+  for (const LpId lp : lp_of) {
+    model.add(lp, [] { return std::unique_ptr<SimulationObject>{}; });
+  }
+  return model;
+}
+
+std::vector<std::uint32_t> loads(const std::vector<std::uint32_t>& placement,
+                                 std::uint32_t num_shards) {
+  std::vector<std::uint32_t> load(num_shards, 0);
+  for (const std::uint32_t shard : placement) {
+    ++load[shard];
+  }
+  return load;
+}
+
+TEST(Partition, NoEdgesFallsBackToRoundRobin) {
+  const Model model = skeleton({0, 1, 2, 3, 0, 1});
+  const auto placement = partition_lps(model, 4, 2, PartitionKind::CommGraph);
+  const std::vector<std::uint32_t> expected = {0, 1, 0, 1};
+  EXPECT_EQ(placement, expected);
+}
+
+TEST(Partition, RoundRobinKindIgnoresEdges) {
+  Model model = skeleton({0, 1, 2, 3});
+  model.add_edge(0, 3, 100.0);  // would pull LPs 0 and 3 together
+  const auto placement = partition_lps(model, 4, 2, PartitionKind::RoundRobin);
+  const std::vector<std::uint32_t> expected = {0, 1, 0, 1};
+  EXPECT_EQ(placement, expected);
+}
+
+TEST(Partition, HeavyPairsLandOnTheSameShard) {
+  // Two 2-LP cliques: {0,1} and {2,3} talk internally, nothing crosses.
+  // Round-robin (0,1,0,1) cuts both cliques; the comm-graph pass must not
+  // cut either.
+  Model model = skeleton({0, 1, 2, 3});
+  model.add_edge(0, 1, 5.0);
+  model.add_edge(2, 3, 5.0);
+  const auto placement = partition_lps(model, 4, 2, PartitionKind::CommGraph);
+  EXPECT_EQ(placement[0], placement[1]);
+  EXPECT_EQ(placement[2], placement[3]);
+  EXPECT_NE(placement[0], placement[2]);  // capacity forces two shards
+  EXPECT_EQ(edge_cut(model, 4, placement), 0.0);
+  const auto rr = partition_lps(model, 4, 2, PartitionKind::RoundRobin);
+  EXPECT_EQ(edge_cut(model, 4, rr), 10.0);
+}
+
+TEST(Partition, CapacityKeepsShardsBalanced) {
+  // A star: LP 0 talks to everyone. Zero cut would put all 8 LPs on one
+  // shard; the ceil(n/shards) capacity must spread them 2-2-2-2.
+  Model model = skeleton({0, 1, 2, 3, 4, 5, 6, 7});
+  for (ObjectId o = 1; o < 8; ++o) {
+    model.add_edge(0, o, 1.0);
+  }
+  const auto placement = partition_lps(model, 8, 4, PartitionKind::CommGraph);
+  const auto load = loads(placement, 4);
+  EXPECT_EQ(*std::max_element(load.begin(), load.end()), 2u);
+  EXPECT_EQ(*std::min_element(load.begin(), load.end()), 2u);
+}
+
+TEST(Partition, ObjectEdgesFoldIntoLpAffinity) {
+  // Objects 0..3 on LPs 0..3; object edges at the *object* level must fold
+  // onto the owning LPs, including parallel edges summing their weights.
+  Model model = skeleton({0, 0, 1, 2});
+  model.add_edge(0, 2, 1.0);  // LP0 - LP1
+  model.add_edge(1, 2, 1.0);  // LP0 - LP1 again (parallel at LP level)
+  model.add_edge(0, 1, 9.0);  // same-LP edge: no cut cost, must be ignored
+  model.add_edge(2, 3, 0.5);  // LP1 - LP2
+  const auto placement = partition_lps(model, 3, 2, PartitionKind::CommGraph);
+  // LP0-LP1 affinity (2.0) dominates LP1-LP2 (0.5): 0 and 1 pair up.
+  EXPECT_EQ(placement[0], placement[1]);
+  EXPECT_NE(placement[2], placement[1]);
+  EXPECT_EQ(edge_cut(model, 3, placement), 0.5);
+}
+
+TEST(Partition, PlacementIsDeterministic) {
+  Model model = skeleton({0, 1, 2, 3, 4, 5});
+  model.add_edge(0, 5, 1.0);
+  model.add_edge(1, 4, 1.0);
+  model.add_edge(2, 3, 1.0);
+  const auto a = partition_lps(model, 6, 3, PartitionKind::CommGraph);
+  const auto b = partition_lps(model, 6, 3, PartitionKind::CommGraph);
+  EXPECT_EQ(a, b);
+  const auto load = loads(a, 3);
+  EXPECT_EQ(*std::max_element(load.begin(), load.end()), 2u);
+}
+
+TEST(Partition, SingleShardIsTrivial) {
+  Model model = skeleton({0, 1, 2});
+  model.add_edge(0, 1, 1.0);
+  const auto placement = partition_lps(model, 3, 1, PartitionKind::CommGraph);
+  const std::vector<std::uint32_t> expected = {0, 0, 0};
+  EXPECT_EQ(placement, expected);
+}
+
+}  // namespace
+}  // namespace otw::tw

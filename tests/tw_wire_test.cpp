@@ -4,10 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <deque>
 #include <memory>
 #include <vector>
 
+#include "otw/apps/phold.hpp"
+#include "otw/platform/engine.hpp"
 #include "otw/platform/wire.hpp"
+#include "otw/tw/lp.hpp"
 #include "otw/tw/messages.hpp"
 #include "otw/tw/wire.hpp"
 #include "otw/util/assert.hpp"
@@ -157,6 +161,158 @@ TEST(WireCodec, TruncatedFrameIsACleanError) {
   EXPECT_THROW((void)platform::WireRegistry::instance().decode(kTagEventBatch,
                                                                reader),
                ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// MIGRATE frame: the serialized-LP payload produced by migrate_out and
+// consumed by migrate_in (DESIGN.md section 8b). The differential
+// MigrationParity suite proves semantic parity end-to-end; these tests pin
+// the framing itself — exact consumption on decode, clean rejection of a
+// truncated frame — without forking shard processes.
+
+/// Minimal loopback engine: messages go straight into per-LP queues, the
+/// clock is charge()-driven. Enough LpContext for two LogicalProcesses to
+/// run real GVT rounds against each other in-process.
+class LoopbackMail {
+ public:
+  explicit LoopbackMail(std::size_t n) : queues_(n) {}
+  std::vector<std::deque<std::unique_ptr<platform::EngineMessage>>> queues_;
+};
+
+class LoopbackCtx final : public platform::LpContext {
+ public:
+  LoopbackCtx(LpId self, LoopbackMail& mail) : self_(self), mail_(mail) {}
+
+  [[nodiscard]] LpId self() const noexcept override { return self_; }
+  [[nodiscard]] LpId num_lps() const noexcept override {
+    return static_cast<LpId>(mail_.queues_.size());
+  }
+  [[nodiscard]] std::uint64_t now_ns() const noexcept override { return clock_; }
+  void charge(std::uint64_t ns) noexcept override { clock_ += ns; }
+  void send(LpId dst, std::unique_ptr<platform::EngineMessage> msg) override {
+    mail_.queues_[dst].push_back(std::move(msg));
+  }
+  std::unique_ptr<platform::EngineMessage> poll() override {
+    auto& q = mail_.queues_[self_];
+    if (q.empty()) {
+      return nullptr;
+    }
+    auto msg = std::move(q.front());
+    q.pop_front();
+    return msg;
+  }
+  [[nodiscard]] const platform::CostModel& costs() const noexcept override {
+    static const platform::CostModel kFree = platform::CostModel::free();
+    return kFree;
+  }
+
+ private:
+  LpId self_;
+  LoopbackMail& mail_;
+  std::uint64_t clock_ = 0;
+};
+
+struct MigrateFixture {
+  apps::phold::PholdConfig app;
+  KernelConfig kc;
+  std::vector<LpId> object_to_lp;
+  Model model;
+
+  MigrateFixture() {
+    app.num_objects = 6;
+    app.num_lps = 2;
+    app.population_per_object = 2;
+    app.remote_probability = 0.7;
+    app.mean_delay = 50;
+    app.event_grain_ns = 200;
+    app.seed = 7;
+    kc.num_lps = 2;
+    kc.end_time = VirtualTime{1'000'000};
+    kc.gvt_period_events = 32;
+    model = apps::phold::build_model(app);
+    for (const auto& spec : model.objects) {
+      object_to_lp.push_back(spec.lp);
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<LogicalProcess> make_lp(LpId lp) const {
+    std::vector<std::pair<ObjectId, std::unique_ptr<SimulationObject>>> local;
+    for (ObjectId id = 0; id < model.objects.size(); ++id) {
+      if (model.objects[id].lp == lp) {
+        local.emplace_back(id, model.objects[id].factory());
+      }
+    }
+    return std::make_unique<LogicalProcess>(lp, kc, object_to_lp,
+                                            std::move(local));
+  }
+};
+
+/// Runs both LPs round-robin until GVT has advanced past zero (migration
+/// declines a cut at GVT 0), then serializes LP 0 and restores it into a
+/// fresh incarnation. The decode must consume the payload exactly.
+TEST(WireCodec, MigrateFrameRoundtripsExactly) {
+  const MigrateFixture fx;
+  LoopbackMail mail(2);
+  LoopbackCtx ctx0(0, mail);
+  LoopbackCtx ctx1(1, mail);
+  const auto lp0 = fx.make_lp(0);
+  const auto lp1 = fx.make_lp(1);
+
+  for (int i = 0; i < 10'000 && lp0->gvt() == VirtualTime{0}; ++i) {
+    lp0->step(ctx0);
+    lp1->step(ctx1);
+  }
+  ASSERT_GT(lp0->gvt(), VirtualTime{0}) << "GVT never advanced";
+  ASSERT_GT(lp0->lp_stats().steps, 0u);
+
+  std::vector<std::uint8_t> buf;
+  WireWriter writer(buf);
+  const VirtualTime cut = lp0->gvt();
+  ASSERT_TRUE(lp0->migrate_out(ctx0, writer));
+  ASSERT_FALSE(buf.empty());
+
+  const auto restored = fx.make_lp(0);
+  WireReader reader(buf.data(), buf.size());
+  restored->migrate_in(ctx0, reader);
+  EXPECT_TRUE(reader.done()) << "MIGRATE payload not fully consumed: "
+                             << reader.remaining() << " bytes left";
+  EXPECT_EQ(restored->gvt(), cut);
+  EXPECT_EQ(restored->runtimes().size(), 3u);  // objects 0, 2, 4
+  // LP-level counters travel verbatim (the source keeps its copy).
+  EXPECT_EQ(restored->lp_stats().steps, lp0->lp_stats().steps);
+  EXPECT_EQ(restored->lp_stats().events_sent_remote,
+            lp0->lp_stats().events_sent_remote);
+  EXPECT_FALSE(restored->done());
+}
+
+/// Every truncation point must surface as a clean ContractViolation from the
+/// bounds-checked reader (or a failed frame-shape REQUIRE) — never a crash
+/// or a silently half-restored LP.
+TEST(WireCodec, TruncatedMigrateFrameIsACleanError) {
+  const MigrateFixture fx;
+  LoopbackMail mail(2);
+  LoopbackCtx ctx0(0, mail);
+  LoopbackCtx ctx1(1, mail);
+  const auto lp0 = fx.make_lp(0);
+  const auto lp1 = fx.make_lp(1);
+  for (int i = 0; i < 10'000 && lp0->gvt() == VirtualTime{0}; ++i) {
+    lp0->step(ctx0);
+    lp1->step(ctx1);
+  }
+  ASSERT_GT(lp0->gvt(), VirtualTime{0});
+
+  std::vector<std::uint8_t> buf;
+  WireWriter writer(buf);
+  ASSERT_TRUE(lp0->migrate_out(ctx0, writer));
+
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{7}, buf.size() / 2, buf.size() - 1}) {
+    SCOPED_TRACE("truncated to " + std::to_string(len) + " of " +
+                 std::to_string(buf.size()));
+    const auto victim = fx.make_lp(0);
+    WireReader reader(buf.data(), len);
+    EXPECT_THROW(victim->migrate_in(ctx0, reader), ContractViolation);
+  }
 }
 
 TEST(WireCodec, FrameHeaderRoundtrips) {

@@ -34,6 +34,17 @@ Two checks, both zero-dependency (stdlib only), run by CI's docs-check job:
    (backticked) in DESIGN.md section 10b's pending-event-set tables, so a
    new racing implementation cannot ship undocumented.
 
+7. Control-frame tag drift guard. Every transport-reserved wire tag
+   (``kTag*`` constants >= 0xFF00 in
+   ``src/platform/include/otw/platform/wire.hpp``) must appear in DESIGN.md
+   section 8b's tag table with both its name and its hex value, so a new
+   control frame cannot ship without a documented slot in the protocol.
+
+8. MIGRATE frame schema drift guard. Every field name in wire.hpp's
+   ``kMigrateFrameFields`` listing must appear (backticked) in DESIGN.md
+   section 8b's frame-layout description, keeping the documented wire
+   order in lockstep with the serializer.
+
 Usage: ``python3 tools/check_docs.py`` from the repository root (or any
 subdirectory; the root is located from this file's path). Exit 0 = clean.
 """
@@ -49,6 +60,8 @@ HIST_HEADER = REPO_ROOT / "src" / "obs" / "include" / "otw" / "obs" / "hist.hpp"
 FLIGHT_SOURCE = REPO_ROOT / "src" / "obs" / "flight.cpp"
 PENDING_HEADER = (REPO_ROOT / "src" / "timewarp" / "include" / "otw" / "tw"
                   / "pending_set.hpp")
+WIRE_HEADER = (REPO_ROOT / "src" / "platform" / "include" / "otw" / "platform"
+               / "wire.hpp")
 DESIGN = REPO_ROOT / "DESIGN.md"
 
 # Directories never scanned for markdown (build trees, VCS internals).
@@ -232,6 +245,60 @@ def check_queue_kind_drift():
     return errors
 
 
+def control_tags():
+    """(name, hex value) of every transport-reserved control tag — the
+    ``kTag*`` WireTag constants >= 0xFF00 in wire.hpp."""
+    text = WIRE_HEADER.read_text(encoding="utf-8")
+    tags = []
+    for m in re.finditer(
+            r"inline\s+constexpr\s+WireTag\s+(kTag\w+)\s*=\s*(0[xX][0-9A-Fa-f]+)",
+            text):
+        name, value = m.group(1), m.group(2)
+        if int(value, 16) >= 0xFF00:
+            tags.append((name, "0x" + value[2:].upper()))
+    if not tags:
+        sys.exit(f"error: no reserved kTag* constants found in {WIRE_HEADER}")
+    return tags
+
+
+def check_control_tag_drift():
+    errors = []
+    section = design_section("8b", "mesh data plane")
+    for name, value in control_tags():
+        if not re.search(rf"`{re.escape(name)}`", section):
+            errors.append(f"DESIGN.md: control tag {name} exists in "
+                          f"wire.hpp but is missing from the section 8b "
+                          f"tag table")
+        elif not re.search(rf"`{re.escape(value)}`", section):
+            errors.append(f"DESIGN.md: control tag {name} is documented "
+                          f"in section 8b but without its value {value}")
+    return errors
+
+
+def migrate_frame_fields():
+    """Field names of the MIGRATE frame payload, from wire.hpp's
+    ``kMigrateFrameFields`` initializer, in wire order."""
+    text = WIRE_HEADER.read_text(encoding="utf-8")
+    m = re.search(r"kMigrateFrameFields\[\]\s*=\s*\{(.*?)\};", text, re.S)
+    if not m:
+        sys.exit(f"error: could not find kMigrateFrameFields in {WIRE_HEADER}")
+    fields = re.findall(r'"([^"]+)"', m.group(1))
+    if not fields:
+        sys.exit(f"error: kMigrateFrameFields in {WIRE_HEADER} is empty")
+    return fields
+
+
+def check_migrate_schema_drift():
+    errors = []
+    section = design_section("8b", "mesh data plane")
+    for field in migrate_frame_fields():
+        if not re.search(rf"`{re.escape(field)}`", section):
+            errors.append(f"DESIGN.md: MIGRATE frame field '{field}' is "
+                          f"listed in wire.hpp's kMigrateFrameFields but "
+                          f"section 8b's frame layout does not mention it")
+    return errors
+
+
 def flight_schema_keys():
     """JSON keys the flight-recorder writer emits, from the ``\\"key\\":``
     string literals in flight.cpp."""
@@ -256,7 +323,8 @@ def check_flight_schema_drift():
 def main():
     errors = (check_links() + check_trace_drift() + check_health_rule_drift()
               + check_seam_drift() + check_flight_schema_drift()
-              + check_queue_kind_drift())
+              + check_queue_kind_drift() + check_control_tag_drift()
+              + check_migrate_schema_drift())
     n_md = sum(1 for _ in markdown_files())
     if errors:
         for e in errors:
@@ -269,9 +337,13 @@ def main():
     seams = enum_members(HIST_HEADER, "Seam")
     keys = flight_schema_keys()
     queue_kinds = enum_members(PENDING_HEADER, "QueueKind")
+    tags = control_tags()
+    migrate_fields = migrate_frame_fields()
     print(f"check_docs: OK — {n_md} markdown files, links and anchors "
           f"resolve, all {len(kinds)} TraceKind enumerators documented "
-          f"in DESIGN.md section 5b, all {len(rules)} HealthRule "
+          f"in DESIGN.md section 5b, all {len(tags)} control-frame tags "
+          f"and {len(migrate_fields)} MIGRATE frame fields documented in "
+          f"section 8b, all {len(rules)} HealthRule "
           f"enumerators documented in section 9, all {len(seams)} Seam "
           f"enumerators and {len(keys)} flight schema keys documented "
           f"in section 10, all {len(queue_kinds)} QueueKind enumerators "
