@@ -23,7 +23,7 @@ void sweep(bench::BenchReport& report, const char* name, const tw::Model& model,
   for (std::uint32_t chi : {1u, 2u, 4u, 8u, 16u, 32u}) {
     tw::KernelConfig kc = bench::base_kernel(lps);
     kc.end_time = tw::VirtualTime{300'000};
-    kc.runtime.checkpoint_interval = chi;
+    kc.checkpoint.interval = chi;
     const tw::RunResult r =
         report.run("chi=" + std::to_string(chi), chi, model, kc);
     if (r.execution_time_sec() < best_static) {
@@ -34,7 +34,7 @@ void sweep(bench::BenchReport& report, const char* name, const tw::Model& model,
 
   tw::KernelConfig kc = bench::base_kernel(lps);
   kc.end_time = tw::VirtualTime{300'000};
-  kc.runtime.dynamic_checkpointing = true;
+  kc.checkpoint.dynamic = true;
   const tw::RunResult r = report.run("dynamic", 0, model, kc);
   std::uint64_t chi_sum = 0;
   std::uint32_t chi_min = UINT32_MAX, chi_max = 0;

@@ -24,8 +24,8 @@ int main() {
   bench::BenchReport report("abl_control_period");
   for (std::uint64_t period : {1u, 8u, 32u, 128u, 512u, 4'096u, 32'768u}) {
     tw::KernelConfig kc = bench::base_kernel(app.num_lps);
-    kc.runtime.dynamic_checkpointing = true;
-    kc.runtime.checkpoint_control.control_period_events = period;
+    kc.checkpoint.dynamic = true;
+    kc.checkpoint.control.control_period_events = period;
     report.run("P=" + std::to_string(period), static_cast<double>(period),
                model, kc, costs);
   }

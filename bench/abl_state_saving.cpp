@@ -45,9 +45,9 @@ int main() {
   bench::BenchReport report("abl_state_saving");
   for (const Config& c : configs) {
     tw::KernelConfig kc = bench::base_kernel(app.num_lps);
-    kc.runtime.state_saving = c.mode;
-    kc.runtime.checkpoint_interval = c.chi;
-    kc.runtime.dynamic_checkpointing = c.dynamic;
+    kc.checkpoint.state_saving = c.mode;
+    kc.checkpoint.interval = c.chi;
+    kc.checkpoint.dynamic = c.dynamic;
     report.run(c.label, 0, model, kc, costs);
   }
   std::printf("\n  expectation: incremental saving removes most of the "

@@ -50,11 +50,11 @@ std::string config_json(const tw::KernelConfig& kc) {
   out += "\"num_lps\":" + json_u64(kc.num_lps);
   out += ",\"batch_size\":" + json_u64(kc.batch_size);
   out += ",\"gvt_period_events\":" + json_u64(kc.gvt_period_events);
-  out += ",\"checkpoint_interval\":" + json_u64(kc.runtime.checkpoint_interval);
+  out += ",\"checkpoint_interval\":" + json_u64(kc.checkpoint.interval);
   out += std::string(",\"dynamic_checkpointing\":") +
-         (kc.runtime.dynamic_checkpointing ? "true" : "false");
+         (kc.checkpoint.dynamic ? "true" : "false");
   out += ",\"state_saving\":" +
-         json_str(kc.runtime.state_saving == tw::StateSaving::Copy
+         json_str(kc.checkpoint.state_saving == tw::StateSaving::Copy
                       ? "copy"
                       : "incremental");
   out += ",\"cancellation_policy\":" +

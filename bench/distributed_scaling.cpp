@@ -104,7 +104,7 @@ int main() {
         kc.batch_size = 8;
         kc.gvt_period_events = 128;
         kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
-        kc.runtime.dynamic_checkpointing = true;
+        kc.checkpoint.dynamic = true;
         // Star is the legacy relay data plane with the round-robin placement
         // it shipped with; Mesh pairs the peer links with the comm-graph
         // partitioner, which is how the mesh engine runs by default.

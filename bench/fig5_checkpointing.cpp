@@ -41,8 +41,8 @@ void run_model(bench::BenchReport& report, const char* name,
   double baseline = 0.0;
   for (const Config& c : configs()) {
     tw::KernelConfig kc = bench::base_kernel(lps);
-    kc.runtime.checkpoint_interval = 1;  // the classic save-every-event default
-    kc.runtime.dynamic_checkpointing = c.dynamic_checkpointing;
+    kc.checkpoint.interval = 1;  // the classic save-every-event default
+    kc.checkpoint.dynamic = c.dynamic_checkpointing;
     kc.runtime.cancellation = c.cancellation;
     const tw::RunResult r = report.run(c.label, 0, model, kc);
     const double throughput = r.committed_events_per_sec();

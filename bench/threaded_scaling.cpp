@@ -51,7 +51,7 @@ int main() {
   kc.end_time = end;
   kc.batch_size = 8;
   kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
-  kc.runtime.dynamic_checkpointing = true;
+  kc.checkpoint.dynamic = true;
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const unsigned max_workers = std::min(hw, 16u);

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   kc.batch_size = 32;
   kc.gvt_period_events = 64;
   kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
-  kc.runtime.dynamic_checkpointing = true;
+  kc.checkpoint.dynamic = true;
   kc.aggregation.policy = comm::AggregationPolicy::Adaptive;
   kc.aggregation.window_us = 32.0;
   kc.telemetry.enabled = true;

@@ -3,6 +3,13 @@
 //
 //   $ ./build/examples/phold_live [port] [objects] [lps] [shards] [horizon]
 //
+// Set OTW_FAULT=1 (or pass --fault anywhere on the command line) to arm
+// shard-level checkpoint/restart: the coordinator snapshots at GVT cuts and
+// a worker you SIGKILL mid-run is re-forked and restored from the last cut
+// (recoveries are printed after the run; the digest check still must pass).
+// OTW_FAULT_KILL=<shard> additionally injects a kill after the first
+// committed snapshot epoch — the CI chaos smoke uses this.
+//
 // The scrape endpoint's bound port is printed as soon as it is live (pass 0
 // to let the kernel pick an ephemeral one), then the run starts. While it is
 // in flight:
@@ -22,6 +29,7 @@
 // are checked against the sequential ground truth.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <fstream>
 
@@ -31,6 +39,19 @@
 
 int main(int argc, char** argv) {
   using namespace otw;
+
+  bool fault = std::getenv("OTW_FAULT") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fault") == 0) {
+      fault = true;
+      // Shift the positional args left so [port] etc. keep their slots.
+      for (int k = i; k + 1 < argc; ++k) {
+        argv[k] = argv[k + 1];
+      }
+      --argc;
+      --i;
+    }
+  }
 
   const auto port =
       static_cast<std::uint16_t>(argc > 1 ? std::atoi(argv[1]) : 9178);
@@ -63,10 +84,20 @@ int main(int argc, char** argv) {
   if (const char* dir = std::getenv("OTW_FLIGHT_DIR")) {
     kc.observability.flight.dir = dir;
   }
+  if (fault) {
+    kc = kc.with_fault_tolerance();
+    if (const char* kill = std::getenv("OTW_FAULT_KILL")) {
+      kc.fault.inject_kill_shard = std::atoi(kill);
+    }
+    if (const char* spill = std::getenv("OTW_FAULT_SPILL_DIR")) {
+      kc.fault.spill_dir = spill;
+    }
+  }
 
-  std::printf("PHOLD: %u objects on %u LPs across %u shards, horizon %llu\n",
+  std::printf("PHOLD: %u objects on %u LPs across %u shards, horizon %llu%s\n",
               app.num_objects, app.num_lps, shards,
-              static_cast<unsigned long long>(end.ticks()));
+              static_cast<unsigned long long>(end.ticks()),
+              fault ? ", fault tolerance ON" : "");
 
   tw::RunResult result;
   try {
@@ -92,6 +123,20 @@ int main(int argc, char** argv) {
   }
   std::printf("health log: phold_live_health.jsonl (%zu transitions)\n",
               result.health.size());
+  if (fault) {
+    std::printf("snapshots: %llu taken, %llu bytes total\n",
+                static_cast<unsigned long long>(result.dist.snapshots_taken),
+                static_cast<unsigned long long>(result.dist.snapshot_bytes));
+    std::printf("recoveries: %zu\n", result.recoveries.size());
+    for (const auto& r : result.recoveries) {
+      std::printf("  shard %u restored from epoch %u (gvt %llu) in %.1f ms, "
+                  "%llu bytes\n",
+                  r.lost_shard, r.epoch,
+                  static_cast<unsigned long long>(r.gvt_ticks),
+                  static_cast<double>(r.restore_ns) / 1e6,
+                  static_cast<unsigned long long>(r.bytes));
+    }
+  }
 
   const tw::SequentialResult seq = tw::run_sequential(model, end);
   const bool ok = result.digests == seq.digests;

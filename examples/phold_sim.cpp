@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   tw::KernelConfig kc;
   kc.num_lps = app.num_lps;
   kc.end_time = end;
-  kc.runtime.dynamic_checkpointing = true;
+  kc.checkpoint.dynamic = true;
   kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
 
   const tw::SequentialResult seq = tw::run_sequential(model, end);

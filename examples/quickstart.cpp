@@ -73,7 +73,7 @@ int main() {
 
   tw::KernelConfig kc;
   kc.num_lps = 2;
-  kc.runtime.checkpoint_interval = 4;
+  kc.checkpoint.interval = 4;
   kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
   kc.aggregation.policy = comm::AggregationPolicy::Fixed;
   kc.aggregation.window_us = 64.0;

@@ -18,7 +18,7 @@ tw::RunResult run_with(const tw::Model& model, const apps::raid::RaidConfig& app
   tw::KernelConfig kc;
   kc.num_lps = app.num_lps;
   kc.batch_size = 16;
-  kc.runtime.checkpoint_interval = 4;
+  kc.checkpoint.interval = 4;
   kc.runtime.cancellation = cancellation;
   return tw::run(model, kc);
 }

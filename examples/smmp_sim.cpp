@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   tw::KernelConfig kc;
   kc.num_lps = app.num_lps;
   kc.batch_size = 16;
-  kc.runtime.dynamic_checkpointing = true;
+  kc.checkpoint.dynamic = true;
   kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
   kc.aggregation.policy = comm::AggregationPolicy::Adaptive;
   kc.aggregation.window_us = 32.0;

@@ -135,6 +135,18 @@ class AggregationChannel {
     }
   }
 
+  /// Drops every open aggregate without shipping it (snapshot restore: the
+  /// buffered events belong to a rolled-back incarnation and must not reach
+  /// the wire). Counters other than the open count are left untouched.
+  void discard_all() noexcept {
+    for (Buffer& buf : buffers_) {
+      if (!buf.items.empty()) {
+        buf.items.clear();
+        --open_count_;
+      }
+    }
+  }
+
   /// Ships dst's aggregate if non-empty.
   template <typename SendFn>
   void flush(platform::LpId dst, std::uint64_t now_ns, SendFn&& send_fn) {

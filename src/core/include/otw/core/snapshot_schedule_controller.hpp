@@ -1,0 +1,85 @@
+// Snapshot cadence controller for shard-level checkpoint/restart.
+//
+// Second consumer of the checkpoint-interval machinery (ROADMAP: "use it to
+// schedule shard snapshots against a recovery-time budget"): where the
+// per-object CheckpointIntervalController picks chi (events between state
+// saves), this controller picks the wall-clock gap between *shard snapshot
+// epochs*, balancing two costs exactly like Bringmann et al.'s online
+// checkpointing analysis:
+//
+//   - lost work: a failure forfeits everything since the last complete cut,
+//     so worst-case recovery time ~= gap + restore cost. The user budget
+//     (recovery_budget_ms) therefore caps the gap from above:
+//         gap <= recovery_budget_ms - estimated_restore_ms.
+//   - overhead: every epoch stops the world for its serialize cost, so the
+//     gap is floored from below to bound steady-state overhead:
+//         gap >= overhead_factor * avg_snapshot_cost
+//     (overhead_factor = 20 keeps snapshotting under ~5% of wall time).
+//
+// Between those bounds an embedded CheckpointIntervalController hill-climbs:
+// each epoch feeds its serialize cost as a "state save" and ticks the
+// controller once, and the resulting chi in [min_interval, max_interval]
+// interpolates the gap inside [floor, cap] — cheap snapshots drift the gap
+// toward the floor (tighter cuts, cheaper recovery), expensive ones toward
+// the budget cap. When the bounds cross, the budget wins: the recovery-time
+// promise is the hard constraint, overhead the advisory one.
+#pragma once
+
+#include <cstdint>
+
+#include "otw/core/checkpoint_controller.hpp"
+
+namespace otw::core {
+
+struct SnapshotScheduleConfig {
+  /// Worst-case recovery budget: lost progress (the gap) plus the restore
+  /// replay must fit inside this.
+  std::uint32_t recovery_budget_ms = 250;
+  /// Hard bounds on the scheduled gap.
+  std::uint32_t min_gap_ms = 10;
+  std::uint32_t max_gap_ms = 10'000;
+  /// Overhead floor: gap >= overhead_factor * average snapshot cost.
+  double overhead_factor = 20.0;
+  /// Restore is estimated as this multiple of the (measured) serialize
+  /// cost: deserialization plus replacement-fork handshake overhead.
+  double restore_factor = 2.0;
+  /// Embedded hill-climber. Defaults are re-tuned for epoch granularity
+  /// (one tick per snapshot, not per event) by the constructor unless the
+  /// caller overrides them.
+  CheckpointControlConfig control;
+};
+
+class SnapshotScheduleController {
+ public:
+  explicit SnapshotScheduleController(const SnapshotScheduleConfig& config);
+
+  /// Feeds one complete snapshot epoch (its stop-the-world wall cost and
+  /// total blob bytes) and returns the gap, in ms, until the next epoch.
+  std::uint32_t on_snapshot(std::uint64_t cost_ns, std::uint64_t bytes);
+
+  /// Current gap without feeding an observation (used for the first epoch).
+  [[nodiscard]] std::uint32_t gap_ms() const noexcept { return gap_ms_; }
+  [[nodiscard]] std::uint64_t epochs_observed() const noexcept {
+    return epochs_;
+  }
+  [[nodiscard]] std::uint64_t avg_cost_ns() const noexcept {
+    return avg_cost_ns_;
+  }
+  [[nodiscard]] std::uint64_t avg_bytes() const noexcept { return avg_bytes_; }
+  [[nodiscard]] const CheckpointIntervalController& interval_controller()
+      const noexcept {
+    return chi_;
+  }
+
+ private:
+  void recompute() noexcept;
+
+  SnapshotScheduleConfig config_;
+  CheckpointIntervalController chi_;
+  std::uint64_t avg_cost_ns_ = 0;  ///< EWMA (alpha = 1/4)
+  std::uint64_t avg_bytes_ = 0;    ///< EWMA (alpha = 1/4)
+  std::uint64_t epochs_ = 0;
+  std::uint32_t gap_ms_;
+};
+
+}  // namespace otw::core

@@ -1,0 +1,81 @@
+#include "otw/core/snapshot_schedule_controller.hpp"
+
+#include <algorithm>
+
+#include "otw/util/assert.hpp"
+
+namespace otw::core {
+
+namespace {
+
+CheckpointControlConfig epoch_tuned(CheckpointControlConfig control) {
+  // The embedded controller ticks once per snapshot epoch, not once per
+  // processed event; a per-event control period of 128 would take minutes
+  // to evaluate. Only re-tune fields the caller left at their per-event
+  // defaults, so explicit overrides stick.
+  CheckpointControlConfig defaults;
+  if (control.control_period_events == defaults.control_period_events) {
+    control.control_period_events = 4;
+  }
+  if (control.initial_interval == defaults.initial_interval) {
+    control.initial_interval = 8;
+  }
+  return control;
+}
+
+}  // namespace
+
+SnapshotScheduleController::SnapshotScheduleController(
+    const SnapshotScheduleConfig& config)
+    : config_(config), chi_(epoch_tuned(config.control)) {
+  OTW_REQUIRE_MSG(config_.recovery_budget_ms >= 1,
+                  "recovery budget must be >= 1 ms");
+  OTW_REQUIRE_MSG(config_.min_gap_ms >= 1 &&
+                      config_.min_gap_ms <= config_.max_gap_ms,
+                  "snapshot gap bounds inverted");
+  config_.control = epoch_tuned(config_.control);
+  gap_ms_ = std::min(config_.max_gap_ms,
+                     std::max(config_.min_gap_ms,
+                              config_.recovery_budget_ms / 2));
+}
+
+std::uint32_t SnapshotScheduleController::on_snapshot(std::uint64_t cost_ns,
+                                                      std::uint64_t bytes) {
+  avg_cost_ns_ =
+      epochs_ == 0 ? cost_ns : (avg_cost_ns_ * 3 + cost_ns) / 4;
+  avg_bytes_ = epochs_ == 0 ? bytes : (avg_bytes_ * 3 + bytes) / 4;
+  ++epochs_;
+  chi_.record_state_save(cost_ns);
+  chi_.on_event_processed();
+  recompute();
+  return gap_ms_;
+}
+
+void SnapshotScheduleController::recompute() noexcept {
+  const double cost_ms = static_cast<double>(avg_cost_ns_) / 1e6;
+  const double restore_ms = cost_ms * config_.restore_factor;
+  // Budget cap: gap + restore <= recovery budget (hard).
+  double cap = static_cast<double>(config_.recovery_budget_ms) - restore_ms;
+  cap = std::max(cap, static_cast<double>(config_.min_gap_ms));
+  // Overhead floor: gap >= overhead_factor * cost (advisory).
+  double floor = std::max(static_cast<double>(config_.min_gap_ms),
+                          config_.overhead_factor * cost_ms);
+  double gap;
+  if (floor >= cap) {
+    gap = cap;  // the recovery-time promise wins
+  } else {
+    // chi in [min_interval, max_interval] interpolates inside [floor, cap].
+    const auto lo = config_.control.min_interval;
+    const auto hi = config_.control.max_interval;
+    const double t =
+        hi > lo ? static_cast<double>(chi_.interval() - lo) /
+                      static_cast<double>(hi - lo)
+                : 0.0;
+    gap = floor + t * (cap - floor);
+  }
+  gap = std::min(gap, static_cast<double>(config_.max_gap_ms));
+  gap = std::max(gap, static_cast<double>(config_.min_gap_ms));
+  gap_ms_ = static_cast<std::uint32_t>(gap);
+}
+
+}  // namespace otw::core

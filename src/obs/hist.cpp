@@ -27,6 +27,10 @@ const char* seam_name(Seam seam) noexcept {
       return "migration_freeze_ns";
     case Seam::MigrationRestore:
       return "migration_restore_ns";
+    case Seam::SnapshotEncode:
+      return "snapshot_encode_ns";
+    case Seam::RestoreReplay:
+      return "restore_replay_ns";
     case Seam::kCount:
       break;
   }

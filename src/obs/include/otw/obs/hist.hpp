@@ -25,6 +25,8 @@
 //   StealLatency   ns one successful steal sweep took (threaded scheduler)
 //   MigrationFreeze   ns to freeze + serialize one LP for migration (source)
 //   MigrationRestore  ns to deserialize + revive one migrated LP (destination)
+//   SnapshotEncode    ns to serialize one LP into a snapshot cut (worker)
+//   RestoreReplay     ns to revive one LP from a snapshot blob (recovery)
 #pragma once
 
 #include <array>
@@ -53,6 +55,8 @@ enum class Seam : std::uint8_t {
   StealLatency,
   MigrationFreeze,
   MigrationRestore,
+  SnapshotEncode,
+  RestoreReplay,
   kCount,
 };
 
@@ -132,6 +136,18 @@ class LatencyHistogram {
     out.sum = sum_.load(std::memory_order_relaxed);
 #endif
     return out;
+  }
+
+  /// Zeroes every cell. Only safe when no concurrent writer exists (used by
+  /// a freshly fork()ed worker to shed the parent's recorded values).
+  void reset() noexcept {
+#if OTW_OBS_LIVE
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      buckets_[i].store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+#endif
   }
 
  private:
@@ -216,6 +232,23 @@ class Bank {
     static_cast<void>(shard);
 #endif
     return out;
+  }
+
+  /// Zeroes every histogram in the bank. A replacement worker fork()ed
+  /// mid-run inherits the coordinator's bank — which by then holds
+  /// coordinator-side entries (relay residency) — and must start clean so
+  /// its RESULT reports only its own incarnation. Single-writer only.
+  void reset() noexcept {
+#if OTW_OBS_LIVE
+    for (auto& hist : scalars_) {
+      hist.reset();
+    }
+    const std::size_t n_links =
+        kNumLinkSeams * static_cast<std::size_t>(num_shards_) * num_shards_;
+    for (std::size_t i = 0; i < n_links; ++i) {
+      links_[i].reset();
+    }
+#endif
   }
 
  private:

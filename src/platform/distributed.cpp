@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <exception>
@@ -17,6 +18,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "otw/platform/snapshot_file.hpp"
 #include "otw/platform/wire.hpp"
 #include "otw/util/assert.hpp"
 #include "otw/util/net.hpp"
@@ -26,6 +28,30 @@ namespace otw::platform {
 namespace {
 
 constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+// SNAP_CTL phases (payload: u8 phase + u32 epoch). DESIGN.md section 8c.
+constexpr std::uint8_t kSnapStop = 0;       ///< enter the settle loop
+constexpr std::uint8_t kSnapPoll = 1;       ///< report channel-op counters
+constexpr std::uint8_t kSnapCut = 2;        ///< freeze every LP at the GVT cut
+constexpr std::uint8_t kSnapSerialize = 3;  ///< encode + ship the shard blob
+constexpr std::uint8_t kSnapResume = 4;     ///< epoch committed; run again
+constexpr std::uint8_t kSnapAbort = 5;      ///< epoch discarded; run again
+
+// SNAP_ACK kinds (payload: u8 kind + u64 a + u64 b).
+constexpr std::uint8_t kSnapAckCounters = 0;  ///< a = sent, b = received
+constexpr std::uint8_t kSnapAckAccept = 1;    ///< cut taken; a = cut GVT ticks
+constexpr std::uint8_t kSnapAckDecline = 2;   ///< cut refused (done / GVT 0)
+
+/// Under fault tolerance the coordinator's poll sleep is capped so watchdog
+/// kill requests and snapshot deadlines are honored promptly.
+constexpr int kFaultPollCapMs = 25;
+
+/// Temporary protocol tracing for the snapshot/recovery state machine,
+/// gated on OTW_SNAP_DEBUG.
+bool snap_debug() {
+  static const bool on = std::getenv("OTW_SNAP_DEBUG") != nullptr;
+  return on;
+}
 
 /// Shortest gap between two clock-refresh pings from one worker. Pings are
 /// triggered by received GVT announces, which can burst; the estimate only
@@ -106,6 +132,32 @@ void flush_out(int fd, std::vector<std::uint8_t>& out, std::size_t& out_pos,
   out_pos = 0;
 }
 
+/// flush_out, but a counterpart that died mid-write (its process was
+/// SIGKILLed) reports failure instead of throwing: under fault tolerance the
+/// link is torn down and re-dialed at recovery. Returns false on a broken
+/// link; queued bytes stay put (they are discarded with the incarnation).
+[[nodiscard]] bool flush_out_tolerant(int fd, std::vector<std::uint8_t>& out,
+                                      std::size_t& out_pos) {
+  while (out_pos < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + out_pos, out.size() - out_pos,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;  // EPIPE / ECONNRESET / ...: the counterpart is gone
+  }
+  out.clear();
+  out_pos = 0;
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // Child side: the shard driver.
 // ---------------------------------------------------------------------------
@@ -150,7 +202,8 @@ class ShardDriver {
   ShardDriver(std::uint32_t shard, const DistributedConfig& config,
               const std::vector<LpRunner*>& all_lps, int fd,
               std::vector<PeerLink> links, const LiveStatsHooks& live,
-              std::int64_t clock_offset_ns, std::uint64_t clock_rtt_ns)
+              std::int64_t clock_offset_ns, std::uint64_t clock_rtt_ns,
+              bool fault)
       : shard_(shard),
         config_(config),
         live_(live),
@@ -161,8 +214,11 @@ class ShardDriver {
         all_lps_(all_lps),
         links_(std::move(links)),
         mesh_(config.topology == Topology::Mesh && config.num_shards > 1),
+        fault_(fault),
         trace_(config.wire_trace_capacity ? config.wire_trace_capacity : 1),
         epoch_ns_(mono_ns()) {
+    await_marker_.assign(config.num_shards, false);
+    early_marker_.assign(config.num_shards, false);
     owners_.resize(num_lps_);
     epochs_.assign(num_lps_, 0);
     lp_index_.assign(num_lps_, SIZE_MAX);
@@ -185,6 +241,12 @@ class ShardDriver {
   /// Encodes the shard summary + harvest blob as the RESULT payload.
   void encode_result(WireWriter& w, const std::vector<std::uint8_t>& harvest) const;
 
+  /// Replacement-worker entry: adopt a RESTORE payload as this shard's
+  /// committed snapshot, rebuild every local LP from it and freeze until the
+  /// coordinator's Resume. Called once, before run().
+  void restore_from(std::uint32_t epoch, std::uint64_t gvt_ticks,
+                    std::vector<std::uint8_t> blob);
+
   [[nodiscard]] std::uint64_t now_ns() const noexcept {
     return mono_ns() - epoch_ns_;
   }
@@ -200,6 +262,7 @@ class ShardDriver {
     if (live_.bank != nullptr) {
       msg->obs_enqueue_ns = now_ns();
     }
+    ++snap_sent_;
     lps_[lp_index_[dst]].inbox.push_back(std::move(msg));
   }
 
@@ -223,6 +286,15 @@ class ShardDriver {
   void handle_migrate_in(const FrameHeader& header, const std::uint8_t* payload);
   void handle_rebind(const std::uint8_t* payload, std::uint32_t len);
   void handle_time_echo(const FrameHeader& header, const std::uint8_t* payload);
+  void handle_snap_ctl(const std::uint8_t* payload, std::uint32_t len);
+  void handle_recover(const std::uint8_t* payload, std::uint32_t len);
+  void send_snap_ack(std::uint8_t kind, std::uint64_t a, std::uint64_t b,
+                     std::uint32_t seq);
+  void serialize_shard(std::uint32_t epoch);
+  void restore_local(WireReader& r);
+  void settle_pass();
+  void drop_peer_link(std::uint32_t peer);
+  void flush_peer_link(std::uint32_t peer);
   void maybe_send_time_ping();
   void send_done();
   void flush_links();
@@ -231,6 +303,11 @@ class ShardDriver {
   void maybe_send_stats();
 
   class Context;
+
+  /// Snapshot-protocol execution mode. Run = normal stepping; Settle = no
+  /// stepping, absorb + flush only (between SNAP_CTL stop and resume); Hold
+  /// = frozen after serialize/restore until the coordinator's Resume.
+  enum class SnapMode : std::uint8_t { Run, Settle, Hold };
 
   std::uint32_t shard_;
   const DistributedConfig& config_;
@@ -257,6 +334,38 @@ class ShardDriver {
   bool finish_received_ = false;
   std::vector<std::uint8_t> in_buf_;   ///< unparsed coordinator-stream bytes
   std::vector<std::uint8_t> scratch_;  ///< payload encode buffer
+
+  // --- fault tolerance (DESIGN.md section 8c) ---
+  bool fault_ = false;
+  SnapMode snap_mode_ = SnapMode::Run;
+  bool snap_poll_pending_ = false;  ///< ACK owed after the next settle pass
+  std::uint32_t snap_poll_round_ = 0;  ///< round id echoed in the counters ACK
+  /// Channel-op counters for the quiescence proof: every enqueue (inbox
+  /// push, socket send, forward) bumps snap_sent_, every dequeue (socket
+  /// receive, inbox pop) bumps snap_recv_. Stable and globally balanced
+  /// counts across two poll rounds mean no message is in flight anywhere.
+  std::uint64_t snap_sent_ = 0;
+  std::uint64_t snap_recv_ = 0;
+  /// Committed self-snapshot: this shard's blob of the last epoch the
+  /// coordinator confirmed complete (survivors self-restore from it).
+  std::vector<std::uint8_t> self_blob_;
+  std::uint32_t self_epoch_ = 0;
+  std::uint64_t self_gvt_ = 0;
+  /// Serialized-but-unconfirmed blob: promoted to self_blob_ on Resume (or
+  /// by a RECOVER naming its epoch), discarded on Abort. Keeping both closes
+  /// the window where a death lands between serialize and commit.
+  std::vector<std::uint8_t> pending_blob_;
+  std::uint32_t pending_epoch_ = 0;
+  std::uint64_t pending_gvt_ = 0;
+  bool pending_valid_ = false;
+  /// Per peer: drop inbound frames until that peer's RECOVER_MARK arrives
+  /// (they belong to the incarnation the rollback discarded). FIFO links
+  /// make the discard window exact.
+  std::vector<bool> await_marker_;
+  /// Per peer: a RECOVER_MARK arrived before our own RECOVER did (the two
+  /// travel on different streams); consume it instead of awaiting another.
+  std::vector<bool> early_marker_;
+
   obs::TraceRing trace_;
   std::uint64_t epoch_ns_;
 
@@ -294,6 +403,7 @@ class ShardDriver::Context final : public LpContext {
         driver_.deliver_local(dst, std::move(msg));
       } else {
         // Rebound here, state still in flight: park until migrate-in.
+        ++driver_.snap_sent_;
         driver_.pending_in_[dst].push_back(std::move(msg));
       }
     } else {
@@ -307,6 +417,7 @@ class ShardDriver::Context final : public LpContext {
     }
     auto msg = std::move(lp_.inbox.front());
     lp_.inbox.pop_front();
+    ++driver_.snap_recv_;
     if (driver_.live_.bank != nullptr) {
       const std::uint64_t now = driver_.now_ns();
       driver_.live_.bank->record(
@@ -353,11 +464,14 @@ void ShardDriver::send_remote(LpId src, LpId dst, const EngineMessage& msg) {
   header.src_lp = src;
   header.dst_lp = dst;
   header.send_ns = aligned_now_ns();
+  ++snap_sent_;
   if (mesh_ && !msg.wire_control()) {
-    // Data plane: one hop on the direct (src,dst) peer link.
-    PeerLink& link = links_[owners_[dst]];
-    queue_frame(link.out, header, scratch_.data());
-    flush_out(link.fd, link.out, link.out_pos, "send (peer link)");
+    // Data plane: one hop on the direct (src,dst) peer link. A dead peer's
+    // frames accumulate in the queue and are discarded with the incarnation
+    // at recovery (the rollback re-generates them).
+    const std::uint32_t peer = owners_[dst];
+    queue_frame(links_[peer].out, header, scratch_.data());
+    flush_peer_link(peer);
   } else {
     // Control plane (GVT tokens/announces) — and everything under Star —
     // transits the coordinator, which keeps RelayResidency attribution.
@@ -423,10 +537,12 @@ void ShardDriver::forward_frame(const std::uint8_t* frame,
   // shard we believe owns the LP. Owner maps only move to higher epochs, so
   // a forwarded frame always moves toward the migration's destination and
   // chains terminate (bounded by the number of rebinds).
-  PeerLink& link = links_[owners_[header.dst_lp]];
+  const std::uint32_t peer = owners_[header.dst_lp];
+  PeerLink& link = links_[peer];
   link.out.insert(link.out.end(), frame,
                   frame + kFrameHeaderBytes + header.payload_len);
-  flush_out(link.fd, link.out, link.out_pos, "send (peer link)");
+  ++snap_sent_;
+  flush_peer_link(peer);
   ++totals_.dist.frames_forwarded;
 }
 
@@ -435,6 +551,7 @@ void ShardDriver::route_inbound(const std::uint8_t* frame,
                                 std::uint32_t src_shard_hint) {
   const LpId dst = header.dst_lp;
   OTW_REQUIRE_MSG(dst < num_lps_, "frame routed to an unknown LP");
+  ++snap_recv_;
   if (owners_[dst] != shard_) {
     // Under Star, placement is static, so this is unconditionally a bug.
     OTW_REQUIRE_MSG(mesh_, "frame routed to the wrong shard");
@@ -619,6 +736,333 @@ void ShardDriver::handle_migrate_in(const FrameHeader& header,
   }
 }
 
+void ShardDriver::send_snap_ack(std::uint8_t kind, std::uint64_t a,
+                                std::uint64_t b, std::uint32_t seq) {
+  scratch_.clear();
+  WireWriter w(scratch_);
+  w.u8(kind);
+  w.u64(a);
+  w.u64(b);
+  w.u32(seq);
+  FrameHeader h;
+  h.payload_len = static_cast<std::uint32_t>(scratch_.size());
+  h.tag = kTagSnapAck;
+  h.flags = kFlagControl;
+  h.src_lp = shard_;
+  h.send_ns = aligned_now_ns();
+  send_frame(fd_, h, scratch_.data());
+}
+
+void ShardDriver::settle_pass() {
+  for (ShardLp& lp : lps_) {
+    if (lp.runner == nullptr) {
+      continue;
+    }
+    auto* migratable = dynamic_cast<MigratableLp*>(lp.runner);
+    if (migratable == nullptr) {
+      continue;
+    }
+    Context ctx(*this, lp);
+    migratable->snapshot_settle(ctx);
+  }
+  flush_links();
+  if (snap_poll_pending_) {
+    // Deferred Poll ACK: the counters go out only after a full settle pass,
+    // which flushed every aggregation window — so a reported-quiescent shard
+    // can never be hiding events parked in a channel.
+    snap_poll_pending_ = false;
+    send_snap_ack(kSnapAckCounters, snap_sent_, snap_recv_, snap_poll_round_);
+  }
+}
+
+void ShardDriver::serialize_shard(std::uint32_t epoch) {
+  const std::uint64_t t0 = mono_ns();
+  std::vector<std::uint8_t> blob;
+  WireWriter w(blob);
+  w.u32(static_cast<std::uint32_t>(lps_.size()));
+  std::uint64_t gvt = 0;
+  std::vector<std::uint8_t> one;
+  for (ShardLp& lp : lps_) {
+    auto* migratable = dynamic_cast<MigratableLp*>(lp.runner);
+    OTW_REQUIRE_MSG(migratable != nullptr,
+                    "snapshot serialize on a runner that cannot encode");
+    one.clear();
+    WireWriter ow(one);
+    {
+      Context ctx(*this, lp);
+      migratable->snapshot_encode(ctx, ow);
+    }
+    w.u32(lp.id);
+    w.u32(static_cast<std::uint32_t>(one.size()));
+    w.bytes(one.data(), one.size());
+    gvt = migratable->snapshot_gvt_ticks();
+  }
+  const std::uint64_t encode_ns = mono_ns() - t0;
+  totals_.dist.serialize_ns += encode_ns;
+  if (live_.bank != nullptr) {
+    live_.bank->record(obs::hist::Seam::SnapshotEncode, encode_ns);
+  }
+  // SNAP_DATA payload: u32 epoch + u64 gvt + shard blob. The blob is also
+  // retained as the pending self-snapshot until the coordinator commits or
+  // aborts the epoch.
+  scratch_.clear();
+  WireWriter pw(scratch_);
+  pw.u32(epoch);
+  pw.u64(gvt);
+  pw.bytes(blob.data(), blob.size());
+  FrameHeader h;
+  h.payload_len = static_cast<std::uint32_t>(scratch_.size());
+  h.tag = kTagSnapData;
+  h.flags = kFlagControl;
+  h.src_lp = shard_;
+  h.send_ns = aligned_now_ns();
+  send_frame(fd_, h, scratch_.data());
+  totals_.dist.bytes_sent += kFrameHeaderBytes + scratch_.size();
+  pending_blob_ = std::move(blob);
+  pending_epoch_ = epoch;
+  pending_gvt_ = gvt;
+  pending_valid_ = true;
+}
+
+void ShardDriver::handle_snap_ctl(const std::uint8_t* payload,
+                                  std::uint32_t len) {
+  OTW_REQUIRE_MSG(fault_, "SNAP_CTL frame without fault tolerance enabled");
+  WireReader r(payload, len);
+  const std::uint8_t phase = r.u8();
+  const std::uint32_t epoch = r.u32();
+  OTW_REQUIRE_MSG(r.done(), "malformed SNAP_CTL frame");
+  if (snap_debug()) {
+    std::fprintf(stderr, "[shard %u] SNAP_CTL phase=%u epoch=%u\n", shard_,
+                 phase, epoch);
+  }
+  switch (phase) {
+    case kSnapStop:
+      snap_mode_ = SnapMode::Settle;
+      return;
+    case kSnapPoll:
+      // The epoch field carries the poll round id: the coordinator only
+      // accepts a counters ACK stamped with the round it is currently
+      // collecting, so a late ACK can never complete a later round.
+      snap_poll_pending_ = true;  // answered by the next settle pass
+      snap_poll_round_ = epoch;
+      return;
+    case kSnapCut: {
+      bool accepted = true;
+      for (ShardLp& lp : lps_) {
+        if (lp.runner == nullptr) {
+          continue;
+        }
+        auto* migratable = dynamic_cast<MigratableLp*>(lp.runner);
+        bool ok = false;
+        if (migratable != nullptr) {
+          Context ctx(*this, lp);
+          ok = migratable->snapshot_cut(ctx);
+        }
+        if (!ok) {
+          // No undo needed: a taken cut is a digest-neutral rollback, the
+          // frozen LPs simply resume from it after the coordinator's Abort.
+          accepted = false;
+          break;
+        }
+      }
+      flush_links();  // the cut flushed held sends + batches toward peers
+      // The cut rolled every runtime back to the GVT cut; the driver-side
+      // step state (status, wake hints) predates that rollback, and a cut
+      // that produces no anti-messages wakes nobody — the whole mesh would
+      // sleep forever after Resume. Mark everything runnable so each LP is
+      // re-stepped (one with nothing to redo parks itself again), and
+      // revive LPs whose completion was itself speculative.
+      for (ShardLp& lp : lps_) {
+        if (lp.runner == nullptr) {
+          continue;
+        }
+        if (lp.status == StepStatus::Done) {
+          ++remaining_;
+        }
+        lp.status = StepStatus::Active;
+        lp.wake_hint_ns = kNever;
+      }
+      if (accepted) {
+        std::uint64_t gvt = 0;
+        for (ShardLp& lp : lps_) {
+          if (lp.runner == nullptr) {
+            continue;
+          }
+          gvt = dynamic_cast<MigratableLp*>(lp.runner)->snapshot_gvt_ticks();
+          break;  // at quiescence every LP agrees on the cut GVT
+        }
+        send_snap_ack(kSnapAckAccept, gvt, 0, epoch);
+      } else {
+        send_snap_ack(kSnapAckDecline, 0, 0, epoch);
+      }
+      return;
+    }
+    case kSnapSerialize:
+      serialize_shard(epoch);
+      snap_mode_ = SnapMode::Hold;
+      return;
+    case kSnapResume:
+      if (pending_valid_ && pending_epoch_ == epoch) {
+        self_blob_ = std::move(pending_blob_);
+        self_epoch_ = pending_epoch_;
+        self_gvt_ = pending_gvt_;
+        pending_blob_.clear();
+        pending_valid_ = false;
+      }
+      snap_mode_ = SnapMode::Run;
+      return;
+    case kSnapAbort:
+      pending_blob_.clear();
+      pending_valid_ = false;
+      snap_mode_ = SnapMode::Run;
+      return;
+    default:
+      throw std::runtime_error("unknown SNAP_CTL phase " +
+                               std::to_string(phase));
+  }
+}
+
+void ShardDriver::restore_local(WireReader& r) {
+  const std::uint64_t t0 = mono_ns();
+  const std::uint32_t count = r.u32();
+  OTW_REQUIRE_MSG(count == lps_.size(),
+                  "snapshot blob LP count does not match this shard");
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const LpId id = r.u32();
+    const std::uint32_t len = r.u32();
+    OTW_REQUIRE_MSG(id < num_lps_ && lp_index_[id] != SIZE_MAX,
+                    "snapshot blob names an LP this shard does not hold");
+    ShardLp& lp = lps_[lp_index_[id]];
+    lp.inbox.clear();  // dead-incarnation deliveries; the cut predates them
+    lp.status = StepStatus::Active;
+    lp.wake_hint_ns = kNever;
+    auto* migratable = dynamic_cast<MigratableLp*>(lp.runner);
+    OTW_REQUIRE_MSG(migratable != nullptr,
+                    "snapshot blob for a runner that cannot restore");
+    std::vector<std::uint8_t> one(len);
+    r.bytes(one.data(), len);
+    WireReader sub(one.data(), one.size());
+    {
+      Context ctx(*this, lp);
+      migratable->snapshot_restore(ctx, sub);
+    }
+    OTW_REQUIRE_MSG(sub.done(), "trailing bytes after an LP snapshot record");
+  }
+  OTW_REQUIRE_MSG(r.done(), "trailing bytes after a shard snapshot blob");
+  for (std::deque<std::unique_ptr<EngineMessage>>& stash : pending_in_) {
+    stash.clear();
+  }
+  remaining_ = lps_.size();  // a committed cut never contains a Done LP
+  done_announced_ = false;
+  if (live_.bank != nullptr) {
+    live_.bank->record(obs::hist::Seam::RestoreReplay, mono_ns() - t0);
+  }
+}
+
+void ShardDriver::restore_from(std::uint32_t epoch, std::uint64_t gvt_ticks,
+                               std::vector<std::uint8_t> blob) {
+  OTW_REQUIRE_MSG(fault_, "restore_from without fault tolerance enabled");
+  self_blob_ = std::move(blob);
+  self_epoch_ = epoch;
+  self_gvt_ = gvt_ticks;
+  WireReader r(self_blob_.data(), self_blob_.size());
+  restore_local(r);
+  snap_sent_ = 0;
+  snap_recv_ = 0;
+  snap_mode_ = SnapMode::Hold;  // frozen until the coordinator's Resume
+}
+
+void ShardDriver::drop_peer_link(std::uint32_t peer) {
+  PeerLink& link = links_[peer];
+  if (link.fd >= 0) {
+    ::close(link.fd);
+  }
+  link.fd = -1;
+  link.in.clear();
+  link.out.clear();
+  link.out_pos = 0;
+}
+
+void ShardDriver::flush_peer_link(std::uint32_t peer) {
+  PeerLink& link = links_[peer];
+  if (link.fd < 0 || !link.out_pending()) {
+    return;  // fd < 0: dead incarnation, bytes discarded at recovery
+  }
+  if (fault_) {
+    if (!flush_out_tolerant(link.fd, link.out, link.out_pos)) {
+      drop_peer_link(peer);  // SIGKILLed peer; recovery re-dials it
+    }
+  } else {
+    flush_out(link.fd, link.out, link.out_pos, "send (peer link)");
+  }
+}
+
+void ShardDriver::handle_recover(const std::uint8_t* payload,
+                                 std::uint32_t len) {
+  OTW_REQUIRE_MSG(fault_, "RECOVER frame without fault tolerance enabled");
+  WireReader r(payload, len);
+  const std::uint32_t epoch = r.u32();
+  const std::uint32_t dead = r.u32();
+  const std::uint16_t new_port = r.u16();
+  OTW_REQUIRE_MSG(r.done() && dead < config_.num_shards && dead != shard_,
+                  "malformed RECOVER frame");
+  // Incarnation markers first: queued BEHIND whatever already sits in each
+  // surviving peer's out queue and never blocking-flushed (two peers
+  // blocking-flushing at each other would deadlock). The replacement gets
+  // none — its link starts inside the new incarnation.
+  for (std::uint32_t p = 0; p < links_.size(); ++p) {
+    if (p == shard_ || p == dead || links_[p].fd < 0) {
+      continue;
+    }
+    FrameHeader mark;
+    mark.tag = kTagRecoverMark;
+    mark.flags = kFlagControl;
+    mark.src_lp = shard_;
+    mark.send_ns = aligned_now_ns();
+    queue_frame(links_[p].out, mark, nullptr);
+    if (early_marker_[p]) {
+      early_marker_[p] = false;  // the peer's marker already arrived
+    } else {
+      await_marker_[p] = true;
+    }
+  }
+  drop_peer_link(dead);
+  // Adopt the committed cut. A death between serialize and resume means the
+  // epoch being restored may still sit unpromoted in pending_blob_.
+  if (pending_valid_ && pending_epoch_ == epoch) {
+    self_blob_ = std::move(pending_blob_);
+    self_epoch_ = pending_epoch_;
+    self_gvt_ = pending_gvt_;
+  }
+  pending_blob_.clear();
+  pending_valid_ = false;
+  OTW_REQUIRE_MSG(self_epoch_ == epoch && !self_blob_.empty(),
+                  "RECOVER names a snapshot epoch this shard does not hold");
+  WireReader blob(self_blob_.data(), self_blob_.size());
+  restore_local(blob);
+  // Dial the replacement and identify ourselves, exactly as at startup.
+  const int pfd = util::net::connect_loopback(new_port, kNetCtx);
+  set_nodelay(pfd);
+  FrameHeader ph;
+  ph.tag = kTagPeerHello;
+  ph.src_lp = shard_;
+  send_frame(pfd, ph, nullptr);
+  set_nonblocking(pfd);
+  links_[dead].fd = pfd;
+  // Fresh incarnation: counters restart from zero on every shard, keeping
+  // the conservation proof exact (discarded frames are never counted).
+  snap_sent_ = 0;
+  snap_recv_ = 0;
+  snap_poll_pending_ = false;
+  snap_mode_ = SnapMode::Hold;
+  FrameHeader done;
+  done.tag = kTagRecovered;
+  done.flags = kFlagControl;
+  done.src_lp = shard_;
+  done.send_ns = aligned_now_ns();
+  send_frame(fd_, done, nullptr);
+}
+
 void ShardDriver::handle_coord_frame(const FrameHeader& header,
                                      const std::uint8_t* payload) {
   switch (header.tag) {
@@ -633,6 +1077,12 @@ void ShardDriver::handle_coord_frame(const FrameHeader& header,
       return;
     case kTagFinish:
       finish_received_ = true;
+      return;
+    case kTagSnapCtl:
+      handle_snap_ctl(payload, header.payload_len);
+      return;
+    case kTagRecover:
+      handle_recover(payload, header.payload_len);
       return;
     default:
       break;
@@ -703,6 +1153,7 @@ void ShardDriver::drain_links() {
     if (link.fd < 0) {
       continue;
     }
+    bool dead = false;
     for (;;) {
       const ssize_t n = ::recv(link.fd, chunk, sizeof chunk, 0);
       if (n > 0) {
@@ -710,6 +1161,13 @@ void ShardDriver::drain_links() {
         continue;
       }
       if (n == 0) {
+        if (fault_) {
+          // The peer's process died. Parse what it already sent (frames from
+          // before its death are valid until the rollback discards them),
+          // then tear the link down; RECOVER re-dials the replacement.
+          dead = true;
+          break;
+        }
         throw std::runtime_error("peer shard " + std::to_string(peer) +
                                  " closed its link");
       }
@@ -719,27 +1177,45 @@ void ShardDriver::drain_links() {
       if (errno == EINTR) {
         continue;
       }
+      if (fault_ && (errno == ECONNRESET || errno == EPIPE)) {
+        dead = true;
+        break;
+      }
       throw_errno("recv (peer link)");
     }
     std::size_t pos = 0;
-    while (link.in.size() - pos >= kFrameHeaderBytes) {
+    while (link.fd >= 0 && link.in.size() - pos >= kFrameHeaderBytes) {
       const FrameHeader header = decode_frame_header(link.in.data() + pos);
       if (link.in.size() - pos < kFrameHeaderBytes + header.payload_len) {
         break;
       }
-      handle_peer_frame(peer, link.in.data() + pos, header);
+      if (fault_ && await_marker_[peer]) {
+        // Dead-incarnation frame: dropped, uncounted. The marker rides the
+        // same FIFO stream, so the discard window is exact.
+        if (header.tag == kTagRecoverMark) {
+          await_marker_[peer] = false;
+        }
+      } else if (header.tag == kTagRecoverMark) {
+        // The peer's marker beat our own RECOVER here (the two travel on
+        // different streams); remember it so RECOVER does not await another.
+        early_marker_[peer] = true;
+      } else {
+        handle_peer_frame(peer, link.in.data() + pos, header);
+      }
       pos += kFrameHeaderBytes + header.payload_len;
     }
+    pos = std::min(pos, link.in.size());  // a handler may have dropped the link
     link.in.erase(link.in.begin(),
                   link.in.begin() + static_cast<std::ptrdiff_t>(pos));
+    if (dead) {
+      drop_peer_link(peer);
+    }
   }
 }
 
 void ShardDriver::flush_links() {
-  for (PeerLink& link : links_) {
-    if (link.fd >= 0 && link.out_pending()) {
-      flush_out(link.fd, link.out, link.out_pos, "send (peer link)");
-    }
+  for (std::uint32_t peer = 0; peer < links_.size(); ++peer) {
+    flush_peer_link(peer);
   }
 }
 
@@ -830,6 +1306,17 @@ void ShardDriver::run() {
     }
     maybe_send_stats();
     flush_links();
+    if (fault_ && snap_mode_ != SnapMode::Run) {
+      // Snapshot protocol engaged: no event stepping. Settle absorbs and
+      // flushes until the coordinator sees global quiescence; Hold freezes
+      // the shard (post-serialize or post-restore) until Resume. STATS keep
+      // flowing either way so the watchdog sees a live shard.
+      if (snap_mode_ == SnapMode::Settle) {
+        settle_pass();
+      }
+      idle_wait();
+      continue;
+    }
     bool ran_any = false;
     const std::uint64_t now = now_ns();
     for (std::size_t k = 0; k < lps_.size(); ++k) {
@@ -923,14 +1410,24 @@ void ShardDriver::encode_result(WireWriter& w,
 
 /// Worker process body. Never returns; _exit() keeps the forked child from
 /// running the parent's atexit handlers or flushing its stdio twice.
+/// `recover` marks a replacement worker fork()ed mid-run: it accepts every
+/// survivor's dial instead of dialing, then blocks on the coordinator's
+/// RESTORE frame and starts frozen at the restored cut.
 [[noreturn]] void worker_main(std::uint32_t shard, const DistributedConfig& config,
                               const std::vector<LpRunner*>& lps,
                               std::uint16_t port,
                               const DistributedEngine::HarvestFn& harvest,
-                              const LiveStatsHooks& live) {
+                              const LiveStatsHooks& live, bool fault,
+                              bool recover) {
   try {
     if (live.on_worker_start) {
       live.on_worker_start(shard);
+    }
+    if (recover && live.bank != nullptr) {
+      // The replacement inherited the coordinator's bank (which holds
+      // coordinator-side entries by now); its RESULT must report only its
+      // own incarnation.
+      live.bank->reset();
     }
     const bool mesh =
         config.topology == Topology::Mesh && config.num_shards > 1;
@@ -995,16 +1492,23 @@ void ShardDriver::encode_result(WireWriter& w,
         ports[j] = r.u16();
       }
       OTW_REQUIRE_MSG(r.done(), "trailing bytes after peer directory");
-      for (std::uint32_t j = 0; j < shard; ++j) {
-        const int pfd = util::net::connect_loopback(ports[j], kNetCtx);
-        set_nodelay(pfd);
-        FrameHeader peer_hello;
-        peer_hello.tag = kTagPeerHello;
-        peer_hello.src_lp = shard;
-        send_frame(pfd, peer_hello, nullptr);
-        links[j].fd = pfd;
+      if (!recover) {
+        for (std::uint32_t j = 0; j < shard; ++j) {
+          const int pfd = util::net::connect_loopback(ports[j], kNetCtx);
+          set_nodelay(pfd);
+          FrameHeader peer_hello;
+          peer_hello.tag = kTagPeerHello;
+          peer_hello.src_lp = shard;
+          send_frame(pfd, peer_hello, nullptr);
+          links[j].fd = pfd;
+        }
       }
-      for (std::uint32_t j = shard + 1; j < config.num_shards; ++j) {
+      // Fresh start: accept every higher-numbered shard's dial. Recovery:
+      // every survivor (re-)dials us, in whatever order they process the
+      // RECOVER broadcast.
+      const std::uint32_t expect_dials =
+          recover ? config.num_shards - 1 : config.num_shards - shard - 1;
+      for (std::uint32_t j = 0; j < expect_dials; ++j) {
         int afd;
         do {
           afd = ::accept(mesh_listen_fd, nullptr, nullptr);
@@ -1019,7 +1523,7 @@ void ShardDriver::encode_result(WireWriter& w,
         }
         const FrameHeader ph = decode_frame_header(raw);
         OTW_REQUIRE_MSG(ph.tag == kTagPeerHello && ph.payload_len == 0 &&
-                            ph.src_lp > shard &&
+                            (recover ? ph.src_lp != shard : ph.src_lp > shard) &&
                             ph.src_lp < config.num_shards &&
                             links[ph.src_lp].fd < 0,
                         "malformed PEER-HELLO");
@@ -1032,10 +1536,35 @@ void ShardDriver::encode_result(WireWriter& w,
         }
       }
     }
-    set_nonblocking(fd);
-
     ShardDriver driver(shard, config, lps, fd, std::move(links), live, offset,
-                       rtt);
+                       rtt, fault);
+    if (recover) {
+      // fd is still blocking: the RESTORE frame (u32 epoch + u64 gvt + shard
+      // blob) is the next thing the coordinator sends on this stream.
+      std::uint8_t raw[kFrameHeaderBytes];
+      if (!read_exact(fd, raw, kFrameHeaderBytes)) {
+        throw std::runtime_error("coordinator closed before RESTORE");
+      }
+      const FrameHeader rh = decode_frame_header(raw);
+      OTW_REQUIRE_MSG(rh.tag == kTagRestore && rh.payload_len >= 12,
+                      "expected RESTORE as the first post-mesh frame");
+      std::vector<std::uint8_t> restore_payload(rh.payload_len);
+      if (!read_exact(fd, restore_payload.data(), restore_payload.size())) {
+        throw std::runtime_error("coordinator closed mid RESTORE");
+      }
+      WireReader rr(restore_payload.data(), restore_payload.size());
+      const std::uint32_t epoch = rr.u32();
+      const std::uint64_t gvt = rr.u64();
+      std::vector<std::uint8_t> blob(rr.remaining());
+      rr.bytes(blob.data(), blob.size());
+      driver.restore_from(epoch, gvt, std::move(blob));
+      FrameHeader recovered;
+      recovered.tag = kTagRecovered;
+      recovered.flags = kFlagControl;
+      recovered.src_lp = shard;
+      send_frame(fd, recovered, nullptr);
+    }
+    set_nonblocking(fd);
     driver.run();
 
     const std::vector<std::uint8_t> blob =
@@ -1109,7 +1638,8 @@ void flush_conn(Conn& conn) {
 EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
                                        HarvestFn harvest,
                                        LiveStatsHooks live,
-                                       MigrationHooks migration) {
+                                       MigrationHooks migration,
+                                       FaultHooks fault) {
   OTW_REQUIRE(!lps.empty());
   for (auto* lp : lps) {
     OTW_REQUIRE(lp != nullptr);
@@ -1129,6 +1659,12 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
       config_.topology == Topology::Mesh && config_.num_shards > 1;
   OTW_REQUIRE_MSG(!migration.enabled() || mesh,
                   "on-line migration requires the mesh topology");
+  const bool fault_on = fault.enabled;
+  OTW_REQUIRE_MSG(!fault_on || mesh,
+                  "fault tolerance requires the mesh topology and >= 2 shards");
+  OTW_REQUIRE_MSG(!fault_on || !migration.enabled(),
+                  "fault tolerance and on-line migration are mutually "
+                  "exclusive (a snapshot would have to version the owner map)");
 
   const std::uint64_t t_start = mono_ns();
   const std::uint32_t num_shards = config_.num_shards;
@@ -1154,7 +1690,8 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
     }
     if (pid == 0) {
       ::close(listen_fd);
-      worker_main(shard, config_, lps, port, harvest, live);  // never returns
+      worker_main(shard, config_, lps, port, harvest, live, fault_on,
+                  /*recover=*/false);  // never returns
     }
     children[shard] = pid;
   }
@@ -1206,7 +1743,9 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
       conns[i].shard = hello.src_lp;
       shard_conn[hello.src_lp] = static_cast<int>(i);
     }
-    ::close(listen_fd);
+    if (!fault_on) {
+      ::close(listen_fd);  // fault keeps it: a replacement worker must HELLO
+    }
     std::vector<std::uint8_t> dir;
     {
       WireWriter w(dir);
@@ -1239,6 +1778,48 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
     std::uint64_t next_decide_ns =
         migration.enabled() ? mono_ns() + decide_period_ns : kNever;
 
+    // Snapshot / recovery control state (fault tolerance; DESIGN.md 8c).
+    // The protocol is stop-the-world: Settle polls channel-op counters until
+    // they are identical across two rounds AND globally balanced (the
+    // quiescence proof), Cut freezes every LP at the shared GVT, Resettle
+    // absorbs the traffic the cut's flushes produced, Serialize collects the
+    // per-shard blobs, then Resume (commit) or Abort (discard) releases.
+    enum class SnapPhase : std::uint8_t { Idle, Settle, Cut, Resettle,
+                                          Serialize };
+    SnapPhase snap_phase = SnapPhase::Idle;
+    std::uint32_t snap_epoch = 0;
+    std::uint32_t next_snap_epoch = 1;
+    std::uint64_t snap_started_ns = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> snap_counts(
+        num_shards);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> snap_prev(num_shards);
+    std::vector<bool> snap_reported(num_shards, false);
+    std::uint32_t snap_report_count = 0;
+    std::uint32_t snap_poll_round = 0;  // run-unique poll round id
+    bool snap_have_prev = false;
+    std::uint32_t cut_acks = 0;
+    bool cut_declined = false;
+    std::uint64_t cut_gvt = 0;
+    std::vector<std::vector<std::uint8_t>> snap_blobs(num_shards);
+    std::uint32_t snap_data_count = 0;
+    SnapshotImage last_cut;          ///< last complete (restorable) cut
+    bool have_cut = false;
+    bool last_cut_in_memory = false; ///< blobs held in last_cut.shards
+    std::string last_cut_path;       ///< spill file of that cut, if written
+    const std::uint64_t initial_gap_ns =
+        static_cast<std::uint64_t>(fault.initial_gap_ms) * 1'000'000;
+    std::uint64_t next_snap_ns = fault_on ? mono_ns() + initial_gap_ns : kNever;
+    bool inject_done = false;
+
+    const auto flush_c = [&](Conn& conn) {
+      if (fault_on) {
+        // A worker SIGKILLed mid-write must not take the coordinator down;
+        // its queued bytes die with the incarnation once recovery runs.
+        static_cast<void>(flush_out_tolerant(conn.fd, conn.out, conn.out_pos));
+      } else {
+        flush_conn(conn);
+      }
+    };
     const auto broadcast = [&](const FrameHeader& h,
                                const std::uint8_t* payload) {
       for (Conn& conn : conns) {
@@ -1246,7 +1827,7 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
           continue;
         }
         queue_frame(conn.out, h, payload);
-        flush_conn(conn);
+        flush_c(conn);
       }
     };
     // FINISH once every worker's latest DONE is present and its reported
@@ -1254,7 +1835,8 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
     // order-independent settledness check: a destination's stale DONE (sent
     // before its MIGRATE arrived) can never satisfy it.
     const auto try_finish = [&] {
-      if (!mesh || finish_sent || migration_inflight) {
+      if (!mesh || finish_sent || migration_inflight ||
+          snap_phase != SnapPhase::Idle) {
         return;
       }
       for (const Conn& conn : conns) {
@@ -1270,12 +1852,354 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
       finish_sent = true;
     };
 
+    const auto broadcast_snap_ctl = [&](std::uint8_t code,
+                                        std::uint32_t epoch) {
+      std::vector<std::uint8_t> p;
+      WireWriter w(p);
+      w.u8(code);
+      w.u32(epoch);
+      FrameHeader h;
+      h.payload_len = static_cast<std::uint32_t>(p.size());
+      h.tag = kTagSnapCtl;
+      h.flags = kFlagControl;
+      h.send_ns = mono_ns();
+      broadcast(h, p.data());
+    };
+    const auto begin_poll_round = [&] {
+      std::fill(snap_reported.begin(), snap_reported.end(), false);
+      snap_report_count = 0;
+      // The Poll frame's epoch field carries a run-unique round id; only
+      // ACKs stamped with it count toward this round, so a late ACK from a
+      // previous round can never fake two stable rounds.
+      ++snap_poll_round;
+      broadcast_snap_ctl(kSnapPoll, snap_poll_round);
+    };
+    const auto abort_epoch = [&] {
+      broadcast_snap_ctl(kSnapAbort, snap_epoch);
+      snap_phase = SnapPhase::Idle;
+      snap_have_prev = false;
+      snap_data_count = 0;
+      for (auto& b : snap_blobs) {
+        b.clear();
+      }
+      next_snap_ns = mono_ns() + initial_gap_ns;
+      try_finish();
+    };
+    // All SNAP_DATA blobs are in: commit (spill if asked, Abort instead of
+    // keeping an epoch that exceeds the budget with nowhere to spill — the
+    // workers' self-blobs must never get ahead of what the coordinator can
+    // actually restore from), schedule the next cut, release the world.
+    const auto finalize_epoch = [&] {
+      std::uint64_t total = 0;
+      for (const auto& b : snap_blobs) {
+        total += b.size();
+      }
+      const bool oversize =
+          fault.max_snapshot_bytes > 0 && total > fault.max_snapshot_bytes;
+      bool committed = false;
+      if (!(oversize && fault.spill_dir.empty())) {
+        SnapshotImage image;
+        image.engine = kSnapshotEngineDistributed;
+        image.epoch = snap_epoch;
+        image.gvt_ticks = cut_gvt;
+        image.num_lps = static_cast<std::uint32_t>(lps.size());
+        image.shards.resize(num_shards);
+        for (std::uint32_t s = 0; s < num_shards; ++s) {
+          image.shards[s].shard = s;
+          image.shards[s].blob = std::move(snap_blobs[s]);
+          snap_blobs[s].clear();
+        }
+        if (!fault.spill_dir.empty()) {
+          last_cut_path = fault.spill_dir + "/otw_snapshot_epoch" +
+                          std::to_string(snap_epoch) + ".otwsnap";
+          write_snapshot_file(last_cut_path, image);
+        }
+        if (oversize) {
+          // Spilled; keep only the manifest fields in memory.
+          last_cut = SnapshotImage{};
+          last_cut.engine = image.engine;
+          last_cut.epoch = image.epoch;
+          last_cut.gvt_ticks = image.gvt_ticks;
+          last_cut.num_lps = image.num_lps;
+          last_cut_in_memory = false;
+        } else {
+          last_cut = std::move(image);
+          last_cut_in_memory = true;
+        }
+        have_cut = true;
+        committed = true;
+        ++result.dist.snapshots_taken;
+        result.dist.snapshot_bytes += total;
+      }
+      const std::uint64_t cost_ns = mono_ns() - snap_started_ns;
+      std::uint32_t gap_ms = fault.initial_gap_ms;
+      if (committed && fault.next_gap_ms) {
+        gap_ms = fault.next_gap_ms(cost_ns, total);
+      }
+      next_snap_ns = mono_ns() + static_cast<std::uint64_t>(gap_ms) * 1'000'000;
+      broadcast_snap_ctl(committed ? kSnapResume : kSnapAbort, snap_epoch);
+      snap_phase = SnapPhase::Idle;
+      snap_have_prev = false;
+      snap_data_count = 0;
+      try_finish();
+      if (committed && !inject_done && fault.inject_kill_shard >= 0 &&
+          snap_epoch >= fault.inject_kill_after_epoch) {
+        // Test hook: lose a shard right after a committed cut.
+        inject_done = true;
+        const auto victim = static_cast<std::uint32_t>(fault.inject_kill_shard);
+        ::kill(children[victim], SIGKILL);
+      }
+    };
+    // A worker died (EOF): fork a replacement, replay the handshake, restore
+    // it from the last complete cut, and roll every survivor back to that
+    // cut. The world is frozen until all num_shards RECOVERED frames arrive.
+    const auto run_recovery = [&](std::uint32_t ci) {
+      Conn& dead_conn = conns[ci];
+      const std::uint32_t dead = dead_conn.shard;
+      const std::uint64_t t0 = mono_ns();
+      // Whatever snapshot phase was in flight can no longer complete; the
+      // workers discard their pending blobs when RECOVER arrives.
+      snap_phase = SnapPhase::Idle;
+      snap_have_prev = false;
+      snap_data_count = 0;
+      for (auto& b : snap_blobs) {
+        b.clear();
+      }
+      ::waitpid(children[dead], nullptr, 0);
+      children[dead] = -1;
+      ::close(dead_conn.fd);
+      dead_conn.fd = -1;
+      dead_conn.in.clear();
+      dead_conn.out.clear();
+      dead_conn.out_pos = 0;
+      // The cut blob for the lost shard, from memory or the spill file. Copy
+      // (not move) out of last_cut: a second failure may need it again.
+      std::vector<std::uint8_t> blob;
+      std::uint64_t restore_gvt = last_cut.gvt_ticks;
+      if (last_cut_in_memory) {
+        blob = last_cut.shards[dead].blob;
+      } else {
+        SnapshotImage img = read_snapshot_file(last_cut_path);
+        OTW_REQUIRE_MSG(img.epoch == last_cut.epoch,
+                        "spilled snapshot names a different epoch");
+        restore_gvt = img.gvt_ticks;
+        for (SnapshotShardBlob& s : img.shards) {
+          if (s.shard == dead) {
+            blob = std::move(s.blob);
+          }
+        }
+      }
+      OTW_REQUIRE_MSG(!blob.empty(),
+                      "the last cut holds no blob for the lost shard");
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        throw_errno("fork (recovery)");
+      }
+      if (pid == 0) {
+        ::close(listen_fd);
+        for (Conn& c : conns) {
+          if (c.fd >= 0) {
+            ::close(c.fd);
+          }
+        }
+        worker_main(dead, config_, lps, port, harvest, live, /*fault=*/true,
+                    /*recover=*/true);  // never returns
+      }
+      children[dead] = pid;
+      // Replay phase 1 for the replacement alone: HELLO in, directory out.
+      int nfd;
+      do {
+        nfd = ::accept(listen_fd, nullptr, nullptr);
+      } while (nfd < 0 && errno == EINTR);
+      if (nfd < 0) {
+        throw_errno("accept (recovery)");
+      }
+      std::uint8_t raw[kFrameHeaderBytes];
+      if (!read_exact(nfd, raw, kFrameHeaderBytes)) {
+        throw std::runtime_error("replacement worker died before HELLO");
+      }
+      const FrameHeader hello = decode_frame_header(raw);
+      OTW_REQUIRE_MSG(hello.tag == kTagHello && hello.payload_len == 2 &&
+                          hello.src_lp == dead,
+                      "expected the replacement worker's HELLO");
+      std::uint8_t port_raw[2];
+      if (!read_exact(nfd, port_raw, 2)) {
+        throw std::runtime_error("replacement worker died mid HELLO");
+      }
+      std::uint16_t new_port = 0;
+      std::memcpy(&new_port, port_raw, 2);
+      mesh_ports[dead] = new_port;
+      set_nodelay(nfd);
+      dead_conn.fd = nfd;
+      std::vector<std::uint8_t> dir2;
+      {
+        WireWriter w(dir2);
+        w.u32(num_shards);
+        for (std::uint32_t s = 0; s < num_shards; ++s) {
+          w.u16(mesh_ports[s]);
+        }
+      }
+      FrameHeader ack;
+      ack.payload_len = static_cast<std::uint32_t>(dir2.size());
+      ack.tag = kTagHelloAck;
+      ack.src_lp = dead;
+      ack.send_ns = mono_ns();
+      send_frame(nfd, ack, dir2.data());  // still blocking: writes through
+      // RESTORE is queued non-blocking: the blob can exceed the socket
+      // buffer, and the replacement only reads it after accepting the
+      // survivors' re-dials — a blocking write here could jam forever.
+      {
+        std::vector<std::uint8_t> p;
+        WireWriter w(p);
+        w.u32(last_cut.epoch);
+        w.u64(restore_gvt);
+        w.bytes(blob.data(), blob.size());
+        FrameHeader h;
+        h.payload_len = static_cast<std::uint32_t>(p.size());
+        h.tag = kTagRestore;
+        h.flags = kFlagControl;
+        h.send_ns = mono_ns();
+        queue_frame(dead_conn.out, h, p.data());
+      }
+      set_nonblocking(nfd);
+      flush_c(dead_conn);
+      // Tell the survivors: roll back to the cut, mark your links, re-dial
+      // the new incarnation.
+      {
+        std::vector<std::uint8_t> p;
+        WireWriter w(p);
+        w.u32(last_cut.epoch);
+        w.u32(dead);
+        w.u16(new_port);
+        FrameHeader h;
+        h.payload_len = static_cast<std::uint32_t>(p.size());
+        h.tag = kTagRecover;
+        h.flags = kFlagControl;
+        h.send_ns = mono_ns();
+        for (Conn& c : conns) {
+          if (c.shard == dead) {
+            continue;
+          }
+          queue_frame(c.out, h, p.data());
+          flush_c(c);
+        }
+      }
+      // Mini relay loop until every shard (survivors + replacement) reports
+      // RECOVERED. Anything relayable in flight belongs to the dead
+      // incarnation's future and is dropped — the restored cut predates it.
+      std::uint32_t recovered = 0;
+      std::vector<pollfd> rfds(num_shards);
+      while (recovered < num_shards) {
+        for (std::uint32_t k = 0; k < num_shards; ++k) {
+          rfds[k].fd = conns[k].fd;
+          rfds[k].events = static_cast<short>(
+              POLLIN | (conns[k].out_pending() ? POLLOUT : 0));
+          rfds[k].revents = 0;
+        }
+        const int prc = ::poll(rfds.data(), rfds.size(), 1000);
+        if (prc < 0) {
+          if (errno == EINTR) {
+            continue;
+          }
+          throw_errno("poll (recovery)");
+        }
+        for (std::uint32_t k = 0; k < num_shards; ++k) {
+          Conn& c = conns[k];
+          if ((rfds[k].revents & POLLOUT) != 0) {
+            flush_c(c);
+          }
+          if ((rfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+            continue;
+          }
+          std::uint8_t chunk[16384];
+          bool died = false;
+          for (;;) {
+            const ssize_t n = ::recv(c.fd, chunk, sizeof chunk, 0);
+            if (n > 0) {
+              c.in.insert(c.in.end(), chunk, chunk + n);
+              continue;
+            }
+            if (n == 0) {
+              died = true;
+              break;
+            }
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+              break;
+            }
+            if (errno == EINTR) {
+              continue;
+            }
+            died = true;
+            break;
+          }
+          std::size_t pos = 0;
+          while (c.in.size() - pos >= kFrameHeaderBytes) {
+            const FrameHeader h2 = decode_frame_header(c.in.data() + pos);
+            if (c.in.size() - pos < kFrameHeaderBytes + h2.payload_len) {
+              break;
+            }
+            const std::uint8_t* f2 = c.in.data() + pos;
+            if (h2.tag == kTagRecovered) {
+              ++recovered;
+            } else if (h2.tag == kTagStats) {
+              if (live.on_stats) {
+                live.on_stats(c.shard, f2 + kFrameHeaderBytes, h2.payload_len);
+              }
+              ++result.dist.stats_frames;
+            } else if (h2.tag == kTagTime) {
+              FrameHeader echo;
+              echo.payload_len = 8;
+              echo.tag = kTagTime;
+              echo.flags = kFlagControl;
+              echo.src_lp = c.shard;
+              echo.send_ns = mono_ns();
+              std::uint8_t echo_frame[kFrameHeaderBytes + 8];
+              encode_frame_header(echo, echo_frame);
+              std::memcpy(echo_frame + kFrameHeaderBytes, &h2.send_ns, 8);
+              c.out.insert(c.out.end(), echo_frame,
+                           echo_frame + sizeof echo_frame);
+              flush_c(c);
+            }
+            // else: dropped (stale SNAP_ACK/SNAP_DATA/DONE, relayed GVT
+            // frames of the dead incarnation).
+            pos += kFrameHeaderBytes + h2.payload_len;
+          }
+          c.in.erase(c.in.begin(),
+                     c.in.begin() + static_cast<std::ptrdiff_t>(pos));
+          if (died) {
+            throw std::runtime_error(
+                "shard " + std::to_string(c.shard) +
+                " died during recovery (double fault is fatal)");
+          }
+        }
+      }
+      // Every shard is frozen at the cut: stale endgame state is void.
+      for (Conn& c : conns) {
+        c.done_valid = false;
+        c.done_migrations_in = 0;
+      }
+      any_done = false;
+      RecoveryIncident incident;
+      incident.epoch = last_cut.epoch;
+      incident.lost_shard = dead;
+      incident.restore_ns = mono_ns() - t0;
+      incident.bytes = blob.size();
+      incident.gvt_ticks = restore_gvt;
+      result.recoveries.push_back(incident);
+      broadcast_snap_ctl(kSnapResume, last_cut.epoch);
+      next_snap_ns = mono_ns() + initial_gap_ns;
+    };
+
     // Phase 2: control loop. Star relays every frame in arrival order (the
     // order-preserving relay is the FIFO guarantee); Mesh only sees control
     // frames here — GVT tokens/announces routed by the owner map — plus the
     // migration protocol (DONE/MIGRATED in, MIGRATE_CMD/REBIND/FINISH out).
     std::uint32_t results = 0;
     std::vector<pollfd> pfds(num_shards);
+    if (fault_on && snap_debug()) {
+      std::fprintf(stderr, "[coord] relay loop, fault on, first epoch in %lld ms\n",
+                   static_cast<long long>(next_snap_ns - mono_ns()) / 1'000'000);
+    }
     while (results < num_shards) {
       for (std::uint32_t i = 0; i < num_shards; ++i) {
         pfds[i].fd = conns[i].done ? -1 : conns[i].fd;
@@ -1291,12 +2215,54 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
                          ? 0
                          : static_cast<int>((next_decide_ns - now) / 1'000'000 + 1);
       }
+      if (fault_on) {
+        // Capped so externally-requested kills (the watchdog path) are
+        // noticed promptly even while every stream is quiet.
+        int cap = kFaultPollCapMs;
+        if (snap_phase == SnapPhase::Idle && !finish_sent && !any_done &&
+            results == 0) {
+          const std::uint64_t now = mono_ns();
+          const auto until_ms =
+              next_snap_ns <= now
+                  ? 0
+                  : static_cast<int>((next_snap_ns - now) / 1'000'000 + 1);
+          cap = std::min(cap, until_ms);
+        }
+        timeout_ms = timeout_ms < 0 ? cap : std::min(timeout_ms, cap);
+      }
       const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
       if (rc < 0) {
         if (errno == EINTR) {
           continue;
         }
         throw_errno("poll (relay)");
+      }
+      if (fault_on && fault.kill_request) {
+        const std::int32_t victim = fault.kill_request->exchange(-1);
+        // Honored only when a restorable cut exists and the run is still in
+        // flight; otherwise the request is dropped (recovery would fail).
+        if (victim >= 0 && static_cast<std::uint32_t>(victim) < num_shards &&
+            have_cut && !finish_sent &&
+            !conns[static_cast<std::size_t>(
+                       shard_conn[static_cast<std::uint32_t>(victim)])]
+                 .done) {
+          ::kill(children[static_cast<std::uint32_t>(victim)], SIGKILL);
+        }
+      }
+      if (fault_on && snap_phase == SnapPhase::Idle && !finish_sent &&
+          !any_done && results == 0 && mono_ns() >= next_snap_ns) {
+        snap_epoch = next_snap_epoch++;
+        snap_started_ns = mono_ns();
+        snap_phase = SnapPhase::Settle;
+        snap_have_prev = false;
+        for (auto& b : snap_blobs) {
+          b.clear();
+        }
+        if (snap_debug()) {
+          std::fprintf(stderr, "[coord] epoch %u: Stop+Poll\n", snap_epoch);
+        }
+        broadcast_snap_ctl(kSnapStop, snap_epoch);
+        begin_poll_round();
       }
       if (migration.enabled() && !any_done && !finish_sent &&
           !migration_inflight && mono_ns() >= next_decide_ns) {
@@ -1329,7 +2295,7 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
           continue;
         }
         if ((pfds[i].revents & POLLOUT) != 0) {
-          flush_conn(conn);
+          flush_c(conn);
         }
         if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
           continue;
@@ -1354,6 +2320,12 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
           }
           if (errno == EINTR) {
             continue;
+          }
+          if (fault_on && errno == ECONNRESET) {
+            // A SIGKILLed worker resets rather than closing; same as EOF
+            // for the recovery path below.
+            eof = true;
+            break;
           }
           throw_errno("recv (relay)");
         }
@@ -1464,13 +2436,20 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
             std::memcpy(echo_frame + kFrameHeaderBytes, &header.send_ns, 8);
             conn.out.insert(conn.out.end(), echo_frame,
                             echo_frame + sizeof echo_frame);
-            flush_conn(conn);
+            flush_c(conn);
           } else if (header.tag == kTagDone) {
             OTW_REQUIRE_MSG(mesh && header.payload_len == 8,
                             "unexpected DONE frame");
             conn.done_valid = true;
             std::memcpy(&conn.done_migrations_in, frame + kFrameHeaderBytes, 8);
             any_done = true;
+            if (fault_on && snap_phase != SnapPhase::Idle) {
+              // A shard finished before our Stop reached it (its DONE
+              // precedes its settle ACKs in stream order, so we always see
+              // it before the cut fires). Cutting would roll completion
+              // back — drop the epoch instead; the run is nearly over.
+              abort_epoch();
+            }
             try_finish();
           } else if (header.tag == kTagMigrated) {
             OTW_REQUIRE_MSG(mesh && migration_inflight,
@@ -1504,6 +2483,111 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
               broadcast(h, rebind.data());
             }
             try_finish();
+          } else if (header.tag == kTagSnapAck) {
+            OTW_REQUIRE_MSG(fault_on && header.payload_len == 21,
+                            "unexpected SNAP_ACK frame");
+            WireReader reader(frame + kFrameHeaderBytes, header.payload_len);
+            const std::uint8_t kind = reader.u8();
+            const std::uint64_t a = reader.u64();
+            const std::uint64_t b = reader.u64();
+            // Round id for counters ACKs, epoch for accept/decline.
+            const std::uint32_t seq = reader.u32();
+            if (snap_debug()) {
+              std::fprintf(stderr,
+                           "[coord] SNAP_ACK shard=%u kind=%u a=%llu b=%llu "
+                           "seq=%u phase=%u\n",
+                           conn.shard, kind,
+                           static_cast<unsigned long long>(a),
+                           static_cast<unsigned long long>(b), seq,
+                           static_cast<unsigned>(snap_phase));
+            }
+            if (kind == kSnapAckCounters && seq == snap_poll_round &&
+                (snap_phase == SnapPhase::Settle ||
+                 snap_phase == SnapPhase::Resettle)) {
+              if (!snap_reported[conn.shard]) {
+                snap_reported[conn.shard] = true;
+                ++snap_report_count;
+              }
+              snap_counts[conn.shard] = {a, b};
+              if (snap_report_count == num_shards) {
+                // Quiescent iff the counter vector repeated across two
+                // rounds AND is globally balanced: repetition alone can be a
+                // coincidence of in-flight frames, balance alone can hold
+                // while frames are still moving.
+                bool identical = snap_have_prev;
+                std::uint64_t sum_sent = 0;
+                std::uint64_t sum_recv = 0;
+                for (std::uint32_t s = 0; s < num_shards; ++s) {
+                  sum_sent += snap_counts[s].first;
+                  sum_recv += snap_counts[s].second;
+                  if (identical && snap_counts[s] != snap_prev[s]) {
+                    identical = false;
+                  }
+                }
+                if (identical && sum_sent == sum_recv) {
+                  snap_have_prev = false;
+                  if (snap_phase == SnapPhase::Settle) {
+                    snap_phase = SnapPhase::Cut;
+                    cut_acks = 0;
+                    cut_declined = false;
+                    cut_gvt = 0;
+                    broadcast_snap_ctl(kSnapCut, snap_epoch);
+                  } else {
+                    snap_phase = SnapPhase::Serialize;
+                    snap_data_count = 0;
+                    broadcast_snap_ctl(kSnapSerialize, snap_epoch);
+                  }
+                } else {
+                  snap_prev = snap_counts;
+                  snap_have_prev = true;
+                  begin_poll_round();
+                }
+              }
+            } else if ((kind == kSnapAckAccept || kind == kSnapAckDecline) &&
+                       snap_phase == SnapPhase::Cut && seq == snap_epoch) {
+              ++cut_acks;
+              if (kind == kSnapAckDecline) {
+                cut_declined = true;
+              } else {
+                OTW_REQUIRE_MSG(cut_gvt == 0 || cut_gvt == a,
+                                "shards disagree on the cut GVT");
+                cut_gvt = a;
+              }
+              if (cut_acks == num_shards) {
+                if (cut_declined) {
+                  // Some shard cannot cut here (done, or GVT still 0);
+                  // nothing was mutated — retry after the initial gap.
+                  abort_epoch();
+                } else {
+                  // The cut's rollbacks flushed fresh sends; settle again
+                  // before asking anyone to serialize.
+                  snap_phase = SnapPhase::Resettle;
+                  snap_have_prev = false;
+                  begin_poll_round();
+                }
+              }
+            }
+            // Stale ACKs (a recovery voided the epoch mid-flight) drop here.
+          } else if (header.tag == kTagSnapData) {
+            OTW_REQUIRE_MSG(fault_on && header.payload_len >= 12,
+                            "unexpected SNAP_DATA frame");
+            WireReader reader(frame + kFrameHeaderBytes, header.payload_len);
+            const std::uint32_t epoch = reader.u32();
+            const std::uint64_t gvt = reader.u64();
+            if (snap_phase == SnapPhase::Serialize && epoch == snap_epoch) {
+              OTW_REQUIRE_MSG(gvt == cut_gvt,
+                              "SNAP_DATA disagrees with the cut GVT");
+              auto& blob = snap_blobs[conn.shard];
+              blob.resize(reader.remaining());
+              reader.bytes(blob.data(), blob.size());
+              if (++snap_data_count == num_shards) {
+                finalize_epoch();
+              }
+            }
+            // Stale epochs (voided by a recovery) drop here.
+          } else if (header.tag == kTagRecovered) {
+            // A straggler from a recovery window that already closed.
+            OTW_REQUIRE_MSG(fault_on, "unexpected RECOVERED frame");
           } else {
             OTW_REQUIRE_MSG(header.tag < kReservedTagBase,
                             "unexpected control frame from worker");
@@ -1516,7 +2600,7 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
             OTW_REQUIRE(dst_shard < num_shards);
             Conn& target = conns[static_cast<std::size_t>(shard_conn[dst_shard])];
             target.out.insert(target.out.end(), frame, frame + frame_len);
-            flush_conn(target);  // opportunistic; POLLOUT handles the rest
+            flush_c(target);  // opportunistic; POLLOUT handles the rest
             ++result.dist.frames_relayed;
             if (live.bank != nullptr || live.on_relay) {
               // Relay residency: origin encode -> queued for the destination
@@ -1539,6 +2623,12 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
         conn.in.erase(conn.in.begin(),
                       conn.in.begin() + static_cast<std::ptrdiff_t>(pos));
         if (eof && !conn.done) {
+          if (fault_on && have_cut && !finish_sent &&
+              result.recoveries.size() <
+                  static_cast<std::size_t>(fault.max_recoveries)) {
+            run_recovery(i);
+            continue;  // conn now points at the replacement's stream
+          }
           throw std::runtime_error("shard " + std::to_string(conn.shard) +
                                    " exited before reporting a result");
         }
@@ -1549,7 +2639,13 @@ EngineRunResult DistributedEngine::run(const std::vector<LpRunner*>& lps,
       ::close(conn.fd);  // mesh workers linger on this close before exiting
       conn.fd = -1;
     }
+    if (fault_on) {
+      ::close(listen_fd);
+    }
   } catch (...) {
+    if (fault_on) {
+      ::close(listen_fd);
+    }
     for (pid_t child : children) {
       if (child > 0) {
         ::kill(child, SIGKILL);

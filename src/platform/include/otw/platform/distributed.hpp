@@ -43,10 +43,13 @@
 // coordinator joins them with waitpid and fails loudly on a non-zero child.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -127,6 +130,49 @@ class MigratableLp {
   virtual ~MigratableLp() = default;
   [[nodiscard]] virtual bool migrate_out(LpContext& ctx, WireWriter& writer) = 0;
   virtual void migrate_in(LpContext& ctx, WireReader& reader) = 0;
+
+  // --- shard-level checkpoint/restart (fault tolerance) ---
+  // The snapshot protocol reuses the migration machinery but keeps the LP
+  // alive: settle lets the LP absorb in-flight traffic without processing
+  // new events, cut freezes it at the global GVT cut (the same forced
+  // rollback migrate_out performs), encode serializes the frozen LP in the
+  // MIGRATE revival layout WITHOUT consuming it, and restore rewinds a
+  // *live* LP back to a previously encoded cut (migrate_in semantics plus
+  // dropping any post-cut aggregation batches). Default implementations
+  // make non-checkpointable runners decline every snapshot.
+
+  /// Absorbs pending traffic (drain inboxes, forward GVT tokens, flush
+  /// aggregation windows) without processing events. Returns true when any
+  /// message or send was handled — i.e. the LP was not yet quiescent.
+  virtual bool snapshot_settle(LpContext& ctx) {
+    static_cast<void>(ctx);
+    return false;
+  }
+  /// Rolls the LP back to its current GVT cut and flushes every held send
+  /// and aggregation batch (their antis/events re-enter the settle loop).
+  /// Returns false to decline (GVT still zero, or the LP completed).
+  [[nodiscard]] virtual bool snapshot_cut(LpContext& ctx) {
+    static_cast<void>(ctx);
+    return false;
+  }
+  /// Serializes the cut LP without consuming it (MIGRATE revival layout).
+  /// Only valid after a successful snapshot_cut + re-settle.
+  virtual void snapshot_encode(LpContext& ctx, WireWriter& writer) {
+    static_cast<void>(ctx);
+    static_cast<void>(writer);
+  }
+  /// Rewinds a live LP to an encoded cut (survivor side of a recovery) or
+  /// initializes a fresh replacement from one (migrate_in semantics).
+  virtual void snapshot_restore(LpContext& ctx, WireReader& reader) {
+    static_cast<void>(ctx);
+    static_cast<void>(reader);
+  }
+  /// Virtual time of the cut snapshot_cut froze this LP at. After global
+  /// quiescence every LP of every shard agrees on this value (no GVT epoch
+  /// can be in flight), so the driver reads it from any accepting LP.
+  [[nodiscard]] virtual std::uint64_t snapshot_gvt_ticks() const noexcept {
+    return 0;
+  }
 };
 
 /// One migration order: move `lp` to shard `to_shard`.
@@ -198,6 +244,44 @@ struct LiveStatsHooks {
   }
 };
 
+/// Shard-level checkpoint/restart (Mesh only; mutually exclusive with
+/// migration — owners stay at the initial placement so a snapshot never has
+/// to version the owner map). When enabled, the coordinator periodically
+/// runs the SNAPSHOT protocol (SNAP_CTL stop -> settle -> cut -> settle ->
+/// serialize -> resume; see DESIGN.md section 8c), retains the last complete
+/// epoch (each worker also keeps its own shard's blob for self-restore), and
+/// on a worker death forks a replacement, restores every shard to the cut
+/// and resumes — the run completes with digests bit-identical to a
+/// failure-free execution.
+struct FaultHooks {
+  bool enabled = false;
+  /// Give up (rethrow the legacy failure) after this many recoveries.
+  std::uint32_t max_recoveries = 4;
+  /// Abort (discard) a snapshot epoch whose total blob bytes exceed this;
+  /// 0 = unlimited.
+  std::uint64_t max_snapshot_bytes = 0;
+  /// Milliseconds from run start to the first snapshot attempt, and the
+  /// fallback gap when `next_gap_ms` is unset.
+  std::uint32_t initial_gap_ms = 50;
+  /// Cadence controller: called after each complete epoch with its measured
+  /// wall cost and size; returns the ms gap until the next snapshot (the
+  /// kernel backs this with a Bringmann-style schedule controller).
+  std::function<std::uint32_t(std::uint64_t cost_ns, std::uint64_t bytes)>
+      next_gap_ms;
+  /// Spill directory for complete epochs ("OTWSNAP1" container, see
+  /// wire.hpp kSnapshotManifestFields); empty = coordinator memory only.
+  std::string spill_dir;
+  /// Watchdog -> engine kill request: when set, the coordinator SIGKILLs
+  /// the worker of the shard stored here (then recovers it). Written by the
+  /// monitor thread, consumed (reset to -1) by the coordinator loop.
+  std::shared_ptr<std::atomic<std::int32_t>> kill_request;
+  /// Chaos injection for tests/CI: when >= 0, the coordinator SIGKILLs this
+  /// shard's worker right after snapshot epoch `inject_kill_after_epoch`
+  /// completes (deterministic mid-run failure).
+  std::int32_t inject_kill_shard = -1;
+  std::uint32_t inject_kill_after_epoch = 1;
+};
+
 class DistributedEngine {
  public:
   /// Serializes whatever the caller wants back from a finished shard
@@ -217,7 +301,8 @@ class DistributedEngine {
   /// may be default (no STATS streaming); `migration` may be default (static
   /// placement; requires Topology::Mesh when enabled).
   EngineRunResult run(const std::vector<LpRunner*>& lps, HarvestFn harvest,
-                      LiveStatsHooks live = {}, MigrationHooks migration = {});
+                      LiveStatsHooks live = {}, MigrationHooks migration = {},
+                      FaultHooks fault = {});
 
   /// Opaque per-shard payloads produced by the harvest callback, indexed by
   /// shard id. Valid after run() returns. (Per-shard wire trace logs, when

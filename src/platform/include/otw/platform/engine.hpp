@@ -175,6 +175,8 @@ struct DistStats {
   std::uint64_t migrations = 0;        ///< LPs moved between shards mid-run
   std::uint64_t serialize_ns = 0;      ///< wall time spent encoding payloads
   std::uint64_t deserialize_ns = 0;    ///< wall time spent decoding payloads
+  std::uint64_t snapshots_taken = 0;   ///< complete snapshot epochs recorded
+  std::uint64_t snapshot_bytes = 0;    ///< total bytes across recorded epochs
 
   void add(const DistStats& other) noexcept {
     frames_sent += other.frames_sent;
@@ -188,7 +190,20 @@ struct DistStats {
     migrations += other.migrations;
     serialize_ns += other.serialize_ns;
     deserialize_ns += other.deserialize_ns;
+    snapshots_taken += other.snapshots_taken;
+    snapshot_bytes += other.snapshot_bytes;
   }
+};
+
+/// One completed shard recovery (distributed engine with fault tolerance).
+/// The coordinator records an incident when a worker process dies mid-run
+/// and every shard has been rolled back to the last complete snapshot cut.
+struct RecoveryIncident {
+  std::uint32_t epoch = 0;       ///< snapshot epoch the run was restored from
+  std::uint32_t lost_shard = 0;  ///< shard whose worker process died
+  std::uint64_t restore_ns = 0;  ///< death detected -> all shards resumed
+  std::uint64_t bytes = 0;       ///< snapshot bytes replayed into the replacement
+  std::uint64_t gvt_ticks = 0;   ///< virtual time of the restored cut
 };
 
 /// Per-shard steady-clock alignment estimated over the worker stream
@@ -237,6 +252,9 @@ struct EngineRunResult {
   /// the kernel keys its harvest merge and trace rebasing on this, never on
   /// the static placement.
   std::vector<std::uint32_t> final_owners;
+  /// Shard recoveries performed mid-run (distributed engine with
+  /// FaultHooks enabled; empty otherwise), in occurrence order.
+  std::vector<RecoveryIncident> recoveries;
 };
 
 }  // namespace otw::platform

@@ -1,0 +1,86 @@
+// "OTWSNAP1" snapshot container: the on-disk form of one snapshot epoch.
+//
+// Written by the distributed coordinator when a complete epoch spills to
+// disk (FaultHooks::spill_dir) and by tw::snapshot for a suspended
+// sequential run; read back by tw::restore and rendered by `twreport
+// snapshot`. Layout (all integers little-endian, via the wire codec; field
+// names tracked by wire.hpp kSnapshotManifestFields and DESIGN.md section
+// 8c):
+//
+//   char[8]  magic      "OTWSNAP1"
+//   u32      version    1
+//   u32      engine     0 = sequential, 1 = distributed
+//   u32      epoch      snapshot epoch (0 for sequential suspends)
+//   u64      gvt        virtual time of the cut, in ticks
+//   u32      num_lps    LPs in the simulation (objects, for sequential)
+//   u32      num_shards shard sections that follow (1 for sequential)
+//   then per shard:
+//     u32    shard      shard id
+//     u64    blob_bytes length of the opaque shard blob
+//     bytes  blob       u32 lp_count, then per LP {u32 lp_id, u32 lp_bytes,
+//                       payload} — the MIGRATE revival layout for the
+//                       distributed engine, the sequential object layout
+//                       (tw/snapshot.hpp) otherwise
+//
+// Readers REQUIRE-fail with a descriptive message on a bad magic, an
+// unknown version, or a truncated file — a half-written snapshot must never
+// restore silently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace otw::platform {
+
+inline constexpr char kSnapshotMagic[8] = {'O', 'T', 'W', 'S',
+                                           'N', 'A', 'P', '1'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// SnapshotImage::engine values.
+inline constexpr std::uint32_t kSnapshotEngineSequential = 0;
+inline constexpr std::uint32_t kSnapshotEngineDistributed = 1;
+
+struct SnapshotShardBlob {
+  std::uint32_t shard = 0;
+  std::vector<std::uint8_t> blob;
+
+  /// LPs serialized in this blob (its leading u32), 0 when empty.
+  [[nodiscard]] std::uint32_t lp_count() const noexcept;
+};
+
+/// One complete snapshot epoch, engine-agnostic.
+struct SnapshotImage {
+  std::uint32_t engine = kSnapshotEngineDistributed;
+  std::uint32_t epoch = 0;
+  std::uint64_t gvt_ticks = 0;
+  std::uint32_t num_lps = 0;
+  std::vector<SnapshotShardBlob> shards;
+
+  [[nodiscard]] std::uint64_t total_blob_bytes() const noexcept {
+    std::uint64_t n = 0;
+    for (const SnapshotShardBlob& s : shards) {
+      n += s.blob.size();
+    }
+    return n;
+  }
+};
+
+/// Serializes `image` into the container layout (magic through blobs).
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot_image(
+    const SnapshotImage& image);
+
+/// Parses a container byte stream; REQUIRE-fails on bad magic / version /
+/// truncation.
+[[nodiscard]] SnapshotImage decode_snapshot_image(
+    const std::uint8_t* data, std::size_t len);
+
+/// Writes `image` to `path` (truncating). Throws std::runtime_error on I/O
+/// failure.
+void write_snapshot_file(const std::string& path, const SnapshotImage& image);
+
+/// Reads a container file back. Throws std::runtime_error when the file
+/// cannot be opened; REQUIRE-fails on malformed content.
+[[nodiscard]] SnapshotImage read_snapshot_file(const std::string& path);
+
+}  // namespace otw::platform

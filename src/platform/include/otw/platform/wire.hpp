@@ -58,6 +58,13 @@ inline constexpr WireTag kTagRebind = 0xFF09;      ///< coordinator -> all worke
 inline constexpr WireTag kTagPeerHello = 0xFF0A;   ///< identity frame on a freshly dialed peer link (src_lp = shard)
 inline constexpr WireTag kTagDone = 0xFF0B;        ///< worker -> coordinator: local active set drained, payload u64 migrations_in
 inline constexpr WireTag kTagFinish = 0xFF0C;      ///< coordinator -> all workers: harvest and report RESULT
+inline constexpr WireTag kTagSnapCtl = 0xFF0D;     ///< coordinator -> all workers: snapshot phase change (payload u8 phase + u32 epoch)
+inline constexpr WireTag kTagSnapAck = 0xFF0E;     ///< worker -> coordinator: settle counters / cut outcome for one poll round
+inline constexpr WireTag kTagSnapData = 0xFF0F;    ///< worker -> coordinator: serialized shard blob for one snapshot epoch
+inline constexpr WireTag kTagRecover = 0xFF10;     ///< coordinator -> survivors: dead shard id + replacement mesh port + epoch
+inline constexpr WireTag kTagRestore = 0xFF11;     ///< coordinator -> replacement worker: shard blob of the last complete cut
+inline constexpr WireTag kTagRecovered = 0xFF12;   ///< worker -> coordinator: local restore finished, frozen until resume
+inline constexpr WireTag kTagRecoverMark = 0xFF13; ///< survivor -> surviving peers: incarnation boundary on a peer link
 
 /// Field names of the MIGRATE frame payload, in wire order (nested: the
 /// `runtimes` group repeats per object runtime, `pending` is that runtime's
@@ -68,6 +75,18 @@ inline constexpr const char* kMigrateFrameFields[] = {
     "events_total", "samples",    "runtimes",     "object",
     "lvt",        "last_position", "instance_seq", "state",
     "object_stats", "object_samples", "pending",
+};
+
+/// Field names of the snapshot file container ("OTWSNAP1", written by
+/// tw::snapshot and by the coordinator's spill-to-disk path), in file order.
+/// The `shard` group repeats num_shards times; each `blob` holds that
+/// shard's LPs in the MIGRATE revival layout (one `lp_id`/`lp_bytes` framed
+/// record per LP). DESIGN.md section 8c documents the layout;
+/// tools/check_docs.py cross-checks every name listed here against it.
+inline constexpr const char* kSnapshotManifestFields[] = {
+    "magic",     "version",  "engine", "epoch",    "gvt",
+    "num_lps",   "num_shards", "shard", "lp_count", "blob_bytes",
+    "lp_id",     "lp_bytes", "blob",
 };
 
 /// Append-only little-endian encoder.

@@ -1,0 +1,103 @@
+#include "otw/platform/snapshot_file.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "otw/platform/wire.hpp"
+#include "otw/util/assert.hpp"
+
+namespace otw::platform {
+
+std::uint32_t SnapshotShardBlob::lp_count() const noexcept {
+  if (blob.size() < 4) {
+    return 0;
+  }
+  std::uint32_t n = 0;
+  std::memcpy(&n, blob.data(), 4);
+  return n;
+}
+
+std::vector<std::uint8_t> encode_snapshot_image(const SnapshotImage& image) {
+  std::vector<std::uint8_t> out;
+  WireWriter w(out);
+  w.bytes(kSnapshotMagic, sizeof kSnapshotMagic);
+  w.u32(kSnapshotVersion);
+  w.u32(image.engine);
+  w.u32(image.epoch);
+  w.u64(image.gvt_ticks);
+  w.u32(image.num_lps);
+  w.u32(static_cast<std::uint32_t>(image.shards.size()));
+  for (const SnapshotShardBlob& s : image.shards) {
+    w.u32(s.shard);
+    w.u64(s.blob.size());
+    w.bytes(s.blob.data(), s.blob.size());
+  }
+  return out;
+}
+
+SnapshotImage decode_snapshot_image(const std::uint8_t* data, std::size_t len) {
+  WireReader r(data, len);
+  OTW_REQUIRE_MSG(r.remaining() >= sizeof kSnapshotMagic + 4,
+                  "snapshot truncated before the header");
+  char magic[sizeof kSnapshotMagic];
+  r.bytes(magic, sizeof magic);
+  OTW_REQUIRE_MSG(std::memcmp(magic, kSnapshotMagic, sizeof magic) == 0,
+                  "not an OTWSNAP1 snapshot (bad magic)");
+  const std::uint32_t version = r.u32();
+  OTW_REQUIRE_MSG(version == kSnapshotVersion,
+                  "unsupported snapshot version");
+  SnapshotImage image;
+  OTW_REQUIRE_MSG(r.remaining() >= 4 + 4 + 8 + 4 + 4,
+                  "snapshot truncated inside the header");
+  image.engine = r.u32();
+  image.epoch = r.u32();
+  image.gvt_ticks = r.u64();
+  image.num_lps = r.u32();
+  const std::uint32_t num_shards = r.u32();
+  image.shards.reserve(num_shards);
+  for (std::uint32_t i = 0; i < num_shards; ++i) {
+    OTW_REQUIRE_MSG(r.remaining() >= 4 + 8,
+                    "snapshot truncated inside a shard header");
+    SnapshotShardBlob s;
+    s.shard = r.u32();
+    const std::uint64_t blob_bytes = r.u64();
+    OTW_REQUIRE_MSG(r.remaining() >= blob_bytes,
+                    "snapshot truncated inside a shard blob");
+    s.blob.resize(static_cast<std::size_t>(blob_bytes));
+    r.bytes(s.blob.data(), s.blob.size());
+    image.shards.push_back(std::move(s));
+  }
+  OTW_REQUIRE_MSG(r.done(), "trailing bytes after the snapshot image");
+  return image;
+}
+
+void write_snapshot_file(const std::string& path, const SnapshotImage& image) {
+  const std::vector<std::uint8_t> bytes = encode_snapshot_image(image);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("snapshot: cannot open " + path + " for writing");
+  }
+  const std::size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const int rc = std::fclose(f);
+  if (n != bytes.size() || rc != 0) {
+    throw std::runtime_error("snapshot: short write to " + path);
+  }
+}
+
+SnapshotImage read_snapshot_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("snapshot: cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+  return decode_snapshot_image(bytes.data(), bytes.size());
+}
+
+}  // namespace otw::platform

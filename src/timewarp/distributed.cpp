@@ -4,6 +4,7 @@
 // Done; the merge half runs in the coordinator. Fork guarantees both halves
 // share one ABI, so trivially-copyable stats ship as raw bytes and only the
 // types holding heap state (ObjectStats' histogram) are encoded field-wise.
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <exception>
@@ -140,6 +141,10 @@ RunResult run_distributed_impl(const Model& model, const KernelConfig& config,
   platform::LiveStatsHooks live_hooks;
   std::unique_ptr<obs::live::ClusterView> cluster;
   std::unique_ptr<obs::live::LiveServer> server;
+  // Set inside the live-plane block when the watchdog may order recoveries;
+  // shared with FaultHooks below so the monitor thread's verdicts reach the
+  // coordinator's relay loop.
+  std::shared_ptr<std::atomic<std::int32_t>> watchdog_kill_request;
   // Flight recorder: coordinator-side evidence rings. A SIGKILLed worker
   // cannot dump anything, so snapshots/health/frames accrete here and the
   // dump fires on a watchdog raise or an abnormal run teardown.
@@ -203,9 +208,28 @@ RunResult run_distributed_impl(const Model& model, const KernelConfig& config,
     server_config.monitor_period_ms = config.observability.live.monitor_period_ms;
     server_config.watchdog = config.observability.live.watchdog;
     server_config.on_endpoint = config.observability.live.on_endpoint;
-    if (flight != nullptr) {
-      server_config.on_health = [flight](const obs::live::HealthEvent& event) {
-        flight->on_health(event);
+    // Health routing: the flight recorder always sees every event (a raise
+    // is evidence whether or not we act on it); under Policy::Recover a
+    // ShardSilent raise additionally asks the coordinator to SIGKILL the
+    // hung worker — the EOF path then restores it from the last cut.
+    const bool recover_on_silent =
+        config.fault.enabled &&
+        config.fault.policy == KernelConfig::Fault::Policy::Recover;
+    if (flight != nullptr || recover_on_silent) {
+      const std::shared_ptr<std::atomic<std::int32_t>> kill_request =
+          recover_on_silent
+              ? std::make_shared<std::atomic<std::int32_t>>(-1)
+              : nullptr;
+      watchdog_kill_request = kill_request;
+      server_config.on_health = [flight, kill_request](
+                                    const obs::live::HealthEvent& event) {
+        if (flight != nullptr) {
+          flight->on_health(event);
+        }
+        if (kill_request != nullptr && event.raised &&
+            event.rule == obs::live::HealthRule::ShardSilent) {
+          kill_request->store(static_cast<std::int32_t>(event.shard));
+        }
       };
     }
     server = std::make_unique<obs::live::LiveServer>(
@@ -301,6 +325,31 @@ RunResult run_distributed_impl(const Model& model, const KernelConfig& config,
     };
   }
 
+  // Fault tolerance: snapshot cadence comes from the Bringmann-style
+  // SnapshotScheduleController (core/snapshot_schedule_controller.hpp) —
+  // each committed epoch feeds its stop-the-world cost back and the
+  // controller picks the next gap inside [overhead floor, recovery budget].
+  platform::FaultHooks fault_hooks;
+  std::shared_ptr<core::SnapshotScheduleController> snap_sched;
+  if (config.fault.enabled) {
+    fault_hooks.enabled = true;
+    fault_hooks.max_recoveries = config.fault.max_recoveries;
+    fault_hooks.max_snapshot_bytes = config.fault.max_snapshot_bytes;
+    fault_hooks.spill_dir = config.fault.spill_dir;
+    fault_hooks.inject_kill_shard = config.fault.inject_kill_shard;
+    fault_hooks.inject_kill_after_epoch = config.fault.inject_kill_after_epoch;
+    core::SnapshotScheduleConfig sched_config = config.fault.control;
+    sched_config.recovery_budget_ms = config.fault.recovery_budget_ms;
+    snap_sched =
+        std::make_shared<core::SnapshotScheduleController>(sched_config);
+    fault_hooks.initial_gap_ms = snap_sched->gap_ms();
+    fault_hooks.next_gap_ms = [snap_sched](std::uint64_t cost_ns,
+                                           std::uint64_t bytes) {
+      return snap_sched->on_snapshot(cost_ns, bytes);
+    };
+    fault_hooks.kill_request = watchdog_kill_request;
+  }
+
   platform::EngineRunResult engine_result;
   try {
     engine_result = engine.run(
@@ -311,7 +360,7 @@ RunResult run_distributed_impl(const Model& model, const KernelConfig& config,
           encode_shard(writer, assembly, shard, owners);
           return blob;
         },
-        live_hooks, migration_hooks);
+        live_hooks, migration_hooks, fault_hooks);
   } catch (const std::exception& e) {
     // Abnormal teardown (a shard died, the relay failed): dump everything
     // we know before surfacing the error — this is the black box's moment.
@@ -330,6 +379,7 @@ RunResult run_distributed_impl(const Model& model, const KernelConfig& config,
   result.physical_messages = engine_result.physical_messages;
   result.wire_bytes = engine_result.wire_bytes;
   result.dist = engine_result.dist;
+  result.recoveries = engine_result.recoveries;
   result.hists = engine_result.hists;
   result.shard_clocks = engine_result.shard_clocks;
 

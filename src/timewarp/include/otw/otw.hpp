@@ -20,6 +20,9 @@
 // run_sequential, plus the per-engine tuning structs (EngineTuning).
 #include "otw/tw/kernel.hpp"
 
+// Suspend/resume: tw::snapshot / tw::restore over OTWSNAP1 containers.
+#include "otw/tw/snapshot.hpp"
+
 // Results and instrumentation: stats, controller telemetry, trace export
 // (Chrome trace / JSONL / Prometheus text).
 #include "otw/tw/observability.hpp"

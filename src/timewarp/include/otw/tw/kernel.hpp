@@ -85,6 +85,11 @@ struct RunResult {
   /// Socket-transport counters (distributed engine only; default-empty
   /// elsewhere). Feeds the otw_dist_* metrics in build_metrics().
   platform::DistStats dist;
+  /// One entry per shard failure the coordinator recovered from (fault
+  /// tolerance only; empty otherwise). An entry means a worker died, a
+  /// replacement was restored from snapshot epoch `epoch`, and every
+  /// survivor rolled back to that cut — the run's results are still exact.
+  std::vector<platform::RecoveryIncident> recoveries;
   /// Per-LP phase breakdown (empty unless observability.profiling); index
   /// matches LpId. Times are modeled ns (simulated NOW) or wall ns (threaded).
   std::vector<obs::PhaseTotals> lp_phases;

@@ -11,6 +11,7 @@
 #include "otw/core/load_balance_controller.hpp"
 #include "otw/core/optimism_controller.hpp"
 #include "otw/core/pressure_controller.hpp"
+#include "otw/core/snapshot_schedule_controller.hpp"
 #include "otw/obs/live.hpp"
 #include "otw/obs/recorder.hpp"
 #include "otw/platform/distributed.hpp"
@@ -50,8 +51,28 @@ struct KernelConfig {
   /// flooding the network with back-to-back token rounds (GVT is control
   /// traffic competing with useful work, cf. paper Section 3).
   std::uint64_t gvt_min_interval_ns = 500'000;
-  /// Per-object checkpointing and cancellation configuration.
-  ObjectRuntimeConfig runtime;
+  /// Per-object state saving. The LogicalProcess assembles the internal
+  /// ObjectRuntimeConfig from this block plus `runtime` and `telemetry`.
+  struct Checkpoint {
+    /// Static checkpoint interval chi (1 = copy state after every event).
+    std::uint32_t interval = 1;
+    /// Checkpoint representation: full copies or byte deltas (paper ref [7]).
+    StateSaving state_saving = StateSaving::Copy;
+    /// Incremental mode: saves between full snapshots.
+    std::uint32_t full_snapshot_interval = 32;
+    /// When true, chi is driven by the CheckpointIntervalController instead.
+    bool dynamic = false;
+    core::CheckpointControlConfig control;
+  } checkpoint;
+
+  /// Per-object rollback/cancellation tuning.
+  struct Runtime {
+    core::CancellationControlConfig cancellation;
+    /// Bound on the passive-comparison list used to maintain HR under
+    /// aggressive cancellation.
+    std::size_t passive_compare_cap = 64;
+  } runtime;
+
   /// DyMA policy for the outgoing communication path.
   comm::AggregationConfig aggregation;
 
@@ -125,6 +146,57 @@ struct KernelConfig {
     std::vector<std::pair<LpId, std::uint32_t>> forced;
   } migration;
 
+  /// Shard-level checkpoint/restart with automatic failure recovery
+  /// (Distributed engine, Mesh topology only; DESIGN.md section 8c). When
+  /// enabled, the coordinator schedules stop-the-world snapshot epochs via a
+  /// SnapshotScheduleController tuned against `recovery_budget_ms`, retains
+  /// the last complete cut, and — on a worker-process death or a watchdog
+  /// ShardSilent verdict under Policy::Recover — forks a replacement,
+  /// restores the lost shard from the cut, rolls every survivor back to it
+  /// and resumes. Mutually exclusive with on-line migration (owners keep
+  /// their initial placement so a replacement inherits a known shard).
+  struct Fault {
+    bool enabled = false;
+    /// Worst-case work-at-risk promise: snapshot gap + restore must fit.
+    std::uint32_t recovery_budget_ms = 250;
+    /// Cap on one epoch's total serialized bytes (0 = unlimited). Epochs
+    /// over the cap are recorded to `spill_dir` instead of held in memory,
+    /// or refused when no spill directory is configured.
+    std::uint64_t max_snapshot_bytes = 0;
+    /// Recoveries allowed per run; past this a death is fatal again.
+    std::uint32_t max_recoveries = 4;
+    /// Directory for spilled snapshot epochs (OTWSNAP1 container files,
+    /// readable by `twreport snapshot`). Empty = keep epochs in memory.
+    std::string spill_dir;
+    /// What a ShardSilent watchdog verdict does: report-only leaves the
+    /// existing flight-dump path in charge; Recover kills the hung worker
+    /// and restores it from the last complete cut.
+    enum class Policy : std::uint8_t { ReportOnly, Recover };
+    Policy policy = Policy::Recover;
+    /// Snapshot cadence controller (budget cap / overhead floor bounds).
+    core::SnapshotScheduleConfig control;
+    /// Chaos injection (tests/CI): SIGKILL this shard's worker right after
+    /// snapshot epoch `inject_kill_after_epoch` completes. -1 = disabled.
+    std::int32_t inject_kill_shard = -1;
+    std::uint32_t inject_kill_after_epoch = 1;
+  } fault;
+
+  /// Copy of this config with fault tolerance switched on and the recovery
+  /// budget set (0 keeps the default). Keeps enabling a one-liner:
+  /// `kc.with_fault_tolerance(500)` — analogous to with_engine().
+  [[nodiscard]] KernelConfig with_fault_tolerance(
+      std::uint32_t recovery_budget_ms = 0) const {
+    KernelConfig copy = *this;
+    copy.fault.enabled = true;
+    if (recovery_budget_ms > 0) {
+      copy.fault.recovery_budget_ms = recovery_budget_ms;
+      copy.fault.control.recovery_budget_ms = recovery_budget_ms;
+    } else {
+      copy.fault.control.recovery_budget_ms = copy.fault.recovery_budget_ms;
+    }
+    return copy;
+  }
+
   /// Copy of this config running on `kind`; `size` (when non-zero) sets the
   /// engine's parallelism — num_workers for Threaded, num_shards for
   /// Distributed. Keeps call-site migration to tw::run a one-liner.
@@ -182,6 +254,32 @@ class LogicalProcess final : public platform::LpRunner,
   /// fresh and the restored runtimes checkpoint at Position::before_all().
   void migrate_in(platform::LpContext& ctx,
                   platform::WireReader& reader) override;
+
+  /// Snapshot settle pass (DESIGN.md section 8c): drains the engine inbox,
+  /// delivers deferred same-LP events and force-flushes the aggregation
+  /// channel so parked (already Mattern-counted) events reach the wire and
+  /// the shard's channel-op counters can stabilize. Processes no events.
+  /// Returns true when anything moved (the shard is not yet quiescent).
+  bool snapshot_settle(platform::LpContext& ctx) override;
+  /// Cut phase: rolls every runtime back to the current GVT
+  /// (migration_freeze), settles the resulting same-LP anti-messages and
+  /// flushes held sends and channel batches. Declines (returns false) when
+  /// the LP is done, uninitialized, or GVT is still zero — the coordinator
+  /// aborts the epoch and retries later; an executed cut is digest-neutral,
+  /// so no undo is needed.
+  [[nodiscard]] bool snapshot_cut(platform::LpContext& ctx) override;
+  /// Serializes this LP in the MIGRATE travelling layout without disturbing
+  /// it (ObjectRuntime::encode_frozen); the LP keeps executing after resume.
+  void snapshot_encode(platform::LpContext& ctx,
+                       platform::WireWriter& writer) override;
+  /// Restores this LP in place from a snapshot blob (survivor rollback or
+  /// replacement revival): clears the aggregation channel and local inbox,
+  /// then rebuilds exactly like migrate_in.
+  void snapshot_restore(platform::LpContext& ctx,
+                        platform::WireReader& reader) override;
+  [[nodiscard]] std::uint64_t snapshot_gvt_ticks() const noexcept override {
+    return gvt_value_.ticks();
+  }
 
   // --- LpServices (called by ObjectRuntime) ---
   void route(Event&& event) override;

@@ -138,6 +138,13 @@ class ObjectRuntime final : public ObjectContext {
   /// source shard.
   void migrate_out(platform::WireWriter& w, VirtualTime gvt);
 
+  /// Non-destructive variant of migrate_out's serialization: writes the
+  /// identical travelling layout (snapshot/restart reuses the MIGRATE
+  /// revival path, DESIGN.md section 8c) but leaves every queue, stat and
+  /// controller untouched so the runtime keeps executing afterwards.
+  /// Requires the same preconditions as migrate_out (frozen + settled).
+  void encode_frozen(platform::WireWriter& w);
+
   /// Migration restore: resets every queue/checkpoint structure and rebuilds
   /// the runtime from a MIGRATE payload. `gvt` is the same cut; the restored
   /// state is checkpointed at Position::before_all(), which any legal

@@ -1,0 +1,54 @@
+// Suspend/resume for the sequential engine.
+//
+// tw::snapshot runs a model's ground-truth sequential execution up to a
+// virtual-time cut and writes the suspended run to an "OTWSNAP1" container
+// (platform/snapshot_file.hpp); tw::restore reads it back and runs to the
+// real horizon. A restored run is bit-identical to an uninterrupted
+// run_sequential over the same horizon: the cut falls between events, so
+// the committed order is unchanged.
+//
+// The single shard section's blob layout (engine = 0, sequential):
+//
+//   u32 object_count
+//   per object:
+//     u32 object_id
+//     u32 payload_bytes          8 + state size
+//     u64 events_committed       feeds events_per_object after resume
+//     bytes state                ObjectState::raw_bytes view
+//   u64 events_processed
+//   u64 final_time_ticks        recv_time of the last event before the cut
+//   u32 pending_count
+//   per pending event: the shared event codec (tw/wire.hpp encode_event)
+//
+// Only flat states (ObjectState::raw_bytes != nullptr, e.g. PodState) can
+// suspend; tw::snapshot REQUIRE-fails with a descriptive message otherwise.
+#pragma once
+
+#include <string>
+
+#include "otw/tw/kernel.hpp"
+
+namespace otw::tw {
+
+/// What tw::snapshot left on disk.
+struct SnapshotResult {
+  std::uint64_t events_processed = 0;      ///< committed before the cut
+  VirtualTime suspend_time = VirtualTime::zero();  ///< last committed time
+  std::uint64_t pending_events = 0;        ///< events frozen in the queue
+  std::uint64_t bytes = 0;                 ///< container size on disk
+};
+
+/// Runs `model` sequentially until the next event would exceed `suspend_at`,
+/// then writes the suspended run to `path`. The model is NOT finalized.
+SnapshotResult snapshot(const Model& model, VirtualTime suspend_at,
+                        const std::string& path,
+                        QueueKind queue = QueueKind::Multiset);
+
+/// Resumes a run written by tw::snapshot and carries it to `end_time`
+/// (initialize() is not replayed; finalize() runs at the real end). The
+/// returned digests match an uninterrupted run_sequential(model, end_time).
+SequentialResult restore(const Model& model, const std::string& path,
+                         VirtualTime end_time = VirtualTime::infinity(),
+                         QueueKind queue = QueueKind::Multiset);
+
+}  // namespace otw::tw

@@ -281,24 +281,26 @@ std::vector<std::string> KernelConfig::validate() const {
     fail("gvt_period_events must be >= 1 (GVT would never start)");
   }
 
-  // --- per-object runtime ---
-  if (runtime.checkpoint_interval == 0) {
-    fail("runtime.checkpoint_interval must be >= 1");
+  // --- state saving ---
+  if (checkpoint.interval == 0) {
+    fail("checkpoint.interval must be >= 1 (chi = 1 saves after every "
+         "event; 0 would never save at all)");
   }
-  if (runtime.full_snapshot_interval == 0) {
-    fail("runtime.full_snapshot_interval must be >= 1");
+  if (checkpoint.full_snapshot_interval == 0) {
+    fail("checkpoint.full_snapshot_interval must be >= 1 (incremental "
+         "chains need a full snapshot to terminate against)");
   }
-  if (runtime.dynamic_checkpointing) {
-    const auto& chi = runtime.checkpoint_control;
+  if (checkpoint.dynamic) {
+    const auto& chi = checkpoint.control;
     if (chi.control_period_events == 0) {
-      fail("runtime.checkpoint_control.control_period_events must be >= 1 "
+      fail("checkpoint.control.control_period_events must be >= 1 "
            "(the chi controller would never tick)");
     }
     if (chi.min_interval == 0) {
-      fail("runtime.checkpoint_control.min_interval must be >= 1");
+      fail("checkpoint.control.min_interval must be >= 1");
     }
     if (chi.min_interval > chi.max_interval) {
-      fail("runtime.checkpoint_control: min_interval exceeds max_interval");
+      fail("checkpoint.control: min_interval exceeds max_interval");
     }
   }
   const auto& cancel = runtime.cancellation;
@@ -470,6 +472,61 @@ std::vector<std::string> KernelConfig::validate() const {
         fail("migration.forced names shard " + std::to_string(shard) +
              " outside num_shards");
       }
+    }
+  }
+
+  // --- fault tolerance ---
+  if (fault.enabled) {
+    if (engine.kind != EngineKind::Distributed) {
+      fail("fault.enabled requires EngineKind::Distributed (only worker "
+           "processes can die and be re-forked)");
+    }
+    if (engine.topology != platform::Topology::Mesh) {
+      fail("fault.enabled requires the Mesh topology (recovery re-dials the "
+           "shard-to-shard peer links)");
+    }
+    if (engine.num_shards < 2) {
+      fail("fault.enabled requires engine.num_shards >= 2 (with one shard "
+           "there is no surviving side to recover toward)");
+    }
+    if (migration.enabled) {
+      fail("fault.enabled and migration.enabled are mutually exclusive (a "
+           "snapshot would have to version the owner map; keep placement "
+           "fixed so a replacement inherits a known shard)");
+    }
+    if (fault.recovery_budget_ms == 0) {
+      fail("fault.recovery_budget_ms must be >= 1 (the snapshot scheduler "
+           "solves for a gap that fits this budget)");
+    }
+    if (fault.max_recoveries == 0) {
+      fail("fault.max_recoveries must be >= 1 (0 means the first death is "
+           "fatal — just leave fault tolerance off)");
+    }
+    if (fault.max_snapshot_bytes > 0 && fault.spill_dir.empty() &&
+        fault.max_snapshot_bytes < 1024) {
+      fail("fault.max_snapshot_bytes below 1 KiB with no spill_dir would "
+           "refuse every epoch (raise the cap or configure spill_dir)");
+    }
+    const auto& sc = fault.control;
+    if (sc.min_gap_ms == 0) {
+      fail("fault.control.min_gap_ms must be >= 1 (back-to-back epochs "
+           "would stop the world continuously)");
+    }
+    if (sc.min_gap_ms > sc.max_gap_ms) {
+      fail("fault.control: min_gap_ms exceeds max_gap_ms");
+    }
+    if (sc.overhead_factor <= 0.0) {
+      fail("fault.control.overhead_factor must be > 0 (it floors the gap "
+           "at overhead_factor * average snapshot cost)");
+    }
+    if (sc.restore_factor <= 0.0) {
+      fail("fault.control.restore_factor must be > 0 (restore time is "
+           "estimated as restore_factor * serialize cost)");
+    }
+    if (fault.inject_kill_shard >= 0 &&
+        static_cast<std::uint32_t>(fault.inject_kill_shard) >=
+            engine.num_shards) {
+      fail("fault.inject_kill_shard names a shard outside num_shards");
     }
   }
   return errors;

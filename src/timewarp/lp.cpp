@@ -39,7 +39,15 @@ LogicalProcess::LogicalProcess(
     OTW_REQUIRE_MSG(object_to_lp_[object_id] == id_,
                     "object assigned to a different LP");
     local_index_[object_id] = runtimes_.size();
-    ObjectRuntimeConfig runtime_config = config_.runtime;
+    ObjectRuntimeConfig runtime_config;
+    runtime_config.checkpoint_interval = config_.checkpoint.interval;
+    runtime_config.state_saving = config_.checkpoint.state_saving;
+    runtime_config.full_snapshot_interval =
+        config_.checkpoint.full_snapshot_interval;
+    runtime_config.dynamic_checkpointing = config_.checkpoint.dynamic;
+    runtime_config.checkpoint_control = config_.checkpoint.control;
+    runtime_config.cancellation = config_.runtime.cancellation;
+    runtime_config.passive_compare_cap = config_.runtime.passive_compare_cap;
     runtime_config.telemetry = config_.telemetry;
     runtimes_.push_back(std::make_unique<ObjectRuntime>(
         object_id, std::move(object), *this, runtime_config));
@@ -748,6 +756,112 @@ void LogicalProcess::migrate_in(platform::LpContext& ctx,
   if (live_ != nullptr) {
     publish_live();
   }
+}
+
+bool LogicalProcess::snapshot_settle(platform::LpContext& ctx) {
+  ctx_ = &ctx;
+  struct CtxReset {
+    platform::LpContext** slot;
+    ~CtxReset() { *slot = nullptr; }
+  } reset{&ctx_};
+
+  bool moved = false;
+  if (!initialized_) {
+    // Settle ordered before this LP's first step: run time-zero
+    // initialization here (it would have happened on the next step anyway)
+    // so the cut below never sees a half-born LP.
+    for (const auto& runtime : runtimes_) {
+      runtime->initialize();
+    }
+    initialized_ = true;
+    moved = true;
+  }
+  if (drain()) {
+    moved = true;
+  }
+  if (!local_inbox_.empty()) {
+    deliver_local_pending();
+    moved = true;
+  }
+  if (channel_.has_pending()) {
+    // Events parked in an open aggregate were Mattern-counted when routed
+    // but will not be *received* until the batch ships — an in-flight GVT
+    // epoch (and the shard-level channel-op counters the coordinator polls)
+    // can never stabilize over them. Force them onto the wire.
+    channel_.flush_all(ctx.now_ns(),
+                      [this](LpId to, std::vector<Event>&& batch) {
+                        ship_batch(to, std::move(batch));
+                      });
+    moved = true;
+  }
+  return moved;
+}
+
+bool LogicalProcess::snapshot_cut(platform::LpContext& ctx) {
+  ctx_ = &ctx;
+  struct CtxReset {
+    platform::LpContext** slot;
+    ~CtxReset() { *slot = nullptr; }
+  } reset{&ctx_};
+
+  drain();
+  if (done_) {
+    return false;  // endgame: a finished LP has nothing left to protect
+  }
+  if (gvt_value_ == VirtualTime{0}) {
+    // Same degeneration as migrate_out: a cut at GVT zero has no checkpoint
+    // strictly before it. Decline; the coordinator retries after the first
+    // GVT round lands. (Quiescence guarantees no epoch is in flight, so all
+    // LPs agree on gvt_value_ and decline or accept together.)
+    return false;
+  }
+  // Freeze exactly like a migration: every runtime rolls back to the cut
+  // before any same-LP anti is delivered, then the inbox settles and held
+  // sends / open aggregates reach the wire. The coordinator re-settles the
+  // mesh afterwards, so cut-born antis land before serialization.
+  for (const auto& runtime : runtimes_) {
+    runtime->migration_freeze(gvt_value_);
+  }
+  deliver_local_pending();
+  flush_held(VirtualTime::infinity());
+  channel_.flush_all(ctx.now_ns(), [this](LpId to, std::vector<Event>&& batch) {
+    ship_batch(to, std::move(batch));
+  });
+  OTW_ASSERT(local_inbox_.empty() && held_sends_.empty() &&
+             !channel_.has_pending());
+  return true;
+}
+
+void LogicalProcess::snapshot_encode(platform::LpContext& ctx,
+                                     platform::WireWriter& w) {
+  ctx_ = &ctx;
+  struct CtxReset {
+    platform::LpContext** slot;
+    ~CtxReset() { *slot = nullptr; }
+  } reset{&ctx_};
+
+  // Identical layout to migrate_out's body — restore IS migrate_in — but
+  // nothing is reset: the LP keeps executing after the epoch resumes.
+  OTW_ASSERT(local_inbox_.empty() && held_sends_.empty() &&
+             !channel_.has_pending());
+  w.u64(gvt_value_.ticks());
+  gvt_.export_state(w);
+  detail::write_pod(w, stats_);
+  w.u64(events_processed_total_);
+  detail::write_pod_vector(w, trace_);
+  w.u32(static_cast<std::uint32_t>(runtimes_.size()));
+  for (const auto& runtime : runtimes_) {
+    runtime->encode_frozen(w);
+  }
+}
+
+void LogicalProcess::snapshot_restore(platform::LpContext& ctx,
+                                      platform::WireReader& r) {
+  // A surviving LP may hold post-cut aggregates from the incarnation being
+  // rolled back; they must never reach the wire. (migrate_in clears the
+  // local inbox and every other transient itself.)
+  channel_.discard_all();
+  migrate_in(ctx, r);
 }
 
 LpStats LogicalProcess::snapshot_lp_stats() const {

@@ -460,15 +460,8 @@ void ObjectRuntime::migration_freeze(VirtualTime gvt) {
   OTW_ASSERT(passive_.empty());
 }
 
-void ObjectRuntime::migrate_out(platform::WireWriter& w, VirtualTime gvt) {
-  static_cast<void>(gvt);
+void ObjectRuntime::encode_frozen(platform::WireWriter& w) {
   OTW_ASSERT(lazy_pending_.empty() && passive_.empty());
-  // The processed prefix is final: no rollback can reach below GVT, so these
-  // events are committed here and never shipped. Their effects travel inside
-  // the state snapshot.
-  stats_.events_committed += input_.processed_count();
-  // Remaining output entries have causes below the cut; they can never be
-  // cancelled (rollback below GVT is impossible), so the queue is dropped.
   w.u32(id_);
   w.u64(lvt_.ticks());
   w.u64(current_pos_.key.recv_time.ticks());
@@ -482,8 +475,17 @@ void ObjectRuntime::migrate_out(platform::WireWriter& w, VirtualTime gvt) {
   const std::size_t state_len = current_state_->byte_size();
   w.u32(static_cast<std::uint32_t>(state_len));
   w.bytes(raw, state_len);
-  detail::encode_object_stats(w, snapshot_stats());
+  // The processed prefix is final on the receiving side: no rollback can
+  // reach below the cut, so the shipped stats count it as committed. Only
+  // the serialized copy is touched — a snapshot must leave a continuing
+  // runtime byte-identical to one that never snapshotted.
+  ObjectStats shipped = snapshot_stats();
+  shipped.events_committed += input_.processed_count();
+  detail::encode_object_stats(w, shipped);
   detail::write_pod_vector(w, trace_);
+  // Remaining output entries have causes below the cut; they can never be
+  // cancelled (rollback below GVT is impossible), so the queue is not
+  // serialized. Unprocessed events and parked early antis travel.
   const std::vector<Event> all = input_.snapshot();
   const std::size_t processed = input_.processed_count();
   w.u32(static_cast<std::uint32_t>((all.size() - processed) +
@@ -494,7 +496,13 @@ void ObjectRuntime::migrate_out(platform::WireWriter& w, VirtualTime gvt) {
   for (const Event& anti : early_antis_) {
     encode_event(w, anti);
   }
-  // Inert on this shard from here on: drop the history wholesale.
+}
+
+void ObjectRuntime::migrate_out(platform::WireWriter& w, VirtualTime gvt) {
+  static_cast<void>(gvt);
+  encode_frozen(w);
+  // Inert on this shard from here on: drop the history wholesale. The
+  // committed prefix already travelled inside the shipped stats.
   input_.reset();
   output_ = OutputQueue{};
   early_antis_.clear();

@@ -7,8 +7,11 @@
 
 #include <chrono>
 
+#include "otw/platform/snapshot_file.hpp"
 #include "otw/tw/memory_pool.hpp"
 #include "otw/tw/pending_set.hpp"
+#include "otw/tw/snapshot.hpp"
+#include "otw/tw/wire.hpp"
 #include "otw/util/assert.hpp"
 
 namespace otw::tw {
@@ -67,6 +70,11 @@ class SequentialContext final : public ObjectContext {
     return states_[id]->digest();
   }
 
+  // tw::snapshot / tw::restore need the raw state views and direct event
+  // insertion (bypassing send()'s now()-relative timing).
+  [[nodiscard]] ObjectState& raw_state(ObjectId id) { return *states_[id]; }
+  void insert_pending(const Event& event) { pending_->insert(event); }
+
  private:
   std::vector<std::unique_ptr<ObjectState>> states_;
   /// Declared before pending_: the event list's nodes live in the pool.
@@ -122,6 +130,158 @@ SequentialResult run_sequential(const Model& model, VirtualTime end_time,
     objects[id]->finalize(ctx);
   }
 
+  result.digests.reserve(n);
+  for (ObjectId id = 0; id < n; ++id) {
+    result.digests.push_back(ctx.state_digest(id));
+  }
+  result.wall_time_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return result;
+}
+
+SnapshotResult snapshot(const Model& model, VirtualTime suspend_at,
+                        const std::string& path, QueueKind queue) {
+  OTW_REQUIRE_MSG(!model.objects.empty(), "model has no objects");
+  const auto n = static_cast<ObjectId>(model.objects.size());
+  std::vector<std::unique_ptr<SimulationObject>> objects;
+  objects.reserve(n);
+  SequentialContext ctx(n, queue);
+  for (ObjectId id = 0; id < n; ++id) {
+    OTW_REQUIRE(model.objects[id].factory != nullptr);
+    objects.push_back(model.objects[id].factory());
+    ctx.set_state(id, objects.back()->initial_state());
+  }
+  for (ObjectId id = 0; id < n; ++id) {
+    ctx.begin(id, VirtualTime::zero(), EventKey::before_all());
+    objects[id]->initialize(ctx);
+  }
+
+  SnapshotResult out;
+  std::vector<std::uint64_t> per_object(n, 0);
+  VirtualTime final_time = VirtualTime::zero();
+  while (!ctx.empty()) {
+    const Event event = ctx.lowest();
+    if (event.recv_time > suspend_at) {
+      break;
+    }
+    ctx.pop();
+    ctx.begin(event.receiver, event.recv_time, event.key());
+    objects[event.receiver]->process_event(ctx, event);
+    ++out.events_processed;
+    ++per_object[event.receiver];
+    final_time = event.recv_time;
+  }
+
+  // The cut falls between events: everything still queued is frozen
+  // verbatim, no object is mid-event. Objects are NOT finalized.
+  std::vector<std::uint8_t> blob;
+  platform::WireWriter w(blob);
+  w.u32(n);
+  for (ObjectId id = 0; id < n; ++id) {
+    const ObjectState& state = ctx.raw_state(id);
+    const std::byte* raw = state.raw_bytes();
+    OTW_REQUIRE_MSG(raw != nullptr,
+                    "tw::snapshot requires flat object states "
+                    "(ObjectState::raw_bytes, e.g. PodState)");
+    w.u32(id);
+    w.u32(static_cast<std::uint32_t>(8 + state.byte_size()));
+    w.u64(per_object[id]);
+    w.bytes(raw, state.byte_size());
+  }
+  w.u64(out.events_processed);
+  w.u64(static_cast<std::uint64_t>(final_time.ticks()));
+  std::vector<Event> pending;
+  while (!ctx.empty()) {
+    pending.push_back(ctx.lowest());
+    ctx.pop();
+  }
+  w.u32(static_cast<std::uint32_t>(pending.size()));
+  for (const Event& event : pending) {
+    encode_event(w, event);
+  }
+
+  platform::SnapshotImage image;
+  image.engine = platform::kSnapshotEngineSequential;
+  image.epoch = 0;
+  image.gvt_ticks = static_cast<std::uint64_t>(final_time.ticks());
+  image.num_lps = n;
+  image.shards.resize(1);
+  image.shards[0].shard = 0;
+  image.shards[0].blob = std::move(blob);
+  out.bytes = platform::encode_snapshot_image(image).size();
+  platform::write_snapshot_file(path, image);
+  out.suspend_time = final_time;
+  out.pending_events = pending.size();
+  return out;
+}
+
+SequentialResult restore(const Model& model, const std::string& path,
+                         VirtualTime end_time, QueueKind queue) {
+  OTW_REQUIRE_MSG(!model.objects.empty(), "model has no objects");
+  const auto start = std::chrono::steady_clock::now();
+  const platform::SnapshotImage image = platform::read_snapshot_file(path);
+  OTW_REQUIRE_MSG(image.engine == platform::kSnapshotEngineSequential,
+                  "tw::restore needs a sequential snapshot (engine 0); this "
+                  "container holds a distributed epoch");
+  OTW_REQUIRE_MSG(image.shards.size() == 1,
+                  "sequential snapshot must hold exactly one shard section");
+  const auto n = static_cast<ObjectId>(model.objects.size());
+  OTW_REQUIRE_MSG(image.num_lps == n,
+                  "snapshot object count does not match the model");
+
+  std::vector<std::unique_ptr<SimulationObject>> objects;
+  objects.reserve(n);
+  SequentialContext ctx(n, queue);
+  for (ObjectId id = 0; id < n; ++id) {
+    OTW_REQUIRE(model.objects[id].factory != nullptr);
+    objects.push_back(model.objects[id].factory());
+    ctx.set_state(id, objects.back()->initial_state());
+  }
+
+  SequentialResult result;
+  result.events_per_object.assign(n, 0);
+  const auto& blob = image.shards[0].blob;
+  platform::WireReader r(blob.data(), blob.size());
+  const std::uint32_t count = r.u32();
+  OTW_REQUIRE_MSG(count == n, "snapshot blob object count mismatch");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const ObjectId id = r.u32();
+    const std::uint32_t len = r.u32();
+    OTW_REQUIRE_MSG(id < n && len >= 8, "malformed snapshot object section");
+    result.events_per_object[id] = r.u64();
+    ObjectState& state = ctx.raw_state(id);
+    std::byte* raw = state.mutable_raw_bytes();
+    OTW_REQUIRE_MSG(raw != nullptr && state.byte_size() == len - 8,
+                    "snapshot state does not fit the model's object state");
+    r.bytes(raw, len - 8);
+  }
+  result.events_processed = r.u64();
+  result.final_time = VirtualTime{static_cast<VirtualTime::rep>(r.u64())};
+  const std::uint32_t pending = r.u32();
+  for (std::uint32_t i = 0; i < pending; ++i) {
+    ctx.insert_pending(decode_event(r));
+  }
+  OTW_REQUIRE_MSG(r.done(), "snapshot blob has trailing bytes");
+
+  // initialize() is not replayed — its effects are inside the snapshot.
+  while (!ctx.empty()) {
+    const Event event = ctx.lowest();
+    if (event.recv_time > end_time) {
+      break;
+    }
+    ctx.pop();
+    ctx.begin(event.receiver, event.recv_time, event.key());
+    objects[event.receiver]->process_event(ctx, event);
+    ++result.events_processed;
+    ++result.events_per_object[event.receiver];
+    result.final_time = event.recv_time;
+  }
+  for (ObjectId id = 0; id < n; ++id) {
+    ctx.begin(id, result.final_time, EventKey::before_all());
+    objects[id]->finalize(ctx);
+  }
   result.digests.reserve(n);
   for (ObjectId id = 0; id < n; ++id) {
     result.digests.push_back(ctx.state_digest(id));

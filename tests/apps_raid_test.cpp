@@ -79,7 +79,7 @@ TEST(Raid, TimeWarpMatchesSequential) {
   kc.num_lps = cfg.num_lps;
   kc.batch_size = 24;
   kc.gvt_period_events = 64;
-  kc.runtime.checkpoint_interval = 4;
+  kc.checkpoint.interval = 4;
   platform::SimulatedNowConfig now;
   now.costs = platform::CostModel::free();
   now.costs.wire_latency_ns = 10'000;

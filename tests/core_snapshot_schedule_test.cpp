@@ -1,0 +1,90 @@
+// SnapshotScheduleController: Bringmann-style snapshot placement against a
+// recovery-time budget. The budget cap is the hard constraint, the overhead
+// floor advisory, and everything is clamped into [min_gap_ms, max_gap_ms].
+#include <gtest/gtest.h>
+
+#include "otw/core/snapshot_schedule_controller.hpp"
+#include "otw/util/assert.hpp"
+
+namespace otw::core {
+namespace {
+
+TEST(SnapshotSchedule, InitialGapIsHalfTheBudgetClamped) {
+  SnapshotScheduleConfig config;
+  config.recovery_budget_ms = 250;
+  EXPECT_EQ(SnapshotScheduleController(config).gap_ms(), 125u);
+
+  config.recovery_budget_ms = 4;  // half-budget under the min gap
+  EXPECT_EQ(SnapshotScheduleController(config).gap_ms(), config.min_gap_ms);
+
+  config.recovery_budget_ms = 1'000'000;
+  config.max_gap_ms = 2'000;
+  EXPECT_EQ(SnapshotScheduleController(config).gap_ms(), 2'000u);
+}
+
+TEST(SnapshotSchedule, BudgetCapWinsOverOverheadFloor) {
+  SnapshotScheduleConfig config;
+  config.recovery_budget_ms = 250;
+  config.restore_factor = 2.0;
+  config.overhead_factor = 20.0;
+  SnapshotScheduleController controller(config);
+  // 100 ms serialize cost: floor = 20 * 100 = 2000 ms, but restore eats
+  // 200 ms of the 250 ms budget — the promise wins, gap = 250 - 200 = 50.
+  const std::uint32_t gap = controller.on_snapshot(100'000'000, 1 << 20);
+  EXPECT_EQ(gap, 50u);
+  EXPECT_EQ(controller.epochs_observed(), 1u);
+  EXPECT_EQ(controller.avg_cost_ns(), 100'000'000u);
+}
+
+TEST(SnapshotSchedule, CheapSnapshotsStayInsideTheBounds) {
+  SnapshotScheduleConfig config;
+  config.recovery_budget_ms = 250;
+  SnapshotScheduleController controller(config);
+  // 1 ms cost: floor = 20 ms, cap = 248 ms; chi interpolates in between.
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t gap = controller.on_snapshot(1'000'000, 4'096);
+    EXPECT_GE(gap, 20u);
+    EXPECT_LE(gap, 248u);
+  }
+  EXPECT_EQ(controller.epochs_observed(), 16u);
+  EXPECT_EQ(controller.avg_cost_ns(), 1'000'000u);
+  EXPECT_EQ(controller.avg_bytes(), 4'096u);
+}
+
+TEST(SnapshotSchedule, CostAverageIsAnEwma) {
+  SnapshotScheduleConfig config;
+  SnapshotScheduleController controller(config);
+  controller.on_snapshot(8'000'000, 1'000);
+  controller.on_snapshot(0, 1'000);
+  // alpha = 1/4: 8ms * 3/4 after one zero-cost sample.
+  EXPECT_EQ(controller.avg_cost_ns(), 6'000'000u);
+}
+
+TEST(SnapshotSchedule, GapNeverLeavesTheHardClamp) {
+  SnapshotScheduleConfig config;
+  config.recovery_budget_ms = 100'000;
+  config.min_gap_ms = 25;
+  config.max_gap_ms = 75;
+  SnapshotScheduleController controller(config);
+  EXPECT_EQ(controller.gap_ms(), 75u);  // half-budget clamped to max
+  // A free snapshot pushes the floor to min; still >= 25.
+  EXPECT_GE(controller.on_snapshot(0, 0), 25u);
+  // A monstrous one pushes the cap negative; still <= 75.
+  EXPECT_LE(controller.on_snapshot(3'600'000'000'000ULL, 1ULL << 34), 75u);
+}
+
+TEST(SnapshotSchedule, RejectsContradictoryConfigs) {
+  SnapshotScheduleConfig config;
+  config.recovery_budget_ms = 0;
+  EXPECT_THROW(SnapshotScheduleController{config}, ContractViolation);
+  config = SnapshotScheduleConfig{};
+  config.min_gap_ms = 500;
+  config.max_gap_ms = 100;
+  EXPECT_THROW(SnapshotScheduleController{config}, ContractViolation);
+  config = SnapshotScheduleConfig{};
+  config.min_gap_ms = 0;
+  EXPECT_THROW(SnapshotScheduleController{config}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace otw::core

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <string>
 
+#include "otw/platform/snapshot_file.hpp"
 #include "twreport_lib.hpp"
 
 namespace otw::tools {
@@ -227,6 +228,43 @@ TEST(TwReport, CliRunAndDiffEndToEnd) {
     EXPECT_NE(err.str().find("usage:"), std::string::npos);
   }
   std::remove(path.c_str());
+}
+
+TEST(TwReport, CliSnapshotManifestEndToEnd) {
+  const std::string path = ::testing::TempDir() + "twreport_test.otwsnap";
+  {
+    platform::SnapshotImage image;
+    image.engine = platform::kSnapshotEngineDistributed;
+    image.epoch = 3;
+    image.gvt_ticks = 42'000;
+    image.num_lps = 8;
+    image.shards.resize(2);
+    image.shards[0].shard = 0;
+    image.shards[0].blob = {5, 0, 0, 0, 1, 2, 3};  // lp_count = 5
+    image.shards[1].shard = 1;
+    image.shards[1].blob = {3, 0, 0, 0};
+    platform::write_snapshot_file(path, image);
+  }
+  {
+    std::ostringstream out;
+    std::ostringstream err;
+    const char* argv[] = {"twreport", "snapshot", path.c_str()};
+    EXPECT_EQ(run_cli(3, argv, out, err), 0) << err.str();
+    EXPECT_NE(out.str().find("engine: distributed"), std::string::npos);
+    EXPECT_NE(out.str().find("epoch: 3"), std::string::npos);
+    EXPECT_NE(out.str().find("gvt_ticks: 42000"), std::string::npos);
+    EXPECT_NE(out.str().find("| 0 | 5 | 7 |"), std::string::npos);
+    EXPECT_NE(out.str().find("| 1 | 3 | 4 |"), std::string::npos);
+  }
+  std::remove(path.c_str());
+  {
+    // Missing file: diagnostic on err, exit 2.
+    std::ostringstream out;
+    std::ostringstream err;
+    const char* argv[] = {"twreport", "snapshot", path.c_str()};
+    EXPECT_EQ(run_cli(3, argv, out, err), 2);
+    EXPECT_NE(err.str().find("twreport:"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -112,7 +112,7 @@ KernelConfig cascade_config() {
   // GVT moves.
   kc.gvt_period_events = 64;
   kc.gvt_min_interval_ns = 50'000;
-  kc.runtime.checkpoint_interval = 4;
+  kc.checkpoint.interval = 4;
   // Aggressive cancellation sends antis inside the rollback scope, which is
   // what lets the analyzer chain cross-LP cascades.
   kc.runtime.cancellation = core::CancellationControlConfig::aggressive();

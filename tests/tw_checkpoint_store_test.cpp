@@ -183,8 +183,8 @@ TEST(IncrementalStore, KernelEquivalenceUnderIncrementalSaving) {
   kc.end_time = end;
   kc.batch_size = 32;
   kc.gvt_period_events = 64;
-  kc.runtime.state_saving = StateSaving::Incremental;
-  kc.runtime.checkpoint_interval = 3;
+  kc.checkpoint.state_saving = StateSaving::Incremental;
+  kc.checkpoint.interval = 3;
   kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
   platform::SimulatedNowConfig now;
   now.costs = platform::CostModel::free();

@@ -65,9 +65,9 @@ DiffSetup derive_setup(std::uint64_t seed) {
           core::CancellationControlConfig::st(0.2 + rng.next_double() * 0.6);
       break;
   }
-  s.kernel.runtime.checkpoint_interval =
+  s.kernel.checkpoint.interval =
       static_cast<std::uint32_t>(rng.next_range(1, 8));
-  s.kernel.runtime.dynamic_checkpointing = rng.next_bernoulli(0.5);
+  s.kernel.checkpoint.dynamic = rng.next_bernoulli(0.5);
   switch (rng.next_below(3)) {
     case 0:
       s.kernel.aggregation.policy = comm::AggregationPolicy::None;
@@ -438,7 +438,7 @@ TEST(DifferentialManyLps, FourWorkersSixtyFourLps) {
     kc.batch_size = 8;
     kc.gvt_period_events = 64;
     kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
-    kc.runtime.dynamic_checkpointing = true;
+    kc.checkpoint.dynamic = true;
     kc.aggregation.policy = comm::AggregationPolicy::Adaptive;
 
     platform::ThreadedConfig tc;

@@ -53,8 +53,8 @@ TEST_P(Equivalence, TimeWarpCommitsSequentialResults) {
   kc.batch_size = c.batch_size;
   kc.gvt_period_events = 48;
   kc.runtime.cancellation = c.cancellation;
-  kc.runtime.checkpoint_interval = c.checkpoint_interval;
-  kc.runtime.dynamic_checkpointing = c.dynamic_checkpointing;
+  kc.checkpoint.interval = c.checkpoint_interval;
+  kc.checkpoint.dynamic = c.dynamic_checkpointing;
   kc.aggregation.policy = c.aggregation;
   kc.aggregation.window_us = 100.0;
 

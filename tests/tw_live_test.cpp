@@ -95,7 +95,7 @@ LiveSetup derive_setup(std::uint64_t seed) {
   s.kernel.end_time = VirtualTime{2'000 + 250 * (seed % 4)};
   s.kernel.batch_size = static_cast<std::uint32_t>(4u << (seed % 3));
   s.kernel.gvt_period_events = 32 + 16 * static_cast<std::uint32_t>(seed % 3);
-  s.kernel.runtime.dynamic_checkpointing = (seed % 2) == 0;
+  s.kernel.checkpoint.dynamic = (seed % 2) == 0;
   if (seed % 3 == 0) {
     s.kernel.runtime.cancellation = core::CancellationControlConfig::dynamic();
   }
@@ -169,7 +169,7 @@ TEST(LiveScrape, ServesMetricsAndJsonMidRun) {
   KernelConfig kc;
   kc.num_lps = app.num_lps;
   kc.end_time = VirtualTime{60'000};
-  kc.runtime.dynamic_checkpointing = true;
+  kc.checkpoint.dynamic = true;
   kc.observability.live.enabled = true;
   kc.observability.live.monitor_period_ms = 10;
 

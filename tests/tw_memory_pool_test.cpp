@@ -334,7 +334,7 @@ TEST(InputQueuePool, MemoryAccountingIsIdenticalAcrossQueueKinds) {
   kc.num_lps = 4;
   kc.end_time = VirtualTime{3'000};
   kc.gvt_period_events = 64;
-  kc.runtime.checkpoint_interval = 4;
+  kc.checkpoint.interval = 4;
 
   std::optional<RunResult> reference;
   for (const QueueKind kind : kAllQueueKinds) {

@@ -36,7 +36,7 @@ KernelConfig observed_config() {
   kc.batch_size = 32;
   kc.gvt_period_events = 64;
   kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
-  kc.runtime.dynamic_checkpointing = true;
+  kc.checkpoint.dynamic = true;
   kc.aggregation.policy = comm::AggregationPolicy::Adaptive;
   kc.aggregation.window_us = 32.0;
   kc.optimism.mode = KernelConfig::Optimism::Mode::Adaptive;

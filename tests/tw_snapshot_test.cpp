@@ -1,0 +1,166 @@
+// OTWSNAP1 container and tw::snapshot / tw::restore.
+//
+//   Container    - encode/decode roundtrip, truncation-reject at every
+//                  prefix, bad magic / version / trailing-bytes rejection.
+//   SuspendResume- a sequential PHOLD run suspended to a file at several
+//                  virtual-time cuts and resumed must be bit-identical
+//                  (digests, event counts, final time) to an uninterrupted
+//                  run_sequential over the same horizon.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "otw/apps/phold.hpp"
+#include "otw/platform/snapshot_file.hpp"
+#include "otw/tw/snapshot.hpp"
+#include "otw/util/assert.hpp"
+
+namespace otw::tw {
+namespace {
+
+platform::SnapshotImage sample_image() {
+  platform::SnapshotImage image;
+  image.engine = platform::kSnapshotEngineDistributed;
+  image.epoch = 7;
+  image.gvt_ticks = 123'456;
+  image.num_lps = 4;
+  image.shards.resize(2);
+  image.shards[0].shard = 0;
+  image.shards[0].blob = {2, 0, 0, 0, 0xAA, 0xBB};  // lp_count = 2
+  image.shards[1].shard = 1;
+  image.shards[1].blob = {1, 0, 0, 0, 0xCC};
+  return image;
+}
+
+TEST(SnapshotContainer, EncodeDecodeRoundTrip) {
+  const platform::SnapshotImage image = sample_image();
+  const std::vector<std::uint8_t> bytes = platform::encode_snapshot_image(image);
+  const platform::SnapshotImage back =
+      platform::decode_snapshot_image(bytes.data(), bytes.size());
+  EXPECT_EQ(back.engine, image.engine);
+  EXPECT_EQ(back.epoch, image.epoch);
+  EXPECT_EQ(back.gvt_ticks, image.gvt_ticks);
+  EXPECT_EQ(back.num_lps, image.num_lps);
+  ASSERT_EQ(back.shards.size(), image.shards.size());
+  for (std::size_t s = 0; s < back.shards.size(); ++s) {
+    EXPECT_EQ(back.shards[s].shard, image.shards[s].shard);
+    EXPECT_EQ(back.shards[s].blob, image.shards[s].blob);
+  }
+  EXPECT_EQ(back.shards[0].lp_count(), 2u);
+  EXPECT_EQ(back.shards[1].lp_count(), 1u);
+  EXPECT_EQ(back.total_blob_bytes(), 11u);
+}
+
+TEST(SnapshotContainer, EveryTruncationIsRejected) {
+  const std::vector<std::uint8_t> bytes =
+      platform::encode_snapshot_image(sample_image());
+  // A half-written snapshot must never restore silently: every proper
+  // prefix must throw, not return a partial image.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(platform::decode_snapshot_image(bytes.data(), len),
+                 ContractViolation)
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(SnapshotContainer, BadMagicVersionAndTrailingBytesAreRejected) {
+  std::vector<std::uint8_t> bytes =
+      platform::encode_snapshot_image(sample_image());
+  {
+    std::vector<std::uint8_t> bad = bytes;
+    bad[0] = 'X';
+    EXPECT_THROW(platform::decode_snapshot_image(bad.data(), bad.size()),
+                 ContractViolation);
+  }
+  {
+    std::vector<std::uint8_t> bad = bytes;
+    bad[8] = 99;  // version field
+    EXPECT_THROW(platform::decode_snapshot_image(bad.data(), bad.size()),
+                 ContractViolation);
+  }
+  {
+    std::vector<std::uint8_t> bad = bytes;
+    bad.push_back(0);
+    EXPECT_THROW(platform::decode_snapshot_image(bad.data(), bad.size()),
+                 ContractViolation);
+  }
+}
+
+TEST(SnapshotContainer, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "otw_container_test.otwsnap";
+  const platform::SnapshotImage image = sample_image();
+  platform::write_snapshot_file(path, image);
+  const platform::SnapshotImage back = platform::read_snapshot_file(path);
+  EXPECT_EQ(back.epoch, image.epoch);
+  EXPECT_EQ(back.shards[1].blob, image.shards[1].blob);
+  std::remove(path.c_str());
+  EXPECT_THROW(platform::read_snapshot_file(path), std::runtime_error);
+}
+
+Model phold_model(std::uint64_t seed) {
+  apps::phold::PholdConfig app;
+  app.num_objects = 12;
+  app.num_lps = 4;
+  app.population_per_object = 3;
+  app.remote_probability = 0.4;
+  app.seed = seed;
+  return apps::phold::build_model(app);
+}
+
+TEST(SuspendResume, ParityAcrossCutPoints) {
+  const Model model = phold_model(11);
+  const VirtualTime end{40'000};
+  const SequentialResult full = run_sequential(model, end);
+  ASSERT_GT(full.events_processed, 0u);
+
+  // Cut before the first event, mid-run, and one tick short of the horizon:
+  // each resumed run must reproduce the uninterrupted one bit-for-bit.
+  for (const std::uint64_t cut : {std::uint64_t{0}, std::uint64_t{17'000},
+                                  std::uint64_t{39'999}}) {
+    const std::string path = ::testing::TempDir() + "otw_suspend_" +
+                             std::to_string(cut) + ".otwsnap";
+    const SnapshotResult suspended =
+        snapshot(model, VirtualTime{static_cast<VirtualTime::rep>(cut)}, path);
+    EXPECT_LE(suspended.suspend_time.ticks(),
+              static_cast<VirtualTime::rep>(cut));
+    EXPECT_GT(suspended.bytes, 0u);
+    const SequentialResult resumed = restore(model, path, end);
+    EXPECT_EQ(resumed.digests, full.digests) << "cut at " << cut;
+    EXPECT_EQ(resumed.events_processed, full.events_processed);
+    EXPECT_EQ(resumed.events_per_object, full.events_per_object);
+    EXPECT_EQ(resumed.final_time, full.final_time);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SuspendResume, SnapshotReportsPendingPopulation) {
+  const Model model = phold_model(3);
+  const std::string path = ::testing::TempDir() + "otw_suspend_pop.otwsnap";
+  const SnapshotResult suspended = snapshot(model, VirtualTime{5'000}, path);
+  // PHOLD conserves its token population; all of it is frozen in the queue.
+  EXPECT_EQ(suspended.pending_events, 12u * 3u);
+  EXPECT_GT(suspended.events_processed, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SuspendResume, RestoreRefusesWrongContainer) {
+  const Model model = phold_model(5);
+  const std::string path = ::testing::TempDir() + "otw_wrong_engine.otwsnap";
+  // A distributed epoch is not a suspended sequential run.
+  platform::SnapshotImage image = sample_image();
+  platform::write_snapshot_file(path, image);
+  EXPECT_THROW(restore(model, path), ContractViolation);
+  // Same engine, wrong model shape.
+  const SnapshotResult suspended =
+      snapshot(model, VirtualTime{1'000}, path);
+  EXPECT_GT(suspended.bytes, 0u);
+  Model wrong = phold_model(5);
+  wrong.objects.pop_back();
+  EXPECT_THROW(restore(wrong, path), ContractViolation);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace otw::tw

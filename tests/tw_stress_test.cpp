@@ -48,7 +48,7 @@ TEST_P(ScheduleStress, CommittedResultsAreScheduleInvariant) {
   kc.batch_size = s.batch;
   kc.gvt_period_events = 40;
   kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
-  kc.runtime.dynamic_checkpointing = true;
+  kc.checkpoint.dynamic = true;
   kc.aggregation.policy = comm::AggregationPolicy::Adaptive;
   kc.aggregation.window_us = s.window_us;
 

@@ -30,7 +30,7 @@ KernelConfig telemetry_config() {
   kc.batch_size = 32;
   kc.gvt_period_events = 64;
   kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
-  kc.runtime.dynamic_checkpointing = true;
+  kc.checkpoint.dynamic = true;
   kc.telemetry.enabled = true;
   kc.telemetry.sample_period_events = 64;
   return kc;

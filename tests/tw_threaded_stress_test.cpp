@@ -35,7 +35,7 @@ TEST(ThreadedStress, PholdRepeatedRunsMatchSequential) {
   kc.batch_size = 8;
   kc.gvt_period_events = 64;
   kc.runtime.cancellation = core::CancellationControlConfig::dynamic();
-  kc.runtime.dynamic_checkpointing = true;
+  kc.checkpoint.dynamic = true;
 
   for (int trial = 0; trial < 3; ++trial) {
     const RunResult r = run(model, kc.with_engine(EngineKind::Threaded), {.threaded = fast_threads()});
@@ -76,7 +76,7 @@ TEST(ThreadedStress, RaidLazyCancellationMatchesSequential) {
   KernelConfig kc;
   kc.num_lps = 2;
   kc.runtime.cancellation = core::CancellationControlConfig::lazy();
-  kc.runtime.checkpoint_interval = 4;
+  kc.checkpoint.interval = 4;
   const RunResult r = run(model, kc.with_engine(EngineKind::Threaded), {.threaded = fast_threads()});
   EXPECT_EQ(r.digests, seq.digests);
 }

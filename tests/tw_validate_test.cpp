@@ -48,25 +48,25 @@ TEST(Validate, ZeroCoreSizing) {
 
 TEST(Validate, ZeroCheckpointIntervals) {
   KernelConfig kc;
-  kc.runtime.checkpoint_interval = 0;
-  kc.runtime.full_snapshot_interval = 0;
+  kc.checkpoint.interval = 0;
+  kc.checkpoint.full_snapshot_interval = 0;
   const auto errors = kc.validate();
-  EXPECT_TRUE(mentions(errors, "checkpoint_interval"));
-  EXPECT_TRUE(mentions(errors, "full_snapshot_interval"));
+  EXPECT_TRUE(mentions(errors, "checkpoint.interval"));
+  EXPECT_TRUE(mentions(errors, "checkpoint.full_snapshot_interval"));
 }
 
 TEST(Validate, CheckpointControllerBounds) {
   KernelConfig kc;
-  kc.runtime.dynamic_checkpointing = true;
-  kc.runtime.checkpoint_control.control_period_events = 0;
-  kc.runtime.checkpoint_control.min_interval = 32;
-  kc.runtime.checkpoint_control.max_interval = 4;
+  kc.checkpoint.dynamic = true;
+  kc.checkpoint.control.control_period_events = 0;
+  kc.checkpoint.control.min_interval = 32;
+  kc.checkpoint.control.max_interval = 4;
   const auto errors = kc.validate();
   EXPECT_TRUE(mentions(errors, "control_period_events"));
   EXPECT_TRUE(mentions(errors, "min_interval exceeds max_interval"));
 
   // The same contradictions are ignored while the controller is off.
-  kc.runtime.dynamic_checkpointing = false;
+  kc.checkpoint.dynamic = false;
   EXPECT_TRUE(kc.validate().empty());
 }
 
@@ -154,6 +154,75 @@ TEST(Validate, EngineSizing) {
   kc.num_lps = 2;
   kc.engine.num_shards = 4;
   EXPECT_TRUE(mentions(kc.validate(), "exceeds num_lps"));
+}
+
+TEST(Validate, FaultBlockRequiresADistributedMesh) {
+  KernelConfig kc;
+  kc.fault.enabled = true;
+  // Default engine is SimulatedNow: wrong kind, and num_shards is 1.
+  auto errors = kc.validate();
+  EXPECT_TRUE(mentions(errors, "EngineKind::Distributed"));
+
+  kc.engine.kind = EngineKind::Distributed;
+  kc.engine.num_shards = 1;
+  errors = kc.validate();
+  EXPECT_TRUE(mentions(errors, "num_shards >= 2"));
+
+  kc.num_lps = 4;
+  kc.engine.num_shards = 2;
+  EXPECT_TRUE(kc.validate().empty());
+
+  kc.migration.enabled = true;
+  EXPECT_TRUE(mentions(kc.validate(), "mutually exclusive"));
+}
+
+TEST(Validate, FaultBlockBounds) {
+  KernelConfig kc;
+  kc.num_lps = 4;
+  kc.engine.kind = EngineKind::Distributed;
+  kc.engine.num_shards = 2;
+  kc = kc.with_fault_tolerance();
+  EXPECT_TRUE(kc.validate().empty());
+
+  kc.fault.recovery_budget_ms = 0;
+  EXPECT_TRUE(mentions(kc.validate(), "recovery_budget_ms"));
+  kc.fault.recovery_budget_ms = 250;
+
+  kc.fault.max_recoveries = 0;
+  EXPECT_TRUE(mentions(kc.validate(), "max_recoveries"));
+  kc.fault.max_recoveries = 4;
+
+  // A sub-1KiB cap with nowhere to spill would refuse every epoch.
+  kc.fault.max_snapshot_bytes = 512;
+  EXPECT_TRUE(mentions(kc.validate(), "spill_dir"));
+  kc.fault.spill_dir = "/tmp";
+  EXPECT_TRUE(kc.validate().empty());
+  kc.fault.spill_dir.clear();
+  kc.fault.max_snapshot_bytes = 0;
+
+  kc.fault.control.min_gap_ms = 0;
+  EXPECT_TRUE(mentions(kc.validate(), "min_gap_ms"));
+  kc.fault.control.min_gap_ms = 600;
+  kc.fault.control.max_gap_ms = 500;
+  EXPECT_TRUE(mentions(kc.validate(), "min_gap_ms exceeds max_gap_ms"));
+  kc.fault.control = core::SnapshotScheduleConfig{};
+
+  kc.fault.control.overhead_factor = 0.0;
+  EXPECT_TRUE(mentions(kc.validate(), "overhead_factor"));
+  kc.fault.control = core::SnapshotScheduleConfig{};
+  kc.fault.control.restore_factor = -1.0;
+  EXPECT_TRUE(mentions(kc.validate(), "restore_factor"));
+  kc.fault.control = core::SnapshotScheduleConfig{};
+
+  kc.fault.inject_kill_shard = 2;  // only shards 0 and 1 exist
+  EXPECT_TRUE(mentions(kc.validate(), "inject_kill_shard"));
+  kc.fault.inject_kill_shard = -1;
+  EXPECT_TRUE(kc.validate().empty());
+
+  // The fault block is ignored while disabled: contradictions don't fail.
+  kc.fault.recovery_budget_ms = 0;
+  kc.fault.enabled = false;
+  EXPECT_TRUE(kc.validate().empty());
 }
 
 TEST(Validate, UnknownQueueKindIsRejected) {

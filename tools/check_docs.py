@@ -45,6 +45,11 @@ Two checks, both zero-dependency (stdlib only), run by CI's docs-check job:
    section 8b's frame-layout description, keeping the documented wire
    order in lockstep with the serializer.
 
+9. Snapshot container schema drift guard. Every field name in wire.hpp's
+   ``kSnapshotManifestFields`` listing (the ``OTWSNAP1`` file layout
+   written by ``tw::snapshot`` and the coordinator's spill path) must
+   appear (backticked) in DESIGN.md section 8c's container description.
+
 Usage: ``python3 tools/check_docs.py`` from the repository root (or any
 subdirectory; the root is located from this file's path). Exit 0 = clean.
 """
@@ -299,6 +304,32 @@ def check_migrate_schema_drift():
     return errors
 
 
+def snapshot_manifest_fields():
+    """Field names of the OTWSNAP1 snapshot container, from wire.hpp's
+    ``kSnapshotManifestFields`` initializer, in file order."""
+    text = WIRE_HEADER.read_text(encoding="utf-8")
+    m = re.search(r"kSnapshotManifestFields\[\]\s*=\s*\{(.*?)\};", text, re.S)
+    if not m:
+        sys.exit(f"error: could not find kSnapshotManifestFields in "
+                 f"{WIRE_HEADER}")
+    fields = re.findall(r'"([^"]+)"', m.group(1))
+    if not fields:
+        sys.exit(f"error: kSnapshotManifestFields in {WIRE_HEADER} is empty")
+    return fields
+
+
+def check_snapshot_schema_drift():
+    errors = []
+    section = design_section("8c", "checkpoint/restart plane")
+    for field in snapshot_manifest_fields():
+        if not re.search(rf"`{re.escape(field)}`", section):
+            errors.append(f"DESIGN.md: snapshot container field '{field}' "
+                          f"is listed in wire.hpp's kSnapshotManifestFields "
+                          f"but section 8c's container layout does not "
+                          f"mention it")
+    return errors
+
+
 def flight_schema_keys():
     """JSON keys the flight-recorder writer emits, from the ``\\"key\\":``
     string literals in flight.cpp."""
@@ -324,7 +355,7 @@ def main():
     errors = (check_links() + check_trace_drift() + check_health_rule_drift()
               + check_seam_drift() + check_flight_schema_drift()
               + check_queue_kind_drift() + check_control_tag_drift()
-              + check_migrate_schema_drift())
+              + check_migrate_schema_drift() + check_snapshot_schema_drift())
     n_md = sum(1 for _ in markdown_files())
     if errors:
         for e in errors:
@@ -339,11 +370,13 @@ def main():
     queue_kinds = enum_members(PENDING_HEADER, "QueueKind")
     tags = control_tags()
     migrate_fields = migrate_frame_fields()
+    snap_fields = snapshot_manifest_fields()
     print(f"check_docs: OK — {n_md} markdown files, links and anchors "
           f"resolve, all {len(kinds)} TraceKind enumerators documented "
           f"in DESIGN.md section 5b, all {len(tags)} control-frame tags "
           f"and {len(migrate_fields)} MIGRATE frame fields documented in "
-          f"section 8b, all {len(rules)} HealthRule "
+          f"section 8b, all {len(snap_fields)} snapshot container fields "
+          f"documented in section 8c, all {len(rules)} HealthRule "
           f"enumerators documented in section 9, all {len(seams)} Seam "
           f"enumerators and {len(keys)} flight schema keys documented "
           f"in section 10, all {len(queue_kinds)} QueueKind enumerators "

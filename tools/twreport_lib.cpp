@@ -8,6 +8,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "otw/platform/snapshot_file.hpp"
+
 namespace otw::tools {
 namespace {
 
@@ -385,12 +387,40 @@ bool render_flight_report(std::ostream& os, const Value& doc,
   return true;
 }
 
+bool render_snapshot_manifest(std::ostream& os, const std::string& path,
+                              std::string& error) {
+  platform::SnapshotImage image;
+  try {
+    image = platform::read_snapshot_file(path);
+  } catch (const std::exception& e) {
+    error = e.what();
+    return false;
+  }
+  os << "# Snapshot manifest: " << path << "\n\n";
+  os << "- engine: "
+     << (image.engine == platform::kSnapshotEngineSequential ? "sequential"
+                                                             : "distributed")
+     << "\n";
+  os << "- epoch: " << image.epoch << "\n";
+  os << "- gvt_ticks: " << image.gvt_ticks << "\n";
+  os << "- num_lps: " << image.num_lps << "\n";
+  os << "- num_shards: " << image.shards.size() << "\n";
+  os << "- total_bytes: " << image.total_blob_bytes() << "\n\n";
+  os << "| shard | lps | bytes |\n|---|---|---|\n";
+  for (const platform::SnapshotShardBlob& shard : image.shards) {
+    os << "| " << shard.shard << " | " << shard.lp_count() << " | "
+       << shard.blob.size() << " |\n";
+  }
+  return true;
+}
+
 int run_cli(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err) {
   const auto usage = [&err]() {
     err << "usage: twreport run <results.json>\n"
            "       twreport diff <a.json> <b.json> [--threshold FRACTION]\n"
-           "       twreport flight <flight-N.json>\n";
+           "       twreport flight <flight-N.json>\n"
+           "       twreport snapshot <epoch.otwsnap>\n";
     return 2;
   };
   if (argc < 2) {
@@ -419,6 +449,17 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     Value doc;
     if (!load_json_file(argv[2], doc, error) ||
         !render_flight_report(out, doc, error)) {
+      err << "twreport: " << error << "\n";
+      return 2;
+    }
+    return 0;
+  }
+
+  if (mode == "snapshot") {
+    if (argc != 3) {
+      return usage();
+    }
+    if (!render_snapshot_manifest(out, argv[2], error)) {
       err << "twreport: " << error << "\n";
       return 2;
     }

@@ -16,6 +16,10 @@
 //                                      reason, watchdog state, retained
 //                                      snapshots with latency quantiles, and
 //                                      the tail of the relayed-frame ring.
+//   twreport snapshot <epoch.otwsnap>  print an "OTWSNAP1" snapshot
+//                                      container's manifest (engine, epoch,
+//                                      cut GVT, per-shard LP counts and
+//                                      bytes) without restoring anything.
 //
 // The CLI is a thin shim over this library so the tests can drive the exact
 // code the tool ships.
@@ -94,6 +98,14 @@ struct DiffReport {
 [[nodiscard]] bool render_flight_report(std::ostream& os,
                                         const obs::json::Value& doc,
                                         std::string& error);
+
+/// Renders an "OTWSNAP1" snapshot container's manifest as markdown: engine,
+/// epoch, cut GVT, and the per-shard LP counts and blob sizes — without
+/// deserializing any LP state. Returns false (with `error`) when the file
+/// cannot be read or is not a snapshot container.
+[[nodiscard]] bool render_snapshot_manifest(std::ostream& os,
+                                            const std::string& path,
+                                            std::string& error);
 
 /// Compares two bench results documents run-by-run.
 [[nodiscard]] DiffReport diff_bench(const obs::json::Value& a,
